@@ -1,0 +1,82 @@
+//! Ablation — shared elementary-cell filters vs. independent per-query
+//! protocols (the §7 "multiple queries" extension).
+//!
+//! `m` overlapping range queries run over one population either as `m`
+//! independent ZT-NRP instances (each with its own filters and its own
+//! message bill) or as one `MultiRangeZt` with a single shared
+//! elementary-cell filter per source. Both are exact; the comparison is
+//! pure communication cost.
+
+use asf_core::engine::Engine;
+use asf_core::multi_query::{CellMode, MultiRangeZt};
+use asf_core::protocol::ZtNrp;
+use asf_core::query::RangeQuery;
+use asf_core::workload::Workload;
+use bench_harness::{print_table, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        SyntheticConfig { num_streams: 300, horizon: 200.0, ..Default::default() }
+    } else {
+        SyntheticConfig { num_streams: 2000, horizon: 2000.0, ..Default::default() }
+    };
+    // Query batteries of growing size: overlapping bands over [0, 1000].
+    let batteries: Vec<usize> = vec![1, 2, 4, 8, 16];
+    let make_queries = |m: usize| -> Vec<RangeQuery> {
+        (0..m)
+            .map(|j| {
+                let lo = 50.0 + (j as f64) * 900.0 / (m as f64 + 1.0);
+                RangeQuery::new(lo, lo + 220.0).unwrap()
+            })
+            .collect()
+    };
+
+    let mut independent = Vec::new();
+    let mut managed = Vec::new();
+    let mut resident = Vec::new();
+    for &m in &batteries {
+        let queries = make_queries(m);
+
+        // m independent ZT-NRP instances, each on its own copy of the
+        // identical workload.
+        let mut total = 0u64;
+        for &q in &queries {
+            let mut w = SyntheticWorkload::new(cfg);
+            let mut engine = Engine::new(&w.initial_values(), ZtNrp::new(q));
+            engine.run(&mut w);
+            total += engine.ledger().total();
+        }
+        independent.push(total as f64);
+
+        // One shared-filter group, server-managed cells (2 msgs/crossing).
+        let mut w = SyntheticWorkload::new(cfg);
+        let mut engine =
+            Engine::new(&w.initial_values(), MultiRangeZt::new(queries.clone()).unwrap());
+        engine.run(&mut w);
+        managed.push(engine.ledger().total() as f64);
+
+        // Source-resident cut tables (1 msg/crossing).
+        let mut w = SyntheticWorkload::new(cfg);
+        let p = MultiRangeZt::with_mode(queries, CellMode::SourceResident).unwrap();
+        let mut engine = Engine::new(&w.initial_values(), p);
+        engine.run(&mut w);
+        resident.push(engine.ledger().total() as f64);
+    }
+
+    let xs: Vec<String> = batteries.iter().map(|m| m.to_string()).collect();
+    print_table(
+        &format!(
+            "Ablation: multi-query sharing ({} streams, horizon {}) — total messages",
+            cfg.num_streams, cfg.horizon
+        ),
+        "queries",
+        &xs,
+        &[
+            Series { label: "independent ZT-NRP".into(), values: independent },
+            Series { label: "shared (server cells)".into(), values: managed },
+            Series { label: "shared (resident cells)".into(), values: resident },
+        ],
+    );
+}

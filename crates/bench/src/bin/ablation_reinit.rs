@@ -1,0 +1,57 @@
+//! Ablation — FT-NRP re-initialization on budget exhaustion.
+//!
+//! §5.1.1: once all special filters are consumed, FT-NRP degenerates to
+//! ZT-NRP; the paper notes the Initialization phase "may be run again" to
+//! re-harvest tolerance but does not evaluate it. This ablation compares
+//! the two modes: re-running init costs `O(n)` per re-init but restores
+//! silent filters.
+
+use asf_core::protocol::{FtNrp, FtNrpConfig, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        SyntheticConfig { num_streams: 500, horizon: 400.0, ..Default::default() }
+    } else {
+        SyntheticConfig { num_streams: 2000, horizon: 4000.0, ..Default::default() }
+    };
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let epsilons = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let mut series = Vec::new();
+    for (reinit, label) in [(false, "no-reinit"), (true, "reinit")] {
+        let mut msgs = Vec::new();
+        let mut reinits = Vec::new();
+        for &eps in &epsilons {
+            let tol = FractionTolerance::symmetric(eps).unwrap();
+            let config = FtNrpConfig {
+                heuristic: SelectionHeuristic::BoundaryNearest,
+                reinit_on_exhaustion: reinit,
+            };
+            let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+            let mut w = SyntheticWorkload::new(cfg);
+            let initial = asf_core::workload::Workload::initial_values(&w);
+            let mut engine = asf_core::engine::Engine::new(&initial, protocol);
+            engine.run(&mut w);
+            msgs.push(engine.ledger().total() as f64);
+            reinits.push(engine.protocol().reinits() as f64);
+        }
+        series.push(Series { label: format!("{label} msgs"), values: msgs });
+        series.push(Series { label: format!("{label} reinits"), values: reinits });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| e.to_string()).collect();
+    print_table(
+        &format!(
+            "Ablation: FT-NRP reinit-on-exhaustion ({} streams, horizon {})",
+            cfg.num_streams, cfg.horizon
+        ),
+        "eps+/-",
+        &xs,
+        &series,
+    );
+}

@@ -1,0 +1,57 @@
+//! Ablation — the Equation-16 split policy for FT-RP.
+//!
+//! The paper fixes only the budget *line* `ρ⁻ = ρ⁺/(ε⁺−1) + m`; where to
+//! sit on it is an open implementation choice (DESIGN.md §3.4). This
+//! ablation compares the three `RhoPolicy` points (balanced, all-positive,
+//! all-negative) across tolerance levels, reporting both messages and
+//! forced bound recomputations.
+
+use asf_core::protocol::{FtRp, FtRpConfig};
+use asf_core::query::RankQuery;
+use asf_core::tolerance::{FractionTolerance, RhoPolicy};
+use bench_harness::{print_table, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        SyntheticConfig { num_streams: 500, horizon: 100.0, ..Default::default() }
+    } else {
+        SyntheticConfig { num_streams: 2000, horizon: 400.0, ..Default::default() }
+    };
+    let k = if scale.is_quick() { 30 } else { 60 };
+    let epsilons = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let policies = [
+        (RhoPolicy::Balanced, "balanced"),
+        (RhoPolicy::MaxPositive, "max-positive"),
+        (RhoPolicy::MaxNegative, "max-negative"),
+    ];
+
+    let mut series = Vec::new();
+    for (policy, label) in policies {
+        let mut msgs = Vec::new();
+        let mut reinits = Vec::new();
+        for &eps in &epsilons {
+            let query = RankQuery::knn(500.0, k).unwrap();
+            let tol = FractionTolerance::symmetric(eps).unwrap();
+            let config = FtRpConfig { rho_policy: policy, ..Default::default() };
+            let protocol = FtRp::new(query, tol, config, 42).unwrap();
+            let initial_workload = &mut SyntheticWorkload::new(cfg);
+            let initial = asf_core::workload::Workload::initial_values(initial_workload);
+            let mut engine = asf_core::engine::Engine::new(&initial, protocol);
+            engine.run(initial_workload);
+            msgs.push(engine.ledger().total() as f64);
+            reinits.push(engine.protocol().reinits() as f64);
+        }
+        series.push(Series { label: format!("{label} msgs"), values: msgs });
+        series.push(Series { label: format!("{label} reinits"), values: reinits });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| e.to_string()).collect();
+    print_table(
+        &format!("Ablation: FT-RP RhoPolicy (k={k}, {} streams)", cfg.num_streams),
+        "eps+/-",
+        &xs,
+        &series,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 10 — FT-NRP on TCP-like data: messages over the `(ε⁺, ε⁻)` grid.
+//!
+//! A range query `[400, 600]` on the per-subnet byte value (§6.1,
+//! "classify subnets with different ranges of traffic volume"), with both
+//! fraction tolerances swept over `{0, 0.1, …, 0.5}`. The `(0, 0)` corner
+//! is exactly ZT-NRP. Expected shape: messages decrease monotonically as
+//! either tolerance grows.
+
+use asf_core::protocol::{FtNrp, FtNrpConfig, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, run_to_completion, Scale, Series};
+use workloads::{TcpLikeConfig, TcpLikeWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        TcpLikeConfig { subnets: 150, total_events: 6_000, ..Default::default() }
+    } else {
+        TcpLikeConfig::default()
+    };
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let epsilons = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    // One column per eps+, one row per eps-.
+    let mut series = Vec::new();
+    for &ep in &epsilons {
+        let mut values = Vec::new();
+        for &em in &epsilons {
+            let tol = FractionTolerance::new(ep, em).unwrap();
+            let config = FtNrpConfig {
+                heuristic: SelectionHeuristic::Random,
+                reinit_on_exhaustion: false,
+            };
+            let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+            let mut w = TcpLikeWorkload::new(cfg);
+            values.push(run_to_completion(protocol, &mut w).messages() as f64);
+        }
+        series.push(Series { label: format!("eps+={ep}"), values });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| format!("eps-={e}")).collect();
+    print_table(
+        &format!(
+            "Figure 10: FT-NRP on TCP-like data ({} subnets, {} events), range [400, 600]",
+            cfg.subnets, cfg.total_events
+        ),
+        "",
+        &xs,
+        &series,
+    );
+}

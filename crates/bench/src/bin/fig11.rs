@@ -1,0 +1,50 @@
+//! Figure 11 — FT-NRP scalability: messages vs. number of streams.
+//!
+//! The TCP-like workload is scaled from 200 to 2000 subnets (the per-subnet
+//! event rate stays fixed, so the total event count grows linearly), with
+//! symmetric tolerance `ε⁺ = ε⁻ ∈ {0, 0.2, 0.3, 0.4, 0.5}`. Expected shape
+//! (paper): near-linear growth, with higher tolerance flattening the line —
+//! "for a larger number of streams, the performance gains more by using
+//! higher tolerance values".
+
+use asf_core::protocol::{FtNrp, FtNrpConfig, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, run_to_completion, Scale, Series};
+use workloads::{TcpLikeConfig, TcpLikeWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ns: Vec<usize> = if scale.is_quick() {
+        vec![200, 600, 1000]
+    } else {
+        (1..=10).map(|i| i * 200).collect()
+    };
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let epsilons = [0.0, 0.2, 0.3, 0.4, 0.5];
+
+    let mut series = Vec::new();
+    for &eps in &epsilons {
+        let mut values = Vec::new();
+        for &n in &ns {
+            let cfg = TcpLikeConfig::scaled_to(n);
+            let tol = FractionTolerance::symmetric(eps).unwrap();
+            let config = FtNrpConfig {
+                heuristic: SelectionHeuristic::Random,
+                reinit_on_exhaustion: false,
+            };
+            let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+            let mut w = TcpLikeWorkload::new(cfg);
+            values.push(run_to_completion(protocol, &mut w).messages() as f64);
+        }
+        series.push(Series { label: format!("eps+=eps-={eps}"), values });
+    }
+
+    let xs: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+    print_table(
+        "Figure 11: FT-NRP scalability on TCP-like data, range [400, 600]",
+        "streams",
+        &xs,
+        &series,
+    );
+}

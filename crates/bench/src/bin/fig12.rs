@@ -1,0 +1,51 @@
+//! Figure 12 — FT-NRP on synthetic data: messages over the `(ε⁺, ε⁻)` grid.
+//!
+//! The §6.2 synthetic model: 5000 streams, values initially uniform in
+//! `[0, 1000]`, exponential inter-arrivals (mean 20), `N(0, 20)` steps;
+//! range query `[400, 600]`. Expected shape: totals decrease as either
+//! tolerance grows (modest relative savings — the paper's z-axis spans
+//! ≈46k down to ≈36k).
+
+use asf_core::protocol::{FtNrp, FtNrpConfig, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, run_to_completion, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        SyntheticConfig { num_streams: 500, horizon: 400.0, ..Default::default() }
+    } else {
+        SyntheticConfig { horizon: 4000.0, ..Default::default() }
+    };
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let epsilons = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let mut series = Vec::new();
+    for &ep in &epsilons {
+        let mut values = Vec::new();
+        for &em in &epsilons {
+            let tol = FractionTolerance::new(ep, em).unwrap();
+            let config = FtNrpConfig {
+                heuristic: SelectionHeuristic::Random,
+                reinit_on_exhaustion: false,
+            };
+            let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+            let mut w = SyntheticWorkload::new(cfg);
+            values.push(run_to_completion(protocol, &mut w).messages() as f64);
+        }
+        series.push(Series { label: format!("eps+={ep}"), values });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| format!("eps-={e}")).collect();
+    print_table(
+        &format!(
+            "Figure 12: FT-NRP on synthetic data ({} streams, horizon {}), range [400, 600]",
+            cfg.num_streams, cfg.horizon
+        ),
+        "",
+        &xs,
+        &series,
+    );
+}

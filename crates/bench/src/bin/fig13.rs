@@ -1,0 +1,52 @@
+//! Figure 13 — FT-NRP vs. data fluctuation: messages as `σ` grows.
+//!
+//! Synthetic model with the Gaussian step deviation swept over
+//! `σ ∈ {20, 40, 60, 80, 100}` and symmetric tolerance
+//! `ε = ε⁺ = ε⁻ ∈ {0, 0.1, …, 0.5}`. Expected shape: more fluctuation ⇒
+//! more filter-bound violations ⇒ more messages, at every tolerance level.
+
+use asf_core::protocol::{FtNrp, FtNrpConfig, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, run_to_completion, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = if scale.is_quick() {
+        SyntheticConfig { num_streams: 500, horizon: 400.0, ..Default::default() }
+    } else {
+        SyntheticConfig { horizon: 4000.0, ..Default::default() }
+    };
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let epsilons = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let sigmas = [20.0, 40.0, 60.0, 80.0, 100.0];
+
+    let mut series = Vec::new();
+    for &sigma in &sigmas {
+        let mut values = Vec::new();
+        for &eps in &epsilons {
+            let cfg = SyntheticConfig { sigma, ..base };
+            let tol = FractionTolerance::symmetric(eps).unwrap();
+            let config = FtNrpConfig {
+                heuristic: SelectionHeuristic::Random,
+                reinit_on_exhaustion: false,
+            };
+            let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+            let mut w = SyntheticWorkload::new(cfg);
+            values.push(run_to_completion(protocol, &mut w).messages() as f64);
+        }
+        series.push(Series { label: format!("sigma={sigma}"), values });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| e.to_string()).collect();
+    print_table(
+        &format!(
+            "Figure 13: FT-NRP vs data fluctuation (synthetic, {} streams, horizon {})",
+            base.num_streams, base.horizon
+        ),
+        "eps+/-",
+        &xs,
+        &series,
+    );
+}

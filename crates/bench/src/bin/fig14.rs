@@ -1,0 +1,48 @@
+//! Figure 14 — FT-NRP selection heuristics: random vs. boundary-nearest.
+//!
+//! Synthetic model, range `[400, 600]`, symmetric tolerance sweep. Expected
+//! shape (paper): boundary-nearest beats random, and the gap widens as the
+//! tolerance (and hence the number of special filters to place) grows —
+//! streams near the boundary are the likeliest to cross it, so silencing
+//! them saves the most updates.
+
+use asf_core::protocol::{FtNrp, FtNrpConfig, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, run_to_completion, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        SyntheticConfig { num_streams: 500, horizon: 400.0, ..Default::default() }
+    } else {
+        SyntheticConfig { horizon: 4000.0, ..Default::default() }
+    };
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let epsilons = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let mut series = Vec::new();
+    for heuristic in [SelectionHeuristic::Random, SelectionHeuristic::BoundaryNearest] {
+        let mut values = Vec::new();
+        for &eps in &epsilons {
+            let tol = FractionTolerance::symmetric(eps).unwrap();
+            let config = FtNrpConfig { heuristic, reinit_on_exhaustion: false };
+            let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+            let mut w = SyntheticWorkload::new(cfg);
+            values.push(run_to_completion(protocol, &mut w).messages() as f64);
+        }
+        series.push(Series { label: heuristic.label().to_string(), values });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| e.to_string()).collect();
+    print_table(
+        &format!(
+            "Figure 14: FT-NRP selection heuristics (synthetic, {} streams, horizon {})",
+            cfg.num_streams, cfg.horizon
+        ),
+        "eps+/-",
+        &xs,
+        &series,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 15 — ZT-RP vs. FT-RP: messages (log scale) vs. tolerance.
+//!
+//! A continuous k-NN query (query point at the domain centre) over the
+//! synthetic model, `k ∈ {20, 60, 100}`, symmetric tolerance swept over
+//! `{0, 0.1, …, 0.5}`; the `ε = 0` point is ZT-RP (every crossing of `R`
+//! forces a recompute-and-rebroadcast). Expected shape (paper): for
+//! `k = 60, 100` messages drop by orders of magnitude with even a slight
+//! tolerance; at `k = 20` the special-filter budgets round down to almost
+//! nothing and FT-RP cannot overcome its recompute costs.
+
+use asf_core::protocol::{FtRp, FtRpConfig, ZtRp};
+use asf_core::query::RankQuery;
+use asf_core::tolerance::FractionTolerance;
+use bench_harness::{print_table, run_to_completion, Scale, Series};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = if scale.is_quick() {
+        SyntheticConfig { num_streams: 500, horizon: 100.0, ..Default::default() }
+    } else {
+        SyntheticConfig { horizon: 400.0, ..Default::default() }
+    };
+    let q_point = 500.0;
+    let ks: &[usize] = &[20, 60, 100];
+    let epsilons = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let mut series = Vec::new();
+    for &k in ks {
+        let mut values = Vec::new();
+        for &eps in &epsilons {
+            let query = RankQuery::knn(q_point, k).unwrap();
+            let mut w = SyntheticWorkload::new(cfg);
+            let messages = if eps == 0.0 {
+                run_to_completion(ZtRp::new(query).unwrap(), &mut w).messages()
+            } else {
+                let tol = FractionTolerance::symmetric(eps).unwrap();
+                let protocol = FtRp::new(query, tol, FtRpConfig::default(), 42).unwrap();
+                run_to_completion(protocol, &mut w).messages()
+            };
+            values.push(messages as f64);
+        }
+        series.push(Series { label: format!("k={k}"), values });
+    }
+
+    let xs: Vec<String> = epsilons.iter().map(|e| e.to_string()).collect();
+    print_table(
+        &format!(
+            "Figure 15: ZT-RP (eps=0) / FT-RP k-NN at q={q_point} (synthetic, {} streams, horizon {}) — log-scale in the paper",
+            cfg.num_streams, cfg.horizon
+        ),
+        "eps+/-",
+        &xs,
+        &series,
+    );
+}

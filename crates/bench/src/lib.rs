@@ -1,0 +1,162 @@
+//! # bench_harness — shared plumbing for the figure-reproduction binaries
+//!
+//! Each `bin/figNN` binary regenerates one figure of the paper's evaluation
+//! (§6): it sweeps the same parameters, runs the same protocols over the
+//! same class of workload, and prints the series the figure plots. The
+//! helpers here keep the binaries small: run a protocol to completion and
+//! report its message ledger, and print aligned series tables.
+//!
+//! All binaries accept `--quick` (or `ASF_QUICK=1`) to run a reduced-scale
+//! sweep for smoke-testing; the default scale is the paper's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asf_core::engine::Engine;
+use asf_core::protocol::Protocol;
+use asf_core::workload::Workload;
+use streamnet::{Ledger, MessageKind};
+
+/// Sweep scale, chosen from the command line / environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced population/horizon for smoke tests (`--quick`).
+    Quick,
+    /// The paper's scale (default).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--quick` from `std::env::args` or `ASF_QUICK=1` from the
+    /// environment.
+    pub fn from_env() -> Scale {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("ASF_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Whether this is the reduced scale.
+    pub fn is_quick(&self) -> bool {
+        *self == Scale::Quick
+    }
+}
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Full message ledger.
+    pub ledger: Ledger,
+    /// Workload events applied.
+    pub events: u64,
+    /// Reports the server actually processed — the paper's *server
+    /// computation* savings claim in one number: with no filter this equals
+    /// `events`; filters shrink it.
+    pub server_reports: u64,
+}
+
+impl RunResult {
+    /// The paper's headline metric: total messages.
+    pub fn messages(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    /// Fraction of workload events that reached the server at all.
+    pub fn server_load(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.server_reports as f64 / self.events as f64
+        }
+    }
+}
+
+/// Runs `protocol` over `workload` until exhaustion.
+pub fn run_to_completion<P: Protocol>(protocol: P, workload: &mut dyn Workload) -> RunResult {
+    let initial = workload.initial_values();
+    let mut engine = Engine::new(&initial, protocol);
+    engine.run(workload);
+    RunResult {
+        protocol: engine.protocol().name(),
+        ledger: engine.ledger().clone(),
+        events: engine.events_processed(),
+        server_reports: engine.reports_processed(),
+    }
+}
+
+/// A named series of y-values over a shared x-axis.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per x-axis point.
+    pub values: Vec<f64>,
+}
+
+/// Prints a figure as an aligned table: one row per x value, one column per
+/// series — the same rows the paper's plot shows.
+pub fn print_table(title: &str, x_label: &str, xs: &[String], series: &[Series]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = Vec::new();
+    let x_width = xs.iter().map(|x| x.len()).chain([x_label.len()]).max().unwrap_or(8) + 2;
+    print!("{x_label:<x_width$}");
+    for s in series {
+        let w = s.label.len().max(12) + 2;
+        widths.push(w);
+        print!("{:>w$}", s.label);
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:<x_width$}");
+        for (s, &w) in series.iter().zip(widths.iter()) {
+            let v = s.values.get(i).copied().unwrap_or(f64::NAN);
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                print!("{:>w$}", format!("{}", v as i64));
+            } else {
+                print!("{v:>w$.3}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints the per-class message breakdown of a run (used by the cost-model
+/// ablation and appended to some figures for context).
+pub fn print_breakdown(label: &str, ledger: &Ledger) {
+    print!("  {label:<28}");
+    for kind in MessageKind::ALL {
+        print!(" {}={}", kind.label(), ledger.count(kind));
+    }
+    println!(" total={}", ledger.total());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_core::protocol::ZtNrp;
+    use asf_core::query::RangeQuery;
+    use asf_core::workload::VecWorkload;
+
+    #[test]
+    fn run_to_completion_reports_ledger() {
+        let initial = vec![450.0, 700.0];
+        let mut w = VecWorkload::new(initial, vec![]);
+        let result =
+            run_to_completion(ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap()), &mut w);
+        assert_eq!(result.protocol, "ZT-NRP");
+        // 2n probes + n broadcast.
+        assert_eq!(result.messages(), 6);
+        assert_eq!(result.events, 0);
+    }
+
+    #[test]
+    fn scale_default_is_paper() {
+        // No --quick in the test harness args (cargo passes test filters,
+        // not --quick).
+        assert!(!Scale::from_env().is_quick() || std::env::var("ASF_QUICK").is_ok());
+    }
+}

@@ -1,0 +1,150 @@
+//! Answer sets of entity-based queries.
+
+use std::collections::BTreeSet;
+
+use streamnet::StreamId;
+
+use crate::tolerance::FractionMetrics;
+
+/// The answer of an entity-based query: a set of stream identifiers.
+///
+/// Backed by a `BTreeSet` so iteration order is deterministic (ascending
+/// id), which keeps whole simulations reproducible.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnswerSet {
+    members: BTreeSet<StreamId>,
+}
+
+impl AnswerSet {
+    /// Creates an empty answer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of members `|A(t)|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// Inserts a member; returns whether it was new.
+    pub fn insert(&mut self, id: StreamId) -> bool {
+        self.members.insert(id)
+    }
+
+    /// Removes a member; returns whether it was present.
+    pub fn remove(&mut self, id: StreamId) -> bool {
+        self.members.remove(&id)
+    }
+
+    /// Clears all members.
+    pub fn clear(&mut self) {
+        self.members.clear()
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The underlying set.
+    pub fn as_set(&self) -> &BTreeSet<StreamId> {
+        &self.members
+    }
+
+    /// Computes the Definition-2 error counts of this answer against a
+    /// membership predicate over the whole population `0..n`.
+    ///
+    /// `satisfies(id)` must return the *ground-truth* answer membership.
+    pub fn fraction_metrics(
+        &self,
+        n: usize,
+        mut satisfies: impl FnMut(StreamId) -> bool,
+    ) -> FractionMetrics {
+        let mut e_plus = 0;
+        let mut e_minus = 0;
+        for i in 0..n {
+            let id = StreamId(i as u32);
+            let truth = satisfies(id);
+            let claimed = self.contains(id);
+            match (claimed, truth) {
+                (true, false) => e_plus += 1,
+                (false, true) => e_minus += 1,
+                _ => {}
+            }
+        }
+        FractionMetrics { e_plus, e_minus, answer_size: self.len() }
+    }
+}
+
+impl FromIterator<StreamId> for AnswerSet {
+    fn from_iter<T: IntoIterator<Item = StreamId>>(iter: T) -> Self {
+        Self { members: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a AnswerSet {
+    type Item = StreamId;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, StreamId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> AnswerSet {
+        v.iter().map(|&i| StreamId(i)).collect()
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut a = AnswerSet::new();
+        assert!(a.insert(StreamId(3)));
+        assert!(!a.insert(StreamId(3)), "duplicate insert is a no-op");
+        assert!(a.contains(StreamId(3)));
+        assert_eq!(a.len(), 1);
+        assert!(a.remove(StreamId(3)));
+        assert!(!a.remove(StreamId(3)));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let a = ids(&[9, 1, 5]);
+        let order: Vec<u32> = a.iter().map(|s| s.0).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn fraction_metrics_against_truth() {
+        // Population 0..5; truth = {0, 1, 2}; answer = {1, 2, 3}.
+        let a = ids(&[1, 2, 3]);
+        let m = a.fraction_metrics(5, |id| id.0 <= 2);
+        assert_eq!(m.e_plus, 1); // 3 claimed but wrong
+        assert_eq!(m.e_minus, 1); // 0 missing
+        assert_eq!(m.answer_size, 3);
+        assert!((m.f_plus() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.f_minus() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_answer_has_zero_errors() {
+        let a = ids(&[0, 1]);
+        let m = a.fraction_metrics(4, |id| id.0 <= 1);
+        assert_eq!((m.e_plus, m.e_minus), (0, 0));
+        assert_eq!(m.f_plus(), 0.0);
+        assert_eq!(m.f_minus(), 0.0);
+    }
+}

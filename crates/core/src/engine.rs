@@ -1,0 +1,291 @@
+//! The simulation engine: wires a protocol to the source fleet and drives
+//! it from a workload.
+//!
+//! Event loop per update event:
+//!
+//! 1. the workload's new value is delivered to the source; its filter
+//!    decides whether a report is sent (a silent update costs nothing);
+//! 2. a report (1 `Update` message) refreshes the server view and invokes
+//!    the protocol's maintenance handler;
+//! 3. any sync-reports induced by filter redeployments are drained FIFO and
+//!    fed back into the protocol — values are frozen meanwhile (the paper's
+//!    Correctness Requirement 2 assumption), so the cascade terminates;
+//! 4. the system is now *quiescent*: this is the point where the paper's
+//!    Correctness Requirement 1 must hold, and where the optional
+//!    per-event hook (used by the oracle) runs.
+
+use std::collections::VecDeque;
+
+use simkit::SimTime;
+use streamnet::{Ledger, ServerView, SourceFleet, StreamId};
+
+use crate::answer::AnswerSet;
+use crate::protocol::{Protocol, ServerCtx};
+use crate::workload::{UpdateEvent, Workload};
+
+/// Upper bound on induced reports processed for a single workload event.
+/// Resolution cascades converge because values are frozen during
+/// resolution; hitting this cap indicates a protocol bug and panics.
+const CASCADE_CAP: usize = 1_000_000;
+
+/// A running simulation of one protocol over one stream population.
+pub struct Engine<P: Protocol> {
+    fleet: SourceFleet,
+    view: ServerView,
+    ledger: Ledger,
+    pending: VecDeque<(StreamId, f64)>,
+    protocol: P,
+    now: SimTime,
+    events_processed: u64,
+    reports_processed: u64,
+    initialized: bool,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine over sources with the given initial values.
+    pub fn new(initial_values: &[f64], protocol: P) -> Self {
+        Self {
+            fleet: SourceFleet::from_values(initial_values),
+            view: ServerView::new(initial_values.len()),
+            ledger: Ledger::new(),
+            pending: VecDeque::new(),
+            protocol,
+            now: 0.0,
+            events_processed: 0,
+            reports_processed: 0,
+            initialized: false,
+        }
+    }
+
+    /// Runs the protocol's Initialization phase (idempotent guard: panics
+    /// if called twice).
+    pub fn initialize(&mut self) {
+        assert!(!self.initialized, "engine already initialized");
+        self.initialized = true;
+        let mut ctx =
+            ServerCtx::new(&mut self.fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+        self.protocol.initialize(&mut ctx);
+        self.drain_pending();
+    }
+
+    /// Applies one workload event and drains all induced resolution work.
+    /// After this returns the system is quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Engine::initialize`] or if event times go
+    /// backwards.
+    pub fn apply_event(&mut self, ev: UpdateEvent) {
+        assert!(self.initialized, "engine must be initialized before events");
+        assert!(ev.time >= self.now, "events must be time-ordered ({} < {})", ev.time, self.now);
+        self.now = ev.time;
+        self.events_processed += 1;
+        let report =
+            self.fleet.deliver_update(ev.stream, ev.value, &mut self.ledger, &mut self.view);
+        if let Some(value) = report {
+            self.reports_processed += 1;
+            let mut ctx = ServerCtx::new(
+                &mut self.fleet,
+                &mut self.view,
+                &mut self.ledger,
+                &mut self.pending,
+            );
+            self.protocol.on_update(ev.stream, value, &mut ctx);
+            self.drain_pending();
+        }
+    }
+
+    fn drain_pending(&mut self) {
+        let mut steps = 0;
+        while let Some((id, value)) = self.pending.pop_front() {
+            steps += 1;
+            assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
+            self.reports_processed += 1;
+            let mut ctx = ServerCtx::new(
+                &mut self.fleet,
+                &mut self.view,
+                &mut self.ledger,
+                &mut self.pending,
+            );
+            self.protocol.on_update(id, value, &mut ctx);
+        }
+    }
+
+    /// Initializes (if needed) and consumes the whole workload.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        if !self.initialized {
+            self.initialize();
+        }
+        while let Some(ev) = workload.next_event() {
+            self.apply_event(ev);
+        }
+    }
+
+    /// Like [`Engine::run`], invoking `hook(fleet, protocol, time)` at every
+    /// quiescent point (after initialization and after each event). The
+    /// oracle uses this to assert tolerance correctness.
+    pub fn run_with_hook<W: Workload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        mut hook: impl FnMut(&SourceFleet, &P, SimTime),
+    ) {
+        if !self.initialized {
+            self.initialize();
+        }
+        hook(&self.fleet, &self.protocol, self.now);
+        while let Some(ev) = workload.next_event() {
+            self.apply_event(ev);
+            hook(&self.fleet, &self.protocol, self.now);
+        }
+    }
+
+    /// The message ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The current answer `A(t)`.
+    pub fn answer(&self) -> AnswerSet {
+        self.protocol.answer()
+    }
+
+    /// Ground-truth access for oracles/tests.
+    pub fn fleet(&self) -> &SourceFleet {
+        &self.fleet
+    }
+
+    /// The server's view of last-known values.
+    pub fn view(&self) -> &ServerView {
+        &self.view
+    }
+
+    /// The protocol state.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Workload events applied so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Reports (workload-triggered + induced syncs) the protocol handled.
+    pub fn reports_processed(&self) -> u64 {
+        self.reports_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::VecWorkload;
+    use streamnet::Filter;
+
+    /// Minimal protocol: installs a fixed filter everywhere and records
+    /// every report it sees.
+    struct Recorder {
+        filter: Filter,
+        seen: Vec<(StreamId, f64)>,
+        answer: AnswerSet,
+    }
+
+    impl Protocol for Recorder {
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+        fn initialize(&mut self, ctx: &mut ServerCtx<'_>) {
+            ctx.probe_all();
+            ctx.broadcast(self.filter.clone());
+        }
+        fn on_update(&mut self, id: StreamId, value: f64, _ctx: &mut ServerCtx<'_>) {
+            self.seen.push((id, value));
+        }
+        fn answer(&self) -> AnswerSet {
+            self.answer.clone()
+        }
+    }
+
+    fn ev(t: f64, s: u32, v: f64) -> UpdateEvent {
+        UpdateEvent { time: t, stream: StreamId(s), value: v }
+    }
+
+    #[test]
+    fn silent_updates_do_not_reach_protocol() {
+        let initial = vec![500.0, 100.0];
+        let rec = Recorder {
+            filter: Filter::interval(400.0, 600.0),
+            seen: Vec::new(),
+            answer: AnswerSet::new(),
+        };
+        let mut engine = Engine::new(&initial, rec);
+        let mut w = VecWorkload::new(
+            initial.clone(),
+            vec![
+                ev(1.0, 0, 550.0), // inside -> inside: silent
+                ev(2.0, 0, 700.0), // inside -> outside: report
+                ev(3.0, 1, 50.0),  // outside -> outside: silent
+                ev(4.0, 1, 450.0), // outside -> inside: report
+            ],
+        );
+        engine.run(&mut w);
+        assert_eq!(
+            engine.protocol().seen,
+            vec![(StreamId(0), 700.0), (StreamId(1), 450.0)]
+        );
+        assert_eq!(engine.events_processed(), 4);
+        assert_eq!(engine.reports_processed(), 2);
+        // 2n probes + n broadcast + 2 updates = 4 + 2 + 2 = 8
+        assert_eq!(engine.ledger().total(), 8);
+    }
+
+    #[test]
+    fn run_initializes_automatically() {
+        let initial = vec![1.0];
+        let rec =
+            Recorder { filter: Filter::ReportAll, seen: Vec::new(), answer: AnswerSet::new() };
+        let mut engine = Engine::new(&initial, rec);
+        let mut w = VecWorkload::new(initial.clone(), vec![ev(0.5, 0, 2.0)]);
+        engine.run(&mut w);
+        assert_eq!(engine.protocol().seen.len(), 1);
+        assert!(engine.now() >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already initialized")]
+    fn double_initialize_panics() {
+        let rec =
+            Recorder { filter: Filter::ReportAll, seen: Vec::new(), answer: AnswerSet::new() };
+        let mut engine = Engine::new(&[1.0], rec);
+        engine.initialize();
+        engine.initialize();
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn backwards_time_panics() {
+        let rec =
+            Recorder { filter: Filter::ReportAll, seen: Vec::new(), answer: AnswerSet::new() };
+        let mut engine = Engine::new(&[1.0], rec);
+        engine.initialize();
+        engine.apply_event(ev(5.0, 0, 1.0));
+        engine.apply_event(ev(4.0, 0, 1.0));
+    }
+
+    #[test]
+    fn hook_runs_at_every_quiescent_point() {
+        let initial = vec![1.0];
+        let rec =
+            Recorder { filter: Filter::ReportAll, seen: Vec::new(), answer: AnswerSet::new() };
+        let mut engine = Engine::new(&initial, rec);
+        let mut w =
+            VecWorkload::new(initial.clone(), vec![ev(1.0, 0, 2.0), ev(2.0, 0, 3.0)]);
+        let mut calls = 0;
+        engine.run_with_hook(&mut w, |_, _, _| calls += 1);
+        assert_eq!(calls, 3); // post-init + 2 events
+    }
+}

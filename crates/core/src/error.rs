@@ -1,0 +1,49 @@
+//! Error types for configuration validation.
+
+use std::fmt;
+
+/// A query/tolerance/protocol configuration was rejected.
+///
+/// All protocol constructors validate their parameters up front so that a
+/// simulation can never start from an incoherent configuration (e.g. a rank
+/// requirement larger than the stream population, or a fraction tolerance
+/// outside the paper's `< 0.5` assumption).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A tolerance parameter is out of its valid domain.
+    InvalidTolerance(String),
+    /// A query parameter is out of its valid domain.
+    InvalidQuery(String),
+    /// A protocol-level requirement on the configuration failed.
+    InvalidProtocol(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidTolerance(msg) => write!(f, "invalid tolerance: {msg}"),
+            ConfigError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            ConfigError::InvalidProtocol(msg) => write!(f, "invalid protocol config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = ConfigError::InvalidTolerance("eps must be <= 0.5".into());
+        assert!(e.to_string().contains("eps must be <= 0.5"));
+        assert!(e.to_string().contains("invalid tolerance"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::InvalidQuery("bad".into()));
+        assert!(e.to_string().contains("bad"));
+    }
+}

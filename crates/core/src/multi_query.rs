@@ -1,0 +1,309 @@
+//! Multiple concurrent queries over one stream population (paper §7: "We
+//! plan to extend the protocols to support multiple queries").
+//!
+//! Running `m` independent ZT-NRP instances installs `m` filters per source
+//! and reports every boundary crossing of every query separately. This
+//! module shares **one** filter per source instead: the *elementary cell*
+//! of the current value — the maximal interval over which the value's
+//! membership signature (inside/outside of each query) is constant.
+//!
+//! Cells are built from the *cut set*: each query `[l, u]` changes
+//! membership at `l` (values `< l` vs `>= l`) and just above `u` (values
+//! `<= u` vs `> u`), so the cuts are `{l_i} ∪ {next_up(u_i)}`. The cell of
+//! `v` is `[a, next_down(b)]` with `a` the greatest cut `<= v` and `b` the
+//! least cut `> v`. A source's filter is violated **exactly** when its
+//! membership signature changes — no false silence, no spurious reports
+//! beyond the per-crossing filter reinstallation.
+
+use std::sync::Arc;
+
+use streamnet::{Filter, StreamId};
+
+use crate::answer::AnswerSet;
+use crate::error::ConfigError;
+use crate::protocol::{Protocol, ServerCtx};
+use crate::query::RangeQuery;
+
+/// How the elementary cells reach the sources.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CellMode {
+    /// The server installs the current elementary interval and re-installs
+    /// it after every report (2 messages per signature change). Stays
+    /// strictly within the paper's interval-filter model.
+    #[default]
+    ServerManaged,
+    /// The whole cut table is shipped to every source once
+    /// ([`Filter::cells`]); sources re-derive their own cell forever after
+    /// (1 message per signature change, no reinstallations). This
+    /// library's extension of the filter model.
+    SourceResident,
+}
+
+/// Zero-tolerance maintenance of several range queries with one shared
+/// elementary-cell filter per source.
+pub struct MultiRangeZt {
+    queries: Vec<RangeQuery>,
+    /// Sorted, deduplicated membership cut points.
+    cuts: Arc<[f64]>,
+    mode: CellMode,
+    answers: Vec<AnswerSet>,
+}
+
+impl MultiRangeZt {
+    /// Creates the protocol over a non-empty set of range queries with the
+    /// default server-managed cells.
+    pub fn new(queries: Vec<RangeQuery>) -> Result<Self, ConfigError> {
+        Self::with_mode(queries, CellMode::default())
+    }
+
+    /// Creates the protocol with an explicit [`CellMode`].
+    pub fn with_mode(queries: Vec<RangeQuery>, mode: CellMode) -> Result<Self, ConfigError> {
+        if queries.is_empty() {
+            return Err(ConfigError::InvalidQuery("need at least one range query".into()));
+        }
+        let mut cuts: Vec<f64> = queries
+            .iter()
+            .flat_map(|q| [q.lo(), q.hi().next_up()])
+            .collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("query bounds are finite"));
+        cuts.dedup();
+        let answers = vec![AnswerSet::new(); queries.len()];
+        Ok(Self { queries, cuts: cuts.into(), mode, answers })
+    }
+
+    /// The queries being maintained.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// The answer of query `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn answer_of(&self, j: usize) -> &AnswerSet {
+        &self.answers[j]
+    }
+
+    /// The number of elementary cells the value domain is divided into.
+    pub fn num_cells(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The elementary cell of `v` as a closed-interval filter.
+    fn cell(&self, v: f64) -> Filter {
+        // a = greatest cut <= v  (or -inf); b = least cut > v (or +inf).
+        let idx = self.cuts.partition_point(|&c| c <= v);
+        let a = if idx == 0 { f64::NEG_INFINITY } else { self.cuts[idx - 1] };
+        let b = if idx == self.cuts.len() { f64::INFINITY } else { self.cuts[idx] };
+        let hi = if b.is_finite() { b.next_down() } else { b };
+        Filter::interval(a, hi)
+    }
+
+    /// The cell mode in use.
+    pub fn mode(&self) -> CellMode {
+        self.mode
+    }
+
+    fn refresh_memberships(&mut self, id: StreamId, v: f64) {
+        for (q, a) in self.queries.iter().zip(self.answers.iter_mut()) {
+            if q.contains(v) {
+                a.insert(id);
+            } else {
+                a.remove(id);
+            }
+        }
+    }
+}
+
+impl Protocol for MultiRangeZt {
+    fn name(&self) -> &'static str {
+        "MULTI-ZT"
+    }
+
+    fn initialize(&mut self, ctx: &mut ServerCtx<'_>) {
+        ctx.probe_all();
+        let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
+        for &(id, v) in &values {
+            self.refresh_memberships(id, v);
+            let filter = match self.mode {
+                CellMode::ServerManaged => self.cell(v),
+                CellMode::SourceResident => Filter::cells(Arc::clone(&self.cuts)),
+            };
+            ctx.install(id, filter);
+        }
+    }
+
+    fn on_update(&mut self, id: StreamId, value: f64, ctx: &mut ServerCtx<'_>) {
+        self.refresh_memberships(id, value);
+        // Server-managed cells must be re-installed after every report
+        // (1 extra message); a source-resident cut table already knows
+        // every cell.
+        if self.mode == CellMode::ServerManaged {
+            ctx.install(id, self.cell(value));
+        }
+    }
+
+    /// The union of all query answers (per-query answers via
+    /// [`MultiRangeZt::answer_of`]).
+    fn answer(&self) -> AnswerSet {
+        self.answers.iter().flat_map(|a| a.iter()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::workload::UpdateEvent;
+
+    fn ev(t: f64, s: u32, v: f64) -> UpdateEvent {
+        UpdateEvent { time: t, stream: StreamId(s), value: v }
+    }
+
+    fn queries() -> Vec<RangeQuery> {
+        vec![
+            RangeQuery::new(100.0, 300.0).unwrap(),
+            RangeQuery::new(200.0, 500.0).unwrap(), // overlaps the first
+            RangeQuery::new(800.0, 900.0).unwrap(), // disjoint
+        ]
+    }
+
+    #[test]
+    fn cells_partition_the_line() {
+        let p = MultiRangeZt::new(queries()).unwrap();
+        // Cuts: 100, next_up(300), 200, next_up(500), 800, next_up(900) -> 6
+        // cells = 7.
+        assert_eq!(p.num_cells(), 7);
+        // A value and its cell agree on every query's membership.
+        for v in [0.0, 100.0, 150.0, 200.0, 250.0, 300.0, 300.1, 499.0, 650.0, 850.0, 950.0] {
+            let cell = p.cell(v);
+            assert!(cell.contains(v), "cell of {v} must contain it");
+            // Sample the cell edges: membership must match v's.
+            for q in p.queries() {
+                if let Filter::Interval { lo, hi } = cell {
+                    for probe in [lo.max(-1e6), v, hi.min(1e6)] {
+                        assert_eq!(
+                            q.contains(probe),
+                            q.contains(v),
+                            "query {q:?} differs within cell {lo}..{hi} (v={v}, probe={probe})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn answers_track_truth_exactly() {
+        let initial = vec![150.0, 250.0, 400.0, 850.0, 600.0];
+        let mut engine = Engine::new(&initial, MultiRangeZt::new(queries()).unwrap());
+        engine.initialize();
+        let p = engine.protocol();
+        assert_eq!(p.answer_of(0).iter().collect::<Vec<_>>(), vec![StreamId(0), StreamId(1)]);
+        assert_eq!(p.answer_of(1).iter().collect::<Vec<_>>(), vec![StreamId(1), StreamId(2)]);
+        assert_eq!(p.answer_of(2).iter().collect::<Vec<_>>(), vec![StreamId(3)]);
+
+        // S4 (600, in nothing) moves into the overlap of Q0 and Q1.
+        engine.apply_event(ev(1.0, 4, 250.0));
+        let p = engine.protocol();
+        assert!(p.answer_of(0).contains(StreamId(4)) && p.answer_of(1).contains(StreamId(4)));
+
+        // S1 leaves Q0 but stays in Q1 (signature change within [200, 300] ->
+        // (300, 500]).
+        engine.apply_event(ev(2.0, 1, 350.0));
+        let p = engine.protocol();
+        assert!(!p.answer_of(0).contains(StreamId(1)));
+        assert!(p.answer_of(1).contains(StreamId(1)));
+    }
+
+    #[test]
+    fn same_signature_moves_are_silent() {
+        let initial = vec![150.0, 600.0];
+        let mut engine = Engine::new(&initial, MultiRangeZt::new(queries()).unwrap());
+        engine.initialize();
+        let base = engine.ledger().total();
+        engine.apply_event(ev(1.0, 0, 199.0)); // still only in Q0
+        engine.apply_event(ev(2.0, 1, 700.0)); // still in nothing
+        assert_eq!(engine.ledger().total(), base, "signature-preserving moves are free");
+        // Crossing into Q1's overlap reports once and reinstalls once.
+        engine.apply_event(ev(3.0, 0, 250.0));
+        assert_eq!(engine.ledger().total(), base + 2);
+    }
+
+    #[test]
+    fn boundary_values_are_handled_exactly() {
+        let qs = vec![RangeQuery::new(100.0, 300.0).unwrap()];
+        let initial = vec![300.0]; // exactly on the closed upper bound: inside
+        let mut engine = Engine::new(&initial, MultiRangeZt::new(qs).unwrap());
+        engine.initialize();
+        assert!(engine.protocol().answer_of(0).contains(StreamId(0)));
+        // The smallest possible move out must be caught.
+        engine.apply_event(ev(1.0, 0, 300.0f64.next_up()));
+        assert!(!engine.protocol().answer_of(0).contains(StreamId(0)));
+        // And back in.
+        engine.apply_event(ev(2.0, 0, 300.0));
+        assert!(engine.protocol().answer_of(0).contains(StreamId(0)));
+    }
+
+    #[test]
+    fn union_answer_combines_queries() {
+        let initial = vec![150.0, 850.0];
+        let mut engine = Engine::new(&initial, MultiRangeZt::new(queries()).unwrap());
+        engine.initialize();
+        let union = engine.answer();
+        assert!(union.contains(StreamId(0)) && union.contains(StreamId(1)));
+    }
+
+    #[test]
+    fn rejects_empty_query_set() {
+        assert!(MultiRangeZt::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn source_resident_matches_server_managed_with_fewer_messages() {
+        let initial = vec![150.0, 250.0, 400.0, 850.0, 600.0, 50.0];
+        let events = vec![
+            ev(1.0, 4, 250.0),
+            ev(2.0, 1, 350.0),
+            ev(3.0, 5, 120.0),
+            ev(4.0, 0, 880.0),
+            ev(5.0, 2, 210.0),
+        ];
+
+        let run = |mode: CellMode| {
+            let p = MultiRangeZt::with_mode(queries(), mode).unwrap();
+            let mut engine = Engine::new(&initial, p);
+            engine.initialize();
+            for e in &events {
+                engine.apply_event(*e);
+            }
+            let answers: Vec<AnswerSet> =
+                (0..3).map(|j| engine.protocol().answer_of(j).clone()).collect();
+            (answers, engine.ledger().total())
+        };
+
+        let (managed_answers, managed_msgs) = run(CellMode::ServerManaged);
+        let (resident_answers, resident_msgs) = run(CellMode::SourceResident);
+        assert_eq!(managed_answers, resident_answers, "both modes are exact");
+        assert!(
+            resident_msgs < managed_msgs,
+            "source-resident ({resident_msgs}) must beat server-managed ({managed_msgs})"
+        );
+    }
+
+    #[test]
+    fn source_resident_signature_moves_cost_one_message() {
+        let initial = vec![150.0];
+        let p = MultiRangeZt::with_mode(queries(), CellMode::SourceResident).unwrap();
+        let mut engine = Engine::new(&initial, p);
+        engine.initialize();
+        let base = engine.ledger().total();
+        engine.apply_event(ev(1.0, 0, 199.0)); // same signature: free
+        assert_eq!(engine.ledger().total(), base);
+        engine.apply_event(ev(2.0, 0, 250.0)); // crossing: exactly 1 update
+        assert_eq!(engine.ledger().total(), base + 1);
+    }
+
+    use crate::answer::AnswerSet;
+}

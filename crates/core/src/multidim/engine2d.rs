@@ -1,0 +1,247 @@
+//! The 2-D simulation engine — [`crate::engine::Engine`] for point streams.
+
+use std::collections::VecDeque;
+
+use simkit::SimTime;
+use streamnet::{Ledger, StreamId};
+
+use super::fleet::{PointFleet, PointView};
+use super::point::Point2;
+use super::region::Region;
+use crate::answer::AnswerSet;
+
+/// A movement event produced by a 2-D workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MoveEvent {
+    /// Simulation time.
+    pub time: SimTime,
+    /// Which object moved.
+    pub stream: StreamId,
+    /// Its new position.
+    pub to: Point2,
+}
+
+/// A time-ordered source of movement events.
+pub trait Workload2d {
+    /// Population size.
+    fn num_streams(&self) -> usize;
+    /// Initial positions (length = `num_streams`).
+    fn initial_positions(&self) -> Vec<Point2>;
+    /// Next event, or `None` when exhausted.
+    fn next_event(&mut self) -> Option<MoveEvent>;
+}
+
+/// The server gateway for 2-D protocols (mirrors
+/// [`crate::protocol::ServerCtx`]).
+pub struct Ctx2d<'a> {
+    fleet: &'a mut PointFleet,
+    ledger: &'a mut Ledger,
+    pending: &'a mut VecDeque<(StreamId, Point2)>,
+}
+
+impl<'a> Ctx2d<'a> {
+    /// Number of streams.
+    pub fn n(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// The server's view of last-known positions.
+    pub fn view(&self) -> &PointView {
+        self.fleet.view()
+    }
+
+    /// Probes one source (2 messages).
+    pub fn probe(&mut self, id: StreamId) -> Point2 {
+        self.fleet.probe(id, self.ledger)
+    }
+
+    /// Probes every source (`2n` messages).
+    pub fn probe_all(&mut self) {
+        self.fleet.probe_all(self.ledger);
+    }
+
+    /// Installs a region at one source; syncs are deferred.
+    pub fn install(&mut self, id: StreamId, region: Region) {
+        if let Some(p) = self.fleet.install(id, region, self.ledger) {
+            self.pending.push_back((id, p));
+        }
+    }
+
+    /// Broadcasts a region; syncs are deferred.
+    pub fn broadcast(&mut self, region: Region) {
+        for sync in self.fleet.broadcast(region, self.ledger) {
+            self.pending.push_back(sync);
+        }
+    }
+}
+
+/// A 2-D server-side protocol.
+pub trait Protocol2d {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+    /// Initialization phase.
+    fn initialize(&mut self, ctx: &mut Ctx2d<'_>);
+    /// Maintenance phase: one report reached the server.
+    fn on_update(&mut self, id: StreamId, p: Point2, ctx: &mut Ctx2d<'_>);
+    /// The current answer set.
+    fn answer(&self) -> AnswerSet;
+}
+
+const CASCADE_CAP: usize = 1_000_000;
+
+/// Drives a 2-D protocol from a 2-D workload.
+pub struct Engine2d<P: Protocol2d> {
+    fleet: PointFleet,
+    ledger: Ledger,
+    pending: VecDeque<(StreamId, Point2)>,
+    protocol: P,
+    now: SimTime,
+    events: u64,
+    initialized: bool,
+}
+
+impl<P: Protocol2d> Engine2d<P> {
+    /// Creates the engine over initial positions.
+    pub fn new(initial: &[Point2], protocol: P) -> Self {
+        Self {
+            fleet: PointFleet::from_positions(initial),
+            ledger: Ledger::new(),
+            pending: VecDeque::new(),
+            protocol,
+            now: 0.0,
+            events: 0,
+            initialized: false,
+        }
+    }
+
+    /// Runs the Initialization phase.
+    pub fn initialize(&mut self) {
+        assert!(!self.initialized, "engine already initialized");
+        self.initialized = true;
+        let mut ctx = Ctx2d {
+            fleet: &mut self.fleet,
+            ledger: &mut self.ledger,
+            pending: &mut self.pending,
+        };
+        self.protocol.initialize(&mut ctx);
+        self.drain();
+    }
+
+    /// Applies one movement event; drains induced resolution work.
+    pub fn apply_event(&mut self, ev: MoveEvent) {
+        assert!(self.initialized, "initialize first");
+        assert!(ev.time >= self.now, "events must be time-ordered");
+        self.now = ev.time;
+        self.events += 1;
+        if let Some(p) = self.fleet.deliver_update(ev.stream, ev.to, &mut self.ledger) {
+            let mut ctx = Ctx2d {
+                fleet: &mut self.fleet,
+                ledger: &mut self.ledger,
+                pending: &mut self.pending,
+            };
+            self.protocol.on_update(ev.stream, p, &mut ctx);
+            self.drain();
+        }
+    }
+
+    fn drain(&mut self) {
+        let mut steps = 0;
+        while let Some((id, p)) = self.pending.pop_front() {
+            steps += 1;
+            assert!(steps <= CASCADE_CAP, "2-D resolution cascade did not converge");
+            let mut ctx = Ctx2d {
+                fleet: &mut self.fleet,
+                ledger: &mut self.ledger,
+                pending: &mut self.pending,
+            };
+            self.protocol.on_update(id, p, &mut ctx);
+        }
+    }
+
+    /// Initializes (if needed) and consumes the workload.
+    pub fn run<W: Workload2d + ?Sized>(&mut self, workload: &mut W) {
+        if !self.initialized {
+            self.initialize();
+        }
+        while let Some(ev) = workload.next_event() {
+            self.apply_event(ev);
+        }
+    }
+
+    /// Like [`Engine2d::run`] with a quiescent-point hook for the oracle.
+    pub fn run_with_hook<W: Workload2d + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        mut hook: impl FnMut(&PointFleet, &P, SimTime),
+    ) {
+        if !self.initialized {
+            self.initialize();
+        }
+        hook(&self.fleet, &self.protocol, self.now);
+        while let Some(ev) = workload.next_event() {
+            self.apply_event(ev);
+            hook(&self.fleet, &self.protocol, self.now);
+        }
+    }
+
+    /// The message ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Ground truth for oracles/tests.
+    pub fn fleet(&self) -> &PointFleet {
+        &self.fleet
+    }
+
+    /// The protocol state.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current answer.
+    pub fn answer(&self) -> AnswerSet {
+        self.protocol.answer()
+    }
+
+    /// Events applied.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl Protocol2d for Null {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn initialize(&mut self, ctx: &mut Ctx2d<'_>) {
+            ctx.probe_all();
+            ctx.broadcast(Region::All);
+        }
+        fn on_update(&mut self, _: StreamId, _: Point2, _: &mut Ctx2d<'_>) {}
+        fn answer(&self) -> AnswerSet {
+            AnswerSet::new()
+        }
+    }
+
+    #[test]
+    fn wildcard_broadcast_silences_everything() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(5.0, 5.0)];
+        let mut engine = Engine2d::new(&pts, Null);
+        engine.initialize();
+        let base = engine.ledger().total();
+        assert_eq!(base, 4 + 2); // 2n probes + n broadcast
+        engine.apply_event(MoveEvent {
+            time: 1.0,
+            stream: StreamId(0),
+            to: Point2::new(100.0, 100.0),
+        });
+        assert_eq!(engine.ledger().total(), base);
+        assert_eq!(engine.events_processed(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! FT-NRP in the plane: fraction-tolerant rectangle (window) queries.
+//!
+//! The Figure-7 protocol with the query interval `[l, u]` replaced by an
+//! axis-aligned rectangle — the "danger zone" of the paper's §3.4 example
+//! in its natural 2-D form. Budgets, the `count` mechanism, and `Fix_Error`
+//! are untouched: they never look at the geometry, only at membership.
+
+use std::collections::BTreeSet;
+
+use simkit::SimRng;
+use streamnet::StreamId;
+
+use super::engine2d::{Ctx2d, Protocol2d};
+use super::point::Point2;
+use super::region::Region;
+use crate::answer::AnswerSet;
+use crate::error::ConfigError;
+use crate::protocol::heuristics::SelectionHeuristic;
+use crate::tolerance::FractionTolerance;
+
+/// Fraction-tolerant 2-D window query protocol (FT-NRP lifted to 2-D).
+pub struct FtRect2d {
+    rect: Region,
+    tol: FractionTolerance,
+    heuristic: SelectionHeuristic,
+    rng: SimRng,
+    answer: AnswerSet,
+    count: u64,
+    fp_filters: Vec<StreamId>,
+    fn_filters: Vec<StreamId>,
+    fix_errors: u64,
+}
+
+impl FtRect2d {
+    /// Creates the protocol for the closed rectangle `[lo, hi]`.
+    pub fn new(
+        lo: Point2,
+        hi: Point2,
+        tol: FractionTolerance,
+        heuristic: SelectionHeuristic,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if lo.x > hi.x || lo.y > hi.y {
+            return Err(ConfigError::InvalidQuery(format!(
+                "rectangle requires lo <= hi, got {lo} .. {hi}"
+            )));
+        }
+        Ok(Self {
+            rect: Region::rect(lo, hi),
+            tol,
+            heuristic,
+            rng: SimRng::seed_from_u64(seed),
+            answer: AnswerSet::new(),
+            count: 0,
+            fp_filters: Vec::new(),
+            fn_filters: Vec::new(),
+            fix_errors: 0,
+        })
+    }
+
+    /// The window region.
+    pub fn rect(&self) -> &Region {
+        &self.rect
+    }
+
+    /// Live wildcard filters (`n⁺`).
+    pub fn n_plus(&self) -> usize {
+        self.fp_filters.len()
+    }
+
+    /// Live suppress filters (`n⁻`).
+    pub fn n_minus(&self) -> usize {
+        self.fn_filters.len()
+    }
+
+    /// `Fix_Error` executions.
+    pub fn fix_errors(&self) -> u64 {
+        self.fix_errors
+    }
+
+    fn deploy(&mut self, ctx: &mut Ctx2d<'_>) {
+        self.answer.clear();
+        self.fp_filters.clear();
+        self.fn_filters.clear();
+        self.count = 0;
+
+        let mut inside = Vec::new();
+        let mut outside = Vec::new();
+        for (id, p) in ctx.view().iter_known() {
+            if self.rect.contains(p) {
+                inside.push(id);
+            } else {
+                outside.push(id);
+            }
+        }
+        self.answer = inside.iter().copied().collect();
+
+        let n_plus = self.tol.max_false_positive_filters(inside.len());
+        let n_minus = self.tol.max_false_negative_filters(inside.len());
+        let rect = self.rect;
+        let view = ctx.view();
+        let dist = |id: StreamId| rect.boundary_distance(view.get(id));
+        self.fp_filters = self.heuristic.select(&inside, n_plus, dist, &mut self.rng);
+        self.fn_filters = self.heuristic.select(&outside, n_minus, dist, &mut self.rng);
+
+        let fp: BTreeSet<StreamId> = self.fp_filters.iter().copied().collect();
+        let fn_: BTreeSet<StreamId> = self.fn_filters.iter().copied().collect();
+        for id in inside {
+            let f = if fp.contains(&id) { Region::All } else { self.rect };
+            ctx.install(id, f);
+        }
+        for id in outside {
+            let f = if fn_.contains(&id) { Region::Empty } else { self.rect };
+            ctx.install(id, f);
+        }
+    }
+
+    fn fix_error(&mut self, ctx: &mut Ctx2d<'_>) {
+        self.fix_errors += 1;
+        if let Some(sy) = self.fp_filters.pop() {
+            let py = ctx.probe(sy);
+            ctx.install(sy, self.rect);
+            if self.rect.contains(py) {
+                return;
+            }
+            self.answer.remove(sy);
+        }
+        if let Some(sz) = self.fn_filters.pop() {
+            let pz = ctx.probe(sz);
+            ctx.install(sz, self.rect);
+            if self.rect.contains(pz) {
+                self.answer.insert(sz);
+            }
+        }
+    }
+}
+
+impl Protocol2d for FtRect2d {
+    fn name(&self) -> &'static str {
+        "FT-RECT-2D"
+    }
+
+    fn initialize(&mut self, ctx: &mut Ctx2d<'_>) {
+        ctx.probe_all();
+        self.deploy(ctx);
+    }
+
+    fn on_update(&mut self, id: StreamId, p: Point2, ctx: &mut Ctx2d<'_>) {
+        if self.rect.contains(p) {
+            if self.answer.insert(id) {
+                self.count += 1;
+            }
+        } else if self.answer.remove(id) {
+            if self.count > 0 {
+                self.count -= 1;
+            } else {
+                self.fix_error(ctx);
+            }
+        }
+    }
+
+    fn answer(&self) -> AnswerSet {
+        self.answer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multidim::engine2d::{Engine2d, MoveEvent};
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    /// 10 inside a 10x10 window at the origin, 10 outside.
+    fn positions() -> Vec<Point2> {
+        let mut v: Vec<Point2> = (0..10).map(|i| p(1.0 + 0.8 * i as f64, 5.0)).collect();
+        v.extend((0..10).map(|i| p(20.0 + i as f64, 20.0)));
+        v
+    }
+
+    fn engine(eps: f64) -> Engine2d<FtRect2d> {
+        let protocol = FtRect2d::new(
+            p(0.0, 0.0),
+            p(10.0, 10.0),
+            FractionTolerance::symmetric(eps).unwrap(),
+            SelectionHeuristic::Random,
+            5,
+        )
+        .unwrap();
+        let mut e = Engine2d::new(&positions(), protocol);
+        e.initialize();
+        e
+    }
+
+    fn ev(t: f64, s: u32, to: Point2) -> MoveEvent {
+        MoveEvent { time: t, stream: StreamId(s), to }
+    }
+
+    #[test]
+    fn initialization_budgets() {
+        let e = engine(0.25);
+        assert_eq!(e.answer().len(), 10);
+        assert_eq!(e.protocol().n_plus(), 2);
+        assert_eq!(e.protocol().n_minus(), 2);
+    }
+
+    #[test]
+    fn silenced_objects_never_report() {
+        let mut e = engine(0.25);
+        let silenced: Vec<StreamId> = e
+            .protocol()
+            .fp_filters
+            .iter()
+            .chain(&e.protocol().fn_filters)
+            .copied()
+            .collect();
+        let base = e.ledger().total();
+        for (i, id) in silenced.into_iter().enumerate() {
+            e.apply_event(ev(1.0 + i as f64, id.0, p(500.0, 500.0)));
+        }
+        assert_eq!(e.ledger().total(), base);
+    }
+
+    #[test]
+    fn fraction_tolerance_holds_through_churn() {
+        let tol = FractionTolerance::symmetric(0.25).unwrap();
+        let mut e = engine(0.25);
+        let rect = Region::rect(p(0.0, 0.0), p(10.0, 10.0));
+        let moves = [
+            ev(1.0, 0, p(50.0, 5.0)),
+            ev(2.0, 12, p(5.0, 5.0)),
+            ev(3.0, 3, p(5.0, 50.0)),
+            ev(4.0, 1, p(-5.0, 5.0)),
+            ev(5.0, 15, p(2.0, 2.0)),
+        ];
+        for m in moves {
+            e.apply_event(m);
+            let metrics = e
+                .answer()
+                .fraction_metrics(e.fleet().len(), |id| rect.contains(e.fleet().source(id).position()));
+            assert!(
+                metrics.within(&tol),
+                "t={}: F+={:.3} F-={:.3}",
+                m.time,
+                metrics.f_plus(),
+                metrics.f_minus()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_inverted_rect() {
+        assert!(FtRect2d::new(
+            p(10.0, 0.0),
+            p(0.0, 10.0),
+            FractionTolerance::zero(),
+            SelectionHeuristic::Random,
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Multi-dimensional extension (paper §7: "The concepts of our protocols
+//! can be extended to multiple dimensions. … Although the protocols and
+//! examples presented in this paper are one-dimensional, our techniques can
+//! be generalized to higher dimension cases.").
+//!
+//! This module is that generalization for 2-D point streams — the
+//! location-monitoring scenario of the paper's introduction. The geometry
+//! changes (regions are disks and rectangles instead of intervals, the
+//! rank key is Euclidean distance) but the protocol logic carries over:
+//!
+//! * [`region::Region`] — 2-D filter constraints with the same crossing
+//!   semantics as 1-D intervals (including the wildcard/suppress specials);
+//! * [`fleet::PointFleet`] — 2-D sources with the same probe / install /
+//!   broadcast message accounting (reusing [`streamnet::Ledger`]);
+//! * [`rtp2d::Rtp2d`] — RTP for continuous 2-D k-NN with rank tolerance:
+//!   the bound `R` becomes a disk positioned halfway (in radius) between
+//!   the `(k+r)`-th and `(k+r+1)`-st nearest neighbours;
+//! * [`ft_rect::FtRect2d`] — FT-NRP for 2-D rectangle (window) queries
+//!   with fraction tolerance;
+//! * [`oracle2d`] — ground-truth tolerance checking in 2-D.
+
+pub mod engine2d;
+pub mod fleet;
+pub mod ft_rect;
+pub mod oracle2d;
+pub mod point;
+pub mod region;
+pub mod rtp2d;
+
+pub use engine2d::Engine2d;
+pub use fleet::PointFleet;
+pub use ft_rect::FtRect2d;
+pub use point::Point2;
+pub use region::Region;
+pub use rtp2d::Rtp2d;

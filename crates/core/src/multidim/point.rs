@@ -1,0 +1,55 @@
+//! 2-D points for location streams.
+
+/// A point in the plane (e.g. an object position in location monitoring).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point2 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite coordinates (stream values must be finite, as
+    /// in the 1-D model).
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "point coordinates must be finite: ({x}, {y})");
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point — the 2-D rank key.
+    #[inline]
+    pub fn distance(&self, other: Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl std::fmt::Display for Point2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Point2::new(f64::NAN, 0.0);
+    }
+}

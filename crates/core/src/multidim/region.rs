@@ -1,0 +1,163 @@
+//! 2-D filter constraints with the §3.1 crossing semantics.
+
+use super::point::Point2;
+
+/// A 2-D region used as a filter constraint. The violation rule is the
+/// 1-D rule verbatim: a source reports exactly when its point's membership
+/// changes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Region {
+    /// No filter: every update is reported.
+    ReportAll,
+    /// Contains every point — the 2-D `[-∞, ∞]` wildcard ("false positive
+    /// filter"); the source never reports.
+    All,
+    /// Contains no point — the 2-D `[∞, ∞]` suppressor ("false negative
+    /// filter"); the source never reports.
+    Empty,
+    /// Closed disk around a centre — the k-NN bound `R`.
+    Disk {
+        /// Disk centre (the query point).
+        center: Point2,
+        /// Disk radius (>= 0).
+        radius: f64,
+    },
+    /// Closed axis-aligned rectangle — the 2-D range (window) query.
+    Rect {
+        /// Lower-left corner.
+        lo: Point2,
+        /// Upper-right corner.
+        hi: Point2,
+    },
+}
+
+impl Region {
+    /// A disk region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite radius.
+    pub fn disk(center: Point2, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "disk radius must be >= 0, got {radius}");
+        Region::Disk { center, radius }
+    }
+
+    /// A rectangle region.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo.x <= hi.x && lo.y <= hi.y`.
+    pub fn rect(lo: Point2, hi: Point2) -> Self {
+        assert!(lo.x <= hi.x && lo.y <= hi.y, "rect requires lo <= hi, got {lo} .. {hi}");
+        Region::Rect { lo, hi }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        match *self {
+            Region::ReportAll | Region::All => true,
+            Region::Empty => false,
+            Region::Disk { center, radius } => center.distance(p) <= radius,
+            Region::Rect { lo, hi } => lo.x <= p.x && p.x <= hi.x && lo.y <= p.y && p.y <= hi.y,
+        }
+    }
+
+    /// The §3.1 violation test.
+    #[inline]
+    pub fn violated(&self, last_reported: Point2, current: Point2) -> bool {
+        match self {
+            Region::ReportAll => true,
+            _ => self.contains(last_reported) != self.contains(current),
+        }
+    }
+
+    /// Distance from `p` to the region boundary (0 on the boundary) —
+    /// the boundary-nearest selection score in 2-D.
+    pub fn boundary_distance(&self, p: Point2) -> f64 {
+        match *self {
+            Region::ReportAll | Region::All | Region::Empty => f64::INFINITY,
+            Region::Disk { center, radius } => (center.distance(p) - radius).abs(),
+            Region::Rect { lo, hi } => {
+                if self.contains(p) {
+                    (p.x - lo.x).min(hi.x - p.x).min(p.y - lo.y).min(hi.y - p.y)
+                } else {
+                    // Distance to the closest point of the rectangle.
+                    let cx = p.x.clamp(lo.x, hi.x);
+                    let cy = p.y.clamp(lo.y, hi.y);
+                    p.distance(Point2 { x: cx, y: cy })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn disk_membership_is_closed() {
+        let d = Region::disk(p(0.0, 0.0), 5.0);
+        assert!(d.contains(p(3.0, 4.0))); // on the boundary
+        assert!(d.contains(p(0.0, 0.0)));
+        assert!(!d.contains(p(3.1, 4.0)));
+    }
+
+    #[test]
+    fn rect_membership_is_closed() {
+        let r = Region::rect(p(0.0, 0.0), p(10.0, 5.0));
+        assert!(r.contains(p(0.0, 0.0)) && r.contains(p(10.0, 5.0)));
+        assert!(r.contains(p(5.0, 2.5)));
+        assert!(!r.contains(p(10.1, 2.0)) && !r.contains(p(5.0, -0.1)));
+    }
+
+    #[test]
+    fn violation_requires_crossing() {
+        let d = Region::disk(p(0.0, 0.0), 5.0);
+        assert!(!d.violated(p(1.0, 1.0), p(2.0, 2.0))); // inside -> inside
+        assert!(!d.violated(p(10.0, 0.0), p(0.0, 10.0))); // outside -> outside
+        assert!(d.violated(p(1.0, 1.0), p(10.0, 0.0)));
+        assert!(d.violated(p(10.0, 0.0), p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn all_and_empty_never_report() {
+        for region in [Region::All, Region::Empty] {
+            assert!(!region.violated(p(0.0, 0.0), p(1e6, -1e6)));
+        }
+        assert!(Region::All.contains(p(1e9, 1e9)));
+        assert!(!Region::Empty.contains(p(0.0, 0.0)));
+    }
+
+    #[test]
+    fn report_all_always_reports() {
+        assert!(Region::ReportAll.violated(p(1.0, 1.0), p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn disk_boundary_distance() {
+        let d = Region::disk(p(0.0, 0.0), 5.0);
+        assert_eq!(d.boundary_distance(p(3.0, 0.0)), 2.0); // inside
+        assert_eq!(d.boundary_distance(p(8.0, 0.0)), 3.0); // outside
+        assert_eq!(d.boundary_distance(p(5.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn rect_boundary_distance() {
+        let r = Region::rect(p(0.0, 0.0), p(10.0, 10.0));
+        assert_eq!(r.boundary_distance(p(1.0, 5.0)), 1.0); // inside, near left
+        assert_eq!(r.boundary_distance(p(12.0, 5.0)), 2.0); // right of rect
+        assert_eq!(r.boundary_distance(p(13.0, 14.0)), 5.0); // corner: 3-4-5
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn rejects_negative_radius() {
+        Region::disk(p(0.0, 0.0), -1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! RTP in the plane: rank-tolerant continuous 2-D k-NN.
+//!
+//! The Figure-5 protocol with the interval geometry swapped for disks: the
+//! bound `R` is a disk around the query point whose radius sits halfway
+//! between the `(k+r)`-th and `(k+r+1)`-st nearest objects. Cases 1–3 and
+//! the expansion search carry over unchanged because they only ever reason
+//! about *membership of R* and *distance rank* — exactly what §7 of the
+//! paper predicts ("our techniques can be generalized to higher dimension
+//! cases").
+
+use std::collections::BTreeSet;
+
+use streamnet::StreamId;
+
+use super::engine2d::{Ctx2d, Protocol2d};
+use super::fleet::PointView;
+use super::point::Point2;
+use super::region::Region;
+use crate::answer::AnswerSet;
+use crate::error::ConfigError;
+use crate::rank::cmp_key;
+
+/// Rank-tolerant 2-D k-NN (RTP lifted to the plane).
+pub struct Rtp2d {
+    q: Point2,
+    k: usize,
+    r: usize,
+    radius: f64,
+    answer: AnswerSet,
+    x: BTreeSet<StreamId>,
+    reinits: u64,
+    expansions: u64,
+}
+
+impl Rtp2d {
+    /// Creates the protocol for the k nearest objects to `q` with rank
+    /// slack `r`. Population size (`n > k + r`) is checked at
+    /// initialization.
+    pub fn new(q: Point2, k: usize, r: usize) -> Result<Self, ConfigError> {
+        if k == 0 {
+            return Err(ConfigError::InvalidQuery("k must be >= 1".into()));
+        }
+        Ok(Self {
+            q,
+            k,
+            r,
+            radius: f64::NAN,
+            answer: AnswerSet::new(),
+            x: BTreeSet::new(),
+            reinits: 0,
+            expansions: 0,
+        })
+    }
+
+    /// `ε = k + r`.
+    pub fn epsilon(&self) -> usize {
+        self.k + self.r
+    }
+
+    /// The query point.
+    pub fn query_point(&self) -> Point2 {
+        self.q
+    }
+
+    /// Current bound radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Buffer set `X(t)`.
+    pub fn x_set(&self) -> &BTreeSet<StreamId> {
+        &self.x
+    }
+
+    /// Forced full re-initializations.
+    pub fn reinits(&self) -> u64 {
+        self.reinits
+    }
+
+    /// Expansion searches run.
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    fn key(&self, view: &PointView, id: StreamId) -> f64 {
+        self.q.distance(view.get(id))
+    }
+
+    fn ranked(&self, view: &PointView) -> Vec<(f64, StreamId)> {
+        assert!(view.all_known(), "cannot rank a partially-known view");
+        let mut v: Vec<(f64, StreamId)> =
+            view.iter_known().map(|(id, p)| (self.q.distance(p), id)).collect();
+        v.sort_by(|&a, &b| cmp_key(a, b));
+        v
+    }
+
+    fn full_recompute(&mut self, ctx: &mut Ctx2d<'_>) {
+        let eps = self.epsilon();
+        assert!(ctx.n() > eps, "Rtp2d requires n > k + r (= {eps}), got n = {}", ctx.n());
+        let ranked = self.ranked(ctx.view());
+        self.answer = ranked.iter().take(self.k).map(|&(_, id)| id).collect();
+        self.x = ranked.iter().take(eps).map(|&(_, id)| id).collect();
+        self.radius = (ranked[eps - 1].0 + ranked[eps].0) / 2.0;
+        ctx.broadcast(Region::disk(self.q, self.radius));
+    }
+
+    fn answer_member_left(&mut self, id: StreamId, ctx: &mut Ctx2d<'_>) {
+        self.answer.remove(id);
+        self.x.remove(&id);
+        if self.x.len() > self.answer.len() {
+            let best = self
+                .x
+                .iter()
+                .filter(|s| !self.answer.contains(**s))
+                .map(|&s| (self.key(ctx.view(), s), s))
+                .min_by(|&a, &b| cmp_key(a, b))
+                .expect("X - A non-empty")
+                .1;
+            self.answer.insert(best);
+        } else {
+            self.expansion_search(ctx);
+        }
+    }
+
+    fn expansion_search(&mut self, ctx: &mut Ctx2d<'_>) {
+        self.expansions += 1;
+        let ranked = self.ranked(ctx.view());
+        let n = ranked.len();
+        let mut probed: BTreeSet<StreamId> = BTreeSet::new();
+        for j in (self.epsilon() + 1)..=n {
+            let d_prime = ranked[j - 1].0;
+            for &(_, id) in &ranked[..j] {
+                if !self.answer.contains(id) && probed.insert(id) {
+                    ctx.probe(id);
+                }
+            }
+            let mut u: Vec<(f64, StreamId)> = probed
+                .iter()
+                .map(|&id| (self.key(ctx.view(), id), id))
+                .filter(|&(key, _)| key <= d_prime)
+                .collect();
+            if u.len() >= 2 {
+                u.sort_by(|&a, &b| cmp_key(a, b));
+                self.answer.insert(u[0].1);
+                self.x = self.answer.iter().collect();
+                for &(_, id) in u.iter().take(self.r + 1) {
+                    self.x.insert(id);
+                }
+                // Redeploy the bound between global view ranks eps, eps+1.
+                let fresh = self.ranked(ctx.view());
+                let eps = self.epsilon();
+                self.radius = (fresh[eps - 1].0 + fresh[eps].0) / 2.0;
+                ctx.broadcast(Region::disk(self.q, self.radius));
+                return;
+            }
+        }
+        self.reinits += 1;
+        ctx.probe_all();
+        self.full_recompute(ctx);
+    }
+
+    fn object_entered(&mut self, id: StreamId, ctx: &mut Ctx2d<'_>) {
+        if self.x.len() < self.epsilon() {
+            self.x.insert(id);
+            return;
+        }
+        let members: Vec<StreamId> = self.x.iter().copied().collect();
+        for m in members {
+            ctx.probe(m);
+        }
+        let mut candidates: Vec<(f64, StreamId)> = self
+            .x
+            .iter()
+            .copied()
+            .chain(std::iter::once(id))
+            .map(|s| (self.key(ctx.view(), s), s))
+            .collect();
+        candidates.sort_by(|&a, &b| cmp_key(a, b));
+        self.answer = candidates.iter().take(self.k).map(|&(_, s)| s).collect();
+        let eps = self.epsilon();
+        self.x = candidates.iter().take(eps).map(|&(_, s)| s).collect();
+        self.radius = (candidates[eps - 1].0 + candidates[eps].0) / 2.0;
+        ctx.broadcast(Region::disk(self.q, self.radius));
+    }
+}
+
+impl Protocol2d for Rtp2d {
+    fn name(&self) -> &'static str {
+        "RTP-2D"
+    }
+
+    fn initialize(&mut self, ctx: &mut Ctx2d<'_>) {
+        ctx.probe_all();
+        self.full_recompute(ctx);
+    }
+
+    fn on_update(&mut self, id: StreamId, p: Point2, ctx: &mut Ctx2d<'_>) {
+        let inside = self.q.distance(p) <= self.radius;
+        let in_a = self.answer.contains(id);
+        let in_x = self.x.contains(&id);
+        match (in_a, in_x, inside) {
+            (true, _, false) => self.answer_member_left(id, ctx),
+            (false, true, false) => {
+                self.x.remove(&id);
+            }
+            (false, false, true) => self.object_entered(id, ctx),
+            _ => {}
+        }
+    }
+
+    fn answer(&self) -> AnswerSet {
+        self.answer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multidim::engine2d::{Engine2d, MoveEvent};
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    /// 8 objects in a ring of growing radius around the origin.
+    fn ring() -> Vec<Point2> {
+        (0..8)
+            .map(|i| {
+                let angle = i as f64 * std::f64::consts::FRAC_PI_4;
+                let radius = 5.0 + 5.0 * i as f64;
+                p(radius * angle.cos(), radius * angle.sin())
+            })
+            .collect()
+    }
+
+    fn engine(k: usize, r: usize) -> Engine2d<Rtp2d> {
+        let mut e = Engine2d::new(&ring(), Rtp2d::new(p(0.0, 0.0), k, r).unwrap());
+        e.initialize();
+        e
+    }
+
+    fn ev(t: f64, s: u32, to: Point2) -> MoveEvent {
+        MoveEvent { time: t, stream: StreamId(s), to }
+    }
+
+    #[test]
+    fn initialization_picks_nearest_disk() {
+        let engine = engine(2, 2);
+        // Distances are 5, 10, 15, ... so A = {S0, S1}, X = {S0..S3},
+        // radius between 20 (S3) and 25 (S4) = 22.5.
+        let a = engine.answer();
+        assert!(a.contains(StreamId(0)) && a.contains(StreamId(1)));
+        assert_eq!(engine.protocol().x_set().len(), 4);
+        assert!((engine.protocol().radius() - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_movement_is_silent() {
+        let mut e = engine(2, 2);
+        let base = e.ledger().total();
+        // S0 moves within the disk (distance 8 < 22.5).
+        e.apply_event(ev(1.0, 0, p(8.0, 0.0)));
+        assert_eq!(e.ledger().total(), base);
+    }
+
+    #[test]
+    fn answer_member_leaving_promotes_buffer() {
+        let mut e = engine(2, 2);
+        // S1 (answer) leaves the disk entirely.
+        e.apply_event(ev(1.0, 1, p(100.0, 100.0)));
+        let a = e.answer();
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(StreamId(0)));
+        assert!(a.contains(StreamId(2)), "nearest buffered object promoted");
+    }
+
+    #[test]
+    fn rank_tolerance_holds_through_churn() {
+        let mut e = engine(3, 2);
+        let moves = [
+            ev(1.0, 0, p(40.0, 0.0)),
+            ev(2.0, 7, p(1.0, 1.0)),
+            ev(3.0, 2, p(-60.0, 0.0)),
+            ev(4.0, 4, p(2.0, -2.0)),
+            ev(5.0, 1, p(0.0, 55.0)),
+        ];
+        for m in moves {
+            e.apply_event(m);
+            // Oracle: every answer member truly ranks <= k + r.
+            let mut dists: Vec<(f64, StreamId)> = e
+                .fleet()
+                .iter()
+                .map(|s| (p(0.0, 0.0).distance(s.position()), s.id()))
+                .collect();
+            dists.sort_by(|&a, &b| cmp_key(a, b));
+            let a = e.answer();
+            assert_eq!(a.len(), 3, "at t={}", m.time);
+            for member in a.iter() {
+                let rank = dists.iter().position(|&(_, id)| id == member).unwrap() + 1;
+                assert!(rank <= 5, "member {member} ranks {rank} > 5 at t={}", m.time);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_k_zero() {
+        assert!(Rtp2d::new(p(0.0, 0.0), 0, 3).is_err());
+    }
+}

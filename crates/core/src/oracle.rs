@@ -1,0 +1,177 @@
+//! Ground-truth tolerance checking.
+//!
+//! The oracle sees what the server cannot: the actual current value of every
+//! source. At quiescent points (the precondition of the paper's Correctness
+//! Requirement 1) it evaluates the tolerance definitions §3.3/§3.4 against
+//! ground truth. Tests and property tests drive it through
+//! [`crate::engine::Engine::run_with_hook`].
+
+use streamnet::{SourceFleet, StreamId};
+
+use crate::answer::AnswerSet;
+use crate::query::{RangeQuery, RankQuery, RankSpace};
+use crate::rank::rank_values;
+use crate::tolerance::{FractionTolerance, RankTolerance};
+
+/// The true best-first ranking of all sources under a rank space.
+pub fn true_ranking(space: RankSpace, fleet: &SourceFleet) -> Vec<StreamId> {
+    rank_values(space, fleet.iter().map(|s| (s.id(), s.value())))
+}
+
+/// The true answer of a rank query (the k best sources).
+pub fn true_rank_answer(query: RankQuery, fleet: &SourceFleet) -> AnswerSet {
+    true_ranking(query.space(), fleet).into_iter().take(query.k()).collect()
+}
+
+/// The true answer of a range query.
+pub fn true_range_answer(query: RangeQuery, fleet: &SourceFleet) -> AnswerSet {
+    fleet.iter().filter(|s| query.contains(s.value())).map(|s| s.id()).collect()
+}
+
+/// Checks Definition 1 (rank-based tolerance) against ground truth.
+/// Returns a violation description, or `None` if the answer is correct.
+pub fn rank_violation(
+    query: RankQuery,
+    tol: RankTolerance,
+    answer: &AnswerSet,
+    fleet: &SourceFleet,
+) -> Option<String> {
+    if answer.len() != tol.k() {
+        return Some(format!("|A| = {} but k = {}", answer.len(), tol.k()));
+    }
+    let ranking = true_ranking(query.space(), fleet);
+    for member in answer.iter() {
+        let rank = ranking.iter().position(|&s| s == member).map(|p| p + 1)?;
+        if rank > tol.epsilon() {
+            return Some(format!(
+                "{member} has true rank {rank} > epsilon {} (value {})",
+                tol.epsilon(),
+                fleet.true_value(member)
+            ));
+        }
+    }
+    None
+}
+
+/// Checks Definition 3 (fraction-based tolerance) for a range query.
+pub fn fraction_range_violation(
+    query: RangeQuery,
+    tol: FractionTolerance,
+    answer: &AnswerSet,
+    fleet: &SourceFleet,
+) -> Option<String> {
+    let m = answer.fraction_metrics(fleet.len(), |id| query.contains(fleet.true_value(id)));
+    if m.within(&tol) {
+        None
+    } else {
+        Some(format!(
+            "F+ = {:.4} (eps+ = {}), F- = {:.4} (eps- = {}), |A| = {}, E+ = {}, E- = {}",
+            m.f_plus(),
+            tol.eps_plus(),
+            m.f_minus(),
+            tol.eps_minus(),
+            m.answer_size,
+            m.e_plus,
+            m.e_minus
+        ))
+    }
+}
+
+/// Checks Definition 3 for a rank query: the "streams that satisfy Q" are
+/// exactly the true k nearest (so the F⁻ denominator is `k`, Equation 5).
+pub fn fraction_rank_violation(
+    query: RankQuery,
+    tol: FractionTolerance,
+    answer: &AnswerSet,
+    fleet: &SourceFleet,
+) -> Option<String> {
+    let truth = true_rank_answer(query, fleet);
+    let m = answer.fraction_metrics(fleet.len(), |id| truth.contains(id));
+    if m.within(&tol) {
+        None
+    } else {
+        Some(format!(
+            "F+ = {:.4} (eps+ = {}), F- = {:.4} (eps- = {}), |A| = {}, E+ = {}, E- = {}",
+            m.f_plus(),
+            tol.eps_plus(),
+            m.f_minus(),
+            tol.eps_minus(),
+            m.answer_size,
+            m.e_plus,
+            m.e_minus
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(values: &[f64]) -> SourceFleet {
+        SourceFleet::from_values(values)
+    }
+
+    fn ids(v: &[u32]) -> AnswerSet {
+        v.iter().map(|&i| StreamId(i)).collect()
+    }
+
+    #[test]
+    fn true_ranking_orders_ground_truth() {
+        let f = fleet(&[30.0, 10.0, 20.0]);
+        assert_eq!(
+            true_ranking(RankSpace::TopK, &f),
+            vec![StreamId(0), StreamId(2), StreamId(1)]
+        );
+    }
+
+    #[test]
+    fn rank_violation_detects_size_and_rank() {
+        let f = fleet(&[50.0, 40.0, 30.0, 20.0, 10.0]);
+        let q = RankQuery::top_k(2).unwrap();
+        let tol = RankTolerance::new(2, 1).unwrap();
+        // {S0, S1} = true top 2: fine.
+        assert_eq!(rank_violation(q, tol, &ids(&[0, 1]), &f), None);
+        // {S0, S2}: S2 ranks 3 <= eps 3: fine.
+        assert_eq!(rank_violation(q, tol, &ids(&[0, 2]), &f), None);
+        // {S0, S3}: S3 ranks 4 > 3: violation.
+        assert!(rank_violation(q, tol, &ids(&[0, 3]), &f).is_some());
+        // Wrong size.
+        assert!(rank_violation(q, tol, &ids(&[0]), &f).is_some());
+    }
+
+    #[test]
+    fn fraction_range_violation_thresholds() {
+        let f = fleet(&[450.0, 460.0, 470.0, 480.0, 700.0]);
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        // answer {0,1,2,4}: E+ = 1 (S4), E- = 1 (S3), truth = 4.
+        let a = ids(&[0, 1, 2, 4]);
+        let loose = FractionTolerance::new(0.25, 0.25).unwrap();
+        assert_eq!(fraction_range_violation(q, loose, &a, &f), None);
+        let tight = FractionTolerance::new(0.2, 0.25).unwrap();
+        let v = fraction_range_violation(q, tight, &a, &f);
+        assert!(v.is_some());
+        assert!(v.unwrap().contains("F+"));
+    }
+
+    #[test]
+    fn fraction_rank_violation_uses_k_denominator() {
+        let f = fleet(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let q = RankQuery::knn(0.0, 2).unwrap(); // true 2-NN: S0, S1
+        // Answer {S0, S2}: E+ = 1, E- = 1, |A| = 2 -> F+ = 0.5, F- = 0.5.
+        let a = ids(&[0, 2]);
+        let half = FractionTolerance::new(0.5, 0.5).unwrap();
+        assert_eq!(fraction_rank_violation(q, half, &a, &f), None);
+        let tight = FractionTolerance::new(0.4, 0.5).unwrap();
+        assert!(fraction_rank_violation(q, tight, &a, &f).is_some());
+    }
+
+    #[test]
+    fn empty_answer_is_not_a_fraction_violation_by_definition() {
+        // Degenerate but well-defined: F+ = 0; F- = 1 when truth exists.
+        let f = fleet(&[450.0]);
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        let tol = FractionTolerance::new(0.1, 0.1).unwrap();
+        let v = fraction_range_violation(q, tol, &AnswerSet::new(), &f);
+        assert!(v.is_some(), "missing the only true answer violates F-");
+    }
+}

@@ -1,0 +1,126 @@
+//! The server's metered gateway to the source fleet.
+
+use std::collections::VecDeque;
+
+use streamnet::{Filter, Ledger, ServerView, SourceFleet, StreamId};
+
+/// Everything a protocol may do during initialization or maintenance:
+/// consult its (possibly stale) view, and pay messages to probe sources or
+/// (re)deploy filters.
+///
+/// Constraint resolution is synchronous — the paper's Correctness
+/// Requirement 2 assumes values do not change while it runs — so
+/// [`ServerCtx::probe`] returns the ground-truth value immediately (and
+/// charges the round trip). Filter (re)deployments may find a source whose
+/// actual state is inconsistent with the server's knowledge; such sources
+/// sync-report, and the reports are queued for the engine to feed back into
+/// the protocol after the current handler returns (never re-entrantly).
+pub struct ServerCtx<'a> {
+    fleet: &'a mut SourceFleet,
+    view: &'a mut ServerView,
+    ledger: &'a mut Ledger,
+    pending: &'a mut VecDeque<(StreamId, f64)>,
+}
+
+impl<'a> ServerCtx<'a> {
+    pub(crate) fn new(
+        fleet: &'a mut SourceFleet,
+        view: &'a mut ServerView,
+        ledger: &'a mut Ledger,
+        pending: &'a mut VecDeque<(StreamId, f64)>,
+    ) -> Self {
+        Self { fleet, view, ledger, pending }
+    }
+
+    /// Number of streams `n`.
+    pub fn n(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// The server's current view of last-known values.
+    pub fn view(&self) -> &ServerView {
+        self.view
+    }
+
+    /// Read-only ledger access (e.g. for protocols logging their own cost).
+    pub fn ledger(&self) -> &Ledger {
+        self.ledger
+    }
+
+    /// Probes one source for its current value (2 messages); refreshes the
+    /// view and returns the value.
+    pub fn probe(&mut self, id: StreamId) -> f64 {
+        self.fleet.probe(id, self.ledger, self.view)
+    }
+
+    /// Probes every source (`2n` messages) — the Initialization phases'
+    /// "request all streams to send their values".
+    pub fn probe_all(&mut self) {
+        self.fleet.probe_all(self.ledger, self.view);
+    }
+
+    /// Installs a filter at one source (1 message). Any induced sync-report
+    /// is queued for the engine.
+    pub fn install(&mut self, id: StreamId, filter: Filter) {
+        if let Some(v) = self.fleet.install(id, filter, self.ledger, self.view) {
+            self.pending.push_back((id, v));
+        }
+    }
+
+    /// Broadcasts a filter to all sources (`n` messages). Induced
+    /// sync-reports are queued for the engine.
+    pub fn broadcast(&mut self, filter: Filter) {
+        for sync in self.fleet.broadcast(filter, self.ledger, self.view) {
+            self.pending.push_back(sync);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamnet::MessageKind;
+
+    fn setup() -> (SourceFleet, ServerView, Ledger, VecDeque<(StreamId, f64)>) {
+        (SourceFleet::from_values(&[100.0, 500.0, 900.0]), ServerView::new(3), Ledger::new(), VecDeque::new())
+    }
+
+    #[test]
+    fn probe_meters_and_refreshes() {
+        let (mut fleet, mut view, mut ledger, mut pending) = setup();
+        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+        assert_eq!(ctx.n(), 3);
+        let v = ctx.probe(StreamId(1));
+        assert_eq!(v, 500.0);
+        assert_eq!(ctx.view().get(StreamId(1)), 500.0);
+        assert_eq!(ctx.ledger().total(), 2);
+    }
+
+    #[test]
+    fn install_queues_sync_reports() {
+        let (mut fleet, mut view, mut ledger, mut pending) = setup();
+        {
+            let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+            ctx.probe_all();
+            ctx.install(StreamId(0), Filter::interval(0.0, 1000.0));
+        }
+        // Silent drift: 100 -> 700 stays inside [0, 1000].
+        fleet.deliver_update(StreamId(0), 700.0, &mut ledger, &mut view);
+        {
+            let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+            // New filter separates believed 100 from true 700.
+            ctx.install(StreamId(0), Filter::interval(600.0, 800.0));
+        }
+        assert_eq!(pending.pop_front(), Some((StreamId(0), 700.0)));
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn broadcast_meters_n_messages() {
+        let (mut fleet, mut view, mut ledger, mut pending) = setup();
+        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+        ctx.probe_all();
+        ctx.broadcast(Filter::interval(0.0, 1000.0));
+        assert_eq!(ctx.ledger().count(MessageKind::FilterBroadcast), 3);
+    }
+}

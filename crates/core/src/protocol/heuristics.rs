@@ -1,0 +1,122 @@
+//! Selection heuristics for placing false-positive/false-negative filters
+//! (paper §6.2, Figure 14).
+//!
+//! During FT-NRP/FT-RP initialization the server must pick which answer
+//! streams receive `[-∞, ∞]` filters and which non-answer streams receive
+//! `[∞, ∞]` filters. The paper compares **random** placement against
+//! **boundary-nearest** — give the special filters to the streams whose
+//! values are closest to the query boundary, because those are the
+//! likeliest to cross it and generate updates.
+
+use simkit::SimRng;
+use streamnet::StreamId;
+
+use crate::rank::cmp_key;
+
+/// Strategy for choosing which streams get the special silent filters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelectionHeuristic {
+    /// Streams are drawn uniformly at random.
+    #[default]
+    Random,
+    /// Streams with values closest to the query boundary are chosen first.
+    BoundaryNearest,
+}
+
+impl SelectionHeuristic {
+    /// Picks `count` streams from `candidates`.
+    ///
+    /// `boundary_distance` maps a stream to its distance from the query
+    /// boundary (used by [`SelectionHeuristic::BoundaryNearest`]; smaller =
+    /// chosen first, ties by id). `count` is clamped to the candidate pool
+    /// size.
+    pub fn select(
+        &self,
+        candidates: &[StreamId],
+        count: usize,
+        boundary_distance: impl Fn(StreamId) -> f64,
+        rng: &mut SimRng,
+    ) -> Vec<StreamId> {
+        let count = count.min(candidates.len());
+        if count == 0 {
+            return Vec::new();
+        }
+        match self {
+            SelectionHeuristic::Random => rng
+                .sample_indices(candidates.len(), count)
+                .into_iter()
+                .map(|i| candidates[i])
+                .collect(),
+            SelectionHeuristic::BoundaryNearest => {
+                let mut scored: Vec<(f64, StreamId)> =
+                    candidates.iter().map(|&id| (boundary_distance(id), id)).collect();
+                scored.sort_by(|&a, &b| cmp_key(a, b));
+                scored.into_iter().take(count).map(|(_, id)| id).collect()
+            }
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectionHeuristic::Random => "random",
+            SelectionHeuristic::BoundaryNearest => "boundary-nearest",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<StreamId> {
+        v.iter().map(|&i| StreamId(i)).collect()
+    }
+
+    #[test]
+    fn boundary_nearest_picks_smallest_distances() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let cands = ids(&[0, 1, 2, 3]);
+        // distances: id0 -> 30, id1 -> 5, id2 -> 10, id3 -> 1
+        let dist = |id: StreamId| [30.0, 5.0, 10.0, 1.0][id.index()];
+        let picked = SelectionHeuristic::BoundaryNearest.select(&cands, 2, dist, &mut rng);
+        assert_eq!(picked, ids(&[3, 1]));
+    }
+
+    #[test]
+    fn boundary_nearest_ties_break_by_id() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let cands = ids(&[5, 2, 9]);
+        let picked = SelectionHeuristic::BoundaryNearest.select(&cands, 2, |_| 1.0, &mut rng);
+        assert_eq!(picked, ids(&[2, 5]));
+    }
+
+    #[test]
+    fn random_picks_distinct_members() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let cands = ids(&[10, 20, 30, 40, 50]);
+        let picked = SelectionHeuristic::Random.select(&cands, 3, |_| 0.0, &mut rng);
+        assert_eq!(picked.len(), 3);
+        let mut d = picked.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+        assert!(picked.iter().all(|id| cands.contains(id)));
+    }
+
+    #[test]
+    fn count_is_clamped() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let cands = ids(&[1, 2]);
+        let picked = SelectionHeuristic::Random.select(&cands, 10, |_| 0.0, &mut rng);
+        assert_eq!(picked.len(), 2);
+        let none = SelectionHeuristic::BoundaryNearest.select(&[], 3, |_| 0.0, &mut rng);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn zero_count_selects_nothing() {
+        let mut rng = SimRng::seed_from_u64(7);
+        assert!(SelectionHeuristic::Random.select(&ids(&[1]), 0, |_| 0.0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's filter-bound protocols (§4–§5).
+//!
+//! Every protocol is a server-side state machine implementing [`Protocol`]:
+//! the engine calls [`Protocol::initialize`] once (the papers'
+//! *Initialization phases*) and [`Protocol::on_update`] for every report
+//! that reaches the server (the *Maintenance phases*). Protocols talk to
+//! the sources exclusively through [`ServerCtx`], which meters every message
+//! and defers induced sync-reports to the engine's pending queue
+//! (DESIGN.md §3.2).
+
+mod ctx;
+mod ft_nrp;
+mod ft_rp;
+pub mod heuristics;
+mod no_filter;
+mod rtp;
+mod vt_max;
+mod zt_nrp;
+mod zt_rp;
+
+pub use ctx::ServerCtx;
+pub use ft_nrp::{FtNrp, FtNrpConfig};
+pub use ft_rp::{FtRp, FtRpConfig};
+pub use heuristics::SelectionHeuristic;
+pub use no_filter::NoFilter;
+pub use rtp::Rtp;
+pub use vt_max::VtMax;
+pub use zt_nrp::ZtNrp;
+pub use zt_rp::ZtRp;
+
+use streamnet::StreamId;
+
+use crate::answer::AnswerSet;
+
+/// A server-side filter-bound protocol.
+pub trait Protocol {
+    /// Short name for reports ("RTP", "FT-NRP", …).
+    fn name(&self) -> &'static str;
+
+    /// The Initialization phase: collect stream values and deploy the
+    /// initial filter constraints. Called exactly once, before any events.
+    fn initialize(&mut self, ctx: &mut ServerCtx<'_>);
+
+    /// The Maintenance phase: handle one report `(stream, value)` that
+    /// reached the server (the `Update` message is already accounted and
+    /// the server view already refreshed when this is called).
+    fn on_update(&mut self, id: StreamId, value: f64, ctx: &mut ServerCtx<'_>);
+
+    /// The current answer set `A(t)` returned to the user.
+    fn answer(&self) -> AnswerSet;
+}

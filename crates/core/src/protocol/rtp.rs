@@ -1,0 +1,398 @@
+//! RTP — the rank-based tolerance protocol for k-NN/top-k queries
+//! (paper §4, Figure 5).
+//!
+//! RTP maintains a region `R` (a rank-key ball) positioned halfway between
+//! the `(k+r)`-th and `(k+r+1)`-st best streams, and two server-side sets:
+//! `X(t)` — the streams believed inside `R` (at most `ε = k + r` of them) —
+//! and the answer `A(t) ⊆ X(t)` with exactly `k` members. Every source
+//! carries `R` as its filter, so the server hears exactly the boundary
+//! crossings of `R`:
+//!
+//! * **Case 1** — a non-answer `X` member leaves `R`: drop it from `X`
+//!   (free).
+//! * **Case 2** — an answer member leaves `R`: replace it from `X − A`; if
+//!   `X − A` is empty, run the *expansion search* (step 4), probing
+//!   outward in the server's old rank order until at least two candidates
+//!   are found, then redeploy the bound.
+//! * **Case 3** — a stream enters `R`: absorb it while `|X| < ε`; once `X`
+//!   would overflow, probe `X`, shrink `R` to the best `ε` and redeploy.
+//!
+//! Implementation notes (DESIGN.md §3.4): the expansion search probes
+//! incrementally (2 messages per candidate) using the key snapshot taken at
+//! entry as the paper's "old ranking scores"; bound redeployments rank over
+//! the server's best-known values, and any source whose reality disagrees
+//! with the new bound sync-reports and is re-processed, so state
+//! self-corrects within the same resolution step.
+
+use std::collections::BTreeSet;
+
+use streamnet::{ServerView, StreamId};
+
+use crate::answer::AnswerSet;
+use crate::error::ConfigError;
+use crate::protocol::{Protocol, ServerCtx};
+use crate::query::RankQuery;
+use crate::rank::{cmp_key, midpoint_threshold, rank_view};
+
+/// The rank-tolerance protocol.
+pub struct Rtp {
+    query: RankQuery,
+    /// Rank slack `r`; the tolerance bound is `ε = k + r`.
+    r: usize,
+    /// Current ball threshold (the position of `R`).
+    d: f64,
+    answer: AnswerSet,
+    x: BTreeSet<StreamId>,
+    /// Statistics: how many full re-initializations were forced.
+    reinits: u64,
+    /// Statistics: how many expansion searches ran.
+    expansions: u64,
+}
+
+impl Rtp {
+    /// Creates RTP for a rank query with rank tolerance `r`.
+    ///
+    /// Fails unless the population can hold `k + r + 1` streams — the bound
+    /// `R` sits between ranks `k + r` and `k + r + 1`, so both must exist.
+    /// The population size is checked again at initialization.
+    pub fn new(query: RankQuery, r: usize) -> Result<Self, ConfigError> {
+        Ok(Self {
+            query,
+            r,
+            d: f64::NAN,
+            answer: AnswerSet::new(),
+            x: BTreeSet::new(),
+            reinits: 0,
+            expansions: 0,
+        })
+    }
+
+    /// The maximum tolerated rank `ε = k + r`.
+    pub fn epsilon(&self) -> usize {
+        self.query.k() + self.r
+    }
+
+    /// The query.
+    pub fn query(&self) -> RankQuery {
+        self.query
+    }
+
+    /// Current ball threshold `d` (key-space position of `R`).
+    pub fn threshold(&self) -> f64 {
+        self.d
+    }
+
+    /// The buffer set `X(t)` (streams believed inside `R`).
+    pub fn x_set(&self) -> &BTreeSet<StreamId> {
+        &self.x
+    }
+
+    /// Forced full re-initializations so far.
+    pub fn reinits(&self) -> u64 {
+        self.reinits
+    }
+
+    /// Expansion searches run so far.
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    fn view_key(&self, view: &ServerView, id: StreamId) -> f64 {
+        self.query.space().key(view.get(id))
+    }
+
+    /// Ranks the whole view and rebuilds `A`, `X`, and `R` (Initialization
+    /// steps 2–4 / Maintenance step 7).
+    fn full_recompute(&mut self, ctx: &mut ServerCtx<'_>) {
+        let eps = self.epsilon();
+        assert!(
+            ctx.n() > eps,
+            "RTP requires n > k + r (= {eps}), got n = {}",
+            ctx.n()
+        );
+        let ranked = rank_view(self.query.space(), ctx.view());
+        self.answer = ranked.iter().take(self.query.k()).copied().collect();
+        self.x = ranked.iter().take(eps).copied().collect();
+        self.deploy_bound(ctx);
+    }
+
+    /// `Deploy_bound(t)`: position `R` halfway between ranks `ε` and `ε+1`
+    /// (by the server's best knowledge) and broadcast it.
+    fn deploy_bound(&mut self, ctx: &mut ServerCtx<'_>) {
+        let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
+        self.d = midpoint_threshold(self.query.space(), values, self.epsilon());
+        ctx.broadcast(self.query.space().ball(self.d));
+    }
+
+    /// Maintenance Case 2: an answer member left `R`.
+    fn answer_member_left(&mut self, id: StreamId, ctx: &mut ServerCtx<'_>) {
+        self.answer.remove(id);
+        self.x.remove(&id);
+        if self.x.len() > self.answer.len() {
+            // Step 3: promote the best-ranked buffered stream.
+            let best = self
+                .x
+                .iter()
+                .filter(|s| !self.answer.contains(**s))
+                .map(|&s| (self.view_key(ctx.view(), s), s))
+                .min_by(|&a, &b| cmp_key(a, b))
+                .expect("X - A is non-empty")
+                .1;
+            self.answer.insert(best);
+        } else {
+            self.expansion_search(ctx);
+        }
+    }
+
+    /// Maintenance step 4: expanding ring search for replacement candidates.
+    fn expansion_search(&mut self, ctx: &mut ServerCtx<'_>) {
+        self.expansions += 1;
+        let space = self.query.space();
+        // Snapshot of the server's "old ranking scores" at entry.
+        let ranked = rank_view(space, ctx.view());
+        let old_keys: Vec<f64> =
+            ranked.iter().map(|&id| self.view_key(ctx.view(), id)).collect();
+        let n = ranked.len();
+        let mut probed: BTreeSet<StreamId> = BTreeSet::new();
+
+        for j in (self.epsilon() + 1)..=n {
+            // R' reaches the old j-th ranked stream.
+            let d_prime = old_keys[j - 1];
+            // Probe every stream the ring now covers (incremental: streams
+            // of old rank <= j not already probed and not in the answer).
+            for &id in &ranked[..j] {
+                if !self.answer.contains(id) && probed.insert(id) {
+                    ctx.probe(id);
+                }
+            }
+            // U(t): probed streams whose *current* value lies within R'.
+            let mut u: Vec<(f64, StreamId)> = probed
+                .iter()
+                .map(|&id| (self.view_key(ctx.view(), id), id))
+                .filter(|&(key, _)| key <= d_prime)
+                .collect();
+            if u.len() >= 2 {
+                u.sort_by(|&a, &b| cmp_key(a, b));
+                // Step 4(iv)(a): the nearest candidate completes the answer.
+                self.answer.insert(u[0].1);
+                // Step 4(iv)(b): X = A plus the r+1 nearest candidates.
+                self.x = self.answer.iter().collect();
+                for &(_, id) in u.iter().take(self.r + 1) {
+                    self.x.insert(id);
+                }
+                // Step 4(iv)(c): redeploy the bound.
+                self.deploy_bound(ctx);
+                return;
+            }
+        }
+        // Step 5: nothing found — re-run Initialization.
+        self.reinits += 1;
+        ctx.probe_all();
+        self.full_recompute(ctx);
+    }
+
+    /// Maintenance Case 3: a stream entered `R`.
+    fn stream_entered(&mut self, id: StreamId, ctx: &mut ServerCtx<'_>) {
+        if self.x.len() < self.epsilon() {
+            // Step 6: absorb for free.
+            self.x.insert(id);
+            return;
+        }
+        // Step 7: X would overflow — probe X, keep the best ε of X ∪ {id},
+        // and shrink R between the candidate ranks ε and ε+1.
+        let members: Vec<StreamId> = self.x.iter().copied().collect();
+        for m in members {
+            ctx.probe(m);
+        }
+        let mut candidates: Vec<(f64, StreamId)> = self
+            .x
+            .iter()
+            .copied()
+            .chain(std::iter::once(id))
+            .map(|s| (self.view_key(ctx.view(), s), s))
+            .collect();
+        candidates.sort_by(|&a, &b| cmp_key(a, b));
+        self.answer = candidates.iter().take(self.query.k()).map(|&(_, s)| s).collect();
+        self.x = candidates.iter().take(self.epsilon()).map(|&(_, s)| s).collect();
+        let eps = self.epsilon();
+        debug_assert_eq!(candidates.len(), eps + 1);
+        self.d = (candidates[eps - 1].0 + candidates[eps].0) / 2.0;
+        ctx.broadcast(self.query.space().ball(self.d));
+    }
+}
+
+impl Protocol for Rtp {
+    fn name(&self) -> &'static str {
+        "RTP"
+    }
+
+    fn initialize(&mut self, ctx: &mut ServerCtx<'_>) {
+        ctx.probe_all();
+        self.full_recompute(ctx);
+    }
+
+    fn on_update(&mut self, id: StreamId, value: f64, ctx: &mut ServerCtx<'_>) {
+        let inside = self.query.space().in_ball(value, self.d);
+        let in_a = self.answer.contains(id);
+        let in_x = self.x.contains(&id);
+        match (in_a, in_x, inside) {
+            (true, _, false) => self.answer_member_left(id, ctx),
+            (false, true, false) => {
+                // Case 1: buffered non-answer stream left R.
+                self.x.remove(&id);
+            }
+            (false, false, true) => self.stream_entered(id, ctx),
+            // Stale races across bound redeployments within one resolution
+            // step; the view is already refreshed, nothing else to do.
+            _ => {}
+        }
+    }
+
+    fn answer(&self) -> AnswerSet {
+        self.answer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::query::RankSpace;
+    use crate::workload::UpdateEvent;
+
+    fn ev(t: f64, s: u32, v: f64) -> UpdateEvent {
+        UpdateEvent { time: t, stream: StreamId(s), value: v }
+    }
+
+    /// Figure 6 layout: a k-NN query with k = 2, r = 2 over streams spread
+    /// around q = 100.
+    fn fig6_engine() -> Engine<Rtp> {
+        // distances from q=100: S0:5, S1:10, S2:20, S3:30, S4:45, S5:60, S6:80
+        let initial = vec![105.0, 90.0, 120.0, 70.0, 145.0, 40.0, 180.0];
+        let query = RankQuery::knn(100.0, 2).unwrap();
+        let mut engine = Engine::new(&initial, Rtp::new(query, 2).unwrap());
+        engine.initialize();
+        engine
+    }
+
+    #[test]
+    fn initialization_sets_a_x_and_bound() {
+        let engine = fig6_engine();
+        let p = engine.protocol();
+        // A = 2 nearest {S0, S1}; X = 4 nearest {S0..S3}; d between ranks
+        // 4 (S3, d=30) and 5 (S4, d=45) = 37.5.
+        assert_eq!(engine.answer().iter().collect::<Vec<_>>(), vec![StreamId(0), StreamId(1)]);
+        assert_eq!(p.x_set().len(), 4);
+        assert!((p.threshold() - 37.5).abs() < 1e-12);
+        // Cost: 2n probes + n broadcast = 21.
+        assert_eq!(engine.ledger().total(), 21);
+    }
+
+    #[test]
+    fn case1_x_member_leaving_is_one_message() {
+        let mut engine = fig6_engine();
+        let base = engine.ledger().total();
+        // S3 (in X, not in A) moves far away: crosses R.
+        engine.apply_event(ev(1.0, 3, 0.0));
+        assert_eq!(engine.ledger().total(), base + 1);
+        assert!(!engine.protocol().x_set().contains(&StreamId(3)));
+        assert_eq!(engine.answer().len(), 2);
+    }
+
+    #[test]
+    fn case2_promotes_from_x() {
+        let mut engine = fig6_engine();
+        let base = engine.ledger().total();
+        // S0 (answer) leaves; S2 (d=20) is the best X - A member.
+        engine.apply_event(ev(1.0, 0, 300.0));
+        assert_eq!(engine.ledger().total(), base + 1, "promotion costs only the report");
+        let a = engine.answer();
+        assert!(a.contains(StreamId(1)) && a.contains(StreamId(2)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn case3_enters_free_while_x_below_epsilon() {
+        let mut engine = fig6_engine();
+        // Empty one X slot first.
+        engine.apply_event(ev(1.0, 3, 0.0));
+        let base = engine.ledger().total();
+        // S5 (d=60) moves to d=35, inside R (37.5).
+        engine.apply_event(ev(2.0, 5, 135.0));
+        assert_eq!(engine.ledger().total(), base + 1);
+        assert!(engine.protocol().x_set().contains(&StreamId(5)));
+    }
+
+    #[test]
+    fn case3_overflow_shrinks_bound() {
+        let mut engine = fig6_engine();
+        let d_before = engine.protocol().threshold();
+        let base = engine.ledger().total();
+        // X is full (4 members). S5 moves inside: overflow path.
+        engine.apply_event(ev(1.0, 5, 135.0)); // d = 35 < 37.5
+        let p = engine.protocol();
+        assert!(p.threshold() < d_before, "R must shrink");
+        assert_eq!(p.x_set().len(), 4, "X keeps the best epsilon members");
+        // The farthest candidate (S4-was-S3? -> S3 at d=30 vs S5 at 35) --
+        // candidates were S0(5) S1(10) S2(20) S3(30) S5(35): drop S5.
+        assert!(!p.x_set().contains(&StreamId(5)));
+        // Cost: report + 2|X| probes + n broadcast = 1 + 8 + 7.
+        assert_eq!(engine.ledger().total(), base + 1 + 8 + 7);
+    }
+
+    #[test]
+    fn case2_expansion_search_when_x_exhausted() {
+        let mut engine = fig6_engine();
+        // Drain X - A: S2 and S3 leave R.
+        engine.apply_event(ev(1.0, 2, 250.0)); // Case 1
+        engine.apply_event(ev(2.0, 3, 260.0)); // Case 1
+        assert_eq!(engine.protocol().x_set().len(), 2);
+        // Now an answer member leaves: X - A is empty -> expansion search.
+        engine.apply_event(ev(3.0, 0, 350.0));
+        let p = engine.protocol();
+        assert_eq!(p.expansions(), 1);
+        let a = engine.answer();
+        assert_eq!(a.len(), 2, "answer restored to k members");
+        assert!(a.contains(StreamId(1)), "surviving member kept");
+        // All current answer members must rank within epsilon of the truth.
+        let truth = crate::rank::rank_values(
+            RankSpace::Knn { q: 100.0 },
+            (0..7).map(|i| (StreamId(i), engine.fleet().true_value(StreamId(i)))),
+        );
+        for member in a.iter() {
+            let rank = truth.iter().position(|&s| s == member).unwrap() + 1;
+            assert!(rank <= 4, "member {member} ranks {rank} > epsilon");
+        }
+    }
+
+    #[test]
+    fn topk_variant_works() {
+        // Top-2 with r = 1 over five streams.
+        let initial = vec![10.0, 50.0, 30.0, 20.0, 40.0];
+        let query = RankQuery::top_k(2).unwrap();
+        let mut engine = Engine::new(&initial, Rtp::new(query, 1).unwrap());
+        engine.initialize();
+        // Best 2: S1 (50), S4 (40); X adds S2 (30); bound between 30 and 20
+        // -> threshold in key space -25 => region v >= 25.
+        let a = engine.answer();
+        assert!(a.contains(StreamId(1)) && a.contains(StreamId(4)));
+        assert_eq!(engine.protocol().x_set().len(), 3);
+
+        // S0 rises to 60: enters R (Case 3 overflow since |X| = 3 = eps).
+        engine.apply_event(ev(1.0, 0, 60.0));
+        let a = engine.answer();
+        assert!(a.contains(StreamId(0)) && a.contains(StreamId(1)));
+    }
+
+    #[test]
+    fn rejects_population_smaller_than_epsilon() {
+        let initial = vec![1.0, 2.0, 3.0];
+        let query = RankQuery::top_k(2).unwrap();
+        let mut engine = Engine::new(&initial, Rtp::new(query, 1).unwrap());
+        // eps = 3 = n: needs n > eps.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.initialize();
+        }));
+        assert!(result.is_err());
+    }
+}

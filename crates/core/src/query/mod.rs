@@ -1,0 +1,15 @@
+//! Entity-based query types (paper §3.2).
+//!
+//! Entity-based queries return *identifiers of objects*, not values. The
+//! paper splits them into **non-rank-based** queries — here
+//! [`RangeQuery`] — whose membership is decided per stream, and
+//! **rank-based** queries — [`RankQuery`] — which concern a partial order of
+//! the stream values (k-NN, top-k, k-min).
+
+mod range;
+mod rank_query;
+mod space;
+
+pub use range::RangeQuery;
+pub use rank_query::RankQuery;
+pub use space::RankSpace;

@@ -1,0 +1,115 @@
+//! Range queries — the paper's example of a non-rank-based query.
+
+use streamnet::Filter;
+
+use crate::error::ConfigError;
+
+/// A continuous range query `[l, u]`: streams whose values fall within the
+/// closed interval belong to the answer (paper §3.2(2)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeQuery {
+    lo: f64,
+    hi: f64,
+}
+
+impl RangeQuery {
+    /// Creates a range query over the closed interval `[lo, hi]`.
+    ///
+    /// Bounds must be finite (the query range is user-supplied data; the
+    /// infinite intervals are reserved for the protocols' special filters)
+    /// and `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ConfigError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(ConfigError::InvalidQuery(format!(
+                "range bounds must be finite, got [{lo}, {hi}]"
+            )));
+        }
+        if lo > hi {
+            return Err(ConfigError::InvalidQuery(format!(
+                "range requires lo <= hi, got [{lo}, {hi}]"
+            )));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether `v` satisfies the query.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The filter constraint equivalent to this query — what ZT-NRP installs
+    /// at every source, and FT-NRP at non-special sources.
+    pub fn as_filter(&self) -> Filter {
+        Filter::interval(self.lo, self.hi)
+    }
+
+    /// Distance from `v` to the nearer interval boundary; 0 on the boundary.
+    ///
+    /// Used by the boundary-nearest selection heuristic (§6.2, Fig. 14):
+    /// streams close to the boundary are the likeliest to cross it.
+    pub fn boundary_distance(&self, v: f64) -> f64 {
+        if self.contains(v) {
+            (v - self.lo).min(self.hi - v)
+        } else if v < self.lo {
+            self.lo - v
+        } else {
+            v - self.hi
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_closed_interval() {
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        assert!(q.contains(400.0) && q.contains(600.0) && q.contains(500.0));
+        assert!(!q.contains(399.9) && !q.contains(600.1));
+    }
+
+    #[test]
+    fn as_filter_matches_query() {
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        let f = q.as_filter();
+        for v in [399.0, 400.0, 500.0, 600.0, 601.0] {
+            assert_eq!(q.contains(v), f.contains(v));
+        }
+    }
+
+    #[test]
+    fn boundary_distance_inside_and_outside() {
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        assert_eq!(q.boundary_distance(450.0), 50.0); // nearer to lo
+        assert_eq!(q.boundary_distance(590.0), 10.0); // nearer to hi
+        assert_eq!(q.boundary_distance(390.0), 10.0); // below
+        assert_eq!(q.boundary_distance(650.0), 50.0); // above
+        assert_eq!(q.boundary_distance(400.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_point_range_is_valid() {
+        let q = RangeQuery::new(5.0, 5.0).unwrap();
+        assert!(q.contains(5.0));
+        assert!(!q.contains(5.1));
+    }
+
+    #[test]
+    fn rejects_inverted_and_non_finite() {
+        assert!(RangeQuery::new(10.0, 1.0).is_err());
+        assert!(RangeQuery::new(f64::NEG_INFINITY, 0.0).is_err());
+        assert!(RangeQuery::new(0.0, f64::NAN).is_err());
+    }
+}

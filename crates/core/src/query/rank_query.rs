@@ -1,0 +1,79 @@
+//! Rank-based queries: k-NN, top-k, k-min (paper §3.2(1)).
+
+use crate::error::ConfigError;
+use crate::query::space::RankSpace;
+
+/// A continuous rank-based query: return the `k` best streams under a
+/// [`RankSpace`] ordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankQuery {
+    space: RankSpace,
+    k: usize,
+}
+
+impl RankQuery {
+    /// Creates a rank-based query returning the best `k >= 1` streams.
+    pub fn new(space: RankSpace, k: usize) -> Result<Self, ConfigError> {
+        if k == 0 {
+            return Err(ConfigError::InvalidQuery("rank requirement k must be >= 1".into()));
+        }
+        if let RankSpace::Knn { q } = space {
+            if !q.is_finite() {
+                return Err(ConfigError::InvalidQuery(format!(
+                    "k-NN query point must be finite, got {q}; use TopK/KMin for the limits"
+                )));
+            }
+        }
+        Ok(Self { space, k })
+    }
+
+    /// Convenience: k-NN around point `q`.
+    pub fn knn(q: f64, k: usize) -> Result<Self, ConfigError> {
+        Self::new(RankSpace::Knn { q }, k)
+    }
+
+    /// Convenience: top-k by value.
+    pub fn top_k(k: usize) -> Result<Self, ConfigError> {
+        Self::new(RankSpace::TopK, k)
+    }
+
+    /// Convenience: bottom-k by value.
+    pub fn k_min(k: usize) -> Result<Self, ConfigError> {
+        Self::new(RankSpace::KMin, k)
+    }
+
+    /// The underlying rank space.
+    pub fn space(&self) -> RankSpace {
+        self.space
+    }
+
+    /// The rank requirement `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let q = RankQuery::knn(500.0, 3).unwrap();
+        assert_eq!(q.k(), 3);
+        assert_eq!(q.space(), RankSpace::Knn { q: 500.0 });
+        assert_eq!(RankQuery::top_k(5).unwrap().space(), RankSpace::TopK);
+        assert_eq!(RankQuery::k_min(5).unwrap().space(), RankSpace::KMin);
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(RankQuery::top_k(0).is_err());
+    }
+
+    #[test]
+    fn rejects_infinite_query_point() {
+        assert!(RankQuery::knn(f64::INFINITY, 1).is_err());
+        assert!(RankQuery::knn(f64::NAN, 1).is_err());
+    }
+}

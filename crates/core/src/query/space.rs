@@ -1,0 +1,145 @@
+//! Rank spaces: one abstraction covering k-NN, top-k and k-min.
+//!
+//! A rank-based query orders streams by a **rank key** — smaller key means
+//! better rank. The paper observes that "a k-NN query can be easily
+//! transformed to a k-minimum or k-maximum query, by setting `q` to `−∞` or
+//! `+∞`" (§3.2); since infinities do not mix with `|V_i − q|` arithmetic, we
+//! encode the three limits directly:
+//!
+//! | Query | key(v)     | ball of radius `d` |
+//! |-------|------------|--------------------|
+//! | k-NN at `q` | `\|v − q\|` | `[q − d, q + d]` |
+//! | top-k (k-max, `q → +∞`) | `−v` | `[−d, +∞)` |
+//! | k-min (`q → −∞`) | `v`  | `(−∞, d]` |
+//!
+//! Regions `R` ("closed bounds" in the paper) are always key-balls
+//! `{v : key(v) ≤ d}`, and double as the filter constraints the protocols
+//! install.
+
+use streamnet::Filter;
+
+/// The ordering underlying a rank-based query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RankSpace {
+    /// k-nearest-neighbour around a finite query point `q`.
+    Knn {
+        /// The query point.
+        q: f64,
+    },
+    /// Top-k by value (the paper's k-maximum; `q = +∞`).
+    TopK,
+    /// Bottom-k by value (the paper's k-minimum; `q = −∞`).
+    KMin,
+}
+
+impl RankSpace {
+    /// The rank key of a value: smaller is better.
+    #[inline]
+    pub fn key(&self, v: f64) -> f64 {
+        match *self {
+            RankSpace::Knn { q } => (v - q).abs(),
+            RankSpace::TopK => -v,
+            RankSpace::KMin => v,
+        }
+    }
+
+    /// The region `{v : key(v) <= d}` as a filter constraint.
+    ///
+    /// For k-NN, `d` must be non-negative (it is a distance). For
+    /// top-k/k-min, `d` is a key threshold and may be any finite number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN `d` or a negative k-NN radius.
+    pub fn ball(&self, d: f64) -> Filter {
+        assert!(!d.is_nan(), "ball threshold must not be NaN");
+        match *self {
+            RankSpace::Knn { q } => {
+                assert!(d >= 0.0, "k-NN ball radius must be non-negative, got {d}");
+                Filter::interval(q - d, q + d)
+            }
+            RankSpace::TopK => Filter::interval(-d, f64::INFINITY),
+            RankSpace::KMin => Filter::interval(f64::NEG_INFINITY, d),
+        }
+    }
+
+    /// Whether `v` lies inside the ball of threshold `d`.
+    #[inline]
+    pub fn in_ball(&self, v: f64, d: f64) -> bool {
+        self.key(v) <= d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_key_is_distance() {
+        let s = RankSpace::Knn { q: 100.0 };
+        assert_eq!(s.key(130.0), 30.0);
+        assert_eq!(s.key(70.0), 30.0);
+        assert_eq!(s.key(100.0), 0.0);
+    }
+
+    #[test]
+    fn topk_prefers_large_values() {
+        let s = RankSpace::TopK;
+        assert!(s.key(900.0) < s.key(100.0));
+    }
+
+    #[test]
+    fn kmin_prefers_small_values() {
+        let s = RankSpace::KMin;
+        assert!(s.key(100.0) < s.key(900.0));
+    }
+
+    #[test]
+    fn knn_ball_is_symmetric_interval() {
+        let s = RankSpace::Knn { q: 500.0 };
+        let f = s.ball(25.0);
+        assert!(f.contains(475.0) && f.contains(525.0) && f.contains(500.0));
+        assert!(!f.contains(474.9) && !f.contains(525.1));
+    }
+
+    #[test]
+    fn topk_ball_is_upper_halfline() {
+        let s = RankSpace::TopK;
+        // key(v) = -v <= d  <=>  v >= -d. With d = -250 the region is v >= 250.
+        let f = s.ball(-250.0);
+        assert!(f.contains(250.0) && f.contains(1e9));
+        assert!(!f.contains(249.9));
+    }
+
+    #[test]
+    fn kmin_ball_is_lower_halfline() {
+        let s = RankSpace::KMin;
+        let f = s.ball(42.0);
+        assert!(f.contains(-1e9) && f.contains(42.0));
+        assert!(!f.contains(42.1));
+    }
+
+    #[test]
+    fn ball_agrees_with_in_ball() {
+        for space in [RankSpace::Knn { q: 10.0 }, RankSpace::TopK, RankSpace::KMin] {
+            let d = match space {
+                RankSpace::Knn { .. } => 5.0,
+                _ => 3.0,
+            };
+            let f = space.ball(d);
+            for v in [-20.0, -3.0, 0.0, 3.0, 7.0, 10.0, 13.0, 15.0, 20.0] {
+                assert_eq!(
+                    f.contains(v),
+                    space.in_ball(v, d),
+                    "space {space:?} v {v} d {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn knn_ball_rejects_negative_radius() {
+        RankSpace::Knn { q: 0.0 }.ball(-1.0);
+    }
+}

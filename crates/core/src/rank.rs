@@ -1,0 +1,162 @@
+//! Ranking utilities over server views and ground-truth values.
+//!
+//! The paper's `rank(S_i, t)` is the 1-based position of stream `i` when all
+//! streams are ordered by rank key (§3.3, "the function rank depends on the
+//! query"). Ties are broken by ascending stream id so the order is total —
+//! see [`streamnet::StreamId`].
+
+use streamnet::{ServerView, StreamId};
+
+use crate::query::RankSpace;
+
+/// Compares two `(key, id)` pairs: ascending key, ties by ascending id.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on NaN keys; stream values are validated finite
+/// at the sources, so keys are never NaN.
+#[inline]
+pub fn cmp_key(a: (f64, StreamId), b: (f64, StreamId)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0).expect("rank keys must not be NaN").then(a.1.cmp(&b.1))
+}
+
+/// Ranks every stream in the server's view: returns ids sorted best-first.
+///
+/// # Panics
+///
+/// Panics if the view has streams the server has never learned — protocols
+/// must initialize (probe all) before ranking.
+pub fn rank_view(space: RankSpace, view: &ServerView) -> Vec<StreamId> {
+    assert!(view.all_known(), "cannot rank a partially-known view");
+    rank_values(space, (0..view.len()).map(|i| {
+        let id = StreamId(i as u32);
+        (id, view.get(id))
+    }))
+}
+
+/// Ranks an arbitrary `(id, value)` collection; returns ids sorted
+/// best-first under `space` with deterministic tie-breaking.
+pub fn rank_values(
+    space: RankSpace,
+    values: impl IntoIterator<Item = (StreamId, f64)>,
+) -> Vec<StreamId> {
+    let mut keyed: Vec<(f64, StreamId)> =
+        values.into_iter().map(|(id, v)| (space.key(v), id)).collect();
+    keyed.sort_by(|&a, &b| cmp_key(a, b));
+    keyed.into_iter().map(|(_, id)| id).collect()
+}
+
+/// The 1-based rank of `id` within `values` under `space`.
+///
+/// This is the paper's `rank(S_i, t)` evaluated over whatever value
+/// snapshot the caller supplies (server view for protocols, ground truth
+/// for the oracle).
+pub fn rank_of(
+    space: RankSpace,
+    values: impl IntoIterator<Item = (StreamId, f64)>,
+    id: StreamId,
+) -> Option<usize> {
+    rank_values(space, values).iter().position(|&s| s == id).map(|p| p + 1)
+}
+
+/// The midpoint between the keys of ranks `m` and `m + 1` (1-based) —
+/// the paper's `Deploy_bound` radius `d = (|V_x − q| + |V_y − q|)/2`
+/// generalised to key space.
+///
+/// # Panics
+///
+/// Panics if fewer than `m + 1` streams are supplied or `m == 0`.
+pub fn midpoint_threshold(
+    space: RankSpace,
+    values: impl IntoIterator<Item = (StreamId, f64)>,
+    m: usize,
+) -> f64 {
+    assert!(m >= 1, "midpoint rank must be >= 1");
+    let mut keys: Vec<f64> = values.into_iter().map(|(_, v)| space.key(v)).collect();
+    assert!(
+        keys.len() > m,
+        "midpoint between ranks {m} and {} needs more than {m} streams, got {}",
+        m + 1,
+        keys.len()
+    );
+    keys.sort_by(|a, b| a.partial_cmp(b).expect("rank keys must not be NaN"));
+    (keys[m - 1] + keys[m]) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(v: &[f64]) -> Vec<(StreamId, f64)> {
+        v.iter().enumerate().map(|(i, &x)| (StreamId(i as u32), x)).collect()
+    }
+
+    #[test]
+    fn knn_ranks_by_distance() {
+        let space = RankSpace::Knn { q: 100.0 };
+        // values: 90 (d=10), 150 (d=50), 105 (d=5), 300 (d=200)
+        let order = rank_values(space, vals(&[90.0, 150.0, 105.0, 300.0]));
+        assert_eq!(order, vec![StreamId(2), StreamId(0), StreamId(1), StreamId(3)]);
+    }
+
+    #[test]
+    fn topk_ranks_descending() {
+        let order = rank_values(RankSpace::TopK, vals(&[5.0, 9.0, 1.0]));
+        assert_eq!(order, vec![StreamId(1), StreamId(0), StreamId(2)]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let space = RankSpace::Knn { q: 0.0 };
+        // ids 0 and 1 both at distance 10 (values -10 and 10).
+        let order = rank_values(space, vals(&[-10.0, 10.0, 1.0]));
+        assert_eq!(order, vec![StreamId(2), StreamId(0), StreamId(1)]);
+    }
+
+    #[test]
+    fn rank_of_is_one_based() {
+        let space = RankSpace::TopK;
+        let v = vals(&[5.0, 9.0, 1.0]);
+        assert_eq!(rank_of(space, v.clone(), StreamId(1)), Some(1));
+        assert_eq!(rank_of(space, v.clone(), StreamId(2)), Some(3));
+        assert_eq!(rank_of(space, v, StreamId(9)), None);
+    }
+
+    #[test]
+    fn midpoint_threshold_between_ranks() {
+        let space = RankSpace::Knn { q: 0.0 };
+        // distances: 1, 2, 4, 8
+        let v = vals(&[1.0, -2.0, 4.0, -8.0]);
+        assert_eq!(midpoint_threshold(space, v.clone(), 1), 1.5);
+        assert_eq!(midpoint_threshold(space, v.clone(), 2), 3.0);
+        assert_eq!(midpoint_threshold(space, v, 3), 6.0);
+    }
+
+    #[test]
+    fn midpoint_separates_the_ranks() {
+        // The RTP invariant: exactly m streams lie inside ball(midpoint).
+        let space = RankSpace::TopK;
+        let values = vals(&[10.0, 50.0, 30.0, 20.0, 40.0]);
+        for m in 1..5 {
+            let d = midpoint_threshold(space, values.clone(), m);
+            let inside = values.iter().filter(|&&(_, v)| space.in_ball(v, d)).count();
+            assert_eq!(inside, m, "m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs more than")]
+    fn midpoint_requires_enough_streams() {
+        midpoint_threshold(RankSpace::TopK, vals(&[1.0, 2.0]), 2);
+    }
+
+    #[test]
+    fn rank_view_requires_full_knowledge() {
+        let mut view = ServerView::new(2);
+        view.set(StreamId(0), 1.0);
+        let r = std::panic::catch_unwind(|| rank_view(RankSpace::TopK, &view));
+        assert!(r.is_err());
+        view.set(StreamId(1), 5.0);
+        assert_eq!(rank_view(RankSpace::TopK, &view), vec![StreamId(1), StreamId(0)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Fraction-based tolerance (paper Definitions 2–3).
+
+use crate::error::ConfigError;
+
+/// Fraction-based tolerance `(ε⁺, ε⁻)`.
+///
+/// With `E⁺(t)` the number of answer members that do not satisfy the query
+/// and `E⁻(t)` the number of satisfying streams missing from the answer
+/// (Definition 2):
+///
+/// ```text
+/// F⁺(t) = E⁺(t) / |A(t)|                          ≤ ε⁺
+/// F⁻(t) = E⁻(t) / (|A(t)| − E⁺(t) + E⁻(t))        ≤ ε⁻
+/// ```
+///
+/// The paper assumes both tolerances are smaller than 0.5 ("users are not
+/// interested in results with more incorrect answers than correct ones",
+/// §3.4) — the assumption is also load-bearing in the FT-NRP correctness
+/// proof. The evaluation sweeps tolerance up to 0.5 inclusive, so we accept
+/// the closed domain `[0, 0.5]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FractionTolerance {
+    eps_plus: f64,
+    eps_minus: f64,
+}
+
+impl FractionTolerance {
+    /// Creates a fraction tolerance; both parameters must lie in `[0, 0.5]`.
+    pub fn new(eps_plus: f64, eps_minus: f64) -> Result<Self, ConfigError> {
+        for (name, v) in [("eps_plus", eps_plus), ("eps_minus", eps_minus)] {
+            if !v.is_finite() || !(0.0..=0.5).contains(&v) {
+                return Err(ConfigError::InvalidTolerance(format!(
+                    "{name} must be in [0, 0.5], got {v}"
+                )));
+            }
+        }
+        Ok(Self { eps_plus, eps_minus })
+    }
+
+    /// The zero tolerance (no false positives or negatives allowed).
+    pub fn zero() -> Self {
+        Self { eps_plus: 0.0, eps_minus: 0.0 }
+    }
+
+    /// Symmetric tolerance `ε⁺ = ε⁻ = eps` (how the evaluation sweeps it).
+    pub fn symmetric(eps: f64) -> Result<Self, ConfigError> {
+        Self::new(eps, eps)
+    }
+
+    /// Maximum false-positive fraction `ε⁺`.
+    pub fn eps_plus(&self) -> f64 {
+        self.eps_plus
+    }
+
+    /// Maximum false-negative fraction `ε⁻`.
+    pub fn eps_minus(&self) -> f64 {
+        self.eps_minus
+    }
+
+    /// Whether this is exactly the zero tolerance.
+    pub fn is_zero(&self) -> bool {
+        self.eps_plus == 0.0 && self.eps_minus == 0.0
+    }
+
+    /// `E^{max+}(t₀)`: the number of false-positive (wildcard) filters the
+    /// FT protocols may hand out for an initial answer of `answer_size`
+    /// streams. Equation 3 requires `E^{max+}/|A| ≤ ε⁺`, hence the floor.
+    pub fn max_false_positive_filters(&self, answer_size: usize) -> usize {
+        (answer_size as f64 * self.eps_plus).floor() as usize
+    }
+
+    /// `E^{max−}(t₀)`: the number of false-negative (suppress) filters for
+    /// an initial answer of `answer_size` streams:
+    /// `|A(t₀)| · ε⁻(1 − ε⁺)/(1 − ε⁻)` (from Equations 2–4), floored.
+    pub fn max_false_negative_filters(&self, answer_size: usize) -> usize {
+        if self.eps_minus >= 1.0 {
+            // Unreachable given the [0, 0.5] domain; defensive.
+            return answer_size;
+        }
+        let raw =
+            answer_size as f64 * self.eps_minus * (1.0 - self.eps_plus) / (1.0 - self.eps_minus);
+        raw.floor() as usize
+    }
+
+    /// Upper bound on the answer size for a fraction-tolerant k-NN query:
+    /// `|A(t)| ≤ k / (1 − ε⁺)` (Equation 7).
+    pub fn max_answer_size(&self, k: usize) -> f64 {
+        k as f64 / (1.0 - self.eps_plus)
+    }
+
+    /// Lower bound on the answer size for a fraction-tolerant k-NN query:
+    /// `|A(t)| ≥ k(1 − ε⁻)` (Equation 9).
+    pub fn min_answer_size(&self, k: usize) -> f64 {
+        k as f64 * (1.0 - self.eps_minus)
+    }
+}
+
+/// Observed false-positive/false-negative state of an answer set at an
+/// instant, per Definition 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FractionMetrics {
+    /// `E⁺(t)`: answer members that do not satisfy the query.
+    pub e_plus: usize,
+    /// `E⁻(t)`: satisfying streams missing from the answer.
+    pub e_minus: usize,
+    /// `|A(t)|`.
+    pub answer_size: usize,
+}
+
+impl FractionMetrics {
+    /// `F⁺(t) = E⁺/|A|` (Equation 1); 0 when the answer is empty.
+    pub fn f_plus(&self) -> f64 {
+        if self.answer_size == 0 {
+            0.0
+        } else {
+            self.e_plus as f64 / self.answer_size as f64
+        }
+    }
+
+    /// `F⁻(t) = E⁻/(|A| − E⁺ + E⁻)` (Equation 2); 0 when there are no true
+    /// answers at all (the denominator is the number of streams satisfying
+    /// the query).
+    pub fn f_minus(&self) -> f64 {
+        let truth = self.answer_size - self.e_plus + self.e_minus;
+        if truth == 0 {
+            0.0
+        } else {
+            self.e_minus as f64 / truth as f64
+        }
+    }
+
+    /// Whether both fractions are within `tol` (Definition 3), with a tiny
+    /// epsilon for float round-off in the ratio comparison.
+    pub fn within(&self, tol: &FractionTolerance) -> bool {
+        const SLOP: f64 = 1e-12;
+        self.f_plus() <= tol.eps_plus() + SLOP && self.f_minus() <= tol.eps_minus() + SLOP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_validation() {
+        assert!(FractionTolerance::new(0.0, 0.0).is_ok());
+        assert!(FractionTolerance::new(0.5, 0.5).is_ok());
+        assert!(FractionTolerance::new(0.51, 0.1).is_err());
+        assert!(FractionTolerance::new(-0.1, 0.1).is_err());
+        assert!(FractionTolerance::new(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn filter_budgets_floor() {
+        let t = FractionTolerance::new(0.25, 0.25).unwrap();
+        // |A| = 10: n+ = floor(2.5) = 2
+        assert_eq!(t.max_false_positive_filters(10), 2);
+        // n- = floor(10 * 0.25 * 0.75 / 0.75) = floor(2.5) = 2
+        assert_eq!(t.max_false_negative_filters(10), 2);
+    }
+
+    #[test]
+    fn zero_tolerance_has_no_budgets() {
+        let t = FractionTolerance::zero();
+        assert!(t.is_zero());
+        assert_eq!(t.max_false_positive_filters(1000), 0);
+        assert_eq!(t.max_false_negative_filters(1000), 0);
+    }
+
+    #[test]
+    fn paper_example_ten_nn_with_ten_percent() {
+        // Paper §3.4.1: k = 10, eps+ = 0.1 -> the system could return 11
+        // streams with at most one incorrect.
+        let t = FractionTolerance::new(0.1, 0.1).unwrap();
+        let max = t.max_answer_size(10);
+        assert!((max - 10.0 / 0.9).abs() < 1e-12);
+        assert!(max >= 11.0);
+        // Equation 8: |A| <= 2k always, because eps+ <= 0.5.
+        let extreme = FractionTolerance::new(0.5, 0.5).unwrap();
+        assert!(extreme.max_answer_size(10) <= 20.0 + 1e-12);
+        // Equation 10: |A| >= k/2.
+        assert!(extreme.min_answer_size(10) >= 5.0 - 1e-12);
+    }
+
+    #[test]
+    fn metrics_fractions() {
+        let m = FractionMetrics { e_plus: 1, e_minus: 2, answer_size: 10 };
+        assert!((m.f_plus() - 0.1).abs() < 1e-12);
+        // truth = 10 - 1 + 2 = 11
+        assert!((m.f_minus() - 2.0 / 11.0).abs() < 1e-12);
+        let tol = FractionTolerance::new(0.1, 0.2).unwrap();
+        assert!(m.within(&tol));
+        let tight = FractionTolerance::new(0.05, 0.2).unwrap();
+        assert!(!m.within(&tight));
+    }
+
+    #[test]
+    fn metrics_empty_answer_is_defined() {
+        let m = FractionMetrics { e_plus: 0, e_minus: 0, answer_size: 0 };
+        assert_eq!(m.f_plus(), 0.0);
+        assert_eq!(m.f_minus(), 0.0);
+    }
+
+    #[test]
+    fn metrics_no_true_answers() {
+        // |A| = 2, both wrong, nothing satisfies the query: truth = 0.
+        let m = FractionMetrics { e_plus: 2, e_minus: 0, answer_size: 2 };
+        assert_eq!(m.f_plus(), 1.0);
+        assert_eq!(m.f_minus(), 0.0);
+    }
+}

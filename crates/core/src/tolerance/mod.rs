@@ -1,0 +1,9 @@
+//! Non-value-based error tolerances (paper §3.3–3.4).
+
+mod fraction;
+mod rank;
+mod rho;
+
+pub use fraction::{FractionMetrics, FractionTolerance};
+pub use rank::RankTolerance;
+pub use rho::{derive_rho, RhoPair, RhoPolicy};

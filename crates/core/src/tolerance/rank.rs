@@ -1,0 +1,77 @@
+//! Rank-based tolerance (paper Definition 1).
+
+use crate::error::ConfigError;
+
+/// Rank-based tolerance for a rank-based query with requirement `k`:
+/// an answer set `A(t)` is correct iff `|A(t)| = k` and every member's true
+/// rank is at most `ε_k^r = k + r` (Definition 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankTolerance {
+    k: usize,
+    r: usize,
+}
+
+impl RankTolerance {
+    /// Creates a rank tolerance of `r` extra rank positions beyond `k`.
+    pub fn new(k: usize, r: usize) -> Result<Self, ConfigError> {
+        if k == 0 {
+            return Err(ConfigError::InvalidTolerance("rank requirement k must be >= 1".into()));
+        }
+        Ok(Self { k, r })
+    }
+
+    /// The rank requirement `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The slack `r` (0 = exact ranks required).
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The maximum acceptable rank `ε_k^r = k + r`.
+    pub fn epsilon(&self) -> usize {
+        self.k + self.r
+    }
+
+    /// Checks Definition 1 given the answer size and the members' true
+    /// ranks (1-based).
+    pub fn is_correct(&self, answer_size: usize, true_ranks: impl IntoIterator<Item = usize>) -> bool {
+        answer_size == self.k && true_ranks.into_iter().all(|rank| rank <= self.epsilon())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_is_k_plus_r() {
+        let t = RankTolerance::new(3, 2).unwrap();
+        assert_eq!(t.epsilon(), 5);
+    }
+
+    #[test]
+    fn definition_1_example() {
+        // Paper: k = 3, r = 2 — correct iff exactly three streams, all of
+        // rank 5 or above.
+        let t = RankTolerance::new(3, 2).unwrap();
+        assert!(t.is_correct(3, [1, 4, 5]));
+        assert!(!t.is_correct(3, [1, 2, 6]), "rank 6 exceeds epsilon 5");
+        assert!(!t.is_correct(2, [1, 2]), "answer must have exactly k members");
+        assert!(!t.is_correct(4, [1, 2, 3, 4]), "answer must have exactly k members");
+    }
+
+    #[test]
+    fn zero_slack_requires_true_top_k() {
+        let t = RankTolerance::new(2, 0).unwrap();
+        assert!(t.is_correct(2, [1, 2]));
+        assert!(!t.is_correct(2, [1, 3]));
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(RankTolerance::new(0, 5).is_err());
+    }
+}

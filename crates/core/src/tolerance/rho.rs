@@ -1,0 +1,163 @@
+//! Derivation of the internal FT-NRP tolerances `(ρ⁺, ρ⁻)` used to answer a
+//! fraction-tolerant k-NN query (paper §5.2.2, Equations 13–16).
+//!
+//! A k-NN query with user tolerance `(ε⁺, ε⁻)` cannot feed `(ε⁺, ε⁻)` to
+//! FT-NRP directly: objects silently crossing the bound `R` create *both*
+//! false positives and false negatives (Figure 8), so the internal budgets
+//! must be discounted. Combining the two requirements gives Equation 15:
+//!
+//! ```text
+//! ρ⁻ ≤ ρ⁺/(ε⁺ − 1) + min((1 − ε⁻)·ε⁺, ε⁻)
+//! ```
+//!
+//! and tolerance is maximised on the equality line (Equation 16). Since
+//! `ε⁺ − 1 < 0`, the line trades `ρ⁺` against `ρ⁻`:
+//! `ρ⁻ = m − ρ⁺/(1 − ε⁺)` with `m = min((1 − ε⁻)·ε⁺, ε⁻)`. The paper does
+//! not fix a point on the line; [`RhoPolicy`] picks one (DESIGN.md §3.4),
+//! and `bin/ablation_rho` compares the choices.
+
+use crate::error::ConfigError;
+use crate::tolerance::FractionTolerance;
+
+/// How to split the Equation-16 budget line between `ρ⁺` and `ρ⁻`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RhoPolicy {
+    /// `ρ⁺ = ρ⁻` (default): both filter kinds get an equal fraction.
+    #[default]
+    Balanced,
+    /// All budget on false-positive (wildcard) filters: `ρ⁻ = 0`.
+    MaxPositive,
+    /// All budget on false-negative (suppress) filters: `ρ⁺ = 0`.
+    MaxNegative,
+}
+
+/// A `(ρ⁺, ρ⁻)` pair satisfying Equation 16 for some user tolerance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RhoPair {
+    /// Internal false-positive tolerance `ρ⁺`.
+    pub rho_plus: f64,
+    /// Internal false-negative tolerance `ρ⁻`.
+    pub rho_minus: f64,
+}
+
+impl RhoPair {
+    /// The slack in Equation 15 for a given user tolerance: non-negative iff
+    /// the pair is admissible. Zero (up to float error) on the Equation-16
+    /// line.
+    pub fn equation_15_slack(&self, tol: &FractionTolerance) -> f64 {
+        let m = budget_m(tol);
+        m - self.rho_plus / (1.0 - tol.eps_plus()) - self.rho_minus
+    }
+}
+
+/// `m = min((1 − ε⁻)·ε⁺, ε⁻)` — the right-hand constant of Equations 15/16.
+fn budget_m(tol: &FractionTolerance) -> f64 {
+    ((1.0 - tol.eps_minus()) * tol.eps_plus()).min(tol.eps_minus())
+}
+
+/// Computes the `(ρ⁺, ρ⁻)` pair on the Equation-16 line under `policy`.
+///
+/// Both components come out in `[0, 0.5]`, so they always form a valid
+/// [`FractionTolerance`] for the inner FT-NRP instance. Returns an error
+/// only if the resulting pair fails that validation (impossible for the
+/// implemented policies; kept for API robustness).
+pub fn derive_rho(tol: &FractionTolerance, policy: RhoPolicy) -> Result<RhoPair, ConfigError> {
+    let m = budget_m(tol);
+    debug_assert!((0.0..=0.5).contains(&m));
+    let pair = match policy {
+        RhoPolicy::Balanced => {
+            // rho = m - rho/(1-e+)  =>  rho = m(1-e+)/(2-e+)
+            let rho = m * (1.0 - tol.eps_plus()) / (2.0 - tol.eps_plus());
+            RhoPair { rho_plus: rho, rho_minus: rho }
+        }
+        RhoPolicy::MaxPositive => {
+            RhoPair { rho_plus: m * (1.0 - tol.eps_plus()), rho_minus: 0.0 }
+        }
+        RhoPolicy::MaxNegative => RhoPair { rho_plus: 0.0, rho_minus: m },
+    };
+    // Sanity: the pair must itself be a valid fraction tolerance.
+    FractionTolerance::new(pair.rho_plus, pair.rho_minus)?;
+    Ok(pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tol(p: f64, m: f64) -> FractionTolerance {
+        FractionTolerance::new(p, m).unwrap()
+    }
+
+    #[test]
+    fn all_policies_sit_on_the_equation_16_line() {
+        for eps in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
+            let t = tol(eps, eps);
+            for policy in [RhoPolicy::Balanced, RhoPolicy::MaxPositive, RhoPolicy::MaxNegative] {
+                let pair = derive_rho(&t, policy).unwrap();
+                let slack = pair.equation_15_slack(&t);
+                assert!(slack.abs() < 1e-12, "policy {policy:?} eps {eps}: slack {slack}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_tolerances() {
+        let t = tol(0.1, 0.4);
+        // m = min((1 - 0.4) * 0.1, 0.4) = 0.06
+        let pair = derive_rho(&t, RhoPolicy::MaxNegative).unwrap();
+        assert!((pair.rho_minus - 0.06).abs() < 1e-12);
+        assert_eq!(pair.rho_plus, 0.0);
+
+        let t = tol(0.4, 0.1);
+        // m = min((1 - 0.1) * 0.4, 0.1) = 0.1; rho+ = m * (1 - eps+) = 0.06
+        let pair = derive_rho(&t, RhoPolicy::MaxPositive).unwrap();
+        assert!((pair.rho_plus - 0.1 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_components_are_equal_and_positive() {
+        let t = tol(0.2, 0.2);
+        let pair = derive_rho(&t, RhoPolicy::Balanced).unwrap();
+        assert_eq!(pair.rho_plus, pair.rho_minus);
+        // m = min(0.8*0.2, 0.2) = 0.16; rho = 0.16*0.8/1.8
+        assert!((pair.rho_plus - 0.16 * 0.8 / 1.8).abs() < 1e-12);
+        assert!(pair.rho_plus > 0.0);
+    }
+
+    #[test]
+    fn zero_user_tolerance_gives_zero_rho() {
+        for policy in [RhoPolicy::Balanced, RhoPolicy::MaxPositive, RhoPolicy::MaxNegative] {
+            let pair = derive_rho(&FractionTolerance::zero(), policy).unwrap();
+            assert_eq!(pair.rho_plus, 0.0);
+            assert_eq!(pair.rho_minus, 0.0);
+        }
+        // One-sided zero also kills the budget: with eps+ = 0, any silent
+        // crossing could create an intolerable false positive.
+        let pair = derive_rho(&tol(0.0, 0.3), RhoPolicy::Balanced).unwrap();
+        assert_eq!(pair.rho_plus, 0.0);
+        assert_eq!(pair.rho_minus, 0.0);
+    }
+
+    #[test]
+    fn rho_is_always_a_valid_tolerance() {
+        for p in [0.0, 0.1, 0.25, 0.5] {
+            for m in [0.0, 0.1, 0.25, 0.5] {
+                for policy in
+                    [RhoPolicy::Balanced, RhoPolicy::MaxPositive, RhoPolicy::MaxNegative]
+                {
+                    let pair = derive_rho(&tol(p, m), policy).unwrap();
+                    assert!(FractionTolerance::new(pair.rho_plus, pair.rho_minus).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn internal_tolerance_is_strictly_tighter_than_user() {
+        // The whole point of Eq. 16: rho <= eps, with slack for R-crossings.
+        let t = tol(0.3, 0.3);
+        let pair = derive_rho(&t, RhoPolicy::Balanced).unwrap();
+        assert!(pair.rho_plus < t.eps_plus());
+        assert!(pair.rho_minus < t.eps_minus());
+    }
+}

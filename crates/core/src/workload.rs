@@ -1,0 +1,114 @@
+//! Workload abstraction: time-ordered streams of value updates.
+//!
+//! Generators live in the `asf-workloads` crate; this module defines the
+//! interface the [`crate::engine::Engine`] consumes plus a trivial in-memory
+//! implementation for tests and examples.
+
+use simkit::SimTime;
+use streamnet::StreamId;
+
+/// One value update produced by a workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpdateEvent {
+    /// Simulation time of the update.
+    pub time: SimTime,
+    /// Which stream's value changed.
+    pub stream: StreamId,
+    /// The new value.
+    pub value: f64,
+}
+
+/// A source of time-ordered update events.
+///
+/// Implementations must yield events with non-decreasing `time` and finite
+/// values; the engine asserts both.
+pub trait Workload {
+    /// Number of streams in the population.
+    fn num_streams(&self) -> usize;
+
+    /// Initial values of all streams at time 0 (length = `num_streams`).
+    fn initial_values(&self) -> Vec<f64>;
+
+    /// Produces the next event, or `None` when the workload is exhausted.
+    fn next_event(&mut self) -> Option<UpdateEvent>;
+}
+
+/// A workload replaying a pre-built vector of events. Used by unit tests,
+/// doc examples, and trace replay.
+#[derive(Clone, Debug)]
+pub struct VecWorkload {
+    initial: Vec<f64>,
+    events: std::vec::IntoIter<UpdateEvent>,
+}
+
+impl VecWorkload {
+    /// Creates a replay workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are not time-ordered, reference unknown streams, or
+    /// contain non-finite values — catching malformed traces at
+    /// construction, not mid-simulation.
+    pub fn new(initial: Vec<f64>, events: Vec<UpdateEvent>) -> Self {
+        let n = initial.len();
+        let mut last = f64::NEG_INFINITY;
+        for ev in &events {
+            assert!(ev.time >= last, "events must be time-ordered");
+            assert!(ev.stream.index() < n, "event references unknown stream {}", ev.stream);
+            assert!(ev.value.is_finite(), "event value must be finite");
+            last = ev.time;
+        }
+        Self { initial, events: events.into_iter() }
+    }
+}
+
+impl Workload for VecWorkload {
+    fn num_streams(&self) -> usize {
+        self.initial.len()
+    }
+
+    fn initial_values(&self) -> Vec<f64> {
+        self.initial.clone()
+    }
+
+    fn next_event(&mut self) -> Option<UpdateEvent> {
+        self.events.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_workload_replays_in_order() {
+        let evs = vec![
+            UpdateEvent { time: 1.0, stream: StreamId(0), value: 5.0 },
+            UpdateEvent { time: 2.0, stream: StreamId(1), value: 6.0 },
+        ];
+        let mut w = VecWorkload::new(vec![0.0, 0.0], evs.clone());
+        assert_eq!(w.num_streams(), 2);
+        assert_eq!(w.initial_values(), vec![0.0, 0.0]);
+        assert_eq!(w.next_event(), Some(evs[0]));
+        assert_eq!(w.next_event(), Some(evs[1]));
+        assert_eq!(w.next_event(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_out_of_order_events() {
+        VecWorkload::new(
+            vec![0.0],
+            vec![
+                UpdateEvent { time: 2.0, stream: StreamId(0), value: 1.0 },
+                UpdateEvent { time: 1.0, stream: StreamId(0), value: 2.0 },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stream")]
+    fn rejects_unknown_stream() {
+        VecWorkload::new(vec![0.0], vec![UpdateEvent { time: 0.0, stream: StreamId(5), value: 1.0 }]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Probability distributions, implemented from scratch over [`SimRng`].
+//!
+//! The paper's workloads need: exponential inter-arrival times (§6.2, mean 20
+//! time units), normal value steps (§6.2, `N(0, σ)`), and — for the
+//! TCP-trace substitute (DESIGN.md §5) — log-normal connection sizes, Zipf
+//! subnet activity, and Pareto heavy tails. `rand_distr` is not among the
+//! approved offline crates, so the transforms live here with their own tests.
+
+use crate::rng::SimRng;
+
+/// A distribution over `f64` that samples using a [`SimRng`].
+pub trait Sample {
+    /// Draws one variate.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or bounds are non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid uniform bounds [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Exponential distribution with the given **mean** (not rate).
+///
+/// The paper specifies inter-arrival times by mean ("exponential distribution
+/// with a mean of 20 time units"), so the constructor takes the mean; the
+/// rate is `1/mean`. Sampling uses inverse transform `-mean · ln(u)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not a positive finite number.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        Self { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -self.mean * rng.next_f64_open().ln()
+    }
+}
+
+/// Normal distribution `N(mean, sd²)` via the Box–Muller transform.
+///
+/// Each draw consumes two uniforms and discards the second variate; this is
+/// marginally wasteful but keeps sampling stateless, which matters because
+/// distributions are shared across simulated sources.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation `sd >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite parameters or negative `sd`.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0, "invalid normal({mean}, {sd})");
+        Self { mean, sd }
+    }
+
+    /// Standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.sd * r * theta.cos()
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used by the TCP-like workload for connection byte counts, whose empirical
+/// distributions are famously heavy-tailed and well approximated as
+/// log-normal in the body.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    log_normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-space mean `mu` and log-space standard
+    /// deviation `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self { log_normal: Normal::new(mu, sigma) }
+    }
+
+    /// Median of the distribution (`exp(mu)`).
+    pub fn median(&self) -> f64 {
+        self.log_normal.mean.exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.log_normal.sample(rng).exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min > 0` and shape `alpha > 0`.
+///
+/// Inverse transform: `x_min / u^{1/alpha}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x_min > 0` and `alpha > 0` (finite).
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(
+            x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "invalid pareto({x_min}, {alpha})"
+        );
+        Self { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / rng.next_f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s >= 0`:
+/// `P(k) ∝ k^{-s}`.
+///
+/// Implemented with a precomputed cumulative table and binary search —
+/// `O(n)` memory, `O(log n)` per sample — which is ideal here because `n` is
+/// the number of stream sources (hundreds to a few thousand) and the table is
+/// built once per workload.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guarantee the last entry is exactly 1 so search never falls off.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the count of entries < u... we want the
+        // first index with cdf[i] >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+impl Sample for Zipf {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0xD15EA5E)
+    }
+
+    fn mean_of(d: &impl Sample, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(20.0);
+        let m = mean_of(&d, 200_000);
+        assert!((m - 20.0).abs() < 0.3, "sample mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::with_mean(1.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(5.0, 20.0);
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        assert!((var.sqrt() - 20.0).abs() < 0.2, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_zero_sd_is_constant() {
+        let d = Normal::new(3.0, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 3.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::new(500f64.ln(), 0.8);
+        let mut r = rng();
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median / 500.0 - 1.0).abs() < 0.05, "median {median}");
+        assert!((d.median() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        // P(X > 4) = (2/4)^1.5 ≈ 0.3536
+        let frac = samples.iter().filter(|&&x| x > 4.0).count() as f64 / n as f64;
+        assert!((frac - 0.3536).abs() < 0.01, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.1);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = vec![0usize; 101];
+        for _ in 0..n {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[5]);
+        let expected1 = z.pmf(1);
+        let got1 = counts[1] as f64 / n as f64;
+        assert!((got1 - expected1).abs() < 0.01, "rank-1 freq {got1} vs pmf {expected1}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_bounds() {
+        let z = Zipf::new(7, 2.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let k = z.sample_rank(&mut r);
+            assert!((1..=7).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal")]
+    fn normal_rejects_negative_sd() {
+        Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The collection of all stream sources, with ledger-threaded operations.
+//!
+//! Every server↔source interaction goes through this type so that message
+//! accounting can never be forgotten: delivering a workload update, probing,
+//! installing filters, and broadcasting all take the [`Ledger`] and the
+//! server's [`ServerView`] and keep both consistent.
+
+use crate::filter::Filter;
+use crate::message::{Ledger, MessageKind};
+use crate::source::StreamSource;
+use crate::view::ServerView;
+use crate::StreamId;
+
+/// All `n` stream sources of the simulated system.
+#[derive(Clone, Debug)]
+pub struct SourceFleet {
+    sources: Vec<StreamSource>,
+}
+
+impl SourceFleet {
+    /// Builds a fleet from initial values; ids are assigned `0..n` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or contains non-finite values, or if
+    /// there are more than `u32::MAX` streams.
+    pub fn from_values(initial: &[f64]) -> Self {
+        assert!(!initial.is_empty(), "a fleet needs at least one source");
+        assert!(u32::try_from(initial.len()).is_ok(), "too many sources");
+        let sources = initial
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| StreamSource::new(StreamId(i as u32), v))
+            .collect();
+        Self { sources }
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the fleet is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Read-only access to one source (ground truth — for oracles/tests).
+    pub fn source(&self, id: StreamId) -> &StreamSource {
+        &self.sources[id.index()]
+    }
+
+    /// Iterates over all sources (ground truth — for oracles/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &StreamSource> {
+        self.sources.iter()
+    }
+
+    /// Ground-truth current value of a stream (oracle/test use only; the
+    /// server must [`Self::probe`] to learn it).
+    pub fn true_value(&self, id: StreamId) -> f64 {
+        self.sources[id.index()].value()
+    }
+
+    /// Delivers a workload update to a source. If the source's filter is
+    /// violated it reports: one `Update` message is recorded, the server
+    /// view refreshed, and `Some(value)` returned for the protocol to
+    /// handle. Otherwise the update is silent and `None` is returned.
+    pub fn deliver_update(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        let src = &mut self.sources[id.index()];
+        if src.apply_value(value) {
+            src.mark_reported();
+            src.add_traffic(1);
+            ledger.record(MessageKind::Update, 1);
+            view.set(id, value);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Server probes one source for its current value (one request + one
+    /// reply = 2 messages). Refreshes the server view and the source's
+    /// last-reported value, and returns the value.
+    pub fn probe(&mut self, id: StreamId, ledger: &mut Ledger, view: &mut ServerView) -> f64 {
+        let src = &mut self.sources[id.index()];
+        ledger.record(MessageKind::ProbeRequest, 1);
+        ledger.record(MessageKind::ProbeReply, 1);
+        src.add_traffic(2);
+        src.mark_reported();
+        let v = src.value();
+        view.set(id, v);
+        v
+    }
+
+    /// Probes every source (the Initialization phases' "request all streams
+    /// to send their values"): `2n` messages.
+    pub fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
+        for i in 0..self.sources.len() {
+            self.probe(StreamId(i as u32), ledger, view);
+        }
+    }
+
+    /// Installs a filter at one source (1 message). If the new filter is
+    /// inconsistent with the server's knowledge (see
+    /// [`StreamSource::install`]) the source immediately syncs: one `Update`
+    /// message, view refreshed, and `Some(value)` returned so the engine can
+    /// route it to the protocol.
+    pub fn install(
+        &mut self,
+        id: StreamId,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        ledger.record(MessageKind::FilterInstall, 1);
+        let src = &mut self.sources[id.index()];
+        src.add_traffic(1);
+        if src.install(filter) {
+            src.mark_reported();
+            src.add_traffic(1);
+            ledger.record(MessageKind::Update, 1);
+            let v = src.value();
+            view.set(id, v);
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Broadcasts a filter to every source (`n` messages). Returns the sync
+    /// reports `(id, value)` from sources whose state was inconsistent with
+    /// the new filter (each also recorded as one `Update`).
+    pub fn broadcast(
+        &mut self,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
+        ledger.record(MessageKind::FilterBroadcast, self.sources.len() as u64);
+        let mut syncs = Vec::new();
+        for src in &mut self.sources {
+            src.add_traffic(1);
+            if src.install(filter.clone()) {
+                src.mark_reported();
+                src.add_traffic(1);
+                ledger.record(MessageKind::Update, 1);
+                let v = src.value();
+                view.set(src.id(), v);
+                syncs.push((src.id(), v));
+            }
+        }
+        syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SourceFleet, Ledger, ServerView) {
+        let fleet = SourceFleet::from_values(&[100.0, 500.0, 900.0]);
+        let view = ServerView::new(3);
+        (fleet, Ledger::new(), view)
+    }
+
+    #[test]
+    fn probe_all_costs_2n_and_fills_view() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        assert_eq!(ledger.total(), 6);
+        assert!(view.all_known());
+        assert_eq!(view.get(StreamId(1)), 500.0);
+    }
+
+    #[test]
+    fn unfiltered_update_reports() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        let r = fleet.deliver_update(StreamId(0), 120.0, &mut ledger, &mut view);
+        assert_eq!(r, Some(120.0));
+        assert_eq!(ledger.count(MessageKind::Update), 1);
+        assert_eq!(view.get(StreamId(0)), 120.0);
+    }
+
+    #[test]
+    fn filtered_update_inside_is_silent_and_stale() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        fleet.install(StreamId(1), Filter::interval(400.0, 600.0), &mut ledger, &mut view);
+        let before = ledger.total();
+        let r = fleet.deliver_update(StreamId(1), 550.0, &mut ledger, &mut view);
+        assert_eq!(r, None);
+        assert_eq!(ledger.total(), before);
+        // Server view is stale by design.
+        assert_eq!(view.get(StreamId(1)), 500.0);
+        // Ground truth moved.
+        assert_eq!(fleet.true_value(StreamId(1)), 550.0);
+    }
+
+    #[test]
+    fn crossing_update_reports_and_refreshes() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        fleet.install(StreamId(1), Filter::interval(400.0, 600.0), &mut ledger, &mut view);
+        let r = fleet.deliver_update(StreamId(1), 700.0, &mut ledger, &mut view);
+        assert_eq!(r, Some(700.0));
+        assert_eq!(view.get(StreamId(1)), 700.0);
+    }
+
+    #[test]
+    fn install_sync_when_inconsistent() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        // Silent drift within a broad filter.
+        fleet.install(StreamId(1), Filter::interval(0.0, 1000.0), &mut ledger, &mut view);
+        assert_eq!(fleet.deliver_update(StreamId(1), 800.0, &mut ledger, &mut view), None);
+        let before_updates = ledger.count(MessageKind::Update);
+        // New filter separates believed (500) from true (800): sync expected.
+        let sync = fleet.install(StreamId(1), Filter::interval(750.0, 900.0), &mut ledger, &mut view);
+        assert_eq!(sync, Some(800.0));
+        assert_eq!(ledger.count(MessageKind::Update), before_updates + 1);
+        assert_eq!(view.get(StreamId(1)), 800.0);
+    }
+
+    #[test]
+    fn broadcast_costs_n_and_syncs_inconsistent_sources() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        ledger.reset();
+        // All believed values: 100, 500, 900 — all consistent with ground
+        // truth, so a broadcast of [0, 1000] yields no syncs.
+        let syncs = fleet.broadcast(Filter::interval(0.0, 1000.0), &mut ledger, &mut view);
+        assert!(syncs.is_empty());
+        assert_eq!(ledger.count(MessageKind::FilterBroadcast), 3);
+        assert_eq!(ledger.broadcast_ops(), 1);
+
+        // Drift silently, then broadcast a filter that separates believed
+        // from true for stream 0 only.
+        fleet.deliver_update(StreamId(0), 450.0, &mut ledger, &mut view); // 100 -> 450 inside [0,1000]: silent
+        let syncs = fleet.broadcast(Filter::interval(400.0, 600.0), &mut ledger, &mut view);
+        assert_eq!(syncs, vec![(StreamId(0), 450.0)]);
+    }
+
+    #[test]
+    fn traffic_accounting_per_source() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe(StreamId(0), &mut ledger, &mut view); // 2
+        fleet.install(StreamId(0), Filter::wildcard(), &mut ledger, &mut view); // 1
+        assert_eq!(fleet.source(StreamId(0)).traffic(), 3);
+        assert_eq!(fleet.source(StreamId(1)).traffic(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_fleet_rejected() {
+        SourceFleet::from_values(&[]);
+    }
+}

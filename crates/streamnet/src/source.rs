@@ -1,0 +1,198 @@
+//! A single stream source with its adaptive filter.
+
+use crate::filter::Filter;
+use crate::StreamId;
+
+/// A stream source (sensor / subnet agent) in the Figure-3 architecture.
+///
+/// Holds the ground-truth current value, the value last reported to the
+/// server, and the installed filter. All message accounting is done by the
+/// caller ([`crate::fleet::SourceFleet`]), keeping this type pure state.
+#[derive(Clone, Debug)]
+pub struct StreamSource {
+    id: StreamId,
+    value: f64,
+    /// Last value the server has seen from this source (via report or
+    /// probe). `None` until the first interaction: before the server knows
+    /// anything, any update must be reported (there is no basis to filter).
+    last_reported: Option<f64>,
+    filter: Filter,
+    /// Total messages this source has sent or received; used for the energy
+    /// accounting extension (shut-down sensors send/receive nothing).
+    traffic: u64,
+}
+
+impl StreamSource {
+    /// Creates a source with an initial value and no filter installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not finite.
+    pub fn new(id: StreamId, initial: f64) -> Self {
+        assert!(initial.is_finite(), "stream values must be finite, got {initial}");
+        Self { id, value: initial, last_reported: None, filter: Filter::ReportAll, traffic: 0 }
+    }
+
+    /// The source id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// Ground-truth current value (visible to tests and the oracle; the
+    /// server must pay messages to learn it).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The value the server last learned from this source, if any.
+    pub fn last_reported(&self) -> Option<f64> {
+        self.last_reported
+    }
+
+    /// The currently installed filter.
+    pub fn filter(&self) -> &Filter {
+        &self.filter
+    }
+
+    /// Message traffic (sent + received) observed at this source.
+    pub fn traffic(&self) -> u64 {
+        self.traffic
+    }
+
+    pub(crate) fn add_traffic(&mut self, n: u64) {
+        self.traffic += n;
+    }
+
+    /// Applies a new value from the workload and decides whether the filter
+    /// constraint is violated (⇒ the source must report).
+    ///
+    /// Does **not** mark the value as reported — call [`Self::mark_reported`]
+    /// when the report is actually sent, so callers control accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_value` is not finite.
+    pub fn apply_value(&mut self, new_value: f64) -> bool {
+        assert!(new_value.is_finite(), "stream values must be finite, got {new_value}");
+        self.value = new_value;
+        match self.last_reported {
+            None => true,
+            Some(prev) => self.filter.violated(prev, new_value),
+        }
+    }
+
+    /// Marks the current value as known to the server (report or probe
+    /// reply just carried it).
+    pub fn mark_reported(&mut self) {
+        self.last_reported = Some(self.value);
+    }
+
+    /// Installs a filter and reports whether the source must immediately
+    /// sync (the server's knowledge is inconsistent with the new filter:
+    /// membership of the last reported value differs from membership of the
+    /// actual current value).
+    ///
+    /// The paper assumes values do not change during constraint resolution
+    /// (Correctness Requirement 2); this sync mechanism is what keeps the
+    /// server's view consistent when a *re*configuration arrives while the
+    /// true value has silently drifted within the old filter (see DESIGN.md
+    /// §3.2).
+    pub fn install(&mut self, filter: Filter) -> bool {
+        self.filter = filter;
+        match (&self.filter, self.last_reported) {
+            (Filter::ReportAll, _) => false,
+            (_, None) => false, // nothing reported yet; first update will report
+            (f, Some(prev)) => f.violated(prev, self.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(v: f64) -> StreamSource {
+        StreamSource::new(StreamId(0), v)
+    }
+
+    #[test]
+    fn first_update_always_reports() {
+        let mut s = src(10.0);
+        assert_eq!(s.last_reported(), None);
+        assert!(s.apply_value(11.0));
+    }
+
+    #[test]
+    fn filtered_update_inside_is_silent() {
+        let mut s = src(500.0);
+        s.mark_reported();
+        s.install(Filter::interval(400.0, 600.0));
+        assert!(!s.apply_value(550.0));
+        assert_eq!(s.last_reported(), Some(500.0), "silent update must not refresh the server view");
+    }
+
+    #[test]
+    fn crossing_reports_and_mark_refreshes() {
+        let mut s = src(500.0);
+        s.mark_reported();
+        s.install(Filter::interval(400.0, 600.0));
+        assert!(s.apply_value(700.0));
+        s.mark_reported();
+        assert_eq!(s.last_reported(), Some(700.0));
+        // Now outside; moving outside->outside is silent.
+        assert!(!s.apply_value(900.0));
+        // outside -> inside violates again.
+        assert!(s.apply_value(450.0));
+    }
+
+    #[test]
+    fn report_all_reports_every_change() {
+        let mut s = src(1.0);
+        s.mark_reported();
+        assert!(s.apply_value(1.5));
+        s.mark_reported();
+        assert!(s.apply_value(1.5)); // even a same-value update is an update message
+    }
+
+    #[test]
+    fn wildcard_silences_source() {
+        let mut s = src(500.0);
+        s.mark_reported();
+        assert!(!s.install(Filter::wildcard()));
+        for v in [0.0, 1e6, -1e6] {
+            assert!(!s.apply_value(v));
+        }
+    }
+
+    #[test]
+    fn install_detects_stale_view() {
+        let mut s = src(500.0);
+        s.mark_reported();
+        s.install(Filter::interval(0.0, 1000.0));
+        // Value drifts but stays inside: silent; server still believes 500.
+        assert!(!s.apply_value(800.0));
+        // New filter [700, 900]: server-believed 500 is outside, true 800 is
+        // inside -> source must sync.
+        assert!(s.install(Filter::interval(700.0, 900.0)));
+        // Consistent reconfiguration needs no sync: both 500 (believed) and
+        // 800 (true) are inside [0, 900].
+        let mut s2 = src(500.0);
+        s2.mark_reported();
+        s2.install(Filter::interval(0.0, 1000.0));
+        s2.apply_value(800.0); // silent drift within the broad filter
+        assert!(!s2.install(Filter::interval(0.0, 900.0)));
+    }
+
+    #[test]
+    fn install_before_any_report_never_syncs() {
+        let mut s = src(500.0);
+        assert!(!s.install(Filter::interval(0.0, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_value() {
+        let mut s = src(0.0);
+        s.apply_value(f64::INFINITY);
+    }
+}

@@ -1,0 +1,108 @@
+//! The server's view of stream values.
+//!
+//! The server only knows what sources have told it (reports and probe
+//! replies), so its view may be stale. Protocols rank and select streams
+//! based on this view; the ground truth lives in the sources and is only
+//! accessible to the oracle (tests) or by paying probe messages.
+
+use crate::StreamId;
+
+/// Last-known values of all `n` streams, indexed by [`StreamId`].
+#[derive(Clone, Debug)]
+pub struct ServerView {
+    values: Vec<f64>,
+    known: Vec<bool>,
+}
+
+impl ServerView {
+    /// Creates a view over `n` streams with no knowledge yet.
+    pub fn new(n: usize) -> Self {
+        Self { values: vec![0.0; n], known: vec![false; n] }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view is over zero streams.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Records a learned value.
+    pub fn set(&mut self, id: StreamId, value: f64) {
+        self.values[id.index()] = value;
+        self.known[id.index()] = true;
+    }
+
+    /// The last-known value of a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has never learned this stream's value; protocols
+    /// must initialize (probe all) before ranking, so hitting this indicates
+    /// a protocol bug.
+    pub fn get(&self, id: StreamId) -> f64 {
+        assert!(self.known[id.index()], "server has no value for {id} yet");
+        self.values[id.index()]
+    }
+
+    /// Whether the server has ever learned this stream's value.
+    pub fn is_known(&self, id: StreamId) -> bool {
+        self.known[id.index()]
+    }
+
+    /// Whether every stream's value is known.
+    pub fn all_known(&self) -> bool {
+        self.known.iter().all(|&k| k)
+    }
+
+    /// Iterates `(id, last_known_value)` over streams the server knows.
+    pub fn iter_known(&self) -> impl Iterator<Item = (StreamId, f64)> + '_ {
+        self.values
+            .iter()
+            .zip(self.known.iter())
+            .enumerate()
+            .filter(|(_, (_, &k))| k)
+            .map(|(i, (&v, _))| (StreamId(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unknown() {
+        let v = ServerView::new(3);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_known(StreamId(0)));
+        assert!(!v.all_known());
+        assert_eq!(v.iter_known().count(), 0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut v = ServerView::new(3);
+        v.set(StreamId(1), 42.0);
+        assert!(v.is_known(StreamId(1)));
+        assert_eq!(v.get(StreamId(1)), 42.0);
+        assert_eq!(v.iter_known().collect::<Vec<_>>(), vec![(StreamId(1), 42.0)]);
+    }
+
+    #[test]
+    fn all_known_after_full_fill() {
+        let mut v = ServerView::new(2);
+        v.set(StreamId(0), 1.0);
+        v.set(StreamId(1), 2.0);
+        assert!(v.all_known());
+    }
+
+    #[test]
+    #[should_panic(expected = "no value")]
+    fn get_unknown_panics() {
+        let v = ServerView::new(1);
+        v.get(StreamId(0));
+    }
+}

@@ -1,0 +1,232 @@
+//! The synthetic data model of §6.2.
+//!
+//! > "We assume 5000 data streams, and data values are initially uniformly
+//! > distributed in the range [0, 1000]. The time between each data item is
+//! > generated follows an exponential distribution with a mean of 20 time
+//! > units. When a new data value is generated, its difference from the
+//! > previous value follows a normal distribution with a mean of 0 and
+//! > standard deviation (σ) of 20."
+//!
+//! The paper does not state a boundary rule; we reflect the random walk at
+//! the range edges, which preserves the uniform stationary distribution so
+//! that arbitrarily long runs stay comparable (DESIGN.md §5).
+
+use asf_core::workload::{UpdateEvent, Workload};
+use simkit::dist::Sample;
+use simkit::{reflect_into, EventQueue, Exponential, Normal, SimRng, Uniform};
+use streamnet::StreamId;
+
+/// Parameters of the synthetic model. Defaults are the paper's.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Number of streams (paper: 5000).
+    pub num_streams: usize,
+    /// Value domain, values reflect at the edges (paper: `[0, 1000]`).
+    pub value_range: (f64, f64),
+    /// Mean exponential inter-arrival time per stream (paper: 20).
+    pub mean_interarrival: f64,
+    /// Standard deviation of the Gaussian step (paper sweeps 20..100).
+    pub sigma: f64,
+    /// Simulation horizon in time units; events beyond it are not emitted.
+    pub horizon: f64,
+    /// RNG seed; everything is deterministic given this.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_streams: 5000,
+            value_range: (0.0, 1000.0),
+            mean_interarrival: 20.0,
+            sigma: 20.0,
+            horizon: 1000.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    fn validate(&self) {
+        assert!(self.num_streams > 0, "num_streams must be positive");
+        let (lo, hi) = self.value_range;
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid value range");
+        assert!(self.mean_interarrival > 0.0, "mean inter-arrival must be positive");
+        assert!(self.sigma >= 0.0, "sigma must be non-negative");
+        assert!(self.horizon >= 0.0, "horizon must be non-negative");
+    }
+}
+
+/// The §6.2 random-walk workload.
+pub struct SyntheticWorkload {
+    config: SyntheticConfig,
+    values: Vec<f64>,
+    initial: Vec<f64>,
+    rngs: Vec<SimRng>,
+    queue: EventQueue<StreamId>,
+    interarrival: Exponential,
+    step: Normal,
+    events_emitted: u64,
+}
+
+impl SyntheticWorkload {
+    /// Builds the workload; initial values and all future arrivals are
+    /// derived from `config.seed`.
+    pub fn new(config: SyntheticConfig) -> Self {
+        config.validate();
+        let mut master = SimRng::seed_from_u64(config.seed);
+        let (lo, hi) = config.value_range;
+        let uniform = Uniform::new(lo, hi);
+        let interarrival = Exponential::with_mean(config.mean_interarrival);
+
+        let mut values = Vec::with_capacity(config.num_streams);
+        let mut rngs = Vec::with_capacity(config.num_streams);
+        let mut queue = EventQueue::with_capacity(config.num_streams);
+        for i in 0..config.num_streams {
+            let mut rng = master.derive(i as u64);
+            values.push(uniform.sample(&mut rng));
+            let first = interarrival.sample(&mut rng);
+            if first <= config.horizon {
+                queue.schedule(first, StreamId(i as u32));
+            }
+            rngs.push(rng);
+        }
+        let initial = values.clone();
+        Self {
+            config,
+            values,
+            initial,
+            rngs,
+            queue,
+            interarrival,
+            step: Normal::new(0.0, config.sigma),
+            events_emitted: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn num_streams(&self) -> usize {
+        self.config.num_streams
+    }
+
+    fn initial_values(&self) -> Vec<f64> {
+        self.initial.clone()
+    }
+
+    fn next_event(&mut self) -> Option<UpdateEvent> {
+        let (time, stream) = self.queue.pop()?;
+        let i = stream.index();
+        let (lo, hi) = self.config.value_range;
+        let delta = self.step.sample(&mut self.rngs[i]);
+        let value = reflect_into(self.values[i] + delta, lo, hi);
+        self.values[i] = value;
+        let next = time + self.interarrival.sample(&mut self.rngs[i]);
+        if next <= self.config.horizon {
+            self.queue.schedule(next, stream);
+        }
+        self.events_emitted += 1;
+        Some(UpdateEvent { time, stream, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig { num_streams: 50, horizon: 500.0, seed: 42, ..Default::default() }
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_in_domain() {
+        let mut w = SyntheticWorkload::new(small());
+        let mut last = 0.0;
+        let mut count = 0;
+        while let Some(ev) = w.next_event() {
+            assert!(ev.time >= last, "time went backwards");
+            assert!((0.0..=1000.0).contains(&ev.value));
+            assert!(ev.stream.index() < 50);
+            assert!(ev.time <= 500.0);
+            last = ev.time;
+            count += 1;
+        }
+        // ~ 50 streams * 500/20 = 1250 expected events.
+        assert!((1000..1500).contains(&count), "got {count} events");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SyntheticWorkload::new(small());
+        let mut b = SyntheticWorkload::new(small());
+        assert_eq!(a.initial_values(), b.initial_values());
+        for _ in 0..200 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small();
+        cfg.seed = 1;
+        let a = SyntheticWorkload::new(cfg);
+        cfg.seed = 2;
+        let b = SyntheticWorkload::new(cfg);
+        assert_ne!(a.initial_values(), b.initial_values());
+    }
+
+    #[test]
+    fn initial_values_roughly_uniform() {
+        let cfg = SyntheticConfig { num_streams: 5000, ..Default::default() };
+        let w = SyntheticWorkload::new(cfg);
+        let vals = w.initial_values();
+        let in_range = vals.iter().filter(|v| (400.0..=600.0).contains(*v)).count();
+        // Expect ~20% in [400, 600].
+        let frac = in_range as f64 / vals.len() as f64;
+        assert!((0.17..0.23).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn sigma_zero_keeps_values_fixed() {
+        let cfg = SyntheticConfig { sigma: 0.0, ..small() };
+        let mut w = SyntheticWorkload::new(cfg);
+        let initial = w.initial_values();
+        while let Some(ev) = w.next_event() {
+            assert_eq!(ev.value, initial[ev.stream.index()]);
+        }
+    }
+
+    #[test]
+    fn larger_sigma_moves_further() {
+        let drift = |sigma: f64| {
+            let cfg = SyntheticConfig { sigma, ..small() };
+            let mut w = SyntheticWorkload::new(cfg);
+            let initial = w.initial_values();
+            let mut total = 0.0;
+            let mut events = 0;
+            while let Some(ev) = w.next_event() {
+                total += (ev.value - initial[ev.stream.index()]).abs();
+                events += 1;
+            }
+            total / events as f64
+        };
+        assert!(drift(100.0) > drift(20.0));
+    }
+
+    #[test]
+    fn zero_horizon_emits_nothing() {
+        let cfg = SyntheticConfig { horizon: 0.0, ..small() };
+        let mut w = SyntheticWorkload::new(cfg);
+        assert!(w.next_event().is_none());
+    }
+}

@@ -1,0 +1,299 @@
+//! A TCP-trace-like workload substituting the LBL Internet Traffic Archive
+//! data of §6.1.
+//!
+//! The paper models 800 subnets (16-bit IP prefixes) from 30 days of
+//! wide-area TCP traces; each stream's value is the "number of bytes sent"
+//! of its latest traffic. We cannot ship that dataset, so this generator
+//! reproduces its *filter-relevant* statistics (DESIGN.md §5):
+//!
+//! * **activity skew** — per-subnet event rates follow a Zipf law (a few
+//!   subnets dominate wide-area traffic);
+//! * **heavy-tailed values** — byte counts are log-normal in cross-section;
+//! * **per-subnet persistence** — a subnet's traffic level is
+//!   autocorrelated, so top-k membership is stable-but-churning. We model
+//!   `log V` per subnet as an AR(1) process with per-subnet level
+//!   `μ_i ~ N(ln 500, spread)`.
+//!
+//! The default `total_events` (43 000) matches the magnitude of the paper's
+//! no-filter baseline in Figure 9 (≈43k messages — the paper evidently
+//! evaluated on a subset of the 606 497 connections);
+//! [`TcpLikeConfig::full`] generates the full-trace scale.
+
+use asf_core::workload::{UpdateEvent, Workload};
+use simkit::dist::Sample;
+use simkit::{EventQueue, Exponential, Normal, SimRng, Zipf};
+use streamnet::StreamId;
+
+/// Parameters of the TCP-like trace generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpLikeConfig {
+    /// Number of subnets / streams (paper: 800).
+    pub subnets: usize,
+    /// Total connection events to generate across all subnets.
+    pub total_events: u64,
+    /// Trace duration in abstract days (paper: 30). Only sets the time
+    /// scale of the emitted events.
+    pub days: f64,
+    /// Zipf exponent of the per-subnet activity distribution.
+    pub zipf_exponent: f64,
+    /// Log-space mean of subnet traffic levels (`exp` of this ≈ the median
+    /// bytes value; default `ln 500` so a `[400, 600]` range query is
+    /// well-populated, matching the paper's choice of range).
+    pub log_level_mean: f64,
+    /// Spread of per-subnet levels `μ_i` (log-space standard deviation).
+    pub log_level_spread: f64,
+    /// AR(1) autocorrelation of `log V` per subnet (0 = iid, → 1 = frozen).
+    pub ar_phi: f64,
+    /// Stationary log-space standard deviation of each subnet's process.
+    pub log_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TcpLikeConfig {
+    fn default() -> Self {
+        Self {
+            subnets: 800,
+            total_events: 43_000,
+            days: 30.0,
+            zipf_exponent: 1.0,
+            log_level_mean: (500.0f64).ln(),
+            log_level_spread: 0.8,
+            ar_phi: 0.98,
+            log_sd: 0.5,
+            seed: 0x7C9,
+        }
+    }
+}
+
+impl TcpLikeConfig {
+    /// The full-trace scale: 606 497 connections, as in the raw LBL data.
+    pub fn full() -> Self {
+        Self { total_events: 606_497, ..Self::default() }
+    }
+
+    /// Figure-11 style scaling: `n` subnets with the default per-subnet
+    /// event rate (total events grow linearly with `n`).
+    pub fn scaled_to(n: usize) -> Self {
+        let base = Self::default();
+        let per_subnet = base.total_events as f64 / base.subnets as f64;
+        Self { subnets: n, total_events: (per_subnet * n as f64).round() as u64, ..base }
+    }
+
+    fn validate(&self) {
+        assert!(self.subnets > 0, "subnets must be positive");
+        assert!(self.days > 0.0, "days must be positive");
+        assert!(self.zipf_exponent >= 0.0, "zipf exponent must be >= 0");
+        assert!(self.log_level_spread >= 0.0 && self.log_sd >= 0.0, "spreads must be >= 0");
+        assert!((0.0..1.0).contains(&self.ar_phi), "ar_phi must be in [0, 1)");
+    }
+}
+
+/// Per-subnet AR(1) state.
+struct Subnet {
+    /// Long-run level `μ_i` of `log V`.
+    mu: f64,
+    /// Current `log V`.
+    x: f64,
+    rng: SimRng,
+    interarrival: Exponential,
+}
+
+/// The TCP-like workload generator.
+pub struct TcpLikeWorkload {
+    config: TcpLikeConfig,
+    subnets: Vec<Subnet>,
+    initial: Vec<f64>,
+    queue: EventQueue<StreamId>,
+    innovation: Normal,
+    emitted: u64,
+}
+
+impl TcpLikeWorkload {
+    /// Builds the workload from a config; fully deterministic given
+    /// `config.seed`.
+    pub fn new(config: TcpLikeConfig) -> Self {
+        config.validate();
+        let mut master = SimRng::seed_from_u64(config.seed);
+        let n = config.subnets;
+
+        // Assign Zipf activity shares to subnets in a random order so that
+        // subnet id does not correlate with traffic volume.
+        let zipf = Zipf::new(n, config.zipf_exponent);
+        let mut ranks: Vec<usize> = (1..=n).collect();
+        master.shuffle(&mut ranks);
+
+        let level = Normal::new(config.log_level_mean, config.log_level_spread);
+        let start = Normal::new(0.0, config.log_sd);
+        // AR(1) innovation sd keeping the stationary sd at log_sd:
+        // sd_innov = log_sd * sqrt(1 - phi^2).
+        let innov_sd = config.log_sd * (1.0 - config.ar_phi * config.ar_phi).sqrt();
+
+        let mut subnets = Vec::with_capacity(n);
+        let mut initial = Vec::with_capacity(n);
+        let mut queue = EventQueue::with_capacity(n);
+        for (i, &rank) in ranks.iter().enumerate() {
+            let mut rng = master.derive(i as u64);
+            let mu = level.sample(&mut rng);
+            let x = mu + start.sample(&mut rng);
+            initial.push(x.exp());
+            // Expected events for this subnet over the whole trace.
+            let share = zipf.pmf(rank);
+            let expected = (config.total_events as f64 * share).max(1e-9);
+            let mean_gap = config.days / expected;
+            let interarrival = Exponential::with_mean(mean_gap);
+            let first = interarrival.sample(&mut rng);
+            queue.schedule(first, StreamId(i as u32));
+            subnets.push(Subnet { mu, x, rng, interarrival });
+        }
+        Self {
+            config,
+            subnets,
+            initial,
+            queue,
+            innovation: Normal::new(0.0, innov_sd),
+            emitted: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TcpLikeConfig {
+        &self.config
+    }
+
+    /// Events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl Workload for TcpLikeWorkload {
+    fn num_streams(&self) -> usize {
+        self.config.subnets
+    }
+
+    fn initial_values(&self) -> Vec<f64> {
+        self.initial.clone()
+    }
+
+    fn next_event(&mut self) -> Option<UpdateEvent> {
+        if self.emitted >= self.config.total_events {
+            return None;
+        }
+        let (time, stream) = self.queue.pop()?;
+        let s = &mut self.subnets[stream.index()];
+        let innov = self.innovation.sample(&mut s.rng);
+        s.x = s.mu + self.config.ar_phi * (s.x - s.mu) + innov;
+        let value = s.x.exp();
+        let next = time + s.interarrival.sample(&mut s.rng);
+        self.queue.schedule(next, stream);
+        self.emitted += 1;
+        Some(UpdateEvent { time, stream, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TcpLikeConfig {
+        TcpLikeConfig { subnets: 100, total_events: 5_000, seed: 9, ..Default::default() }
+    }
+
+    #[test]
+    fn emits_exactly_total_events_in_order() {
+        let mut w = TcpLikeWorkload::new(small());
+        let mut last = 0.0;
+        let mut count = 0u64;
+        while let Some(ev) = w.next_event() {
+            assert!(ev.time >= last);
+            assert!(ev.value.is_finite() && ev.value > 0.0);
+            last = ev.time;
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TcpLikeWorkload::new(small());
+        let mut b = TcpLikeWorkload::new(small());
+        assert_eq!(a.initial_values(), b.initial_values());
+        for _ in 0..500 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn activity_is_skewed() {
+        let mut w = TcpLikeWorkload::new(small());
+        let mut counts = vec![0u64; 100];
+        while let Some(ev) = w.next_event() {
+            counts[ev.stream.index()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = counts[..10].iter().sum();
+        let total: u64 = counts.iter().sum();
+        // Zipf(1.0) over 100 ranks: top 10 ranks carry ~56% of mass.
+        let share = top10 as f64 / total as f64;
+        assert!(share > 0.4, "top-10 share {share} not skewed enough");
+    }
+
+    #[test]
+    fn values_are_heavy_tailed_around_500() {
+        let w = TcpLikeWorkload::new(TcpLikeConfig { subnets: 2000, ..small() });
+        let mut vals = w.initial_values();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!((300.0..800.0).contains(&median), "median {median}");
+        let max = *vals.last().unwrap();
+        assert!(max > 5.0 * median, "no heavy tail: max {max}, median {median}");
+        // A meaningful share sits in the paper's [400, 600] query range.
+        let in_range = vals.iter().filter(|v| (400.0..=600.0).contains(*v)).count();
+        let frac = in_range as f64 / vals.len() as f64;
+        assert!((0.05..0.4).contains(&frac), "fraction in [400,600]: {frac}");
+    }
+
+    #[test]
+    fn per_subnet_values_persist() {
+        // Autocorrelation: consecutive values of one subnet stay closer (in
+        // log space) than values of random other subnets.
+        let mut w = TcpLikeWorkload::new(small());
+        let mut last: Vec<Option<f64>> = vec![None; 100];
+        let mut same_diff = simkit::RunningStats::new();
+        let mut all_vals = Vec::new();
+        while let Some(ev) = w.next_event() {
+            let lv = ev.value.ln();
+            if let Some(prev) = last[ev.stream.index()] {
+                same_diff.push((lv - prev).abs());
+            }
+            last[ev.stream.index()] = Some(lv);
+            all_vals.push(lv);
+        }
+        // Cross-sectional spread of log values.
+        let mut cross = simkit::RunningStats::new();
+        for v in &all_vals {
+            cross.push(*v);
+        }
+        assert!(
+            same_diff.mean() < cross.stddev(),
+            "consecutive same-subnet moves ({}) should be smaller than the cross-section spread ({})",
+            same_diff.mean(),
+            cross.stddev()
+        );
+    }
+
+    #[test]
+    fn scaled_config_keeps_per_subnet_rate() {
+        let a = TcpLikeConfig::scaled_to(400);
+        let b = TcpLikeConfig::scaled_to(1600);
+        let rate_a = a.total_events as f64 / a.subnets as f64;
+        let rate_b = b.total_events as f64 / b.subnets as f64;
+        assert!((rate_a - rate_b).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_preset_matches_lbl_scale() {
+        assert_eq!(TcpLikeConfig::full().total_events, 606_497);
+    }
+}

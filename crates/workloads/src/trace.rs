@@ -1,0 +1,150 @@
+//! Persisting and replaying traces.
+//!
+//! A tiny line-oriented text format (no serde dependency, DESIGN.md §6):
+//!
+//! ```text
+//! # asf-trace v1
+//! initial <v0> <v1> ... <v{n-1}>
+//! <time> <stream> <value>
+//! ...
+//! ```
+//!
+//! Floats are written with `{:?}` (shortest round-trip representation), so
+//! a save/load round trip is bit-exact and replays are deterministic.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
+use streamnet::StreamId;
+
+/// Magic first line of the format.
+const HEADER: &str = "# asf-trace v1";
+
+/// Drains a workload and writes it as a trace.
+///
+/// Consumes the workload's remaining events; returns the number written.
+pub fn write_trace<W: Workload + ?Sized>(workload: &mut W, out: impl Write) -> io::Result<u64> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{HEADER}")?;
+    write!(w, "initial")?;
+    for v in workload.initial_values() {
+        write!(w, " {v:?}")?;
+    }
+    writeln!(w)?;
+    let mut count = 0;
+    while let Some(ev) = workload.next_event() {
+        writeln!(w, "{:?} {} {:?}", ev.time, ev.stream.0, ev.value)?;
+        count += 1;
+    }
+    w.flush()?;
+    Ok(count)
+}
+
+/// Reads a trace back into a replayable workload.
+pub fn read_trace(input: impl Read) -> io::Result<VecWorkload> {
+    let mut lines = BufReader::new(input).lines();
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    let header = lines.next().ok_or_else(|| bad("empty trace"))??;
+    if header.trim() != HEADER {
+        return Err(bad(&format!("bad header: {header:?}")));
+    }
+    let initial_line = lines.next().ok_or_else(|| bad("missing initial line"))??;
+    let mut parts = initial_line.split_whitespace();
+    if parts.next() != Some("initial") {
+        return Err(bad("missing 'initial' keyword"));
+    }
+    let initial: Vec<f64> = parts
+        .map(|t| t.parse::<f64>().map_err(|e| bad(&format!("bad initial value {t:?}: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if initial.is_empty() {
+        return Err(bad("trace has no streams"));
+    }
+
+    let mut events = Vec::new();
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut t = line.split_whitespace();
+        let (time, stream, value) = (
+            t.next().ok_or_else(|| bad("missing time"))?,
+            t.next().ok_or_else(|| bad("missing stream"))?,
+            t.next().ok_or_else(|| bad("missing value"))?,
+        );
+        if t.next().is_some() {
+            return Err(bad(&format!("trailing tokens on line {line:?}")));
+        }
+        events.push(UpdateEvent {
+            time: time.parse().map_err(|e| bad(&format!("bad time {time:?}: {e}")))?,
+            stream: StreamId(
+                stream.parse().map_err(|e| bad(&format!("bad stream {stream:?}: {e}")))?,
+            ),
+            value: value.parse().map_err(|e| bad(&format!("bad value {value:?}: {e}")))?,
+        });
+    }
+    // VecWorkload validates ordering/ranges; map its panics to errors here.
+    std::panic::catch_unwind(|| VecWorkload::new(initial, events))
+        .map_err(|_| bad("trace events are malformed (out of order, unknown stream, or non-finite)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticWorkload};
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let cfg = SyntheticConfig { num_streams: 20, horizon: 100.0, seed: 3, ..Default::default() };
+        let mut original = SyntheticWorkload::new(cfg);
+        let mut buf = Vec::new();
+        let written = write_trace(&mut original, &mut buf).unwrap();
+        assert!(written > 0);
+
+        let mut replay = read_trace(&buf[..]).unwrap();
+        let mut reference = SyntheticWorkload::new(cfg);
+        assert_eq!(replay.initial_values(), reference.initial_values());
+        loop {
+            let a = replay.next_event();
+            let b = reference.next_event();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace("nope\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_missing_initial() {
+        let err = read_trace(format!("{HEADER}\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("initial"));
+    }
+
+    #[test]
+    fn rejects_malformed_event_line() {
+        let text = format!("{HEADER}\ninitial 1.0 2.0\n1.0 0\n");
+        assert!(read_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_events() {
+        let text = format!("{HEADER}\ninitial 1.0\n2.0 0 5.0\n1.0 0 6.0\n");
+        assert!(read_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = format!("{HEADER}\ninitial 1.0\n# comment\n\n1.0 0 5.0\n");
+        let mut w = read_trace(text.as_bytes()).unwrap();
+        assert!(w.next_event().is_some());
+        assert!(w.next_event().is_none());
+    }
+}

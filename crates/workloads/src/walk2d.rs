@@ -1,0 +1,182 @@
+//! 2-D random-walk workload for the multi-dimensional extension
+//! (`asf_core::multidim`): objects move in a bounded box with Gaussian
+//! steps per axis, reflected at the edges — the 2-D analogue of the §6.2
+//! synthetic model, standing in for the location-monitoring workloads the
+//! paper's introduction motivates.
+
+use asf_core::multidim::engine2d::{MoveEvent, Workload2d};
+use asf_core::multidim::Point2;
+use simkit::dist::Sample;
+use simkit::{reflect_into, EventQueue, Exponential, Normal, SimRng, Uniform};
+use streamnet::StreamId;
+
+/// Parameters of the 2-D walk.
+#[derive(Clone, Copy, Debug)]
+pub struct Walk2dConfig {
+    /// Number of moving objects.
+    pub num_objects: usize,
+    /// Box extents: positions live in `[0, width] x [0, height]`.
+    pub width: f64,
+    /// Box height.
+    pub height: f64,
+    /// Mean exponential inter-movement time per object.
+    pub mean_interarrival: f64,
+    /// Per-axis Gaussian step deviation.
+    pub sigma: f64,
+    /// Simulation horizon.
+    pub horizon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Walk2dConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 1000,
+            width: 1000.0,
+            height: 1000.0,
+            mean_interarrival: 20.0,
+            sigma: 20.0,
+            horizon: 1000.0,
+            seed: 0x2D,
+        }
+    }
+}
+
+impl Walk2dConfig {
+    fn validate(&self) {
+        assert!(self.num_objects > 0, "need at least one object");
+        assert!(self.width > 0.0 && self.height > 0.0, "box must be non-degenerate");
+        assert!(self.mean_interarrival > 0.0, "mean inter-arrival must be positive");
+        assert!(self.sigma >= 0.0 && self.horizon >= 0.0, "sigma/horizon must be >= 0");
+    }
+}
+
+/// The 2-D reflected random-walk workload.
+pub struct Walk2dWorkload {
+    config: Walk2dConfig,
+    positions: Vec<Point2>,
+    initial: Vec<Point2>,
+    rngs: Vec<SimRng>,
+    queue: EventQueue<StreamId>,
+    interarrival: Exponential,
+    step: Normal,
+}
+
+impl Walk2dWorkload {
+    /// Builds the workload; deterministic given `config.seed`.
+    pub fn new(config: Walk2dConfig) -> Self {
+        config.validate();
+        let mut master = SimRng::seed_from_u64(config.seed);
+        let ux = Uniform::new(0.0, config.width);
+        let uy = Uniform::new(0.0, config.height);
+        let interarrival = Exponential::with_mean(config.mean_interarrival);
+
+        let mut positions = Vec::with_capacity(config.num_objects);
+        let mut rngs = Vec::with_capacity(config.num_objects);
+        let mut queue = EventQueue::with_capacity(config.num_objects);
+        for i in 0..config.num_objects {
+            let mut rng = master.derive(i as u64);
+            positions.push(Point2::new(ux.sample(&mut rng), uy.sample(&mut rng)));
+            let first = interarrival.sample(&mut rng);
+            if first <= config.horizon {
+                queue.schedule(first, StreamId(i as u32));
+            }
+            rngs.push(rng);
+        }
+        let initial = positions.clone();
+        Self {
+            config,
+            positions,
+            initial,
+            rngs,
+            queue,
+            interarrival,
+            step: Normal::new(0.0, config.sigma),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Walk2dConfig {
+        &self.config
+    }
+}
+
+impl Workload2d for Walk2dWorkload {
+    fn num_streams(&self) -> usize {
+        self.config.num_objects
+    }
+
+    fn initial_positions(&self) -> Vec<Point2> {
+        self.initial.clone()
+    }
+
+    fn next_event(&mut self) -> Option<MoveEvent> {
+        let (time, stream) = self.queue.pop()?;
+        let i = stream.index();
+        let rng = &mut self.rngs[i];
+        let dx = self.step.sample(rng);
+        let dy = self.step.sample(rng);
+        let prev = self.positions[i];
+        let to = Point2::new(
+            reflect_into(prev.x + dx, 0.0, self.config.width),
+            reflect_into(prev.y + dy, 0.0, self.config.height),
+        );
+        self.positions[i] = to;
+        let next = time + self.interarrival.sample(rng);
+        if next <= self.config.horizon {
+            self.queue.schedule(next, stream);
+        }
+        Some(MoveEvent { time, stream, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Walk2dConfig {
+        Walk2dConfig { num_objects: 30, horizon: 300.0, seed: 17, ..Default::default() }
+    }
+
+    #[test]
+    fn events_ordered_and_in_box() {
+        let mut w = Walk2dWorkload::new(small());
+        let mut last = 0.0;
+        let mut count = 0;
+        while let Some(ev) = w.next_event() {
+            assert!(ev.time >= last);
+            assert!((0.0..=1000.0).contains(&ev.to.x) && (0.0..=1000.0).contains(&ev.to.y));
+            last = ev.time;
+            count += 1;
+        }
+        assert!(count > 200, "got only {count} events");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Walk2dWorkload::new(small());
+        let mut b = Walk2dWorkload::new(small());
+        assert_eq!(a.initial_positions(), b.initial_positions());
+        for _ in 0..100 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn movement_scale_follows_sigma() {
+        let avg_step = |sigma: f64| {
+            let mut w = Walk2dWorkload::new(Walk2dConfig { sigma, ..small() });
+            let mut prev = w.initial_positions();
+            let mut total = 0.0;
+            let mut n = 0;
+            while let Some(ev) = w.next_event() {
+                total += prev[ev.stream.index()].distance(ev.to);
+                prev[ev.stream.index()] = ev.to;
+                n += 1;
+            }
+            total / n as f64
+        };
+        assert!(avg_step(50.0) > avg_step(10.0));
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: monitor a range query over a small synthetic stream
+//! population with fraction-based tolerance, and compare the communication
+//! bill against the exact (no-filter) baseline.
+//!
+//! Run with: `cargo run --release -p asf-bench --example quickstart`
+
+use asf_core::engine::Engine;
+use asf_core::oracle;
+use asf_core::protocol::{FtNrp, FtNrpConfig, NoFilter, SelectionHeuristic};
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::FractionTolerance;
+use asf_core::workload::Workload;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    // 1. A stream population: 1000 sensors, values drifting in [0, 1000].
+    let cfg = SyntheticConfig { num_streams: 1000, horizon: 1000.0, ..Default::default() };
+
+    // 2. A continuous entity-based query: "which sensors read 400..600?"
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+
+    // 3. A non-value tolerance: at most 20% of the returned set may be
+    //    wrong, at most 20% of the true set may be missing.
+    let tol = FractionTolerance::symmetric(0.2).unwrap();
+
+    // Exact baseline: no filters, every update travels to the server.
+    let mut workload = SyntheticWorkload::new(cfg);
+    let mut exact = Engine::new(&workload.initial_values(), NoFilter::range(query));
+    exact.run(&mut workload);
+
+    // FT-NRP: adaptive filters exploiting the tolerance.
+    let mut workload = SyntheticWorkload::new(cfg); // same seed -> same data
+    let config = FtNrpConfig {
+        heuristic: SelectionHeuristic::BoundaryNearest,
+        reinit_on_exhaustion: false,
+    };
+    let protocol = FtNrp::new(query, tol, config, 42).unwrap();
+    let mut tolerant = Engine::new(&workload.initial_values(), protocol);
+    tolerant.run(&mut workload);
+
+    // Compare answers against ground truth at the end of the run.
+    let truth = oracle::true_range_answer(query, tolerant.fleet());
+    let answer = tolerant.answer();
+    let metrics = answer
+        .fraction_metrics(tolerant.fleet().len(), |id| query.contains(tolerant.fleet().true_value(id)));
+
+    println!("exact (no filter): {} messages", exact.ledger().total());
+    println!("FT-NRP (eps=0.2):  {} messages", tolerant.ledger().total());
+    println!(
+        "savings: {:.1}%",
+        100.0 * (1.0 - tolerant.ledger().total() as f64 / exact.ledger().total() as f64)
+    );
+    println!(
+        "answer quality: |A| = {} (truth {}), F+ = {:.3}, F- = {:.3} (tolerance 0.2)",
+        answer.len(),
+        truth.len(),
+        metrics.f_plus(),
+        metrics.f_minus()
+    );
+    assert!(metrics.within(&tol), "tolerance guarantee violated!");
+    println!("tolerance guarantee holds ✓");
+}

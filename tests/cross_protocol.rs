@@ -1,0 +1,156 @@
+//! Cross-protocol relationships the paper states or implies.
+
+use asf_core::engine::Engine;
+use asf_core::protocol::{
+    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Rtp, ZtNrp, ZtRp,
+};
+use asf_core::query::{RangeQuery, RankQuery};
+use asf_core::tolerance::FractionTolerance;
+use asf_core::workload::Workload;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn workload(seed: u64) -> SyntheticWorkload {
+    SyntheticWorkload::new(SyntheticConfig {
+        num_streams: 100,
+        horizon: 400.0,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// "When both n+ and n- become zero … the protocol reduces to ZT-NRP":
+/// with zero tolerance FT-NRP behaves identically to ZT-NRP from the start
+/// (same answers, same update traffic; only install vs broadcast labelling
+/// differs, with equal totals).
+#[test]
+fn ft_nrp_at_zero_tolerance_equals_zt_nrp() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+
+    let mut w = workload(1);
+    let mut zt = Engine::new(&w.initial_values(), ZtNrp::new(query));
+    zt.run(&mut w);
+
+    let mut w = workload(1);
+    let ft = FtNrp::new(query, FractionTolerance::zero(), FtNrpConfig::default(), 9).unwrap();
+    let mut ft = Engine::new(&w.initial_values(), ft);
+    ft.run(&mut w);
+
+    assert_eq!(zt.answer(), ft.answer());
+    assert_eq!(zt.ledger().total(), ft.ledger().total());
+    assert_eq!(
+        zt.ledger().count(streamnet::MessageKind::Update),
+        ft.ledger().count(streamnet::MessageKind::Update)
+    );
+}
+
+/// Higher tolerance must never cost more messages on the same workload
+/// (monotonicity is the entire point of the protocols).
+#[test]
+fn ft_nrp_messages_decrease_with_tolerance() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let mut totals = Vec::new();
+    for eps in [0.0, 0.25, 0.5] {
+        let mut w = workload(2);
+        let tol = FractionTolerance::symmetric(eps).unwrap();
+        let p = FtNrp::new(query, tol, FtNrpConfig::default(), 3).unwrap();
+        let mut engine = Engine::new(&w.initial_values(), p);
+        engine.run(&mut w);
+        totals.push(engine.ledger().total());
+    }
+    assert!(
+        totals[0] >= totals[1] && totals[1] >= totals[2],
+        "messages should fall with tolerance: {totals:?}"
+    );
+}
+
+/// RTP with generous slack must beat both the no-filter baseline and RTP
+/// with zero slack on a fluctuating workload.
+#[test]
+fn rtp_slack_reduces_messages() {
+    let k = 8;
+    let query = RankQuery::knn(500.0, k).unwrap();
+
+    let run_rtp = |r: usize| {
+        let mut w = workload(3);
+        let mut engine = Engine::new(&w.initial_values(), Rtp::new(query, r).unwrap());
+        engine.run(&mut w);
+        engine.ledger().total()
+    };
+    let r0 = run_rtp(0);
+    let r10 = run_rtp(10);
+    assert!(r10 < r0, "slack 10 ({r10}) should beat slack 0 ({r0})");
+}
+
+/// ZT-RP pays a broadcast per crossing; FT-RP with tolerance must be far
+/// cheaper, and the exact protocols must agree with the baseline's answer.
+#[test]
+fn ft_rp_beats_zt_rp_with_tolerance() {
+    let k = 12;
+    let query = RankQuery::knn(500.0, k).unwrap();
+
+    let mut w = workload(4);
+    let mut zt = Engine::new(&w.initial_values(), ZtRp::new(query).unwrap());
+    zt.run(&mut w);
+
+    let mut w = workload(4);
+    let tol = FractionTolerance::symmetric(0.4).unwrap();
+    let p = FtRp::new(query, tol, FtRpConfig::default(), 5).unwrap();
+    let mut ft = Engine::new(&w.initial_values(), p);
+    ft.run(&mut w);
+
+    assert!(
+        ft.ledger().total() < zt.ledger().total(),
+        "FT-RP ({}) should beat ZT-RP ({})",
+        ft.ledger().total(),
+        zt.ledger().total()
+    );
+}
+
+/// The exact protocols all end with the ground-truth answer.
+#[test]
+fn exact_protocols_agree_with_baseline() {
+    let range = RangeQuery::new(400.0, 600.0).unwrap();
+    let knn = RankQuery::knn(500.0, 6).unwrap();
+
+    let mut w = workload(5);
+    let mut base_range = Engine::new(&w.initial_values(), NoFilter::range(range));
+    base_range.run(&mut w);
+
+    let mut w = workload(5);
+    let mut zt_nrp = Engine::new(&w.initial_values(), ZtNrp::new(range));
+    zt_nrp.run(&mut w);
+    assert_eq!(base_range.answer(), zt_nrp.answer());
+
+    let mut w = workload(5);
+    let mut base_rank = Engine::new(&w.initial_values(), NoFilter::rank(knn));
+    base_rank.run(&mut w);
+
+    let mut w = workload(5);
+    let mut zt_rp = Engine::new(&w.initial_values(), ZtRp::new(knn).unwrap());
+    zt_rp.run(&mut w);
+    assert_eq!(base_rank.answer(), zt_rp.answer());
+}
+
+/// Filtered protocols must never hear more update messages than the
+/// no-filter baseline (filters only suppress reports).
+#[test]
+fn filters_only_suppress_updates() {
+    let range = RangeQuery::new(400.0, 600.0).unwrap();
+
+    let mut w = workload(6);
+    let mut base = Engine::new(&w.initial_values(), NoFilter::range(range));
+    base.run(&mut w);
+    let base_updates = base.ledger().count(streamnet::MessageKind::Update);
+
+    for eps in [0.0, 0.3] {
+        let mut w = workload(6);
+        let tol = FractionTolerance::symmetric(eps).unwrap();
+        let p = FtNrp::new(range, tol, FtNrpConfig::default(), 1).unwrap();
+        let mut engine = Engine::new(&w.initial_values(), p);
+        engine.run(&mut w);
+        assert!(
+            engine.ledger().count(streamnet::MessageKind::Update) <= base_updates,
+            "eps={eps}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration tests for the §7 extensions: the 2-D protocols and the
+//! multi-query shared-filter group, driven by real workload generators and
+//! checked against ground truth at every quiescent point.
+
+use asf_core::engine::Engine;
+use asf_core::multi_query::MultiRangeZt;
+use asf_core::multidim::engine2d::{Engine2d, Protocol2d, Workload2d};
+use asf_core::multidim::{oracle2d, FtRect2d, Point2, Region, Rtp2d};
+use asf_core::protocol::SelectionHeuristic;
+use asf_core::query::RangeQuery;
+use asf_core::tolerance::{FractionTolerance, RankTolerance};
+use asf_core::workload::Workload;
+use asf_core::AnswerSet;
+use streamnet::MessageKind;
+use workloads::{SyntheticConfig, SyntheticWorkload, Walk2dConfig, Walk2dWorkload};
+
+fn walk(seed: u64, n: usize, horizon: f64) -> Walk2dWorkload {
+    Walk2dWorkload::new(Walk2dConfig { num_objects: n, horizon, seed, ..Default::default() })
+}
+
+#[test]
+fn rtp2d_rank_tolerance_holds_on_random_walks() {
+    for (k, r, seed) in [(4usize, 2usize, 1u64), (6, 0, 2), (3, 5, 3)] {
+        let mut w = walk(seed, 50, 200.0);
+        let q = Point2::new(500.0, 500.0);
+        let tol = RankTolerance::new(k, r).unwrap();
+        let mut engine =
+            Engine2d::new(&w.initial_positions(), Rtp2d::new(q, k, r).unwrap());
+        engine.run_with_hook(&mut w, |fleet, protocol, t| {
+            let v = oracle2d::rank_violation_2d(q, tol, &protocol.answer(), fleet);
+            assert!(v.is_none(), "k={k} r={r} seed={seed} t={t}: {}", v.unwrap());
+        });
+    }
+}
+
+#[test]
+fn rtp2d_saves_messages_over_report_everything() {
+    let mut w = walk(7, 200, 400.0);
+    let q = Point2::new(500.0, 500.0);
+    let mut engine = Engine2d::new(&w.initial_positions(), Rtp2d::new(q, 5, 5).unwrap());
+    let mut events = 0u64;
+    engine.initialize();
+    while let Some(ev) = w.next_event() {
+        engine.apply_event(ev);
+        events += 1;
+    }
+    assert!(
+        engine.ledger().total() < events,
+        "RTP-2D ({}) should beat one message per movement ({events})",
+        engine.ledger().total()
+    );
+}
+
+#[test]
+fn ft_rect2d_fraction_tolerance_holds_on_random_walks() {
+    for (eps, seed) in [(0.2, 11u64), (0.5, 12), (0.0, 13)] {
+        let mut w = walk(seed, 60, 200.0);
+        let (lo, hi) = (Point2::new(300.0, 300.0), Point2::new(700.0, 600.0));
+        let tol = FractionTolerance::symmetric(eps).unwrap();
+        let region = Region::rect(lo, hi);
+        let protocol =
+            FtRect2d::new(lo, hi, tol, SelectionHeuristic::BoundaryNearest, seed).unwrap();
+        let mut engine = Engine2d::new(&w.initial_positions(), protocol);
+        engine.run_with_hook(&mut w, |fleet, protocol, t| {
+            let v = oracle2d::fraction_region_violation(&region, tol, &protocol.answer(), fleet);
+            assert!(v.is_none(), "eps={eps} seed={seed} t={t}: {}", v.unwrap());
+        });
+    }
+}
+
+#[test]
+fn multi_query_answers_match_independent_instances() {
+    let queries = vec![
+        RangeQuery::new(100.0, 350.0).unwrap(),
+        RangeQuery::new(300.0, 650.0).unwrap(),
+        RangeQuery::new(600.0, 900.0).unwrap(),
+    ];
+    let cfg = SyntheticConfig { num_streams: 80, horizon: 300.0, seed: 21, ..Default::default() };
+
+    // Shared group.
+    let mut w = SyntheticWorkload::new(cfg);
+    let mut shared = Engine::new(&w.initial_values(), MultiRangeZt::new(queries.clone()).unwrap());
+    shared.run(&mut w);
+
+    // Independent exact instances over the same trace.
+    for (j, &q) in queries.iter().enumerate() {
+        let mut w = SyntheticWorkload::new(cfg);
+        let mut solo = Engine::new(&w.initial_values(), asf_core::protocol::ZtNrp::new(q));
+        solo.run(&mut w);
+        assert_eq!(
+            shared.protocol().answer_of(j),
+            &solo.answer(),
+            "query {j} answers diverge"
+        );
+    }
+}
+
+#[test]
+fn multi_query_truth_holds_at_every_quiescent_point() {
+    let queries = vec![
+        RangeQuery::new(200.0, 500.0).unwrap(),
+        RangeQuery::new(400.0, 800.0).unwrap(),
+    ];
+    let cfg = SyntheticConfig { num_streams: 50, horizon: 250.0, seed: 22, ..Default::default() };
+    let mut w = SyntheticWorkload::new(cfg);
+    let qs = queries.clone();
+    let mut engine = Engine::new(&w.initial_values(), MultiRangeZt::new(queries).unwrap());
+    engine.run_with_hook(&mut w, |fleet, protocol, t| {
+        for (j, q) in qs.iter().enumerate() {
+            let truth: AnswerSet = fleet
+                .iter()
+                .filter(|s| q.contains(s.value()))
+                .map(|s| s.id())
+                .collect();
+            assert_eq!(protocol.answer_of(j), &truth, "query {j} at t={t}");
+        }
+    });
+}
+
+#[test]
+fn multi_query_shares_updates_across_overlapping_queries() {
+    // With heavily overlapping queries, the shared group must send fewer
+    // update messages than the sum of independent instances (a crossing in
+    // the overlap is one shared report instead of several).
+    let queries: Vec<RangeQuery> =
+        (0..6).map(|j| RangeQuery::new(300.0 + 10.0 * j as f64, 700.0).unwrap()).collect();
+    let cfg = SyntheticConfig { num_streams: 120, horizon: 400.0, seed: 23, ..Default::default() };
+
+    let mut w = SyntheticWorkload::new(cfg);
+    let mut shared = Engine::new(&w.initial_values(), MultiRangeZt::new(queries.clone()).unwrap());
+    shared.run(&mut w);
+    let shared_total = shared.ledger().total();
+
+    let mut independent_total = 0;
+    for &q in &queries {
+        let mut w = SyntheticWorkload::new(cfg);
+        let mut solo = Engine::new(&w.initial_values(), asf_core::protocol::ZtNrp::new(q));
+        solo.run(&mut w);
+        independent_total += solo.ledger().total();
+    }
+    assert!(
+        shared_total < independent_total,
+        "shared {shared_total} should beat independent {independent_total}"
+    );
+}
+
+#[test]
+fn multidim_message_accounting_is_conserved() {
+    let mut w = walk(31, 60, 200.0);
+    let q = Point2::new(500.0, 500.0);
+    let mut engine = Engine2d::new(&w.initial_positions(), Rtp2d::new(q, 5, 3).unwrap());
+    engine.run(&mut w);
+    let per_source: u64 = engine.fleet().iter().map(|s| s.traffic()).sum();
+    assert_eq!(per_source, engine.ledger().total());
+    assert_eq!(
+        engine.ledger().count(MessageKind::ProbeRequest),
+        engine.ledger().count(MessageKind::ProbeReply)
+    );
+}

@@ -1,0 +1,131 @@
+//! Conservation laws of the message ledger: every message the ledger
+//! counts touches exactly one source, so the per-source traffic tallies
+//! must sum to the ledger total — for every protocol.
+
+use asf_core::engine::Engine;
+use asf_core::protocol::{
+    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Protocol, Rtp, ZtNrp, ZtRp,
+};
+use asf_core::query::{RangeQuery, RankQuery};
+use asf_core::tolerance::FractionTolerance;
+use asf_core::workload::Workload;
+use streamnet::MessageKind;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn check_conservation<P: Protocol>(protocol: P, seed: u64) -> (u64, &'static str) {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: 70,
+        horizon: 250.0,
+        seed,
+        ..Default::default()
+    });
+    let mut engine = Engine::new(&w.initial_values(), protocol);
+    engine.run(&mut w);
+    let ledger_total = engine.ledger().total();
+    let source_total: u64 = engine.fleet().iter().map(|s| s.traffic()).sum();
+    assert_eq!(
+        ledger_total,
+        source_total,
+        "{}: ledger {} != per-source sum {}",
+        engine.protocol().name(),
+        ledger_total,
+        source_total
+    );
+    // Kind counts sum to the total by construction; assert anyway as an API
+    // regression guard.
+    let by_kind: u64 = MessageKind::ALL.iter().map(|&k| engine.ledger().count(k)).sum();
+    assert_eq!(by_kind, ledger_total);
+    (ledger_total, engine.protocol().name())
+}
+
+#[test]
+fn conservation_no_filter() {
+    let q = RangeQuery::new(400.0, 600.0).unwrap();
+    check_conservation(NoFilter::range(q), 1);
+}
+
+#[test]
+fn conservation_zt_nrp() {
+    let q = RangeQuery::new(400.0, 600.0).unwrap();
+    check_conservation(ZtNrp::new(q), 2);
+}
+
+#[test]
+fn conservation_ft_nrp() {
+    let q = RangeQuery::new(400.0, 600.0).unwrap();
+    let tol = FractionTolerance::symmetric(0.3).unwrap();
+    check_conservation(FtNrp::new(q, tol, FtNrpConfig::default(), 5).unwrap(), 3);
+}
+
+#[test]
+fn conservation_rtp() {
+    let q = RankQuery::knn(500.0, 6).unwrap();
+    check_conservation(Rtp::new(q, 4).unwrap(), 4);
+}
+
+#[test]
+fn conservation_zt_rp() {
+    let q = RankQuery::knn(500.0, 6).unwrap();
+    check_conservation(ZtRp::new(q).unwrap(), 5);
+}
+
+#[test]
+fn conservation_ft_rp() {
+    let q = RankQuery::knn(500.0, 10).unwrap();
+    let tol = FractionTolerance::symmetric(0.3).unwrap();
+    check_conservation(FtRp::new(q, tol, FtRpConfig::default(), 6).unwrap(), 6);
+}
+
+#[test]
+fn no_filter_update_count_equals_event_count() {
+    let q = RangeQuery::new(400.0, 600.0).unwrap();
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: 70,
+        horizon: 250.0,
+        seed: 9,
+        ..Default::default()
+    });
+    let mut engine = Engine::new(&w.initial_values(), NoFilter::range(q));
+    engine.run(&mut w);
+    assert_eq!(
+        engine.ledger().count(MessageKind::Update),
+        engine.events_processed(),
+        "the paper's baseline: one maintenance message per source update"
+    );
+}
+
+#[test]
+fn broadcast_ops_times_n_equals_broadcast_messages() {
+    let q = RankQuery::knn(500.0, 6).unwrap();
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: 70,
+        horizon: 150.0,
+        seed: 10,
+        ..Default::default()
+    });
+    let mut engine = Engine::new(&w.initial_values(), ZtRp::new(q).unwrap());
+    engine.run(&mut w);
+    assert_eq!(
+        engine.ledger().count(MessageKind::FilterBroadcast),
+        engine.ledger().broadcast_ops() * 70
+    );
+}
+
+#[test]
+fn probe_requests_equal_probe_replies() {
+    let q = RankQuery::knn(500.0, 8).unwrap();
+    let tol = FractionTolerance::symmetric(0.4).unwrap();
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: 70,
+        horizon: 250.0,
+        seed: 11,
+        ..Default::default()
+    });
+    let p = FtRp::new(q, tol, FtRpConfig::default(), 2).unwrap();
+    let mut engine = Engine::new(&w.initial_values(), p);
+    engine.run(&mut w);
+    assert_eq!(
+        engine.ledger().count(MessageKind::ProbeRequest),
+        engine.ledger().count(MessageKind::ProbeReply)
+    );
+}
