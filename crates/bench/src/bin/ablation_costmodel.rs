@@ -36,7 +36,10 @@ fn main() {
         print_breakdown(label, &r.ledger);
         println!(
             "  {:<28} server handled {} of {} events ({:.1}% load)",
-            "", r.server_reports, r.events, 100.0 * r.server_load()
+            "",
+            r.server_reports,
+            r.events,
+            100.0 * r.server_load()
         );
     };
 
@@ -61,9 +64,7 @@ fn main() {
     let r = run_to_completion(ZtRp::new(knn).unwrap(), &mut fresh());
     show("ZT-RP", &r);
 
-    let r = run_to_completion(
-        FtRp::new(knn, tol, FtRpConfig::default(), 42).unwrap(),
-        &mut fresh(),
-    );
+    let r =
+        run_to_completion(FtRp::new(knn, tol, FtRpConfig::default(), 42).unwrap(), &mut fresh());
     show("FT-RP", &r);
 }

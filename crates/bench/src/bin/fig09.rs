@@ -40,10 +40,8 @@ fn main() {
         .sum::<f64>()
         / seeds.len() as f64;
 
-    let mut series = vec![Series {
-        label: "no-filter".into(),
-        values: vec![baseline.round(); rs.len()],
-    }];
+    let mut series =
+        vec![Series { label: "no-filter".into(), values: vec![baseline.round(); rs.len()] }];
     for &k in ks {
         let mut values = Vec::with_capacity(rs.len());
         for &r in &rs {

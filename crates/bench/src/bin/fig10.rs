@@ -28,10 +28,8 @@ fn main() {
         let mut values = Vec::new();
         for &em in &epsilons {
             let tol = FractionTolerance::new(ep, em).unwrap();
-            let config = FtNrpConfig {
-                heuristic: SelectionHeuristic::Random,
-                reinit_on_exhaustion: false,
-            };
+            let config =
+                FtNrpConfig { heuristic: SelectionHeuristic::Random, reinit_on_exhaustion: false };
             let protocol = FtNrp::new(query, tol, config, 42).unwrap();
             let mut w = TcpLikeWorkload::new(cfg);
             values.push(run_to_completion(protocol, &mut w).messages() as f64);

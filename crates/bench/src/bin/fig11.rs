@@ -15,11 +15,8 @@ use workloads::{TcpLikeConfig, TcpLikeWorkload};
 
 fn main() {
     let scale = Scale::from_env();
-    let ns: Vec<usize> = if scale.is_quick() {
-        vec![200, 600, 1000]
-    } else {
-        (1..=10).map(|i| i * 200).collect()
-    };
+    let ns: Vec<usize> =
+        if scale.is_quick() { vec![200, 600, 1000] } else { (1..=10).map(|i| i * 200).collect() };
     let query = RangeQuery::new(400.0, 600.0).unwrap();
     let epsilons = [0.0, 0.2, 0.3, 0.4, 0.5];
 
@@ -29,10 +26,8 @@ fn main() {
         for &n in &ns {
             let cfg = TcpLikeConfig::scaled_to(n);
             let tol = FractionTolerance::symmetric(eps).unwrap();
-            let config = FtNrpConfig {
-                heuristic: SelectionHeuristic::Random,
-                reinit_on_exhaustion: false,
-            };
+            let config =
+                FtNrpConfig { heuristic: SelectionHeuristic::Random, reinit_on_exhaustion: false };
             let protocol = FtNrp::new(query, tol, config, 42).unwrap();
             let mut w = TcpLikeWorkload::new(cfg);
             values.push(run_to_completion(protocol, &mut w).messages() as f64);

@@ -28,10 +28,8 @@ fn main() {
         for &eps in &epsilons {
             let cfg = SyntheticConfig { sigma, ..base };
             let tol = FractionTolerance::symmetric(eps).unwrap();
-            let config = FtNrpConfig {
-                heuristic: SelectionHeuristic::Random,
-                reinit_on_exhaustion: false,
-            };
+            let config =
+                FtNrpConfig { heuristic: SelectionHeuristic::Random, reinit_on_exhaustion: false };
             let protocol = FtNrp::new(query, tol, config, 42).unwrap();
             let mut w = SyntheticWorkload::new(cfg);
             values.push(run_to_completion(protocol, &mut w).messages() as f64);

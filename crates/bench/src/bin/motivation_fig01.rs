@@ -38,10 +38,7 @@ fn main() {
         let mut worst = 0usize;
         engine.run_with_hook(&mut w, |fleet, protocol, _| {
             if let Some(answer) = protocol.answer().iter().next() {
-                let ranking = oracle::true_ranking(
-                    asf_core::query::RankSpace::TopK,
-                    fleet,
-                );
+                let ranking = oracle::true_ranking(asf_core::query::RankSpace::TopK, fleet);
                 let rank = ranking.iter().position(|&s| s == answer).unwrap() + 1;
                 worst = worst.max(rank);
             }
@@ -76,8 +73,7 @@ fn main() {
         let mut worst = 0usize;
         engine.run_with_hook(&mut w, |fleet, protocol, _| {
             if let Some(answer) = protocol.answer().iter().next() {
-                let ranking =
-                    oracle::true_ranking(asf_core::query::RankSpace::TopK, fleet);
+                let ranking = oracle::true_ranking(asf_core::query::RankSpace::TopK, fleet);
                 let rank = ranking.iter().position(|&s| s == answer).unwrap() + 1;
                 worst = worst.max(rank);
             }

@@ -9,8 +9,18 @@ use std::process::Command;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let bins = [
-        "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "motivation_fig01", "ablation_rho", "ablation_reinit", "ablation_costmodel", "ablation_multiquery",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "motivation_fig01",
+        "ablation_rho",
+        "ablation_reinit",
+        "ablation_costmodel",
+        "ablation_multiquery",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("exe dir");

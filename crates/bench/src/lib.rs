@@ -145,8 +145,7 @@ mod tests {
     fn run_to_completion_reports_ledger() {
         let initial = vec![450.0, 700.0];
         let mut w = VecWorkload::new(initial, vec![]);
-        let result =
-            run_to_completion(ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap()), &mut w);
+        let result = run_to_completion(ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap()), &mut w);
         assert_eq!(result.protocol, "ZT-NRP");
         // 2n probes + n broadcast.
         assert_eq!(result.messages(), 6);

@@ -1,18 +1,19 @@
 //! Answer sets of entity-based queries.
 
-use std::collections::BTreeSet;
-
 use streamnet::StreamId;
 
 use crate::tolerance::FractionMetrics;
 
 /// The answer of an entity-based query: a set of stream identifiers.
 ///
-/// Backed by a `BTreeSet` so iteration order is deterministic (ascending
-/// id), which keeps whole simulations reproducible.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Stream ids are dense (`0..n`), so the set is backed by a bitset:
+/// membership updates are O(1) — they sit on the serial path of every
+/// report the server handles — while iteration stays in ascending id
+/// order, which keeps whole simulations reproducible.
+#[derive(Clone, Default)]
 pub struct AnswerSet {
-    members: BTreeSet<StreamId>,
+    words: Vec<u64>,
+    len: usize,
 }
 
 impl AnswerSet {
@@ -23,42 +24,63 @@ impl AnswerSet {
 
     /// Number of members `|A(t)|`.
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.len
     }
 
     /// Whether the answer is empty.
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.len == 0
     }
 
     /// Membership test.
     pub fn contains(&self, id: StreamId) -> bool {
-        self.members.contains(&id)
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// Inserts a member; returns whether it was new.
     pub fn insert(&mut self, id: StreamId) -> bool {
-        self.members.insert(id)
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Removes a member; returns whether it was present.
     pub fn remove(&mut self, id: StreamId) -> bool {
-        self.members.remove(&id)
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        match self.words.get_mut(w) {
+            Some(word) if *word & mask != 0 => {
+                *word &= !mask;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Clears all members.
     pub fn clear(&mut self) {
-        self.members.clear()
+        self.words.clear();
+        self.len = 0;
     }
 
     /// Iterates members in ascending id order.
-    pub fn iter(&self) -> impl Iterator<Item = StreamId> + '_ {
-        self.members.iter().copied()
-    }
-
-    /// The underlying set.
-    pub fn as_set(&self) -> &BTreeSet<StreamId> {
-        &self.members
+    pub fn iter(&self) -> AnswerIter<'_> {
+        AnswerIter {
+            words: &self.words,
+            word_idx: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Computes the Definition-2 error counts of this answer against a
@@ -86,17 +108,69 @@ impl AnswerSet {
     }
 }
 
+impl PartialEq for AnswerSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        // Word storage may carry trailing zeros (removals never shrink it).
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for AnswerSet {}
+
+impl std::fmt::Debug for AnswerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending-id iterator over an [`AnswerSet`].
+pub struct AnswerIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    bits: u64,
+}
+
+impl Iterator for AnswerIter<'_> {
+    type Item = StreamId;
+
+    fn next(&mut self) -> Option<StreamId> {
+        while self.bits == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.bits = self.words[self.word_idx];
+        }
+        let b = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(StreamId((self.word_idx * 64) as u32 + b))
+    }
+}
+
 impl FromIterator<StreamId> for AnswerSet {
     fn from_iter<T: IntoIterator<Item = StreamId>>(iter: T) -> Self {
-        Self { members: iter.into_iter().collect() }
+        let mut set = AnswerSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
     }
 }
 
 impl<'a> IntoIterator for &'a AnswerSet {
     type Item = StreamId;
-    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, StreamId>>;
+    type IntoIter = AnswerIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.members.iter().copied()
+        self.iter()
     }
 }
 
@@ -122,9 +196,26 @@ mod tests {
 
     #[test]
     fn deterministic_iteration_order() {
-        let a = ids(&[9, 1, 5]);
+        let a = ids(&[9, 1, 5, 64, 200, 63]);
         let order: Vec<u32> = a.iter().map(|s| s.0).collect();
-        assert_eq!(order, vec![1, 5, 9]);
+        assert_eq!(order, vec![1, 5, 9, 63, 64, 200]);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_storage() {
+        let mut a = ids(&[1, 500]);
+        let b = ids(&[1]);
+        assert_ne!(a, b);
+        a.remove(StreamId(500));
+        assert_eq!(a, b, "removal leaves zeroed trailing words behind");
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn removals_outside_storage_are_noops() {
+        let mut a = ids(&[1]);
+        assert!(!a.remove(StreamId(1000)));
+        assert!(!a.contains(StreamId(1000)));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 
 use simkit::SimTime;
-use streamnet::{Ledger, ServerView, SourceFleet, StreamId};
+use streamnet::{FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 
 use crate::answer::AnswerSet;
 use crate::protocol::{Protocol, ServerCtx};
@@ -28,17 +28,137 @@ use crate::workload::{UpdateEvent, Workload};
 /// resolution; hitting this cap indicates a protocol bug and panics.
 const CASCADE_CAP: usize = 1_000_000;
 
-/// A running simulation of one protocol over one stream population.
-pub struct Engine<P: Protocol> {
-    fleet: SourceFleet,
+/// The pure protocol-state half of a running server: the protocol, the
+/// server's view, the message ledger, and the queue of induced sync
+/// reports — everything *except* the sources themselves.
+///
+/// The core is `Send` (given a `Send` protocol) and fleet-agnostic: each
+/// entry point borrows a [`FleetOps`] backend for the duration of the call,
+/// so the same core drives the in-process [`SourceFleet`] of [`Engine`] and
+/// the sharded routing fleet of `asf-server`. [`Engine`] stays the
+/// simulation driver: it owns the fleet, the clock, and the workload loop.
+pub struct ProtocolCore<P: Protocol> {
     view: ServerView,
     ledger: Ledger,
     pending: VecDeque<(StreamId, f64)>,
     protocol: P,
-    now: SimTime,
-    events_processed: u64,
     reports_processed: u64,
     initialized: bool,
+}
+
+impl<P: Protocol> ProtocolCore<P> {
+    /// Creates a core for a population of `n` streams.
+    pub fn new(n: usize, protocol: P) -> Self {
+        Self {
+            view: ServerView::new(n),
+            ledger: Ledger::new(),
+            pending: VecDeque::new(),
+            protocol,
+            reports_processed: 0,
+            initialized: false,
+        }
+    }
+
+    /// Runs the protocol's Initialization phase against `fleet` and drains
+    /// all induced sync reports (idempotent guard: panics if called twice).
+    pub fn initialize(&mut self, fleet: &mut dyn FleetOps) {
+        assert!(!self.initialized, "engine already initialized");
+        self.initialized = true;
+        let mut ctx = ServerCtx::new(fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+        self.protocol.initialize(&mut ctx);
+        self.drain_pending(fleet);
+    }
+
+    /// Routes one report `(id, value)` that reached the server into the
+    /// protocol and drains all induced resolution work. The caller must
+    /// already have recorded the report's `Update` message and refreshed
+    /// the view (delivery does both); after this returns the system is
+    /// quiescent.
+    pub fn handle_report(&mut self, id: StreamId, value: f64, fleet: &mut dyn FleetOps) {
+        assert!(self.initialized, "core must be initialized before reports");
+        self.reports_processed += 1;
+        let mut ctx = ServerCtx::new(fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+        self.protocol.on_update(id, value, &mut ctx);
+        self.drain_pending(fleet);
+    }
+
+    fn drain_pending(&mut self, fleet: &mut dyn FleetOps) {
+        let mut steps = 0;
+        while let Some((id, value)) = self.pending.pop_front() {
+            steps += 1;
+            assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
+            self.reports_processed += 1;
+            let mut ctx =
+                ServerCtx::new(fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+            self.protocol.on_update(id, value, &mut ctx);
+        }
+    }
+
+    /// Delivers one update through `fleet` (recording the `Update` message
+    /// and refreshing the view on a report) and, if the source reported,
+    /// handles the report. Returns whether the update reported.
+    pub fn deliver_and_handle(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        fleet: &mut dyn FleetOps,
+    ) -> bool {
+        let report = fleet.deliver(id, value, &mut self.ledger, &mut self.view);
+        if let Some(v) = report {
+            self.handle_report(id, v, fleet);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ingests a report whose source-side delivery already happened (e.g.
+    /// speculatively, on an `asf-server` shard): records the `Update`
+    /// message, refreshes the view, and handles the report — the exact
+    /// sequence a [`FleetOps::deliver`] report produces.
+    pub fn ingest_report(&mut self, id: StreamId, value: f64, fleet: &mut dyn FleetOps) {
+        self.ledger.record(streamnet::MessageKind::Update, 1);
+        self.view.set(id, value);
+        self.handle_report(id, value, fleet);
+    }
+
+    /// Whether [`ProtocolCore::initialize`] has run.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// The message ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The server's view of last-known values.
+    pub fn view(&self) -> &ServerView {
+        &self.view
+    }
+
+    /// The current answer `A(t)`.
+    pub fn answer(&self) -> AnswerSet {
+        self.protocol.answer()
+    }
+
+    /// The protocol state.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Reports (workload-triggered + induced syncs) the protocol handled.
+    pub fn reports_processed(&self) -> u64 {
+        self.reports_processed
+    }
+}
+
+/// A running simulation of one protocol over one stream population.
+pub struct Engine<P: Protocol> {
+    fleet: SourceFleet,
+    core: ProtocolCore<P>,
+    now: SimTime,
+    events_processed: u64,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -46,26 +166,16 @@ impl<P: Protocol> Engine<P> {
     pub fn new(initial_values: &[f64], protocol: P) -> Self {
         Self {
             fleet: SourceFleet::from_values(initial_values),
-            view: ServerView::new(initial_values.len()),
-            ledger: Ledger::new(),
-            pending: VecDeque::new(),
-            protocol,
+            core: ProtocolCore::new(initial_values.len(), protocol),
             now: 0.0,
             events_processed: 0,
-            reports_processed: 0,
-            initialized: false,
         }
     }
 
     /// Runs the protocol's Initialization phase (idempotent guard: panics
     /// if called twice).
     pub fn initialize(&mut self) {
-        assert!(!self.initialized, "engine already initialized");
-        self.initialized = true;
-        let mut ctx =
-            ServerCtx::new(&mut self.fleet, &mut self.view, &mut self.ledger, &mut self.pending);
-        self.protocol.initialize(&mut ctx);
-        self.drain_pending();
+        self.core.initialize(&mut self.fleet);
     }
 
     /// Applies one workload event and drains all induced resolution work.
@@ -76,44 +186,16 @@ impl<P: Protocol> Engine<P> {
     /// Panics if called before [`Engine::initialize`] or if event times go
     /// backwards.
     pub fn apply_event(&mut self, ev: UpdateEvent) {
-        assert!(self.initialized, "engine must be initialized before events");
+        assert!(self.core.is_initialized(), "engine must be initialized before events");
         assert!(ev.time >= self.now, "events must be time-ordered ({} < {})", ev.time, self.now);
         self.now = ev.time;
         self.events_processed += 1;
-        let report =
-            self.fleet.deliver_update(ev.stream, ev.value, &mut self.ledger, &mut self.view);
-        if let Some(value) = report {
-            self.reports_processed += 1;
-            let mut ctx = ServerCtx::new(
-                &mut self.fleet,
-                &mut self.view,
-                &mut self.ledger,
-                &mut self.pending,
-            );
-            self.protocol.on_update(ev.stream, value, &mut ctx);
-            self.drain_pending();
-        }
-    }
-
-    fn drain_pending(&mut self) {
-        let mut steps = 0;
-        while let Some((id, value)) = self.pending.pop_front() {
-            steps += 1;
-            assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
-            self.reports_processed += 1;
-            let mut ctx = ServerCtx::new(
-                &mut self.fleet,
-                &mut self.view,
-                &mut self.ledger,
-                &mut self.pending,
-            );
-            self.protocol.on_update(id, value, &mut ctx);
-        }
+        self.core.deliver_and_handle(ev.stream, ev.value, &mut self.fleet);
     }
 
     /// Initializes (if needed) and consumes the whole workload.
     pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) {
-        if !self.initialized {
+        if !self.core.is_initialized() {
             self.initialize();
         }
         while let Some(ev) = workload.next_event() {
@@ -129,24 +211,24 @@ impl<P: Protocol> Engine<P> {
         workload: &mut W,
         mut hook: impl FnMut(&SourceFleet, &P, SimTime),
     ) {
-        if !self.initialized {
+        if !self.core.is_initialized() {
             self.initialize();
         }
-        hook(&self.fleet, &self.protocol, self.now);
+        hook(&self.fleet, self.core.protocol(), self.now);
         while let Some(ev) = workload.next_event() {
             self.apply_event(ev);
-            hook(&self.fleet, &self.protocol, self.now);
+            hook(&self.fleet, self.core.protocol(), self.now);
         }
     }
 
     /// The message ledger.
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        self.core.ledger()
     }
 
     /// The current answer `A(t)`.
     pub fn answer(&self) -> AnswerSet {
-        self.protocol.answer()
+        self.core.answer()
     }
 
     /// Ground-truth access for oracles/tests.
@@ -156,12 +238,12 @@ impl<P: Protocol> Engine<P> {
 
     /// The server's view of last-known values.
     pub fn view(&self) -> &ServerView {
-        &self.view
+        self.core.view()
     }
 
     /// The protocol state.
     pub fn protocol(&self) -> &P {
-        &self.protocol
+        self.core.protocol()
     }
 
     /// Current simulation time.
@@ -176,7 +258,7 @@ impl<P: Protocol> Engine<P> {
 
     /// Reports (workload-triggered + induced syncs) the protocol handled.
     pub fn reports_processed(&self) -> u64 {
-        self.reports_processed
+        self.core.reports_processed()
     }
 }
 
@@ -233,10 +315,7 @@ mod tests {
             ],
         );
         engine.run(&mut w);
-        assert_eq!(
-            engine.protocol().seen,
-            vec![(StreamId(0), 700.0), (StreamId(1), 450.0)]
-        );
+        assert_eq!(engine.protocol().seen, vec![(StreamId(0), 700.0), (StreamId(1), 450.0)]);
         assert_eq!(engine.events_processed(), 4);
         assert_eq!(engine.reports_processed(), 2);
         // 2n probes + n broadcast + 2 updates = 4 + 2 + 2 = 8
@@ -282,8 +361,7 @@ mod tests {
         let rec =
             Recorder { filter: Filter::ReportAll, seen: Vec::new(), answer: AnswerSet::new() };
         let mut engine = Engine::new(&initial, rec);
-        let mut w =
-            VecWorkload::new(initial.clone(), vec![ev(1.0, 0, 2.0), ev(2.0, 0, 3.0)]);
+        let mut w = VecWorkload::new(initial.clone(), vec![ev(1.0, 0, 2.0), ev(2.0, 0, 3.0)]);
         let mut calls = 0;
         engine.run_with_hook(&mut w, |_, _, _| calls += 1);
         assert_eq!(calls, 3); // post-init + 2 events

@@ -61,10 +61,7 @@ impl MultiRangeZt {
         if queries.is_empty() {
             return Err(ConfigError::InvalidQuery("need at least one range query".into()));
         }
-        let mut cuts: Vec<f64> = queries
-            .iter()
-            .flat_map(|q| [q.lo(), q.hi().next_up()])
-            .collect();
+        let mut cuts: Vec<f64> = queries.iter().flat_map(|q| [q.lo(), q.hi().next_up()]).collect();
         cuts.sort_by(|a, b| a.partial_cmp(b).expect("query bounds are finite"));
         cuts.dedup();
         let answers = vec![AnswerSet::new(); queries.len()];

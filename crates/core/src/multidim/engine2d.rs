@@ -118,11 +118,8 @@ impl<P: Protocol2d> Engine2d<P> {
     pub fn initialize(&mut self) {
         assert!(!self.initialized, "engine already initialized");
         self.initialized = true;
-        let mut ctx = Ctx2d {
-            fleet: &mut self.fleet,
-            ledger: &mut self.ledger,
-            pending: &mut self.pending,
-        };
+        let mut ctx =
+            Ctx2d { fleet: &mut self.fleet, ledger: &mut self.ledger, pending: &mut self.pending };
         self.protocol.initialize(&mut ctx);
         self.drain();
     }

@@ -205,12 +205,7 @@ impl PointFleet {
 
     /// Installs a region at one source (1 message); any sync report is
     /// returned (and counted).
-    pub fn install(
-        &mut self,
-        id: StreamId,
-        region: Region,
-        ledger: &mut Ledger,
-    ) -> Option<Point2> {
+    pub fn install(&mut self, id: StreamId, region: Region, ledger: &mut Ledger) -> Option<Point2> {
         ledger.record(MessageKind::FilterInstall, 1);
         let src = &mut self.sources[id.index()];
         src.traffic += 1;
@@ -286,8 +281,8 @@ mod tests {
         // reports; install a broad disk first.
         fleet.broadcast(Region::disk(p(0.0, 0.0), 100.0), &mut ledger);
         fleet.deliver_update(StreamId(0), p(3.0, 0.0), &mut ledger); // inside: silent
-        // New small disk separates believed (0,0) from true (3,0)? Both
-        // inside radius 5 — no sync. Radius 2: believed inside, true outside.
+                                                                     // New small disk separates believed (0,0) from true (3,0)? Both
+                                                                     // inside radius 5 — no sync. Radius 2: believed inside, true outside.
         let syncs = fleet.broadcast(Region::disk(p(0.0, 0.0), 2.0), &mut ledger);
         assert_eq!(syncs.len(), 1);
         assert_eq!(syncs[0].0, StreamId(0));

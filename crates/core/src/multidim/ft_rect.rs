@@ -209,13 +209,8 @@ mod tests {
     #[test]
     fn silenced_objects_never_report() {
         let mut e = engine(0.25);
-        let silenced: Vec<StreamId> = e
-            .protocol()
-            .fp_filters
-            .iter()
-            .chain(&e.protocol().fn_filters)
-            .copied()
-            .collect();
+        let silenced: Vec<StreamId> =
+            e.protocol().fp_filters.iter().chain(&e.protocol().fn_filters).copied().collect();
         let base = e.ledger().total();
         for (i, id) in silenced.into_iter().enumerate() {
             e.apply_event(ev(1.0 + i as f64, id.0, p(500.0, 500.0)));
@@ -237,9 +232,9 @@ mod tests {
         ];
         for m in moves {
             e.apply_event(m);
-            let metrics = e
-                .answer()
-                .fraction_metrics(e.fleet().len(), |id| rect.contains(e.fleet().source(id).position()));
+            let metrics = e.answer().fraction_metrics(e.fleet().len(), |id| {
+                rect.contains(e.fleet().source(id).position())
+            });
             assert!(
                 metrics.within(&tol),
                 "t={}: F+={:.3} F-={:.3}",

@@ -48,8 +48,7 @@ pub fn fraction_region_violation(
     answer: &AnswerSet,
     fleet: &PointFleet,
 ) -> Option<String> {
-    let m =
-        answer.fraction_metrics(fleet.len(), |id| region.contains(fleet.source(id).position()));
+    let m = answer.fraction_metrics(fleet.len(), |id| region.contains(fleet.source(id).position()));
     if m.within(&tol) {
         None
     } else {
@@ -74,10 +73,7 @@ mod tests {
     #[test]
     fn true_ranking_orders_by_distance() {
         let fleet = PointFleet::from_positions(&[p(3.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]);
-        assert_eq!(
-            true_ranking(p(0.0, 0.0), &fleet),
-            vec![StreamId(1), StreamId(2), StreamId(0)]
-        );
+        assert_eq!(true_ranking(p(0.0, 0.0), &fleet), vec![StreamId(1), StreamId(2), StreamId(0)]);
     }
 
     #[test]

@@ -287,11 +287,8 @@ mod tests {
         for m in moves {
             e.apply_event(m);
             // Oracle: every answer member truly ranks <= k + r.
-            let mut dists: Vec<(f64, StreamId)> = e
-                .fleet()
-                .iter()
-                .map(|s| (p(0.0, 0.0).distance(s.position()), s.id()))
-                .collect();
+            let mut dists: Vec<(f64, StreamId)> =
+                e.fleet().iter().map(|s| (p(0.0, 0.0).distance(s.position()), s.id())).collect();
             dists.sort_by(|&a, &b| cmp_key(a, b));
             let a = e.answer();
             assert_eq!(a.len(), 3, "at t={}", m.time);

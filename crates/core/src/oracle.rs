@@ -118,10 +118,7 @@ mod tests {
     #[test]
     fn true_ranking_orders_ground_truth() {
         let f = fleet(&[30.0, 10.0, 20.0]);
-        assert_eq!(
-            true_ranking(RankSpace::TopK, &f),
-            vec![StreamId(0), StreamId(2), StreamId(1)]
-        );
+        assert_eq!(true_ranking(RankSpace::TopK, &f), vec![StreamId(0), StreamId(2), StreamId(1)]);
     }
 
     #[test]
@@ -157,7 +154,7 @@ mod tests {
     fn fraction_rank_violation_uses_k_denominator() {
         let f = fleet(&[1.0, 2.0, 3.0, 4.0, 5.0]);
         let q = RankQuery::knn(0.0, 2).unwrap(); // true 2-NN: S0, S1
-        // Answer {S0, S2}: E+ = 1, E- = 1, |A| = 2 -> F+ = 0.5, F- = 0.5.
+                                                 // Answer {S0, S2}: E+ = 1, E- = 1, |A| = 2 -> F+ = 0.5, F- = 0.5.
         let a = ids(&[0, 2]);
         let half = FractionTolerance::new(0.5, 0.5).unwrap();
         assert_eq!(fraction_rank_violation(q, half, &a, &f), None);

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use streamnet::{Filter, Ledger, ServerView, SourceFleet, StreamId};
+use streamnet::{Filter, FleetOps, Ledger, ServerView, StreamId};
 
 /// Everything a protocol may do during initialization or maintenance:
 /// consult its (possibly stale) view, and pay messages to probe sources or
@@ -15,8 +15,12 @@ use streamnet::{Filter, Ledger, ServerView, SourceFleet, StreamId};
 /// actual state is inconsistent with the server's knowledge; such sources
 /// sync-report, and the reports are queued for the engine to feed back into
 /// the protocol after the current handler returns (never re-entrantly).
+///
+/// The context is backed by any [`FleetOps`] implementation: the in-process
+/// [`streamnet::SourceFleet`] in the single-threaded engine, or the sharded
+/// routing fleet of `asf-server` — protocols cannot tell the difference.
 pub struct ServerCtx<'a> {
-    fleet: &'a mut SourceFleet,
+    fleet: &'a mut dyn FleetOps,
     view: &'a mut ServerView,
     ledger: &'a mut Ledger,
     pending: &'a mut VecDeque<(StreamId, f64)>,
@@ -24,7 +28,7 @@ pub struct ServerCtx<'a> {
 
 impl<'a> ServerCtx<'a> {
     pub(crate) fn new(
-        fleet: &'a mut SourceFleet,
+        fleet: &'a mut dyn FleetOps,
         view: &'a mut ServerView,
         ledger: &'a mut Ledger,
         pending: &'a mut VecDeque<(StreamId, f64)>,
@@ -79,10 +83,15 @@ impl<'a> ServerCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use streamnet::MessageKind;
+    use streamnet::{MessageKind, SourceFleet};
 
     fn setup() -> (SourceFleet, ServerView, Ledger, VecDeque<(StreamId, f64)>) {
-        (SourceFleet::from_values(&[100.0, 500.0, 900.0]), ServerView::new(3), Ledger::new(), VecDeque::new())
+        (
+            SourceFleet::from_values(&[100.0, 500.0, 900.0]),
+            ServerView::new(3),
+            Ledger::new(),
+            VecDeque::new(),
+        )
     }
 
     #[test]

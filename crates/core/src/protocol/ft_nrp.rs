@@ -363,8 +363,7 @@ mod tests {
     #[test]
     fn zero_tolerance_degenerates_to_zt_nrp() {
         let initial = initial_20();
-        let mut engine =
-            Engine::new(&initial, protocol(0.0, SelectionHeuristic::BoundaryNearest));
+        let mut engine = Engine::new(&initial, protocol(0.0, SelectionHeuristic::BoundaryNearest));
         engine.initialize();
         assert_eq!(engine.protocol().n_plus(), 0);
         assert_eq!(engine.protocol().n_minus(), 0);
@@ -378,8 +377,7 @@ mod tests {
     #[test]
     fn boundary_nearest_silences_boundary_streams() {
         let initial = initial_20();
-        let mut engine =
-            Engine::new(&initial, protocol(0.25, SelectionHeuristic::BoundaryNearest));
+        let mut engine = Engine::new(&initial, protocol(0.25, SelectionHeuristic::BoundaryNearest));
         engine.initialize();
         // Inside values are 410..572 (step 18); nearest to a boundary are
         // 410 (id 0, d=10) and 428 (id 1, d=28).

@@ -333,8 +333,13 @@ mod tests {
         assert!(engine.protocol().n_plus() >= 8);
         assert!(engine.protocol().n_minus() >= 8);
         // Silenced streams cost nothing even when they wander.
-        let silenced: Vec<StreamId> =
-            engine.protocol().fp_filters.iter().chain(&engine.protocol().fn_filters).copied().collect();
+        let silenced: Vec<StreamId> = engine
+            .protocol()
+            .fp_filters
+            .iter()
+            .chain(&engine.protocol().fn_filters)
+            .copied()
+            .collect();
         let base = engine.ledger().total();
         let mut t = 1.0;
         for id in silenced {

@@ -33,7 +33,13 @@ use streamnet::StreamId;
 use crate::answer::AnswerSet;
 
 /// A server-side filter-bound protocol.
-pub trait Protocol {
+///
+/// `Send + Sync` is part of the contract: protocol state must be plain data
+/// (no `Rc`/`RefCell`/thread-local handles) so that a protocol core can be
+/// moved into — or shared with — the concurrent `asf-server` runtime. The
+/// trait is object-safe; the server holds protocols as `dyn Protocol` when
+/// it needs to mix them.
+pub trait Protocol: Send + Sync {
     /// Short name for reports ("RTP", "FT-NRP", …).
     fn name(&self) -> &'static str;
 
@@ -49,3 +55,6 @@ pub trait Protocol {
     /// The current answer set `A(t)` returned to the user.
     fn answer(&self) -> AnswerSet;
 }
+
+/// Compile-time proof that [`Protocol`] stays object-safe.
+const _: fn(&dyn Protocol) = |_| {};

@@ -21,32 +21,29 @@ enum QueryKind {
 /// Exact continuous query answering with no filters installed.
 pub struct NoFilter {
     kind: QueryKind,
-    /// Cached answer, recomputed from the (always fresh) view on demand.
-    cache: std::cell::RefCell<Option<AnswerSet>>,
+    /// Current answer, recomputed from the (always fresh) view after every
+    /// report.
+    answer: Option<AnswerSet>,
     n: usize,
 }
 
 impl NoFilter {
     /// Baseline for a range query.
     pub fn range(query: RangeQuery) -> Self {
-        Self { kind: QueryKind::Range(query), cache: Default::default(), n: 0 }
+        Self { kind: QueryKind::Range(query), answer: None, n: 0 }
     }
 
     /// Baseline for a rank-based query.
     pub fn rank(query: RankQuery) -> Self {
-        Self { kind: QueryKind::Rank(query), cache: Default::default(), n: 0 }
+        Self { kind: QueryKind::Rank(query), answer: None, n: 0 }
     }
 
     fn compute_answer(&self, view: &streamnet::ServerView) -> AnswerSet {
         match self.kind {
-            QueryKind::Range(q) => view
-                .iter_known()
-                .filter(|&(_, v)| q.contains(v))
-                .map(|(id, _)| id)
-                .collect(),
-            QueryKind::Rank(q) => {
-                rank_view(q.space(), view).into_iter().take(q.k()).collect()
+            QueryKind::Range(q) => {
+                view.iter_known().filter(|&(_, v)| q.contains(v)).map(|(id, _)| id).collect()
             }
+            QueryKind::Rank(q) => rank_view(q.space(), view).into_iter().take(q.k()).collect(),
         }
     }
 }
@@ -61,16 +58,16 @@ impl Protocol for NoFilter {
         // The server still needs the initial values to answer at t0; sources
         // keep their default report-all behaviour (no filter installed).
         ctx.probe_all();
-        *self.cache.borrow_mut() = Some(self.compute_answer(ctx.view()));
+        self.answer = Some(self.compute_answer(ctx.view()));
     }
 
     fn on_update(&mut self, _id: StreamId, _value: f64, ctx: &mut ServerCtx<'_>) {
         // The view is already refreshed; just recompute the exact answer.
-        *self.cache.borrow_mut() = Some(self.compute_answer(ctx.view()));
+        self.answer = Some(self.compute_answer(ctx.view()));
     }
 
     fn answer(&self) -> AnswerSet {
-        self.cache.borrow().clone().unwrap_or_default()
+        self.answer.clone().unwrap_or_default()
     }
 }
 
@@ -104,8 +101,7 @@ mod tests {
         let initial = vec![1.0, 2.0];
         let q = RangeQuery::new(0.0, 10.0).unwrap();
         let mut engine = Engine::new(&initial, NoFilter::range(q));
-        let events =
-            vec![ev(1.0, 0, 1.1), ev(2.0, 0, 1.2), ev(3.0, 1, 2.1), ev(4.0, 1, 2.1)];
+        let events = vec![ev(1.0, 0, 1.1), ev(2.0, 0, 1.2), ev(3.0, 1, 2.1), ev(4.0, 1, 2.1)];
         let mut w = VecWorkload::new(initial.clone(), events);
         engine.run(&mut w);
         // 2n init probes + 4 updates.

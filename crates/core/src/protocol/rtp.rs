@@ -105,11 +105,7 @@ impl Rtp {
     /// steps 2–4 / Maintenance step 7).
     fn full_recompute(&mut self, ctx: &mut ServerCtx<'_>) {
         let eps = self.epsilon();
-        assert!(
-            ctx.n() > eps,
-            "RTP requires n > k + r (= {eps}), got n = {}",
-            ctx.n()
-        );
+        assert!(ctx.n() > eps, "RTP requires n > k + r (= {eps}), got n = {}", ctx.n());
         let ranked = rank_view(self.query.space(), ctx.view());
         self.answer = ranked.iter().take(self.query.k()).copied().collect();
         self.x = ranked.iter().take(eps).copied().collect();
@@ -121,6 +117,13 @@ impl Rtp {
     fn deploy_bound(&mut self, ctx: &mut ServerCtx<'_>) {
         let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
         self.d = midpoint_threshold(self.query.space(), values, self.epsilon());
+        // X must track *exactly* the streams the server believes inside the
+        // new bound: an untracked believed-inside stream would be missing
+        // from the candidate set of a later overflow shrink, which could
+        // then position R with more than epsilon streams truly inside it —
+        // a Definition-1 violation.
+        self.x =
+            rank_view(self.query.space(), ctx.view()).into_iter().take(self.epsilon()).collect();
         ctx.broadcast(self.query.space().ball(self.d));
     }
 
@@ -150,8 +153,7 @@ impl Rtp {
         let space = self.query.space();
         // Snapshot of the server's "old ranking scores" at entry.
         let ranked = rank_view(space, ctx.view());
-        let old_keys: Vec<f64> =
-            ranked.iter().map(|&id| self.view_key(ctx.view(), id)).collect();
+        let old_keys: Vec<f64> = ranked.iter().map(|&id| self.view_key(ctx.view(), id)).collect();
         let n = ranked.len();
         let mut probed: BTreeSet<StreamId> = BTreeSet::new();
 
@@ -173,14 +175,30 @@ impl Rtp {
                 .collect();
             if u.len() >= 2 {
                 u.sort_by(|&a, &b| cmp_key(a, b));
-                // Step 4(iv)(a): the nearest candidate completes the answer.
-                self.answer.insert(u[0].1);
-                // Step 4(iv)(b): X = A plus the r+1 nearest candidates.
-                self.x = self.answer.iter().collect();
-                for &(_, id) in u.iter().take(self.r + 1) {
-                    self.x.insert(id);
+                // Refresh the surviving answer members too: the rebuilt
+                // answer and bound below must rank fresh values against
+                // fresh values, or a stale answer member could end up
+                // outside the redeployed bound without ever sync-reporting.
+                let survivors: Vec<StreamId> = self.answer.iter().collect();
+                for m in survivors {
+                    if probed.insert(m) {
+                        ctx.probe(m);
+                    }
                 }
-                // Step 4(iv)(c): redeploy the bound.
+                // Step 4(iv)(a-b), strengthened: rebuild A as the k best
+                // among the refreshed candidates (surviving answer members
+                // plus the ring candidates), so every member of A ranks
+                // within the believed-inside set of the new bound.
+                let mut cand: Vec<(f64, StreamId)> = self
+                    .answer
+                    .iter()
+                    .chain(u.iter().map(|&(_, id)| id))
+                    .map(|id| (self.view_key(ctx.view(), id), id))
+                    .collect();
+                cand.sort_by(|&a, &b| cmp_key(a, b));
+                self.answer = cand.iter().take(self.query.k()).map(|&(_, s)| s).collect();
+                // Step 4(iv)(c): redeploy the bound (also rebuilds X as the
+                // believed-inside set, which contains A by construction).
                 self.deploy_bound(ctx);
                 return;
             }

@@ -159,9 +159,8 @@ mod tests {
             e.apply_event(event);
             let answer = e.answer().iter().next().unwrap();
             let answer_value = e.fleet().true_value(answer);
-            let true_max = (0..4)
-                .map(|i| e.fleet().true_value(StreamId(i)))
-                .fold(f64::NEG_INFINITY, f64::max);
+            let true_max =
+                (0..4).map(|i| e.fleet().true_value(StreamId(i))).fold(f64::NEG_INFINITY, f64::max);
             assert!(
                 answer_value >= true_max - 10.0 - 1e-9,
                 "answer {answer_value} vs max {true_max} at t={}",

@@ -128,11 +128,7 @@ mod tests {
             };
             let f = space.ball(d);
             for v in [-20.0, -3.0, 0.0, 3.0, 7.0, 10.0, 13.0, 15.0, 20.0] {
-                assert_eq!(
-                    f.contains(v),
-                    space.in_ball(v, d),
-                    "space {space:?} v {v} d {d}"
-                );
+                assert_eq!(f.contains(v), space.in_ball(v, d), "space {space:?} v {v} d {d}");
             }
         }
     }

@@ -28,10 +28,13 @@ pub fn cmp_key(a: (f64, StreamId), b: (f64, StreamId)) -> std::cmp::Ordering {
 /// must initialize (probe all) before ranking.
 pub fn rank_view(space: RankSpace, view: &ServerView) -> Vec<StreamId> {
     assert!(view.all_known(), "cannot rank a partially-known view");
-    rank_values(space, (0..view.len()).map(|i| {
-        let id = StreamId(i as u32);
-        (id, view.get(id))
-    }))
+    rank_values(
+        space,
+        (0..view.len()).map(|i| {
+            let id = StreamId(i as u32);
+            (id, view.get(id))
+        }),
+    )
 }
 
 /// Ranks an arbitrary `(id, value)` collection; returns ids sorted

@@ -37,7 +37,11 @@ impl RankTolerance {
 
     /// Checks Definition 1 given the answer size and the members' true
     /// ranks (1-based).
-    pub fn is_correct(&self, answer_size: usize, true_ranks: impl IntoIterator<Item = usize>) -> bool {
+    pub fn is_correct(
+        &self,
+        answer_size: usize,
+        true_ranks: impl IntoIterator<Item = usize>,
+    ) -> bool {
         answer_size == self.k && true_ranks.into_iter().all(|rank| rank <= self.epsilon())
     }
 }

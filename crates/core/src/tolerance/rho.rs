@@ -70,9 +70,7 @@ pub fn derive_rho(tol: &FractionTolerance, policy: RhoPolicy) -> Result<RhoPair,
             let rho = m * (1.0 - tol.eps_plus()) / (2.0 - tol.eps_plus());
             RhoPair { rho_plus: rho, rho_minus: rho }
         }
-        RhoPolicy::MaxPositive => {
-            RhoPair { rho_plus: m * (1.0 - tol.eps_plus()), rho_minus: 0.0 }
-        }
+        RhoPolicy::MaxPositive => RhoPair { rho_plus: m * (1.0 - tol.eps_plus()), rho_minus: 0.0 },
         RhoPolicy::MaxNegative => RhoPair { rho_plus: 0.0, rho_minus: m },
     };
     // Sanity: the pair must itself be a valid fraction tolerance.
@@ -142,8 +140,7 @@ mod tests {
     fn rho_is_always_a_valid_tolerance() {
         for p in [0.0, 0.1, 0.25, 0.5] {
             for m in [0.0, 0.1, 0.25, 0.5] {
-                for policy in
-                    [RhoPolicy::Balanced, RhoPolicy::MaxPositive, RhoPolicy::MaxNegative]
+                for policy in [RhoPolicy::Balanced, RhoPolicy::MaxPositive, RhoPolicy::MaxNegative]
                 {
                     let pair = derive_rho(&tol(p, m), policy).unwrap();
                     assert!(FractionTolerance::new(pair.rho_plus, pair.rho_minus).is_ok());

@@ -109,6 +109,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown stream")]
     fn rejects_unknown_stream() {
-        VecWorkload::new(vec![0.0], vec![UpdateEvent { time: 0.0, stream: StreamId(5), value: 1.0 }]);
+        VecWorkload::new(
+            vec![0.0],
+            vec![UpdateEvent { time: 0.0, stream: StreamId(5), value: 1.0 }],
+        );
     }
 }

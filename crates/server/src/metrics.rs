@@ -1,0 +1,149 @@
+//! Runtime metrics of the sharded server: batches, rounds, messages,
+//! shard occupancy, and batch-apply latency percentiles.
+//!
+//! Everything here is observational — nothing feeds back into protocol
+//! decisions, so wall-clock noise can never perturb determinism.
+
+use simkit::percentile;
+
+/// Number of recent batch-latency samples retained for percentiles.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Counters and samples collected while the server ingests batches.
+#[derive(Clone, Debug, Default)]
+pub struct ServerMetrics {
+    /// Batches ingested.
+    pub batches: u64,
+    /// Speculative scatter/gather rounds across all batches.
+    pub rounds: u64,
+    /// Workload events ingested.
+    pub events: u64,
+    /// Events whose speculative application was committed (every event
+    /// commits exactly once, so this reaches `events` at quiescence).
+    pub speculative_commits: u64,
+    /// Speculative applications rolled back (work wasted on invalidations).
+    pub rolled_back: u64,
+    /// Reports consumed by the protocol core.
+    pub reports_consumed: u64,
+    /// Speculation invalidations (a report's handler touched the fleet).
+    pub cuts: u64,
+    /// Per-shard committed-event counts (occupancy).
+    pub shard_events: Vec<u64>,
+    /// Per-shard cumulative speculative-evaluation busy time (ns).
+    pub shard_busy_ns: Vec<u64>,
+    /// Sum over rounds of the *maximum* shard busy time in that round —
+    /// the data-plane critical path of a perfectly parallel execution.
+    pub critical_path_ns: u64,
+    /// Time the coordinator spent scattering batches to shards (ns).
+    pub scatter_ns: u64,
+    /// Time the coordinator spent in serial report handling (ns).
+    pub serial_ns: u64,
+    /// Wall-clock durations of the most recent batch applies (ns ring,
+    /// at most [`LATENCY_WINDOW`] samples).
+    batch_ns: Vec<u64>,
+}
+
+impl ServerMetrics {
+    /// Creates empty metrics for `num_shards` shards.
+    pub fn new(num_shards: usize) -> Self {
+        Self {
+            shard_events: vec![0; num_shards],
+            shard_busy_ns: vec![0; num_shards],
+            ..Default::default()
+        }
+    }
+
+    /// Records one completed batch apply. Latency samples live in a
+    /// fixed-size ring (the most recent [`LATENCY_WINDOW`] batches), so a
+    /// long-lived server's memory stays bounded.
+    pub fn record_batch(&mut self, wall_ns: u64) {
+        if self.batch_ns.len() < LATENCY_WINDOW {
+            self.batch_ns.push(wall_ns);
+        } else {
+            self.batch_ns[(self.batches % LATENCY_WINDOW as u64) as usize] = wall_ns;
+        }
+        self.batches += 1;
+    }
+
+    /// Batch-apply latency percentile in nanoseconds (p in `[0, 100]`),
+    /// over the most recent [`LATENCY_WINDOW`] batches; `None` before the
+    /// first batch.
+    pub fn batch_latency_ns(&self, p: f64) -> Option<f64> {
+        if self.batch_ns.is_empty() {
+            return None;
+        }
+        let data: Vec<f64> = self.batch_ns.iter().map(|&ns| ns as f64).collect();
+        Some(percentile(&data, p))
+    }
+
+    /// Fraction of ingested events that never reached the coordinator (the
+    /// parallel fast path: silent under their filter).
+    pub fn parallel_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            (self.events.saturating_sub(self.reports_consumed)) as f64 / self.events as f64
+        }
+    }
+
+    /// Shard occupancy skew: max / mean committed events per shard (1.0 is
+    /// perfectly balanced); `None` until events have been committed.
+    pub fn occupancy_skew(&self) -> Option<f64> {
+        let total: u64 = self.shard_events.iter().sum();
+        if total == 0 || self.shard_events.is_empty() {
+            return None;
+        }
+        let mean = total as f64 / self.shard_events.len() as f64;
+        let max = *self.shard_events.iter().max().expect("non-empty") as f64;
+        Some(max / mean)
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let p50 = self.batch_latency_ns(50.0).unwrap_or(0.0) / 1_000.0;
+        let p99 = self.batch_latency_ns(99.0).unwrap_or(0.0) / 1_000.0;
+        format!(
+            "batches={} rounds={} cuts={} events={} reports={} rolled_back={} \
+             parallel_fraction={:.3} occupancy_skew={:.3} batch_apply p50={:.1}us p99={:.1}us",
+            self.batches,
+            self.rounds,
+            self.cuts,
+            self.events,
+            self.reports_consumed,
+            self.rolled_back,
+            self.parallel_fraction(),
+            self.occupancy_skew().unwrap_or(f64::NAN),
+            p50,
+            p99,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_skew() {
+        let mut m = ServerMetrics::new(2);
+        for ns in [100u64, 200, 300, 400] {
+            m.record_batch(ns);
+        }
+        m.events = 10;
+        m.reports_consumed = 2;
+        m.shard_events = vec![6, 2];
+        assert_eq!(m.batches, 4);
+        let p50 = m.batch_latency_ns(50.0).unwrap();
+        assert!((200.0..=300.0).contains(&p50), "p50 = {p50}");
+        assert!((m.parallel_fraction() - 0.8).abs() < 1e-12);
+        assert!((m.occupancy_skew().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_quiet() {
+        let m = ServerMetrics::new(4);
+        assert!(m.batch_latency_ns(99.0).is_none());
+        assert!(m.occupancy_skew().is_none());
+        assert_eq!(m.parallel_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The coordinator's [`FleetOps`] backend: routes every control-plane fleet
+//! operation of the protocol (probe / install / broadcast / deliver) to the
+//! shard owning the source, while recording messages in the coordinator's
+//! authoritative ledger and refreshing the coordinator's view.
+//!
+//! The ledger contract of [`FleetOps`] is kept byte-identical to the serial
+//! [`streamnet::SourceFleet`]: probes cost 2, installs 1 (+1 per sync),
+//! broadcasts `n` as **one** operation (+1 per sync), delivered reports 1.
+//! Broadcast sync reports are gathered from all shards and merged in
+//! ascending global id order — the same order the serial fleet produces —
+//! so the protocol's resolution cascade sees an identical report sequence.
+
+use streamnet::{Filter, FleetOps, Ledger, MessageKind, ServerView, StreamId};
+
+use crate::handle::ShardHandle;
+use crate::shard::{Partition, ShardCmd, ShardReply};
+
+/// A routing fleet over the shard handles (borrowed for one protocol call).
+pub struct ShardRouter<'a> {
+    handles: &'a mut [ShardHandle],
+    partition: Partition,
+    n: usize,
+}
+
+impl<'a> ShardRouter<'a> {
+    /// Borrows the shard handles as a fleet of `n` streams.
+    pub fn new(handles: &'a mut [ShardHandle], partition: Partition, n: usize) -> Self {
+        Self { handles, partition, n }
+    }
+
+    fn route(&mut self, id: StreamId) -> (&mut ShardHandle, u32) {
+        let shard = self.partition.shard_of(id);
+        let local = self.partition.local_of(id);
+        (&mut self.handles[shard], local)
+    }
+
+    /// Commits/rolls back every shard's speculative log around `keep_below`
+    /// (scatter, then gather). Returns per-shard `(kept, undone)`.
+    pub(crate) fn commit_all(&mut self, keep_below: u64) -> Vec<(u32, u32)> {
+        for handle in self.handles.iter_mut() {
+            handle.send(ShardCmd::Commit { keep_below });
+        }
+        self.handles
+            .iter_mut()
+            .map(|handle| match handle.recv() {
+                ShardReply::Committed { kept, undone } => (kept, undone),
+                other => unreachable!("Commit got {other:?}"),
+            })
+            .collect()
+    }
+}
+
+/// A [`ShardRouter`] that lazily *invalidates* the in-flight speculation
+/// the first time the protocol touches the fleet.
+///
+/// The coordinator consumes speculative reports in sequence order; while a
+/// handler only mutates protocol state, the shards' optimistic evaluation
+/// of later events remains exactly serial (sources are independent). The
+/// first install / probe / broadcast / delivery, however, can change
+/// source state that later events depend on — so before forwarding that
+/// operation, this router commits every shard's log at `keep_below` (just
+/// past the report being handled), rolling the fleet back to the precise
+/// serial state the operation must observe.
+pub struct GuardedRouter<'a> {
+    inner: ShardRouter<'a>,
+    keep_below: u64,
+    committed: Option<Vec<(u32, u32)>>,
+}
+
+impl<'a> GuardedRouter<'a> {
+    /// Wraps `inner`; a first fleet operation will cut speculation at
+    /// `keep_below`.
+    pub fn new(inner: ShardRouter<'a>, keep_below: u64) -> Self {
+        Self { inner, keep_below, committed: None }
+    }
+
+    /// Whether the cut fired, and the per-shard `(kept, undone)` counts if
+    /// it did.
+    pub fn into_cut(self) -> Option<Vec<(u32, u32)>> {
+        self.committed
+    }
+
+    fn ensure_cut(&mut self) {
+        if self.committed.is_none() {
+            self.committed = Some(self.inner.commit_all(self.keep_below));
+        }
+    }
+}
+
+impl FleetOps for GuardedRouter<'_> {
+    fn len(&self) -> usize {
+        self.inner.n
+    }
+
+    fn deliver(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        self.ensure_cut();
+        self.inner.deliver(id, value, ledger, view)
+    }
+
+    fn probe(&mut self, id: StreamId, ledger: &mut Ledger, view: &mut ServerView) -> f64 {
+        self.ensure_cut();
+        self.inner.probe(id, ledger, view)
+    }
+
+    fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
+        self.ensure_cut();
+        self.inner.probe_all(ledger, view)
+    }
+
+    fn install(
+        &mut self,
+        id: StreamId,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        self.ensure_cut();
+        self.inner.install(id, filter, ledger, view)
+    }
+
+    fn broadcast(
+        &mut self,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
+        self.ensure_cut();
+        self.inner.broadcast(filter, ledger, view)
+    }
+}
+
+impl FleetOps for ShardRouter<'_> {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn deliver(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        let (handle, local) = self.route(id);
+        match handle.request(ShardCmd::Deliver { local, value }) {
+            ShardReply::Delivered(report) => {
+                if let Some(v) = report {
+                    ledger.record(MessageKind::Update, 1);
+                    view.set(id, v);
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+            other => unreachable!("Deliver got {other:?}"),
+        }
+    }
+
+    fn probe(&mut self, id: StreamId, ledger: &mut Ledger, view: &mut ServerView) -> f64 {
+        let (handle, local) = self.route(id);
+        match handle.request(ShardCmd::Probe { local }) {
+            ShardReply::Probed(v) => {
+                ledger.record(MessageKind::ProbeRequest, 1);
+                ledger.record(MessageKind::ProbeReply, 1);
+                view.set(id, v);
+                v
+            }
+            other => unreachable!("Probe got {other:?}"),
+        }
+    }
+
+    fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
+        // Scatter to all shards, then gather — probes run in parallel in
+        // threaded mode; ledger counts and the final view are order-free.
+        for handle in self.handles.iter_mut() {
+            handle.send(ShardCmd::ProbeAll);
+        }
+        for (shard, handle) in self.handles.iter_mut().enumerate() {
+            match handle.recv() {
+                ShardReply::ProbedAll(values) => {
+                    ledger.record(MessageKind::ProbeRequest, values.len() as u64);
+                    ledger.record(MessageKind::ProbeReply, values.len() as u64);
+                    for (local, v) in values.into_iter().enumerate() {
+                        view.set(self.partition.global_of(shard, local as u32), v);
+                    }
+                }
+                other => unreachable!("ProbeAll got {other:?}"),
+            }
+        }
+    }
+
+    fn install(
+        &mut self,
+        id: StreamId,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        let (handle, local) = self.route(id);
+        match handle.request(ShardCmd::Install { local, filter }) {
+            ShardReply::Installed(sync) => {
+                ledger.record(MessageKind::FilterInstall, 1);
+                if let Some(v) = sync {
+                    ledger.record(MessageKind::Update, 1);
+                    view.set(id, v);
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+            other => unreachable!("Install got {other:?}"),
+        }
+    }
+
+    fn broadcast(
+        &mut self,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
+        // One logical broadcast operation costing n messages, however many
+        // shards it fans out to.
+        ledger.record(MessageKind::FilterBroadcast, self.n as u64);
+        for handle in self.handles.iter_mut() {
+            handle.send(ShardCmd::Broadcast { filter: filter.clone() });
+        }
+        let mut syncs: Vec<(StreamId, f64)> = Vec::new();
+        for (shard, handle) in self.handles.iter_mut().enumerate() {
+            match handle.recv() {
+                ShardReply::Broadcasted(local_syncs) => {
+                    for (local, v) in local_syncs {
+                        syncs.push((self.partition.global_of(shard, local), v));
+                    }
+                }
+                other => unreachable!("Broadcast got {other:?}"),
+            }
+        }
+        // Serial-identical order: ascending global id.
+        syncs.sort_by_key(|&(id, _)| id);
+        for &(id, v) in &syncs {
+            ledger.record(MessageKind::Update, 1);
+            view.set(id, v);
+        }
+        syncs
+    }
+}

@@ -1,0 +1,378 @@
+//! The coordinator: batched ingestion with optimistic, touch-invalidated
+//! commits.
+//!
+//! ## The commit protocol
+//!
+//! A window of time-ordered events is stamped with sequence numbers and
+//! scattered to the shards owning the sources. Each shard evaluates its
+//! slice **optimistically** — silent updates apply, filter violations
+//! tentatively become delivered reports — and returns its violations. The
+//! coordinator merges the per-shard report streams in sequence order and
+//! feeds them to the protocol core one by one, exactly as the serial
+//! engine would.
+//!
+//! Sources are independent, so this speculation is *provably* serial-exact
+//! for as long as report handling touches no source state: a handler that
+//! only mutates protocol bookkeeping (the common case for quiet
+//! maintenance — ZT/FT range protocols, RTP cases 1–2, multi-query cell
+//! tracking) invalidates nothing, and a whole window commits in a single
+//! scatter/gather round. The first handler action that *does* touch the
+//! fleet — an install, probe, broadcast, or delivery — trips the
+//! [`crate::router::GuardedRouter`]: every shard rolls its speculation
+//! back to just past the report being handled, the action executes against
+//! that exact serial state, the remaining speculative reports are
+//! discarded, and evaluation resumes after the cut.
+//!
+//! The window size adapts to the observed cut density (deterministically —
+//! it depends only on the event/report sequence, never on timing), so
+//! redeploy-heavy protocols pay bounded re-evaluation while silent-heavy
+//! workloads stream at full window width.
+
+use std::time::Instant;
+
+use asf_core::engine::ProtocolCore;
+use asf_core::protocol::Protocol;
+use asf_core::workload::{UpdateEvent, Workload};
+use asf_core::AnswerSet;
+use simkit::SimTime;
+use streamnet::{Ledger, ServerView, SourceFleet};
+
+use crate::handle::{ExecMode, ShardHandle};
+use crate::metrics::ServerMetrics;
+use crate::router::{GuardedRouter, ShardRouter};
+use crate::shard::{Partition, Shard, ShardCmd, ShardReply, SpecEvent};
+
+/// Smallest adaptive evaluation window (events per round).
+const MIN_WINDOW: usize = 32;
+
+/// Configuration of a [`ShardedServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Number of worker shards (`1..=n`).
+    pub num_shards: usize,
+    /// Maximum events per ingestion batch.
+    pub batch_size: usize,
+    /// Inline (deterministic single-thread) or threaded execution.
+    pub mode: ExecMode,
+    /// Bound of each MPSC command/reply channel in threaded mode.
+    pub channel_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { num_shards: 4, batch_size: 1024, mode: ExecMode::Inline, channel_capacity: 2 }
+    }
+}
+
+impl ServerConfig {
+    /// Convenience: `num_shards` shards, defaults elsewhere.
+    pub fn with_shards(num_shards: usize) -> Self {
+        Self { num_shards, ..Default::default() }
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+}
+
+/// A sharded, batched, concurrent runtime for one filter protocol over one
+/// stream population. Produces byte-identical answers, ledgers, and views
+/// to [`asf_core::engine::Engine`] on the same event sequence, for any
+/// shard count and either execution mode.
+pub struct ShardedServer<P: Protocol> {
+    partition: Partition,
+    handles: Vec<ShardHandle>,
+    core: ProtocolCore<P>,
+    config: ServerConfig,
+    n: usize,
+    now: SimTime,
+    events_processed: u64,
+    /// Current adaptive evaluation window (events per round).
+    window: usize,
+    metrics: ServerMetrics,
+}
+
+impl<P: Protocol> ShardedServer<P> {
+    /// Builds the server over sources with the given initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_shards` is zero, exceeds the population, or
+    /// `config.batch_size` is zero.
+    pub fn new(initial_values: &[f64], protocol: P, config: ServerConfig) -> Self {
+        assert!(config.num_shards >= 1, "need at least one shard");
+        assert!(
+            config.num_shards <= initial_values.len(),
+            "more shards ({}) than streams ({})",
+            config.num_shards,
+            initial_values.len()
+        );
+        assert!(config.batch_size >= 1, "batch_size must be positive");
+        let partition = Partition::new(config.num_shards);
+        let handles: Vec<ShardHandle> = partition
+            .split_values(initial_values)
+            .iter()
+            .map(|values| {
+                ShardHandle::spawn(Shard::new(values), config.mode, config.channel_capacity)
+            })
+            .collect();
+        Self {
+            partition,
+            handles,
+            core: ProtocolCore::new(initial_values.len(), protocol),
+            config,
+            n: initial_values.len(),
+            now: 0.0,
+            events_processed: 0,
+            window: config.batch_size.min(256).max(MIN_WINDOW.min(config.batch_size)),
+            metrics: ServerMetrics::new(config.num_shards),
+        }
+    }
+
+    /// Runs the protocol's Initialization phase across the shards.
+    pub fn initialize(&mut self) {
+        let mut router = ShardRouter::new(&mut self.handles, self.partition, self.n);
+        self.core.initialize(&mut router);
+    }
+
+    /// Ingests one batch of time-ordered events and drains all induced
+    /// resolution work; the server is quiescent when this returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not initialized, or if event times regress.
+    pub fn ingest_batch(&mut self, events: &[UpdateEvent]) {
+        assert!(self.core.is_initialized(), "server must be initialized before events");
+        for chunk in events.chunks(self.config.batch_size) {
+            self.apply_chunk(chunk);
+        }
+    }
+
+    fn apply_chunk(&mut self, events: &[UpdateEvent]) {
+        let batch_start = Instant::now();
+        // Validate time ordering once — rounds below may re-scatter rolled
+        // back events whose times are already at or before `now`.
+        for ev in events {
+            assert!(
+                ev.time >= self.now,
+                "events must be time-ordered ({} < {})",
+                ev.time,
+                self.now
+            );
+            self.now = ev.time;
+        }
+        let mut start = 0usize;
+        while start < events.len() {
+            let end = events.len().min(start + self.window);
+
+            // Scatter the window to the owning shards.
+            let scatter_start = Instant::now();
+            let mut slices: Vec<Vec<SpecEvent>> = vec![Vec::new(); self.config.num_shards];
+            for (i, ev) in events[start..end].iter().enumerate() {
+                slices[self.partition.shard_of(ev.stream)].push(SpecEvent {
+                    seq: (start + i) as u64,
+                    local: self.partition.local_of(ev.stream),
+                    value: ev.value,
+                });
+            }
+            self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
+            self.metrics.rounds += 1;
+
+            // Phase A: optimistic evaluation on every participating shard.
+            let mut participants = Vec::new();
+            for (s, slice) in slices.into_iter().enumerate() {
+                if !slice.is_empty() {
+                    self.handles[s].send(ShardCmd::EvalBatch(slice));
+                    participants.push(s);
+                }
+            }
+            let mut shard_reports: Vec<Vec<SpecEvent>> = Vec::with_capacity(participants.len());
+            let mut round_max_busy = 0u64;
+            for &s in &participants {
+                match self.handles[s].recv() {
+                    ShardReply::Evaluated { reports, busy_ns, .. } => {
+                        self.metrics.shard_busy_ns[s] += busy_ns;
+                        round_max_busy = round_max_busy.max(busy_ns);
+                        shard_reports.push(reports);
+                    }
+                    other => unreachable!("EvalBatch got {other:?}"),
+                }
+            }
+            self.metrics.critical_path_ns += round_max_busy;
+
+            // Merge the per-shard report streams in sequence order. (Each
+            // per-shard list is already sorted; an unstable sort of the
+            // concatenation is fine since seqs are unique.)
+            let mut merged: Vec<(SpecEvent, usize)> = Vec::new();
+            for (&s, reports) in participants.iter().zip(shard_reports) {
+                merged.extend(reports.into_iter().map(|ev| (ev, s)));
+            }
+            merged.sort_unstable_by_key(|(ev, _)| ev.seq);
+
+            // Phase B: consume reports serially through the protocol until
+            // one of them touches the fleet (= invalidates speculation).
+            let serial_start = Instant::now();
+            let mut cut_at: Option<u64> = None;
+            for &(ev, shard) in &merged {
+                let id = self.partition.global_of(shard, ev.local);
+                let inner = ShardRouter::new(&mut self.handles, self.partition, self.n);
+                let mut router = GuardedRouter::new(inner, ev.seq + 1);
+                self.core.ingest_report(id, ev.value, &mut router);
+                self.metrics.reports_consumed += 1;
+                if let Some(commits) = router.into_cut() {
+                    for (s, &(kept, undone)) in commits.iter().enumerate() {
+                        self.metrics.shard_events[s] += kept as u64;
+                        self.metrics.speculative_commits += kept as u64;
+                        self.metrics.rolled_back += undone as u64;
+                    }
+                    cut_at = Some(ev.seq);
+                    break;
+                }
+            }
+            self.metrics.serial_ns += serial_start.elapsed().as_nanos() as u64;
+
+            match cut_at {
+                None => {
+                    // Whole window stands: make it permanent.
+                    let mut router = ShardRouter::new(&mut self.handles, self.partition, self.n);
+                    for (s, (kept, undone)) in router.commit_all(u64::MAX).into_iter().enumerate() {
+                        self.metrics.shard_events[s] += kept as u64;
+                        self.metrics.speculative_commits += kept as u64;
+                        debug_assert_eq!(undone, 0);
+                    }
+                    start = end;
+                    // Quiet window: widen (deterministic — depends only on
+                    // the event/report sequence).
+                    self.window = (self.window * 2).min(self.config.batch_size);
+                }
+                Some(c) => {
+                    // Speculation past `c` was rolled back inside the cut;
+                    // resume right after the invalidating report. Track the
+                    // cut density: aim for ~double the observed cut span.
+                    let span = (c as usize + 1 - start).max(1);
+                    // Careful with tiny configs: the floor must never
+                    // exceed batch_size (clamp would panic).
+                    let floor = MIN_WINDOW.min(self.config.batch_size);
+                    self.window = (span * 2).clamp(floor, self.config.batch_size);
+                    self.metrics.cuts += 1;
+                    start = c as usize + 1;
+                }
+            }
+        }
+        self.events_processed += events.len() as u64;
+        self.metrics.events += events.len() as u64;
+        self.metrics.record_batch(batch_start.elapsed().as_nanos() as u64);
+    }
+
+    /// Initializes (if needed) and consumes the whole workload in batches
+    /// of `config.batch_size` — the trace-replay / generator feeder.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        if !self.core.is_initialized() {
+            self.initialize();
+        }
+        let mut buf: Vec<UpdateEvent> = Vec::with_capacity(self.config.batch_size);
+        while let Some(ev) = workload.next_event() {
+            buf.push(ev);
+            if buf.len() == self.config.batch_size {
+                self.ingest_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.ingest_batch(&buf);
+        }
+    }
+
+    /// The globally consistent answer `A(t)` — valid at quiescent points
+    /// (between [`ShardedServer::ingest_batch`] calls).
+    pub fn answer(&self) -> AnswerSet {
+        self.core.answer()
+    }
+
+    /// The authoritative message ledger (serial-identical counts).
+    pub fn ledger(&self) -> &Ledger {
+        self.core.ledger()
+    }
+
+    /// The server's view of last-known values.
+    pub fn view(&self) -> &ServerView {
+        self.core.view()
+    }
+
+    /// The protocol state.
+    pub fn protocol(&self) -> &P {
+        self.core.protocol()
+    }
+
+    /// Runtime metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulation time (last ingested event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Workload events ingested so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Reports (workload-triggered + induced syncs) the protocol handled.
+    pub fn reports_processed(&self) -> u64 {
+        self.core.reports_processed()
+    }
+
+    /// Ground-truth values of every stream, reassembled from the shards —
+    /// for the oracle and tests (a real deployment has no such backdoor).
+    pub fn truth_values(&mut self) -> Vec<f64> {
+        let mut values = vec![0.0f64; self.n];
+        for handle in self.handles.iter_mut() {
+            handle.send(ShardCmd::TruthSnapshot);
+        }
+        for shard in 0..self.handles.len() {
+            match self.handles[shard].recv() {
+                ShardReply::Truth(local_values) => {
+                    for (local, v) in local_values.into_iter().enumerate() {
+                        values[self.partition.global_of(shard, local as u32).index()] = v;
+                    }
+                }
+                other => unreachable!("TruthSnapshot got {other:?}"),
+            }
+        }
+        values
+    }
+
+    /// Ground truth as a throwaway [`SourceFleet`] (values only) so the
+    /// oracle helpers of `asf-core` can run against the sharded server.
+    pub fn truth_fleet(&mut self) -> SourceFleet {
+        SourceFleet::from_values(&self.truth_values())
+    }
+
+    /// Stops all workers and returns final metrics (threaded shards report
+    /// their cumulative busy time on shutdown).
+    pub fn shutdown(mut self) -> ServerMetrics {
+        for (s, handle) in self.handles.iter_mut().enumerate() {
+            let busy = handle.shutdown();
+            // The worker's figure is cumulative (eval + control-plane
+            // commands); the coordinator only accumulated eval time from
+            // replies, so take whichever is larger.
+            self.metrics.shard_busy_ns[s] = self.metrics.shard_busy_ns[s].max(busy);
+        }
+        self.metrics.clone()
+    }
+}

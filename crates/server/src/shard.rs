@@ -1,0 +1,390 @@
+//! A worker shard: owns one partition of the stream population and does the
+//! data-plane work — speculative batch filter evaluation, committed
+//! deliveries, and the shard-side half of probes / installs / broadcasts.
+//!
+//! Sources are assigned to shards by stride: global stream `g` lives on
+//! shard `g % k` at local index `g / k` (see [`Partition`]). The shard's
+//! [`SourceFleet`] uses *local* dense ids; all translation happens at the
+//! boundary.
+//!
+//! ## Optimistic evaluation and the undo log
+//!
+//! [`Shard::exec`] with [`ShardCmd::EvalBatch`] walks its slice of a batch
+//! in sequence order **optimistically**: silent updates apply their value;
+//! filter violations are tentatively treated as delivered reports (value
+//! applied, last-reported refreshed) and returned to the coordinator in
+//! order. Every application is journaled in a [`SpecLog`] with the
+//! source's prior state.
+//!
+//! The coordinator consumes the merged, sequence-ordered report stream
+//! through the protocol. As long as handling a report touches **no** other
+//! source (no install / probe / broadcast), the speculation is exactly
+//! what serial execution would have done — sources are independent — and
+//! the whole slice commits in one round. The moment a handler touches the
+//! fleet, the coordinator issues [`ShardCmd::Commit`] with `keep_below`
+//! just past the report being handled: later applications roll back
+//! (newest first) and re-evaluate after the protocol's actions, which is
+//! what keeps the sharded runtime byte-identical to the serial engine.
+
+use std::time::Instant;
+
+use streamnet::{Filter, Ledger, ServerView, SourceFleet, SpecLog, StreamId};
+
+/// Strided assignment of global stream ids to `k` shards.
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    k: u32,
+}
+
+impl Partition {
+    /// Creates the partition map for `k` shards.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one shard");
+        assert!(u32::try_from(k).is_ok(), "too many shards");
+        Self { k: k as u32 }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.k as usize
+    }
+
+    /// The shard owning a global stream id.
+    #[inline]
+    pub fn shard_of(&self, id: StreamId) -> usize {
+        (id.0 % self.k) as usize
+    }
+
+    /// The owning shard's local index for a global stream id.
+    #[inline]
+    pub fn local_of(&self, id: StreamId) -> u32 {
+        id.0 / self.k
+    }
+
+    /// The global id of `(shard, local)`.
+    #[inline]
+    pub fn global_of(&self, shard: usize, local: u32) -> StreamId {
+        StreamId(local * self.k + shard as u32)
+    }
+
+    /// Splits the global initial values into per-shard local value vectors.
+    pub fn split_values(&self, initial: &[f64]) -> Vec<Vec<f64>> {
+        let mut per_shard: Vec<Vec<f64>> = vec![Vec::new(); self.shards()];
+        for (g, &v) in initial.iter().enumerate() {
+            per_shard[(g as u32 % self.k) as usize].push(v);
+        }
+        per_shard
+    }
+}
+
+/// One event of a speculative batch, addressed by shard-local id and
+/// stamped with its global batch sequence number.
+#[derive(Clone, Copy, Debug)]
+pub struct SpecEvent {
+    /// Position of the event in the coordinator's batch (ascending).
+    pub seq: u64,
+    /// Shard-local source index.
+    pub local: u32,
+    /// The new value.
+    pub value: f64,
+}
+
+/// A command routed to a shard.
+#[derive(Debug)]
+pub enum ShardCmd {
+    /// Speculatively evaluate a slice of a batch (in `seq` order).
+    EvalBatch(Vec<SpecEvent>),
+    /// Commit speculative applications with `seq < keep_below`, roll back
+    /// the rest (use `u64::MAX` to commit everything).
+    Commit {
+        /// First sequence number to roll back.
+        keep_below: u64,
+    },
+    /// Fully deliver one update (value applied; reports for real).
+    Deliver {
+        /// Shard-local source index.
+        local: u32,
+        /// The new value.
+        value: f64,
+    },
+    /// Probe one source.
+    Probe {
+        /// Shard-local source index.
+        local: u32,
+    },
+    /// Probe every source of the partition.
+    ProbeAll,
+    /// Install a filter at one source.
+    Install {
+        /// Shard-local source index.
+        local: u32,
+        /// The filter to install.
+        filter: Filter,
+    },
+    /// Install a filter at every source of the partition (shard half of a
+    /// global broadcast; the coordinator meters the operation).
+    Broadcast {
+        /// The filter to install everywhere.
+        filter: Filter,
+    },
+    /// Ground-truth values of the partition (local order) — oracle/tests.
+    TruthSnapshot,
+    /// Stop the worker loop (threaded mode only).
+    Shutdown,
+}
+
+/// A shard's reply to one command.
+#[derive(Debug)]
+pub enum ShardReply {
+    /// Outcome of [`ShardCmd::EvalBatch`].
+    Evaluated {
+        /// Tentative reports (filter violations), in ascending `seq` order.
+        reports: Vec<SpecEvent>,
+        /// Events speculatively applied (silent + tentative reports).
+        evaluated: u32,
+        /// Wall time the shard spent evaluating, for metrics only.
+        busy_ns: u64,
+    },
+    /// Outcome of [`ShardCmd::Commit`].
+    Committed {
+        /// Speculative applications made permanent.
+        kept: u32,
+        /// Speculative applications rolled back.
+        undone: u32,
+    },
+    /// Outcome of [`ShardCmd::Deliver`]: the report value, if the filter
+    /// was violated.
+    Delivered(Option<f64>),
+    /// Outcome of [`ShardCmd::Probe`].
+    Probed(f64),
+    /// Outcome of [`ShardCmd::ProbeAll`]: values in local order.
+    ProbedAll(Vec<f64>),
+    /// Outcome of [`ShardCmd::Install`]: the sync-report value, if any.
+    Installed(Option<f64>),
+    /// Outcome of [`ShardCmd::Broadcast`]: sync reports `(local, value)`
+    /// in ascending local order.
+    Broadcasted(Vec<(u32, f64)>),
+    /// Outcome of [`ShardCmd::TruthSnapshot`]: values in local order.
+    Truth(Vec<f64>),
+}
+
+/// A worker shard owning one partition of sources.
+#[derive(Debug)]
+pub struct Shard {
+    fleet: SourceFleet,
+    /// Shard-side scratch: per-shard message counts are informational; the
+    /// coordinator's ledger is the authoritative, serial-identical one.
+    scratch: Ledger,
+    /// Local replica of the server view for this partition (what the
+    /// sources have reported), kept by the fleet API.
+    local_view: ServerView,
+    /// Undo journal of the in-flight speculative batch.
+    spec: SpecLog,
+    /// Cumulative busy time (ns), metrics only.
+    busy_ns: u64,
+}
+
+impl Shard {
+    /// Builds a shard over its partition's initial values (local order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition is empty — use at most as many shards as
+    /// streams.
+    pub fn new(local_initial: &[f64]) -> Self {
+        let n = local_initial.len();
+        Self {
+            fleet: SourceFleet::from_values(local_initial),
+            scratch: Ledger::new(),
+            local_view: ServerView::new(n),
+            spec: SpecLog::new(),
+            busy_ns: 0,
+        }
+    }
+
+    /// Number of sources in this partition.
+    pub fn len(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Whether the partition is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.fleet.is_empty()
+    }
+
+    /// Cumulative busy time in nanoseconds (metrics only).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Executes one command. Used directly in inline mode and by the worker
+    /// thread loop in threaded mode; [`ShardCmd::Shutdown`] must be handled
+    /// by the caller.
+    pub fn exec(&mut self, cmd: ShardCmd) -> ShardReply {
+        let start = Instant::now();
+        let reply = match cmd {
+            ShardCmd::EvalBatch(events) => self.eval_batch(&events),
+            ShardCmd::Commit { keep_below } => self.commit(keep_below),
+            ShardCmd::Deliver { local, value } => ShardReply::Delivered(self.fleet.deliver_update(
+                StreamId(local),
+                value,
+                &mut self.scratch,
+                &mut self.local_view,
+            )),
+            ShardCmd::Probe { local } => ShardReply::Probed(self.fleet.probe(
+                StreamId(local),
+                &mut self.scratch,
+                &mut self.local_view,
+            )),
+            ShardCmd::ProbeAll => {
+                let mut values = Vec::with_capacity(self.fleet.len());
+                for local in 0..self.fleet.len() as u32 {
+                    values.push(self.fleet.probe(
+                        StreamId(local),
+                        &mut self.scratch,
+                        &mut self.local_view,
+                    ));
+                }
+                ShardReply::ProbedAll(values)
+            }
+            ShardCmd::Install { local, filter } => ShardReply::Installed(self.fleet.install(
+                StreamId(local),
+                filter,
+                &mut self.scratch,
+                &mut self.local_view,
+            )),
+            ShardCmd::Broadcast { filter } => {
+                let syncs = self
+                    .fleet
+                    .install_all_unmetered(filter, &mut self.local_view)
+                    .into_iter()
+                    .map(|(id, v)| (id.0, v))
+                    .collect();
+                ShardReply::Broadcasted(syncs)
+            }
+            ShardCmd::TruthSnapshot => {
+                ShardReply::Truth(self.fleet.iter().map(|s| s.value()).collect())
+            }
+            ShardCmd::Shutdown => unreachable!("Shutdown is handled by the worker loop"),
+        };
+        self.busy_ns += start.elapsed().as_nanos() as u64;
+        reply
+    }
+
+    fn eval_batch(&mut self, events: &[SpecEvent]) -> ShardReply {
+        debug_assert!(self.spec.is_empty(), "EvalBatch without an intervening Commit");
+        let start = Instant::now();
+        let mut reports = Vec::new();
+        for &ev in events {
+            let id = StreamId(ev.local);
+            if self.spec.apply(&mut self.fleet, ev.seq, id, ev.value).is_some() {
+                reports.push(ev);
+            }
+        }
+        ShardReply::Evaluated {
+            reports,
+            evaluated: events.len() as u32,
+            busy_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn commit(&mut self, keep_below: u64) -> ShardReply {
+        let (kept, undone) = self.spec.commit_below(&mut self.fleet, keep_below);
+        ShardReply::Committed { kept, undone }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_roundtrip() {
+        let p = Partition::new(3);
+        for g in 0..100u32 {
+            let id = StreamId(g);
+            let s = p.shard_of(id);
+            let l = p.local_of(id);
+            assert_eq!(p.global_of(s, l), id);
+        }
+    }
+
+    #[test]
+    fn split_values_strides() {
+        let p = Partition::new(2);
+        let per = p.split_values(&[10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(per[0], vec![10.0, 12.0, 14.0]);
+        assert_eq!(per[1], vec![11.0, 13.0]);
+    }
+
+    #[test]
+    fn eval_reports_violations_and_commit_rolls_back_suffix() {
+        // Sources at 500 / 100 with active filters (probe marks reported).
+        let mut shard = Shard::new(&[500.0, 100.0]);
+        shard.exec(ShardCmd::ProbeAll);
+        shard.exec(ShardCmd::Install { local: 0, filter: Filter::interval(400.0, 600.0) });
+        shard.exec(ShardCmd::Install { local: 1, filter: Filter::interval(0.0, 200.0) });
+
+        // seq 0: silent, seq 2: silent, seq 5: violation, seq 7: silent
+        // (post-violation state: source 0 reported 700, outside -> outside).
+        let reply = shard.exec(ShardCmd::EvalBatch(vec![
+            SpecEvent { seq: 0, local: 0, value: 550.0 },
+            SpecEvent { seq: 2, local: 1, value: 150.0 },
+            SpecEvent { seq: 5, local: 0, value: 700.0 },
+            SpecEvent { seq: 7, local: 0, value: 800.0 },
+        ]));
+        match reply {
+            ShardReply::Evaluated { reports, evaluated, .. } => {
+                assert_eq!(reports.len(), 1);
+                assert_eq!((reports[0].seq, reports[0].local, reports[0].value), (5, 0, 700.0));
+                assert_eq!(evaluated, 4, "optimistic eval continues past violations");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        // Invalidation just past seq 5: seq 7's application must unwind to
+        // the post-report state, seq 0/2/5 stand.
+        match shard.exec(ShardCmd::Commit { keep_below: 6 }) {
+            ShardReply::Committed { kept, undone } => {
+                assert_eq!((kept, undone), (3, 1));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match shard.exec(ShardCmd::TruthSnapshot) {
+            ShardReply::Truth(values) => assert_eq!(values, vec![700.0, 150.0]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // The tentative report refreshed last-reported: moving back inside
+        // the band now violates again.
+        match shard.exec(ShardCmd::Deliver { local: 0, value: 550.0 }) {
+            ShardReply::Delivered(r) => assert_eq!(r, Some(550.0)),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rollback_restores_report_state_exactly() {
+        let mut shard = Shard::new(&[500.0]);
+        shard.exec(ShardCmd::ProbeAll);
+        shard.exec(ShardCmd::Install { local: 0, filter: Filter::interval(400.0, 600.0) });
+
+        // seq 0 silent, seq 1 tentative report, seq 2 silent-after-report.
+        shard.exec(ShardCmd::EvalBatch(vec![
+            SpecEvent { seq: 0, local: 0, value: 510.0 },
+            SpecEvent { seq: 1, local: 0, value: 700.0 },
+            SpecEvent { seq: 2, local: 0, value: 900.0 },
+        ]));
+        // Roll everything back: value, last-reported, and traffic must be
+        // exactly as before the batch.
+        shard.exec(ShardCmd::Commit { keep_below: 0 });
+        match shard.exec(ShardCmd::TruthSnapshot) {
+            ShardReply::Truth(values) => assert_eq!(values, vec![500.0]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // 700 would violate again (last_reported back to 500).
+        match shard.exec(ShardCmd::Deliver { local: 0, value: 450.0 }) {
+            ShardReply::Delivered(r) => assert_eq!(r, None, "inside -> inside stays silent"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+}

@@ -3,31 +3,44 @@
 //! All stochastic behaviour in the reproduction flows through [`SimRng`] so
 //! that every experiment is reproducible from a single `u64` seed. The
 //! distributions in [`crate::dist`] draw uniform variates from here and apply
-//! their own transforms; we do not depend on `rand_distr`.
+//! their own transforms; we depend on no external RNG crate — the generator
+//! is implemented here (xoshiro256++ seeded through SplitMix64), so results
+//! are reproducible across toolchains and dependency upgrades.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 step — used to expand a 64-bit seed into generator state and
+/// to mix labels in [`SimRng::derive`].
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic, seedable PRNG stream.
 ///
-/// Thin wrapper over `rand`'s `StdRng` (ChaCha-based) fixing the API surface
-/// the simulation uses: uniform `f64` in `[0, 1)`, integer ranges, and
-/// sub-stream derivation for independent components.
+/// xoshiro256++ (Blackman & Vigna) with the API surface the simulation uses:
+/// uniform `f64` in `[0, 1)`, integer ranges, and sub-stream derivation for
+/// independent components.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Self { s }
     }
 
-    /// Uniform variate in `[0, 1)`.
+    /// Uniform variate in `[0, 1)` (53 random mantissa bits).
     #[inline]
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform variate in `[0, 1)` that is never exactly zero.
@@ -52,7 +65,8 @@ impl SimRng {
     #[inline]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        // Clamp guards against the affine transform rounding up to `hi`.
+        (lo + self.next_f64() * (hi - lo)).min(hi.next_down())
     }
 
     /// Uniform integer in `[0, n)`.
@@ -63,13 +77,29 @@ impl SimRng {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.random_range(0..n)
+        // Rejection sampling: accept below the largest multiple of `n`.
+        let n64 = n as u64;
+        let zone = u64::MAX - (u64::MAX % n64);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return (x % n64) as usize;
+            }
+        }
     }
 
-    /// Raw 64 random bits.
+    /// Raw 64 random bits (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Derives an independent sub-stream.

@@ -11,6 +11,67 @@ use crate::source::StreamSource;
 use crate::view::ServerView;
 use crate::StreamId;
 
+/// The server-side operations a fleet of sources must support.
+///
+/// The protocols of `asf-core` talk to the sources exclusively through this
+/// surface (via their `ServerCtx`), so the *same* protocol code drives both
+/// the in-process [`SourceFleet`] of the single-threaded engine and the
+/// sharded fleet of `asf-server`, where each call is routed to the worker
+/// shard owning the source. Implementations must keep the contract exact —
+/// byte-identical answers across backends depend on it:
+///
+/// * every method records its messages in the passed [`Ledger`] with the
+///   same counts as [`SourceFleet`] (probe = 2, install = 1 + 1 per sync,
+///   broadcast = `n` + 1 per sync, delivered report = 1);
+/// * the [`ServerView`] is refreshed with every value that reaches the
+///   server (reports, probe replies, sync reports);
+/// * [`FleetOps::broadcast`] returns sync reports in ascending id order.
+pub trait FleetOps {
+    /// Number of sources `n`.
+    fn len(&self) -> usize;
+
+    /// Whether the fleet is empty (never true post-construction).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers a workload update to a source; `Some(value)` iff the
+    /// source's filter was violated and it reported (one `Update` message).
+    fn deliver(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64>;
+
+    /// Probes one source (2 messages); refreshes the view, returns the
+    /// value.
+    fn probe(&mut self, id: StreamId, ledger: &mut Ledger, view: &mut ServerView) -> f64;
+
+    /// Probes every source (`2n` messages).
+    fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView);
+
+    /// Installs a filter at one source (1 message); `Some(value)` iff the
+    /// source sync-reported (one more `Update` message).
+    fn install(
+        &mut self,
+        id: StreamId,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64>;
+
+    /// Broadcasts a filter to every source (`n` messages); returns sync
+    /// reports in ascending id order (one `Update` message each).
+    fn broadcast(
+        &mut self,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)>;
+}
+
 /// All `n` stream sources of the simulated system.
 #[derive(Clone, Debug)]
 pub struct SourceFleet {
@@ -143,19 +204,195 @@ impl SourceFleet {
         view: &mut ServerView,
     ) -> Vec<(StreamId, f64)> {
         ledger.record(MessageKind::FilterBroadcast, self.sources.len() as u64);
+        let syncs = self.install_all_unmetered(filter, view);
+        for _ in &syncs {
+            ledger.record(MessageKind::Update, 1);
+        }
+        syncs
+    }
+
+    /// Installs `filter` at every source *without* recording the broadcast
+    /// cost — the caller meters the operation. Sync reports are returned in
+    /// ascending id order and are **not** recorded either; per-source
+    /// traffic and the view are kept consistent.
+    ///
+    /// This is the shard-side half of a distributed broadcast: `asf-server`
+    /// fans one logical broadcast out to `k` shards, each applying its
+    /// partition with this method, while the coordinator records the single
+    /// `n`-message broadcast operation and the sync updates.
+    pub fn install_all_unmetered(
+        &mut self,
+        filter: Filter,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
         let mut syncs = Vec::new();
         for src in &mut self.sources {
             src.add_traffic(1);
             if src.install(filter.clone()) {
                 src.mark_reported();
                 src.add_traffic(1);
-                ledger.record(MessageKind::Update, 1);
                 let v = src.value();
                 view.set(src.id(), v);
                 syncs.push((src.id(), v));
             }
         }
         syncs
+    }
+
+    /// Delivers a batch of updates back-to-back, collecting the reports in
+    /// delivery order. Equivalent to calling [`Self::deliver_update`] per
+    /// event; callers must route the returned reports to the protocol
+    /// afterwards (so it is only equivalent to the serial engine when no
+    /// filter redeployments would intervene between the events).
+    pub fn deliver_batch(
+        &mut self,
+        updates: &[(StreamId, f64)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
+        let mut reports = Vec::new();
+        for &(id, value) in updates {
+            if let Some(v) = self.deliver_update(id, value, ledger, view) {
+                reports.push((id, v));
+            }
+        }
+        reports
+    }
+}
+
+/// Undo log for speculative batch execution over a [`SourceFleet`].
+///
+/// `asf-server` shards evaluate whole batches optimistically — including
+/// *through* filter violations, tentatively treating each violation as a
+/// delivered report (value applied, last-reported refreshed, source traffic
+/// charged, **nothing** recorded in any ledger or view: the coordinator
+/// meters reports when it consumes them in sequence order). Every
+/// application is journaled here with the source's prior state so that an
+/// invalidation — the protocol touching the fleet while handling an
+/// earlier report — can roll the fleet back to any sequence point exactly.
+#[derive(Clone, Debug, Default)]
+pub struct SpecLog {
+    entries: Vec<SpecUndo>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SpecUndo {
+    seq: u64,
+    id: StreamId,
+    prev_value: f64,
+    prev_last_reported: Option<f64>,
+    prev_traffic: u64,
+}
+
+impl SpecLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of journaled applications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Speculatively applies one update. Returns `Some(value)` iff the
+    /// source's filter was violated, i.e. the update is a tentative
+    /// *report*: the value is applied, marked reported, and one message of
+    /// source traffic charged — but not metered anywhere else. A silent
+    /// update applies the value only. Either way the prior state is
+    /// journaled under `seq`; sequence numbers must be strictly
+    /// increasing within one log generation.
+    pub fn apply(
+        &mut self,
+        fleet: &mut SourceFleet,
+        seq: u64,
+        id: StreamId,
+        value: f64,
+    ) -> Option<f64> {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.seq < seq),
+            "speculative sequence numbers must increase"
+        );
+        let src = &mut fleet.sources[id.index()];
+        self.entries.push(SpecUndo {
+            seq,
+            id,
+            prev_value: src.value(),
+            prev_last_reported: src.last_reported(),
+            prev_traffic: src.traffic(),
+        });
+        if src.apply_value(value) {
+            src.mark_reported();
+            src.add_traffic(1);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Commits applications with `seq < keep_below`, rolls back the rest
+    /// (newest first), and clears the log. Returns `(kept, undone)`.
+    pub fn commit_below(&mut self, fleet: &mut SourceFleet, keep_below: u64) -> (u32, u32) {
+        let mut undone = 0u32;
+        while let Some(e) = self.entries.last().copied() {
+            if e.seq < keep_below {
+                break;
+            }
+            fleet.sources[e.id.index()].restore(e.prev_value, e.prev_last_reported, e.prev_traffic);
+            self.entries.pop();
+            undone += 1;
+        }
+        let kept = self.entries.len() as u32;
+        self.entries.clear();
+        (kept, undone)
+    }
+}
+
+impl FleetOps for SourceFleet {
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn deliver(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        self.deliver_update(id, value, ledger, view)
+    }
+
+    fn probe(&mut self, id: StreamId, ledger: &mut Ledger, view: &mut ServerView) -> f64 {
+        SourceFleet::probe(self, id, ledger, view)
+    }
+
+    fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
+        SourceFleet::probe_all(self, ledger, view)
+    }
+
+    fn install(
+        &mut self,
+        id: StreamId,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        SourceFleet::install(self, id, filter, ledger, view)
+    }
+
+    fn broadcast(
+        &mut self,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
+        SourceFleet::broadcast(self, filter, ledger, view)
     }
 }
 
@@ -221,7 +458,8 @@ mod tests {
         assert_eq!(fleet.deliver_update(StreamId(1), 800.0, &mut ledger, &mut view), None);
         let before_updates = ledger.count(MessageKind::Update);
         // New filter separates believed (500) from true (800): sync expected.
-        let sync = fleet.install(StreamId(1), Filter::interval(750.0, 900.0), &mut ledger, &mut view);
+        let sync =
+            fleet.install(StreamId(1), Filter::interval(750.0, 900.0), &mut ledger, &mut view);
         assert_eq!(sync, Some(800.0));
         assert_eq!(ledger.count(MessageKind::Update), before_updates + 1);
         assert_eq!(view.get(StreamId(1)), 800.0);
@@ -259,5 +497,62 @@ mod tests {
     #[should_panic(expected = "at least one source")]
     fn empty_fleet_rejected() {
         SourceFleet::from_values(&[]);
+    }
+
+    #[test]
+    fn deliver_batch_equals_per_event_delivery() {
+        let updates = [
+            (StreamId(0), 120.0),
+            (StreamId(1), 550.0),
+            (StreamId(1), 700.0),
+            (StreamId(2), 950.0),
+        ];
+
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        fleet.install(StreamId(1), Filter::interval(400.0, 600.0), &mut ledger, &mut view);
+        ledger.reset();
+        let reports = fleet.deliver_batch(&updates, &mut ledger, &mut view);
+
+        let (mut fleet2, mut ledger2, mut view2) = setup();
+        fleet2.probe_all(&mut ledger2, &mut view2);
+        fleet2.install(StreamId(1), Filter::interval(400.0, 600.0), &mut ledger2, &mut view2);
+        ledger2.reset();
+        let mut reports2 = Vec::new();
+        for &(id, v) in &updates {
+            if let Some(r) = fleet2.deliver_update(id, v, &mut ledger2, &mut view2) {
+                reports2.push((id, r));
+            }
+        }
+
+        assert_eq!(reports, reports2);
+        assert_eq!(ledger, ledger2);
+        // S1: 550 stays inside its filter (silent), 700 crosses (report).
+        assert_eq!(reports, vec![(StreamId(0), 120.0), (StreamId(1), 700.0), (StreamId(2), 950.0)]);
+    }
+
+    #[test]
+    fn spec_log_rolls_back_exactly() {
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        fleet.install(StreamId(1), Filter::interval(400.0, 600.0), &mut ledger, &mut view);
+        let traffic_before = fleet.source(StreamId(1)).traffic();
+
+        let mut log = SpecLog::new();
+        assert_eq!(log.apply(&mut fleet, 0, StreamId(1), 550.0), None, "silent");
+        assert_eq!(log.apply(&mut fleet, 1, StreamId(1), 700.0), Some(700.0), "report");
+        assert_eq!(log.len(), 2);
+        // Tentative report charged one message of traffic and refreshed
+        // last-reported.
+        assert_eq!(fleet.source(StreamId(1)).traffic(), traffic_before + 1);
+        assert_eq!(fleet.source(StreamId(1)).last_reported(), Some(700.0));
+
+        // Keep the silent application, roll back the report.
+        let (kept, undone) = log.commit_below(&mut fleet, 1);
+        assert_eq!((kept, undone), (1, 1));
+        assert!(log.is_empty());
+        assert_eq!(fleet.true_value(StreamId(1)), 550.0);
+        assert_eq!(fleet.source(StreamId(1)).traffic(), traffic_before);
+        assert_eq!(fleet.source(StreamId(1)).last_reported(), Some(500.0));
     }
 }

@@ -29,7 +29,7 @@ pub mod source;
 pub mod view;
 
 pub use filter::Filter;
-pub use fleet::SourceFleet;
+pub use fleet::{FleetOps, SourceFleet, SpecLog};
 pub use message::{Ledger, MessageKind};
 pub use source::StreamSource;
 pub use view::ServerView;

@@ -63,6 +63,14 @@ impl StreamSource {
         self.traffic += n;
     }
 
+    /// Restores value / last-reported / traffic — speculative-execution
+    /// rollback support for [`crate::fleet::SpecLog`].
+    pub(crate) fn restore(&mut self, value: f64, last_reported: Option<f64>, traffic: u64) {
+        self.value = value;
+        self.last_reported = last_reported;
+        self.traffic = traffic;
+    }
+
     /// Applies a new value from the workload and decides whether the filter
     /// constraint is violated (⇒ the source must report).
     ///
@@ -128,7 +136,11 @@ mod tests {
         s.mark_reported();
         s.install(Filter::interval(400.0, 600.0));
         assert!(!s.apply_value(550.0));
-        assert_eq!(s.last_reported(), Some(500.0), "silent update must not refresh the server view");
+        assert_eq!(
+            s.last_reported(),
+            Some(500.0),
+            "silent update must not refresh the server view"
+        );
     }
 
     #[test]

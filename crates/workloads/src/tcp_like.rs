@@ -146,14 +146,7 @@ impl TcpLikeWorkload {
             queue.schedule(first, StreamId(i as u32));
             subnets.push(Subnet { mu, x, rng, interarrival });
         }
-        Self {
-            config,
-            subnets,
-            initial,
-            queue,
-            innovation: Normal::new(0.0, innov_sd),
-            emitted: 0,
-        }
+        Self { config, subnets, initial, queue, innovation: Normal::new(0.0, innov_sd), emitted: 0 }
     }
 
     /// The configuration in use.

@@ -86,8 +86,9 @@ pub fn read_trace(input: impl Read) -> io::Result<VecWorkload> {
         });
     }
     // VecWorkload validates ordering/ranges; map its panics to errors here.
-    std::panic::catch_unwind(|| VecWorkload::new(initial, events))
-        .map_err(|_| bad("trace events are malformed (out of order, unknown stream, or non-finite)"))
+    std::panic::catch_unwind(|| VecWorkload::new(initial, events)).map_err(|_| {
+        bad("trace events are malformed (out of order, unknown stream, or non-finite)")
+    })
 }
 
 #[cfg(test)]
@@ -97,7 +98,8 @@ mod tests {
 
     #[test]
     fn round_trip_is_bit_exact() {
-        let cfg = SyntheticConfig { num_streams: 20, horizon: 100.0, seed: 3, ..Default::default() };
+        let cfg =
+            SyntheticConfig { num_streams: 20, horizon: 100.0, seed: 3, ..Default::default() };
         let mut original = SyntheticWorkload::new(cfg);
         let mut buf = Vec::new();
         let written = write_trace(&mut original, &mut buf).unwrap();

@@ -29,10 +29,8 @@ fn main() {
     let tol = FractionTolerance::new(0.3, 0.05).unwrap();
 
     let mut workload = SyntheticWorkload::new(cfg);
-    let config = FtNrpConfig {
-        heuristic: SelectionHeuristic::BoundaryNearest,
-        reinit_on_exhaustion: true,
-    };
+    let config =
+        FtNrpConfig { heuristic: SelectionHeuristic::BoundaryNearest, reinit_on_exhaustion: true };
     let protocol = FtNrp::new(zone, tol, config, 2024).unwrap();
     let mut engine = Engine::new(&workload.initial_values(), protocol);
 

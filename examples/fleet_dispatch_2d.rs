@@ -44,14 +44,12 @@ fn main() {
     let (lo, hi) = (Point2::new(300.0, 300.0), Point2::new(600.0, 550.0));
     let tol = FractionTolerance::symmetric(0.2).unwrap();
     let mut w = Walk2dWorkload::new(cfg);
-    let protocol =
-        FtRect2d::new(lo, hi, tol, SelectionHeuristic::BoundaryNearest, 99).unwrap();
+    let protocol = FtRect2d::new(lo, hi, tol, SelectionHeuristic::BoundaryNearest, 99).unwrap();
     let mut fence = Engine2d::new(&initial, protocol);
     fence.run(&mut w);
     let region = Region::rect(lo, hi);
     let fence_ok =
-        oracle2d::fraction_region_violation(&region, tol, &fence.answer(), fence.fleet())
-            .is_none();
+        oracle2d::fraction_region_violation(&region, tol, &fence.answer(), fence.fleet()).is_none();
     println!(
         "downtown geofence: {} messages, |A| = {}, n+ = {}, n- = {}, guarantee {}",
         fence.ledger().total(),

@@ -27,7 +27,10 @@ fn main() {
     let k = 5;
     let query = RankQuery::knn(incident_at, k).unwrap();
 
-    println!("dispatch: {k} nearest of {} vehicles to the incident at {incident_at}", cfg.num_streams);
+    println!(
+        "dispatch: {k} nearest of {} vehicles to the incident at {incident_at}",
+        cfg.num_streams
+    );
 
     // Exact continuous k-NN (ZT-RP): recompute on every crossing.
     let mut w = SyntheticWorkload::new(cfg);
@@ -60,8 +63,7 @@ fn main() {
     let protocol = FtRp::new(query, tol, FtRpConfig::default(), 5).unwrap();
     let mut ft = Engine::new(&w.initial_values(), protocol);
     ft.run(&mut w);
-    let frac_ok =
-        oracle::fraction_rank_violation(query, tol, &ft.answer(), ft.fleet()).is_none();
+    let frac_ok = oracle::fraction_rank_violation(query, tol, &ft.answer(), ft.fleet()).is_none();
     println!(
         "FT-RP (eps=0.2):     {:>9} messages, {} bound recomputes, guarantee {}",
         ft.ledger().total(),

@@ -30,10 +30,8 @@ fn main() {
 
     // FT-NRP: adaptive filters exploiting the tolerance.
     let mut workload = SyntheticWorkload::new(cfg); // same seed -> same data
-    let config = FtNrpConfig {
-        heuristic: SelectionHeuristic::BoundaryNearest,
-        reinit_on_exhaustion: false,
-    };
+    let config =
+        FtNrpConfig { heuristic: SelectionHeuristic::BoundaryNearest, reinit_on_exhaustion: false };
     let protocol = FtNrp::new(query, tol, config, 42).unwrap();
     let mut tolerant = Engine::new(&workload.initial_values(), protocol);
     tolerant.run(&mut workload);
@@ -41,8 +39,9 @@ fn main() {
     // Compare answers against ground truth at the end of the run.
     let truth = oracle::true_range_answer(query, tolerant.fleet());
     let answer = tolerant.answer();
-    let metrics = answer
-        .fraction_metrics(tolerant.fleet().len(), |id| query.contains(tolerant.fleet().true_value(id)));
+    let metrics = answer.fraction_metrics(tolerant.fleet().len(), |id| {
+        query.contains(tolerant.fleet().true_value(id))
+    });
 
     println!("exact (no filter): {} messages", exact.ledger().total());
     println!("FT-NRP (eps=0.2):  {} messages", tolerant.ledger().total());

@@ -31,16 +31,13 @@ fn main() {
     let mut w = SyntheticWorkload::new(cfg);
     let mut zt = Engine::new(&w.initial_values(), ZtNrp::new(query));
     zt.run(&mut w);
-    let zt_traffic: Vec<f64> =
-        zt.fleet().iter().map(|s| s.traffic() as f64).collect();
+    let zt_traffic: Vec<f64> = zt.fleet().iter().map(|s| s.traffic() as f64).collect();
 
     // Fraction tolerance 0.3: some sensors are silenced entirely.
     let mut w = SyntheticWorkload::new(cfg);
     let tol = FractionTolerance::symmetric(0.3).unwrap();
-    let config = FtNrpConfig {
-        heuristic: SelectionHeuristic::BoundaryNearest,
-        reinit_on_exhaustion: false,
-    };
+    let config =
+        FtNrpConfig { heuristic: SelectionHeuristic::BoundaryNearest, reinit_on_exhaustion: false };
     let mut ft = Engine::new(&w.initial_values(), FtNrp::new(query, tol, config, 7).unwrap());
     ft.run(&mut w);
     let ft_traffic: Vec<f64> = ft.fleet().iter().map(|s| s.traffic() as f64).collect();

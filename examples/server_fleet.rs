@@ -1,0 +1,89 @@
+//! A fleet of concurrent range queries on the sharded stream server.
+//!
+//! Scenario: a monitoring service maintains six standing dashboards, each
+//! an entity-based range query ("which sensors read 400–600 right now?"),
+//! over one population of 2 000 sensor streams. The queries share one
+//! elementary-cell filter per source (`MultiRangeZt` plan sharing) and run
+//! on `asf-server` with 4 threaded shards; the same run is repeated on the
+//! single-threaded engine to show the answers — and the message bill — are
+//! byte-identical.
+//!
+//! Run with: `cargo run --release --example server_fleet`
+
+use asf_core::engine::Engine;
+use asf_core::multi_query::{CellMode, MultiRangeZt};
+use asf_core::query::RangeQuery;
+use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
+use asf_server::{ExecMode, ServerConfig, ShardedServer};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn queries() -> Vec<RangeQuery> {
+    vec![
+        RangeQuery::new(0.0, 150.0).unwrap(),
+        RangeQuery::new(100.0, 300.0).unwrap(),
+        RangeQuery::new(250.0, 500.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(),
+        RangeQuery::new(550.0, 800.0).unwrap(),
+        RangeQuery::new(750.0, 1000.0).unwrap(),
+    ]
+}
+
+fn main() {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: 2_000,
+        horizon: 200.0,
+        seed: 2024,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events: Vec<UpdateEvent> = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+    println!(
+        "population: {} streams, {} updates, {} standing queries (shared cell filters)\n",
+        initial.len(),
+        events.len(),
+        queries().len()
+    );
+
+    // Sharded, threaded server.
+    let config = ServerConfig {
+        num_shards: 4,
+        batch_size: 1024,
+        mode: ExecMode::Threaded,
+        channel_capacity: 2,
+    };
+    let protocol = MultiRangeZt::with_mode(queries(), CellMode::SourceResident).unwrap();
+    let mut server = ShardedServer::new(&initial, protocol, config);
+    server.initialize();
+    server.ingest_batch(&events);
+
+    println!("asf-server (4 shards, threaded):");
+    for (j, q) in queries().iter().enumerate() {
+        println!(
+            "  dashboard {j}: [{:>6.1}, {:>6.1}] -> {:>4} sensors",
+            q.lo(),
+            q.hi(),
+            server.protocol().answer_of(j).len()
+        );
+    }
+    println!("  messages: {}", server.ledger().breakdown());
+    println!("  metrics:  {}\n", server.metrics().summary());
+
+    // Reference: the single-threaded simulation engine.
+    let protocol = MultiRangeZt::with_mode(queries(), CellMode::SourceResident).unwrap();
+    let mut engine = Engine::new(&initial, protocol);
+    engine.initialize();
+    let mut vw = VecWorkload::new(initial.clone(), events.clone());
+    engine.run(&mut vw);
+
+    let identical = (0..queries().len())
+        .all(|j| server.protocol().answer_of(j) == engine.protocol().answer_of(j))
+        && server.ledger() == engine.ledger();
+    println!(
+        "single-threaded engine agrees byte-for-byte (answers + ledger): {}",
+        if identical { "yes" } else { "NO (bug!)" }
+    );
+    assert!(identical);
+}

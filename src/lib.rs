@@ -1,0 +1,25 @@
+//! # asf — adaptive stream filters, the whole reproduction in one place
+//!
+//! Facade over the workspace crates:
+//!
+//! * [`core`](asf_core) — the paper's six filter-bound protocols, queries,
+//!   tolerances, engine, and oracle;
+//! * [`streamnet`] — sources, adaptive filters, message ledger, server view;
+//! * [`simkit`] — deterministic discrete-event substrate;
+//! * [`workloads`] — synthetic / TCP-like / 2-D workload generators and
+//!   trace replay;
+//! * [`server`](asf_server) — the sharded, batched, concurrent
+//!   filter-runtime (`asf-server`) that turns the paper simulation into a
+//!   stream server.
+//!
+//! See `examples/` for runnable entry points (`cargo run --release
+//! --example quickstart`, `--example server_fleet`, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use asf_core as core;
+pub use asf_server as server;
+pub use simkit;
+pub use streamnet;
+pub use workloads;

@@ -40,10 +40,7 @@ fn protocol_seed_changes_random_placement() {
     let (l1, _) = run_ft_nrp(7, 1);
     let (l2, _) = run_ft_nrp(7, 2);
     let (l3, _) = run_ft_nrp(7, 3);
-    assert!(
-        l1 != l2 || l2 != l3,
-        "three different placements produced identical ledgers"
-    );
+    assert!(l1 != l2 || l2 != l3, "three different placements produced identical ledgers");
 }
 
 #[test]
@@ -92,7 +89,8 @@ fn trace_replay_reproduces_the_live_run() {
     let query = RangeQuery::new(400.0, 600.0).unwrap();
 
     let mut live = SyntheticWorkload::new(cfg);
-    let mut engine_live = Engine::new(&live.initial_values(), asf_core::protocol::ZtNrp::new(query));
+    let mut engine_live =
+        Engine::new(&live.initial_values(), asf_core::protocol::ZtNrp::new(query));
     engine_live.run(&mut live);
 
     let mut buf = Vec::new();

@@ -4,9 +4,7 @@
 use asf_core::engine::Engine;
 use asf_core::multi_query::{CellMode, MultiRangeZt};
 use asf_core::oracle;
-use asf_core::protocol::{
-    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Rtp, VtMax, ZtNrp, ZtRp,
-};
+use asf_core::protocol::{FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Rtp, VtMax, ZtNrp, ZtRp};
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::{FractionTolerance, RankTolerance};
 use asf_core::workload::{UpdateEvent, VecWorkload};
@@ -32,8 +30,9 @@ fn ft_nrp_with_empty_initial_answer() {
 
     engine.apply_event(ev(1.0, 0, 500.0));
     assert!(engine.answer().contains(StreamId(0)));
-    assert!(oracle::fraction_range_violation(query, tol, &engine.answer(), engine.fleet())
-        .is_none());
+    assert!(
+        oracle::fraction_range_violation(query, tol, &engine.answer(), engine.fleet()).is_none()
+    );
 }
 
 #[test]
@@ -154,9 +153,7 @@ fn ft_rp_handles_coincident_streams_at_query_point() {
     engine.initialize();
     engine.apply_event(ev(1.0, 5, 501.0));
     engine.apply_event(ev(2.0, 0, 880.0));
-    assert!(
-        oracle::fraction_rank_violation(query, tol, &engine.answer(), engine.fleet()).is_none()
-    );
+    assert!(oracle::fraction_rank_violation(query, tol, &engine.answer(), engine.fleet()).is_none());
 }
 
 #[test]
@@ -170,11 +167,7 @@ fn vt_max_with_zero_epsilon_is_exact() {
     let max_id = (0..3)
         .map(StreamId)
         .max_by(|&a, &b| {
-            engine
-                .fleet()
-                .true_value(a)
-                .partial_cmp(&engine.fleet().true_value(b))
-                .unwrap()
+            engine.fleet().true_value(a).partial_cmp(&engine.fleet().true_value(b)).unwrap()
         })
         .unwrap();
     assert_eq!(engine.answer().iter().collect::<Vec<_>>(), vec![max_id]);

@@ -24,8 +24,7 @@ fn rtp2d_rank_tolerance_holds_on_random_walks() {
         let mut w = walk(seed, 50, 200.0);
         let q = Point2::new(500.0, 500.0);
         let tol = RankTolerance::new(k, r).unwrap();
-        let mut engine =
-            Engine2d::new(&w.initial_positions(), Rtp2d::new(q, k, r).unwrap());
+        let mut engine = Engine2d::new(&w.initial_positions(), Rtp2d::new(q, k, r).unwrap());
         engine.run_with_hook(&mut w, |fleet, protocol, t| {
             let v = oracle2d::rank_violation_2d(q, tol, &protocol.answer(), fleet);
             assert!(v.is_none(), "k={k} r={r} seed={seed} t={t}: {}", v.unwrap());
@@ -87,31 +86,22 @@ fn multi_query_answers_match_independent_instances() {
         let mut w = SyntheticWorkload::new(cfg);
         let mut solo = Engine::new(&w.initial_values(), asf_core::protocol::ZtNrp::new(q));
         solo.run(&mut w);
-        assert_eq!(
-            shared.protocol().answer_of(j),
-            &solo.answer(),
-            "query {j} answers diverge"
-        );
+        assert_eq!(shared.protocol().answer_of(j), &solo.answer(), "query {j} answers diverge");
     }
 }
 
 #[test]
 fn multi_query_truth_holds_at_every_quiescent_point() {
-    let queries = vec![
-        RangeQuery::new(200.0, 500.0).unwrap(),
-        RangeQuery::new(400.0, 800.0).unwrap(),
-    ];
+    let queries =
+        vec![RangeQuery::new(200.0, 500.0).unwrap(), RangeQuery::new(400.0, 800.0).unwrap()];
     let cfg = SyntheticConfig { num_streams: 50, horizon: 250.0, seed: 22, ..Default::default() };
     let mut w = SyntheticWorkload::new(cfg);
     let qs = queries.clone();
     let mut engine = Engine::new(&w.initial_values(), MultiRangeZt::new(queries).unwrap());
     engine.run_with_hook(&mut w, |fleet, protocol, t| {
         for (j, q) in qs.iter().enumerate() {
-            let truth: AnswerSet = fleet
-                .iter()
-                .filter(|s| q.contains(s.value()))
-                .map(|s| s.id())
-                .collect();
+            let truth: AnswerSet =
+                fleet.iter().filter(|s| q.contains(s.value())).map(|s| s.id()).collect();
             assert_eq!(protocol.answer_of(j), &truth, "query {j} at t={t}");
         }
     });

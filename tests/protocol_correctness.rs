@@ -5,8 +5,7 @@
 use asf_core::engine::Engine;
 use asf_core::oracle;
 use asf_core::protocol::{
-    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Protocol, Rtp, SelectionHeuristic, ZtNrp,
-    ZtRp,
+    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Protocol, Rtp, SelectionHeuristic, ZtNrp, ZtRp,
 };
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::{FractionTolerance, RankTolerance};
@@ -124,10 +123,8 @@ fn ft_nrp_with_reinit_keeps_the_guarantee() {
     let mut w = synthetic(60, 400.0, 30.0, 30);
     let query = RangeQuery::new(400.0, 600.0).unwrap();
     let tol = FractionTolerance::symmetric(0.3).unwrap();
-    let config = FtNrpConfig {
-        heuristic: SelectionHeuristic::BoundaryNearest,
-        reinit_on_exhaustion: true,
-    };
+    let config =
+        FtNrpConfig { heuristic: SelectionHeuristic::BoundaryNearest, reinit_on_exhaustion: true };
     let protocol = FtNrp::new(query, tol, config, 30).unwrap();
     let mut engine = Engine::new(&w.initial_values(), protocol);
     engine.run_with_hook(&mut w, |fleet, protocol, t| {
@@ -163,10 +160,7 @@ fn ft_rp_answer_size_stays_in_the_equations_7_and_9_window() {
     let hi = tol.max_answer_size(k);
     engine.run_with_hook(&mut w, |_, protocol, t| {
         let sz = protocol.answer().len() as f64;
-        assert!(
-            sz >= lo - 1e-9 && sz <= hi + 1e-9,
-            "|A| = {sz} outside [{lo}, {hi}] at t={t}"
-        );
+        assert!(sz >= lo - 1e-9 && sz <= hi + 1e-9, "|A| = {sz} outside [{lo}, {hi}] at t={t}");
         // Equations 8 and 10: the absolute bounds k/2 and 2k.
         assert!(sz >= k as f64 / 2.0 - 1e-9 && sz <= 2.0 * k as f64 + 1e-9);
     });

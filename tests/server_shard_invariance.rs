@@ -1,0 +1,192 @@
+//! Concurrency correctness of `asf-server`: for **every** protocol, running
+//! the same seeded workload with 1, 2, and 8 shards — inline and threaded —
+//! yields byte-identical `AnswerSet`s, message ledgers, views, and
+//! ground-truth states to the single-threaded `Engine`, and the tolerance
+//! oracle reaches the same verdict on the sharded runtime as on the serial
+//! one.
+
+use asf_core::engine::Engine;
+use asf_core::multi_query::{CellMode, MultiRangeZt};
+use asf_core::oracle;
+use asf_core::protocol::{
+    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Protocol, Rtp, VtMax, ZtNrp, ZtRp,
+};
+use asf_core::query::{RangeQuery, RankQuery};
+use asf_core::tolerance::{FractionTolerance, RankTolerance};
+use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
+use asf_server::{ExecMode, ServerConfig, ShardedServer};
+use streamnet::StreamId;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+const NUM_STREAMS: usize = 64;
+
+fn fixture(seed: u64) -> (Vec<f64>, Vec<UpdateEvent>) {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: NUM_STREAMS,
+        horizon: 150.0,
+        seed,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+    (initial, events)
+}
+
+/// Runs `make()`'s protocol serially and under every shard/mode combination
+/// and asserts the outcomes are byte-identical. Returns the serial engine
+/// and one sharded truth snapshot for protocol-specific oracle checks.
+fn assert_shard_invariant<P, F>(name: &str, make: F) -> (Engine<P>, Vec<f64>)
+where
+    P: Protocol,
+    F: Fn() -> P,
+{
+    let (initial, events) = fixture(0xC0FFEE);
+
+    let mut engine = Engine::new(&initial, make());
+    engine.initialize();
+    let mut w = VecWorkload::new(initial.clone(), events.clone());
+    engine.run(&mut w);
+    let serial_truth: Vec<f64> = engine.fleet().iter().map(|s| s.value()).collect();
+
+    let mut sharded_truth = Vec::new();
+    for shards in [1usize, 2, 8] {
+        for mode in [ExecMode::Inline, ExecMode::Threaded] {
+            let config =
+                ServerConfig { num_shards: shards, batch_size: 128, mode, channel_capacity: 2 };
+            let mut server = ShardedServer::new(&initial, make(), config);
+            server.initialize();
+            server.ingest_batch(&events);
+
+            let tag = format!("{name} shards={shards} {mode:?}");
+            assert_eq!(server.answer(), engine.answer(), "{tag}: answers diverged");
+            assert_eq!(server.ledger(), engine.ledger(), "{tag}: ledgers diverged");
+            assert_eq!(
+                server.reports_processed(),
+                engine.reports_processed(),
+                "{tag}: report counts diverged"
+            );
+            assert_eq!(
+                server.events_processed(),
+                engine.events_processed(),
+                "{tag}: event counts diverged"
+            );
+            for i in 0..NUM_STREAMS {
+                let id = StreamId(i as u32);
+                assert_eq!(
+                    server.view().is_known(id),
+                    engine.view().is_known(id),
+                    "{tag}: view knowledge diverged for {id}"
+                );
+                if server.view().is_known(id) {
+                    assert_eq!(
+                        server.view().get(id),
+                        engine.view().get(id),
+                        "{tag}: view diverged for {id}"
+                    );
+                }
+            }
+            let truth = server.truth_values();
+            assert_eq!(truth, serial_truth, "{tag}: ground truth diverged");
+            sharded_truth = truth;
+        }
+    }
+    (engine, sharded_truth)
+}
+
+#[test]
+fn no_filter_range_is_shard_invariant() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    assert_shard_invariant("no-filter/range", || NoFilter::range(query));
+}
+
+#[test]
+fn zt_nrp_is_shard_invariant() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    assert_shard_invariant("ZT-NRP", || ZtNrp::new(query));
+}
+
+#[test]
+fn ft_nrp_is_shard_invariant_and_oracle_agrees() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let tol = FractionTolerance::new(0.25, 0.25).unwrap();
+    let (engine, truth) = assert_shard_invariant("FT-NRP", || {
+        FtNrp::new(query, tol, FtNrpConfig::default(), 42).unwrap()
+    });
+    // Same tolerance-oracle verdict on the sharded truth as on the serial
+    // fleet (the answers and truths are byte-identical, so a differing
+    // verdict would indicate an oracle/fleet reconstruction bug).
+    let sharded_fleet = streamnet::SourceFleet::from_values(&truth);
+    let serial_verdict =
+        oracle::fraction_range_violation(query, tol, &engine.answer(), engine.fleet());
+    let sharded_verdict =
+        oracle::fraction_range_violation(query, tol, &engine.answer(), &sharded_fleet);
+    assert_eq!(serial_verdict, sharded_verdict);
+    assert!(sharded_verdict.is_none(), "tolerance violated: {sharded_verdict:?}");
+}
+
+#[test]
+fn rtp_is_shard_invariant_and_oracle_agrees() {
+    let (k, r) = (5usize, 3usize);
+    let query = RankQuery::knn(500.0, k).unwrap();
+    let tol = RankTolerance::new(k, r).unwrap();
+    let (engine, truth) = assert_shard_invariant("RTP", || Rtp::new(query, r).unwrap());
+    let sharded_fleet = streamnet::SourceFleet::from_values(&truth);
+    let serial_verdict = oracle::rank_violation(query, tol, &engine.answer(), engine.fleet());
+    let sharded_verdict = oracle::rank_violation(query, tol, &engine.answer(), &sharded_fleet);
+    assert_eq!(serial_verdict, sharded_verdict);
+    assert!(sharded_verdict.is_none(), "tolerance violated: {sharded_verdict:?}");
+}
+
+#[test]
+fn zt_rp_is_shard_invariant() {
+    let query = RankQuery::knn(500.0, 6).unwrap();
+    assert_shard_invariant("ZT-RP", || ZtRp::new(query).unwrap());
+}
+
+#[test]
+fn ft_rp_is_shard_invariant_and_oracle_agrees() {
+    let k = 8;
+    let query = RankQuery::knn(500.0, k).unwrap();
+    let tol = FractionTolerance::symmetric(0.25).unwrap();
+    let (engine, truth) = assert_shard_invariant("FT-RP", || {
+        FtRp::new(query, tol, FtRpConfig::default(), 7).unwrap()
+    });
+    let sharded_fleet = streamnet::SourceFleet::from_values(&truth);
+    let serial_verdict =
+        oracle::fraction_rank_violation(query, tol, &engine.answer(), engine.fleet());
+    let sharded_verdict =
+        oracle::fraction_rank_violation(query, tol, &engine.answer(), &sharded_fleet);
+    assert_eq!(serial_verdict, sharded_verdict);
+    assert!(sharded_verdict.is_none(), "tolerance violated: {sharded_verdict:?}");
+}
+
+#[test]
+fn vt_max_is_shard_invariant() {
+    assert_shard_invariant("VT-MAX", || VtMax::new(50.0).unwrap());
+}
+
+#[test]
+fn multi_query_plan_sharing_is_shard_invariant() {
+    let queries = vec![
+        RangeQuery::new(100.0, 300.0).unwrap(),
+        RangeQuery::new(200.0, 500.0).unwrap(),
+        RangeQuery::new(450.0, 700.0).unwrap(),
+        RangeQuery::new(800.0, 900.0).unwrap(),
+    ];
+    for mode in [CellMode::ServerManaged, CellMode::SourceResident] {
+        let qs = queries.clone();
+        let (engine, _) = assert_shard_invariant("MULTI-ZT", move || {
+            MultiRangeZt::with_mode(qs.clone(), mode).unwrap()
+        });
+        // Per-query answers stay exact under the sharded runtime (they are
+        // byte-identical to the serial protocol, which is exact).
+        for (j, q) in queries.iter().enumerate() {
+            let truth: asf_core::AnswerSet =
+                engine.fleet().iter().filter(|s| q.contains(s.value())).map(|s| s.id()).collect();
+            assert_eq!(engine.protocol().answer_of(j), &truth, "query {j} inexact");
+        }
+    }
+}
