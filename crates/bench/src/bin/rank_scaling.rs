@@ -1,0 +1,232 @@
+//! Maintenance-phase rank-operation throughput: the incremental
+//! [`RankIndex`] vs. the seed's full-sort path, at n = 5k / 50k / 500k,
+//! plus an RTP k-NN run through the sharded `asf-server` runtime. Results
+//! go to `BENCH_rank.json`.
+//!
+//! One *maintenance op* is what a rank protocol pays per report that
+//! reaches the server: re-key the reporting stream, re-position the bound
+//! (midpoint between ranks ε and ε+1), and re-read the affected ranks.
+//! The seed path re-sorts the whole view for that (`rank_values` +
+//! `midpoint_threshold`); the index does it in O(log n).
+//!
+//! Run with: `cargo run --release -p bench_harness --bin rank_scaling`
+//! (add `--quick` for the CI smoke scale).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use asf_core::protocol::Rtp;
+use asf_core::query::{RankQuery, RankSpace};
+use asf_core::rank::{midpoint_threshold, rank_values, RankIndex};
+use asf_core::workload::{UpdateEvent, Workload};
+use asf_server::{ServerConfig, ShardedServer};
+use bench_harness::Scale;
+use simkit::SimRng;
+use streamnet::StreamId;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+struct ScalePoint {
+    n: usize,
+    k: usize,
+    index_build_ns: u64,
+    index_ops: u64,
+    index_ns: u64,
+    sort_ops: u64,
+    sort_ns: u64,
+}
+
+impl ScalePoint {
+    fn index_ops_per_sec(&self) -> f64 {
+        self.index_ops as f64 / (self.index_ns as f64 / 1e9)
+    }
+
+    fn sort_ops_per_sec(&self) -> f64 {
+        self.sort_ops as f64 / (self.sort_ns as f64 / 1e9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.index_ops_per_sec() / self.sort_ops_per_sec()
+    }
+}
+
+fn bench_scale_point(n: usize, quick: bool) -> ScalePoint {
+    let space = RankSpace::Knn { q: 500.0 };
+    let k = 64.min(n / 4).max(1);
+    let mut rng = SimRng::seed_from_u64(0x5CA1E ^ n as u64);
+    let mut values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+
+    // Indexed path: one build, then O(log n) maintenance ops.
+    let t0 = Instant::now();
+    let mut index = RankIndex::new(space, n);
+    for (i, &v) in values.iter().enumerate() {
+        index.insert(StreamId(i as u32), v);
+    }
+    let index_build_ns = t0.elapsed().as_nanos() as u64;
+
+    let index_ops: u64 = if quick { 20_000 } else { 200_000 };
+    let mut acc = 0.0f64;
+    let t1 = Instant::now();
+    for _ in 0..index_ops {
+        let id = StreamId(rng.index(n) as u32);
+        let v = rng.range_f64(0.0, 1000.0);
+        index.update(id, v);
+        let d = index.midpoint(k);
+        acc += d + index.count_in_ball(d) as f64 + index.rank_of(id).unwrap() as f64;
+    }
+    let index_ns = t1.elapsed().as_nanos() as u64;
+    black_box(acc);
+
+    // Seed path: every op performs the same four operations against a
+    // fresh snapshot — full re-sorts for the order and the bound
+    // (ZT-RP's recompute), linear scans for the ball count and the rank.
+    let sort_ops: u64 = ((4_000_000 / n as u64).clamp(4, 400)).min(index_ops);
+    let mut acc = 0.0f64;
+    let t2 = Instant::now();
+    for _ in 0..sort_ops {
+        let i = rng.index(n);
+        values[i] = rng.range_f64(0.0, 1000.0);
+        let pairs = || values.iter().enumerate().map(|(j, &v)| (StreamId(j as u32), v));
+        // Same four logical operations as the index loop: the re-key is
+        // the values[i] write, then order, bound, ball count, and the
+        // updated stream's rank — each off a fresh snapshot, as the seed's
+        // protocols did.
+        let order = rank_values(space, pairs());
+        let d = midpoint_threshold(space, pairs(), k);
+        let in_ball = values.iter().filter(|&&v| space.key(v) <= d).count();
+        let rank = order.iter().position(|&id| id.index() == i).unwrap() + 1;
+        acc += d + in_ball as f64 + rank as f64;
+    }
+    let sort_ns = t2.elapsed().as_nanos() as u64;
+    black_box(acc);
+
+    ScalePoint { n, k, index_build_ns, index_ops, index_ns, sort_ops, sort_ns }
+}
+
+struct RtpRun {
+    n: usize,
+    events: u64,
+    init_ns: u64,
+    ingest_ns: u64,
+    messages: u64,
+    reports: u64,
+    expansions: u64,
+}
+
+fn bench_rtp_server(quick: bool) -> RtpRun {
+    let n = if quick { 2_000 } else { 50_000 };
+    let horizon = if quick { 20.0 } else { 60.0 };
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: n,
+        horizon,
+        seed: 0xBE7C ^ 0x14,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events: Vec<UpdateEvent> = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+
+    let query = RankQuery::knn(500.0, 32).unwrap();
+    let protocol = Rtp::new(query, 32).unwrap();
+    let config = ServerConfig::with_shards(4).batch_size(4096);
+    let mut server = ShardedServer::new(&initial, protocol, config);
+    let t0 = Instant::now();
+    server.initialize();
+    let init_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    server.ingest_batch(&events);
+    let ingest_ns = t1.elapsed().as_nanos() as u64;
+    let run = RtpRun {
+        n,
+        events: events.len() as u64,
+        init_ns,
+        ingest_ns,
+        messages: server.ledger().total(),
+        reports: server.reports_processed(),
+        expansions: server.protocol().expansions(),
+    };
+    server.shutdown();
+    run
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale.is_quick();
+    let ns: &[usize] = if quick { &[2_000] } else { &[5_000, 50_000, 500_000] };
+
+    let mut points = Vec::new();
+    for &n in ns {
+        eprintln!("rank maintenance ops at n = {n} ...");
+        let p = bench_scale_point(n, quick);
+        eprintln!(
+            "  index {:>12.0} ops/s   sort {:>10.1} ops/s   speedup {:.0}x",
+            p.index_ops_per_sec(),
+            p.sort_ops_per_sec(),
+            p.speedup()
+        );
+        points.push(p);
+    }
+
+    eprintln!("RTP k-NN through asf-server ...");
+    let rtp = bench_rtp_server(quick);
+    let rtp_upd_per_sec = rtp.events as f64 / (rtp.ingest_ns as f64 / 1e9);
+    eprintln!(
+        "  {} events over {} streams: {:>10.0} upd/s ingest, {} messages",
+        rtp.events, rtp.n, rtp_upd_per_sec, rtp.messages
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"rank_scaling\",");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"maintenance op = re-key one stream + midpoint(k) + count_in_ball + \
+         rank_of, identical work on both paths. index path = incremental RankIndex (O(log n) \
+         per op); sort path = the seed's behaviour per op (full re-sorts via rank_values + \
+         midpoint_threshold, linear scans for ball count and rank). speedup = index ops/s \
+         over sort ops/s at the same n.\","
+    );
+    json.push_str("  \"maintenance\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"k\": {}, \"index_build_ns\": {}, \"index_ops\": {}, \
+             \"index_ns\": {}, \"index_ops_per_sec\": {:.0}, \"sort_ops\": {}, \"sort_ns\": {}, \
+             \"sort_ops_per_sec\": {:.1}, \"speedup\": {:.1}}}",
+            p.n,
+            p.k,
+            p.index_build_ns,
+            p.index_ops,
+            p.index_ns,
+            p.index_ops_per_sec(),
+            p.sort_ops,
+            p.sort_ns,
+            p.sort_ops_per_sec(),
+            p.speedup()
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"rtp_server\": {{\"protocol\": \"RTP knn(500, k=32, r=32)\", \"shards\": 4, \
+         \"num_streams\": {}, \"events\": {}, \"init_ns\": {}, \"ingest_ns\": {}, \
+         \"updates_per_sec\": {:.0}, \"messages\": {}, \"reports\": {}, \"expansions\": {}}}",
+        rtp.n,
+        rtp.events,
+        rtp.init_ns,
+        rtp.ingest_ns,
+        rtp_upd_per_sec,
+        rtp.messages,
+        rtp.reports,
+        rtp.expansions
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_rank.json", &json).expect("write BENCH_rank.json");
+    println!("{json}");
+    let worst = points.iter().map(|p| p.speedup()).fold(f64::INFINITY, f64::min);
+    eprintln!("worst maintenance speedup across scales: {worst:.0}x -> BENCH_rank.json");
+}

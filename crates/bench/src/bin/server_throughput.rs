@@ -1,6 +1,9 @@
 //! Throughput of the sharded server vs. shard count on a synthetic
 //! 100k-source workload, written to `BENCH_server.json` so later PRs have a
-//! perf trajectory.
+//! perf trajectory. Two scenarios run: the ZT-NRP range query (the
+//! broadcast-free, speculation-friendly workload) and an RTP k-NN rank
+//! query (bound redeployments cut speculation; rank maintenance rides the
+//! incremental `RankIndex`).
 //!
 //! Two numbers are reported per configuration:
 //!
@@ -22,14 +25,15 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use asf_core::protocol::ZtNrp;
-use asf_core::query::RangeQuery;
+use asf_core::protocol::{Protocol, Rtp, ZtNrp};
+use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::workload::{UpdateEvent, Workload};
 use asf_server::{ExecMode, ServerConfig, ShardedServer};
 use bench_harness::Scale;
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
 struct RunStats {
+    scenario: &'static str,
     shards: usize,
     mode: &'static str,
     init_ns: u64,
@@ -60,15 +64,16 @@ impl RunStats {
     }
 }
 
-fn run_one(
+fn run_one<P: Protocol>(
+    scenario: &'static str,
     initial: &[f64],
     events: &[UpdateEvent],
-    query: RangeQuery,
+    protocol: P,
     shards: usize,
     mode: ExecMode,
 ) -> RunStats {
     let config = ServerConfig { num_shards: shards, batch_size: 8192, mode, channel_capacity: 2 };
-    let mut server = ShardedServer::new(initial, ZtNrp::new(query), config);
+    let mut server = ShardedServer::new(initial, protocol, config);
     let t0 = Instant::now();
     server.initialize();
     let init_ns = t0.elapsed().as_nanos() as u64;
@@ -80,6 +85,7 @@ fn run_one(
     let m = server.metrics().clone();
     server.shutdown();
     RunStats {
+        scenario,
         shards,
         mode: match mode {
             ExecMode::Inline => "inline",
@@ -102,12 +108,14 @@ fn run_one(
 
 fn json_run(s: &RunStats) -> String {
     format!(
-        "    {{\"shards\": {}, \"mode\": \"{}\", \"events\": {}, \"init_ns\": {}, \
+        "    {{\"scenario\": \"{}\", \"shards\": {}, \"mode\": \"{}\", \"events\": {}, \
+         \"init_ns\": {}, \
          \"ingest_wall_ns\": {}, \"critical_path_ns\": {}, \"serial_ns\": {}, \
          \"scatter_ns\": {}, \"modeled_ns\": {}, \"wall_updates_per_sec\": {:.0}, \
          \"modeled_updates_per_sec\": {:.0}, \"parallel_fraction\": {:.4}, \
          \"occupancy_skew\": {:.4}, \"batch_p50_us\": {:.1}, \"batch_p99_us\": {:.1}, \
          \"messages\": {}, \"reports\": {}}}",
+        s.scenario,
         s.shards,
         s.mode,
         s.events,
@@ -144,12 +152,34 @@ fn main() {
     }
     eprintln!("{} events", events.len());
 
+    // RTP rank scenario: k-NN around the domain centre with rank slack —
+    // scenario diversity beyond the range workload (bound redeployments
+    // cut speculation; the incremental rank index carries maintenance).
+    let rank_query = RankQuery::knn(500.0, 16).unwrap();
+    let rank_r = 16usize;
+
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut results: Vec<RunStats> = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
-            eprintln!("running shards={shards} mode={mode:?} ...");
-            let stats = run_one(&initial, &events, query, shards, mode);
+            eprintln!("running zt_nrp_range shards={shards} mode={mode:?} ...");
+            let stats = run_one("zt_nrp_range", &initial, &events, ZtNrp::new(query), shards, mode);
+            eprintln!(
+                "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   parallel {:.1}%",
+                stats.wall_updates_per_sec(),
+                stats.modeled_updates_per_sec(),
+                stats.parallel_fraction * 100.0
+            );
+            results.push(stats);
+            eprintln!("running rtp_knn shards={shards} mode={mode:?} ...");
+            let stats = run_one(
+                "rtp_knn",
+                &initial,
+                &events,
+                Rtp::new(rank_query, rank_r).unwrap(),
+                shards,
+                mode,
+            );
             eprintln!(
                 "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   parallel {:.1}%",
                 stats.wall_updates_per_sec(),
@@ -160,14 +190,15 @@ fn main() {
         }
     }
 
-    let modeled_of = |shards: usize| {
+    let modeled_of = |scenario: &str, shards: usize| {
         results
             .iter()
-            .find(|s| s.shards == shards && s.mode == "inline")
+            .find(|s| s.scenario == scenario && s.shards == shards && s.mode == "inline")
             .map(|s| s.modeled_updates_per_sec())
             .unwrap_or(f64::NAN)
     };
-    let speedup_8x = modeled_of(8) / modeled_of(1);
+    let speedup_8x = modeled_of("zt_nrp_range", 8) / modeled_of("zt_nrp_range", 1);
+    let rtp_speedup_8x = modeled_of("rtp_knn", 8) / modeled_of("rtp_knn", 1);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -175,8 +206,13 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"workload\": {{\"num_streams\": {num_streams}, \"events\": {}, \"horizon\": \
-         {horizon}, \"sigma\": 20.0, \"seed\": {seed}, \"protocol\": \"ZT-NRP [400, 600]\"}},",
+         {horizon}, \"sigma\": 20.0, \"seed\": {seed}}},",
         events.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"scenarios\": {{\"zt_nrp_range\": \"ZT-NRP [400, 600]\", \"rtp_knn\": \"RTP \
+         knn(500, k=16, r=16)\"}},"
     );
     let _ = writeln!(json, "  \"hardware\": {{\"cpus\": {cpus}}},");
     let _ = writeln!(
@@ -188,6 +224,7 @@ fn main() {
          deployment (partitioned ingestion).\","
     );
     let _ = writeln!(json, "  \"modeled_speedup_8_shards_vs_1\": {speedup_8x:.2},");
+    let _ = writeln!(json, "  \"rtp_modeled_speedup_8_shards_vs_1\": {rtp_speedup_8x:.2},");
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));
@@ -197,5 +234,8 @@ fn main() {
 
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!("{json}");
-    eprintln!("modeled speedup 8 shards vs 1: {speedup_8x:.2}x -> BENCH_server.json");
+    eprintln!(
+        "modeled speedup 8 shards vs 1: zt_nrp {speedup_8x:.2}x, rtp {rtp_speedup_8x:.2}x \
+         -> BENCH_server.json"
+    );
 }

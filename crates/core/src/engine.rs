@@ -21,12 +21,25 @@ use streamnet::{FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 
 use crate::answer::AnswerSet;
 use crate::protocol::{Protocol, ServerCtx};
+use crate::rank::RankIndex;
 use crate::workload::{UpdateEvent, Workload};
 
 /// Upper bound on induced reports processed for a single workload event.
 /// Resolution cascades converge because values are frozen during
 /// resolution; hitting this cap indicates a protocol bug and panics.
 const CASCADE_CAP: usize = 1_000_000;
+
+/// How a rank protocol's order over the view is maintained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RankMode {
+    /// Maintain an incremental [`RankIndex`]: O(log n) per view update,
+    /// logarithmic rank queries. The default.
+    #[default]
+    Indexed,
+    /// Re-sort the view on every ranked pass — the seed's behaviour, kept
+    /// as the differential-testing baseline.
+    Sorted,
+}
 
 /// The pure protocol-state half of a running server: the protocol, the
 /// server's view, the message ledger, and the queue of induced sync
@@ -41,18 +54,34 @@ pub struct ProtocolCore<P: Protocol> {
     view: ServerView,
     ledger: Ledger,
     pending: VecDeque<(StreamId, f64)>,
+    /// Incremental rank order over the view, maintained at every view
+    /// refresh — `Some` iff the protocol declares a rank space and the
+    /// core runs in [`RankMode::Indexed`].
+    rank: Option<RankIndex>,
     protocol: P,
     reports_processed: u64,
     initialized: bool,
 }
 
 impl<P: Protocol> ProtocolCore<P> {
-    /// Creates a core for a population of `n` streams.
+    /// Creates a core for a population of `n` streams (incremental rank
+    /// maintenance on — the default).
     pub fn new(n: usize, protocol: P) -> Self {
+        Self::with_rank_mode(n, protocol, RankMode::Indexed)
+    }
+
+    /// Creates a core with an explicit [`RankMode`] — `Sorted` reproduces
+    /// the seed's full-re-sort path for differential testing.
+    pub fn with_rank_mode(n: usize, protocol: P, mode: RankMode) -> Self {
+        let rank = match mode {
+            RankMode::Indexed => protocol.rank_space().map(|space| RankIndex::new(space, n)),
+            RankMode::Sorted => None,
+        };
         Self {
             view: ServerView::new(n),
             ledger: Ledger::new(),
             pending: VecDeque::new(),
+            rank,
             protocol,
             reports_processed: 0,
             initialized: false,
@@ -64,7 +93,13 @@ impl<P: Protocol> ProtocolCore<P> {
     pub fn initialize(&mut self, fleet: &mut dyn FleetOps) {
         assert!(!self.initialized, "engine already initialized");
         self.initialized = true;
-        let mut ctx = ServerCtx::new(fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+        let mut ctx = ServerCtx::new(
+            fleet,
+            &mut self.view,
+            &mut self.ledger,
+            &mut self.pending,
+            &mut self.rank,
+        );
         self.protocol.initialize(&mut ctx);
         self.drain_pending(fleet);
     }
@@ -72,12 +107,22 @@ impl<P: Protocol> ProtocolCore<P> {
     /// Routes one report `(id, value)` that reached the server into the
     /// protocol and drains all induced resolution work. The caller must
     /// already have recorded the report's `Update` message and refreshed
-    /// the view (delivery does both); after this returns the system is
-    /// quiescent.
+    /// the view (delivery does both); the rank index is re-keyed here, so
+    /// that view precondition is all a caller owes. After this returns the
+    /// system is quiescent.
     pub fn handle_report(&mut self, id: StreamId, value: f64, fleet: &mut dyn FleetOps) {
         assert!(self.initialized, "core must be initialized before reports");
         self.reports_processed += 1;
-        let mut ctx = ServerCtx::new(fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+        if let Some(index) = self.rank.as_mut() {
+            index.update(id, value);
+        }
+        let mut ctx = ServerCtx::new(
+            fleet,
+            &mut self.view,
+            &mut self.ledger,
+            &mut self.pending,
+            &mut self.rank,
+        );
         self.protocol.on_update(id, value, &mut ctx);
         self.drain_pending(fleet);
     }
@@ -88,8 +133,13 @@ impl<P: Protocol> ProtocolCore<P> {
             steps += 1;
             assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
             self.reports_processed += 1;
-            let mut ctx =
-                ServerCtx::new(fleet, &mut self.view, &mut self.ledger, &mut self.pending);
+            let mut ctx = ServerCtx::new(
+                fleet,
+                &mut self.view,
+                &mut self.ledger,
+                &mut self.pending,
+                &mut self.rank,
+            );
             self.protocol.on_update(id, value, &mut ctx);
         }
     }
@@ -162,11 +212,18 @@ pub struct Engine<P: Protocol> {
 }
 
 impl<P: Protocol> Engine<P> {
-    /// Creates an engine over sources with the given initial values.
+    /// Creates an engine over sources with the given initial values
+    /// (incremental rank maintenance on — the default).
     pub fn new(initial_values: &[f64], protocol: P) -> Self {
+        Self::with_rank_mode(initial_values, protocol, RankMode::Indexed)
+    }
+
+    /// Creates an engine with an explicit [`RankMode`] — `Sorted`
+    /// reproduces the seed's full-re-sort path for differential testing.
+    pub fn with_rank_mode(initial_values: &[f64], protocol: P, mode: RankMode) -> Self {
         Self {
             fleet: SourceFleet::from_values(initial_values),
-            core: ProtocolCore::new(initial_values.len(), protocol),
+            core: ProtocolCore::with_rank_mode(initial_values.len(), protocol, mode),
             now: 0.0,
             events_processed: 0,
         }
@@ -211,13 +268,29 @@ impl<P: Protocol> Engine<P> {
         workload: &mut W,
         mut hook: impl FnMut(&SourceFleet, &P, SimTime),
     ) {
+        self.run_with_event_hook(workload, |fleet, protocol, t, _| hook(fleet, protocol, t));
+    }
+
+    /// Like [`Engine::run_with_hook`], additionally passing the hook the
+    /// workload event that produced the quiescent point (`None` for the
+    /// post-initialization call).
+    ///
+    /// Ground truth changes *only* through workload events, so a stateful
+    /// oracle (e.g. [`crate::oracle::TruthRanks`]) can maintain its own
+    /// ground-truth structures in O(log n) per event instead of re-scanning
+    /// the fleet at every quiescent point.
+    pub fn run_with_event_hook<W: Workload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        mut hook: impl FnMut(&SourceFleet, &P, SimTime, Option<&UpdateEvent>),
+    ) {
         if !self.core.is_initialized() {
             self.initialize();
         }
-        hook(&self.fleet, self.core.protocol(), self.now);
+        hook(&self.fleet, self.core.protocol(), self.now, None);
         while let Some(ev) = workload.next_event() {
             self.apply_event(ev);
-            hook(&self.fleet, self.core.protocol(), self.now);
+            hook(&self.fleet, self.core.protocol(), self.now, Some(&ev));
         }
     }
 

@@ -70,7 +70,7 @@ pub mod tolerance;
 pub mod workload;
 
 pub use answer::AnswerSet;
-pub use engine::{Engine, ProtocolCore};
+pub use engine::{Engine, ProtocolCore, RankMode};
 pub use error::ConfigError;
 pub use query::{RangeQuery, RankQuery, RankSpace};
 pub use tolerance::{FractionTolerance, RankTolerance};

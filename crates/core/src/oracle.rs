@@ -4,14 +4,18 @@
 //! source. At quiescent points (the precondition of the paper's Correctness
 //! Requirement 1) it evaluates the tolerance definitions §3.3/§3.4 against
 //! ground truth. Tests and property tests drive it through
-//! [`crate::engine::Engine::run_with_hook`].
+//! [`crate::engine::Engine::run_with_hook`], or — for long rank-protocol
+//! runs — through [`crate::engine::Engine::run_with_event_hook`] with a
+//! [`TruthRanks`] index, which keeps every per-quiescent-point Definition-1
+//! check at O(k log n) instead of an O(n log n) ground-truth re-sort.
 
 use streamnet::{SourceFleet, StreamId};
 
 use crate::answer::AnswerSet;
 use crate::query::{RangeQuery, RankQuery, RankSpace};
-use crate::rank::rank_values;
+use crate::rank::{rank_values, RankIndex};
 use crate::tolerance::{FractionTolerance, RankTolerance};
+use crate::workload::UpdateEvent;
 
 /// The true best-first ranking of all sources under a rank space.
 pub fn true_ranking(space: RankSpace, fleet: &SourceFleet) -> Vec<StreamId> {
@@ -39,9 +43,15 @@ pub fn rank_violation(
     if answer.len() != tol.k() {
         return Some(format!("|A| = {} but k = {}", answer.len(), tol.k()));
     }
+    // One pass builds the id -> rank lookup; per-member checks are then
+    // O(1) instead of an O(n) `.position()` scan each.
     let ranking = true_ranking(query.space(), fleet);
+    let mut rank_of: Vec<Option<usize>> = vec![None; fleet.len()];
+    for (pos, id) in ranking.into_iter().enumerate() {
+        rank_of[id.index()] = Some(pos + 1);
+    }
     for member in answer.iter() {
-        let rank = ranking.iter().position(|&s| s == member).map(|p| p + 1)?;
+        let rank = rank_of.get(member.index()).copied().flatten()?;
         if rank > tol.epsilon() {
             return Some(format!(
                 "{member} has true rank {rank} > epsilon {} (value {})",
@@ -51,6 +61,70 @@ pub fn rank_violation(
         }
     }
     None
+}
+
+/// An incrementally maintained ground-truth ranking for rank-query oracles.
+///
+/// Ground truth changes only through workload events, so feeding every
+/// event to [`TruthRanks::apply`] (e.g. from
+/// [`crate::engine::Engine::run_with_event_hook`]) keeps the index exact at
+/// O(log n) per event, and each quiescent-point Definition-1 check costs
+/// O(k log n) — the sort-based [`rank_violation`] pays an O(n log n)
+/// ground-truth re-sort per check instead.
+pub struct TruthRanks {
+    index: RankIndex,
+}
+
+impl TruthRanks {
+    /// Builds the index from the fleet's current ground truth.
+    pub fn new(space: RankSpace, fleet: &SourceFleet) -> Self {
+        let mut index = RankIndex::new(space, fleet.len());
+        for s in fleet.iter() {
+            index.insert(s.id(), s.value());
+        }
+        Self { index }
+    }
+
+    /// Applies one workload event (the only way ground truth changes).
+    pub fn apply(&mut self, ev: &UpdateEvent) {
+        self.index.update(ev.stream, ev.value);
+    }
+
+    /// The true 1-based rank of `id`.
+    pub fn rank_of(&self, id: StreamId) -> Option<usize> {
+        self.index.rank_of(id)
+    }
+
+    /// The true best-first ranking (O(n); prefer the per-member queries in
+    /// hot loops).
+    pub fn ranking(&self) -> Vec<StreamId> {
+        self.index.ordered_ids()
+    }
+
+    /// The true answer of a rank query of size `k`.
+    pub fn true_answer(&self, k: usize) -> AnswerSet {
+        self.index.top_ids(k).into_iter().collect()
+    }
+
+    /// Checks Definition 1 against the maintained ground truth — the
+    /// indexed equivalent of [`rank_violation`] (identical verdicts, proved
+    /// by `tests/rank_differential.rs`).
+    pub fn rank_violation(&self, tol: RankTolerance, answer: &AnswerSet) -> Option<String> {
+        if answer.len() != tol.k() {
+            return Some(format!("|A| = {} but k = {}", answer.len(), tol.k()));
+        }
+        for member in answer.iter() {
+            let rank = self.rank_of(member)?;
+            if rank > tol.epsilon() {
+                return Some(format!(
+                    "{member} has true rank {rank} > epsilon {} (key {})",
+                    tol.epsilon(),
+                    self.index.key_of(member).expect("ranked member has a key")
+                ));
+            }
+        }
+        None
+    }
 }
 
 /// Checks Definition 3 (fraction-based tolerance) for a range query.
@@ -134,6 +208,34 @@ mod tests {
         assert!(rank_violation(q, tol, &ids(&[0, 3]), &f).is_some());
         // Wrong size.
         assert!(rank_violation(q, tol, &ids(&[0]), &f).is_some());
+    }
+
+    #[test]
+    fn truth_ranks_tracks_events_and_matches_sort_oracle() {
+        use crate::workload::UpdateEvent;
+        let mut f = fleet(&[50.0, 40.0, 30.0, 20.0, 10.0]);
+        let q = RankQuery::top_k(2).unwrap();
+        let tol = RankTolerance::new(2, 1).unwrap();
+        let mut truth = TruthRanks::new(q.space(), &f);
+        assert_eq!(truth.ranking(), true_ranking(q.space(), &f));
+        assert_eq!(truth.true_answer(2), true_rank_answer(q, &f));
+
+        // S4 jumps to the top; apply the event to both fleet and index.
+        let ev = UpdateEvent { time: 1.0, stream: StreamId(4), value: 99.0 };
+        let mut ledger = streamnet::Ledger::new();
+        let mut view = streamnet::ServerView::new(5);
+        f.deliver_update(ev.stream, ev.value, &mut ledger, &mut view);
+        truth.apply(&ev);
+        assert_eq!(truth.ranking(), true_ranking(q.space(), &f));
+        assert_eq!(truth.rank_of(StreamId(4)), Some(1));
+
+        for ans in [ids(&[0, 1]), ids(&[0, 2]), ids(&[0, 3]), ids(&[0])] {
+            assert_eq!(
+                truth.rank_violation(tol, &ans).is_some(),
+                rank_violation(q, tol, &ans, &f).is_some(),
+                "verdicts must agree for {ans:?}"
+            );
+        }
     }
 
     #[test]

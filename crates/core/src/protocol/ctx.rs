@@ -4,6 +4,9 @@ use std::collections::VecDeque;
 
 use streamnet::{Filter, FleetOps, Ledger, ServerView, StreamId};
 
+use crate::query::RankSpace;
+use crate::rank::{RankIndex, Ranks};
+
 /// Everything a protocol may do during initialization or maintenance:
 /// consult its (possibly stale) view, and pay messages to probe sources or
 /// (re)deploy filters.
@@ -19,11 +22,19 @@ use streamnet::{Filter, FleetOps, Ledger, ServerView, StreamId};
 /// The context is backed by any [`FleetOps`] implementation: the in-process
 /// [`streamnet::SourceFleet`] in the single-threaded engine, or the sharded
 /// routing fleet of `asf-server` — protocols cannot tell the difference.
+///
+/// For rank protocols (those with a [`crate::protocol::Protocol::rank_space`])
+/// the engine threads its incremental [`RankIndex`] through here: every
+/// value that reaches the server via this context (probe replies, install
+/// and broadcast sync-reports) re-keys the index in O(log n), keeping it
+/// exactly consistent with the view, and [`ServerCtx::ranks`] serves it
+/// back to the protocol.
 pub struct ServerCtx<'a> {
     fleet: &'a mut dyn FleetOps,
     view: &'a mut ServerView,
     ledger: &'a mut Ledger,
     pending: &'a mut VecDeque<(StreamId, f64)>,
+    rank: &'a mut Option<RankIndex>,
 }
 
 impl<'a> ServerCtx<'a> {
@@ -32,8 +43,9 @@ impl<'a> ServerCtx<'a> {
         view: &'a mut ServerView,
         ledger: &'a mut Ledger,
         pending: &'a mut VecDeque<(StreamId, f64)>,
+        rank: &'a mut Option<RankIndex>,
     ) -> Self {
-        Self { fleet, view, ledger, pending }
+        Self { fleet, view, ledger, pending, rank }
     }
 
     /// Number of streams `n`.
@@ -51,22 +63,53 @@ impl<'a> ServerCtx<'a> {
         self.ledger
     }
 
+    /// One ranked pass over the server's current knowledge under `space`.
+    ///
+    /// Backed by the engine's incrementally maintained [`RankIndex`] when
+    /// one exists (the default for rank protocols), falling back to a
+    /// single sort of the view — both byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` differs from the protocol's declared
+    /// [`crate::protocol::Protocol::rank_space`] — the maintained index
+    /// orders by that space only.
+    pub fn ranks(&self, space: RankSpace) -> Ranks<'_> {
+        match self.rank.as_ref() {
+            Some(index) => {
+                assert_eq!(index.space(), space, "rank space mismatch");
+                Ranks::Indexed(index)
+            }
+            None => Ranks::from_view(space, self.view),
+        }
+    }
+
     /// Probes one source for its current value (2 messages); refreshes the
     /// view and returns the value.
     pub fn probe(&mut self, id: StreamId) -> f64 {
-        self.fleet.probe(id, self.ledger, self.view)
+        let v = self.fleet.probe(id, self.ledger, self.view);
+        if let Some(index) = self.rank.as_mut() {
+            index.update(id, v);
+        }
+        v
     }
 
     /// Probes every source (`2n` messages) — the Initialization phases'
     /// "request all streams to send their values".
     pub fn probe_all(&mut self) {
         self.fleet.probe_all(self.ledger, self.view);
+        if let Some(index) = self.rank.as_mut() {
+            index.rebuild_from_view(self.view);
+        }
     }
 
     /// Installs a filter at one source (1 message). Any induced sync-report
     /// is queued for the engine.
     pub fn install(&mut self, id: StreamId, filter: Filter) {
         if let Some(v) = self.fleet.install(id, filter, self.ledger, self.view) {
+            if let Some(index) = self.rank.as_mut() {
+                index.update(id, v);
+            }
             self.pending.push_back((id, v));
         }
     }
@@ -74,8 +117,11 @@ impl<'a> ServerCtx<'a> {
     /// Broadcasts a filter to all sources (`n` messages). Induced
     /// sync-reports are queued for the engine.
     pub fn broadcast(&mut self, filter: Filter) {
-        for sync in self.fleet.broadcast(filter, self.ledger, self.view) {
-            self.pending.push_back(sync);
+        for (id, v) in self.fleet.broadcast(filter, self.ledger, self.view) {
+            if let Some(index) = self.rank.as_mut() {
+                index.update(id, v);
+            }
+            self.pending.push_back((id, v));
         }
     }
 }
@@ -83,6 +129,7 @@ impl<'a> ServerCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::RankSpace;
     use streamnet::{MessageKind, SourceFleet};
 
     fn setup() -> (SourceFleet, ServerView, Ledger, VecDeque<(StreamId, f64)>) {
@@ -97,7 +144,8 @@ mod tests {
     #[test]
     fn probe_meters_and_refreshes() {
         let (mut fleet, mut view, mut ledger, mut pending) = setup();
-        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+        let mut rank = None;
+        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
         assert_eq!(ctx.n(), 3);
         let v = ctx.probe(StreamId(1));
         assert_eq!(v, 500.0);
@@ -108,15 +156,18 @@ mod tests {
     #[test]
     fn install_queues_sync_reports() {
         let (mut fleet, mut view, mut ledger, mut pending) = setup();
+        let mut rank = None;
         {
-            let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+            let mut ctx =
+                ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
             ctx.probe_all();
             ctx.install(StreamId(0), Filter::interval(0.0, 1000.0));
         }
         // Silent drift: 100 -> 700 stays inside [0, 1000].
         fleet.deliver_update(StreamId(0), 700.0, &mut ledger, &mut view);
         {
-            let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+            let mut ctx =
+                ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
             // New filter separates believed 100 from true 700.
             ctx.install(StreamId(0), Filter::interval(600.0, 800.0));
         }
@@ -127,9 +178,34 @@ mod tests {
     #[test]
     fn broadcast_meters_n_messages() {
         let (mut fleet, mut view, mut ledger, mut pending) = setup();
-        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending);
+        let mut rank = None;
+        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
         ctx.probe_all();
         ctx.broadcast(Filter::interval(0.0, 1000.0));
         assert_eq!(ctx.ledger().count(MessageKind::FilterBroadcast), 3);
+    }
+
+    #[test]
+    fn rank_index_tracks_every_view_refresh() {
+        let (mut fleet, mut view, mut ledger, mut pending) = setup();
+        let space = RankSpace::KMin;
+        let mut rank = Some(RankIndex::new(space, 3));
+        {
+            let mut ctx =
+                ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+            // probe_all rebuilds the index over the whole view.
+            ctx.probe_all();
+            assert_eq!(ctx.ranks(space).ordered_ids(), vec![StreamId(0), StreamId(1), StreamId(2)]);
+        }
+        // S2 moves (ground truth 900 -> 50); the probe reply re-keys it.
+        fleet.deliver_update(StreamId(2), 50.0, &mut ledger, &mut view);
+        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+        ctx.probe(StreamId(2));
+        assert_eq!(ctx.ranks(space).ordered_ids(), vec![StreamId(2), StreamId(0), StreamId(1)]);
+        // The sorted fallback over the same view agrees.
+        assert_eq!(
+            Ranks::from_view(space, ctx.view()).ordered_ids(),
+            ctx.ranks(space).ordered_ids()
+        );
     }
 }

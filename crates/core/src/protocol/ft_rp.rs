@@ -23,8 +23,7 @@ use crate::answer::AnswerSet;
 use crate::error::ConfigError;
 use crate::protocol::heuristics::SelectionHeuristic;
 use crate::protocol::{Protocol, ServerCtx};
-use crate::query::RankQuery;
-use crate::rank::{midpoint_threshold, rank_view};
+use crate::query::{RankQuery, RankSpace};
 use crate::tolerance::{derive_rho, FractionTolerance, RhoPair, RhoPolicy};
 
 /// Tunables beyond the paper's required parameters.
@@ -132,9 +131,12 @@ impl FtRp {
         self.fn_filters.clear();
         self.count = 0;
 
-        let ranked = rank_view(self.query.space(), ctx.view());
-        let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
-        self.d = midpoint_threshold(self.query.space(), values, k);
+        // One ranked pass produces both R's position and the inside/outside
+        // split (the full order is needed — every stream gets a filter, in
+        // rank order).
+        let ranks = ctx.ranks(self.query.space());
+        let ranked = ranks.ordered_ids();
+        self.d = ranks.midpoint(k);
         let inside: Vec<StreamId> = ranked[..k].to_vec();
         let outside: Vec<StreamId> = ranked[k..].to_vec();
         self.answer = inside.iter().copied().collect();
@@ -223,6 +225,10 @@ impl Protocol for FtRp {
 
     fn answer(&self) -> AnswerSet {
         self.answer.clone()
+    }
+
+    fn rank_space(&self) -> Option<RankSpace> {
+        Some(self.query.space())
     }
 }
 

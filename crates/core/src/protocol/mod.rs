@@ -31,6 +31,7 @@ pub use zt_rp::ZtRp;
 use streamnet::StreamId;
 
 use crate::answer::AnswerSet;
+use crate::query::RankSpace;
 
 /// A server-side filter-bound protocol.
 ///
@@ -54,6 +55,18 @@ pub trait Protocol: Send + Sync {
 
     /// The current answer set `A(t)` returned to the user.
     fn answer(&self) -> AnswerSet;
+
+    /// The rank space this protocol orders streams by, if it is a
+    /// rank-query protocol.
+    ///
+    /// When `Some`, the engine maintains an incremental
+    /// [`crate::rank::RankIndex`] over the server view in this space and
+    /// serves it through [`ServerCtx::ranks`], so per-report rank
+    /// maintenance is O(log n) instead of a full re-sort. Range protocols
+    /// keep the default `None` and pay nothing.
+    fn rank_space(&self) -> Option<RankSpace> {
+        None
+    }
 }
 
 /// Compile-time proof that [`Protocol`] stays object-safe.

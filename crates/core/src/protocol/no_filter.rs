@@ -8,8 +8,7 @@ use streamnet::StreamId;
 
 use crate::answer::AnswerSet;
 use crate::protocol::{Protocol, ServerCtx};
-use crate::query::{RangeQuery, RankQuery};
-use crate::rank::rank_view;
+use crate::query::{RangeQuery, RankQuery, RankSpace};
 
 /// Which query the baseline is answering.
 #[derive(Clone, Copy, Debug)]
@@ -38,12 +37,19 @@ impl NoFilter {
         Self { kind: QueryKind::Rank(query), answer: None, n: 0 }
     }
 
-    fn compute_answer(&self, view: &streamnet::ServerView) -> AnswerSet {
+    fn compute_answer(&self, ctx: &ServerCtx<'_>) -> AnswerSet {
         match self.kind {
             QueryKind::Range(q) => {
-                view.iter_known().filter(|&(_, v)| q.contains(v)).map(|(id, _)| id).collect()
+                ctx.view().iter_known().filter(|&(_, v)| q.contains(v)).map(|(id, _)| id).collect()
             }
-            QueryKind::Rank(q) => rank_view(q.space(), view).into_iter().take(q.k()).collect(),
+            // O(k log n) off the maintained index — the baseline's per-event
+            // server computation no longer re-sorts all n streams. Unlike
+            // the filter protocols, the baseline accepts k > n and answers
+            // with every stream.
+            QueryKind::Rank(q) => {
+                let ranks = ctx.ranks(q.space());
+                ranks.top_ids(q.k().min(ranks.len())).into_iter().collect()
+            }
         }
     }
 }
@@ -58,16 +64,23 @@ impl Protocol for NoFilter {
         // The server still needs the initial values to answer at t0; sources
         // keep their default report-all behaviour (no filter installed).
         ctx.probe_all();
-        self.answer = Some(self.compute_answer(ctx.view()));
+        self.answer = Some(self.compute_answer(ctx));
     }
 
     fn on_update(&mut self, _id: StreamId, _value: f64, ctx: &mut ServerCtx<'_>) {
         // The view is already refreshed; just recompute the exact answer.
-        self.answer = Some(self.compute_answer(ctx.view()));
+        self.answer = Some(self.compute_answer(ctx));
     }
 
     fn answer(&self) -> AnswerSet {
         self.answer.clone().unwrap_or_default()
+    }
+
+    fn rank_space(&self) -> Option<RankSpace> {
+        match self.kind {
+            QueryKind::Range(_) => None,
+            QueryKind::Rank(q) => Some(q.space()),
+        }
     }
 }
 
@@ -126,6 +139,17 @@ mod tests {
         let a = engine.answer();
         assert!(a.contains(StreamId(0)) && a.contains(StreamId(3)));
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn rank_baseline_accepts_k_larger_than_population() {
+        let initial = vec![10.0, 20.0, 30.0];
+        let q = RankQuery::top_k(10).unwrap();
+        let mut engine = Engine::new(&initial, NoFilter::rank(q));
+        engine.initialize();
+        assert_eq!(engine.answer().len(), 3, "baseline answers with every stream");
+        engine.apply_event(ev(1.0, 0, 99.0));
+        assert_eq!(engine.answer().len(), 3);
     }
 
     #[test]

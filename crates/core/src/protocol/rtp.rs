@@ -24,6 +24,7 @@
 //! with the new bound sync-reports and is re-processed, so state
 //! self-corrects within the same resolution step.
 
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 
 use streamnet::{ServerView, StreamId};
@@ -31,8 +32,28 @@ use streamnet::{ServerView, StreamId};
 use crate::answer::AnswerSet;
 use crate::error::ConfigError;
 use crate::protocol::{Protocol, ServerCtx};
-use crate::query::RankQuery;
-use crate::rank::{cmp_key, midpoint_threshold, rank_view};
+use crate::query::{RankQuery, RankSpace};
+use crate::rank::cmp_key;
+
+/// An f64 rank key with the total order of [`cmp_key`], so probed
+/// expansion-search candidates can live in a `BTreeSet` ordered exactly
+/// like the ranking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct TotalKey(f64);
+
+impl Eq for TotalKey {}
+
+impl Ord for TotalKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("rank keys must not be NaN")
+    }
+}
+
+impl PartialOrd for TotalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// The rank-tolerance protocol.
 pub struct Rtp {
@@ -106,24 +127,25 @@ impl Rtp {
     fn full_recompute(&mut self, ctx: &mut ServerCtx<'_>) {
         let eps = self.epsilon();
         assert!(ctx.n() > eps, "RTP requires n > k + r (= {eps}), got n = {}", ctx.n());
-        let ranked = rank_view(self.query.space(), ctx.view());
-        self.answer = ranked.iter().take(self.query.k()).copied().collect();
-        self.x = ranked.iter().take(eps).copied().collect();
+        self.answer = ctx.ranks(self.query.space()).top_ids(self.query.k()).into_iter().collect();
         self.deploy_bound(ctx);
     }
 
     /// `Deploy_bound(t)`: position `R` halfway between ranks `ε` and `ε+1`
     /// (by the server's best knowledge) and broadcast it.
+    ///
+    /// One ranked pass produces both the threshold `d` and the tracked set
+    /// `X` — O(ε log n) on the indexed path.
     fn deploy_bound(&mut self, ctx: &mut ServerCtx<'_>) {
-        let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
-        self.d = midpoint_threshold(self.query.space(), values, self.epsilon());
+        let eps = self.epsilon();
+        let ranks = ctx.ranks(self.query.space());
+        self.d = ranks.midpoint(eps);
         // X must track *exactly* the streams the server believes inside the
         // new bound: an untracked believed-inside stream would be missing
         // from the candidate set of a later overflow shrink, which could
         // then position R with more than epsilon streams truly inside it —
         // a Definition-1 violation.
-        self.x =
-            rank_view(self.query.space(), ctx.view()).into_iter().take(self.epsilon()).collect();
+        self.x = ranks.top_ids(eps).into_iter().collect();
         ctx.broadcast(self.query.space().ball(self.d));
     }
 
@@ -148,33 +170,44 @@ impl Rtp {
     }
 
     /// Maintenance step 4: expanding ring search for replacement candidates.
+    ///
+    /// The candidate set `U(t)` is maintained *incrementally*: each ring
+    /// step probes only the streams it newly covers and files them in a
+    /// `(key, id)`-ordered set, so checking "does `R'` hold two candidates
+    /// yet?" is a bounded range peek instead of a full re-scan of `probed`
+    /// — O(n log n) worst case over the whole search, down from O(n²).
     fn expansion_search(&mut self, ctx: &mut ServerCtx<'_>) {
         self.expansions += 1;
         let space = self.query.space();
-        // Snapshot of the server's "old ranking scores" at entry.
-        let ranked = rank_view(space, ctx.view());
-        let old_keys: Vec<f64> = ranked.iter().map(|&id| self.view_key(ctx.view(), id)).collect();
-        let n = ranked.len();
+        // Snapshot of the server's "old ranking scores" at entry (O(n) off
+        // the maintained index; one sort on the differential baseline).
+        let old: Vec<(f64, StreamId)> = ctx.ranks(space).ordered_pairs();
+        let n = old.len();
         let mut probed: BTreeSet<StreamId> = BTreeSet::new();
+        // U(t): probed non-answer streams ordered by *current* (post-probe)
+        // key. Values are frozen during resolution, so a candidate's key is
+        // final once probed and the set only ever grows.
+        let mut u_set: BTreeSet<(TotalKey, StreamId)> = BTreeSet::new();
+        let mut covered = 0usize;
 
         for j in (self.epsilon() + 1)..=n {
             // R' reaches the old j-th ranked stream.
-            let d_prime = old_keys[j - 1];
-            // Probe every stream the ring now covers (incremental: streams
-            // of old rank <= j not already probed and not in the answer).
-            for &id in &ranked[..j] {
+            let d_prime = old[j - 1].0;
+            // Probe every stream the ring newly covers (streams of old rank
+            // <= j, skipping answer members), in old rank order.
+            while covered < j {
+                let id = old[covered].1;
+                covered += 1;
                 if !self.answer.contains(id) && probed.insert(id) {
-                    ctx.probe(id);
+                    let v = ctx.probe(id);
+                    u_set.insert((TotalKey(space.key(v)), id));
                 }
             }
-            // U(t): probed streams whose *current* value lies within R'.
-            let mut u: Vec<(f64, StreamId)> = probed
-                .iter()
-                .map(|&id| (self.view_key(ctx.view(), id), id))
-                .filter(|&(key, _)| key <= d_prime)
-                .collect();
-            if u.len() >= 2 {
-                u.sort_by(|&a, &b| cmp_key(a, b));
+            // Does R' now hold at least two candidates? Peek at the two
+            // best entries instead of re-filtering the whole set.
+            let within = u_set.range(..=(TotalKey(d_prime), StreamId(u32::MAX)));
+            if within.clone().take(2).count() >= 2 {
+                let u: Vec<(f64, StreamId)> = within.map(|&(TotalKey(k), id)| (k, id)).collect();
                 // Refresh the surviving answer members too: the rebuilt
                 // answer and bound below must rank fresh values against
                 // fresh values, or a stale answer member could end up
@@ -269,13 +302,16 @@ impl Protocol for Rtp {
     fn answer(&self) -> AnswerSet {
         self.answer.clone()
     }
+
+    fn rank_space(&self) -> Option<RankSpace> {
+        Some(self.query.space())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::Engine;
-    use crate::query::RankSpace;
     use crate::workload::UpdateEvent;
 
     fn ev(t: f64, s: u32, v: f64) -> UpdateEvent {

@@ -13,8 +13,7 @@ use streamnet::StreamId;
 use crate::answer::AnswerSet;
 use crate::error::ConfigError;
 use crate::protocol::{Protocol, ServerCtx};
-use crate::query::RankQuery;
-use crate::rank::{midpoint_threshold, rank_view};
+use crate::query::{RankQuery, RankSpace};
 
 /// The zero-tolerance rank-query protocol.
 pub struct ZtRp {
@@ -49,10 +48,12 @@ impl ZtRp {
         let k = self.query.k();
         assert!(ctx.n() > k, "ZT-RP requires n > k, got n = {}", ctx.n());
         self.recomputes += 1;
-        let ranked = rank_view(self.query.space(), ctx.view());
-        self.answer = ranked.iter().take(k).copied().collect();
-        let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
-        self.d = midpoint_threshold(self.query.space(), values, k);
+        // One ranked pass: O(k log n) on the maintained index (the
+        // broadcast below still costs n messages — that is the protocol's
+        // drawback, not the server's).
+        let ranks = ctx.ranks(self.query.space());
+        self.answer = ranks.top_ids(k).into_iter().collect();
+        self.d = ranks.midpoint(k);
         ctx.broadcast(self.query.space().ball(self.d));
     }
 }
@@ -74,6 +75,10 @@ impl Protocol for ZtRp {
 
     fn answer(&self) -> AnswerSet {
         self.answer.clone()
+    }
+
+    fn rank_space(&self) -> Option<RankSpace> {
+        Some(self.query.space())
     }
 }
 

@@ -4,7 +4,39 @@
 //! streams are ordered by rank key (§3.3, "the function rank depends on the
 //! query"). Ties are broken by ascending stream id so the order is total —
 //! see [`streamnet::StreamId`].
+//!
+//! Two implementations of the same order live here:
+//!
+//! * the **sort path** ([`rank_view`], [`rank_values`],
+//!   [`midpoint_threshold`]) — the seed's behaviour: every call pays a full
+//!   O(n log n) re-sort of the snapshot it is given;
+//! * the **incremental path** ([`RankIndex`]) — an order-statistics treap
+//!   over `(key, id)` pairs maintained by the engine as view updates land,
+//!   so the per-report operations the protocols actually need are
+//!   logarithmic.
+//!
+//! Both produce *byte-identical* results (the `(key, id)` tie-break order is
+//! part of the contract); `tests/rank_differential.rs` proves it per
+//! protocol and `tests/rank_index_prop.rs` per operation.
+//!
+//! ## Per-operation cost, seed (sort) vs. indexed
+//!
+//! | Operation | Seed (full sort) | [`RankIndex`] |
+//! |-----------|------------------|---------------|
+//! | apply one view update        | —          | O(log n) |
+//! | full ranking (`ordered_ids`) | O(n log n) | O(n) |
+//! | best `m` ids (`top_ids`)     | O(n log n) | O(m + log n) |
+//! | rank of one stream (`rank_of`) | O(n log n) | O(log n) |
+//! | `select(m)` / `midpoint(m)`  | O(n log n) | O(log n) |
+//! | streams inside a ball (`count_in_ball`) | O(n) scan | O(log n) |
+//! | rebuild after `probe_all`    | O(n log n) | O(n log n) |
+//!
+//! The treap is deterministic: node priorities are drawn once per stream id
+//! from a fixed-seed [`simkit::SimRng`] stream, so the structure — and
+//! therefore every traversal — is identical across runs, engines, and the
+//! sharded `asf-server` runtime.
 
+use simkit::SimRng;
 use streamnet::{ServerView, StreamId};
 
 use crate::query::RankSpace;
@@ -86,6 +118,500 @@ pub fn midpoint_threshold(
     (keys[m - 1] + keys[m]) / 2.0
 }
 
+/// Sentinel index for "no child".
+const NIL: u32 = u32::MAX;
+
+/// Fixed seed of the priority stream — a constant so that every engine
+/// (serial, sharded, any shard count) builds the identical treap.
+const PRIORITY_SEED: u64 = 0xA5F0_DE7A_u64;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// Current rank key (`space.key(value)`); valid iff `present`.
+    key: f64,
+    /// Heap priority, fixed per stream id at construction.
+    prio: u64,
+    left: u32,
+    right: u32,
+    /// Subtree size (this node included); valid iff linked into the tree.
+    size: u32,
+    /// Whether this stream is currently in the index.
+    present: bool,
+}
+
+/// An incremental order-statistics index over `(rank key, stream id)`.
+///
+/// A treap (randomized BST with subtree counts) whose in-order traversal is
+/// exactly the [`cmp_key`] order the sort path uses, holding at most one
+/// entry per stream id of a fixed population `0..n`. Node storage is a flat
+/// arena indexed by stream id — no allocation per operation — and node
+/// priorities come from a fixed-seed [`SimRng`] stream, so the tree shape
+/// is a pure function of the (key, id) set: deterministic and identical
+/// across the serial engine and the sharded server.
+///
+/// All mutating operations are expected O(log n); see the module-level
+/// complexity table.
+#[derive(Clone, Debug)]
+pub struct RankIndex {
+    space: RankSpace,
+    root: u32,
+    nodes: Vec<Node>,
+    len: usize,
+}
+
+impl RankIndex {
+    /// Creates an empty index over a population of `n` stream ids under
+    /// `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` cannot be addressed by a `u32` id space.
+    pub fn new(space: RankSpace, n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "population too large for u32 stream ids");
+        let mut rng = SimRng::seed_from_u64(PRIORITY_SEED);
+        let nodes = (0..n)
+            .map(|_| Node {
+                key: 0.0,
+                prio: rng.next_u64(),
+                left: NIL,
+                right: NIL,
+                size: 0,
+                present: false,
+            })
+            .collect();
+        Self { space, root: NIL, nodes, len: 0 }
+    }
+
+    /// The rank space the index orders by.
+    pub fn space(&self) -> RankSpace {
+        self.space
+    }
+
+    /// Number of streams currently indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no stream is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The population size `n` the index was created for.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` is currently indexed.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.nodes[id.index()].present
+    }
+
+    /// The rank key stored for `id`, if indexed.
+    pub fn key_of(&self, id: StreamId) -> Option<f64> {
+        let node = &self.nodes[id.index()];
+        node.present.then_some(node.key)
+    }
+
+    /// Indexes `id` with value `value` (key = `space.key(value)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already indexed or the key is NaN.
+    pub fn insert(&mut self, id: StreamId, value: f64) {
+        let i = id.index();
+        assert!(!self.nodes[i].present, "{id} is already indexed");
+        let key = self.space.key(value);
+        assert!(!key.is_nan(), "rank keys must not be NaN");
+        let node = &mut self.nodes[i];
+        node.key = key;
+        node.left = NIL;
+        node.right = NIL;
+        node.size = 1;
+        node.present = true;
+        let (l, r) = self.split(self.root, (key, id));
+        let lm = self.merge(l, i as u32);
+        self.root = self.merge(lm, r);
+        self.len += 1;
+    }
+
+    /// Removes `id` from the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not indexed.
+    pub fn remove(&mut self, id: StreamId) {
+        let i = id.index();
+        assert!(self.nodes[i].present, "{id} is not indexed");
+        let at = (self.nodes[i].key, id);
+        self.root = self.remove_rec(self.root, at);
+        self.nodes[i].present = false;
+        self.len -= 1;
+    }
+
+    /// Re-keys `id` to `value`, inserting it if absent — the maintenance
+    /// operation applied for every value that reaches the server.
+    pub fn update(&mut self, id: StreamId, value: f64) {
+        if self.nodes[id.index()].present {
+            // A treap's shape is a pure function of its (key, priority)
+            // set, so a bit-identical re-key is a structural no-op: skip
+            // both tree passes (probes of unmoved streams and echoing
+            // sync-reports hit this often).
+            if self.nodes[id.index()].key.to_bits() == self.space.key(value).to_bits() {
+                return;
+            }
+            self.remove(id);
+        }
+        self.insert(id, value);
+    }
+
+    /// Drops every entry (population and priorities are retained).
+    pub fn clear(&mut self) {
+        for node in &mut self.nodes {
+            node.present = false;
+        }
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    /// Rebuilds the index from a fully-known server view — the
+    /// Initialization / re-initialization step (`probe_all` refreshed every
+    /// stream at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view population differs from the index population or
+    /// the view is not fully known.
+    pub fn rebuild_from_view(&mut self, view: &ServerView) {
+        assert_eq!(view.len(), self.capacity(), "view/index population mismatch");
+        assert!(view.all_known(), "cannot index a partially-known view");
+        self.clear();
+        for i in 0..view.len() {
+            let id = StreamId(i as u32);
+            self.insert(id, view.get(id));
+        }
+    }
+
+    /// The 1-based rank of `id`, if indexed.
+    pub fn rank_of(&self, id: StreamId) -> Option<usize> {
+        let i = id.index();
+        if !self.nodes[i].present {
+            return None;
+        }
+        let at = (self.nodes[i].key, id);
+        let mut t = self.root;
+        let mut before = 0usize;
+        loop {
+            debug_assert_ne!(t, NIL, "present node must be reachable");
+            let node = &self.nodes[t as usize];
+            match cmp_key(at, (node.key, StreamId(t))) {
+                std::cmp::Ordering::Less => t = node.left,
+                std::cmp::Ordering::Equal => {
+                    return Some(before + self.size(node.left) as usize + 1)
+                }
+                std::cmp::Ordering::Greater => {
+                    before += self.size(node.left) as usize + 1;
+                    t = node.right;
+                }
+            }
+        }
+    }
+
+    /// The `(key, id)` pair of 1-based rank `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= m <= len`.
+    pub fn select(&self, m: usize) -> (f64, StreamId) {
+        assert!(m >= 1 && m <= self.len, "select rank {m} out of 1..={}", self.len);
+        let mut t = self.root;
+        let mut m = m;
+        loop {
+            let node = &self.nodes[t as usize];
+            let left = self.size(node.left) as usize;
+            match m.cmp(&(left + 1)) {
+                std::cmp::Ordering::Equal => return (node.key, StreamId(t)),
+                std::cmp::Ordering::Less => t = node.left,
+                std::cmp::Ordering::Greater => {
+                    m -= left + 1;
+                    t = node.right;
+                }
+            }
+        }
+    }
+
+    /// The midpoint between the keys of ranks `m` and `m + 1` — identical
+    /// to [`midpoint_threshold`] over the same entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m + 1` streams are indexed or `m == 0`.
+    pub fn midpoint(&self, m: usize) -> f64 {
+        assert!(m >= 1, "midpoint rank must be >= 1");
+        assert!(
+            self.len > m,
+            "midpoint between ranks {m} and {} needs more than {m} streams, got {}",
+            m + 1,
+            self.len
+        );
+        (self.select(m).0 + self.select(m + 1).0) / 2.0
+    }
+
+    /// How many indexed streams lie inside the ball `{key <= d}` — the
+    /// paper's "streams inside `R`" count against the server's view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN `d`.
+    pub fn count_in_ball(&self, d: f64) -> usize {
+        assert!(!d.is_nan(), "ball threshold must not be NaN");
+        let mut t = self.root;
+        let mut count = 0usize;
+        while t != NIL {
+            let node = &self.nodes[t as usize];
+            if node.key <= d {
+                count += self.size(node.left) as usize + 1;
+                t = node.right;
+            } else {
+                t = node.left;
+            }
+        }
+        count
+    }
+
+    /// The `m` best-ranked ids in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m` streams are indexed.
+    pub fn top_ids(&self, m: usize) -> Vec<StreamId> {
+        assert!(m <= self.len, "asked for top {m} of {} indexed streams", self.len);
+        let mut out = Vec::with_capacity(m);
+        self.collect_ids(self.root, m, &mut out);
+        out
+    }
+
+    /// Every indexed id, best-first — the indexed equivalent of
+    /// [`rank_view`].
+    pub fn ordered_ids(&self) -> Vec<StreamId> {
+        self.top_ids(self.len)
+    }
+
+    /// Every indexed `(key, id)` pair, best-first.
+    pub fn ordered_pairs(&self) -> Vec<(f64, StreamId)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.collect_pairs(self.root, &mut out);
+        out
+    }
+
+    #[inline]
+    fn size(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].size
+        }
+    }
+
+    #[inline]
+    fn fix(&mut self, t: u32) {
+        let (l, r) = {
+            let node = &self.nodes[t as usize];
+            (node.left, node.right)
+        };
+        self.nodes[t as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    /// Splits subtree `t` into (`< at`, `>= at`) by `(key, id)` order.
+    fn split(&mut self, t: u32, at: (f64, StreamId)) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        let pair = (self.nodes[t as usize].key, StreamId(t));
+        if cmp_key(pair, at) == std::cmp::Ordering::Less {
+            let (l, r) = self.split(self.nodes[t as usize].right, at);
+            self.nodes[t as usize].right = l;
+            self.fix(t);
+            (t, r)
+        } else {
+            let (l, r) = self.split(self.nodes[t as usize].left, at);
+            self.nodes[t as usize].left = r;
+            self.fix(t);
+            (l, t)
+        }
+    }
+
+    /// Merges subtrees `l` and `r` where every pair in `l` precedes every
+    /// pair in `r`.
+    fn merge(&mut self, l: u32, r: u32) -> u32 {
+        if l == NIL {
+            return r;
+        }
+        if r == NIL {
+            return l;
+        }
+        if self.nodes[l as usize].prio >= self.nodes[r as usize].prio {
+            let m = self.merge(self.nodes[l as usize].right, r);
+            self.nodes[l as usize].right = m;
+            self.fix(l);
+            l
+        } else {
+            let m = self.merge(l, self.nodes[r as usize].left);
+            self.nodes[r as usize].left = m;
+            self.fix(r);
+            r
+        }
+    }
+
+    fn remove_rec(&mut self, t: u32, at: (f64, StreamId)) -> u32 {
+        debug_assert_ne!(t, NIL, "removed pair must be present");
+        let pair = (self.nodes[t as usize].key, StreamId(t));
+        match cmp_key(at, pair) {
+            std::cmp::Ordering::Equal => {
+                let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+                self.merge(l, r)
+            }
+            std::cmp::Ordering::Less => {
+                let nl = self.remove_rec(self.nodes[t as usize].left, at);
+                self.nodes[t as usize].left = nl;
+                self.fix(t);
+                t
+            }
+            std::cmp::Ordering::Greater => {
+                let nr = self.remove_rec(self.nodes[t as usize].right, at);
+                self.nodes[t as usize].right = nr;
+                self.fix(t);
+                t
+            }
+        }
+    }
+
+    fn collect_ids(&self, t: u32, limit: usize, out: &mut Vec<StreamId>) {
+        if t == NIL || out.len() == limit {
+            return;
+        }
+        let node = &self.nodes[t as usize];
+        self.collect_ids(node.left, limit, out);
+        if out.len() < limit {
+            out.push(StreamId(t));
+            self.collect_ids(node.right, limit, out);
+        }
+    }
+
+    fn collect_pairs(&self, t: u32, out: &mut Vec<(f64, StreamId)>) {
+        if t == NIL {
+            return;
+        }
+        let node = &self.nodes[t as usize];
+        self.collect_pairs(node.left, out);
+        out.push((node.key, StreamId(t)));
+        self.collect_pairs(node.right, out);
+    }
+}
+
+/// One ranked pass over the server's current knowledge, handed to rank
+/// protocols by [`crate::protocol::ServerCtx::ranks`].
+///
+/// Backed by the engine-maintained [`RankIndex`] when incremental ranking
+/// is on (the default), or by a single sort of the view (the seed path,
+/// kept for differential testing). All accessors return byte-identical
+/// results either way.
+pub enum Ranks<'a> {
+    /// The engine's incrementally maintained index.
+    Indexed(&'a RankIndex),
+    /// One full sort of the view snapshot (`(key, id)` ascending).
+    Sorted(Vec<(f64, StreamId)>),
+}
+
+impl Ranks<'_> {
+    /// Ranks a fully-known view by one sort — the seed's code path.
+    pub fn from_view(space: RankSpace, view: &ServerView) -> Ranks<'static> {
+        assert!(view.all_known(), "cannot rank a partially-known view");
+        let mut pairs: Vec<(f64, StreamId)> = (0..view.len())
+            .map(|i| {
+                let id = StreamId(i as u32);
+                (space.key(view.get(id)), id)
+            })
+            .collect();
+        pairs.sort_by(|&a, &b| cmp_key(a, b));
+        Ranks::Sorted(pairs)
+    }
+
+    /// Number of ranked streams.
+    pub fn len(&self) -> usize {
+        match self {
+            Ranks::Indexed(index) => index.len(),
+            Ranks::Sorted(pairs) => pairs.len(),
+        }
+    }
+
+    /// Whether no stream is ranked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(key, id)` pair of 1-based rank `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= m <= len`.
+    pub fn select(&self, m: usize) -> (f64, StreamId) {
+        match self {
+            Ranks::Indexed(index) => index.select(m),
+            Ranks::Sorted(pairs) => {
+                assert!(m >= 1 && m <= pairs.len(), "select rank {m} out of 1..={}", pairs.len());
+                pairs[m - 1]
+            }
+        }
+    }
+
+    /// The midpoint between the keys of ranks `m` and `m + 1` — the
+    /// paper's `Deploy_bound` position. Equals [`midpoint_threshold`] over
+    /// the same entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m + 1` streams are ranked or `m == 0`.
+    pub fn midpoint(&self, m: usize) -> f64 {
+        assert!(m >= 1, "midpoint rank must be >= 1");
+        assert!(
+            self.len() > m,
+            "midpoint between ranks {m} and {} needs more than {m} streams, got {}",
+            m + 1,
+            self.len()
+        );
+        (self.select(m).0 + self.select(m + 1).0) / 2.0
+    }
+
+    /// The `m` best-ranked ids in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m` streams are ranked.
+    pub fn top_ids(&self, m: usize) -> Vec<StreamId> {
+        match self {
+            Ranks::Indexed(index) => index.top_ids(m),
+            Ranks::Sorted(pairs) => {
+                assert!(m <= pairs.len(), "asked for top {m} of {} ranked streams", pairs.len());
+                pairs[..m].iter().map(|&(_, id)| id).collect()
+            }
+        }
+    }
+
+    /// Every ranked id, best-first.
+    pub fn ordered_ids(&self) -> Vec<StreamId> {
+        self.top_ids(self.len())
+    }
+
+    /// Every ranked `(key, id)` pair, best-first.
+    pub fn ordered_pairs(&self) -> Vec<(f64, StreamId)> {
+        match self {
+            Ranks::Indexed(index) => index.ordered_pairs(),
+            Ranks::Sorted(pairs) => pairs.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +687,123 @@ mod tests {
         assert!(r.is_err());
         view.set(StreamId(1), 5.0);
         assert_eq!(rank_view(RankSpace::TopK, &view), vec![StreamId(1), StreamId(0)]);
+    }
+
+    fn filled_index(space: RankSpace, values: &[f64]) -> RankIndex {
+        let mut index = RankIndex::new(space, values.len());
+        for (i, &v) in values.iter().enumerate() {
+            index.insert(StreamId(i as u32), v);
+        }
+        index
+    }
+
+    #[test]
+    fn index_matches_sort_order() {
+        let space = RankSpace::Knn { q: 100.0 };
+        let values = [90.0, 150.0, 105.0, 300.0, 100.0];
+        let index = filled_index(space, &values);
+        assert_eq!(index.len(), 5);
+        assert_eq!(index.ordered_ids(), rank_values(space, vals(&values)));
+        assert_eq!(index.top_ids(2), rank_values(space, vals(&values))[..2].to_vec());
+    }
+
+    #[test]
+    fn index_rank_of_and_select_agree() {
+        let space = RankSpace::TopK;
+        let values = [5.0, 9.0, 1.0, 9.0, 5.0]; // ties on purpose
+        let index = filled_index(space, &values);
+        let order = rank_values(space, vals(&values));
+        for (pos, &id) in order.iter().enumerate() {
+            assert_eq!(index.rank_of(id), Some(pos + 1));
+            assert_eq!(index.select(pos + 1).1, id);
+        }
+        assert_eq!(
+            index.rank_of(StreamId(4)),
+            Some(order.iter().position(|&s| s.0 == 4).unwrap() + 1)
+        );
+    }
+
+    #[test]
+    fn index_update_rekeys() {
+        let space = RankSpace::KMin;
+        let mut index = filled_index(space, &[10.0, 20.0, 30.0]);
+        index.update(StreamId(2), 5.0);
+        assert_eq!(index.ordered_ids(), vec![StreamId(2), StreamId(0), StreamId(1)]);
+        assert_eq!(index.key_of(StreamId(2)), Some(5.0));
+        index.remove(StreamId(0));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.rank_of(StreamId(0)), None);
+        assert!(!index.contains(StreamId(0)));
+        // update inserts absent streams.
+        index.update(StreamId(0), 1.0);
+        assert_eq!(index.ordered_ids(), vec![StreamId(0), StreamId(2), StreamId(1)]);
+    }
+
+    #[test]
+    fn index_midpoint_matches_sort_midpoint() {
+        let space = RankSpace::Knn { q: 0.0 };
+        let values = [1.0, -2.0, 4.0, -8.0];
+        let index = filled_index(space, &values);
+        for m in 1..4 {
+            assert_eq!(index.midpoint(m), midpoint_threshold(space, vals(&values), m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn index_count_in_ball() {
+        let space = RankSpace::Knn { q: 0.0 };
+        let index = filled_index(space, &[1.0, -2.0, 4.0, -8.0, 2.0]); // keys 1,2,4,8,2
+        assert_eq!(index.count_in_ball(0.5), 0);
+        assert_eq!(index.count_in_ball(1.0), 1);
+        assert_eq!(index.count_in_ball(2.0), 3, "both key-2 entries count");
+        assert_eq!(index.count_in_ball(100.0), 5);
+    }
+
+    #[test]
+    fn index_rebuild_from_view() {
+        let mut view = ServerView::new(3);
+        for (i, v) in [30.0, 10.0, 20.0].iter().enumerate() {
+            view.set(StreamId(i as u32), *v);
+        }
+        let mut index = RankIndex::new(RankSpace::TopK, 3);
+        index.insert(StreamId(1), 999.0); // stale entry, wiped by rebuild
+        index.rebuild_from_view(&view);
+        assert_eq!(index.ordered_ids(), rank_view(RankSpace::TopK, &view));
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn index_double_insert_panics() {
+        let mut index = RankIndex::new(RankSpace::TopK, 2);
+        index.insert(StreamId(0), 1.0);
+        index.insert(StreamId(0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs more than")]
+    fn index_midpoint_requires_enough_streams() {
+        let index = filled_index(RankSpace::TopK, &[1.0, 2.0]);
+        index.midpoint(2);
+    }
+
+    #[test]
+    fn ranks_facade_paths_agree() {
+        let space = RankSpace::Knn { q: 50.0 };
+        let values = [10.0, 90.0, 50.0, 49.0, 51.0, 90.0];
+        let mut view = ServerView::new(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            view.set(StreamId(i as u32), v);
+        }
+        let index = filled_index(space, &values);
+        let indexed = Ranks::Indexed(&index);
+        let sorted = Ranks::from_view(space, &view);
+        assert_eq!(indexed.len(), sorted.len());
+        assert_eq!(indexed.ordered_ids(), sorted.ordered_ids());
+        assert_eq!(indexed.ordered_pairs(), sorted.ordered_pairs());
+        for m in 1..values.len() {
+            assert_eq!(indexed.select(m), sorted.select(m), "select {m}");
+            assert_eq!(indexed.midpoint(m), sorted.midpoint(m), "midpoint {m}");
+            assert_eq!(indexed.top_ids(m), sorted.top_ids(m), "top {m}");
+        }
     }
 }

@@ -275,10 +275,15 @@ fn rtp_never_violates_rank_tolerance() {
         let query = RankQuery::knn(500.0, k).unwrap();
         let tol = RankTolerance::new(k, r).unwrap();
         let mut engine = Engine::new(&w.initial_values(), Rtp::new(query, r).unwrap());
+        // O(k log n) per quiescent point via the maintained truth index.
+        let mut truth = oracle::TruthRanks::new(query.space(), engine.fleet());
         let mut violation: Option<String> = None;
-        engine.run_with_hook(&mut w, |fleet, protocol, _| {
+        engine.run_with_event_hook(&mut w, |_, protocol, _, ev| {
+            if let Some(ev) = ev {
+                truth.apply(ev);
+            }
             if violation.is_none() {
-                violation = oracle::rank_violation(query, tol, &protocol.answer(), fleet);
+                violation = truth.rank_violation(tol, &protocol.answer());
             }
         });
         assert!(violation.is_none(), "seed={seed} k={k} r={r}: {}", violation.unwrap());

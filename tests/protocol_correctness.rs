@@ -38,9 +38,14 @@ fn no_filter_rank_is_always_exact() {
     let mut w = synthetic(50, 300.0, 20.0, 2);
     let query = RankQuery::knn(500.0, 5).unwrap();
     let mut engine = Engine::new(&w.initial_values(), NoFilter::rank(query));
-    engine.run_with_hook(&mut w, |fleet, protocol, t| {
-        let truth = oracle::true_rank_answer(query, fleet);
-        assert_eq!(protocol.answer(), truth, "at t={t}");
+    // Incremental ground truth: O(log n) per event instead of a re-sort.
+    let mut truth = oracle::TruthRanks::new(query.space(), engine.fleet());
+    engine.run_with_event_hook(&mut w, |fleet, protocol, t, ev| {
+        if let Some(ev) = ev {
+            truth.apply(ev);
+        }
+        assert_eq!(protocol.answer(), truth.true_answer(query.k()), "at t={t}");
+        assert_eq!(truth.true_answer(query.k()), oracle::true_rank_answer(query, fleet));
     });
 }
 
@@ -60,9 +65,12 @@ fn zt_rp_is_always_exact() {
     let mut w = synthetic(60, 200.0, 20.0, 4);
     let query = RankQuery::knn(500.0, 4).unwrap();
     let mut engine = Engine::new(&w.initial_values(), ZtRp::new(query).unwrap());
-    engine.run_with_hook(&mut w, |fleet, protocol, t| {
-        let truth = oracle::true_rank_answer(query, fleet);
-        assert_eq!(protocol.answer(), truth, "at t={t}");
+    let mut truth = oracle::TruthRanks::new(query.space(), engine.fleet());
+    engine.run_with_event_hook(&mut w, |_, protocol, t, ev| {
+        if let Some(ev) = ev {
+            truth.apply(ev);
+        }
+        assert_eq!(protocol.answer(), truth.true_answer(query.k()), "at t={t}");
     });
 }
 
@@ -73,8 +81,15 @@ fn rtp_rank_tolerance_holds_at_every_quiescent_point() {
         let query = RankQuery::knn(500.0, k).unwrap();
         let tol = RankTolerance::new(k, r).unwrap();
         let mut engine = Engine::new(&w.initial_values(), Rtp::new(query, r).unwrap());
-        engine.run_with_hook(&mut w, |fleet, protocol, t| {
-            let v = oracle::rank_violation(query, tol, &protocol.answer(), fleet);
+        let mut truth = oracle::TruthRanks::new(query.space(), engine.fleet());
+        engine.run_with_event_hook(&mut w, |fleet, protocol, t, ev| {
+            if let Some(ev) = ev {
+                truth.apply(ev);
+            }
+            let v = truth.rank_violation(tol, &protocol.answer());
+            // The indexed and sort-based oracles must agree.
+            let v_sorted = oracle::rank_violation(query, tol, &protocol.answer(), fleet);
+            assert_eq!(v.is_some(), v_sorted.is_some(), "oracle paths disagree at t={t}");
             assert!(v.is_none(), "k={k} r={r} seed={seed} t={t}: {}", v.unwrap());
         });
     }
@@ -88,8 +103,12 @@ fn rtp_rank_tolerance_holds_for_topk_on_tcp_like() {
     let query = RankQuery::top_k(k).unwrap();
     let tol = RankTolerance::new(k, r).unwrap();
     let mut engine = Engine::new(&w.initial_values(), Rtp::new(query, r).unwrap());
-    engine.run_with_hook(&mut w, |fleet, protocol, t| {
-        let v = oracle::rank_violation(query, tol, &protocol.answer(), fleet);
+    let mut truth = oracle::TruthRanks::new(query.space(), engine.fleet());
+    engine.run_with_event_hook(&mut w, |_, protocol, t, ev| {
+        if let Some(ev) = ev {
+            truth.apply(ev);
+        }
+        let v = truth.rank_violation(tol, &protocol.answer());
         assert!(v.is_none(), "t={t}: {}", v.unwrap());
     });
 }

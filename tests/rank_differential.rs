@@ -1,0 +1,180 @@
+//! Differential proof that the incremental rank index is byte-identical to
+//! the seed's full-sort path: every rank protocol is run twice over the
+//! same workload — once with [`RankMode::Indexed`] (the default) and once
+//! with [`RankMode::Sorted`] (the seed's re-sort-per-pass behaviour) — and
+//! the answers (at every quiescent point), the message ledger, the server
+//! view (bit-exact f64s), and the protocol-visible thresholds must match
+//! exactly.
+
+use asf_core::engine::{Engine, RankMode};
+use asf_core::oracle;
+use asf_core::protocol::{FtRp, FtRpConfig, NoFilter, Protocol, Rtp, ZtRp};
+use asf_core::query::RankQuery;
+use asf_core::tolerance::{FractionTolerance, RankTolerance};
+use asf_core::workload::{UpdateEvent, Workload};
+use streamnet::StreamId;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+/// Collects a synthetic workload into a replayable event list.
+fn events_for(n: usize, horizon: f64, sigma: f64, seed: u64) -> (Vec<f64>, Vec<UpdateEvent>) {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: n,
+        horizon,
+        sigma,
+        seed,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+    (initial, events)
+}
+
+fn view_bits<P: Protocol>(engine: &Engine<P>) -> Vec<(StreamId, u64)> {
+    engine.view().iter_known().map(|(id, v)| (id, v.to_bits())).collect()
+}
+
+/// Runs the same protocol instance pair through the same events, asserting
+/// byte-identical observable state throughout. Returns the engines for
+/// protocol-specific follow-up assertions.
+fn run_differential<P: Protocol>(
+    initial: &[f64],
+    events: &[UpdateEvent],
+    indexed: P,
+    sorted: P,
+    label: &str,
+) -> (Engine<P>, Engine<P>) {
+    let mut a = Engine::with_rank_mode(initial, indexed, RankMode::Indexed);
+    let mut b = Engine::with_rank_mode(initial, sorted, RankMode::Sorted);
+    a.initialize();
+    b.initialize();
+    assert_eq!(a.answer(), b.answer(), "{label}: answers diverge at init");
+    assert_eq!(a.ledger(), b.ledger(), "{label}: ledgers diverge at init");
+    for (i, ev) in events.iter().enumerate() {
+        a.apply_event(*ev);
+        b.apply_event(*ev);
+        assert_eq!(a.answer(), b.answer(), "{label}: answers diverge at event {i} (t={})", ev.time);
+        assert_eq!(
+            a.ledger().total(),
+            b.ledger().total(),
+            "{label}: message counts diverge at event {i}"
+        );
+    }
+    assert_eq!(a.ledger(), b.ledger(), "{label}: final ledgers diverge");
+    assert_eq!(view_bits(&a), view_bits(&b), "{label}: final views diverge");
+    assert_eq!(a.reports_processed(), b.reports_processed(), "{label}: report counts diverge");
+    (a, b)
+}
+
+#[test]
+fn rtp_indexed_is_byte_identical_to_sorted() {
+    for seed in [1u64, 7, 23, 99, 4242] {
+        let (initial, events) = events_for(120, 150.0, 30.0, seed);
+        let query = RankQuery::knn(500.0, 6).unwrap();
+        let (a, b) = run_differential(
+            &initial,
+            &events,
+            Rtp::new(query, 4).unwrap(),
+            Rtp::new(query, 4).unwrap(),
+            &format!("RTP knn seed={seed}"),
+        );
+        assert_eq!(a.protocol().threshold().to_bits(), b.protocol().threshold().to_bits());
+        assert_eq!(a.protocol().x_set(), b.protocol().x_set());
+        assert_eq!(a.protocol().expansions(), b.protocol().expansions());
+        assert_eq!(a.protocol().reinits(), b.protocol().reinits());
+    }
+}
+
+#[test]
+fn rtp_topk_with_tight_slack_exercises_expansion_search() {
+    // Small population + zero rank slack forces the expansion-search and
+    // overflow paths often; both paths must still agree byte-for-byte.
+    for seed in [3u64, 17, 31] {
+        let (initial, events) = events_for(24, 200.0, 60.0, seed);
+        let query = RankQuery::top_k(3).unwrap();
+        let label = format!("RTP topk seed={seed}");
+        let (a, b) = run_differential(
+            &initial,
+            &events,
+            Rtp::new(query, 0).unwrap(),
+            Rtp::new(query, 0).unwrap(),
+            &label,
+        );
+        assert_eq!(a.protocol().expansions(), b.protocol().expansions());
+        assert!(a.protocol().expansions() > 0, "{label}: workload never hit the expansion search");
+    }
+}
+
+#[test]
+fn zt_rp_indexed_is_byte_identical_to_sorted() {
+    for seed in [2u64, 11, 77] {
+        let (initial, events) = events_for(80, 120.0, 25.0, seed);
+        let query = RankQuery::knn(500.0, 5).unwrap();
+        let (a, b) = run_differential(
+            &initial,
+            &events,
+            ZtRp::new(query).unwrap(),
+            ZtRp::new(query).unwrap(),
+            &format!("ZT-RP seed={seed}"),
+        );
+        assert_eq!(a.protocol().threshold().to_bits(), b.protocol().threshold().to_bits());
+        assert_eq!(a.protocol().recomputes(), b.protocol().recomputes());
+    }
+}
+
+#[test]
+fn ft_rp_indexed_is_byte_identical_to_sorted() {
+    for seed in [5u64, 13, 101] {
+        let (initial, events) = events_for(100, 120.0, 25.0, seed);
+        let query = RankQuery::knn(500.0, 12).unwrap();
+        let tol = FractionTolerance::symmetric(0.3).unwrap();
+        let (a, b) = run_differential(
+            &initial,
+            &events,
+            FtRp::new(query, tol, FtRpConfig::default(), seed).unwrap(),
+            FtRp::new(query, tol, FtRpConfig::default(), seed).unwrap(),
+            &format!("FT-RP seed={seed}"),
+        );
+        assert_eq!(a.protocol().threshold().to_bits(), b.protocol().threshold().to_bits());
+        assert_eq!(a.protocol().reinits(), b.protocol().reinits());
+        assert_eq!(a.protocol().fix_errors(), b.protocol().fix_errors());
+    }
+}
+
+#[test]
+fn no_filter_rank_indexed_is_byte_identical_to_sorted() {
+    for (seed, query) in [
+        (4u64, RankQuery::knn(500.0, 5).unwrap()),
+        (9, RankQuery::top_k(7).unwrap()),
+        (15, RankQuery::k_min(4).unwrap()),
+    ] {
+        let (initial, events) = events_for(60, 100.0, 20.0, seed);
+        run_differential(
+            &initial,
+            &events,
+            NoFilter::rank(query),
+            NoFilter::rank(query),
+            &format!("no-filter {:?} seed={seed}", query.space()),
+        );
+    }
+}
+
+#[test]
+fn indexed_and_sorted_oracles_agree_along_a_run() {
+    let (initial, events) = events_for(60, 150.0, 30.0, 8);
+    let query = RankQuery::knn(500.0, 5).unwrap();
+    let tol = RankTolerance::new(5, 3).unwrap();
+    let mut engine = Engine::new(&initial, Rtp::new(query, 3).unwrap());
+    let mut truth = oracle::TruthRanks::new(query.space(), engine.fleet());
+    engine.initialize();
+    for ev in &events {
+        engine.apply_event(*ev);
+        truth.apply(ev);
+        let indexed = truth.rank_violation(tol, &engine.answer());
+        let sorted = oracle::rank_violation(query, tol, &engine.answer(), engine.fleet());
+        assert_eq!(indexed.is_some(), sorted.is_some(), "oracle verdicts diverge at t={}", ev.time);
+        assert_eq!(truth.ranking(), oracle::true_ranking(query.space(), engine.fleet()));
+    }
+}

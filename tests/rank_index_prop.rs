@@ -1,0 +1,168 @@
+//! Seeded-loop differential property test: random update/insert/remove
+//! sequences driven through [`RankIndex`] and a naive sort-the-snapshot
+//! model must agree on everything — full order, per-stream ranks,
+//! `select`, midpoints (including f64 ties broken by id), and ball counts.
+//!
+//! Cases are generated from a fixed-seed [`SimRng`] (no external
+//! property-testing dependency), so every run explores exactly the same
+//! case set and failures are reproducible from the printed case number.
+
+use asf_core::query::RankSpace;
+use asf_core::rank::{cmp_key, midpoint_threshold, rank_values, RankIndex};
+use simkit::SimRng;
+use streamnet::StreamId;
+
+/// The naive model: a plain `(id, value)` association re-sorted on demand.
+struct NaiveRanks {
+    space: RankSpace,
+    values: Vec<Option<f64>>,
+}
+
+impl NaiveRanks {
+    fn new(space: RankSpace, n: usize) -> Self {
+        Self { space, values: vec![None; n] }
+    }
+
+    fn present(&self) -> Vec<(StreamId, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (StreamId(i as u32), v)))
+            .collect()
+    }
+
+    fn ordered_pairs(&self) -> Vec<(f64, StreamId)> {
+        let mut pairs: Vec<(f64, StreamId)> =
+            self.present().into_iter().map(|(id, v)| (self.space.key(v), id)).collect();
+        pairs.sort_by(|&a, &b| cmp_key(a, b));
+        pairs
+    }
+}
+
+/// Draws a value; a small discrete grid in half the cases so that key ties
+/// (equal `|v - q|`, equal top-k keys, …) are common.
+fn draw_value(rng: &mut SimRng) -> f64 {
+    if rng.index(2) == 0 {
+        // Grid values around the k-NN query point: forces exact ties, both
+        // same-side (equal values at distinct ids) and mirrored (q ± delta).
+        (rng.index(21) as f64 - 10.0) * 0.5
+    } else {
+        rng.range_f64(-100.0, 100.0)
+    }
+}
+
+fn check_agreement(case: usize, step: usize, index: &RankIndex, model: &NaiveRanks) {
+    let expected = model.ordered_pairs();
+    let ctx = format!("case {case} step {step}");
+    assert_eq!(index.len(), expected.len(), "{ctx}: len");
+    assert_eq!(index.ordered_pairs(), expected, "{ctx}: ordered_pairs");
+    assert_eq!(
+        index.ordered_ids(),
+        rank_values(model.space, model.present()),
+        "{ctx}: order vs rank_values"
+    );
+    for (pos, &(key, id)) in expected.iter().enumerate() {
+        assert_eq!(index.rank_of(id), Some(pos + 1), "{ctx}: rank_of({id})");
+        assert_eq!(index.select(pos + 1), (key, id), "{ctx}: select({})", pos + 1);
+        assert_eq!(index.key_of(id), Some(key), "{ctx}: key_of({id})");
+    }
+    // Midpoints must be bit-identical to the sort path's.
+    for m in 1..expected.len() {
+        assert_eq!(
+            index.midpoint(m).to_bits(),
+            midpoint_threshold(model.space, model.present(), m).to_bits(),
+            "{ctx}: midpoint({m})"
+        );
+    }
+    // Ball counts at thresholds on, between, and outside the keys.
+    let mut probes: Vec<f64> = expected.iter().map(|&(k, _)| k).collect();
+    probes.extend(expected.windows(2).map(|w| (w[0].0 + w[1].0) / 2.0));
+    probes.extend([f64::NEG_INFINITY, f64::INFINITY, 0.0]);
+    for d in probes {
+        let naive = expected.iter().filter(|&&(k, _)| k <= d).count();
+        assert_eq!(index.count_in_ball(d), naive, "{ctx}: count_in_ball({d})");
+    }
+}
+
+#[test]
+fn rank_index_matches_naive_sort_under_random_ops() {
+    let mut rng = SimRng::seed_from_u64(0x14DE_7E57);
+    for case in 0..40 {
+        let n = 2 + rng.index(40);
+        let space = match rng.index(3) {
+            0 => RankSpace::Knn { q: (rng.index(9) as f64 - 4.0) * 0.5 },
+            1 => RankSpace::TopK,
+            _ => RankSpace::KMin,
+        };
+        let mut index = RankIndex::new(space, n);
+        let mut model = NaiveRanks::new(space, n);
+
+        // Seed with a random subset so removals have targets immediately.
+        for i in 0..n {
+            if rng.index(2) == 0 {
+                let v = draw_value(&mut rng);
+                index.insert(StreamId(i as u32), v);
+                model.values[i] = Some(v);
+            }
+        }
+        check_agreement(case, 0, &index, &model);
+
+        for step in 1..=120 {
+            let id = StreamId(rng.index(n) as u32);
+            match rng.index(3) {
+                // update (upsert): the maintenance op the engine performs
+                // for every value that reaches the server.
+                0 => {
+                    let v = draw_value(&mut rng);
+                    index.update(id, v);
+                    model.values[id.index()] = Some(v);
+                }
+                // explicit insert (skip if present)
+                1 => {
+                    if model.values[id.index()].is_none() {
+                        let v = draw_value(&mut rng);
+                        index.insert(id, v);
+                        model.values[id.index()] = Some(v);
+                    }
+                }
+                // remove (skip if absent)
+                _ => {
+                    if model.values[id.index()].is_some() {
+                        index.remove(id);
+                        model.values[id.index()] = None;
+                    }
+                }
+            }
+            check_agreement(case, step, &index, &model);
+        }
+    }
+}
+
+#[test]
+fn rank_index_clear_and_rebuild_agree_with_fresh_index() {
+    let mut rng = SimRng::seed_from_u64(0xC1EA_0012);
+    for case in 0..10 {
+        let n = 3 + rng.index(30);
+        let space = RankSpace::Knn { q: 0.0 };
+        let mut view = streamnet::ServerView::new(n);
+        let mut churned = RankIndex::new(space, n);
+        // Churn the index first so rebuild must fully erase prior state.
+        for i in 0..n {
+            churned.insert(StreamId(i as u32), draw_value(&mut rng));
+        }
+        for _ in 0..20 {
+            churned.update(StreamId(rng.index(n) as u32), draw_value(&mut rng));
+        }
+        for i in 0..n {
+            view.set(StreamId(i as u32), draw_value(&mut rng));
+        }
+        churned.rebuild_from_view(&view);
+
+        let mut fresh = RankIndex::new(space, n);
+        for i in 0..n {
+            fresh.insert(StreamId(i as u32), view.get(StreamId(i as u32)));
+        }
+        assert_eq!(churned.ordered_pairs(), fresh.ordered_pairs(), "case {case}");
+        assert_eq!(churned.len(), fresh.len());
+    }
+}
