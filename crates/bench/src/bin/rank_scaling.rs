@@ -29,7 +29,12 @@ use workloads::{SyntheticConfig, SyntheticWorkload};
 struct ScalePoint {
     n: usize,
     k: usize,
+    /// Build via [`RankIndex::bulk_build`] (one sorted pass) — the path
+    /// `probe_all` and every reinit use.
     index_build_ns: u64,
+    /// Build via n incremental inserts — the pre-bulk behaviour, kept for
+    /// the comparison.
+    insert_build_ns: u64,
     index_ops: u64,
     index_ns: u64,
     sort_ops: u64,
@@ -56,13 +61,23 @@ fn bench_scale_point(n: usize, quick: bool) -> ScalePoint {
     let mut rng = SimRng::seed_from_u64(0x5CA1E ^ n as u64);
     let mut values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1000.0)).collect();
 
-    // Indexed path: one build, then O(log n) maintenance ops.
+    // Indexed path: one bulk build (the probe_all / reinit path), then
+    // O(log n) maintenance ops.
     let t0 = Instant::now();
     let mut index = RankIndex::new(space, n);
-    for (i, &v) in values.iter().enumerate() {
-        index.insert(StreamId(i as u32), v);
-    }
+    index.bulk_build(values.iter().enumerate().map(|(i, &v)| (StreamId(i as u32), v)));
     let index_build_ns = t0.elapsed().as_nanos() as u64;
+
+    // The pre-bulk build: n incremental inserts into a fresh index.
+    let t0b = Instant::now();
+    let mut insert_index = RankIndex::new(space, n);
+    for (i, &v) in values.iter().enumerate() {
+        insert_index.insert(StreamId(i as u32), v);
+    }
+    let insert_build_ns = t0b.elapsed().as_nanos() as u64;
+    assert_eq!(insert_index.len(), index.len());
+    black_box(&insert_index);
+    drop(insert_index);
 
     let index_ops: u64 = if quick { 20_000 } else { 200_000 };
     let mut acc = 0.0f64;
@@ -100,7 +115,7 @@ fn bench_scale_point(n: usize, quick: bool) -> ScalePoint {
     let sort_ns = t2.elapsed().as_nanos() as u64;
     black_box(acc);
 
-    ScalePoint { n, k, index_build_ns, index_ops, index_ns, sort_ops, sort_ns }
+    ScalePoint { n, k, index_build_ns, insert_build_ns, index_ops, index_ns, sort_ops, sort_ns }
 }
 
 struct RtpRun {
@@ -161,10 +176,14 @@ fn main() {
         eprintln!("rank maintenance ops at n = {n} ...");
         let p = bench_scale_point(n, quick);
         eprintln!(
-            "  index {:>12.0} ops/s   sort {:>10.1} ops/s   speedup {:.0}x",
+            "  index {:>12.0} ops/s   sort {:>10.1} ops/s   speedup {:.0}x   build bulk \
+             {:.1}ms vs inserts {:.1}ms ({:.1}x)",
             p.index_ops_per_sec(),
             p.sort_ops_per_sec(),
-            p.speedup()
+            p.speedup(),
+            p.index_build_ns as f64 / 1e6,
+            p.insert_build_ns as f64 / 1e6,
+            p.insert_build_ns as f64 / p.index_build_ns.max(1) as f64,
         );
         points.push(p);
     }
@@ -186,18 +205,23 @@ fn main() {
          rank_of, identical work on both paths. index path = incremental RankIndex (O(log n) \
          per op); sort path = the seed's behaviour per op (full re-sorts via rank_values + \
          midpoint_threshold, linear scans for ball count and rank). speedup = index ops/s \
-         over sort ops/s at the same n.\","
+         over sort ops/s at the same n. index_build_ns = RankIndex::bulk_build (one sorted \
+         pass, the probe_all/reinit path); insert_build_ns = the pre-bulk n-incremental-insert \
+         build; build_speedup = insert/bulk.\","
     );
     json.push_str("  \"maintenance\": [\n");
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"k\": {}, \"index_build_ns\": {}, \"index_ops\": {}, \
+            "    {{\"n\": {}, \"k\": {}, \"index_build_ns\": {}, \"insert_build_ns\": {}, \
+             \"build_speedup\": {:.1}, \"index_ops\": {}, \
              \"index_ns\": {}, \"index_ops_per_sec\": {:.0}, \"sort_ops\": {}, \"sort_ns\": {}, \
              \"sort_ops_per_sec\": {:.1}, \"speedup\": {:.1}}}",
             p.n,
             p.k,
             p.index_build_ns,
+            p.insert_build_ns,
+            p.insert_build_ns as f64 / p.index_build_ns.max(1) as f64,
             p.index_ops,
             p.index_ns,
             p.index_ops_per_sec(),

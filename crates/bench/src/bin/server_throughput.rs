@@ -1,9 +1,16 @@
 //! Throughput of the sharded server vs. shard count on a synthetic
 //! 100k-source workload, written to `BENCH_server.json` so later PRs have a
-//! perf trajectory. Two scenarios run: the ZT-NRP range query (the
-//! broadcast-free, speculation-friendly workload) and an RTP k-NN rank
-//! query (bound redeployments cut speculation; rank maintenance rides the
-//! incremental `RankIndex`).
+//! perf trajectory. Three scenarios run: the ZT-NRP range query (the
+//! broadcast-free, speculation-friendly workload), an RTP k-NN rank query
+//! (bound redeployments cut speculation; rank maintenance rides the
+//! incremental `RankIndex`), and an FT-RP *reinit storm* (zero tolerance,
+//! so every boundary crossing forces a full probe_all + fleet-wide filter
+//! redeployment — the batched `probe_all`/`install_many`/`bulk_build` hot
+//! path, run over a truncated event stream to bound wall time).
+//!
+//! `init_ns` is additionally split into its probe / index-build / deploy
+//! components (from `CtxStats`), so the effect of batched initialization
+//! is visible per piece.
 //!
 //! Two numbers are reported per configuration:
 //!
@@ -25,8 +32,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use asf_core::protocol::{Protocol, Rtp, ZtNrp};
+use asf_core::protocol::{FtRp, FtRpConfig, Protocol, Rtp, ZtNrp};
 use asf_core::query::{RangeQuery, RankQuery};
+use asf_core::tolerance::FractionTolerance;
 use asf_core::workload::{UpdateEvent, Workload};
 use asf_server::{ExecMode, ServerConfig, ShardedServer};
 use bench_harness::Scale;
@@ -37,6 +45,9 @@ struct RunStats {
     shards: usize,
     mode: &'static str,
     init_ns: u64,
+    init_probe_ns: u64,
+    init_index_ns: u64,
+    init_deploy_ns: u64,
     ingest_wall_ns: u64,
     critical_path_ns: u64,
     serial_ns: u64,
@@ -77,6 +88,11 @@ fn run_one<P: Protocol>(
     let t0 = Instant::now();
     server.initialize();
     let init_ns = t0.elapsed().as_nanos() as u64;
+    // Initialization is the only thing that has run: the cumulative ctx
+    // stats are exactly its probe / index-build components.
+    let init_probe_ns = server.ctx_stats().probe_ns;
+    let init_index_ns = server.ctx_stats().index_build_ns;
+    let init_deploy_ns = init_ns.saturating_sub(init_probe_ns + init_index_ns);
     let t1 = Instant::now();
     server.ingest_batch(events);
     let ingest_wall_ns = t1.elapsed().as_nanos() as u64;
@@ -92,6 +108,9 @@ fn run_one<P: Protocol>(
             ExecMode::Threaded => "threaded",
         },
         init_ns,
+        init_probe_ns,
+        init_index_ns,
+        init_deploy_ns,
         ingest_wall_ns,
         critical_path_ns: m.critical_path_ns,
         serial_ns: m.serial_ns,
@@ -109,7 +128,7 @@ fn run_one<P: Protocol>(
 fn json_run(s: &RunStats) -> String {
     format!(
         "    {{\"scenario\": \"{}\", \"shards\": {}, \"mode\": \"{}\", \"events\": {}, \
-         \"init_ns\": {}, \
+         \"init_ns\": {}, \"init_probe_ns\": {}, \"init_index_ns\": {}, \"init_deploy_ns\": {}, \
          \"ingest_wall_ns\": {}, \"critical_path_ns\": {}, \"serial_ns\": {}, \
          \"scatter_ns\": {}, \"modeled_ns\": {}, \"wall_updates_per_sec\": {:.0}, \
          \"modeled_updates_per_sec\": {:.0}, \"parallel_fraction\": {:.4}, \
@@ -120,6 +139,9 @@ fn json_run(s: &RunStats) -> String {
         s.mode,
         s.events,
         s.init_ns,
+        s.init_probe_ns,
+        s.init_index_ns,
+        s.init_deploy_ns,
         s.ingest_wall_ns,
         s.critical_path_ns,
         s.serial_ns,
@@ -158,35 +180,52 @@ fn main() {
     let rank_query = RankQuery::knn(500.0, 16).unwrap();
     let rank_r = 16usize;
 
+    // Reinit-storm scenario: FT-RP with zero tolerance degenerates its
+    // answer-size window to [k, k], so *every* boundary crossing forces a
+    // full re-initialization — probe_all, a bulk index rebuild, and a
+    // fleet-wide install_many. Run over a truncated event stream (each
+    // storm costs ~3n messages at n = 100k).
+    let storm_tol = FractionTolerance::symmetric(0.0).unwrap();
+    let storm_events = &events[..events.len() / 5];
+
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut results: Vec<RunStats> = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
+            let mut run = |stats: RunStats| {
+                eprintln!(
+                    "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   parallel {:.1}%   init \
+                     {:.1}ms (probe {:.1} + index {:.1} + deploy {:.1})",
+                    stats.wall_updates_per_sec(),
+                    stats.modeled_updates_per_sec(),
+                    stats.parallel_fraction * 100.0,
+                    stats.init_ns as f64 / 1e6,
+                    stats.init_probe_ns as f64 / 1e6,
+                    stats.init_index_ns as f64 / 1e6,
+                    stats.init_deploy_ns as f64 / 1e6,
+                );
+                results.push(stats);
+            };
             eprintln!("running zt_nrp_range shards={shards} mode={mode:?} ...");
-            let stats = run_one("zt_nrp_range", &initial, &events, ZtNrp::new(query), shards, mode);
-            eprintln!(
-                "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   parallel {:.1}%",
-                stats.wall_updates_per_sec(),
-                stats.modeled_updates_per_sec(),
-                stats.parallel_fraction * 100.0
-            );
-            results.push(stats);
+            run(run_one("zt_nrp_range", &initial, &events, ZtNrp::new(query), shards, mode));
             eprintln!("running rtp_knn shards={shards} mode={mode:?} ...");
-            let stats = run_one(
+            run(run_one(
                 "rtp_knn",
                 &initial,
                 &events,
                 Rtp::new(rank_query, rank_r).unwrap(),
                 shards,
                 mode,
-            );
-            eprintln!(
-                "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   parallel {:.1}%",
-                stats.wall_updates_per_sec(),
-                stats.modeled_updates_per_sec(),
-                stats.parallel_fraction * 100.0
-            );
-            results.push(stats);
+            ));
+            eprintln!("running reinit_storm shards={shards} mode={mode:?} ...");
+            run(run_one(
+                "reinit_storm",
+                &initial,
+                storm_events,
+                FtRp::new(rank_query, storm_tol, FtRpConfig::default(), seed).unwrap(),
+                shards,
+                mode,
+            ));
         }
     }
 
@@ -199,6 +238,7 @@ fn main() {
     };
     let speedup_8x = modeled_of("zt_nrp_range", 8) / modeled_of("zt_nrp_range", 1);
     let rtp_speedup_8x = modeled_of("rtp_knn", 8) / modeled_of("rtp_knn", 1);
+    let storm_speedup_8x = modeled_of("reinit_storm", 8) / modeled_of("reinit_storm", 1);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -212,7 +252,9 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"scenarios\": {{\"zt_nrp_range\": \"ZT-NRP [400, 600]\", \"rtp_knn\": \"RTP \
-         knn(500, k=16, r=16)\"}},"
+         knn(500, k=16, r=16)\", \"reinit_storm\": \"FT-RP knn(500, k=16) eps=0 — every \
+         crossing reinitializes (probe_all + bulk index rebuild + fleet-wide install_many); \
+         events/5\"}},"
     );
     let _ = writeln!(json, "  \"hardware\": {{\"cpus\": {cpus}}},");
     let _ = writeln!(
@@ -221,10 +263,15 @@ fn main() {
          serial_ns (coordinator report handling); it is the data-plane scaling a multi-core \
          deployment realizes. wall numbers on a {cpus}-CPU container cannot exceed one core. \
          scatter_ns is the bench driver's fan-out, done at the network layer in a real \
-         deployment (partitioned ingestion).\","
+         deployment (partitioned ingestion). serial_ns includes batch fleet ops issued *inside* \
+         report handlers (reinit_storm probe/install storms): they scatter/gather synchronously, \
+         so their shard-side concurrency shows up in multi-core wall time, not in modeled_ns — \
+         see the ROADMAP open item on the serial coordinator.\","
     );
     let _ = writeln!(json, "  \"modeled_speedup_8_shards_vs_1\": {speedup_8x:.2},");
     let _ = writeln!(json, "  \"rtp_modeled_speedup_8_shards_vs_1\": {rtp_speedup_8x:.2},");
+    let _ =
+        writeln!(json, "  \"reinit_storm_modeled_speedup_8_shards_vs_1\": {storm_speedup_8x:.2},");
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));
@@ -235,7 +282,7 @@ fn main() {
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!("{json}");
     eprintln!(
-        "modeled speedup 8 shards vs 1: zt_nrp {speedup_8x:.2}x, rtp {rtp_speedup_8x:.2}x \
-         -> BENCH_server.json"
+        "modeled speedup 8 shards vs 1: zt_nrp {speedup_8x:.2}x, rtp {rtp_speedup_8x:.2}x, \
+         reinit_storm {storm_speedup_8x:.2}x -> BENCH_server.json"
     );
 }

@@ -20,7 +20,7 @@ use simkit::SimTime;
 use streamnet::{FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 
 use crate::answer::AnswerSet;
-use crate::protocol::{Protocol, ServerCtx};
+use crate::protocol::{CtxStats, FleetScratch, Protocol, ServerCtx};
 use crate::rank::RankIndex;
 use crate::workload::{UpdateEvent, Workload};
 
@@ -58,6 +58,10 @@ pub struct ProtocolCore<P: Protocol> {
     /// refresh — `Some` iff the protocol declares a rank space and the
     /// core runs in [`RankMode::Indexed`].
     rank: Option<RankIndex>,
+    /// Reused output buffers for batch fleet operations.
+    scratch: FleetScratch,
+    /// Observational timing/counters of ctx fleet operations.
+    ctx_stats: CtxStats,
     protocol: P,
     reports_processed: u64,
     initialized: bool,
@@ -82,6 +86,8 @@ impl<P: Protocol> ProtocolCore<P> {
             ledger: Ledger::new(),
             pending: VecDeque::new(),
             rank,
+            scratch: FleetScratch::default(),
+            ctx_stats: CtxStats::default(),
             protocol,
             reports_processed: 0,
             initialized: false,
@@ -99,6 +105,8 @@ impl<P: Protocol> ProtocolCore<P> {
             &mut self.ledger,
             &mut self.pending,
             &mut self.rank,
+            &mut self.scratch,
+            &mut self.ctx_stats,
         );
         self.protocol.initialize(&mut ctx);
         self.drain_pending(fleet);
@@ -122,6 +130,8 @@ impl<P: Protocol> ProtocolCore<P> {
             &mut self.ledger,
             &mut self.pending,
             &mut self.rank,
+            &mut self.scratch,
+            &mut self.ctx_stats,
         );
         self.protocol.on_update(id, value, &mut ctx);
         self.drain_pending(fleet);
@@ -139,6 +149,8 @@ impl<P: Protocol> ProtocolCore<P> {
                 &mut self.ledger,
                 &mut self.pending,
                 &mut self.rank,
+                &mut self.scratch,
+                &mut self.ctx_stats,
             );
             self.protocol.on_update(id, value, &mut ctx);
         }
@@ -200,6 +212,19 @@ impl<P: Protocol> ProtocolCore<P> {
     /// Reports (workload-triggered + induced syncs) the protocol handled.
     pub fn reports_processed(&self) -> u64 {
         self.reports_processed
+    }
+
+    /// Timing/counters of the ctx's fleet operations (probe vs. index-build
+    /// split of initialization, batch op counts). Observational only.
+    pub fn ctx_stats(&self) -> &CtxStats {
+        &self.ctx_stats
+    }
+
+    /// The maintained rank index, if this core runs a rank protocol in
+    /// [`RankMode::Indexed`] — exposed for differential tests that compare
+    /// rank order across execution backends.
+    pub fn rank_index(&self) -> Option<&RankIndex> {
+        self.rank.as_ref()
     }
 }
 
@@ -332,6 +357,16 @@ impl<P: Protocol> Engine<P> {
     /// Reports (workload-triggered + induced syncs) the protocol handled.
     pub fn reports_processed(&self) -> u64 {
         self.core.reports_processed()
+    }
+
+    /// Timing/counters of the ctx's fleet operations.
+    pub fn ctx_stats(&self) -> &CtxStats {
+        self.core.ctx_stats()
+    }
+
+    /// The maintained rank index, if any (differential-test hook).
+    pub fn rank_index(&self) -> Option<&RankIndex> {
+        self.core.rank_index()
     }
 }
 

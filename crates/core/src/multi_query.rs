@@ -120,15 +120,19 @@ impl Protocol for MultiRangeZt {
 
     fn initialize(&mut self, ctx: &mut ServerCtx<'_>) {
         ctx.probe_all();
+        // One batch deployment of the cell filters (shard-parallel on the
+        // sharded backend).
         let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
+        let mut installs: Vec<(StreamId, Filter)> = Vec::with_capacity(values.len());
         for &(id, v) in &values {
             self.refresh_memberships(id, v);
             let filter = match self.mode {
                 CellMode::ServerManaged => self.cell(v),
                 CellMode::SourceResident => Filter::cells(Arc::clone(&self.cuts)),
             };
-            ctx.install(id, filter);
+            installs.push((id, filter));
         }
+        ctx.install_many(&installs);
     }
 
     fn on_update(&mut self, id: StreamId, value: f64, ctx: &mut ServerCtx<'_>) {

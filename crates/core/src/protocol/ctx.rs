@@ -1,11 +1,44 @@
 //! The server's metered gateway to the source fleet.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use streamnet::{Filter, FleetOps, Ledger, ServerView, StreamId};
 
 use crate::query::RankSpace;
 use crate::rank::{RankIndex, Ranks};
+
+/// Reused output buffers for batch fleet operations, owned by the engine
+/// core and cleared by each batch call — fleet-wide phases (probe storms,
+/// filter deployments, reinit repairs) run every round without
+/// re-allocating their result vectors.
+#[derive(Clone, Debug, Default)]
+pub struct FleetScratch {
+    /// Probe replies of the last `probe_many` (aligned with its ids).
+    values: Vec<f64>,
+    /// Sync reports of the last `install_many`, in installation order.
+    syncs: Vec<(StreamId, f64)>,
+}
+
+/// Where the engine's time went inside [`ServerCtx`] fleet operations —
+/// observational only (nothing feeds back into protocol decisions), used
+/// by the benches to split initialization cost into its probe /
+/// index-build / deploy components.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CtxStats {
+    /// Time inside batch probe operations (`probe_all` / `probe_many`), ns.
+    pub probe_ns: u64,
+    /// Time rebuilding the rank index after `probe_all`, ns.
+    pub index_build_ns: u64,
+    /// Batch probe operations executed.
+    pub batch_probe_ops: u64,
+    /// Streams probed by batch probe operations.
+    pub batch_probe_streams: u64,
+    /// Batch install operations executed.
+    pub batch_install_ops: u64,
+    /// Filters installed by batch install operations.
+    pub batch_install_streams: u64,
+}
 
 /// Everything a protocol may do during initialization or maintenance:
 /// consult its (possibly stale) view, and pay messages to probe sources or
@@ -35,6 +68,8 @@ pub struct ServerCtx<'a> {
     ledger: &'a mut Ledger,
     pending: &'a mut VecDeque<(StreamId, f64)>,
     rank: &'a mut Option<RankIndex>,
+    scratch: &'a mut FleetScratch,
+    stats: &'a mut CtxStats,
 }
 
 impl<'a> ServerCtx<'a> {
@@ -44,8 +79,10 @@ impl<'a> ServerCtx<'a> {
         ledger: &'a mut Ledger,
         pending: &'a mut VecDeque<(StreamId, f64)>,
         rank: &'a mut Option<RankIndex>,
+        scratch: &'a mut FleetScratch,
+        stats: &'a mut CtxStats,
     ) -> Self {
-        Self { fleet, view, ledger, pending, rank }
+        Self { fleet, view, ledger, pending, rank, scratch, stats }
     }
 
     /// Number of streams `n`.
@@ -95,11 +132,40 @@ impl<'a> ServerCtx<'a> {
     }
 
     /// Probes every source (`2n` messages) — the Initialization phases'
-    /// "request all streams to send their values".
+    /// "request all streams to send their values". One batch fleet
+    /// operation (shard-parallel on the sharded backend); the rank index,
+    /// if any, is rebuilt in one sorted pass
+    /// ([`RankIndex::bulk_build`]).
     pub fn probe_all(&mut self) {
+        let t = Instant::now();
         self.fleet.probe_all(self.ledger, self.view);
+        self.stats.probe_ns += t.elapsed().as_nanos() as u64;
+        self.stats.batch_probe_ops += 1;
+        self.stats.batch_probe_streams += self.fleet.len() as u64;
         if let Some(index) = self.rank.as_mut() {
+            let t = Instant::now();
             index.rebuild_from_view(self.view);
+            self.stats.index_build_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Probes a set of sources in one batch fleet operation (2 messages
+    /// each, shard-parallel on the sharded backend). The replies land in
+    /// the view (read them back with [`ServerCtx::view`]); byte-identical
+    /// to probing the ids one by one in order.
+    pub fn probe_many(&mut self, ids: &[StreamId]) {
+        if ids.is_empty() {
+            return; // no messages, no fleet touch, no stats noise
+        }
+        let t = Instant::now();
+        self.fleet.probe_many(ids, self.ledger, self.view, &mut self.scratch.values);
+        self.stats.probe_ns += t.elapsed().as_nanos() as u64;
+        self.stats.batch_probe_ops += 1;
+        self.stats.batch_probe_streams += ids.len() as u64;
+        if let Some(index) = self.rank.as_mut() {
+            for (&id, &v) in ids.iter().zip(self.scratch.values.iter()) {
+                index.update(id, v);
+            }
         }
     }
 
@@ -107,6 +173,22 @@ impl<'a> ServerCtx<'a> {
     /// is queued for the engine.
     pub fn install(&mut self, id: StreamId, filter: Filter) {
         if let Some(v) = self.fleet.install(id, filter, self.ledger, self.view) {
+            if let Some(index) = self.rank.as_mut() {
+                index.update(id, v);
+            }
+            self.pending.push_back((id, v));
+        }
+    }
+
+    /// Installs a filter per `(id, filter)` pair in one batch fleet
+    /// operation (1 message each, shard-parallel on the sharded backend).
+    /// Induced sync-reports are queued for the engine in installation
+    /// order — exactly the queue the scalar loop would build.
+    pub fn install_many(&mut self, installs: &[(StreamId, Filter)]) {
+        self.fleet.install_many(installs, self.ledger, self.view, &mut self.scratch.syncs);
+        self.stats.batch_install_ops += 1;
+        self.stats.batch_install_streams += installs.len() as u64;
+        for &(id, v) in self.scratch.syncs.iter() {
             if let Some(index) = self.rank.as_mut() {
                 index.update(id, v);
             }
@@ -132,20 +214,46 @@ mod tests {
     use crate::query::RankSpace;
     use streamnet::{MessageKind, SourceFleet};
 
-    fn setup() -> (SourceFleet, ServerView, Ledger, VecDeque<(StreamId, f64)>) {
-        (
-            SourceFleet::from_values(&[100.0, 500.0, 900.0]),
-            ServerView::new(3),
-            Ledger::new(),
-            VecDeque::new(),
-        )
+    struct Parts {
+        fleet: SourceFleet,
+        view: ServerView,
+        ledger: Ledger,
+        pending: VecDeque<(StreamId, f64)>,
+        rank: Option<RankIndex>,
+        scratch: FleetScratch,
+        stats: CtxStats,
+    }
+
+    impl Parts {
+        fn ctx(&mut self) -> ServerCtx<'_> {
+            ServerCtx::new(
+                &mut self.fleet,
+                &mut self.view,
+                &mut self.ledger,
+                &mut self.pending,
+                &mut self.rank,
+                &mut self.scratch,
+                &mut self.stats,
+            )
+        }
+    }
+
+    fn setup() -> Parts {
+        Parts {
+            fleet: SourceFleet::from_values(&[100.0, 500.0, 900.0]),
+            view: ServerView::new(3),
+            ledger: Ledger::new(),
+            pending: VecDeque::new(),
+            rank: None,
+            scratch: FleetScratch::default(),
+            stats: CtxStats::default(),
+        }
     }
 
     #[test]
     fn probe_meters_and_refreshes() {
-        let (mut fleet, mut view, mut ledger, mut pending) = setup();
-        let mut rank = None;
-        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+        let mut p = setup();
+        let mut ctx = p.ctx();
         assert_eq!(ctx.n(), 3);
         let v = ctx.probe(StreamId(1));
         assert_eq!(v, 500.0);
@@ -155,31 +263,27 @@ mod tests {
 
     #[test]
     fn install_queues_sync_reports() {
-        let (mut fleet, mut view, mut ledger, mut pending) = setup();
-        let mut rank = None;
+        let mut p = setup();
         {
-            let mut ctx =
-                ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+            let mut ctx = p.ctx();
             ctx.probe_all();
             ctx.install(StreamId(0), Filter::interval(0.0, 1000.0));
         }
         // Silent drift: 100 -> 700 stays inside [0, 1000].
-        fleet.deliver_update(StreamId(0), 700.0, &mut ledger, &mut view);
+        p.fleet.deliver_update(StreamId(0), 700.0, &mut p.ledger, &mut p.view);
         {
-            let mut ctx =
-                ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+            let mut ctx = p.ctx();
             // New filter separates believed 100 from true 700.
             ctx.install(StreamId(0), Filter::interval(600.0, 800.0));
         }
-        assert_eq!(pending.pop_front(), Some((StreamId(0), 700.0)));
-        assert!(pending.is_empty());
+        assert_eq!(p.pending.pop_front(), Some((StreamId(0), 700.0)));
+        assert!(p.pending.is_empty());
     }
 
     #[test]
     fn broadcast_meters_n_messages() {
-        let (mut fleet, mut view, mut ledger, mut pending) = setup();
-        let mut rank = None;
-        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+        let mut p = setup();
+        let mut ctx = p.ctx();
         ctx.probe_all();
         ctx.broadcast(Filter::interval(0.0, 1000.0));
         assert_eq!(ctx.ledger().count(MessageKind::FilterBroadcast), 3);
@@ -187,25 +291,72 @@ mod tests {
 
     #[test]
     fn rank_index_tracks_every_view_refresh() {
-        let (mut fleet, mut view, mut ledger, mut pending) = setup();
+        let mut p = setup();
         let space = RankSpace::KMin;
-        let mut rank = Some(RankIndex::new(space, 3));
+        p.rank = Some(RankIndex::new(space, 3));
         {
-            let mut ctx =
-                ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+            let mut ctx = p.ctx();
             // probe_all rebuilds the index over the whole view.
             ctx.probe_all();
             assert_eq!(ctx.ranks(space).ordered_ids(), vec![StreamId(0), StreamId(1), StreamId(2)]);
         }
         // S2 moves (ground truth 900 -> 50); the probe reply re-keys it.
-        fleet.deliver_update(StreamId(2), 50.0, &mut ledger, &mut view);
-        let mut ctx = ServerCtx::new(&mut fleet, &mut view, &mut ledger, &mut pending, &mut rank);
+        p.fleet.deliver_update(StreamId(2), 50.0, &mut p.ledger, &mut p.view);
+        let mut ctx = p.ctx();
         ctx.probe(StreamId(2));
         assert_eq!(ctx.ranks(space).ordered_ids(), vec![StreamId(2), StreamId(0), StreamId(1)]);
         // The sorted fallback over the same view agrees.
         assert_eq!(
             Ranks::from_view(space, ctx.view()).ordered_ids(),
             ctx.ranks(space).ordered_ids()
+        );
+    }
+
+    #[test]
+    fn probe_many_refreshes_view_and_rank_index() {
+        let mut p = setup();
+        let space = RankSpace::KMin;
+        p.rank = Some(RankIndex::new(space, 3));
+        {
+            let mut ctx = p.ctx();
+            ctx.probe_all();
+        }
+        // Two streams drift silently (no filters: deliveries report, but
+        // bypass the ctx — re-key via a batch probe).
+        p.fleet.deliver_update(StreamId(2), 50.0, &mut p.ledger, &mut p.view);
+        p.fleet.deliver_update(StreamId(0), 800.0, &mut p.ledger, &mut p.view);
+        let ledger_before = p.ledger.total();
+        let mut ctx = p.ctx();
+        ctx.probe_many(&[StreamId(2), StreamId(0)]);
+        assert_eq!(ctx.ledger().total(), ledger_before + 4, "2 messages per probe");
+        assert_eq!(ctx.view().get(StreamId(2)), 50.0);
+        assert_eq!(ctx.ranks(space).ordered_ids(), vec![StreamId(2), StreamId(1), StreamId(0)]);
+    }
+
+    #[test]
+    fn install_many_queues_syncs_in_install_order() {
+        let mut p = setup();
+        {
+            let mut ctx = p.ctx();
+            ctx.probe_all();
+            ctx.install_many(&[
+                (StreamId(0), Filter::interval(0.0, 1000.0)),
+                (StreamId(2), Filter::interval(0.0, 1000.0)),
+            ]);
+        }
+        assert!(p.pending.is_empty(), "consistent installs never sync");
+        // Both drift silently; a tight redeploy syncs them in install order
+        // (2 before 0), not id order.
+        p.fleet.deliver_update(StreamId(0), 450.0, &mut p.ledger, &mut p.view);
+        p.fleet.deliver_update(StreamId(2), 460.0, &mut p.ledger, &mut p.view);
+        let mut ctx = p.ctx();
+        ctx.install_many(&[
+            (StreamId(2), Filter::interval(400.0, 500.0)),
+            (StreamId(0), Filter::interval(400.0, 500.0)),
+        ]);
+        assert_eq!(
+            p.pending.iter().copied().collect::<Vec<_>>(),
+            vec![(StreamId(2), 460.0), (StreamId(0), 450.0)]
         );
     }
 }

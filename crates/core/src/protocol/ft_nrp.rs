@@ -147,14 +147,20 @@ impl FtNrp {
 
         let fp: BTreeSet<StreamId> = self.fp_filters.iter().copied().collect();
         let fn_: BTreeSet<StreamId> = self.fn_filters.iter().copied().collect();
-        for id in inside {
+        // One batch deployment (insiders first, like the scalar loops the
+        // seed ran): the sharded backend installs each shard's slice
+        // concurrently, and sync-reports queue in installation order.
+        let mut installs: Vec<(StreamId, Filter)> =
+            Vec::with_capacity(inside.len() + outside.len());
+        installs.extend(inside.into_iter().map(|id| {
             let f = if fp.contains(&id) { Filter::wildcard() } else { self.query.as_filter() };
-            ctx.install(id, f);
-        }
-        for id in outside {
+            (id, f)
+        }));
+        installs.extend(outside.into_iter().map(|id| {
             let f = if fn_.contains(&id) { Filter::suppress() } else { self.query.as_filter() };
-            ctx.install(id, f);
-        }
+            (id, f)
+        }));
+        ctx.install_many(&installs);
     }
 
     /// Figure 7, `Fix_Error`.

@@ -154,14 +154,20 @@ impl FtRp {
 
         let fp: BTreeSet<StreamId> = self.fp_filters.iter().copied().collect();
         let fn_: BTreeSet<StreamId> = self.fn_filters.iter().copied().collect();
-        for id in inside {
+        // One batch deployment in rank order (insiders then outsiders, as
+        // the scalar loops did) — shard-parallel on the sharded backend,
+        // sync-reports queued in installation order.
+        let mut installs: Vec<(StreamId, Filter)> =
+            Vec::with_capacity(inside.len() + outside.len());
+        installs.extend(inside.into_iter().map(|id| {
             let f = if fp.contains(&id) { Filter::wildcard() } else { self.region() };
-            ctx.install(id, f);
-        }
-        for id in outside {
+            (id, f)
+        }));
+        installs.extend(outside.into_iter().map(|id| {
             let f = if fn_.contains(&id) { Filter::suppress() } else { self.region() };
-            ctx.install(id, f);
-        }
+            (id, f)
+        }));
+        ctx.install_many(&installs);
     }
 
     /// FT-NRP's `Fix_Error`, over the region `R` instead of `[l, u]`.

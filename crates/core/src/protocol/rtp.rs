@@ -176,6 +176,10 @@ impl Rtp {
     /// `(key, id)`-ordered set, so checking "does `R'` hold two candidates
     /// yet?" is a bounded range peek instead of a full re-scan of `probed`
     /// — O(n log n) worst case over the whole search, down from O(n²).
+    /// Each ring's newly covered streams are probed as **one batch** fleet
+    /// operation (the first ring covers `ε + 1` streams at once), so the
+    /// sharded backend fans the probes out instead of round-tripping the
+    /// coordinator per stream.
     fn expansion_search(&mut self, ctx: &mut ServerCtx<'_>) {
         self.expansions += 1;
         let space = self.query.space();
@@ -189,19 +193,33 @@ impl Rtp {
         // final once probed and the set only ever grows.
         let mut u_set: BTreeSet<(TotalKey, StreamId)> = BTreeSet::new();
         let mut covered = 0usize;
+        let mut ring: Vec<StreamId> = Vec::new();
 
         for j in (self.epsilon() + 1)..=n {
             // R' reaches the old j-th ranked stream.
             let d_prime = old[j - 1].0;
             // Probe every stream the ring newly covers (streams of old rank
-            // <= j, skipping answer members), in old rank order.
+            // <= j, skipping answer members), in old rank order, as one
+            // batch.
+            ring.clear();
             while covered < j {
                 let id = old[covered].1;
                 covered += 1;
                 if !self.answer.contains(id) && probed.insert(id) {
-                    let v = ctx.probe(id);
-                    u_set.insert((TotalKey(space.key(v)), id));
+                    ring.push(id);
                 }
+            }
+            // Rings after the first cover at most one new stream — a scalar
+            // probe there skips the batch scatter/gather machinery.
+            match ring.as_slice() {
+                [] => {}
+                [id] => {
+                    ctx.probe(*id);
+                }
+                _ => ctx.probe_many(&ring),
+            }
+            for &id in &ring {
+                u_set.insert((TotalKey(space.key(ctx.view().get(id))), id));
             }
             // Does R' now hold at least two candidates? Peek at the two
             // best entries instead of re-filtering the whole set.
@@ -212,12 +230,9 @@ impl Rtp {
                 // answer and bound below must rank fresh values against
                 // fresh values, or a stale answer member could end up
                 // outside the redeployed bound without ever sync-reporting.
-                let survivors: Vec<StreamId> = self.answer.iter().collect();
-                for m in survivors {
-                    if probed.insert(m) {
-                        ctx.probe(m);
-                    }
-                }
+                let survivors: Vec<StreamId> =
+                    self.answer.iter().filter(|&m| probed.insert(m)).collect();
+                ctx.probe_many(&survivors);
                 // Step 4(iv)(a-b), strengthened: rebuild A as the k best
                 // among the refreshed candidates (surviving answer members
                 // plus the ring candidates), so every member of A ranks
@@ -249,12 +264,10 @@ impl Rtp {
             self.x.insert(id);
             return;
         }
-        // Step 7: X would overflow — probe X, keep the best ε of X ∪ {id},
-        // and shrink R between the candidate ranks ε and ε+1.
+        // Step 7: X would overflow — probe X in one batch, keep the best ε
+        // of X ∪ {id}, and shrink R between the candidate ranks ε and ε+1.
         let members: Vec<StreamId> = self.x.iter().copied().collect();
-        for m in members {
-            ctx.probe(m);
-        }
+        ctx.probe_many(&members);
         let mut candidates: Vec<(f64, StreamId)> = self
             .x
             .iter()

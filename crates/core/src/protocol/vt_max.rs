@@ -79,10 +79,11 @@ impl Protocol for VtMax {
 
     fn initialize(&mut self, ctx: &mut ServerCtx<'_>) {
         ctx.probe_all();
-        let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
-        for (id, v) in values {
-            ctx.install(id, self.window(v));
-        }
+        // One batch deployment of the per-stream windows (shard-parallel on
+        // the sharded backend).
+        let installs: Vec<(StreamId, Filter)> =
+            ctx.view().iter_known().map(|(id, v)| (id, self.window(v))).collect();
+        ctx.install_many(&installs);
         self.recompute_answer(ctx);
     }
 

@@ -29,12 +29,23 @@
 //! | rank of one stream (`rank_of`) | O(n log n) | O(log n) |
 //! | `select(m)` / `midpoint(m)`  | O(n log n) | O(log n) |
 //! | streams inside a ball (`count_in_ball`) | O(n) scan | O(log n) |
-//! | rebuild after `probe_all`    | O(n log n) | O(n log n) |
+//! | rebuild after `probe_all`    | O(n log n) | sort + O(n) link ([`RankIndex::bulk_build`]) |
 //!
 //! The treap is deterministic: node priorities are drawn once per stream id
 //! from a fixed-seed [`simkit::SimRng`] stream, so the structure — and
 //! therefore every traversal — is identical across runs, engines, and the
 //! sharded `asf-server` runtime.
+//!
+//! ## Bulk construction
+//!
+//! Initialization and every `Reinit` refresh the whole view at once
+//! (`probe_all`), then need the index over all `n` fresh keys. Building
+//! that by `n` incremental inserts costs O(n log n) *random-position*
+//! pointer chases — the dominant cost of RTP/FT-RP initialization at large
+//! `n`. [`RankIndex::bulk_build`] instead sorts the `(key, id)` pairs once
+//! (cache-friendly) and links the treap left-to-right with a right-spine
+//! stack in O(n); with distinct priorities the treap is unique, so the
+//! incremental and bulk paths produce the same structure.
 
 use simkit::SimRng;
 use streamnet::{ServerView, StreamId};
@@ -276,7 +287,8 @@ impl RankIndex {
 
     /// Rebuilds the index from a fully-known server view — the
     /// Initialization / re-initialization step (`probe_all` refreshed every
-    /// stream at once).
+    /// stream at once). Delegates to [`RankIndex::bulk_build`]: one sorted
+    /// pass instead of `n` random-position inserts.
     ///
     /// # Panics
     ///
@@ -285,11 +297,79 @@ impl RankIndex {
     pub fn rebuild_from_view(&mut self, view: &ServerView) {
         assert_eq!(view.len(), self.capacity(), "view/index population mismatch");
         assert!(view.all_known(), "cannot index a partially-known view");
-        self.clear();
-        for i in 0..view.len() {
+        self.bulk_build((0..view.len()).map(|i| {
             let id = StreamId(i as u32);
-            self.insert(id, view.get(id));
+            (id, view.get(id))
+        }));
+    }
+
+    /// Replaces the whole index with `values` in one sorted pass: sort the
+    /// `(key, id)` pairs, then link the treap left-to-right with a
+    /// right-spine stack (the cartesian-tree construction) — O(n) tree
+    /// building after the sort, instead of `n` random-position inserts
+    /// costing O(n log n) pointer chases.
+    ///
+    /// The result is the same treap the incremental path produces: with
+    /// distinct priorities the treap over a `(key, id, priority)` set is
+    /// unique, so every traversal — and therefore every rank answer — is
+    /// byte-identical to inserting one by one
+    /// (`tests/rank_index_prop.rs` proves it per operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN keys, out-of-population ids, or an id that appears
+    /// twice.
+    pub fn bulk_build(&mut self, values: impl IntoIterator<Item = (StreamId, f64)>) {
+        self.clear();
+        let mut pairs: Vec<(f64, StreamId)> = values
+            .into_iter()
+            .map(|(id, v)| {
+                let key = self.space.key(v);
+                assert!(!key.is_nan(), "rank keys must not be NaN");
+                (key, id)
+            })
+            .collect();
+        pairs.sort_unstable_by(|&a, &b| cmp_key(a, b));
+        // Right spine of the tree built so far (root at the bottom). Each
+        // new node enters as the deepest right descendant: nodes of lower
+        // priority are popped below it (ties keep the earlier node on top,
+        // exactly like `merge`).
+        let mut spine: Vec<u32> = Vec::with_capacity(64);
+        for &(key, id) in &pairs {
+            let i = id.index();
+            let node = &mut self.nodes[i];
+            assert!(!node.present, "{id} appears twice in bulk_build");
+            node.key = key;
+            node.left = NIL;
+            node.right = NIL;
+            node.size = 1;
+            node.present = true;
+            let cur = i as u32;
+            let mut popped = NIL;
+            while let Some(&top) = spine.last() {
+                if self.nodes[top as usize].prio >= self.nodes[cur as usize].prio {
+                    break;
+                }
+                // `top`'s subtree is final once it leaves the spine: fix its
+                // size now (its right chain was popped — and fixed — first).
+                spine.pop();
+                self.fix(top);
+                popped = top;
+            }
+            self.nodes[cur as usize].left = popped;
+            if let Some(&top) = spine.last() {
+                self.nodes[top as usize].right = cur;
+            }
+            spine.push(cur);
         }
+        // Finalize sizes bottom-up along the remaining spine; the last
+        // element popped is the root.
+        self.root = NIL;
+        while let Some(top) = spine.pop() {
+            self.fix(top);
+            self.root = top;
+        }
+        self.len = pairs.len();
     }
 
     /// The 1-based rank of `id`, if indexed.
@@ -769,6 +849,43 @@ mod tests {
         index.insert(StreamId(1), 999.0); // stale entry, wiped by rebuild
         index.rebuild_from_view(&view);
         assert_eq!(index.ordered_ids(), rank_view(RankSpace::TopK, &view));
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_inserts() {
+        let space = RankSpace::Knn { q: 50.0 };
+        // Ties on purpose: 40 and 60 both at distance 10.
+        let values = [40.0, 60.0, 50.0, 10.0, 90.0, 50.0];
+        let incremental = filled_index(space, &values);
+        let mut bulk = RankIndex::new(space, values.len());
+        bulk.insert(StreamId(0), 777.0); // stale entry, wiped by the build
+        bulk.bulk_build(values.iter().enumerate().map(|(i, &v)| (StreamId(i as u32), v)));
+        assert_eq!(bulk.len(), incremental.len());
+        assert_eq!(bulk.ordered_pairs(), incremental.ordered_pairs());
+        for (i, &v) in values.iter().enumerate() {
+            let id = StreamId(i as u32);
+            assert_eq!(bulk.rank_of(id), incremental.rank_of(id));
+            assert_eq!(bulk.key_of(id), Some(space.key(v)));
+        }
+        for m in 1..=values.len() {
+            assert_eq!(bulk.select(m), incremental.select(m), "select {m}");
+        }
+    }
+
+    #[test]
+    fn bulk_build_of_nothing_is_empty() {
+        let mut index = RankIndex::new(RankSpace::TopK, 4);
+        index.insert(StreamId(1), 5.0);
+        index.bulk_build(std::iter::empty());
+        assert!(index.is_empty());
+        assert_eq!(index.rank_of(StreamId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn bulk_build_rejects_duplicate_ids() {
+        let mut index = RankIndex::new(RankSpace::TopK, 2);
+        index.bulk_build([(StreamId(0), 1.0), (StreamId(0), 2.0)]);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! Broadcast sync reports are gathered from all shards and merged in
 //! ascending global id order — the same order the serial fleet produces —
 //! so the protocol's resolution cascade sees an identical report sequence.
+//!
+//! Batch operations (`probe_all`, `probe_many`, `install_many`,
+//! `broadcast`) are the scaling path: one scatter hands every shard its
+//! slice, the shards work concurrently, and one gather reassembles the
+//! results in the caller's request order — the coordinator stops being a
+//! per-stream round-trip bottleneck for initialization, fleet-wide filter
+//! deployments, and reinit storms.
 
 use streamnet::{Filter, FleetOps, Ledger, MessageKind, ServerView, StreamId};
 
@@ -113,6 +120,38 @@ impl FleetOps for GuardedRouter<'_> {
         self.inner.probe_all(ledger, view)
     }
 
+    fn probe_many(
+        &mut self,
+        ids: &[StreamId],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        out: &mut Vec<f64>,
+    ) {
+        // An empty batch sends no messages — it is not a fleet touch, so it
+        // must not invalidate the in-flight speculation.
+        if ids.is_empty() {
+            out.clear();
+            return;
+        }
+        self.ensure_cut();
+        self.inner.probe_many(ids, ledger, view, out)
+    }
+
+    fn install_many(
+        &mut self,
+        installs: &[(StreamId, Filter)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        if installs.is_empty() {
+            syncs.clear();
+            return;
+        }
+        self.ensure_cut();
+        self.inner.install_many(installs, ledger, view, syncs)
+    }
+
     fn install(
         &mut self,
         id: StreamId,
@@ -191,6 +230,101 @@ impl FleetOps for ShardRouter<'_> {
                     }
                 }
                 other => unreachable!("ProbeAll got {other:?}"),
+            }
+        }
+    }
+
+    fn probe_many(
+        &mut self,
+        ids: &[StreamId],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if ids.is_empty() {
+            return;
+        }
+        // Scatter each shard's slice (in request order) and let the shards
+        // probe concurrently; probes are independent, so only the reassembly
+        // order below is observable — and it is the request order.
+        let k = self.partition.shards();
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for &id in ids {
+            per_shard[self.partition.shard_of(id)].push(self.partition.local_of(id));
+        }
+        let mut participants = Vec::new();
+        for (s, locals) in per_shard.into_iter().enumerate() {
+            if !locals.is_empty() {
+                self.handles[s].send(ShardCmd::ProbeMany { locals });
+                participants.push(s);
+            }
+        }
+        let mut values: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for &s in &participants {
+            match self.handles[s].recv() {
+                ShardReply::ProbedMany(shard_values) => values[s] = shard_values,
+                other => unreachable!("ProbeMany got {other:?}"),
+            }
+        }
+        ledger.record(MessageKind::ProbeRequest, ids.len() as u64);
+        ledger.record(MessageKind::ProbeReply, ids.len() as u64);
+        out.reserve(ids.len());
+        let mut cursor = vec![0usize; k];
+        for &id in ids {
+            let s = self.partition.shard_of(id);
+            let v = values[s][cursor[s]];
+            cursor[s] += 1;
+            view.set(id, v);
+            out.push(v);
+        }
+    }
+
+    fn install_many(
+        &mut self,
+        installs: &[(StreamId, Filter)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        syncs.clear();
+        if installs.is_empty() {
+            return;
+        }
+        // Scatter each shard's slice (in installation order); installs touch
+        // only their own source, so the shards can run concurrently. Sync
+        // reports are reassembled in installation order — exactly the queue
+        // the serial per-stream loop would build.
+        let k = self.partition.shards();
+        let mut per_shard: Vec<Vec<(u32, Filter)>> = vec![Vec::new(); k];
+        for (id, filter) in installs {
+            per_shard[self.partition.shard_of(*id)]
+                .push((self.partition.local_of(*id), filter.clone()));
+        }
+        let mut participants = Vec::new();
+        for (s, items) in per_shard.into_iter().enumerate() {
+            if !items.is_empty() {
+                self.handles[s].send(ShardCmd::InstallMany { items });
+                participants.push(s);
+            }
+        }
+        let mut replies: Vec<Vec<Option<f64>>> = vec![Vec::new(); k];
+        for &s in &participants {
+            match self.handles[s].recv() {
+                ShardReply::InstalledMany(shard_syncs) => replies[s] = shard_syncs,
+                other => unreachable!("InstallMany got {other:?}"),
+            }
+        }
+        ledger.record(MessageKind::FilterInstall, installs.len() as u64);
+        let mut cursor = vec![0usize; k];
+        for (id, _) in installs {
+            let s = self.partition.shard_of(*id);
+            let sync = replies[s][cursor[s]];
+            cursor[s] += 1;
+            if let Some(v) = sync {
+                ledger.record(MessageKind::Update, 1);
+                view.set(*id, v);
+                syncs.push((*id, v));
             }
         }
     }

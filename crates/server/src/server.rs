@@ -31,7 +31,8 @@
 use std::time::Instant;
 
 use asf_core::engine::ProtocolCore;
-use asf_core::protocol::Protocol;
+use asf_core::protocol::{CtxStats, Protocol};
+use asf_core::rank::RankIndex;
 use asf_core::workload::{UpdateEvent, Workload};
 use asf_core::AnswerSet;
 use simkit::SimTime;
@@ -98,6 +99,12 @@ pub struct ShardedServer<P: Protocol> {
     /// Current adaptive evaluation window (events per round).
     window: usize,
     metrics: ServerMetrics,
+    /// Pool of scatter buffers: shards hand their consumed (cleared) batch
+    /// buffers back in every `Evaluated` reply, so steady-state rounds
+    /// scatter without allocating.
+    spare_batches: Vec<Vec<SpecEvent>>,
+    /// Reused per-round merge buffer for the gathered report streams.
+    merged: Vec<(SpecEvent, usize)>,
 }
 
 impl<P: Protocol> ShardedServer<P> {
@@ -134,6 +141,8 @@ impl<P: Protocol> ShardedServer<P> {
             events_processed: 0,
             window: config.batch_size.min(256).max(MIN_WINDOW.min(config.batch_size)),
             metrics: ServerMetrics::new(config.num_shards),
+            spare_batches: Vec::new(),
+            merged: Vec::new(),
         }
     }
 
@@ -173,9 +182,13 @@ impl<P: Protocol> ShardedServer<P> {
         while start < events.len() {
             let end = events.len().min(start + self.window);
 
-            // Scatter the window to the owning shards.
+            // Scatter the window to the owning shards, reusing pooled
+            // buffers (shards return them, cleared, with each `Evaluated`
+            // reply).
             let scatter_start = Instant::now();
-            let mut slices: Vec<Vec<SpecEvent>> = vec![Vec::new(); self.config.num_shards];
+            let mut slices: Vec<Vec<SpecEvent>> = (0..self.config.num_shards)
+                .map(|_| self.spare_batches.pop().unwrap_or_default())
+                .collect();
             for (i, ev) in events[start..end].iter().enumerate() {
                 slices[self.partition.shard_of(ev.stream)].push(SpecEvent {
                     seq: (start + i) as u64,
@@ -189,32 +202,33 @@ impl<P: Protocol> ShardedServer<P> {
             // Phase A: optimistic evaluation on every participating shard.
             let mut participants = Vec::new();
             for (s, slice) in slices.into_iter().enumerate() {
-                if !slice.is_empty() {
+                if slice.is_empty() {
+                    self.spare_batches.push(slice);
+                } else {
                     self.handles[s].send(ShardCmd::EvalBatch(slice));
                     participants.push(s);
                 }
             }
-            let mut shard_reports: Vec<Vec<SpecEvent>> = Vec::with_capacity(participants.len());
+            // Merge the per-shard report streams in sequence order as they
+            // are gathered. (Each per-shard list is already sorted; an
+            // unstable sort of the concatenation is fine since seqs are
+            // unique.) `merged` is a pooled field, taken for the round so
+            // the coordinator can borrow itself mutably below.
+            let mut merged = std::mem::take(&mut self.merged);
+            merged.clear();
             let mut round_max_busy = 0u64;
             for &s in &participants {
                 match self.handles[s].recv() {
-                    ShardReply::Evaluated { reports, busy_ns, .. } => {
+                    ShardReply::Evaluated { reports, busy_ns, batch, .. } => {
                         self.metrics.shard_busy_ns[s] += busy_ns;
                         round_max_busy = round_max_busy.max(busy_ns);
-                        shard_reports.push(reports);
+                        self.spare_batches.push(batch);
+                        merged.extend(reports.into_iter().map(|ev| (ev, s)));
                     }
                     other => unreachable!("EvalBatch got {other:?}"),
                 }
             }
             self.metrics.critical_path_ns += round_max_busy;
-
-            // Merge the per-shard report streams in sequence order. (Each
-            // per-shard list is already sorted; an unstable sort of the
-            // concatenation is fine since seqs are unique.)
-            let mut merged: Vec<(SpecEvent, usize)> = Vec::new();
-            for (&s, reports) in participants.iter().zip(shard_reports) {
-                merged.extend(reports.into_iter().map(|ev| (ev, s)));
-            }
             merged.sort_unstable_by_key(|(ev, _)| ev.seq);
 
             // Phase B: consume reports serially through the protocol until
@@ -266,6 +280,7 @@ impl<P: Protocol> ShardedServer<P> {
                     start = c as usize + 1;
                 }
             }
+            self.merged = merged;
         }
         self.events_processed += events.len() as u64;
         self.metrics.events += events.len() as u64;
@@ -315,6 +330,18 @@ impl<P: Protocol> ShardedServer<P> {
     /// Runtime metrics.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// Timing/counters of the core's fleet operations — the probe /
+    /// index-build split of initialization and batch-op counts.
+    pub fn ctx_stats(&self) -> &CtxStats {
+        self.core.ctx_stats()
+    }
+
+    /// The maintained rank index, if the protocol is rank-based
+    /// (differential-test hook).
+    pub fn rank_index(&self) -> Option<&RankIndex> {
+        self.core.rank_index()
     }
 
     /// Number of streams.

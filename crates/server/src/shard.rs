@@ -114,12 +114,24 @@ pub enum ShardCmd {
     },
     /// Probe every source of the partition.
     ProbeAll,
+    /// Probe a batch of sources (this shard's slice of a fleet-wide
+    /// `probe_many`), in slice order.
+    ProbeMany {
+        /// Shard-local source indices.
+        locals: Vec<u32>,
+    },
     /// Install a filter at one source.
     Install {
         /// Shard-local source index.
         local: u32,
         /// The filter to install.
         filter: Filter,
+    },
+    /// Install a filter per source (this shard's slice of a fleet-wide
+    /// `install_many`), in slice order.
+    InstallMany {
+        /// Shard-local `(source index, filter)` pairs.
+        items: Vec<(u32, Filter)>,
     },
     /// Install a filter at every source of the partition (shard half of a
     /// global broadcast; the coordinator meters the operation).
@@ -144,6 +156,10 @@ pub enum ShardReply {
         evaluated: u32,
         /// Wall time the shard spent evaluating, for metrics only.
         busy_ns: u64,
+        /// The consumed input buffer, cleared — handed back so the
+        /// coordinator can pool scatter buffers instead of allocating a
+        /// fresh `Vec` per shard per round.
+        batch: Vec<SpecEvent>,
     },
     /// Outcome of [`ShardCmd::Commit`].
     Committed {
@@ -159,8 +175,14 @@ pub enum ShardReply {
     Probed(f64),
     /// Outcome of [`ShardCmd::ProbeAll`]: values in local order.
     ProbedAll(Vec<f64>),
+    /// Outcome of [`ShardCmd::ProbeMany`]: values aligned with the
+    /// requested slice.
+    ProbedMany(Vec<f64>),
     /// Outcome of [`ShardCmd::Install`]: the sync-report value, if any.
     Installed(Option<f64>),
+    /// Outcome of [`ShardCmd::InstallMany`]: per-item sync-report values
+    /// aligned with the requested slice.
+    InstalledMany(Vec<Option<f64>>),
     /// Outcome of [`ShardCmd::Broadcast`]: sync reports `(local, value)`
     /// in ascending local order.
     Broadcasted(Vec<(u32, f64)>),
@@ -178,6 +200,8 @@ pub struct Shard {
     /// Local replica of the server view for this partition (what the
     /// sources have reported), kept by the fleet API.
     local_view: ServerView,
+    /// Reused sync-report buffer for broadcasts (cleared per use).
+    broadcast_scratch: Vec<(StreamId, f64)>,
     /// Undo journal of the in-flight speculative batch.
     spec: SpecLog,
     /// Cumulative busy time (ns), metrics only.
@@ -197,6 +221,7 @@ impl Shard {
             fleet: SourceFleet::from_values(local_initial),
             scratch: Ledger::new(),
             local_view: ServerView::new(n),
+            broadcast_scratch: Vec::new(),
             spec: SpecLog::new(),
             busy_ns: 0,
         }
@@ -223,7 +248,7 @@ impl Shard {
     pub fn exec(&mut self, cmd: ShardCmd) -> ShardReply {
         let start = Instant::now();
         let reply = match cmd {
-            ShardCmd::EvalBatch(events) => self.eval_batch(&events),
+            ShardCmd::EvalBatch(events) => self.eval_batch(events),
             ShardCmd::Commit { keep_below } => self.commit(keep_below),
             ShardCmd::Deliver { local, value } => ShardReply::Delivered(self.fleet.deliver_update(
                 StreamId(local),
@@ -247,20 +272,44 @@ impl Shard {
                 }
                 ShardReply::ProbedAll(values)
             }
+            ShardCmd::ProbeMany { locals } => {
+                let mut values = Vec::with_capacity(locals.len());
+                for local in locals {
+                    values.push(self.fleet.probe(
+                        StreamId(local),
+                        &mut self.scratch,
+                        &mut self.local_view,
+                    ));
+                }
+                ShardReply::ProbedMany(values)
+            }
             ShardCmd::Install { local, filter } => ShardReply::Installed(self.fleet.install(
                 StreamId(local),
                 filter,
                 &mut self.scratch,
                 &mut self.local_view,
             )),
+            ShardCmd::InstallMany { items } => {
+                let mut syncs = Vec::with_capacity(items.len());
+                for (local, filter) in items {
+                    syncs.push(self.fleet.install(
+                        StreamId(local),
+                        filter,
+                        &mut self.scratch,
+                        &mut self.local_view,
+                    ));
+                }
+                ShardReply::InstalledMany(syncs)
+            }
             ShardCmd::Broadcast { filter } => {
-                let syncs = self
-                    .fleet
-                    .install_all_unmetered(filter, &mut self.local_view)
-                    .into_iter()
-                    .map(|(id, v)| (id.0, v))
-                    .collect();
-                ShardReply::Broadcasted(syncs)
+                // The sync buffer is shard-held scratch (reinit storms
+                // broadcast every round); only the (local, value) reply
+                // that crosses the channel is allocated.
+                let mut syncs = std::mem::take(&mut self.broadcast_scratch);
+                self.fleet.install_all_unmetered_into(filter, &mut self.local_view, &mut syncs);
+                let reply = syncs.iter().map(|&(id, v)| (id.0, v)).collect();
+                self.broadcast_scratch = syncs;
+                ShardReply::Broadcasted(reply)
             }
             ShardCmd::TruthSnapshot => {
                 ShardReply::Truth(self.fleet.iter().map(|s| s.value()).collect())
@@ -271,20 +320,23 @@ impl Shard {
         reply
     }
 
-    fn eval_batch(&mut self, events: &[SpecEvent]) -> ShardReply {
+    fn eval_batch(&mut self, mut events: Vec<SpecEvent>) -> ShardReply {
         debug_assert!(self.spec.is_empty(), "EvalBatch without an intervening Commit");
         let start = Instant::now();
         let mut reports = Vec::new();
-        for &ev in events {
+        for &ev in &events {
             let id = StreamId(ev.local);
             if self.spec.apply(&mut self.fleet, ev.seq, id, ev.value).is_some() {
                 reports.push(ev);
             }
         }
+        let evaluated = events.len() as u32;
+        events.clear();
         ShardReply::Evaluated {
             reports,
-            evaluated: events.len() as u32,
+            evaluated,
             busy_ns: start.elapsed().as_nanos() as u64,
+            batch: events,
         }
     }
 

@@ -4,6 +4,23 @@
 //! accounting can never be forgotten: delivering a workload update, probing,
 //! installing filters, and broadcasting all take the [`Ledger`] and the
 //! server's [`ServerView`] and keep both consistent.
+//!
+//! ## Batched fleet operations
+//!
+//! Fleet-wide phases — Initialization's probe-everything, a tolerance
+//! protocol deploying a filter per stream, a `Reinit` repair — used to run
+//! as one [`FleetOps`] call per stream, which serializes them through the
+//! coordinator of a sharded backend. The batch contracts
+//! ([`FleetOps::probe_many`], [`FleetOps::install_many`],
+//! [`FleetOps::probe_all`]) move the loop *into* the backend: the
+//! in-process [`SourceFleet`] walks its sources in one pass, and the
+//! sharded fleet of `asf-server` scatters each batch so every shard works
+//! its slice concurrently. Results and sync reports come back in the
+//! caller's request order with the exact per-message ledger accounting of
+//! the scalar path, so batched and per-stream execution are byte-identical
+//! (`tests/batch_differential.rs` proves it per protocol and backend).
+//! Batch outputs are written into caller-provided buffers so hot callers
+//! can reuse one allocation across rounds.
 
 use crate::filter::Filter;
 use crate::message::{Ledger, MessageKind};
@@ -51,6 +68,50 @@ pub trait FleetOps {
 
     /// Probes every source (`2n` messages).
     fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView);
+
+    /// Probes a set of sources in one batch (2 messages each), writing the
+    /// values into `out` aligned with `ids` (cleared first).
+    ///
+    /// Byte-identical to probing the ids one by one in order — the default
+    /// does exactly that and doubles as the serial baseline; backends
+    /// override it to execute the whole batch in one pass (shard-parallel
+    /// in `asf-server`). Sources are independent, so per-source state,
+    /// ledger counts, and the final view cannot depend on probe order.
+    fn probe_many(
+        &mut self,
+        ids: &[StreamId],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        for &id in ids {
+            out.push(self.probe(id, ledger, view));
+        }
+    }
+
+    /// Installs a filter per `(id, filter)` pair in one batch (1 message
+    /// each), collecting sync reports into `syncs` (cleared first) in
+    /// **installation order** — the order the serial path would queue them.
+    ///
+    /// Byte-identical to installing one by one: installs touch only their
+    /// own source, so batching cannot change any source's sync decision.
+    /// The default is the serial loop; backends override it to run each
+    /// shard's slice concurrently.
+    fn install_many(
+        &mut self,
+        installs: &[(StreamId, Filter)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        syncs.clear();
+        for (id, filter) in installs {
+            if let Some(v) = self.install(*id, filter.clone(), ledger, view) {
+                syncs.push((*id, v));
+            }
+        }
+    }
 
     /// Installs a filter at one source (1 message); `Some(value)` iff the
     /// source sync-reported (one more `Update` message).
@@ -226,6 +287,20 @@ impl SourceFleet {
         view: &mut ServerView,
     ) -> Vec<(StreamId, f64)> {
         let mut syncs = Vec::new();
+        self.install_all_unmetered_into(filter, view, &mut syncs);
+        syncs
+    }
+
+    /// [`Self::install_all_unmetered`] writing the sync reports into a
+    /// caller-provided buffer (cleared first), so per-broadcast allocation
+    /// can be amortized by callers that broadcast every round.
+    pub fn install_all_unmetered_into(
+        &mut self,
+        filter: Filter,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        syncs.clear();
         for src in &mut self.sources {
             src.add_traffic(1);
             if src.install(filter.clone()) {
@@ -236,7 +311,57 @@ impl SourceFleet {
                 syncs.push((src.id(), v));
             }
         }
-        syncs
+    }
+
+    /// Probes a set of sources in one pass (2 messages each), writing the
+    /// values into `out` aligned with `ids` (cleared first). Native batch
+    /// implementation of [`FleetOps::probe_many`].
+    pub fn probe_many(
+        &mut self,
+        ids: &[StreamId],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(ids.len());
+        ledger.record(MessageKind::ProbeRequest, ids.len() as u64);
+        ledger.record(MessageKind::ProbeReply, ids.len() as u64);
+        for &id in ids {
+            let src = &mut self.sources[id.index()];
+            src.add_traffic(2);
+            src.mark_reported();
+            let v = src.value();
+            view.set(id, v);
+            out.push(v);
+        }
+    }
+
+    /// Installs a filter per `(id, filter)` pair in one pass (1 message
+    /// each), collecting sync reports in installation order into `syncs`
+    /// (cleared first). Native batch implementation of
+    /// [`FleetOps::install_many`].
+    pub fn install_many(
+        &mut self,
+        installs: &[(StreamId, Filter)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        syncs.clear();
+        ledger.record(MessageKind::FilterInstall, installs.len() as u64);
+        for (id, filter) in installs {
+            let src = &mut self.sources[id.index()];
+            src.add_traffic(1);
+            if src.install(filter.clone()) {
+                src.mark_reported();
+                src.add_traffic(1);
+                ledger.record(MessageKind::Update, 1);
+                let v = src.value();
+                view.set(*id, v);
+                syncs.push((*id, v));
+            }
+        }
     }
 
     /// Delivers a batch of updates back-to-back, collecting the reports in
@@ -374,6 +499,26 @@ impl FleetOps for SourceFleet {
 
     fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
         SourceFleet::probe_all(self, ledger, view)
+    }
+
+    fn probe_many(
+        &mut self,
+        ids: &[StreamId],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        out: &mut Vec<f64>,
+    ) {
+        SourceFleet::probe_many(self, ids, ledger, view, out)
+    }
+
+    fn install_many(
+        &mut self,
+        installs: &[(StreamId, Filter)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        SourceFleet::install_many(self, installs, ledger, view, syncs)
     }
 
     fn install(
@@ -529,6 +674,66 @@ mod tests {
         assert_eq!(ledger, ledger2);
         // S1: 550 stays inside its filter (silent), 700 crosses (report).
         assert_eq!(reports, vec![(StreamId(0), 120.0), (StreamId(1), 700.0), (StreamId(2), 950.0)]);
+    }
+
+    #[test]
+    fn probe_many_equals_scalar_probes() {
+        let ids = [StreamId(2), StreamId(0), StreamId(2)];
+
+        let (mut fleet, mut ledger, mut view) = setup();
+        let mut out = vec![f64::NAN; 8]; // stale scratch: must be cleared
+        fleet.probe_many(&ids, &mut ledger, &mut view, &mut out);
+
+        let (mut fleet2, mut ledger2, mut view2) = setup();
+        let scalar: Vec<f64> =
+            ids.iter().map(|&id| fleet2.probe(id, &mut ledger2, &mut view2)).collect();
+
+        assert_eq!(out, scalar);
+        assert_eq!(out, vec![900.0, 100.0, 900.0]);
+        assert_eq!(ledger, ledger2);
+        assert_eq!(fleet.source(StreamId(2)).traffic(), fleet2.source(StreamId(2)).traffic());
+        assert!(view.is_known(StreamId(0)) && view.is_known(StreamId(2)));
+        assert!(!view.is_known(StreamId(1)));
+    }
+
+    #[test]
+    fn install_many_equals_scalar_installs_and_orders_syncs() {
+        // Install order (2, 0) must be the sync order, not id order.
+        let plan = |f: Filter| vec![(StreamId(2), f.clone()), (StreamId(0), f)];
+
+        let (mut fleet, mut ledger, mut view) = setup();
+        fleet.probe_all(&mut ledger, &mut view);
+        // Silent drift for both within broad filters.
+        fleet.install(StreamId(0), Filter::interval(0.0, 1000.0), &mut ledger, &mut view);
+        fleet.install(StreamId(2), Filter::interval(0.0, 1000.0), &mut ledger, &mut view);
+        fleet.deliver_update(StreamId(0), 450.0, &mut ledger, &mut view);
+        fleet.deliver_update(StreamId(2), 460.0, &mut ledger, &mut view);
+        let mut fleet2 = fleet.clone();
+        let mut view2 = view.clone();
+        ledger.reset();
+        let mut ledger2 = Ledger::new();
+
+        // New tight filter separates believed (100 / 900) from true values.
+        let mut syncs = vec![(StreamId(9), 0.0)]; // stale scratch
+        fleet.install_many(
+            &plan(Filter::interval(400.0, 500.0)),
+            &mut ledger,
+            &mut view,
+            &mut syncs,
+        );
+
+        let mut syncs2 = Vec::new();
+        for (id, f) in plan(Filter::interval(400.0, 500.0)) {
+            if let Some(v) = fleet2.install(id, f, &mut ledger2, &mut view2) {
+                syncs2.push((id, v));
+            }
+        }
+
+        assert_eq!(syncs, syncs2);
+        assert_eq!(syncs, vec![(StreamId(2), 460.0), (StreamId(0), 450.0)]);
+        assert_eq!(ledger, ledger2);
+        assert_eq!(view.get(StreamId(0)), 450.0);
+        assert_eq!(view.get(StreamId(2)), 460.0);
     }
 
     #[test]

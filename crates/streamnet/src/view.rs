@@ -12,12 +12,15 @@ use crate::StreamId;
 pub struct ServerView {
     values: Vec<f64>,
     known: Vec<bool>,
+    /// Number of `true` entries in `known`, so [`ServerView::all_known`] is
+    /// O(1) — batch fleet operations consult it per call, not per stream.
+    known_count: usize,
 }
 
 impl ServerView {
     /// Creates a view over `n` streams with no knowledge yet.
     pub fn new(n: usize) -> Self {
-        Self { values: vec![0.0; n], known: vec![false; n] }
+        Self { values: vec![0.0; n], known: vec![false; n], known_count: 0 }
     }
 
     /// Number of streams.
@@ -33,7 +36,10 @@ impl ServerView {
     /// Records a learned value.
     pub fn set(&mut self, id: StreamId, value: f64) {
         self.values[id.index()] = value;
-        self.known[id.index()] = true;
+        if !self.known[id.index()] {
+            self.known[id.index()] = true;
+            self.known_count += 1;
+        }
     }
 
     /// The last-known value of a stream.
@@ -53,9 +59,22 @@ impl ServerView {
         self.known[id.index()]
     }
 
-    /// Whether every stream's value is known.
+    /// How many streams' values are known.
+    pub fn known_count(&self) -> usize {
+        self.known_count
+    }
+
+    /// Whether every stream's value is known — O(1) via the maintained
+    /// counter.
     pub fn all_known(&self) -> bool {
-        self.known.iter().all(|&k| k)
+        self.known_count == self.values.len()
+    }
+
+    /// Ids the server has never heard from, in ascending order — the probe
+    /// list for partial-knowledge batch probes (probe only what is missing
+    /// instead of re-probing the world).
+    pub fn unknown_ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.known.iter().enumerate().filter(|&(_, &k)| !k).map(|(i, _)| StreamId(i as u32))
     }
 
     /// Iterates `(id, last_known_value)` over streams the server knows.
@@ -79,7 +98,25 @@ mod tests {
         assert_eq!(v.len(), 3);
         assert!(!v.is_known(StreamId(0)));
         assert!(!v.all_known());
+        assert_eq!(v.known_count(), 0);
         assert_eq!(v.iter_known().count(), 0);
+        assert_eq!(
+            v.unknown_ids().collect::<Vec<_>>(),
+            vec![StreamId(0), StreamId(1), StreamId(2)]
+        );
+    }
+
+    #[test]
+    fn known_count_ignores_re_sets() {
+        let mut v = ServerView::new(3);
+        v.set(StreamId(1), 1.0);
+        v.set(StreamId(1), 2.0);
+        assert_eq!(v.known_count(), 1);
+        assert_eq!(v.unknown_ids().collect::<Vec<_>>(), vec![StreamId(0), StreamId(2)]);
+        v.set(StreamId(0), 3.0);
+        v.set(StreamId(2), 4.0);
+        assert!(v.all_known());
+        assert_eq!(v.unknown_ids().count(), 0);
     }
 
     #[test]

@@ -138,6 +138,58 @@ fn rank_index_matches_naive_sort_under_random_ops() {
     }
 }
 
+/// `bulk_build` (one sorted pass, O(n) spine linking) must be
+/// indistinguishable from incremental inserts — same order, ranks,
+/// selects, bit-identical midpoints, ball counts — including under forced
+/// f64 key ties, partial populations, and random insertion orders.
+#[test]
+fn bulk_build_matches_incremental_inserts_under_random_populations() {
+    let mut rng = SimRng::seed_from_u64(0xB01C_B11D);
+    for case in 0..40 {
+        let n = 1 + rng.index(60);
+        let space = match rng.index(3) {
+            0 => RankSpace::Knn { q: (rng.index(9) as f64 - 4.0) * 0.5 },
+            1 => RankSpace::TopK,
+            _ => RankSpace::KMin,
+        };
+        // A random subset of the population, with tie-heavy values.
+        let mut members: Vec<(StreamId, f64)> = Vec::new();
+        for i in 0..n {
+            if rng.index(4) != 0 {
+                members.push((StreamId(i as u32), draw_value(&mut rng)));
+            }
+        }
+
+        // Incremental reference, inserted in shuffled order (the treap is a
+        // pure function of the (key, id, priority) set, so insertion order
+        // must not matter).
+        let mut incremental = RankIndex::new(space, n);
+        for j in (1..members.len()).rev() {
+            members.swap(j, rng.index(j + 1));
+        }
+        for &(id, v) in &members {
+            incremental.insert(id, v);
+        }
+
+        // Bulk build over a previously-churned index: must fully replace.
+        let mut bulk = RankIndex::new(space, n);
+        for _ in 0..rng.index(10) {
+            bulk.update(StreamId(rng.index(n) as u32), draw_value(&mut rng));
+        }
+        bulk.bulk_build(members.iter().copied());
+
+        let mut model = NaiveRanks::new(space, n);
+        for &(id, v) in &members {
+            model.values[id.index()] = Some(v);
+        }
+        check_agreement(case, 0, &bulk, &model);
+        assert_eq!(bulk.ordered_pairs(), incremental.ordered_pairs(), "case {case}: vs inserts");
+        for &(id, _) in &members {
+            assert_eq!(bulk.rank_of(id), incremental.rank_of(id), "case {case}: rank_of({id})");
+        }
+    }
+}
+
 #[test]
 fn rank_index_clear_and_rebuild_agree_with_fresh_index() {
     let mut rng = SimRng::seed_from_u64(0xC1EA_0012);
