@@ -17,11 +17,11 @@
 use std::collections::VecDeque;
 
 use simkit::SimTime;
-use streamnet::{FleetOps, Ledger, ServerView, SourceFleet, StreamId};
+use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 
 use crate::answer::AnswerSet;
 use crate::protocol::{CtxStats, FleetScratch, Protocol, ServerCtx};
-use crate::rank::RankIndex;
+use crate::rank::RankForest;
 use crate::workload::{UpdateEvent, Workload};
 
 /// Upper bound on induced reports processed for a single workload event.
@@ -32,8 +32,8 @@ const CASCADE_CAP: usize = 1_000_000;
 /// How a rank protocol's order over the view is maintained.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum RankMode {
-    /// Maintain an incremental [`RankIndex`]: O(log n) per view update,
-    /// logarithmic rank queries. The default.
+    /// Maintain an incremental [`crate::rank::RankForest`]: O(log n) per
+    /// view update, logarithmic rank queries. The default.
     #[default]
     Indexed,
     /// Re-sort the view on every ranked pass — the seed's behaviour, kept
@@ -57,11 +57,18 @@ pub struct ProtocolCore<P: Protocol> {
     /// Incremental rank order over the view, maintained at every view
     /// refresh — `Some` iff the protocol declares a rank space and the
     /// core runs in [`RankMode::Indexed`].
-    rank: Option<RankIndex>,
+    rank: Option<RankForest>,
     /// Reused output buffers for batch fleet operations.
     scratch: FleetScratch,
     /// Observational timing/counters of ctx fleet operations.
     ctx_stats: CtxStats,
+    /// The deferred-op queue: installs a handler queued via
+    /// [`ServerCtx::install_later`], flushed as one batch `install_many` at
+    /// the handler boundary.
+    deferred: Vec<(StreamId, Filter)>,
+    /// Spare buffer the flush drains into (ping-pong, so steady-state
+    /// flushes never allocate).
+    deferred_spare: Vec<(StreamId, Filter)>,
     protocol: P,
     reports_processed: u64,
     initialized: bool,
@@ -69,7 +76,7 @@ pub struct ProtocolCore<P: Protocol> {
 
 impl<P: Protocol> ProtocolCore<P> {
     /// Creates a core for a population of `n` streams (incremental rank
-    /// maintenance on — the default).
+    /// maintenance on — the default — with a single index partition).
     pub fn new(n: usize, protocol: P) -> Self {
         Self::with_rank_mode(n, protocol, RankMode::Indexed)
     }
@@ -77,8 +84,23 @@ impl<P: Protocol> ProtocolCore<P> {
     /// Creates a core with an explicit [`RankMode`] — `Sorted` reproduces
     /// the seed's full-re-sort path for differential testing.
     pub fn with_rank_mode(n: usize, protocol: P, mode: RankMode) -> Self {
+        Self::with_rank_mode_and_parts(n, protocol, mode, 1)
+    }
+
+    /// Creates a core whose rank index (if the protocol is rank-based) is
+    /// a [`RankForest`] of `rank_parts` strided partitions — `asf-server`
+    /// passes its shard count, so probe-storm re-keys parallelize with the
+    /// data plane. Any part count produces byte-identical rank outputs.
+    pub fn with_rank_mode_and_parts(
+        n: usize,
+        protocol: P,
+        mode: RankMode,
+        rank_parts: usize,
+    ) -> Self {
         let rank = match mode {
-            RankMode::Indexed => protocol.rank_space().map(|space| RankIndex::new(space, n)),
+            RankMode::Indexed => protocol
+                .rank_space()
+                .map(|space| RankForest::new(space, n, rank_parts.clamp(1, n.max(1)))),
             RankMode::Sorted => None,
         };
         Self {
@@ -88,10 +110,39 @@ impl<P: Protocol> ProtocolCore<P> {
             rank,
             scratch: FleetScratch::default(),
             ctx_stats: CtxStats::default(),
+            deferred: Vec::new(),
+            deferred_spare: Vec::new(),
             protocol,
             reports_processed: 0,
             initialized: false,
         }
+    }
+
+    /// Runs one protocol handler inside a fresh [`ServerCtx`], then flushes
+    /// the deferred-op queue as one batch install — every handler boundary
+    /// is a flush point, so installs queued via
+    /// [`ServerCtx::install_later`] coalesce into one backend round-trip.
+    fn run_handler(
+        &mut self,
+        fleet: &mut dyn FleetOps,
+        f: impl FnOnce(&mut P, &mut ServerCtx<'_>),
+    ) {
+        let Self {
+            view,
+            ledger,
+            pending,
+            rank,
+            scratch,
+            ctx_stats,
+            deferred,
+            deferred_spare,
+            protocol,
+            ..
+        } = self;
+        let mut ctx =
+            ServerCtx::new(fleet, view, ledger, pending, rank, scratch, ctx_stats, deferred);
+        f(protocol, &mut ctx);
+        ctx.flush_deferred(deferred_spare);
     }
 
     /// Runs the protocol's Initialization phase against `fleet` and drains
@@ -99,16 +150,7 @@ impl<P: Protocol> ProtocolCore<P> {
     pub fn initialize(&mut self, fleet: &mut dyn FleetOps) {
         assert!(!self.initialized, "engine already initialized");
         self.initialized = true;
-        let mut ctx = ServerCtx::new(
-            fleet,
-            &mut self.view,
-            &mut self.ledger,
-            &mut self.pending,
-            &mut self.rank,
-            &mut self.scratch,
-            &mut self.ctx_stats,
-        );
-        self.protocol.initialize(&mut ctx);
+        self.run_handler(fleet, |protocol, ctx| protocol.initialize(ctx));
         self.drain_pending(fleet);
     }
 
@@ -124,16 +166,7 @@ impl<P: Protocol> ProtocolCore<P> {
         if let Some(index) = self.rank.as_mut() {
             index.update(id, value);
         }
-        let mut ctx = ServerCtx::new(
-            fleet,
-            &mut self.view,
-            &mut self.ledger,
-            &mut self.pending,
-            &mut self.rank,
-            &mut self.scratch,
-            &mut self.ctx_stats,
-        );
-        self.protocol.on_update(id, value, &mut ctx);
+        self.run_handler(fleet, |protocol, ctx| protocol.on_update(id, value, ctx));
         self.drain_pending(fleet);
     }
 
@@ -143,16 +176,7 @@ impl<P: Protocol> ProtocolCore<P> {
             steps += 1;
             assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
             self.reports_processed += 1;
-            let mut ctx = ServerCtx::new(
-                fleet,
-                &mut self.view,
-                &mut self.ledger,
-                &mut self.pending,
-                &mut self.rank,
-                &mut self.scratch,
-                &mut self.ctx_stats,
-            );
-            self.protocol.on_update(id, value, &mut ctx);
+            self.run_handler(fleet, |protocol, ctx| protocol.on_update(id, value, ctx));
         }
     }
 
@@ -223,7 +247,7 @@ impl<P: Protocol> ProtocolCore<P> {
     /// The maintained rank index, if this core runs a rank protocol in
     /// [`RankMode::Indexed`] — exposed for differential tests that compare
     /// rank order across execution backends.
-    pub fn rank_index(&self) -> Option<&RankIndex> {
+    pub fn rank_index(&self) -> Option<&RankForest> {
         self.rank.as_ref()
     }
 }
@@ -365,7 +389,7 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// The maintained rank index, if any (differential-test hook).
-    pub fn rank_index(&self) -> Option<&RankIndex> {
+    pub fn rank_index(&self) -> Option<&RankForest> {
         self.core.rank_index()
     }
 }

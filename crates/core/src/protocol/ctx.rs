@@ -6,7 +6,7 @@ use std::time::Instant;
 use streamnet::{Filter, FleetOps, Ledger, ServerView, StreamId};
 
 use crate::query::RankSpace;
-use crate::rank::{RankIndex, Ranks};
+use crate::rank::{RankForest, Ranks};
 
 /// Reused output buffers for batch fleet operations, owned by the engine
 /// core and cleared by each batch call — fleet-wide phases (probe storms,
@@ -18,6 +18,8 @@ pub struct FleetScratch {
     values: Vec<f64>,
     /// Sync reports of the last `install_many`, in installation order.
     syncs: Vec<(StreamId, f64)>,
+    /// Ids whose view entry changed in the last tracked `probe_all`.
+    changed: Vec<StreamId>,
 }
 
 /// Where the engine's time went inside [`ServerCtx`] fleet operations —
@@ -28,8 +30,28 @@ pub struct FleetScratch {
 pub struct CtxStats {
     /// Time inside batch probe operations (`probe_all` / `probe_many`), ns.
     pub probe_ns: u64,
-    /// Time rebuilding the rank index after `probe_all`, ns.
+    /// Wall time rebuilding or delta-refreshing the rank index after
+    /// `probe_all`, ns.
     pub index_build_ns: u64,
+    /// Σ over index maintenance passes of the **maximum** per-partition
+    /// busy time — the parallel component of forest maintenance (the parts
+    /// of a [`RankForest`] are independent).
+    pub index_parallel_ns: u64,
+    /// Σ of all per-partition busy time inside index maintenance passes.
+    pub index_busy_sum_ns: u64,
+    /// Σ per maintenance pass of `min(busy sum, pass wall)` — the portion
+    /// of the caller's wall that was partition work (bounded per pass so
+    /// overlapped scoped-thread execution cannot over-subtract from a
+    /// serial-time accounting).
+    pub index_hidden_ns: u64,
+    /// `probe_all` calls that re-keyed the rank index by **delta refresh**
+    /// ([`RankForest::refresh_from_changed`]) instead of a full rebuild.
+    pub index_delta_refreshes: u64,
+    /// Streams actually re-keyed by delta refreshes (the drifted minority).
+    pub index_delta_rekeys: u64,
+    /// `probe_all` calls that paid a full bulk rebuild
+    /// ([`crate::rank::RankIndex::bulk_build`] per part).
+    pub index_bulk_builds: u64,
     /// Batch probe operations executed.
     pub batch_probe_ops: u64,
     /// Streams probed by batch probe operations.
@@ -38,6 +60,23 @@ pub struct CtxStats {
     pub batch_install_ops: u64,
     /// Filters installed by batch install operations.
     pub batch_install_streams: u64,
+    /// Installs queued through [`ServerCtx::install_later`].
+    pub deferred_installs: u64,
+    /// Deferred-queue flushes (one batch `install_many` per non-empty
+    /// handler boundary).
+    pub deferred_flushes: u64,
+}
+
+impl CtxStats {
+    /// Records one forest maintenance pass (delta refresh or bulk
+    /// rebuild): wall, parallel (max part), busy sum, and the
+    /// per-pass-bounded hidden portion the serial accounting subtracts.
+    fn record_index_pass(&mut self, timing: crate::rank::ForestTiming, pass_wall_ns: u64) {
+        self.index_parallel_ns += timing.max_ns;
+        self.index_busy_sum_ns += timing.sum_ns;
+        self.index_hidden_ns += timing.sum_ns.min(pass_wall_ns);
+        self.index_build_ns += pass_wall_ns;
+    }
 }
 
 /// Everything a protocol may do during initialization or maintenance:
@@ -57,7 +96,7 @@ pub struct CtxStats {
 /// routing fleet of `asf-server` — protocols cannot tell the difference.
 ///
 /// For rank protocols (those with a [`crate::protocol::Protocol::rank_space`])
-/// the engine threads its incremental [`RankIndex`] through here: every
+/// the engine threads its incremental [`RankForest`] through here: every
 /// value that reaches the server via this context (probe replies, install
 /// and broadcast sync-reports) re-keys the index in O(log n), keeping it
 /// exactly consistent with the view, and [`ServerCtx::ranks`] serves it
@@ -67,22 +106,27 @@ pub struct ServerCtx<'a> {
     view: &'a mut ServerView,
     ledger: &'a mut Ledger,
     pending: &'a mut VecDeque<(StreamId, f64)>,
-    rank: &'a mut Option<RankIndex>,
+    rank: &'a mut Option<RankForest>,
     scratch: &'a mut FleetScratch,
     stats: &'a mut CtxStats,
+    deferred: &'a mut Vec<(StreamId, Filter)>,
 }
 
 impl<'a> ServerCtx<'a> {
+    // The context is exactly the engine core's borrowed state; a params
+    // struct would just rename the same eight fields.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         fleet: &'a mut dyn FleetOps,
         view: &'a mut ServerView,
         ledger: &'a mut Ledger,
         pending: &'a mut VecDeque<(StreamId, f64)>,
-        rank: &'a mut Option<RankIndex>,
+        rank: &'a mut Option<RankForest>,
         scratch: &'a mut FleetScratch,
         stats: &'a mut CtxStats,
+        deferred: &'a mut Vec<(StreamId, Filter)>,
     ) -> Self {
-        Self { fleet, view, ledger, pending, rank, scratch, stats }
+        Self { fleet, view, ledger, pending, rank, scratch, stats, deferred }
     }
 
     /// Number of streams `n`.
@@ -102,7 +146,7 @@ impl<'a> ServerCtx<'a> {
 
     /// One ranked pass over the server's current knowledge under `space`.
     ///
-    /// Backed by the engine's incrementally maintained [`RankIndex`] when
+    /// Backed by the engine's incrementally maintained [`RankForest`] when
     /// one exists (the default for rank protocols), falling back to a
     /// single sort of the view — both byte-identical.
     ///
@@ -133,20 +177,47 @@ impl<'a> ServerCtx<'a> {
 
     /// Probes every source (`2n` messages) — the Initialization phases'
     /// "request all streams to send their values". One batch fleet
-    /// operation (shard-parallel on the sharded backend); the rank index,
-    /// if any, is rebuilt in one sorted pass
-    /// ([`RankIndex::bulk_build`]).
+    /// operation (shard-parallel on the sharded backend).
+    ///
+    /// The rank forest, if any, is brought up to date afterwards: the
+    /// first time (or whenever it is not fully populated) by one sorted
+    /// bulk pass per partition; on every later call by **delta refresh**
+    /// ([`RankForest::refresh_from_changed`]) — the forest is maintained
+    /// at every view refresh, so a mid-run `probe_all` (a reinit storm)
+    /// re-keys only the streams that drifted silently, not all `n`, and
+    /// the re-keys run partition-parallel. All paths produce identical
+    /// rank outputs.
     pub fn probe_all(&mut self) {
         let t = Instant::now();
-        self.fleet.probe_all(self.ledger, self.view);
-        self.stats.probe_ns += t.elapsed().as_nanos() as u64;
+        match self.rank.as_mut() {
+            None => {
+                self.fleet.probe_all(self.ledger, self.view);
+                self.stats.probe_ns += t.elapsed().as_nanos() as u64;
+            }
+            Some(forest) if forest.is_fully_populated() => {
+                // Delta refresh: the backend reports which view entries
+                // actually changed (free — it touches every entry during
+                // reassembly anyway), and only those re-key, each on the
+                // forest partition that owns the stream.
+                self.fleet.probe_all_tracked(self.ledger, self.view, &mut self.scratch.changed);
+                self.stats.probe_ns += t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                self.stats.index_delta_refreshes += 1;
+                self.stats.index_delta_rekeys += self.scratch.changed.len() as u64;
+                let timing = forest.refresh_from_changed(self.view, &self.scratch.changed);
+                self.stats.record_index_pass(timing, t.elapsed().as_nanos() as u64);
+            }
+            Some(forest) => {
+                self.fleet.probe_all(self.ledger, self.view);
+                self.stats.probe_ns += t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                self.stats.index_bulk_builds += 1;
+                let timing = forest.rebuild_from_view(self.view);
+                self.stats.record_index_pass(timing, t.elapsed().as_nanos() as u64);
+            }
+        }
         self.stats.batch_probe_ops += 1;
         self.stats.batch_probe_streams += self.fleet.len() as u64;
-        if let Some(index) = self.rank.as_mut() {
-            let t = Instant::now();
-            index.rebuild_from_view(self.view);
-            self.stats.index_build_ns += t.elapsed().as_nanos() as u64;
-        }
     }
 
     /// Probes a set of sources in one batch fleet operation (2 messages
@@ -196,6 +267,41 @@ impl<'a> ServerCtx<'a> {
         }
     }
 
+    /// Queues a filter install on the **deferred-op queue** instead of
+    /// executing it now. The engine flushes the queue as one batch
+    /// [`ServerCtx::install_many`] when the current handler returns — one
+    /// scatter/gather against the backend per handler, however many filters
+    /// the handler (re)deploys.
+    ///
+    /// Semantics are identical to calling [`ServerCtx::install`] at the
+    /// point the handler returns: deferred installs execute in queue order,
+    /// their sync-reports queue in that order, and the ledger records the
+    /// same messages. A handler must therefore not defer an install whose
+    /// effect (the refreshed view entry of a syncing source) it reads
+    /// before returning — use [`ServerCtx::install`] for that.
+    pub fn install_later(&mut self, id: StreamId, filter: Filter) {
+        self.stats.deferred_installs += 1;
+        self.deferred.push((id, filter));
+    }
+
+    /// Installs queued by [`ServerCtx::install_later`] and not yet flushed.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Flushes the deferred-op queue as one batch install. Called by the
+    /// engine at every handler boundary; a no-op when nothing is queued.
+    pub(crate) fn flush_deferred(&mut self, buf: &mut Vec<(StreamId, Filter)>) {
+        debug_assert!(buf.is_empty());
+        if self.deferred.is_empty() {
+            return;
+        }
+        std::mem::swap(self.deferred, buf);
+        self.stats.deferred_flushes += 1;
+        self.install_many(buf);
+        buf.clear();
+    }
+
     /// Broadcasts a filter to all sources (`n` messages). Induced
     /// sync-reports are queued for the engine.
     pub fn broadcast(&mut self, filter: Filter) {
@@ -219,9 +325,10 @@ mod tests {
         view: ServerView,
         ledger: Ledger,
         pending: VecDeque<(StreamId, f64)>,
-        rank: Option<RankIndex>,
+        rank: Option<RankForest>,
         scratch: FleetScratch,
         stats: CtxStats,
+        deferred: Vec<(StreamId, Filter)>,
     }
 
     impl Parts {
@@ -234,6 +341,7 @@ mod tests {
                 &mut self.rank,
                 &mut self.scratch,
                 &mut self.stats,
+                &mut self.deferred,
             )
         }
     }
@@ -247,6 +355,7 @@ mod tests {
             rank: None,
             scratch: FleetScratch::default(),
             stats: CtxStats::default(),
+            deferred: Vec::new(),
         }
     }
 
@@ -293,7 +402,7 @@ mod tests {
     fn rank_index_tracks_every_view_refresh() {
         let mut p = setup();
         let space = RankSpace::KMin;
-        p.rank = Some(RankIndex::new(space, 3));
+        p.rank = Some(RankForest::new(space, 3, 1));
         {
             let mut ctx = p.ctx();
             // probe_all rebuilds the index over the whole view.
@@ -316,7 +425,7 @@ mod tests {
     fn probe_many_refreshes_view_and_rank_index() {
         let mut p = setup();
         let space = RankSpace::KMin;
-        p.rank = Some(RankIndex::new(space, 3));
+        p.rank = Some(RankForest::new(space, 3, 1));
         {
             let mut ctx = p.ctx();
             ctx.probe_all();
@@ -331,6 +440,48 @@ mod tests {
         assert_eq!(ctx.ledger().total(), ledger_before + 4, "2 messages per probe");
         assert_eq!(ctx.view().get(StreamId(2)), 50.0);
         assert_eq!(ctx.ranks(space).ordered_ids(), vec![StreamId(2), StreamId(1), StreamId(0)]);
+    }
+
+    #[test]
+    fn install_later_flushes_once_in_queue_order() {
+        let mut p = setup();
+        {
+            let mut ctx = p.ctx();
+            ctx.probe_all();
+            ctx.install_many(&[
+                (StreamId(0), Filter::interval(0.0, 1000.0)),
+                (StreamId(2), Filter::interval(0.0, 1000.0)),
+            ]);
+        }
+        // Both drift silently; a deferred tight redeploy must sync them in
+        // queue order (2 before 0) at the flush, not at the enqueue.
+        p.fleet.deliver_update(StreamId(0), 450.0, &mut p.ledger, &mut p.view);
+        p.fleet.deliver_update(StreamId(2), 460.0, &mut p.ledger, &mut p.view);
+        {
+            let mut ctx = p.ctx();
+            ctx.install_later(StreamId(2), Filter::interval(400.0, 500.0));
+            ctx.install_later(StreamId(0), Filter::interval(400.0, 500.0));
+            assert_eq!(ctx.deferred_len(), 2);
+        }
+        assert!(p.pending.is_empty(), "nothing executes before the flush");
+        let mut buf = Vec::new();
+        {
+            let mut ctx = p.ctx();
+            ctx.flush_deferred(&mut buf);
+        }
+        assert_eq!(
+            p.pending.iter().copied().collect::<Vec<_>>(),
+            vec![(StreamId(2), 460.0), (StreamId(0), 450.0)]
+        );
+        assert_eq!(p.stats.deferred_installs, 2);
+        assert_eq!(p.stats.deferred_flushes, 1);
+        assert!(p.deferred.is_empty());
+        // An empty queue flush is a no-op.
+        {
+            let mut ctx = p.ctx();
+            ctx.flush_deferred(&mut buf);
+        }
+        assert_eq!(p.stats.deferred_flushes, 1);
     }
 
     #[test]

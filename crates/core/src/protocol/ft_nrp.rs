@@ -148,19 +148,19 @@ impl FtNrp {
         let fp: BTreeSet<StreamId> = self.fp_filters.iter().copied().collect();
         let fn_: BTreeSet<StreamId> = self.fn_filters.iter().copied().collect();
         // One batch deployment (insiders first, like the scalar loops the
-        // seed ran): the sharded backend installs each shard's slice
-        // concurrently, and sync-reports queue in installation order.
-        let mut installs: Vec<(StreamId, Filter)> =
-            Vec::with_capacity(inside.len() + outside.len());
-        installs.extend(inside.into_iter().map(|id| {
+        // seed ran), queued on the deferred-op queue and flushed by the
+        // engine as a single shard-parallel `install_many` at the handler
+        // boundary; sync-reports queue in installation order. Nothing reads
+        // the affected view entries before the handler returns, so the
+        // deferral is observation-equivalent to installing here.
+        for id in inside {
             let f = if fp.contains(&id) { Filter::wildcard() } else { self.query.as_filter() };
-            (id, f)
-        }));
-        installs.extend(outside.into_iter().map(|id| {
+            ctx.install_later(id, f);
+        }
+        for id in outside {
             let f = if fn_.contains(&id) { Filter::suppress() } else { self.query.as_filter() };
-            (id, f)
-        }));
-        ctx.install_many(&installs);
+            ctx.install_later(id, f);
+        }
     }
 
     /// Figure 7, `Fix_Error`.

@@ -131,6 +131,22 @@ impl FtRp {
         self.fn_filters.clear();
         self.count = 0;
 
+        let n_plus = (k as f64 * self.rho.rho_plus).floor() as usize;
+        let n_minus = (k as f64 * self.rho.rho_minus).floor() as usize;
+
+        // No special-filter budgets (small k·ρ, e.g. zero tolerance): every
+        // stream gets the *same* region filter, which is exactly one
+        // broadcast — O(k log n) coordinator work plus a shard-parallel
+        // fleet-wide install, instead of ranking all n streams and building
+        // an n-entry install plan. This is the reinit-storm hot path.
+        if n_plus == 0 && n_minus == 0 {
+            let top = ctx.ranks(self.query.space()).top_pairs(k + 1);
+            self.d = (top[k - 1].0 + top[k].0) / 2.0;
+            self.answer = top[..k].iter().map(|&(_, id)| id).collect();
+            ctx.broadcast(self.region());
+            return;
+        }
+
         // One ranked pass produces both R's position and the inside/outside
         // split (the full order is needed — every stream gets a filter, in
         // rank order).
@@ -140,9 +156,6 @@ impl FtRp {
         let inside: Vec<StreamId> = ranked[..k].to_vec();
         let outside: Vec<StreamId> = ranked[k..].to_vec();
         self.answer = inside.iter().copied().collect();
-
-        let n_plus = (k as f64 * self.rho.rho_plus).floor() as usize;
-        let n_minus = (k as f64 * self.rho.rho_minus).floor() as usize;
 
         // Boundary distance in key space: |key(v) - d|.
         let space = self.query.space();
@@ -155,19 +168,21 @@ impl FtRp {
         let fp: BTreeSet<StreamId> = self.fp_filters.iter().copied().collect();
         let fn_: BTreeSet<StreamId> = self.fn_filters.iter().copied().collect();
         // One batch deployment in rank order (insiders then outsiders, as
-        // the scalar loops did) — shard-parallel on the sharded backend,
-        // sync-reports queued in installation order.
-        let mut installs: Vec<(StreamId, Filter)> =
-            Vec::with_capacity(inside.len() + outside.len());
-        installs.extend(inside.into_iter().map(|id| {
+        // the scalar loops did), queued on the deferred-op queue: the
+        // engine flushes it as a single shard-parallel `install_many` when
+        // this handler returns, so a reinit storm costs one scatter/gather
+        // however it was triggered — and the engine's pooled queue buffer
+        // replaces a fresh n-entry plan allocation per storm. Nothing reads
+        // the affected view entries before the handler returns, so the
+        // deferral is observation-equivalent to installing here.
+        for id in inside {
             let f = if fp.contains(&id) { Filter::wildcard() } else { self.region() };
-            (id, f)
-        }));
-        installs.extend(outside.into_iter().map(|id| {
+            ctx.install_later(id, f);
+        }
+        for id in outside {
             let f = if fn_.contains(&id) { Filter::suppress() } else { self.region() };
-            (id, f)
-        }));
-        ctx.install_many(&installs);
+            ctx.install_later(id, f);
+        }
     }
 
     /// FT-NRP's `Fix_Error`, over the region `R` instead of `[l, u]`.

@@ -138,14 +138,16 @@ impl Rtp {
     /// `X` — O(ε log n) on the indexed path.
     fn deploy_bound(&mut self, ctx: &mut ServerCtx<'_>) {
         let eps = self.epsilon();
-        let ranks = ctx.ranks(self.query.space());
-        self.d = ranks.midpoint(eps);
-        // X must track *exactly* the streams the server believes inside the
-        // new bound: an untracked believed-inside stream would be missing
-        // from the candidate set of a later overflow shrink, which could
-        // then position R with more than epsilon streams truly inside it —
-        // a Definition-1 violation.
-        self.x = ranks.top_ids(eps).into_iter().collect();
+        // One ranked pass yields both the bound position (midpoint of
+        // ranks ε and ε+1) and the tracked set. X must track *exactly* the
+        // streams the server believes inside the new bound: an untracked
+        // believed-inside stream would be missing from the candidate set
+        // of a later overflow shrink, which could then position R with
+        // more than epsilon streams truly inside it — a Definition-1
+        // violation.
+        let top = ctx.ranks(self.query.space()).top_pairs(eps + 1);
+        self.d = (top[eps - 1].0 + top[eps].0) / 2.0;
+        self.x = top[..eps].iter().map(|&(_, id)| id).collect();
         ctx.broadcast(self.query.space().ball(self.d));
     }
 

@@ -48,12 +48,13 @@ impl ZtRp {
         let k = self.query.k();
         assert!(ctx.n() > k, "ZT-RP requires n > k, got n = {}", ctx.n());
         self.recomputes += 1;
-        // One ranked pass: O(k log n) on the maintained index (the
-        // broadcast below still costs n messages — that is the protocol's
-        // drawback, not the server's).
-        let ranks = ctx.ranks(self.query.space());
-        self.answer = ranks.top_ids(k).into_iter().collect();
-        self.d = ranks.midpoint(k);
+        // One ranked pass yields the answer and the bound position:
+        // O(k log n) on the maintained index (the broadcast below still
+        // costs n messages — that is the protocol's drawback, not the
+        // server's).
+        let top = ctx.ranks(self.query.space()).top_pairs(k + 1);
+        self.answer = top[..k].iter().map(|&(_, id)| id).collect();
+        self.d = (top[k - 1].0 + top[k].0) / 2.0;
         ctx.broadcast(self.query.space().ball(self.d));
     }
 }

@@ -46,6 +46,17 @@
 //! (cache-friendly) and links the treap left-to-right with a right-spine
 //! stack in O(n); with distinct priorities the treap is unique, so the
 //! incremental and bulk paths produce the same structure.
+//!
+//! ## The sharded forest
+//!
+//! What the engines actually maintain is a [`RankForest`]: strided
+//! per-partition [`RankIndex`] treaps (`asf-server` uses one per shard;
+//! the serial engine one total). Queries merge the parts lazily and are
+//! byte-identical for any part count — the global `(key, id)` order is
+//! unique — while maintenance partitions by ownership: a reinit storm's
+//! delta refresh ([`RankForest::refresh_from_changed`]) re-keys only the
+//! drifted streams, partition-parallel, so index upkeep scales with the
+//! shard count instead of serializing on the coordinator.
 
 use simkit::SimRng;
 use streamnet::{ServerView, StreamId};
@@ -372,6 +383,24 @@ impl RankIndex {
         self.len = pairs.len();
     }
 
+    /// How many indexed `(key, id)` pairs order strictly before `at` —
+    /// the descend-and-count half of a rank query, usable with an `at`
+    /// that is not itself indexed (the forest's cross-part rank merge).
+    pub fn count_before(&self, at: (f64, StreamId)) -> usize {
+        let mut t = self.root;
+        let mut count = 0usize;
+        while t != NIL {
+            let node = &self.nodes[t as usize];
+            if cmp_key((node.key, StreamId(t)), at) == std::cmp::Ordering::Less {
+                count += self.size(node.left) as usize + 1;
+                t = node.right;
+            } else {
+                t = node.left;
+            }
+        }
+        count
+    }
+
     /// The 1-based rank of `id`, if indexed.
     pub fn rank_of(&self, id: StreamId) -> Option<usize> {
         let i = id.index();
@@ -484,6 +513,16 @@ impl RankIndex {
         out
     }
 
+    /// A lazy in-order iterator over the indexed `(key, id)` pairs —
+    /// O(log n) to open, O(1) amortized per step — so merging passes (the
+    /// forest's cross-part walks) don't re-descend from the root per
+    /// element or materialize per-part vectors.
+    pub fn iter_inorder(&self) -> InorderIter<'_> {
+        let mut iter = InorderIter { index: self, stack: Vec::with_capacity(48) };
+        iter.descend_left(self.root);
+        iter
+    }
+
     #[inline]
     fn size(&self, t: u32) -> u32 {
         if t == NIL {
@@ -589,16 +628,404 @@ impl RankIndex {
     }
 }
 
+/// Lazy in-order traversal of a [`RankIndex`] (see
+/// [`RankIndex::iter_inorder`]).
+pub struct InorderIter<'a> {
+    index: &'a RankIndex,
+    stack: Vec<u32>,
+}
+
+impl InorderIter<'_> {
+    fn descend_left(&mut self, mut t: u32) {
+        while t != NIL {
+            self.stack.push(t);
+            t = self.index.nodes[t as usize].left;
+        }
+    }
+}
+
+impl Iterator for InorderIter<'_> {
+    type Item = (f64, StreamId);
+
+    fn next(&mut self) -> Option<(f64, StreamId)> {
+        let t = self.stack.pop()?;
+        let node = &self.index.nodes[t as usize];
+        self.descend_left(node.right);
+        Some((node.key, StreamId(t)))
+    }
+}
+
+/// Timing of one partition-parallel index maintenance pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForestTiming {
+    /// Maximum per-part busy time, ns — what a parallel execution waits
+    /// for.
+    pub max_ns: u64,
+    /// Total busy time across all parts, ns.
+    pub sum_ns: u64,
+}
+
+/// A **sharded rank index**: `p` independent [`RankIndex`] treaps, part `p`
+/// owning the global stream ids `≡ p (mod parts)` under local ids
+/// `global / parts` — the same strided partitioning `asf-server` uses for
+/// its worker shards.
+///
+/// The strided local↔global map is monotone within a part, so each part's
+/// `(key, local id)` order is exactly the global `(key, id)` order
+/// restricted to that part, and every query merges the parts without any
+/// re-sorting: `select`/`top_ids` by a `parts`-way cursor walk of per-part
+/// `select` (O(m·p·log n)), full ordered passes by a linear merge of the
+/// per-part in-order traversals, ball counts and ranks by summing per-part
+/// subtree counts. All outputs are **byte-identical** for any part count —
+/// the global `(key, id)` order is unique — so the serial engine (one
+/// part) and the sharded server (one part per shard) agree bit for bit.
+///
+/// The point of the split is *maintenance parallelism*: a reinit storm's
+/// `probe_all` re-keys only the streams that drifted, and those re-keys
+/// partition by ownership — [`RankForest::refresh_from_changed`] runs the
+/// parts on scoped threads (when the batch is worth it) and reports per-
+/// part busy time, so index maintenance scales with the shard count
+/// instead of serializing on the coordinator. Smaller per-part arenas also
+/// make every re-key cheaper (shallower treaps, cache-resident nodes).
+#[derive(Debug)]
+pub struct RankForest {
+    space: RankSpace,
+    parts: Vec<RankIndex>,
+    stride: usize,
+    n: usize,
+    /// Pooled per-part `(local, value)` slices for refresh batches.
+    refresh_scratch: Vec<Vec<(u32, f64)>>,
+}
+
+/// Below this many re-keys a partition-parallel refresh runs the parts on
+/// the caller's thread — scoped-thread spawn overhead would exceed the
+/// work. Purely a performance knob: results are identical either way.
+const FOREST_SPAWN_THRESHOLD: usize = 1024;
+
+impl RankForest {
+    /// Creates an empty forest of `parts` strided partitions over a
+    /// population of `n` ids under `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero or exceeds `n`.
+    pub fn new(space: RankSpace, n: usize, parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one rank partition");
+        assert!(parts <= n.max(1), "more rank partitions ({parts}) than streams ({n})");
+        let part_indexes = (0..parts)
+            .map(|p| {
+                let part_n = (n + parts - 1 - p) / parts; // ceil((n - p) / parts)
+                RankIndex::new(space, part_n)
+            })
+            .collect();
+        Self { space, parts: part_indexes, stride: parts, n, refresh_scratch: Vec::new() }
+    }
+
+    /// The rank space the forest orders by.
+    pub fn space(&self) -> RankSpace {
+        self.space
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of streams currently indexed.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether no stream is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The population size `n` the forest was created for.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Whether every stream of the population is indexed (the delta-refresh
+    /// precondition).
+    pub fn is_fully_populated(&self) -> bool {
+        self.len() == self.n
+    }
+
+    #[inline]
+    fn part_of(&self, id: StreamId) -> (usize, StreamId) {
+        ((id.index() % self.stride), StreamId(id.0 / self.stride as u32))
+    }
+
+    #[inline]
+    fn global_of(&self, part: usize, local: StreamId) -> StreamId {
+        StreamId(local.0 * self.stride as u32 + part as u32)
+    }
+
+    /// Whether `id` is currently indexed.
+    pub fn contains(&self, id: StreamId) -> bool {
+        let (p, l) = self.part_of(id);
+        self.parts[p].contains(l)
+    }
+
+    /// The rank key stored for `id`, if indexed.
+    pub fn key_of(&self, id: StreamId) -> Option<f64> {
+        let (p, l) = self.part_of(id);
+        self.parts[p].key_of(l)
+    }
+
+    /// Re-keys `id` to `value`, inserting it if absent — the maintenance
+    /// operation applied for every value that reaches the server.
+    pub fn update(&mut self, id: StreamId, value: f64) {
+        let (p, l) = self.part_of(id);
+        self.parts[p].update(l, value);
+    }
+
+    /// Rebuilds the whole forest from a fully-known view, each part by one
+    /// sorted [`RankIndex::bulk_build`] pass over its stride slice.
+    /// Returns per-part timing (the parts are independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view population differs from the forest population or
+    /// the view is not fully known.
+    pub fn rebuild_from_view(&mut self, view: &ServerView) -> ForestTiming {
+        assert_eq!(view.len(), self.n, "view/forest population mismatch");
+        assert!(view.all_known(), "cannot index a partially-known view");
+        let stride = self.stride;
+        let mut timing = ForestTiming::default();
+        for (p, part) in self.parts.iter_mut().enumerate() {
+            let t = std::time::Instant::now();
+            part.bulk_build((0..part.capacity()).map(|l| {
+                let g = StreamId((l * stride + p) as u32);
+                (StreamId(l as u32), view.get(g))
+            }));
+            let ns = t.elapsed().as_nanos() as u64;
+            timing.max_ns = timing.max_ns.max(ns);
+            timing.sum_ns += ns;
+        }
+        timing
+    }
+
+    /// Re-keys exactly the `changed` ids to their current view values —
+    /// the reinit-storm maintenance pass. The re-keys partition by
+    /// ownership, so the parts run on scoped threads when the batch is
+    /// large enough to amortize the spawns; per-part busy time is
+    /// returned so callers can attribute the maximum as the parallel
+    /// component of their scaling model. Results are byte-identical to
+    /// calling [`RankForest::update`] per id in any order (the treap over
+    /// a `(key, id, priority)` set is unique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view population differs from the forest population or
+    /// the forest is not fully populated (bulk-build first — a partially
+    /// populated forest would silently answer wrong global ranks).
+    pub fn refresh_from_changed(
+        &mut self,
+        view: &ServerView,
+        changed: &[StreamId],
+    ) -> ForestTiming {
+        assert_eq!(view.len(), self.n, "view/forest population mismatch");
+        assert!(
+            self.is_fully_populated(),
+            "delta refresh needs a fully-populated forest; rebuild first"
+        );
+        let stride = self.stride;
+        while self.refresh_scratch.len() < stride {
+            self.refresh_scratch.push(Vec::new());
+        }
+        let mut slices = std::mem::take(&mut self.refresh_scratch);
+        for s in slices.iter_mut() {
+            s.clear();
+        }
+        for &id in changed {
+            let (p, l) = (id.index() % stride, id.0 / stride as u32);
+            slices[p].push((l, view.get(id)));
+        }
+        let mut timing = ForestTiming::default();
+        let record = |ns: u64, timing: &mut ForestTiming| {
+            timing.max_ns = timing.max_ns.max(ns);
+            timing.sum_ns += ns;
+        };
+        // Spawn only when real cores exist: on a single-CPU host the
+        // scoped threads would interleave and each part's wall-clock would
+        // measure the whole pass, corrupting the per-part busy attribution
+        // (results are identical either way — this is a metering/
+        // performance gate only).
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if stride > 1 && cores > 1 && changed.len() >= FOREST_SPAWN_THRESHOLD {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .parts
+                    .iter_mut()
+                    .zip(slices.iter())
+                    .map(|(part, slice)| {
+                        scope.spawn(move || {
+                            let t = std::time::Instant::now();
+                            for &(l, v) in slice {
+                                part.update(StreamId(l), v);
+                            }
+                            t.elapsed().as_nanos() as u64
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    record(handle.join().expect("rank part refresh panicked"), &mut timing);
+                }
+            });
+        } else {
+            for (part, slice) in self.parts.iter_mut().zip(slices.iter()) {
+                let t = std::time::Instant::now();
+                for &(l, v) in slice {
+                    part.update(StreamId(l), v);
+                }
+                record(t.elapsed().as_nanos() as u64, &mut timing);
+            }
+        }
+        self.refresh_scratch = slices;
+        timing
+    }
+
+    /// The `(key, id)` pair of 1-based rank `m` — a `parts`-way cursor
+    /// walk of per-part selections.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= m <= len`.
+    pub fn select(&self, m: usize) -> (f64, StreamId) {
+        let len = self.len();
+        assert!(m >= 1 && m <= len, "select rank {m} out of 1..={len}");
+        let mut out = (f64::NAN, StreamId(u32::MAX));
+        self.top_walk(m, |pair| out = pair);
+        out
+    }
+
+    /// The midpoint between the keys of ranks `m` and `m + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m + 1` streams are indexed or `m == 0`.
+    pub fn midpoint(&self, m: usize) -> f64 {
+        assert!(m >= 1, "midpoint rank must be >= 1");
+        assert!(
+            self.len() > m,
+            "midpoint between ranks {m} and {} needs more than {m} streams, got {}",
+            m + 1,
+            self.len()
+        );
+        let mut keys = (0.0f64, 0.0f64);
+        self.top_walk(m + 1, |pair| {
+            keys = (keys.1, pair.0);
+        });
+        (keys.0 + keys.1) / 2.0
+    }
+
+    /// The `m` best-ranked ids in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m` streams are indexed.
+    pub fn top_ids(&self, m: usize) -> Vec<StreamId> {
+        assert!(m <= self.len(), "asked for top {m} of {} indexed streams", self.len());
+        let mut out = Vec::with_capacity(m);
+        self.top_walk(m, |(_, id)| out.push(id));
+        out
+    }
+
+    /// The `m` best-ranked `(key, id)` pairs in order — one walk serving
+    /// both a bound position and its tracked set (protocols that need
+    /// `midpoint(ε)` *and* the top ε ids pay a single pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m` streams are indexed.
+    pub fn top_pairs(&self, m: usize) -> Vec<(f64, StreamId)> {
+        assert!(m <= self.len(), "asked for top {m} of {} indexed streams", self.len());
+        let mut out = Vec::with_capacity(m);
+        self.top_walk(m, |pair| out.push(pair));
+        out
+    }
+
+    /// Walks the best `m` global `(key, id)` pairs in order, calling
+    /// `visit` for each: one lazy in-order iterator per part (O(log n) to
+    /// open, O(1) amortized to advance), picking the global minimum each
+    /// step — O(m·parts) comparisons, no re-descent, no materialization.
+    fn top_walk(&self, m: usize, mut visit: impl FnMut((f64, StreamId))) {
+        let mut iters: Vec<InorderIter<'_>> =
+            self.parts.iter().map(|part| part.iter_inorder()).collect();
+        let mut heads: Vec<Option<(f64, StreamId)>> = iters
+            .iter_mut()
+            .enumerate()
+            .map(|(p, it)| it.next().map(|(k, l)| (k, self.global_of(p, l))))
+            .collect();
+        for _ in 0..m {
+            let mut best: Option<usize> = None;
+            for (p, head) in heads.iter().enumerate() {
+                if let Some(pair) = head {
+                    if best.is_none_or(|b| {
+                        cmp_key(*pair, heads[b].expect("best head present")).is_lt()
+                    }) {
+                        best = Some(p);
+                    }
+                }
+            }
+            let p = best.expect("walk within len");
+            visit(heads[p].expect("picked head present"));
+            heads[p] = iters[p].next().map(|(k, l)| (k, self.global_of(p, l)));
+        }
+    }
+
+    /// Every indexed id, best-first.
+    pub fn ordered_ids(&self) -> Vec<StreamId> {
+        self.ordered_pairs().into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Every indexed `(key, id)` pair, best-first — a lazy merge of the
+    /// per-part in-order traversals (each already in global order).
+    pub fn ordered_pairs(&self) -> Vec<(f64, StreamId)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.top_walk(self.len(), |pair| out.push(pair));
+        out
+    }
+
+    /// How many indexed streams lie inside the ball `{key <= d}` — the
+    /// sum of the per-part subtree counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN `d`.
+    pub fn count_in_ball(&self, d: f64) -> usize {
+        self.parts.iter().map(|p| p.count_in_ball(d)).sum()
+    }
+
+    /// The 1-based rank of `id`, if indexed: one `count_before` descent
+    /// per part against the global `(key, id)` cutoff.
+    pub fn rank_of(&self, id: StreamId) -> Option<usize> {
+        let key = self.key_of(id)?;
+        let mut before = 0usize;
+        for (p, part) in self.parts.iter().enumerate() {
+            // Entries of part p order before (key, id) iff their key is
+            // smaller, or equal with global id `l·parts + p < id`; the
+            // local cutoff for that is ceil((id - p) / parts).
+            let cut =
+                if id.0 > p as u32 { (id.0 - p as u32).div_ceil(self.stride as u32) } else { 0 };
+            before += part.count_before((key, StreamId(cut)));
+        }
+        Some(before + 1)
+    }
+}
+
 /// One ranked pass over the server's current knowledge, handed to rank
 /// protocols by [`crate::protocol::ServerCtx::ranks`].
 ///
-/// Backed by the engine-maintained [`RankIndex`] when incremental ranking
+/// Backed by the engine-maintained [`RankForest`] when incremental ranking
 /// is on (the default), or by a single sort of the view (the seed path,
 /// kept for differential testing). All accessors return byte-identical
 /// results either way.
 pub enum Ranks<'a> {
-    /// The engine's incrementally maintained index.
-    Indexed(&'a RankIndex),
+    /// The engine's incrementally maintained sharded index.
+    Indexed(&'a RankForest),
     /// One full sort of the view snapshot (`(key, id)` ascending).
     Sorted(Vec<(f64, StreamId)>),
 }
@@ -674,6 +1101,22 @@ impl Ranks<'_> {
             Ranks::Sorted(pairs) => {
                 assert!(m <= pairs.len(), "asked for top {m} of {} ranked streams", pairs.len());
                 pairs[..m].iter().map(|&(_, id)| id).collect()
+            }
+        }
+    }
+
+    /// The `m` best-ranked `(key, id)` pairs in order — one pass serving
+    /// both a bound position (`pairs[m-1].0`) and the tracked id set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `m` streams are ranked.
+    pub fn top_pairs(&self, m: usize) -> Vec<(f64, StreamId)> {
+        match self {
+            Ranks::Indexed(index) => index.top_pairs(m),
+            Ranks::Sorted(pairs) => {
+                assert!(m <= pairs.len(), "asked for top {m} of {} ranked streams", pairs.len());
+                pairs[..m].to_vec()
             }
         }
     }
@@ -903,6 +1346,14 @@ mod tests {
         index.midpoint(2);
     }
 
+    fn filled_forest(space: RankSpace, values: &[f64], parts: usize) -> RankForest {
+        let mut forest = RankForest::new(space, values.len(), parts);
+        for (i, &v) in values.iter().enumerate() {
+            forest.update(StreamId(i as u32), v);
+        }
+        forest
+    }
+
     #[test]
     fn ranks_facade_paths_agree() {
         let space = RankSpace::Knn { q: 50.0 };
@@ -911,16 +1362,62 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             view.set(StreamId(i as u32), v);
         }
-        let index = filled_index(space, &values);
-        let indexed = Ranks::Indexed(&index);
-        let sorted = Ranks::from_view(space, &view);
-        assert_eq!(indexed.len(), sorted.len());
-        assert_eq!(indexed.ordered_ids(), sorted.ordered_ids());
-        assert_eq!(indexed.ordered_pairs(), sorted.ordered_pairs());
-        for m in 1..values.len() {
-            assert_eq!(indexed.select(m), sorted.select(m), "select {m}");
-            assert_eq!(indexed.midpoint(m), sorted.midpoint(m), "midpoint {m}");
-            assert_eq!(indexed.top_ids(m), sorted.top_ids(m), "top {m}");
+        for parts in [1usize, 3] {
+            let forest = filled_forest(space, &values, parts);
+            let indexed = Ranks::Indexed(&forest);
+            let sorted = Ranks::from_view(space, &view);
+            assert_eq!(indexed.len(), sorted.len());
+            assert_eq!(indexed.ordered_ids(), sorted.ordered_ids());
+            assert_eq!(indexed.ordered_pairs(), sorted.ordered_pairs());
+            for m in 1..values.len() {
+                assert_eq!(indexed.select(m), sorted.select(m), "select {m} parts {parts}");
+                assert_eq!(indexed.midpoint(m), sorted.midpoint(m), "midpoint {m} parts {parts}");
+                assert_eq!(indexed.top_ids(m), sorted.top_ids(m), "top {m} parts {parts}");
+            }
         }
+    }
+
+    #[test]
+    fn forest_part_counts_are_byte_identical() {
+        // Ties across parts on purpose: 40 and 60 both at distance 10 from
+        // q = 50, landing in different strided partitions.
+        let space = RankSpace::Knn { q: 50.0 };
+        let values = [40.0, 60.0, 50.0, 10.0, 90.0, 50.0, 45.0, 55.0, 70.0];
+        let single = filled_forest(space, &values, 1);
+        for parts in [2usize, 3, 4, 9] {
+            let forest = filled_forest(space, &values, parts);
+            assert_eq!(forest.ordered_pairs(), single.ordered_pairs(), "parts {parts}");
+            assert_eq!(forest.count_in_ball(10.0), single.count_in_ball(10.0), "parts {parts}");
+            for (i, _) in values.iter().enumerate() {
+                let id = StreamId(i as u32);
+                assert_eq!(forest.rank_of(id), single.rank_of(id), "rank_of {id} parts {parts}");
+                assert_eq!(forest.key_of(id), single.key_of(id));
+            }
+            for m in 1..=values.len() {
+                assert_eq!(forest.select(m), single.select(m), "select {m} parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn forest_refresh_from_changed_equals_rebuild() {
+        let space = RankSpace::KMin;
+        let n = 64;
+        let mut view = ServerView::new(n);
+        for i in 0..n {
+            view.set(StreamId(i as u32), (i * 37 % 100) as f64);
+        }
+        let mut forest = RankForest::new(space, n, 4);
+        forest.rebuild_from_view(&view);
+        assert!(forest.is_fully_populated());
+        // Drift a strided spread of streams, including ties.
+        let changed: Vec<StreamId> = (0..n).step_by(5).map(|i| StreamId(i as u32)).collect();
+        for &id in &changed {
+            view.set(id, (id.0 * 13 % 50) as f64);
+        }
+        forest.refresh_from_changed(&view, &changed);
+        let mut rebuilt = RankForest::new(space, n, 4);
+        rebuilt.rebuild_from_view(&view);
+        assert_eq!(forest.ordered_pairs(), rebuilt.ordered_pairs());
     }
 }

@@ -150,7 +150,9 @@ mod tests {
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
             let mut h = ShardHandle::spawn(Shard::new(&values[0]), mode, 2);
             match h.request(ShardCmd::ProbeAll) {
-                ShardReply::ProbedAll(v) => assert_eq!(v, vec![100.0, 500.0, 900.0]),
+                ShardReply::ProbedAll { values, .. } => {
+                    assert_eq!(values, vec![100.0, 500.0, 900.0])
+                }
                 other => panic!("unexpected reply {other:?}"),
             }
             match h.request(ShardCmd::Deliver { local: 1, value: 550.0 }) {

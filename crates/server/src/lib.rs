@@ -57,12 +57,14 @@
 
 pub mod handle;
 pub mod metrics;
+pub mod pipeline;
 pub mod router;
 pub mod server;
 pub mod shard;
 
 pub use handle::ExecMode;
-pub use metrics::ServerMetrics;
+pub use metrics::{FleetOpStats, ServerMetrics};
+pub use pipeline::CoordMode;
 pub use server::{ServerConfig, ShardedServer};
 pub use shard::Partition;
 
@@ -102,7 +104,7 @@ mod tests {
         engine.run(&mut vw);
 
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
-            let config = ServerConfig { num_shards: 4, batch_size: 64, mode, channel_capacity: 2 };
+            let config = ServerConfig { num_shards: 4, batch_size: 64, mode, ..Default::default() };
             let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
             server.initialize();
             server.ingest_batch(&events);

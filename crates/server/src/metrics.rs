@@ -9,6 +9,37 @@ use simkit::percentile;
 /// Number of recent batch-latency samples retained for percentiles.
 const LATENCY_WINDOW: usize = 4096;
 
+/// Where the time of **batch fleet operations** went — the `probe_many` /
+/// `install_many` / `probe_all` / `broadcast` scatter/gathers issued by
+/// protocol handlers against the shards.
+///
+/// The coordinator wall-clock of such an operation splits into shard-side
+/// work (each shard runs its slice; concurrent in a multi-core deployment)
+/// and coordinator-side fan-out/reassembly. `parallel_ns` sums, per
+/// operation, the **maximum** shard busy time — what a perfectly parallel
+/// execution waits for — while `busy_sum_ns` sums all shard busy time, so
+/// `wall_ns − busy_sum_ns` is the genuinely serial coordinator overhead.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetOpStats {
+    /// Coordinator wall time inside batch fleet operations, ns.
+    pub wall_ns: u64,
+    /// Σ over operations of the maximum per-shard busy time, ns — the
+    /// modeled parallel component.
+    pub parallel_ns: u64,
+    /// Σ of all shard busy time inside batch operations, ns.
+    pub busy_sum_ns: u64,
+    /// Σ per operation of `min(busy_sum, wall)` — the portion of the
+    /// coordinator's wall that was shard-side work. This is what the
+    /// serial accounting subtracts: with inline shards the busy sum is
+    /// fully contained in the wall; with threaded shards the work
+    /// overlapped and only up to the op's own wall can have contributed,
+    /// so the subtraction is bounded per operation and can never erase
+    /// unrelated coordinator time.
+    pub hidden_ns: u64,
+    /// Batch fleet operations executed.
+    pub batch_ops: u64,
+}
+
 /// Counters and samples collected while the server ingests batches.
 #[derive(Clone, Debug, Default)]
 pub struct ServerMetrics {
@@ -36,10 +67,41 @@ pub struct ServerMetrics {
     pub critical_path_ns: u64,
     /// Time the coordinator spent scattering batches to shards (ns).
     pub scatter_ns: u64,
-    /// Time the coordinator spent in serial report handling (ns).
+    /// Time the coordinator spent in serial report handling (ns),
+    /// **excluding** the shard-side busy time of batch fleet operations
+    /// issued inside handlers (attributed to [`ServerMetrics::fleet`]).
     pub serial_ns: u64,
+    /// Batch fleet operations issued by report handlers during ingestion
+    /// (handler probes, deployments, broadcasts).
+    pub fleet: FleetOpStats,
+    /// Σ over rank-forest maintenance passes (inside report handlers) of
+    /// the maximum per-partition busy time — index maintenance
+    /// parallelizes across the forest's strided partitions exactly like
+    /// shard work, so this is its modeled parallel component.
+    pub index_parallel_ns: u64,
+    /// Σ of all per-partition busy time inside those maintenance passes
+    /// (subtracted from `serial_ns`).
+    pub index_busy_sum_ns: u64,
+    /// Pipelined coordinator only: Σ over windows of
+    /// `min(drain time of window t, evaluation critical path of window
+    /// t+1)` — serial work hidden behind concurrent shard evaluation.
+    pub overlap_saved_ns: u64,
+    /// Windows whose evaluation genuinely overlapped a report drain.
+    pub overlapped_windows: u64,
+    /// Maximum evaluation windows in flight at once (1 serial,
+    /// 2 pipelined once the pipe fills).
+    pub max_inflight_windows: u64,
+    /// Quiescent commit points that closed at least one consumed report —
+    /// the denominator of the report-coalescing gauge.
+    pub report_groups: u64,
+    /// Speculative next-window evaluation discarded by cross-window cuts:
+    /// shard busy time burned in the shadow of the drain that cut it.
+    pub discarded_window_busy_ns: u64,
+    /// Tentative reports discarded with those windows (re-evaluated after
+    /// the cut).
+    pub discarded_reports: u64,
     /// Wall-clock durations of the most recent batch applies (ns ring,
-    /// at most [`LATENCY_WINDOW`] samples).
+    /// at most `LATENCY_WINDOW` samples).
     batch_ns: Vec<u64>,
 }
 
@@ -54,7 +116,7 @@ impl ServerMetrics {
     }
 
     /// Records one completed batch apply. Latency samples live in a
-    /// fixed-size ring (the most recent [`LATENCY_WINDOW`] batches), so a
+    /// fixed-size ring (the most recent `LATENCY_WINDOW` batches), so a
     /// long-lived server's memory stays bounded.
     pub fn record_batch(&mut self, wall_ns: u64) {
         if self.batch_ns.len() < LATENCY_WINDOW {
@@ -66,7 +128,7 @@ impl ServerMetrics {
     }
 
     /// Batch-apply latency percentile in nanoseconds (p in `[0, 100]`),
-    /// over the most recent [`LATENCY_WINDOW`] batches; `None` before the
+    /// over the most recent `LATENCY_WINDOW` batches; `None` before the
     /// first batch.
     pub fn batch_latency_ns(&self, p: f64) -> Option<f64> {
         if self.batch_ns.is_empty() {
@@ -83,6 +145,18 @@ impl ServerMetrics {
             0.0
         } else {
             (self.events.saturating_sub(self.reports_consumed)) as f64 / self.events as f64
+        }
+    }
+
+    /// Reports consumed per quiescent commit point — how many independent
+    /// reports one quiescent point covers on average. 1.0 means every
+    /// report forced its own commit (no coalescing); higher is better.
+    /// `None` before the first group closes.
+    pub fn coalesced_reports_per_group(&self) -> Option<f64> {
+        if self.report_groups == 0 {
+            None
+        } else {
+            Some(self.reports_consumed as f64 / self.report_groups as f64)
         }
     }
 
@@ -104,7 +178,9 @@ impl ServerMetrics {
         let p99 = self.batch_latency_ns(99.0).unwrap_or(0.0) / 1_000.0;
         format!(
             "batches={} rounds={} cuts={} events={} reports={} rolled_back={} \
-             parallel_fraction={:.3} occupancy_skew={:.3} batch_apply p50={:.1}us p99={:.1}us",
+             parallel_fraction={:.3} occupancy_skew={:.3} window_depth={} \
+             coalesced_reports_per_group={:.2} overlap_saved={:.1}us \
+             batch_apply p50={:.1}us p99={:.1}us",
             self.batches,
             self.rounds,
             self.cuts,
@@ -113,6 +189,9 @@ impl ServerMetrics {
             self.rolled_back,
             self.parallel_fraction(),
             self.occupancy_skew().unwrap_or(f64::NAN),
+            self.max_inflight_windows,
+            self.coalesced_reports_per_group().unwrap_or(f64::NAN),
+            self.overlap_saved_ns as f64 / 1_000.0,
             p50,
             p99,
         )

@@ -1,0 +1,290 @@
+//! The pipelined coordinator: double-buffered evaluation windows.
+//!
+//! The serial coordinator alternates two phases that never overlap: the
+//! shards evaluate a window, then the coordinator drains the window's
+//! report stream while every shard sits idle. On report-heavy workloads
+//! (rank protocols with redeployments, reinit storms) the drain dominates,
+//! and adding shards buys nothing — the ROADMAP's `serial_ns` wall.
+//!
+//! Pipelining overlaps the two: while the coordinator drains window *t*'s
+//! seq-ordered reports, the shards already evaluate window *t+1*
+//! speculatively. This is sound for exactly the same reason in-window
+//! speculation is sound — a report handler that touches no source state
+//! cannot change any evaluation, because sources are independent — and the
+//! guarded cut generalizes across the window boundary:
+//!
+//! ```text
+//!             ┌───────────── window t ─────────────┐┌─── window t+1 ───┐
+//!   shards:   │ EvalBatch(t)      (idle)           ││ EvalBatch(t+1)   │ ...
+//!   coord:    │ scatter t | gather t | scatter t+1 || drain reports(t) | gather t+1 ...
+//! ```
+//!
+//! ## The window/rollback state machine
+//!
+//! ```text
+//!                    scatter t ──► gather t
+//!                                     │
+//!                        ┌────────────▼─────────────┐
+//!              ┌────────►│ scatter t+1 (speculative)│◄─────────┐
+//!              │         └────────────┬─────────────┘          │
+//!              │                      │ drain t's reports      │
+//!              │                      ▼                        │
+//!              │      ┌─ no handler touched the fleet ─┐       │
+//!              │      │  window t stands; gather t+1   ├───────┘
+//!              │      │  (its eval overlapped the      │   t := t+1
+//!              │      │   drain: `overlap_saved_ns`)   │
+//!              │      └────────────────────────────────┘
+//!              │
+//!              │      ┌─ handler touched the fleet at seq c ──────────┐
+//!   refill the │      │ 1. absorb t+1's `Evaluated` replies (reports  │
+//!   pipe at    │      │    discarded, buffers recycled)               │
+//!   c+1        │      │ 2. commit_below(c+1): applications with       │
+//!              │      │    seq ≤ c stand, everything later — rest of  │
+//!              │      │    t *and* all of t+1 — rolls back, newest    │
+//!              │      │    first                                      │
+//!              │      │ 3. the touch executes against the exact       │
+//!              │      │    serial state; remaining reports of t are   │
+//!              │      │    dropped (they will re-evaluate)            │
+//!              └──────┤ 4. re-scatter from c+1 (adapted window)       │
+//!                     └───────────────────────────────────────────────┘
+//! ```
+//!
+//! The cut's `commit_below(c + 1)` is the cross-window rollback: the
+//! [`streamnet::SpecLog`] journals both windows' applications under one
+//! strictly-increasing sequence, so one cut rolls back precisely the
+//! in-flight work the touch invalidates — the suffix of *t* past the
+//! report being handled plus all of *t+1* — and nothing before it.
+//!
+//! ## Determinism
+//!
+//! Reports are consumed in sequence order, windows commit in order, and a
+//! touch rolls speculation back to the exact serial state before it
+//! executes — so the pipelined coordinator is **byte-identical** to the
+//! serial coordinator and to the single-threaded engine (answers, ledgers,
+//! view bits, report counts), for any shard count and execution mode.
+//! `tests/server_shard_invariance.rs` and `tests/batch_differential.rs`
+//! pin this per protocol.
+//!
+//! Because no handler ran between window *t*'s evaluation and its drain,
+//! a whole burst of independent reports — reports whose handlers only
+//! mutate protocol bookkeeping — is consumed against one speculation
+//! generation and committed at one quiescent point
+//! ([`crate::ServerMetrics::coalesced_reports_per_group`]); the batch
+//! fleet operations a handler *does* issue execute as one scatter/gather
+//! each (see [`crate::router::ShardRouter`]), so a reinit storm costs one
+//! probe storm plus one deployment storm, not `2n` round-trips.
+
+use asf_core::protocol::Protocol;
+use asf_core::workload::UpdateEvent;
+
+/// How the coordinator schedules report handling against shard evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CoordMode {
+    /// Evaluate a window, then drain its reports; no overlap. The
+    /// speculation baseline the differential suites compare against.
+    Serial,
+    /// Double-buffered windows: shards evaluate window `t+1` while the
+    /// coordinator drains window `t`'s reports; a fleet touch rolls back
+    /// the in-flight work it invalidates. Byte-identical to
+    /// [`CoordMode::Serial`]. The default.
+    #[default]
+    Pipelined,
+}
+
+use crate::server::ShardedServer;
+
+impl<P: Protocol> ShardedServer<P> {
+    /// Double-buffered chunk application (see the module docs for the
+    /// state machine). Byte-identical to the serial path by construction.
+    pub(crate) fn apply_chunk_pipelined(&mut self, events: &[UpdateEvent]) {
+        let mut start = 0usize;
+        'refill: while start < events.len() {
+            // Fill the pipe: evaluate the first window with nothing to
+            // overlap (there are no reports to drain yet).
+            let end = events.len().min(start + self.window);
+            let participants = self.scatter_window(events, start, end);
+            self.metrics.critical_path_ns += self.gather_window(&participants);
+            let mut cur_end = end;
+
+            // Steady state: window t's reports drain while window t+1
+            // evaluates.
+            loop {
+                let mut next_window: Vec<usize> = Vec::new();
+                let mut next_end = cur_end;
+                if cur_end < events.len() {
+                    next_end = events.len().min(cur_end + self.window);
+                    next_window = self.scatter_window(events, cur_end, next_end);
+                    self.metrics.max_inflight_windows = self.metrics.max_inflight_windows.max(2);
+                }
+
+                let (cut_at, drain_pure) = self.drain_reports(&mut next_window);
+
+                match cut_at {
+                    Some(c) => {
+                        // The guarded cut absorbed the in-flight window
+                        // (if any) and rolled everything past `c` back;
+                        // refill the pipe right after the touch.
+                        debug_assert!(next_window.is_empty(), "cut leaves no window in flight");
+                        self.adapt_window_to_cut(start, c);
+                        start = c as usize + 1;
+                        continue 'refill;
+                    }
+                    None => {
+                        // Window t stands (its applications commit at the
+                        // next cut or the chunk-end quiescent point).
+                        // Quiet window: widen (deterministic — depends
+                        // only on the event/report sequence).
+                        self.window = (self.window * 2).min(self.max_window());
+                        start = cur_end;
+                        if next_window.is_empty() {
+                            break 'refill;
+                        }
+                        // Gather t+1: its evaluation ran while the drain
+                        // above did — serial time hidden by the pipeline.
+                        let cp_next = self.gather_window(&next_window);
+                        self.metrics.critical_path_ns += cp_next;
+                        let saved = drain_pure.min(cp_next);
+                        self.metrics.overlap_saved_ns += saved;
+                        if saved > 0 {
+                            self.metrics.overlapped_windows += 1;
+                        }
+                        cur_end = next_end;
+                    }
+                }
+            }
+        }
+        // Quiescent: make every surviving speculative application
+        // permanent.
+        self.commit_surviving();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::ExecMode;
+    use crate::server::ServerConfig;
+    use asf_core::engine::Engine;
+    use asf_core::protocol::{Rtp, ZtNrp};
+    use asf_core::query::{RangeQuery, RankQuery};
+    use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
+    use streamnet::StreamId;
+    use workloads::{SyntheticConfig, SyntheticWorkload};
+
+    fn fixture(n: usize, horizon: f64, seed: u64) -> (Vec<f64>, Vec<UpdateEvent>) {
+        let mut w = SyntheticWorkload::new(SyntheticConfig {
+            num_streams: n,
+            horizon,
+            seed,
+            ..Default::default()
+        });
+        let initial = w.initial_values();
+        let mut events = Vec::new();
+        while let Some(ev) = w.next_event() {
+            events.push(ev);
+        }
+        (initial, events)
+    }
+
+    #[test]
+    fn pipelined_overlaps_windows_and_matches_serial_engine() {
+        let (initial, events) = fixture(32, 200.0, 5);
+        let query = RangeQuery::new(400.0, 600.0).unwrap();
+
+        let mut engine = Engine::new(&initial, ZtNrp::new(query));
+        engine.initialize();
+        let mut w = VecWorkload::new(initial.clone(), events.clone());
+        engine.run(&mut w);
+
+        for mode in [ExecMode::Inline, ExecMode::Threaded] {
+            let config = ServerConfig {
+                num_shards: 4,
+                batch_size: 64,
+                mode,
+                channel_capacity: 2,
+                coordinator: CoordMode::Pipelined,
+            };
+            let mut server = super::ShardedServer::new(&initial, ZtNrp::new(query), config);
+            server.initialize();
+            server.ingest_batch(&events);
+            assert_eq!(server.answer(), engine.answer(), "{mode:?}");
+            assert_eq!(server.ledger(), engine.ledger(), "{mode:?}");
+            let m = server.metrics();
+            assert_eq!(m.max_inflight_windows, 2, "the pipe must actually fill ({mode:?})");
+            assert_eq!(m.speculative_commits, m.events, "every event commits exactly once");
+            assert_eq!(m.shard_events.iter().sum::<u64>(), m.events);
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn cross_window_touch_rolls_back_inflight_window() {
+        // RTP's overflow/expansion handlers probe and broadcast, so a
+        // moving workload reliably touches the fleet mid-drain — with a
+        // window in flight, the touch must absorb and roll it back, and
+        // still match the serial engine byte for byte.
+        let (initial, events) = fixture(30, 150.0, 11);
+        let query = RankQuery::knn(500.0, 4).unwrap();
+
+        let mut engine = Engine::new(&initial, Rtp::new(query, 2).unwrap());
+        engine.initialize();
+        let mut w = VecWorkload::new(initial.clone(), events.clone());
+        engine.run(&mut w);
+
+        let config = ServerConfig {
+            num_shards: 3,
+            batch_size: 32,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+        };
+        let mut server = super::ShardedServer::new(&initial, Rtp::new(query, 2).unwrap(), config);
+        server.initialize();
+        server.ingest_batch(&events);
+
+        let m = server.metrics().clone();
+        assert!(m.cuts > 0, "workload should exercise the cut path");
+        assert!(
+            m.discarded_reports > 0 || m.discarded_window_busy_ns > 0,
+            "at least one cut should land while a next window is in flight \
+             (cuts={}, discarded_reports={})",
+            m.cuts,
+            m.discarded_reports
+        );
+        assert_eq!(server.answer(), engine.answer());
+        assert_eq!(server.ledger(), engine.ledger());
+        assert_eq!(server.reports_processed(), engine.reports_processed());
+        for i in 0..initial.len() {
+            let id = StreamId(i as u32);
+            assert_eq!(server.view().get(id), engine.view().get(id), "view diverged for {id}");
+        }
+        let truth = server.truth_values();
+        let serial_truth: Vec<f64> = engine.fleet().iter().map(|s| s.value()).collect();
+        assert_eq!(truth, serial_truth, "rollback must restore exact source state");
+    }
+
+    #[test]
+    fn serial_and_pipelined_coordinators_are_byte_identical() {
+        let (initial, events) = fixture(40, 180.0, 23);
+        let query = RankQuery::knn(500.0, 5).unwrap();
+        let run = |coordinator: CoordMode| {
+            let config = ServerConfig {
+                num_shards: 4,
+                batch_size: 128,
+                mode: ExecMode::Inline,
+                channel_capacity: 2,
+                coordinator,
+            };
+            let mut server =
+                super::ShardedServer::new(&initial, Rtp::new(query, 2).unwrap(), config);
+            server.initialize();
+            server.ingest_batch(&events);
+            let answers = server.answer();
+            let ledger = server.ledger().clone();
+            let reports = server.reports_processed();
+            let truth = server.truth_values();
+            (answers, ledger, reports, truth)
+        };
+        assert_eq!(run(CoordMode::Serial), run(CoordMode::Pipelined));
+    }
+}

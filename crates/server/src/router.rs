@@ -17,28 +17,120 @@
 //! per-stream round-trip bottleneck for initialization, fleet-wide filter
 //! deployments, and reinit storms.
 
+use std::time::Instant;
+
 use streamnet::{Filter, FleetOps, Ledger, MessageKind, ServerView, StreamId};
 
 use crate::handle::ShardHandle;
-use crate::shard::{Partition, ShardCmd, ShardReply};
+use crate::metrics::FleetOpStats;
+use crate::shard::{Partition, ShardCmd, ShardReply, SpecEvent};
+
+/// The coordinator-side view of an evaluation window still being computed
+/// by the shards (the pipelined coordinator's window *t+1*). When a report
+/// handler touches the fleet while such a window is in flight, the
+/// [`GuardedRouter`] must absorb the outstanding `Evaluated` replies —
+/// discarding their tentative reports and recycling their buffers — before
+/// it can commit the speculation cut, because per-shard channels are FIFO.
+pub(crate) struct InflightWindow<'a> {
+    /// Shards with an outstanding `EvalBatch` reply; drained by the absorb.
+    pub shards: &'a mut Vec<usize>,
+    /// Buffer pool the absorbed batch/report vectors are recycled into.
+    pub pool: &'a mut Vec<Vec<SpecEvent>>,
+    /// Coordinator-side per-shard cumulative busy accounting.
+    pub shard_busy_ns: &'a mut [u64],
+    /// Shard busy time burned on the discarded window (metrics).
+    pub discarded_busy_ns: &'a mut u64,
+    /// Tentative reports discarded with the window (metrics).
+    pub discarded_reports: &'a mut u64,
+}
 
 /// A routing fleet over the shard handles (borrowed for one protocol call).
 pub struct ShardRouter<'a> {
     handles: &'a mut [ShardHandle],
     partition: Partition,
     n: usize,
+    /// Batch fleet-op attribution (wall / max-shard / Σ-shard busy); `None`
+    /// outside the metered ingest paths (e.g. initialization).
+    stats: Option<&'a mut FleetOpStats>,
 }
 
 impl<'a> ShardRouter<'a> {
     /// Borrows the shard handles as a fleet of `n` streams.
     pub fn new(handles: &'a mut [ShardHandle], partition: Partition, n: usize) -> Self {
-        Self { handles, partition, n }
+        Self { handles, partition, n, stats: None }
+    }
+
+    /// Like [`ShardRouter::new`], attributing batch fleet-op time to
+    /// `stats` (the ingest path's scaling model).
+    pub fn with_stats(
+        handles: &'a mut [ShardHandle],
+        partition: Partition,
+        n: usize,
+        stats: &'a mut FleetOpStats,
+    ) -> Self {
+        Self { handles, partition, n, stats: Some(stats) }
     }
 
     fn route(&mut self, id: StreamId) -> (&mut ShardHandle, u32) {
         let shard = self.partition.shard_of(id);
         let local = self.partition.local_of(id);
         (&mut self.handles[shard], local)
+    }
+
+    /// Records one finished batch fleet operation: the coordinator wall
+    /// time and the per-shard busy times gathered from the replies.
+    fn record_batch_op(&mut self, started: Instant, busy: &[u64]) {
+        if let Some(stats) = self.stats.as_mut() {
+            let wall = started.elapsed().as_nanos() as u64;
+            let sum = busy.iter().sum::<u64>();
+            stats.wall_ns += wall;
+            stats.parallel_ns += busy.iter().copied().max().unwrap_or(0);
+            stats.busy_sum_ns += sum;
+            stats.hidden_ns += sum.min(wall);
+            stats.batch_ops += 1;
+        }
+    }
+
+    /// The shared scatter/gather of `probe_all` / `probe_all_tracked`:
+    /// probes run in parallel in threaded mode; ledger counts and the
+    /// final view are order-free. When `changed` is given, the change test
+    /// rides the reassembly loop that refreshes the view anyway (shards
+    /// own strided slices, so the small changed list is sorted once at the
+    /// end to meet the ascending-id contract).
+    fn probe_all_impl(
+        &mut self,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        mut changed: Option<&mut Vec<StreamId>>,
+    ) {
+        let started = Instant::now();
+        let mut busy = vec![0u64; self.partition.shards()];
+        for handle in self.handles.iter_mut() {
+            handle.send(ShardCmd::ProbeAll);
+        }
+        for (shard, handle) in self.handles.iter_mut().enumerate() {
+            match handle.recv() {
+                ShardReply::ProbedAll { values, busy_ns } => {
+                    busy[shard] = busy_ns;
+                    ledger.record(MessageKind::ProbeRequest, values.len() as u64);
+                    ledger.record(MessageKind::ProbeReply, values.len() as u64);
+                    for (local, v) in values.into_iter().enumerate() {
+                        let id = self.partition.global_of(shard, local as u32);
+                        if let Some(changed) = changed.as_deref_mut() {
+                            if !view.is_known(id) || view.get(id).to_bits() != v.to_bits() {
+                                changed.push(id);
+                            }
+                        }
+                        view.set(id, v);
+                    }
+                }
+                other => unreachable!("ProbeAll got {other:?}"),
+            }
+        }
+        if let Some(changed) = changed {
+            changed.sort_unstable();
+        }
+        self.record_batch_op(started, &busy);
     }
 
     /// Commits/rolls back every shard's speculative log around `keep_below`
@@ -54,6 +146,26 @@ impl<'a> ShardRouter<'a> {
                 other => unreachable!("Commit got {other:?}"),
             })
             .collect()
+    }
+
+    /// Receives and discards the outstanding `Evaluated` replies of an
+    /// in-flight window: its tentative reports are dropped (the cut below
+    /// will roll their applications back) and its buffers recycled.
+    pub(crate) fn absorb_evals(&mut self, inflight: &mut InflightWindow<'_>) {
+        for s in inflight.shards.drain(..) {
+            match self.handles[s].recv() {
+                ShardReply::Evaluated { reports, busy_ns, batch, .. } => {
+                    inflight.shard_busy_ns[s] += busy_ns;
+                    *inflight.discarded_busy_ns += busy_ns;
+                    *inflight.discarded_reports += reports.len() as u64;
+                    let mut reports = reports;
+                    reports.clear();
+                    inflight.pool.push(reports);
+                    inflight.pool.push(batch);
+                }
+                other => unreachable!("absorb of EvalBatch got {other:?}"),
+            }
+        }
     }
 }
 
@@ -72,13 +184,29 @@ pub struct GuardedRouter<'a> {
     inner: ShardRouter<'a>,
     keep_below: u64,
     committed: Option<Vec<(u32, u32)>>,
+    /// The pipelined coordinator's in-flight next window, absorbed (reports
+    /// discarded, applications rolled back by the cut) before the first
+    /// fleet touch executes. `None` on the serial coordinator or when no
+    /// window is in flight.
+    inflight: Option<InflightWindow<'a>>,
 }
 
 impl<'a> GuardedRouter<'a> {
     /// Wraps `inner`; a first fleet operation will cut speculation at
     /// `keep_below`.
     pub fn new(inner: ShardRouter<'a>, keep_below: u64) -> Self {
-        Self { inner, keep_below, committed: None }
+        Self { inner, keep_below, committed: None, inflight: None }
+    }
+
+    /// Like [`GuardedRouter::new`], additionally absorbing an in-flight
+    /// speculative window before the cut — the cross-window rollback of
+    /// the pipelined coordinator.
+    pub(crate) fn with_inflight(
+        inner: ShardRouter<'a>,
+        keep_below: u64,
+        inflight: Option<InflightWindow<'a>>,
+    ) -> Self {
+        Self { inner, keep_below, committed: None, inflight }
     }
 
     /// Whether the cut fired, and the per-shard `(kept, undone)` counts if
@@ -89,6 +217,9 @@ impl<'a> GuardedRouter<'a> {
 
     fn ensure_cut(&mut self) {
         if self.committed.is_none() {
+            if let Some(inflight) = self.inflight.as_mut() {
+                self.inner.absorb_evals(inflight);
+            }
             self.committed = Some(self.inner.commit_all(self.keep_below));
         }
     }
@@ -118,6 +249,16 @@ impl FleetOps for GuardedRouter<'_> {
     fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
         self.ensure_cut();
         self.inner.probe_all(ledger, view)
+    }
+
+    fn probe_all_tracked(
+        &mut self,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        changed: &mut Vec<StreamId>,
+    ) {
+        self.ensure_cut();
+        self.inner.probe_all_tracked(ledger, view, changed)
     }
 
     fn probe_many(
@@ -215,23 +356,17 @@ impl FleetOps for ShardRouter<'_> {
     }
 
     fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
-        // Scatter to all shards, then gather — probes run in parallel in
-        // threaded mode; ledger counts and the final view are order-free.
-        for handle in self.handles.iter_mut() {
-            handle.send(ShardCmd::ProbeAll);
-        }
-        for (shard, handle) in self.handles.iter_mut().enumerate() {
-            match handle.recv() {
-                ShardReply::ProbedAll(values) => {
-                    ledger.record(MessageKind::ProbeRequest, values.len() as u64);
-                    ledger.record(MessageKind::ProbeReply, values.len() as u64);
-                    for (local, v) in values.into_iter().enumerate() {
-                        view.set(self.partition.global_of(shard, local as u32), v);
-                    }
-                }
-                other => unreachable!("ProbeAll got {other:?}"),
-            }
-        }
+        self.probe_all_impl(ledger, view, None);
+    }
+
+    fn probe_all_tracked(
+        &mut self,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        changed: &mut Vec<StreamId>,
+    ) {
+        changed.clear();
+        self.probe_all_impl(ledger, view, Some(changed));
     }
 
     fn probe_many(
@@ -248,7 +383,9 @@ impl FleetOps for ShardRouter<'_> {
         // Scatter each shard's slice (in request order) and let the shards
         // probe concurrently; probes are independent, so only the reassembly
         // order below is observable — and it is the request order.
+        let started = Instant::now();
         let k = self.partition.shards();
+        let mut busy = vec![0u64; k];
         let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); k];
         for &id in ids {
             per_shard[self.partition.shard_of(id)].push(self.partition.local_of(id));
@@ -263,7 +400,10 @@ impl FleetOps for ShardRouter<'_> {
         let mut values: Vec<Vec<f64>> = vec![Vec::new(); k];
         for &s in &participants {
             match self.handles[s].recv() {
-                ShardReply::ProbedMany(shard_values) => values[s] = shard_values,
+                ShardReply::ProbedMany { values: shard_values, busy_ns } => {
+                    values[s] = shard_values;
+                    busy[s] = busy_ns;
+                }
                 other => unreachable!("ProbeMany got {other:?}"),
             }
         }
@@ -278,6 +418,7 @@ impl FleetOps for ShardRouter<'_> {
             view.set(id, v);
             out.push(v);
         }
+        self.record_batch_op(started, &busy);
     }
 
     fn install_many(
@@ -295,7 +436,9 @@ impl FleetOps for ShardRouter<'_> {
         // only their own source, so the shards can run concurrently. Sync
         // reports are reassembled in installation order — exactly the queue
         // the serial per-stream loop would build.
+        let started = Instant::now();
         let k = self.partition.shards();
+        let mut busy = vec![0u64; k];
         let mut per_shard: Vec<Vec<(u32, Filter)>> = vec![Vec::new(); k];
         for (id, filter) in installs {
             per_shard[self.partition.shard_of(*id)]
@@ -311,7 +454,10 @@ impl FleetOps for ShardRouter<'_> {
         let mut replies: Vec<Vec<Option<f64>>> = vec![Vec::new(); k];
         for &s in &participants {
             match self.handles[s].recv() {
-                ShardReply::InstalledMany(shard_syncs) => replies[s] = shard_syncs,
+                ShardReply::InstalledMany { syncs: shard_syncs, busy_ns } => {
+                    replies[s] = shard_syncs;
+                    busy[s] = busy_ns;
+                }
                 other => unreachable!("InstallMany got {other:?}"),
             }
         }
@@ -327,6 +473,7 @@ impl FleetOps for ShardRouter<'_> {
                 syncs.push((*id, v));
             }
         }
+        self.record_batch_op(started, &busy);
     }
 
     fn install(
@@ -360,6 +507,8 @@ impl FleetOps for ShardRouter<'_> {
     ) -> Vec<(StreamId, f64)> {
         // One logical broadcast operation costing n messages, however many
         // shards it fans out to.
+        let started = Instant::now();
+        let mut busy = vec![0u64; self.partition.shards()];
         ledger.record(MessageKind::FilterBroadcast, self.n as u64);
         for handle in self.handles.iter_mut() {
             handle.send(ShardCmd::Broadcast { filter: filter.clone() });
@@ -367,7 +516,8 @@ impl FleetOps for ShardRouter<'_> {
         let mut syncs: Vec<(StreamId, f64)> = Vec::new();
         for (shard, handle) in self.handles.iter_mut().enumerate() {
             match handle.recv() {
-                ShardReply::Broadcasted(local_syncs) => {
+                ShardReply::Broadcasted { syncs: local_syncs, busy_ns } => {
+                    busy[shard] = busy_ns;
                     for (local, v) in local_syncs {
                         syncs.push((self.partition.global_of(shard, local), v));
                     }
@@ -381,6 +531,7 @@ impl FleetOps for ShardRouter<'_> {
             ledger.record(MessageKind::Update, 1);
             view.set(id, v);
         }
+        self.record_batch_op(started, &busy);
         syncs
     }
 }

@@ -27,12 +27,17 @@
 //! it depends only on the event/report sequence, never on timing), so
 //! redeploy-heavy protocols pay bounded re-evaluation while silent-heavy
 //! workloads stream at full window width.
+//!
+//! Two coordinator schedules share the helpers in this module: the serial
+//! window-at-a-time baseline below, and the **pipelined** double-buffered
+//! coordinator of [`crate::pipeline`] (the default), which drains window
+//! *t*'s reports while the shards already evaluate window *t+1*.
 
 use std::time::Instant;
 
-use asf_core::engine::ProtocolCore;
+use asf_core::engine::{ProtocolCore, RankMode};
 use asf_core::protocol::{CtxStats, Protocol};
-use asf_core::rank::RankIndex;
+use asf_core::rank::RankForest;
 use asf_core::workload::{UpdateEvent, Workload};
 use asf_core::AnswerSet;
 use simkit::SimTime;
@@ -40,11 +45,12 @@ use streamnet::{Ledger, ServerView, SourceFleet};
 
 use crate::handle::{ExecMode, ShardHandle};
 use crate::metrics::ServerMetrics;
-use crate::router::{GuardedRouter, ShardRouter};
+use crate::pipeline::CoordMode;
+use crate::router::{GuardedRouter, InflightWindow, ShardRouter};
 use crate::shard::{Partition, Shard, ShardCmd, ShardReply, SpecEvent};
 
 /// Smallest adaptive evaluation window (events per round).
-const MIN_WINDOW: usize = 32;
+pub(crate) const MIN_WINDOW: usize = 32;
 
 /// Configuration of a [`ShardedServer`].
 #[derive(Clone, Copy, Debug)]
@@ -57,11 +63,20 @@ pub struct ServerConfig {
     pub mode: ExecMode,
     /// Bound of each MPSC command/reply channel in threaded mode.
     pub channel_capacity: usize,
+    /// Serial or pipelined (double-buffered) coordinator; both are
+    /// byte-identical, see [`CoordMode`].
+    pub coordinator: CoordMode,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { num_shards: 4, batch_size: 1024, mode: ExecMode::Inline, channel_capacity: 2 }
+        Self {
+            num_shards: 4,
+            batch_size: 1024,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+        }
     }
 }
 
@@ -82,6 +97,12 @@ impl ServerConfig {
         self.batch_size = batch_size;
         self
     }
+
+    /// Sets the coordinator mode (serial vs. pipelined windows).
+    pub fn coordinator(mut self, coordinator: CoordMode) -> Self {
+        self.coordinator = coordinator;
+        self
+    }
 }
 
 /// A sharded, batched, concurrent runtime for one filter protocol over one
@@ -89,26 +110,43 @@ impl ServerConfig {
 /// to [`asf_core::engine::Engine`] on the same event sequence, for any
 /// shard count and either execution mode.
 pub struct ShardedServer<P: Protocol> {
-    partition: Partition,
-    handles: Vec<ShardHandle>,
-    core: ProtocolCore<P>,
-    config: ServerConfig,
-    n: usize,
+    pub(crate) partition: Partition,
+    pub(crate) handles: Vec<ShardHandle>,
+    pub(crate) core: ProtocolCore<P>,
+    pub(crate) config: ServerConfig,
+    pub(crate) n: usize,
     now: SimTime,
     events_processed: u64,
     /// Current adaptive evaluation window (events per round).
-    window: usize,
-    metrics: ServerMetrics,
+    pub(crate) window: usize,
+    pub(crate) metrics: ServerMetrics,
     /// Pool of scatter buffers: shards hand their consumed (cleared) batch
     /// buffers back in every `Evaluated` reply, so steady-state rounds
     /// scatter without allocating.
-    spare_batches: Vec<Vec<SpecEvent>>,
+    pub(crate) spare_batches: Vec<Vec<SpecEvent>>,
     /// Reused per-round merge buffer for the gathered report streams.
-    merged: Vec<(SpecEvent, usize)>,
+    pub(crate) merged: Vec<(SpecEvent, usize)>,
 }
 
 impl<P: Protocol> ShardedServer<P> {
     /// Builds the server over sources with the given initial values.
+    ///
+    /// ```
+    /// use asf_core::protocol::ZtNrp;
+    /// use asf_core::query::RangeQuery;
+    /// use asf_core::workload::UpdateEvent;
+    /// use asf_server::{ServerConfig, ShardedServer};
+    /// use streamnet::StreamId;
+    ///
+    /// let initial = vec![450.0, 700.0, 500.0, 100.0];
+    /// let protocol = ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap());
+    /// // 2 shards, pipelined double-buffered coordinator (the default).
+    /// let mut server = ShardedServer::new(&initial, protocol, ServerConfig::with_shards(2));
+    /// server.initialize();
+    /// server.ingest_batch(&[UpdateEvent { time: 1.0, stream: StreamId(1), value: 550.0 }]);
+    /// assert!(server.answer().contains(StreamId(1)));
+    /// assert_eq!(server.events_processed(), 1);
+    /// ```
     ///
     /// # Panics
     ///
@@ -131,15 +169,27 @@ impl<P: Protocol> ShardedServer<P> {
                 ShardHandle::spawn(Shard::new(values), config.mode, config.channel_capacity)
             })
             .collect();
+        let window_ceiling = match config.coordinator {
+            CoordMode::Serial => config.batch_size,
+            CoordMode::Pipelined => (config.batch_size / 2).max(1),
+        };
         Self {
             partition,
             handles,
-            core: ProtocolCore::new(initial_values.len(), protocol),
+            core: ProtocolCore::with_rank_mode_and_parts(
+                initial_values.len(),
+                protocol,
+                RankMode::Indexed,
+                config.num_shards,
+            ),
             config,
             n: initial_values.len(),
             now: 0.0,
             events_processed: 0,
-            window: config.batch_size.min(256).max(MIN_WINDOW.min(config.batch_size)),
+            window: config
+                .batch_size
+                .min(256)
+                .clamp(MIN_WINDOW.min(window_ceiling), window_ceiling),
             metrics: ServerMetrics::new(config.num_shards),
             spare_batches: Vec::new(),
             merged: Vec::new(),
@@ -178,113 +228,213 @@ impl<P: Protocol> ShardedServer<P> {
             );
             self.now = ev.time;
         }
-        let mut start = 0usize;
-        while start < events.len() {
-            let end = events.len().min(start + self.window);
-
-            // Scatter the window to the owning shards, reusing pooled
-            // buffers (shards return them, cleared, with each `Evaluated`
-            // reply).
-            let scatter_start = Instant::now();
-            let mut slices: Vec<Vec<SpecEvent>> = (0..self.config.num_shards)
-                .map(|_| self.spare_batches.pop().unwrap_or_default())
-                .collect();
-            for (i, ev) in events[start..end].iter().enumerate() {
-                slices[self.partition.shard_of(ev.stream)].push(SpecEvent {
-                    seq: (start + i) as u64,
-                    local: self.partition.local_of(ev.stream),
-                    value: ev.value,
-                });
-            }
-            self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
-            self.metrics.rounds += 1;
-
-            // Phase A: optimistic evaluation on every participating shard.
-            let mut participants = Vec::new();
-            for (s, slice) in slices.into_iter().enumerate() {
-                if slice.is_empty() {
-                    self.spare_batches.push(slice);
-                } else {
-                    self.handles[s].send(ShardCmd::EvalBatch(slice));
-                    participants.push(s);
-                }
-            }
-            // Merge the per-shard report streams in sequence order as they
-            // are gathered. (Each per-shard list is already sorted; an
-            // unstable sort of the concatenation is fine since seqs are
-            // unique.) `merged` is a pooled field, taken for the round so
-            // the coordinator can borrow itself mutably below.
-            let mut merged = std::mem::take(&mut self.merged);
-            merged.clear();
-            let mut round_max_busy = 0u64;
-            for &s in &participants {
-                match self.handles[s].recv() {
-                    ShardReply::Evaluated { reports, busy_ns, batch, .. } => {
-                        self.metrics.shard_busy_ns[s] += busy_ns;
-                        round_max_busy = round_max_busy.max(busy_ns);
-                        self.spare_batches.push(batch);
-                        merged.extend(reports.into_iter().map(|ev| (ev, s)));
-                    }
-                    other => unreachable!("EvalBatch got {other:?}"),
-                }
-            }
-            self.metrics.critical_path_ns += round_max_busy;
-            merged.sort_unstable_by_key(|(ev, _)| ev.seq);
-
-            // Phase B: consume reports serially through the protocol until
-            // one of them touches the fleet (= invalidates speculation).
-            let serial_start = Instant::now();
-            let mut cut_at: Option<u64> = None;
-            for &(ev, shard) in &merged {
-                let id = self.partition.global_of(shard, ev.local);
-                let inner = ShardRouter::new(&mut self.handles, self.partition, self.n);
-                let mut router = GuardedRouter::new(inner, ev.seq + 1);
-                self.core.ingest_report(id, ev.value, &mut router);
-                self.metrics.reports_consumed += 1;
-                if let Some(commits) = router.into_cut() {
-                    for (s, &(kept, undone)) in commits.iter().enumerate() {
-                        self.metrics.shard_events[s] += kept as u64;
-                        self.metrics.speculative_commits += kept as u64;
-                        self.metrics.rolled_back += undone as u64;
-                    }
-                    cut_at = Some(ev.seq);
-                    break;
-                }
-            }
-            self.metrics.serial_ns += serial_start.elapsed().as_nanos() as u64;
-
-            match cut_at {
-                None => {
-                    // Whole window stands: make it permanent.
-                    let mut router = ShardRouter::new(&mut self.handles, self.partition, self.n);
-                    for (s, (kept, undone)) in router.commit_all(u64::MAX).into_iter().enumerate() {
-                        self.metrics.shard_events[s] += kept as u64;
-                        self.metrics.speculative_commits += kept as u64;
-                        debug_assert_eq!(undone, 0);
-                    }
-                    start = end;
-                    // Quiet window: widen (deterministic — depends only on
-                    // the event/report sequence).
-                    self.window = (self.window * 2).min(self.config.batch_size);
-                }
-                Some(c) => {
-                    // Speculation past `c` was rolled back inside the cut;
-                    // resume right after the invalidating report. Track the
-                    // cut density: aim for ~double the observed cut span.
-                    let span = (c as usize + 1 - start).max(1);
-                    // Careful with tiny configs: the floor must never
-                    // exceed batch_size (clamp would panic).
-                    let floor = MIN_WINDOW.min(self.config.batch_size);
-                    self.window = (span * 2).clamp(floor, self.config.batch_size);
-                    self.metrics.cuts += 1;
-                    start = c as usize + 1;
-                }
-            }
-            self.merged = merged;
+        match self.config.coordinator {
+            CoordMode::Serial => self.apply_chunk_serial(events),
+            CoordMode::Pipelined => self.apply_chunk_pipelined(events),
         }
         self.events_processed += events.len() as u64;
         self.metrics.events += events.len() as u64;
         self.metrics.record_batch(batch_start.elapsed().as_nanos() as u64);
+    }
+
+    /// Scatters `events[start..end]` to the owning shards as one
+    /// speculative evaluation window (pooled buffers; shards return them,
+    /// cleared, with each `Evaluated` reply). Returns the participating
+    /// shard indices — each owes exactly one `Evaluated` reply.
+    pub(crate) fn scatter_window(
+        &mut self,
+        events: &[UpdateEvent],
+        start: usize,
+        end: usize,
+    ) -> Vec<usize> {
+        let scatter_start = Instant::now();
+        let mut slices: Vec<Vec<SpecEvent>> = (0..self.config.num_shards)
+            .map(|_| self.spare_batches.pop().unwrap_or_default())
+            .collect();
+        for (i, ev) in events[start..end].iter().enumerate() {
+            slices[self.partition.shard_of(ev.stream)].push(SpecEvent {
+                seq: (start + i) as u64,
+                local: self.partition.local_of(ev.stream),
+                value: ev.value,
+            });
+        }
+        let mut participants = Vec::new();
+        for (s, slice) in slices.into_iter().enumerate() {
+            if slice.is_empty() {
+                self.spare_batches.push(slice);
+            } else {
+                self.handles[s].send(ShardCmd::EvalBatch(slice));
+                participants.push(s);
+            }
+        }
+        self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
+        self.metrics.rounds += 1;
+        self.metrics.max_inflight_windows = self.metrics.max_inflight_windows.max(1);
+        participants
+    }
+
+    /// Gathers one window's `Evaluated` replies into the pooled `merged`
+    /// buffer, sorted by sequence number. (Each per-shard list is already
+    /// sorted; an unstable sort of the concatenation is fine since seqs
+    /// are unique.) Returns the round's maximum per-shard busy time — the
+    /// window's evaluation critical path.
+    pub(crate) fn gather_window(&mut self, participants: &[usize]) -> u64 {
+        let mut merged = std::mem::take(&mut self.merged);
+        merged.clear();
+        let mut round_max_busy = 0u64;
+        for &s in participants {
+            match self.handles[s].recv() {
+                ShardReply::Evaluated { reports, busy_ns, batch, .. } => {
+                    self.metrics.shard_busy_ns[s] += busy_ns;
+                    round_max_busy = round_max_busy.max(busy_ns);
+                    self.spare_batches.push(batch);
+                    merged.extend(reports.into_iter().map(|ev| (ev, s)));
+                }
+                other => unreachable!("EvalBatch got {other:?}"),
+            }
+        }
+        merged.sort_unstable_by_key(|(ev, _)| ev.seq);
+        self.merged = merged;
+        round_max_busy
+    }
+
+    /// Consumes the gathered reports of the current window serially through
+    /// the protocol until one of them touches the fleet. `next_window`, if
+    /// non-empty, names shards still evaluating the scattered-ahead next
+    /// window (pipelined mode): a fleet touch absorbs their replies before
+    /// the cut so the rollback covers the in-flight work it invalidates.
+    /// Returns the cut sequence, if any, and the drain's pure-serial time
+    /// (fleet-op shard busy excluded — that is attributed to
+    /// `metrics.fleet`).
+    pub(crate) fn drain_reports(&mut self, next_window: &mut Vec<usize>) -> (Option<u64>, u64) {
+        let serial_start = Instant::now();
+        let fleet_hidden_before = self.metrics.fleet.hidden_ns;
+        let index_before = (
+            self.core.ctx_stats().index_busy_sum_ns,
+            self.core.ctx_stats().index_parallel_ns,
+            self.core.ctx_stats().index_hidden_ns,
+        );
+        let mut cut_at: Option<u64> = None;
+        let mut consumed = 0u64;
+        let merged = std::mem::take(&mut self.merged);
+        for &(ev, shard) in &merged {
+            let id = self.partition.global_of(shard, ev.local);
+            let inner = ShardRouter::with_stats(
+                &mut self.handles,
+                self.partition,
+                self.n,
+                &mut self.metrics.fleet,
+            );
+            let inflight = (!next_window.is_empty()).then(|| InflightWindow {
+                shards: &mut *next_window,
+                pool: &mut self.spare_batches,
+                shard_busy_ns: &mut self.metrics.shard_busy_ns,
+                discarded_busy_ns: &mut self.metrics.discarded_window_busy_ns,
+                discarded_reports: &mut self.metrics.discarded_reports,
+            });
+            let mut router = GuardedRouter::with_inflight(inner, ev.seq + 1, inflight);
+            self.core.ingest_report(id, ev.value, &mut router);
+            let cut = router.into_cut();
+            consumed += 1;
+            self.metrics.reports_consumed += 1;
+            if let Some(commits) = cut {
+                for (s, &(kept, undone)) in commits.iter().enumerate() {
+                    self.metrics.shard_events[s] += kept as u64;
+                    self.metrics.speculative_commits += kept as u64;
+                    self.metrics.rolled_back += undone as u64;
+                }
+                cut_at = Some(ev.seq);
+                break;
+            }
+        }
+        self.merged = merged;
+        if consumed > 0 {
+            self.metrics.report_groups += 1;
+        }
+        // Subtract the *hidden* portions — per-op/per-pass `min(busy sum,
+        // wall)` — not the raw busy sums: with threaded shards (or scoped-
+        // thread forest refreshes) the work overlapped the coordinator, so
+        // an unbounded subtraction would erase unrelated serial time.
+        let fleet_hidden_delta = self.metrics.fleet.hidden_ns - fleet_hidden_before;
+        let stats = *self.core.ctx_stats();
+        self.metrics.index_busy_sum_ns += stats.index_busy_sum_ns - index_before.0;
+        self.metrics.index_parallel_ns += stats.index_parallel_ns - index_before.1;
+        let index_hidden_delta = stats.index_hidden_ns - index_before.2;
+        let drain_pure = (serial_start.elapsed().as_nanos() as u64)
+            .saturating_sub(fleet_hidden_delta + index_hidden_delta);
+        self.metrics.serial_ns += drain_pure;
+        (cut_at, drain_pure)
+    }
+
+    /// Largest evaluation window the adaptive controller may reach: the
+    /// whole batch on the serial coordinator; half of it when pipelining,
+    /// so a chunk always splits into at least two windows and the pipe can
+    /// actually fill (drain of one window overlapping evaluation of the
+    /// next).
+    pub(crate) fn max_window(&self) -> usize {
+        match self.config.coordinator {
+            CoordMode::Serial => self.config.batch_size,
+            CoordMode::Pipelined => (self.config.batch_size / 2).max(1),
+        }
+    }
+
+    /// Commits every shard's surviving speculation (chunk-end quiescence).
+    pub(crate) fn commit_surviving(&mut self) {
+        let mut router = ShardRouter::new(&mut self.handles, self.partition, self.n);
+        for (s, (kept, undone)) in router.commit_all(u64::MAX).into_iter().enumerate() {
+            self.metrics.shard_events[s] += kept as u64;
+            self.metrics.speculative_commits += kept as u64;
+            debug_assert_eq!(undone, 0);
+        }
+    }
+
+    /// Adapts the window after a cut at sequence `c` in a window starting
+    /// at `start`: aim for ~double the observed cut span.
+    pub(crate) fn adapt_window_to_cut(&mut self, start: usize, c: u64) {
+        let span = (c as usize + 1 - start).max(1);
+        // Careful with tiny configs: the floor must never exceed the
+        // window ceiling (clamp would panic).
+        let ceiling = self.max_window();
+        let floor = MIN_WINDOW.min(ceiling);
+        self.window = (span * 2).clamp(floor, ceiling);
+        self.metrics.cuts += 1;
+    }
+
+    /// One window at a time: scatter, gather, drain, commit — the
+    /// speculation baseline the pipelined coordinator is differentially
+    /// tested against.
+    fn apply_chunk_serial(&mut self, events: &[UpdateEvent]) {
+        let mut start = 0usize;
+        let mut no_next: Vec<usize> = Vec::new();
+        while start < events.len() {
+            let end = events.len().min(start + self.window);
+
+            // Phase A: optimistic evaluation on every participating shard.
+            let participants = self.scatter_window(events, start, end);
+            let round_busy = self.gather_window(&participants);
+            self.metrics.critical_path_ns += round_busy;
+
+            // Phase B: consume reports serially through the protocol until
+            // one of them touches the fleet (= invalidates speculation).
+            let (cut_at, _) = self.drain_reports(&mut no_next);
+
+            match cut_at {
+                None => {
+                    // Whole window stands: make it permanent.
+                    self.commit_surviving();
+                    start = end;
+                    // Quiet window: widen (deterministic — depends only on
+                    // the event/report sequence).
+                    self.window = (self.window * 2).min(self.max_window());
+                }
+                Some(c) => {
+                    // Speculation past `c` was rolled back inside the cut;
+                    // resume right after the invalidating report.
+                    self.adapt_window_to_cut(start, c);
+                    start = c as usize + 1;
+                }
+            }
+        }
     }
 
     /// Initializes (if needed) and consumes the whole workload in batches
@@ -340,7 +490,7 @@ impl<P: Protocol> ShardedServer<P> {
 
     /// The maintained rank index, if the protocol is rank-based
     /// (differential-test hook).
-    pub fn rank_index(&self) -> Option<&RankIndex> {
+    pub fn rank_index(&self) -> Option<&RankForest> {
         self.core.rank_index()
     }
 

@@ -173,19 +173,37 @@ pub enum ShardReply {
     Delivered(Option<f64>),
     /// Outcome of [`ShardCmd::Probe`].
     Probed(f64),
-    /// Outcome of [`ShardCmd::ProbeAll`]: values in local order.
-    ProbedAll(Vec<f64>),
-    /// Outcome of [`ShardCmd::ProbeMany`]: values aligned with the
-    /// requested slice.
-    ProbedMany(Vec<f64>),
+    /// Outcome of [`ShardCmd::ProbeAll`].
+    ProbedAll {
+        /// Values in local order.
+        values: Vec<f64>,
+        /// Wall time the shard spent on its slice — the coordinator
+        /// attributes it to the parallel fleet-op component of the model.
+        busy_ns: u64,
+    },
+    /// Outcome of [`ShardCmd::ProbeMany`].
+    ProbedMany {
+        /// Values aligned with the requested slice.
+        values: Vec<f64>,
+        /// Wall time the shard spent on its slice.
+        busy_ns: u64,
+    },
     /// Outcome of [`ShardCmd::Install`]: the sync-report value, if any.
     Installed(Option<f64>),
-    /// Outcome of [`ShardCmd::InstallMany`]: per-item sync-report values
-    /// aligned with the requested slice.
-    InstalledMany(Vec<Option<f64>>),
-    /// Outcome of [`ShardCmd::Broadcast`]: sync reports `(local, value)`
-    /// in ascending local order.
-    Broadcasted(Vec<(u32, f64)>),
+    /// Outcome of [`ShardCmd::InstallMany`].
+    InstalledMany {
+        /// Per-item sync-report values aligned with the requested slice.
+        syncs: Vec<Option<f64>>,
+        /// Wall time the shard spent on its slice.
+        busy_ns: u64,
+    },
+    /// Outcome of [`ShardCmd::Broadcast`].
+    Broadcasted {
+        /// Sync reports `(local, value)` in ascending local order.
+        syncs: Vec<(u32, f64)>,
+        /// Wall time the shard spent on its partition.
+        busy_ns: u64,
+    },
     /// Outcome of [`ShardCmd::TruthSnapshot`]: values in local order.
     Truth(Vec<f64>),
 }
@@ -247,7 +265,7 @@ impl Shard {
     /// by the caller.
     pub fn exec(&mut self, cmd: ShardCmd) -> ShardReply {
         let start = Instant::now();
-        let reply = match cmd {
+        let mut reply = match cmd {
             ShardCmd::EvalBatch(events) => self.eval_batch(events),
             ShardCmd::Commit { keep_below } => self.commit(keep_below),
             ShardCmd::Deliver { local, value } => ShardReply::Delivered(self.fleet.deliver_update(
@@ -270,7 +288,7 @@ impl Shard {
                         &mut self.local_view,
                     ));
                 }
-                ShardReply::ProbedAll(values)
+                ShardReply::ProbedAll { values, busy_ns: 0 }
             }
             ShardCmd::ProbeMany { locals } => {
                 let mut values = Vec::with_capacity(locals.len());
@@ -281,7 +299,7 @@ impl Shard {
                         &mut self.local_view,
                     ));
                 }
-                ShardReply::ProbedMany(values)
+                ShardReply::ProbedMany { values, busy_ns: 0 }
             }
             ShardCmd::Install { local, filter } => ShardReply::Installed(self.fleet.install(
                 StreamId(local),
@@ -299,7 +317,7 @@ impl Shard {
                         &mut self.local_view,
                     ));
                 }
-                ShardReply::InstalledMany(syncs)
+                ShardReply::InstalledMany { syncs, busy_ns: 0 }
             }
             ShardCmd::Broadcast { filter } => {
                 // The sync buffer is shard-held scratch (reinit storms
@@ -309,19 +327,33 @@ impl Shard {
                 self.fleet.install_all_unmetered_into(filter, &mut self.local_view, &mut syncs);
                 let reply = syncs.iter().map(|&(id, v)| (id.0, v)).collect();
                 self.broadcast_scratch = syncs;
-                ShardReply::Broadcasted(reply)
+                ShardReply::Broadcasted { syncs: reply, busy_ns: 0 }
             }
             ShardCmd::TruthSnapshot => {
                 ShardReply::Truth(self.fleet.iter().map(|s| s.value()).collect())
             }
             ShardCmd::Shutdown => unreachable!("Shutdown is handled by the worker loop"),
         };
-        self.busy_ns += start.elapsed().as_nanos() as u64;
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.busy_ns += elapsed;
+        // Batch fleet-op replies carry their shard-side wall time so the
+        // coordinator can attribute it to the parallel component of the
+        // scaling model (shards work their slices concurrently).
+        match &mut reply {
+            ShardReply::ProbedAll { busy_ns, .. }
+            | ShardReply::ProbedMany { busy_ns, .. }
+            | ShardReply::InstalledMany { busy_ns, .. }
+            | ShardReply::Broadcasted { busy_ns, .. } => *busy_ns = elapsed,
+            _ => {}
+        }
         reply
     }
 
     fn eval_batch(&mut self, mut events: Vec<SpecEvent>) -> ShardReply {
-        debug_assert!(self.spec.is_empty(), "EvalBatch without an intervening Commit");
+        // The pipelined coordinator scatters window t+1 while window t's
+        // entries are still journaled, so the log may legitimately be
+        // non-empty here; `SpecLog::apply` enforces that sequence numbers
+        // keep increasing across the window boundary.
         let start = Instant::now();
         let mut reports = Vec::new();
         for &ev in &events {

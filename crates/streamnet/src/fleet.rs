@@ -69,6 +69,35 @@ pub trait FleetOps {
     /// Probes every source (`2n` messages).
     fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView);
 
+    /// [`FleetOps::probe_all`] that additionally records which view
+    /// entries actually **changed** — previously unknown, or bit-different
+    /// from the stored value — into `changed` (cleared first), in
+    /// ascending id order.
+    ///
+    /// Byte-identical to `probe_all` in messages, view, and per-source
+    /// state; the change list is free for backends (they touch every view
+    /// entry during reassembly anyway) and lets an incremental rank index
+    /// re-key only the streams that drifted since the last refresh instead
+    /// of re-scanning all `n`. The default decomposes into scalar probes —
+    /// the serial baseline.
+    fn probe_all_tracked(
+        &mut self,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        changed: &mut Vec<StreamId>,
+    ) {
+        changed.clear();
+        for i in 0..self.len() {
+            let id = StreamId(i as u32);
+            let known = view.is_known(id);
+            let old = if known { view.get(id) } else { 0.0 };
+            let v = self.probe(id, ledger, view);
+            if !known || old.to_bits() != v.to_bits() {
+                changed.push(id);
+            }
+        }
+    }
+
     /// Probes a set of sources in one batch (2 messages each), writing the
     /// values into `out` aligned with `ids` (cleared first).
     ///
@@ -77,6 +106,18 @@ pub trait FleetOps {
     /// override it to execute the whole batch in one pass (shard-parallel
     /// in `asf-server`). Sources are independent, so per-source state,
     /// ledger counts, and the final view cannot depend on probe order.
+    ///
+    /// ```
+    /// use streamnet::{FleetOps, Ledger, ServerView, SourceFleet, StreamId};
+    ///
+    /// let mut fleet = SourceFleet::from_values(&[100.0, 500.0, 900.0]);
+    /// let (mut ledger, mut view) = (Ledger::new(), ServerView::new(3));
+    /// let mut values = Vec::new();
+    /// fleet.probe_many(&[StreamId(2), StreamId(0)], &mut ledger, &mut view, &mut values);
+    /// assert_eq!(values, vec![900.0, 100.0]);
+    /// assert_eq!(ledger.total(), 4, "2 messages per probe");
+    /// assert_eq!(view.get(StreamId(2)), 900.0);
+    /// ```
     fn probe_many(
         &mut self,
         ids: &[StreamId],
@@ -500,6 +541,9 @@ impl FleetOps for SourceFleet {
     fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
         SourceFleet::probe_all(self, ledger, view)
     }
+    // probe_all_tracked deliberately NOT overridden: the scalar-probe
+    // default IS the native path here (there is no batched shortcut for
+    // the change test), so one copy of the change criterion exists.
 
     fn probe_many(
         &mut self,

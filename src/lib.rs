@@ -2,18 +2,18 @@
 //!
 //! Facade over the workspace crates:
 //!
-//! * [`core`](asf_core) — the paper's six filter-bound protocols, queries,
+//! * [`core`] — the paper's six filter-bound protocols, queries,
 //!   tolerances, engine, and oracle;
 //! * [`streamnet`] — sources, adaptive filters, message ledger, server view;
 //! * [`simkit`] — deterministic discrete-event substrate;
 //! * [`workloads`] — synthetic / TCP-like / 2-D workload generators and
 //!   trace replay;
-//! * [`server`](asf_server) — the sharded, batched, concurrent
-//!   filter-runtime (`asf-server`) that turns the paper simulation into a
-//!   stream server.
+//! * [`server`] — the sharded, batched, concurrent filter-runtime
+//!   (`asf-server`) that turns the paper simulation into a stream server.
 //!
-//! See `examples/` for runnable entry points (`cargo run --release
-//! --example quickstart`, `--example server_fleet`, …).
+//! See `ARCHITECTURE.md` for the end-to-end data flow and `examples/` for
+//! runnable entry points (`cargo run --release --example quickstart`,
+//! `--example server_fleet`, …).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

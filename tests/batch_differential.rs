@@ -20,7 +20,7 @@ use asf_core::protocol::{FtNrp, FtNrpConfig, Protocol, Rtp, ZtRp};
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::FractionTolerance;
 use asf_core::workload::{UpdateEvent, Workload};
-use asf_server::{ExecMode, ServerConfig, ShardedServer};
+use asf_server::{CoordMode, ExecMode, ServerConfig, ShardedServer};
 use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
@@ -98,7 +98,7 @@ fn view_bits(view: &ServerView) -> Vec<(StreamId, u64)> {
 }
 
 /// Rank order as bit-exact `(key, id)` pairs, `None` for range protocols.
-fn rank_bits(index: Option<&asf_core::rank::RankIndex>) -> Option<Vec<(u64, StreamId)>> {
+fn rank_bits(index: Option<&asf_core::rank::RankForest>) -> Option<Vec<(u64, StreamId)>> {
     index.map(|ix| ix.ordered_pairs().into_iter().map(|(k, id)| (k.to_bits(), id)).collect())
 }
 
@@ -142,20 +142,30 @@ where
         "{label}: rank order diverges"
     );
 
-    // Sharded batch execution: every shard count must reproduce the scalar
-    // baseline exactly.
-    for (shards, mode) in [
-        (1, ExecMode::Inline),
-        (4, ExecMode::Inline),
-        (4, ExecMode::Threaded),
-        (8, ExecMode::Inline),
+    // Sharded batch execution: every shard count, execution mode, and
+    // coordinator (serial window-at-a-time and pipelined double-buffered)
+    // must reproduce the scalar baseline exactly.
+    for (shards, mode, coordinator) in [
+        (1, ExecMode::Inline, CoordMode::Serial),
+        (1, ExecMode::Inline, CoordMode::Pipelined),
+        (4, ExecMode::Inline, CoordMode::Serial),
+        (4, ExecMode::Inline, CoordMode::Pipelined),
+        (4, ExecMode::Threaded, CoordMode::Serial),
+        (4, ExecMode::Threaded, CoordMode::Pipelined),
+        (8, ExecMode::Inline, CoordMode::Serial),
+        (8, ExecMode::Inline, CoordMode::Pipelined),
     ] {
-        let config =
-            ServerConfig { num_shards: shards, batch_size: 128, mode, channel_capacity: 2 };
+        let config = ServerConfig {
+            num_shards: shards,
+            batch_size: 128,
+            mode,
+            channel_capacity: 2,
+            coordinator,
+        };
         let mut server = ShardedServer::new(initial, make(), config);
         server.initialize();
         server.ingest_batch(events);
-        let tag = format!("{label} shards={shards} {mode:?}");
+        let tag = format!("{label} shards={shards} {mode:?} {coordinator:?}");
         assert_eq!(server.answer(), scalar.answer(), "{tag}: answers diverge");
         assert_eq!(server.ledger(), scalar.ledger(), "{tag}: ledgers diverge");
         assert_eq!(view_bits(server.view()), view_bits(scalar.view()), "{tag}: views diverge");
