@@ -10,31 +10,76 @@
 //!
 //! Every configuration runs under both coordinators — `serial` (evaluate a
 //! window, then drain its reports) and `pipelined` (drain window *t* while
-//! the shards evaluate window *t+1*, batch fleet ops attributed to their
-//! shard-parallel component) — so the pipeline's effect on the modeled
-//! scaling is visible side by side. Both produce byte-identical answers.
+//! the shards evaluate window *t+1*) — with **broadcast scatter** (shared
+//! columnar windows, the default; one `Arc` clone per shard per round) and,
+//! on the inline/pipelined modeling rows, the **eager** per-shard-copy
+//! scatter baseline, so the collapse of `scatter_ns` into per-shard
+//! `partition_scan_ns` is visible side by side. All modes produce
+//! byte-identical answers.
+//!
+//! A global counting allocator audits the coordinator window loop: steady
+//! state rounds must run out of pooled buffers, and `allocs_per_round`
+//! in the JSON proves it.
 //!
 //! Flags: `--quick` (reduced scale), `--scenario <name>` (run one scenario
-//! only, e.g. `--scenario reinit_storm`).
+//! only, e.g. `--scenario reinit_storm`), `--assert-scatter-budget` (fail
+//! unless broadcast-scatter coordinator time stays a sliver of ingest —
+//! the CI regression gate for the serial scatter stage). When the host has
+//! more than one CPU, a full-scale run additionally asserts that
+//! *wall-clock* speedup tracks the modeled speedup (see `wall_gate` in
+//! the JSON); `--quick` runs record the verdict without failing (their
+//! small event counts make shared-runner wall clocks noise-dominated),
+//! and single-CPU hosts record an explicit skip note instead.
 //!
 //! Every emitted field is documented in `crates/bench/README.md`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use asf_core::protocol::{FtRp, FtRpConfig, Protocol, Rtp, ZtNrp};
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::FractionTolerance;
 use asf_core::workload::{UpdateEvent, Workload};
-use asf_server::{CoordMode, ExecMode, ServerConfig, ShardedServer};
+use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
 use bench_harness::Scale;
 use workloads::{SyntheticConfig, SyntheticWorkload};
+
+/// Counts every heap allocation so the bench can audit the coordinator's
+/// window loop (pooled buffers must make steady-state rounds
+/// allocation-free).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to the system allocator; the counter is a relaxed atomic
+// side effect with no aliasing or layout implications.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct RunStats {
     scenario: &'static str,
     shards: usize,
     mode: &'static str,
     coord: &'static str,
+    scatter: &'static str,
     init_ns: u64,
     init_probe_ns: u64,
     init_index_ns: u64,
@@ -43,6 +88,9 @@ struct RunStats {
     critical_path_ns: u64,
     serial_ns: u64,
     scatter_ns: u64,
+    window_build_ns: u64,
+    partition_scan_ns: u64,
+    window_bytes_shared: u64,
     fleet_parallel_ns: u64,
     fleet_wall_ns: u64,
     index_parallel_ns: u64,
@@ -56,6 +104,8 @@ struct RunStats {
     messages: u64,
     reports: u64,
     events: u64,
+    rounds: u64,
+    ingest_allocs: u64,
 }
 
 impl RunStats {
@@ -76,6 +126,14 @@ impl RunStats {
     fn modeled_updates_per_sec(&self) -> f64 {
         self.events as f64 / (self.modeled_ns() as f64 / 1e9)
     }
+
+    fn allocs_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.ingest_allocs as f64 / self.rounds as f64
+        }
+    }
 }
 
 fn run_one<P: Protocol>(
@@ -83,17 +141,8 @@ fn run_one<P: Protocol>(
     initial: &[f64],
     events: &[UpdateEvent],
     protocol: P,
-    shards: usize,
-    mode: ExecMode,
-    coord: CoordMode,
+    config: ServerConfig,
 ) -> RunStats {
-    let config = ServerConfig {
-        num_shards: shards,
-        batch_size: 8192,
-        mode,
-        channel_capacity: 2,
-        coordinator: coord,
-    };
     let mut server = ShardedServer::new(initial, protocol, config);
     let t0 = Instant::now();
     server.initialize();
@@ -103,23 +152,29 @@ fn run_one<P: Protocol>(
     let init_probe_ns = server.ctx_stats().probe_ns;
     let init_index_ns = server.ctx_stats().index_build_ns;
     let init_deploy_ns = init_ns.saturating_sub(init_probe_ns + init_index_ns);
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let t1 = Instant::now();
     server.ingest_batch(events);
     let ingest_wall_ns = t1.elapsed().as_nanos() as u64;
+    let ingest_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     let reports = server.reports_processed();
     let messages = server.ledger().total();
     let m = server.metrics().clone();
     server.shutdown();
     RunStats {
         scenario,
-        shards,
-        mode: match mode {
+        shards: config.num_shards,
+        mode: match config.mode {
             ExecMode::Inline => "inline",
             ExecMode::Threaded => "threaded",
         },
-        coord: match coord {
+        coord: match config.coordinator {
             CoordMode::Serial => "serial",
             CoordMode::Pipelined => "pipelined",
+        },
+        scatter: match config.scatter {
+            ScatterMode::Eager => "eager",
+            ScatterMode::Broadcast => "broadcast",
         },
         init_ns,
         init_probe_ns,
@@ -129,6 +184,9 @@ fn run_one<P: Protocol>(
         critical_path_ns: m.critical_path_ns,
         serial_ns: m.serial_ns,
         scatter_ns: m.scatter_ns,
+        window_build_ns: m.window_build_ns,
+        partition_scan_ns: m.shard_scan_ns.iter().sum(),
+        window_bytes_shared: m.window_bytes_shared,
         fleet_parallel_ns: m.fleet.parallel_ns,
         fleet_wall_ns: m.fleet.wall_ns,
         index_parallel_ns: m.index_parallel_ns,
@@ -142,26 +200,30 @@ fn run_one<P: Protocol>(
         messages,
         reports,
         events: events.len() as u64,
+        rounds: m.rounds,
+        ingest_allocs,
     }
 }
 
 fn json_run(s: &RunStats) -> String {
     format!(
         "    {{\"scenario\": \"{}\", \"shards\": {}, \"mode\": \"{}\", \"coord\": \"{}\", \
-         \"events\": {}, \
+         \"scatter\": \"{}\", \"events\": {}, \
          \"init_ns\": {}, \"init_probe_ns\": {}, \"init_index_ns\": {}, \"init_deploy_ns\": {}, \
          \"ingest_wall_ns\": {}, \"critical_path_ns\": {}, \"serial_ns\": {}, \
-         \"scatter_ns\": {}, \"fleet_parallel_ns\": {}, \"fleet_wall_ns\": {}, \
+         \"scatter_ns\": {}, \"window_build_ns\": {}, \"partition_scan_ns\": {}, \
+         \"window_bytes_shared\": {}, \"fleet_parallel_ns\": {}, \"fleet_wall_ns\": {}, \
          \"index_parallel_ns\": {}, \"overlap_saved_ns\": {}, \"modeled_ns\": {}, \
          \"wall_updates_per_sec\": {:.0}, \
          \"modeled_updates_per_sec\": {:.0}, \"reports_per_group\": {:.2}, \
          \"window_depth\": {}, \"parallel_fraction\": {:.4}, \
          \"occupancy_skew\": {:.4}, \"batch_p50_us\": {:.1}, \"batch_p99_us\": {:.1}, \
-         \"messages\": {}, \"reports\": {}}}",
+         \"allocs_per_round\": {:.2}, \"messages\": {}, \"reports\": {}}}",
         s.scenario,
         s.shards,
         s.mode,
         s.coord,
+        s.scatter,
         s.events,
         s.init_ns,
         s.init_probe_ns,
@@ -171,6 +233,9 @@ fn json_run(s: &RunStats) -> String {
         s.critical_path_ns,
         s.serial_ns,
         s.scatter_ns,
+        s.window_build_ns,
+        s.partition_scan_ns,
+        s.window_bytes_shared,
         s.fleet_parallel_ns,
         s.fleet_wall_ns,
         s.index_parallel_ns,
@@ -184,9 +249,14 @@ fn json_run(s: &RunStats) -> String {
         s.occupancy_skew,
         s.batch_p50_us,
         s.batch_p99_us,
+        s.allocs_per_round(),
         s.messages,
         s.reports,
     )
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn scenario_filter() -> Option<String> {
@@ -199,9 +269,22 @@ fn scenario_filter() -> Option<String> {
     None
 }
 
+/// Broadcast-scatter coordinator budget: the per-round `Arc` fan-out must
+/// stay below this fraction of ingest wall time (the CI gate that keeps
+/// the serial scatter stage from silently regrowing).
+const SCATTER_BUDGET: f64 = 0.05;
+
+/// Wall gate (multi-core hosts only): wall-clock speedup of 8 threaded
+/// shards over 1 must reach this fraction of the achievable speedup
+/// `min(modeled, cpus)`. Deliberately loose — wall clocks on shared
+/// runners are noisy — it exists to catch "modeled says 5x, wall says
+/// nothing moved".
+const WALL_GATE_TOLERANCE: f64 = 0.4;
+
 fn main() {
     let scale = Scale::from_env();
     let only = scenario_filter();
+    let assert_scatter_budget = flag("--assert-scatter-budget");
     let wants = |name: &str| only.as_deref().is_none_or(|s| s == name);
     let (num_streams, horizon) = if scale.is_quick() { (10_000, 20.0) } else { (100_000, 60.0) };
     let seed = 0xBE7C;
@@ -236,75 +319,148 @@ fn main() {
     for &shards in &[1usize, 2, 4, 8] {
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
             for coord in [CoordMode::Serial, CoordMode::Pipelined] {
-                let mut run = |stats: RunStats| {
-                    eprintln!(
-                        "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   serial {:>6.1}ms   \
-                         fleet// {:>6.1}ms   overlap {:>6.1}ms",
-                        stats.wall_updates_per_sec(),
-                        stats.modeled_updates_per_sec(),
-                        stats.serial_ns as f64 / 1e6,
-                        stats.fleet_parallel_ns as f64 / 1e6 + stats.index_parallel_ns as f64 / 1e6,
-                        stats.overlap_saved_ns as f64 / 1e6,
-                    );
-                    results.push(stats);
-                };
-                if wants("zt_nrp_range") {
-                    eprintln!("running zt_nrp_range shards={shards} {mode:?} {coord:?} ...");
-                    run(run_one(
-                        "zt_nrp_range",
-                        &initial,
-                        &events,
-                        ZtNrp::new(query),
-                        shards,
+                // Broadcast scatter (the default) everywhere; the eager
+                // baseline additionally runs on the inline/pipelined
+                // modeling rows so the scatter_ns → partition_scan_ns
+                // migration is visible at every shard count.
+                let scatters: &[ScatterMode] =
+                    if mode == ExecMode::Inline && coord == CoordMode::Pipelined {
+                        &[ScatterMode::Broadcast, ScatterMode::Eager]
+                    } else {
+                        &[ScatterMode::Broadcast]
+                    };
+                for &scatter in scatters {
+                    let config = ServerConfig {
+                        num_shards: shards,
+                        batch_size: 8192,
                         mode,
-                        coord,
-                    ));
-                }
-                if wants("rtp_knn") {
-                    eprintln!("running rtp_knn shards={shards} {mode:?} {coord:?} ...");
-                    run(run_one(
-                        "rtp_knn",
-                        &initial,
-                        &events,
-                        Rtp::new(rank_query, rank_r).unwrap(),
-                        shards,
-                        mode,
-                        coord,
-                    ));
-                }
-                if wants("reinit_storm") {
-                    eprintln!("running reinit_storm shards={shards} {mode:?} {coord:?} ...");
-                    run(run_one(
-                        "reinit_storm",
-                        &initial,
-                        storm_events,
-                        FtRp::new(rank_query, storm_tol, FtRpConfig::default(), seed).unwrap(),
-                        shards,
-                        mode,
-                        coord,
-                    ));
+                        channel_capacity: 2,
+                        coordinator: coord,
+                        scatter,
+                    };
+                    let mut run = |stats: RunStats| {
+                        eprintln!(
+                            "  wall {:>10.0} upd/s   modeled {:>10.0} upd/s   scatter {:>7.2}ms   \
+                             scan// {:>6.1}ms   serial {:>6.1}ms   overlap {:>6.1}ms",
+                            stats.wall_updates_per_sec(),
+                            stats.modeled_updates_per_sec(),
+                            stats.scatter_ns as f64 / 1e6,
+                            stats.partition_scan_ns as f64 / 1e6,
+                            stats.serial_ns as f64 / 1e6,
+                            stats.overlap_saved_ns as f64 / 1e6,
+                        );
+                        results.push(stats);
+                    };
+                    if wants("zt_nrp_range") {
+                        eprintln!(
+                            "running zt_nrp_range shards={shards} {mode:?} {coord:?} {scatter:?} \
+                             ..."
+                        );
+                        run(run_one("zt_nrp_range", &initial, &events, ZtNrp::new(query), config));
+                    }
+                    if wants("rtp_knn") {
+                        eprintln!(
+                            "running rtp_knn shards={shards} {mode:?} {coord:?} {scatter:?} ..."
+                        );
+                        run(run_one(
+                            "rtp_knn",
+                            &initial,
+                            &events,
+                            Rtp::new(rank_query, rank_r).unwrap(),
+                            config,
+                        ));
+                    }
+                    if wants("reinit_storm") {
+                        eprintln!(
+                            "running reinit_storm shards={shards} {mode:?} {coord:?} {scatter:?} \
+                             ..."
+                        );
+                        run(run_one(
+                            "reinit_storm",
+                            &initial,
+                            storm_events,
+                            FtRp::new(rank_query, storm_tol, FtRpConfig::default(), seed).unwrap(),
+                            config,
+                        ));
+                    }
                 }
             }
         }
     }
 
-    // Headline speedups come from the pipelined coordinator (the default)
-    // in inline mode — the per-shard work model on this container.
+    // Headline speedups come from the pipelined coordinator + broadcast
+    // scatter (the defaults) in inline mode — the per-shard work model on
+    // this container.
+    let find = |scenario: &str, shards: usize, mode: &str, coord: &str, scatter: &str| {
+        results.iter().find(move |s| {
+            s.scenario == scenario
+                && s.shards == shards
+                && s.mode == mode
+                && s.coord == coord
+                && s.scatter == scatter
+        })
+    };
     let modeled_of = |scenario: &str, shards: usize| {
-        results
-            .iter()
-            .find(|s| {
-                s.scenario == scenario
-                    && s.shards == shards
-                    && s.mode == "inline"
-                    && s.coord == "pipelined"
-            })
+        find(scenario, shards, "inline", "pipelined", "broadcast")
             .map(|s| s.modeled_updates_per_sec())
             .unwrap_or(f64::NAN)
     };
     let speedup_8x = modeled_of("zt_nrp_range", 8) / modeled_of("zt_nrp_range", 1);
     let rtp_speedup_8x = modeled_of("rtp_knn", 8) / modeled_of("rtp_knn", 1);
     let storm_speedup_8x = modeled_of("reinit_storm", 8) / modeled_of("reinit_storm", 1);
+
+    // Scatter collapse: eager partition-loop time over broadcast Arc-clone
+    // time, on the 8-shard inline/pipelined rows (the acceptance metric of
+    // the broadcast-scatter rewire).
+    let scatter_reduction = |scenario: &str| {
+        let eager = find(scenario, 8, "inline", "pipelined", "eager").map(|s| s.scatter_ns);
+        let bcast = find(scenario, 8, "inline", "pipelined", "broadcast").map(|s| s.scatter_ns);
+        match (eager, bcast) {
+            (Some(e), Some(b)) => e as f64 / b.max(1) as f64,
+            _ => f64::NAN,
+        }
+    };
+    let zt_scatter_red = scatter_reduction("zt_nrp_range");
+    let rtp_scatter_red = scatter_reduction("rtp_knn");
+
+    // Multi-core wall-clock gate: when real cores exist, the threaded
+    // 8-vs-1 wall speedup must track the modeled speedup within
+    // WALL_GATE_TOLERANCE. On a 1-CPU host wall cannot scale at all, so
+    // the gate records an explicit skip instead.
+    let mut wall_gate_failures: Vec<String> = Vec::new();
+    let wall_gate = if cpus > 1 {
+        let mut entries = Vec::new();
+        for scenario in ["zt_nrp_range", "rtp_knn", "reinit_storm"] {
+            let one = find(scenario, 1, "threaded", "pipelined", "broadcast");
+            let eight = find(scenario, 8, "threaded", "pipelined", "broadcast");
+            let (Some(one), Some(eight)) = (one, eight) else { continue };
+            let wall = eight.wall_updates_per_sec() / one.wall_updates_per_sec();
+            let modeled = eight.modeled_updates_per_sec() / one.modeled_updates_per_sec();
+            let achievable = modeled.min(cpus as f64).max(1.0);
+            let pass = wall >= WALL_GATE_TOLERANCE * achievable;
+            if !pass {
+                wall_gate_failures.push(format!(
+                    "{scenario}: wall 8v1 {wall:.2}x < {WALL_GATE_TOLERANCE} * min(modeled \
+                     {modeled:.2}x, {cpus} cpus)"
+                ));
+            }
+            entries.push(format!(
+                "{{\"scenario\": \"{scenario}\", \"wall_speedup_8v1\": {wall:.2}, \
+                 \"modeled_speedup_8v1\": {modeled:.2}, \"pass\": {pass}}}"
+            ));
+        }
+        format!(
+            "{{\"checked\": true, \"cpus\": {cpus}, \"tolerance\": {WALL_GATE_TOLERANCE}, \
+             \"entries\": [{}]}}",
+            entries.join(", ")
+        )
+    } else {
+        format!(
+            "{{\"checked\": false, \"cpus\": {cpus}, \"note\": \"single-CPU host: wall-clock \
+             cannot exceed one core, so wall-vs-modeled tracking is skipped; rerun on a \
+             multi-core machine to exercise the gate\"}}"
+        )
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -333,6 +489,9 @@ fn main() {
     let _ = writeln!(json, "  \"rtp_modeled_speedup_8_shards_vs_1\": {rtp_speedup_8x:.2},");
     let _ =
         writeln!(json, "  \"reinit_storm_modeled_speedup_8_shards_vs_1\": {storm_speedup_8x:.2},");
+    let _ = writeln!(json, "  \"zt_nrp_scatter_reduction_8_shards\": {zt_scatter_red:.1},");
+    let _ = writeln!(json, "  \"rtp_scatter_reduction_8_shards\": {rtp_scatter_red:.1},");
+    let _ = writeln!(json, "  \"wall_gate\": {wall_gate},");
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));
@@ -348,7 +507,63 @@ fn main() {
     }
     println!("{json}");
     eprintln!(
-        "modeled speedup 8 shards vs 1 (pipelined/inline): zt_nrp {speedup_8x:.2}x, rtp \
-         {rtp_speedup_8x:.2}x, reinit_storm {storm_speedup_8x:.2}x"
+        "modeled speedup 8 shards vs 1 (pipelined/inline/broadcast): zt_nrp {speedup_8x:.2}x, \
+         rtp {rtp_speedup_8x:.2}x, reinit_storm {storm_speedup_8x:.2}x"
     );
+    eprintln!(
+        "scatter_ns reduction 8 shards (eager / broadcast): zt_nrp {zt_scatter_red:.0}x, rtp \
+         {rtp_scatter_red:.0}x"
+    );
+
+    // Allocation audit of the window loop (quick mode prints it so the CI
+    // log shows the pooled steady state at a glance).
+    if scale.is_quick() {
+        for s in results.iter().filter(|s| s.scatter == "broadcast" && s.mode == "inline") {
+            eprintln!(
+                "alloc audit: {} shards={} {}: {:.1} allocs/round over {} rounds",
+                s.scenario,
+                s.shards,
+                s.coord,
+                s.allocs_per_round(),
+                s.rounds
+            );
+        }
+    }
+
+    // Hard-assert the wall gate only at full scale: the --quick smoke's
+    // event counts are small enough that scheduler noise on a shared
+    // runner dominates the 8-thread wall clock, so quick runs record the
+    // verdict in the JSON without failing the build.
+    if !wall_gate_failures.is_empty() {
+        if scale.is_quick() {
+            eprintln!(
+                "wall-clock gate verdict (advisory at --quick scale): {}",
+                wall_gate_failures.join("; ")
+            );
+        } else {
+            panic!("wall-clock gate failed: {}", wall_gate_failures.join("; "));
+        }
+    }
+    if assert_scatter_budget {
+        let mut checked = 0;
+        for s in results.iter().filter(|s| s.scenario == "zt_nrp_range" && s.scatter == "broadcast")
+        {
+            let frac = s.scatter_ns as f64 / s.ingest_wall_ns.max(1) as f64;
+            assert!(
+                frac < SCATTER_BUDGET,
+                "broadcast scatter budget exceeded: zt_nrp shards={} {} {}: scatter_ns {} is \
+                 {:.1}% of ingest_wall_ns {} (budget {:.0}%)",
+                s.shards,
+                s.mode,
+                s.coord,
+                s.scatter_ns,
+                frac * 100.0,
+                s.ingest_wall_ns,
+                SCATTER_BUDGET * 100.0
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "--assert-scatter-budget found no zt_nrp broadcast rows");
+        eprintln!("scatter budget ok: {checked} broadcast rows under {SCATTER_BUDGET}");
+    }
 }

@@ -22,7 +22,12 @@ use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 use crate::answer::AnswerSet;
 use crate::protocol::{CtxStats, FleetScratch, Protocol, ServerCtx};
 use crate::rank::RankForest;
-use crate::workload::{UpdateEvent, Workload};
+use crate::workload::{EventBatch, UpdateEvent, Workload};
+
+/// Events pulled per [`Workload::next_batch`] round by the batch feeders
+/// ([`Engine::run`]); purely a chunking knob — results are identical for
+/// any value.
+pub(crate) const FEED_BATCH: usize = 1024;
 
 /// Upper bound on induced reports processed for a single workload event.
 /// Resolution cascades converge because values are frozen during
@@ -198,6 +203,18 @@ impl<P: Protocol> ProtocolCore<P> {
         }
     }
 
+    /// Delivers a whole [`EventBatch`] in order through `fleet`, handling
+    /// every report as it lands — the batch-ingestion entry shared by the
+    /// serial engine and the differential baselines, so every backend
+    /// consumes the identical columnar window the sharded server
+    /// broadcasts. Byte-identical to calling
+    /// [`ProtocolCore::deliver_and_handle`] per event.
+    pub fn deliver_batch_and_handle(&mut self, batch: &EventBatch, fleet: &mut dyn FleetOps) {
+        for i in 0..batch.len() {
+            self.deliver_and_handle(batch.streams()[i], batch.values()[i], fleet);
+        }
+    }
+
     /// Ingests a report whose source-side delivery already happened (e.g.
     /// speculatively, on an `asf-server` shard): records the `Update`
     /// message, refreshes the view, and handles the report — the exact
@@ -299,13 +316,30 @@ impl<P: Protocol> Engine<P> {
         self.core.deliver_and_handle(ev.stream, ev.value, &mut self.fleet);
     }
 
-    /// Initializes (if needed) and consumes the whole workload.
+    /// Applies one columnar batch of workload events in order (time checks
+    /// and resolution draining per event, exactly like
+    /// [`Engine::apply_event`]).
+    pub fn apply_batch(&mut self, batch: &EventBatch) {
+        assert!(self.core.is_initialized(), "engine must be initialized before events");
+        for i in 0..batch.len() {
+            let time = batch.times()[i];
+            assert!(time >= self.now, "events must be time-ordered ({time} < {})", self.now);
+            self.now = time;
+            self.events_processed += 1;
+            self.core.deliver_and_handle(batch.streams()[i], batch.values()[i], &mut self.fleet);
+        }
+    }
+
+    /// Initializes (if needed) and consumes the whole workload, pulling
+    /// events in columnar [`EventBatch`] rounds ([`Workload::next_batch`])
+    /// through one reused buffer.
     pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) {
         if !self.core.is_initialized() {
             self.initialize();
         }
-        while let Some(ev) = workload.next_event() {
-            self.apply_event(ev);
+        let mut batch = EventBatch::with_capacity(FEED_BATCH);
+        while workload.next_batch(FEED_BATCH, &mut batch) > 0 {
+            self.apply_batch(&batch);
         }
     }
 

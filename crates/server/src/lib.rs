@@ -15,6 +15,13 @@
 //!   only the owning shard, in parallel, and never reach the protocol.
 //!   Only filter violations — rare by construction — serialize through the
 //!   coordinator.
+//! * **Broadcast-scatter ingest.** Evaluation windows are shared columnar
+//!   [`asf_core::workload::EventBatch`]es behind an `Arc`: the coordinator
+//!   pays O(shards) clones per window and each shard selects its own
+//!   events (`stream % shards`) inside the parallel region, so the last
+//!   O(events) coordinator stage is the protocol's report stream, not the
+//!   event copy loop ([`ScatterMode`]; the eager per-shard-copy path
+//!   remains as the differential baseline).
 //! * **Conservative-prefix commits.** Shards evaluate each batch
 //!   speculatively and the coordinator commits exactly the prefix that
 //!   precedes the globally first report (see [`server`]); everything else
@@ -65,7 +72,7 @@ pub mod shard;
 pub use handle::ExecMode;
 pub use metrics::{FleetOpStats, ServerMetrics};
 pub use pipeline::CoordMode;
-pub use server::{ServerConfig, ShardedServer};
+pub use server::{ScatterMode, ServerConfig, ShardedServer};
 pub use shard::Partition;
 
 #[cfg(test)]

@@ -75,7 +75,6 @@
 //! probe storm plus one deployment storm, not `2n` round-trips.
 
 use asf_core::protocol::Protocol;
-use asf_core::workload::UpdateEvent;
 
 /// How the coordinator schedules report handling against shard evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,14 +95,19 @@ use crate::server::ShardedServer;
 impl<P: Protocol> ShardedServer<P> {
     /// Double-buffered chunk application (see the module docs for the
     /// state machine). Byte-identical to the serial path by construction.
-    pub(crate) fn apply_chunk_pipelined(&mut self, events: &[UpdateEvent]) {
+    /// Windows — including the rollback re-scatters after a cut — are
+    /// ranges of the one shared chunk, so under broadcast scatter each
+    /// round costs O(shards) `Arc` clones, never an event copy.
+    pub(crate) fn apply_chunk_pipelined(&mut self) {
+        let chunk_len = self.shared_chunk.len();
         let mut start = 0usize;
-        'refill: while start < events.len() {
+        'refill: while start < chunk_len {
             // Fill the pipe: evaluate the first window with nothing to
             // overlap (there are no reports to drain yet).
-            let end = events.len().min(start + self.window);
-            let participants = self.scatter_window(events, start, end);
+            let end = chunk_len.min(start + self.window);
+            let participants = self.scatter_window(start, end);
             self.metrics.critical_path_ns += self.gather_window(&participants);
+            self.recycle_participants(participants);
             let mut cur_end = end;
 
             // Steady state: window t's reports drain while window t+1
@@ -111,9 +115,9 @@ impl<P: Protocol> ShardedServer<P> {
             loop {
                 let mut next_window: Vec<usize> = Vec::new();
                 let mut next_end = cur_end;
-                if cur_end < events.len() {
-                    next_end = events.len().min(cur_end + self.window);
-                    next_window = self.scatter_window(events, cur_end, next_end);
+                if cur_end < chunk_len {
+                    next_end = chunk_len.min(cur_end + self.window);
+                    next_window = self.scatter_window(cur_end, next_end);
                     self.metrics.max_inflight_windows = self.metrics.max_inflight_windows.max(2);
                 }
 
@@ -125,6 +129,7 @@ impl<P: Protocol> ShardedServer<P> {
                         // (if any) and rolled everything past `c` back;
                         // refill the pipe right after the touch.
                         debug_assert!(next_window.is_empty(), "cut leaves no window in flight");
+                        self.recycle_participants(next_window);
                         self.adapt_window_to_cut(start, c);
                         start = c as usize + 1;
                         continue 'refill;
@@ -137,11 +142,13 @@ impl<P: Protocol> ShardedServer<P> {
                         self.window = (self.window * 2).min(self.max_window());
                         start = cur_end;
                         if next_window.is_empty() {
+                            self.recycle_participants(next_window);
                             break 'refill;
                         }
                         // Gather t+1: its evaluation ran while the drain
                         // above did — serial time hidden by the pipeline.
                         let cp_next = self.gather_window(&next_window);
+                        self.recycle_participants(next_window);
                         self.metrics.critical_path_ns += cp_next;
                         let saved = drain_pure.min(cp_next);
                         self.metrics.overlap_saved_ns += saved;
@@ -163,7 +170,7 @@ impl<P: Protocol> ShardedServer<P> {
 mod tests {
     use super::*;
     use crate::handle::ExecMode;
-    use crate::server::ServerConfig;
+    use crate::server::{ScatterMode, ServerConfig};
     use asf_core::engine::Engine;
     use asf_core::protocol::{Rtp, ZtNrp};
     use asf_core::query::{RangeQuery, RankQuery};
@@ -197,23 +204,32 @@ mod tests {
         engine.run(&mut w);
 
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
-            let config = ServerConfig {
-                num_shards: 4,
-                batch_size: 64,
-                mode,
-                channel_capacity: 2,
-                coordinator: CoordMode::Pipelined,
-            };
-            let mut server = super::ShardedServer::new(&initial, ZtNrp::new(query), config);
-            server.initialize();
-            server.ingest_batch(&events);
-            assert_eq!(server.answer(), engine.answer(), "{mode:?}");
-            assert_eq!(server.ledger(), engine.ledger(), "{mode:?}");
-            let m = server.metrics();
-            assert_eq!(m.max_inflight_windows, 2, "the pipe must actually fill ({mode:?})");
-            assert_eq!(m.speculative_commits, m.events, "every event commits exactly once");
-            assert_eq!(m.shard_events.iter().sum::<u64>(), m.events);
-            server.shutdown();
+            for scatter in [ScatterMode::Eager, ScatterMode::Broadcast] {
+                let config = ServerConfig {
+                    num_shards: 4,
+                    batch_size: 64,
+                    mode,
+                    channel_capacity: 2,
+                    coordinator: CoordMode::Pipelined,
+                    scatter,
+                };
+                let mut server = super::ShardedServer::new(&initial, ZtNrp::new(query), config);
+                server.initialize();
+                server.ingest_batch(&events);
+                assert_eq!(server.answer(), engine.answer(), "{mode:?} {scatter:?}");
+                assert_eq!(server.ledger(), engine.ledger(), "{mode:?} {scatter:?}");
+                let m = server.metrics();
+                assert_eq!(
+                    m.max_inflight_windows, 2,
+                    "the pipe must actually fill ({mode:?} {scatter:?})"
+                );
+                assert_eq!(m.speculative_commits, m.events, "every event commits exactly once");
+                assert_eq!(m.shard_events.iter().sum::<u64>(), m.events);
+                if scatter == ScatterMode::Broadcast {
+                    assert!(m.window_bytes_shared > 0, "broadcast rounds share window bytes");
+                }
+                server.shutdown();
+            }
         }
     }
 
@@ -237,6 +253,7 @@ mod tests {
             mode: ExecMode::Inline,
             channel_capacity: 2,
             coordinator: CoordMode::Pipelined,
+            scatter: Default::default(),
         };
         let mut server = super::ShardedServer::new(&initial, Rtp::new(query, 2).unwrap(), config);
         server.initialize();
@@ -274,6 +291,7 @@ mod tests {
                 mode: ExecMode::Inline,
                 channel_capacity: 2,
                 coordinator,
+                scatter: Default::default(),
             };
             let mut server =
                 super::ShardedServer::new(&initial, Rtp::new(query, 2).unwrap(), config);

@@ -32,12 +32,15 @@ use crate::shard::{Partition, ShardCmd, ShardReply, SpecEvent};
 /// discarding their tentative reports and recycling their buffers — before
 /// it can commit the speculation cut, because per-shard channels are FIFO.
 pub(crate) struct InflightWindow<'a> {
-    /// Shards with an outstanding `EvalBatch` reply; drained by the absorb.
+    /// Shards with an outstanding eval reply; drained by the absorb.
     pub shards: &'a mut Vec<usize>,
     /// Buffer pool the absorbed batch/report vectors are recycled into.
     pub pool: &'a mut Vec<Vec<SpecEvent>>,
     /// Coordinator-side per-shard cumulative busy accounting.
     pub shard_busy_ns: &'a mut [u64],
+    /// Coordinator-side per-shard ownership-scan accounting (broadcast
+    /// scatter).
+    pub shard_scan_ns: &'a mut [u64],
     /// Shard busy time burned on the discarded window (metrics).
     pub discarded_busy_ns: &'a mut u64,
     /// Tentative reports discarded with the window (metrics).
@@ -154,14 +157,19 @@ impl<'a> ShardRouter<'a> {
     pub(crate) fn absorb_evals(&mut self, inflight: &mut InflightWindow<'_>) {
         for s in inflight.shards.drain(..) {
             match self.handles[s].recv() {
-                ShardReply::Evaluated { reports, busy_ns, batch, .. } => {
+                ShardReply::Evaluated { reports, busy_ns, scan_ns, batch, .. } => {
                     inflight.shard_busy_ns[s] += busy_ns;
+                    inflight.shard_scan_ns[s] += scan_ns;
                     *inflight.discarded_busy_ns += busy_ns;
                     *inflight.discarded_reports += reports.len() as u64;
                     let mut reports = reports;
                     reports.clear();
-                    inflight.pool.push(reports);
-                    inflight.pool.push(batch);
+                    if reports.capacity() > 0 {
+                        inflight.pool.push(reports);
+                    }
+                    if batch.capacity() > 0 {
+                        inflight.pool.push(batch);
+                    }
                 }
                 other => unreachable!("absorb of EvalBatch got {other:?}"),
             }

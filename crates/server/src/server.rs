@@ -3,8 +3,12 @@
 //!
 //! ## The commit protocol
 //!
-//! A window of time-ordered events is stamped with sequence numbers and
-//! scattered to the shards owning the sources. Each shard evaluates its
+//! A window of time-ordered events — a range of the chunk's shared
+//! columnar [`EventBatch`], sequence-stamped by position — reaches the
+//! shards either by **broadcast** (one `Arc` clone per shard; each shard
+//! selects the events it owns, the default) or by **eager scatter**
+//! (coordinator-built per-shard slices, the baseline); see
+//! [`ScatterMode`]. Each shard evaluates its
 //! slice **optimistically** — silent updates apply, filter violations
 //! tentatively become delivered reports — and returns its violations. The
 //! coordinator merges the per-shard report streams in sequence order and
@@ -33,12 +37,13 @@
 //! coordinator of [`crate::pipeline`] (the default), which drains window
 //! *t*'s reports while the shards already evaluate window *t+1*.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use asf_core::engine::{ProtocolCore, RankMode};
 use asf_core::protocol::{CtxStats, Protocol};
 use asf_core::rank::RankForest;
-use asf_core::workload::{UpdateEvent, Workload};
+use asf_core::workload::{EventBatch, UpdateEvent, Workload};
 use asf_core::AnswerSet;
 use simkit::SimTime;
 use streamnet::{Ledger, ServerView, SourceFleet};
@@ -51,6 +56,23 @@ use crate::shard::{Partition, Shard, ShardCmd, ShardReply, SpecEvent};
 
 /// Smallest adaptive evaluation window (events per round).
 pub(crate) const MIN_WINDOW: usize = 32;
+
+/// How evaluation windows reach the shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// The coordinator partitions each window into per-shard `SpecEvent`
+    /// vectors and sends every shard its slice — O(events) coordinator
+    /// copies per window. Kept as the differential baseline (mirroring how
+    /// `CoordMode::Serial` and `RankMode::Sorted` earned trust).
+    Eager,
+    /// The coordinator shares each window as one columnar
+    /// [`EventBatch`] behind an `Arc` — O(shards) clones per window — and
+    /// every shard selects its own events inside the parallel region
+    /// (`stream % shards` ownership). Byte-identical to
+    /// [`ScatterMode::Eager`]. The default.
+    #[default]
+    Broadcast,
+}
 
 /// Configuration of a [`ShardedServer`].
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +88,9 @@ pub struct ServerConfig {
     /// Serial or pipelined (double-buffered) coordinator; both are
     /// byte-identical, see [`CoordMode`].
     pub coordinator: CoordMode,
+    /// Eager per-shard scatter or broadcast of shared columnar windows;
+    /// both are byte-identical, see [`ScatterMode`].
+    pub scatter: ScatterMode,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +101,7 @@ impl Default for ServerConfig {
             mode: ExecMode::Inline,
             channel_capacity: 2,
             coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
         }
     }
 }
@@ -103,6 +129,13 @@ impl ServerConfig {
         self.coordinator = coordinator;
         self
     }
+
+    /// Sets the scatter mode (eager per-shard copies vs. broadcast of
+    /// shared columnar windows).
+    pub fn scatter(mut self, scatter: ScatterMode) -> Self {
+        self.scatter = scatter;
+        self
+    }
 }
 
 /// A sharded, batched, concurrent runtime for one filter protocol over one
@@ -126,6 +159,17 @@ pub struct ShardedServer<P: Protocol> {
     pub(crate) spare_batches: Vec<Vec<SpecEvent>>,
     /// Reused per-round merge buffer for the gathered report streams.
     pub(crate) merged: Vec<(SpecEvent, usize)>,
+    /// The current ingestion chunk as a shared columnar window. Refilled
+    /// per chunk (recycled once every shard has dropped its clone, i.e.
+    /// at every chunk boundary); every evaluation window of the chunk —
+    /// including rollback re-scatters — is an `Arc` clone of it under
+    /// [`ScatterMode::Broadcast`].
+    pub(crate) shared_chunk: Arc<EventBatch>,
+    /// Eager scatter's persistent per-shard partition buffers (entries are
+    /// `mem::take`n when sent and refilled from `spare_batches`).
+    eager_slices: Vec<Vec<SpecEvent>>,
+    /// Pool of participant-index vectors for the window loop.
+    participant_pool: Vec<Vec<usize>>,
 }
 
 impl<P: Protocol> ShardedServer<P> {
@@ -165,8 +209,13 @@ impl<P: Protocol> ShardedServer<P> {
         let handles: Vec<ShardHandle> = partition
             .split_values(initial_values)
             .iter()
-            .map(|values| {
-                ShardHandle::spawn(Shard::new(values), config.mode, config.channel_capacity)
+            .enumerate()
+            .map(|(s, values)| {
+                ShardHandle::spawn(
+                    Shard::with_partition(values, partition, s),
+                    config.mode,
+                    config.channel_capacity,
+                )
             })
             .collect();
         let window_ceiling = match config.coordinator {
@@ -193,6 +242,9 @@ impl<P: Protocol> ShardedServer<P> {
             metrics: ServerMetrics::new(config.num_shards),
             spare_batches: Vec::new(),
             merged: Vec::new(),
+            shared_chunk: Arc::new(EventBatch::new()),
+            eager_slices: (0..config.num_shards).map(|_| Vec::new()).collect(),
+            participant_pool: Vec::new(),
         }
     }
 
@@ -205,72 +257,151 @@ impl<P: Protocol> ShardedServer<P> {
     /// Ingests one batch of time-ordered events and drains all induced
     /// resolution work; the server is quiescent when this returns.
     ///
+    /// Each `batch_size` chunk is materialized once into the pooled
+    /// columnar chunk (metered as `window_build_ns`); feeders that already
+    /// produce [`EventBatch`]es — [`ShardedServer::run`] via
+    /// [`Workload::next_batch`], or [`ShardedServer::ingest_event_batch`]
+    /// — skip or amortize that copy.
+    ///
     /// # Panics
     ///
     /// Panics if the server is not initialized, or if event times regress.
     pub fn ingest_batch(&mut self, events: &[UpdateEvent]) {
         assert!(self.core.is_initialized(), "server must be initialized before events");
         for chunk in events.chunks(self.config.batch_size) {
-            self.apply_chunk(chunk);
+            let build_start = Instant::now();
+            let buf = self.unique_chunk();
+            buf.clear();
+            buf.extend_from_events(chunk);
+            self.metrics.window_build_ns += build_start.elapsed().as_nanos() as u64;
+            self.apply_shared_chunk();
         }
     }
 
-    fn apply_chunk(&mut self, events: &[UpdateEvent]) {
+    /// Ingests a columnar batch of time-ordered events (chunked to
+    /// `batch_size`); the server is quiescent when this returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not initialized, or if event times regress.
+    pub fn ingest_event_batch(&mut self, events: &EventBatch) {
+        assert!(self.core.is_initialized(), "server must be initialized before events");
+        let mut start = 0;
+        while start < events.len() {
+            let end = events.len().min(start + self.config.batch_size);
+            let build_start = Instant::now();
+            let buf = self.unique_chunk();
+            buf.clear();
+            buf.extend_from_batch(events, start, end);
+            self.metrics.window_build_ns += build_start.elapsed().as_nanos() as u64;
+            self.apply_shared_chunk();
+            start = end;
+        }
+    }
+
+    /// Exclusive access to the pooled chunk buffer for refilling. At chunk
+    /// boundaries every shard has dropped its window clone (all `Evaluated`
+    /// replies were gathered or absorbed), so the `Arc` is unique and the
+    /// buffer — columns and all — is recycled; the fallback allocation only
+    /// triggers if a caller kept a clone alive.
+    fn unique_chunk(&mut self) -> &mut EventBatch {
+        if Arc::get_mut(&mut self.shared_chunk).is_none() {
+            self.shared_chunk = Arc::new(EventBatch::new());
+        }
+        Arc::get_mut(&mut self.shared_chunk).expect("fresh Arc is unique")
+    }
+
+    /// Applies the filled `shared_chunk` through the configured
+    /// coordinator.
+    fn apply_shared_chunk(&mut self) {
         let batch_start = Instant::now();
         // Validate time ordering once — rounds below may re-scatter rolled
         // back events whose times are already at or before `now`.
-        for ev in events {
-            assert!(
-                ev.time >= self.now,
-                "events must be time-ordered ({} < {})",
-                ev.time,
-                self.now
-            );
-            self.now = ev.time;
+        let chunk = Arc::clone(&self.shared_chunk);
+        for &time in chunk.times() {
+            assert!(time >= self.now, "events must be time-ordered ({time} < {})", self.now);
+            self.now = time;
         }
         match self.config.coordinator {
-            CoordMode::Serial => self.apply_chunk_serial(events),
-            CoordMode::Pipelined => self.apply_chunk_pipelined(events),
+            CoordMode::Serial => self.apply_chunk_serial(),
+            CoordMode::Pipelined => self.apply_chunk_pipelined(),
         }
-        self.events_processed += events.len() as u64;
-        self.metrics.events += events.len() as u64;
+        self.events_processed += chunk.len() as u64;
+        self.metrics.events += chunk.len() as u64;
         self.metrics.record_batch(batch_start.elapsed().as_nanos() as u64);
     }
 
-    /// Scatters `events[start..end]` to the owning shards as one
-    /// speculative evaluation window (pooled buffers; shards return them,
+    /// Scatters `shared_chunk[start..end]` to the shards as one speculative
+    /// evaluation window. Under [`ScatterMode::Broadcast`] every shard gets
+    /// one `Arc` clone of the shared window and selects its own events;
+    /// under [`ScatterMode::Eager`] the coordinator partitions the range
+    /// into pooled per-shard `SpecEvent` buffers (shards return them,
     /// cleared, with each `Evaluated` reply). Returns the participating
-    /// shard indices — each owes exactly one `Evaluated` reply.
-    pub(crate) fn scatter_window(
-        &mut self,
-        events: &[UpdateEvent],
-        start: usize,
-        end: usize,
-    ) -> Vec<usize> {
-        let scatter_start = Instant::now();
-        let mut slices: Vec<Vec<SpecEvent>> = (0..self.config.num_shards)
-            .map(|_| self.spare_batches.pop().unwrap_or_default())
-            .collect();
-        for (i, ev) in events[start..end].iter().enumerate() {
-            slices[self.partition.shard_of(ev.stream)].push(SpecEvent {
-                seq: (start + i) as u64,
-                local: self.partition.local_of(ev.stream),
-                value: ev.value,
-            });
-        }
-        let mut participants = Vec::new();
-        for (s, slice) in slices.into_iter().enumerate() {
-            if slice.is_empty() {
-                self.spare_batches.push(slice);
-            } else {
-                self.handles[s].send(ShardCmd::EvalBatch(slice));
-                participants.push(s);
+    /// shard indices — each owes exactly one `Evaluated` reply. Only
+    /// coordinator-side partition/copy work is metered as `scatter_ns`;
+    /// channel sends (which execute the evaluation inline in
+    /// [`ExecMode::Inline`]) are not.
+    pub(crate) fn scatter_window(&mut self, start: usize, end: usize) -> Vec<usize> {
+        let mut participants = self.participant_pool.pop().unwrap_or_default();
+        participants.clear();
+        match self.config.scatter {
+            ScatterMode::Broadcast => {
+                let scatter_start = Instant::now();
+                let window = Arc::clone(&self.shared_chunk);
+                self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
+                let window_bytes = ((end - start) * EventBatch::EVENT_BYTES) as u64;
+                for s in 0..self.config.num_shards {
+                    self.handles[s].send(ShardCmd::EvalWindow {
+                        window: Arc::clone(&window),
+                        start,
+                        end,
+                    });
+                    participants.push(s);
+                    self.metrics.window_bytes_shared += window_bytes;
+                }
+            }
+            ScatterMode::Eager => {
+                let scatter_start = Instant::now();
+                for s in 0..self.config.num_shards {
+                    if self.eager_slices[s].capacity() == 0 {
+                        if let Some(buf) = self.spare_batches.pop() {
+                            self.eager_slices[s] = buf;
+                        }
+                    }
+                }
+                let chunk = Arc::clone(&self.shared_chunk);
+                let streams = &chunk.streams()[start..end];
+                let values = &chunk.values()[start..end];
+                for (i, (&stream, &value)) in streams.iter().zip(values).enumerate() {
+                    self.eager_slices[self.partition.shard_of(stream)].push(SpecEvent {
+                        seq: (start + i) as u64,
+                        local: self.partition.local_of(stream),
+                        value,
+                    });
+                }
+                self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
+                for s in 0..self.config.num_shards {
+                    if !self.eager_slices[s].is_empty() {
+                        let slice = std::mem::take(&mut self.eager_slices[s]);
+                        self.handles[s].send(ShardCmd::EvalBatch(slice));
+                        participants.push(s);
+                    }
+                }
             }
         }
-        self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
         self.metrics.rounds += 1;
         self.metrics.max_inflight_windows = self.metrics.max_inflight_windows.max(1);
         participants
+    }
+
+    /// Returns a participant vector to the window-loop pool (zero-capacity
+    /// vectors — the pipelined loop's untouched `Vec::new()` placeholders —
+    /// are dropped so the pool stays bounded).
+    pub(crate) fn recycle_participants(&mut self, mut participants: Vec<usize>) {
+        if participants.capacity() > 0 {
+            participants.clear();
+            self.participant_pool.push(participants);
+        }
     }
 
     /// Gathers one window's `Evaluated` replies into the pooled `merged`
@@ -284,10 +415,13 @@ impl<P: Protocol> ShardedServer<P> {
         let mut round_max_busy = 0u64;
         for &s in participants {
             match self.handles[s].recv() {
-                ShardReply::Evaluated { reports, busy_ns, batch, .. } => {
+                ShardReply::Evaluated { reports, busy_ns, scan_ns, batch, .. } => {
                     self.metrics.shard_busy_ns[s] += busy_ns;
+                    self.metrics.shard_scan_ns[s] += scan_ns;
                     round_max_busy = round_max_busy.max(busy_ns);
-                    self.spare_batches.push(batch);
+                    if batch.capacity() > 0 {
+                        self.spare_batches.push(batch);
+                    }
                     merged.extend(reports.into_iter().map(|ev| (ev, s)));
                 }
                 other => unreachable!("EvalBatch got {other:?}"),
@@ -329,6 +463,7 @@ impl<P: Protocol> ShardedServer<P> {
                 shards: &mut *next_window,
                 pool: &mut self.spare_batches,
                 shard_busy_ns: &mut self.metrics.shard_busy_ns,
+                shard_scan_ns: &mut self.metrics.shard_scan_ns,
                 discarded_busy_ns: &mut self.metrics.discarded_window_busy_ns,
                 discarded_reports: &mut self.metrics.discarded_reports,
             });
@@ -403,15 +538,17 @@ impl<P: Protocol> ShardedServer<P> {
     /// One window at a time: scatter, gather, drain, commit — the
     /// speculation baseline the pipelined coordinator is differentially
     /// tested against.
-    fn apply_chunk_serial(&mut self, events: &[UpdateEvent]) {
+    fn apply_chunk_serial(&mut self) {
+        let chunk_len = self.shared_chunk.len();
         let mut start = 0usize;
         let mut no_next: Vec<usize> = Vec::new();
-        while start < events.len() {
-            let end = events.len().min(start + self.window);
+        while start < chunk_len {
+            let end = chunk_len.min(start + self.window);
 
             // Phase A: optimistic evaluation on every participating shard.
-            let participants = self.scatter_window(events, start, end);
+            let participants = self.scatter_window(start, end);
             let round_busy = self.gather_window(&participants);
+            self.recycle_participants(participants);
             self.metrics.critical_path_ns += round_busy;
 
             // Phase B: consume reports serially through the protocol until
@@ -429,7 +566,9 @@ impl<P: Protocol> ShardedServer<P> {
                 }
                 Some(c) => {
                     // Speculation past `c` was rolled back inside the cut;
-                    // resume right after the invalidating report.
+                    // resume right after the invalidating report. Under
+                    // broadcast scatter the re-scatter below reuses the
+                    // already-shared chunk window — no re-copy.
                     self.adapt_window_to_cut(start, c);
                     start = c as usize + 1;
                 }
@@ -438,21 +577,21 @@ impl<P: Protocol> ShardedServer<P> {
     }
 
     /// Initializes (if needed) and consumes the whole workload in batches
-    /// of `config.batch_size` — the trace-replay / generator feeder.
+    /// of `config.batch_size` — the trace-replay / generator feeder. The
+    /// workload writes each chunk straight into the pooled shared columnar
+    /// window ([`Workload::next_batch`]), so feeding allocates and copies
+    /// nothing per round.
     pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) {
         if !self.core.is_initialized() {
             self.initialize();
         }
-        let mut buf: Vec<UpdateEvent> = Vec::with_capacity(self.config.batch_size);
-        while let Some(ev) = workload.next_event() {
-            buf.push(ev);
-            if buf.len() == self.config.batch_size {
-                self.ingest_batch(&buf);
-                buf.clear();
+        let max = self.config.batch_size;
+        loop {
+            let buf = self.unique_chunk();
+            if workload.next_batch(max, buf) == 0 {
+                break;
             }
-        }
-        if !buf.is_empty() {
-            self.ingest_batch(&buf);
+            self.apply_shared_chunk();
         }
     }
 

@@ -7,9 +7,28 @@
 //! [`SourceFleet`] uses *local* dense ids; all translation happens at the
 //! boundary.
 //!
+//! ## Getting events onto the shard: broadcast vs. eager scatter
+//!
+//! Two commands start a speculative evaluation window:
+//!
+//! * [`ShardCmd::EvalWindow`] — the **broadcast scatter** path (the
+//!   default): the coordinator shares one columnar
+//!   [`asf_core::workload::EventBatch`] window behind an `Arc` and every
+//!   shard *self-partitions*, scanning the shared stream column for the
+//!   ids it owns (`stream % shards == shard_id`) and building its
+//!   [`SpecEvent`]s locally. The coordinator pays O(shards) `Arc` clones
+//!   per window; the ownership scan is metered per shard
+//!   ([`ShardReply::Evaluated::scan_ns`]) and runs inside the parallel
+//!   region.
+//! * [`ShardCmd::EvalBatch`] — the **eager** path, kept as the
+//!   differential baseline: the coordinator partitions the window into
+//!   per-shard `SpecEvent` vectors itself and sends each shard its slice.
+//!
+//! Both paths journal and evaluate identically from there on.
+//!
 //! ## Optimistic evaluation and the undo log
 //!
-//! [`Shard::exec`] with [`ShardCmd::EvalBatch`] walks its slice of a batch
+//! [`Shard::exec`] walks its slice of a batch
 //! in sequence order **optimistically**: silent updates apply their value;
 //! filter violations are tentatively treated as delivered reports (value
 //! applied, last-reported refreshed) and returned to the coordinator in
@@ -26,8 +45,10 @@
 //! (newest first) and re-evaluate after the protocol's actions, which is
 //! what keeps the sharded runtime byte-identical to the serial engine.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use asf_core::workload::EventBatch;
 use streamnet::{Filter, Ledger, ServerView, SourceFleet, SpecLog, StreamId};
 
 /// Strided assignment of global stream ids to `k` shards.
@@ -92,8 +113,23 @@ pub struct SpecEvent {
 /// A command routed to a shard.
 #[derive(Debug)]
 pub enum ShardCmd {
-    /// Speculatively evaluate a slice of a batch (in `seq` order).
+    /// Speculatively evaluate a slice of a batch (in `seq` order) that the
+    /// coordinator partitioned eagerly (`ScatterMode::Eager`, the
+    /// differential baseline).
     EvalBatch(Vec<SpecEvent>),
+    /// Speculatively evaluate `window[start..end]` of a **shared** columnar
+    /// event window: the shard scans the stream column, selects the events
+    /// it owns, and evaluates them in `seq` order (`seq` = position in the
+    /// window). The broadcast-scatter path: the same `Arc` is sent to every
+    /// shard, so the coordinator copies nothing per event.
+    EvalWindow {
+        /// The shared columnar window (one `Arc` clone per shard).
+        window: Arc<EventBatch>,
+        /// First window position of this evaluation round.
+        start: usize,
+        /// One past the last window position of this round.
+        end: usize,
+    },
     /// Commit speculative applications with `seq < keep_below`, roll back
     /// the rest (use `u64::MAX` to commit everything).
     Commit {
@@ -148,17 +184,23 @@ pub enum ShardCmd {
 /// A shard's reply to one command.
 #[derive(Debug)]
 pub enum ShardReply {
-    /// Outcome of [`ShardCmd::EvalBatch`].
+    /// Outcome of [`ShardCmd::EvalBatch`] / [`ShardCmd::EvalWindow`].
     Evaluated {
         /// Tentative reports (filter violations), in ascending `seq` order.
         reports: Vec<SpecEvent>,
         /// Events speculatively applied (silent + tentative reports).
         evaluated: u32,
-        /// Wall time the shard spent evaluating, for metrics only.
+        /// Wall time the shard spent on the round (ownership scan included
+        /// on the broadcast path), for metrics only.
         busy_ns: u64,
-        /// The consumed input buffer, cleared — handed back so the
-        /// coordinator can pool scatter buffers instead of allocating a
-        /// fresh `Vec` per shard per round.
+        /// Broadcast path only: the portion of `busy_ns` spent scanning the
+        /// shared window for owned events — the work that used to be the
+        /// coordinator's serial scatter loop. Zero on the eager path.
+        scan_ns: u64,
+        /// Eager path: the consumed input buffer, cleared — handed back so
+        /// the coordinator can pool scatter buffers instead of allocating a
+        /// fresh `Vec` per shard per round. Empty (no allocation) on the
+        /// broadcast path, where the selection buffer stays shard-local.
         batch: Vec<SpecEvent>,
     },
     /// Outcome of [`ShardCmd::Commit`].
@@ -212,6 +254,10 @@ pub enum ShardReply {
 #[derive(Debug)]
 pub struct Shard {
     fleet: SourceFleet,
+    /// The global partition map and this shard's index in it — what lets
+    /// the shard *self-partition* a shared event window.
+    partition: Partition,
+    shard_id: u32,
     /// Shard-side scratch: per-shard message counts are informational; the
     /// coordinator's ledger is the authoritative, serial-identical one.
     scratch: Ledger,
@@ -220,6 +266,9 @@ pub struct Shard {
     local_view: ServerView,
     /// Reused sync-report buffer for broadcasts (cleared per use).
     broadcast_scratch: Vec<(StreamId, f64)>,
+    /// Reused selection buffer of the broadcast-scatter ownership scan
+    /// (cleared per window; never crosses the channel).
+    select_scratch: Vec<SpecEvent>,
     /// Undo journal of the in-flight speculative batch.
     spec: SpecLog,
     /// Cumulative busy time (ns), metrics only.
@@ -227,19 +276,35 @@ pub struct Shard {
 }
 
 impl Shard {
-    /// Builds a shard over its partition's initial values (local order).
+    /// Builds a single-shard (whole-population) shard over its initial
+    /// values — the one-worker special case of [`Shard::with_partition`].
     ///
     /// # Panics
     ///
     /// Panics if the partition is empty — use at most as many shards as
     /// streams.
     pub fn new(local_initial: &[f64]) -> Self {
+        Self::with_partition(local_initial, Partition::new(1), 0)
+    }
+
+    /// Builds shard `shard_id` of `partition` over its partition's initial
+    /// values (local order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition slice is empty or `shard_id` is out of
+    /// range.
+    pub fn with_partition(local_initial: &[f64], partition: Partition, shard_id: usize) -> Self {
+        assert!(shard_id < partition.shards(), "shard {shard_id} out of range");
         let n = local_initial.len();
         Self {
             fleet: SourceFleet::from_values(local_initial),
+            partition,
+            shard_id: shard_id as u32,
             scratch: Ledger::new(),
             local_view: ServerView::new(n),
             broadcast_scratch: Vec::new(),
+            select_scratch: Vec::new(),
             spec: SpecLog::new(),
             busy_ns: 0,
         }
@@ -267,6 +332,7 @@ impl Shard {
         let start = Instant::now();
         let mut reply = match cmd {
             ShardCmd::EvalBatch(events) => self.eval_batch(events),
+            ShardCmd::EvalWindow { window, start, end } => self.eval_window(&window, start, end),
             ShardCmd::Commit { keep_below } => self.commit(keep_below),
             ShardCmd::Deliver { local, value } => ShardReply::Delivered(self.fleet.deliver_update(
                 StreamId(local),
@@ -349,26 +415,70 @@ impl Shard {
         reply
     }
 
-    fn eval_batch(&mut self, mut events: Vec<SpecEvent>) -> ShardReply {
+    /// Speculatively applies `events` (already selected, in `seq` order):
+    /// the shared evaluation core of both scatter paths.
+    fn eval_events(&mut self, events: &[SpecEvent]) -> Vec<SpecEvent> {
         // The pipelined coordinator scatters window t+1 while window t's
         // entries are still journaled, so the log may legitimately be
         // non-empty here; `SpecLog::apply` enforces that sequence numbers
         // keep increasing across the window boundary.
-        let start = Instant::now();
         let mut reports = Vec::new();
-        for &ev in &events {
+        for &ev in events {
             let id = StreamId(ev.local);
             if self.spec.apply(&mut self.fleet, ev.seq, id, ev.value).is_some() {
                 reports.push(ev);
             }
         }
+        reports
+    }
+
+    fn eval_batch(&mut self, mut events: Vec<SpecEvent>) -> ShardReply {
+        let start = Instant::now();
+        let reports = self.eval_events(&events);
         let evaluated = events.len() as u32;
         events.clear();
         ShardReply::Evaluated {
             reports,
             evaluated,
             busy_ns: start.elapsed().as_nanos() as u64,
+            scan_ns: 0,
             batch: events,
+        }
+    }
+
+    fn eval_window(&mut self, window: &EventBatch, start: usize, end: usize) -> ShardReply {
+        // Phase 1 — ownership scan: walk the shared stream column and
+        // select this shard's events into the pooled local buffer. This is
+        // exactly the partitioning work the coordinator's eager scatter
+        // loop used to do serially for all shards; here every shard scans
+        // its window concurrently, and the time is reported as `scan_ns`.
+        let scan_start = Instant::now();
+        let mut selected = std::mem::take(&mut self.select_scratch);
+        selected.clear();
+        let streams = &window.streams()[start..end];
+        let values = &window.values()[start..end];
+        for (i, (&stream, &value)) in streams.iter().zip(values).enumerate() {
+            if self.partition.shard_of(stream) == self.shard_id as usize {
+                selected.push(SpecEvent {
+                    seq: (start + i) as u64,
+                    local: self.partition.local_of(stream),
+                    value,
+                });
+            }
+        }
+        let scan_ns = scan_start.elapsed().as_nanos() as u64;
+
+        // Phase 2 — the same optimistic evaluation as the eager path.
+        let eval_start = Instant::now();
+        let reports = self.eval_events(&selected);
+        let evaluated = selected.len() as u32;
+        self.select_scratch = selected;
+        ShardReply::Evaluated {
+            reports,
+            evaluated,
+            busy_ns: scan_ns + eval_start.elapsed().as_nanos() as u64,
+            scan_ns,
+            batch: Vec::new(),
         }
     }
 
@@ -443,6 +553,107 @@ mod tests {
         match shard.exec(ShardCmd::Deliver { local: 0, value: 550.0 }) {
             ShardReply::Delivered(r) => assert_eq!(r, Some(550.0)),
             other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    /// Replays `cmds` through a fresh shard pair and returns, per shard,
+    /// the reports of each eval round plus the final truth snapshot.
+    fn reports_of(reply: ShardReply) -> Vec<(u64, u32, f64)> {
+        match reply {
+            ShardReply::Evaluated { reports, .. } => {
+                reports.into_iter().map(|ev| (ev.seq, ev.local, ev.value)).collect()
+            }
+            other => panic!("expected Evaluated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_self_partitioning_with_rollback_equals_eager_scatter() {
+        // Shared columnar window over 2 shards; both scatter paths must
+        // produce identical reports, identical rollback behaviour on a
+        // mid-window cut, and identical source state after the re-scatter
+        // of the surviving suffix.
+        let initial = [500.0, 100.0, 450.0, 150.0]; // shard0: {0,2}→{500,450}, shard1: {1,3}
+        let partition = Partition::new(2);
+        let per_shard = partition.split_values(&initial);
+        let make = || -> Vec<Shard> {
+            (0..2)
+                .map(|s| {
+                    let mut shard = Shard::with_partition(&per_shard[s], partition, s);
+                    shard.exec(ShardCmd::ProbeAll);
+                    shard.exec(ShardCmd::Broadcast { filter: Filter::interval(400.0, 600.0) });
+                    shard
+                })
+                .collect()
+        };
+        let mut eager = make();
+        let mut broadcast = make();
+
+        let mut window = EventBatch::new();
+        for (t, (g, v)) in
+            [(0u32, 550.0), (1, 650.0), (2, 700.0), (3, 500.0), (0, 800.0), (2, 420.0)]
+                .into_iter()
+                .enumerate()
+        {
+            window.push_parts(t as f64, StreamId(g), v);
+        }
+        let window = Arc::new(window);
+
+        // Eager partitioning: what the coordinator's scatter loop builds.
+        let eager_slices = |start: usize, end: usize| -> Vec<Vec<SpecEvent>> {
+            let mut slices = vec![Vec::new(), Vec::new()];
+            for i in start..end {
+                let g = window.streams()[i];
+                slices[partition.shard_of(g)].push(SpecEvent {
+                    seq: i as u64,
+                    local: partition.local_of(g),
+                    value: window.values()[i],
+                });
+            }
+            slices
+        };
+
+        for s in 0..2 {
+            let e = reports_of(eager[s].exec(ShardCmd::EvalBatch(eager_slices(0, 6)[s].clone())));
+            let b = reports_of(broadcast[s].exec(ShardCmd::EvalWindow {
+                window: Arc::clone(&window),
+                start: 0,
+                end: 6,
+            }));
+            assert_eq!(e, b, "shard {s}: scatter paths diverged");
+        }
+
+        // A fleet touch at seq 2 cuts speculation: keep seqs 0..=2, roll
+        // back the rest, then re-scatter the suffix — the broadcast path
+        // reuses the *same* shared window, no re-copy.
+        for s in 0..2 {
+            let ShardReply::Committed { kept, undone } =
+                eager[s].exec(ShardCmd::Commit { keep_below: 3 })
+            else {
+                panic!()
+            };
+            let ShardReply::Committed { kept: bk, undone: bu } =
+                broadcast[s].exec(ShardCmd::Commit { keep_below: 3 })
+            else {
+                panic!()
+            };
+            assert_eq!((kept, undone), (bk, bu), "shard {s}: commit diverged");
+        }
+        for s in 0..2 {
+            let e = reports_of(eager[s].exec(ShardCmd::EvalBatch(eager_slices(3, 6)[s].clone())));
+            let b = reports_of(broadcast[s].exec(ShardCmd::EvalWindow {
+                window: Arc::clone(&window),
+                start: 3,
+                end: 6,
+            }));
+            assert_eq!(e, b, "shard {s}: re-scatter diverged");
+            eager[s].exec(ShardCmd::Commit { keep_below: u64::MAX });
+            broadcast[s].exec(ShardCmd::Commit { keep_below: u64::MAX });
+            let ShardReply::Truth(et) = eager[s].exec(ShardCmd::TruthSnapshot) else { panic!() };
+            let ShardReply::Truth(bt) = broadcast[s].exec(ShardCmd::TruthSnapshot) else {
+                panic!()
+            };
+            assert_eq!(et, bt, "shard {s}: final source state diverged");
         }
     }
 

@@ -11,7 +11,7 @@
 //! the range edges, which preserves the uniform stationary distribution so
 //! that arbitrarily long runs stay comparable (DESIGN.md §5).
 
-use asf_core::workload::{UpdateEvent, Workload};
+use asf_core::workload::{EventBatch, UpdateEvent, Workload};
 use simkit::dist::Sample;
 use simkit::{reflect_into, EventQueue, Exponential, Normal, SimRng, Uniform};
 use streamnet::StreamId;
@@ -113,6 +113,22 @@ impl SyntheticWorkload {
     pub fn events_emitted(&self) -> u64 {
         self.events_emitted
     }
+
+    /// Advances the walk by one arrival: `(time, stream, value)`.
+    fn step(&mut self) -> Option<(f64, StreamId, f64)> {
+        let (time, stream) = self.queue.pop()?;
+        let i = stream.index();
+        let (lo, hi) = self.config.value_range;
+        let delta = self.step.sample(&mut self.rngs[i]);
+        let value = reflect_into(self.values[i] + delta, lo, hi);
+        self.values[i] = value;
+        let next = time + self.interarrival.sample(&mut self.rngs[i]);
+        if next <= self.config.horizon {
+            self.queue.schedule(next, stream);
+        }
+        self.events_emitted += 1;
+        Some((time, stream, value))
+    }
 }
 
 impl Workload for SyntheticWorkload {
@@ -125,18 +141,21 @@ impl Workload for SyntheticWorkload {
     }
 
     fn next_event(&mut self) -> Option<UpdateEvent> {
-        let (time, stream) = self.queue.pop()?;
-        let i = stream.index();
-        let (lo, hi) = self.config.value_range;
-        let delta = self.step.sample(&mut self.rngs[i]);
-        let value = reflect_into(self.values[i] + delta, lo, hi);
-        self.values[i] = value;
-        let next = time + self.interarrival.sample(&mut self.rngs[i]);
-        if next <= self.config.horizon {
-            self.queue.schedule(next, stream);
-        }
-        self.events_emitted += 1;
+        let (time, stream, value) = self.step()?;
         Some(UpdateEvent { time, stream, value })
+    }
+
+    /// Native columnar generation: each arrival is written straight into
+    /// the batch's three columns — no intermediate `UpdateEvent`s.
+    fn next_batch(&mut self, max: usize, out: &mut EventBatch) -> usize {
+        out.clear();
+        while out.len() < max {
+            match self.step() {
+                Some((time, stream, value)) => out.push_parts(time, stream, value),
+                None => break,
+            }
+        }
+        out.len()
     }
 }
 
@@ -221,6 +240,24 @@ mod tests {
             total / events as f64
         };
         assert!(drift(100.0) > drift(20.0));
+    }
+
+    #[test]
+    fn native_next_batch_equals_event_stream() {
+        let mut by_event = SyntheticWorkload::new(small());
+        let mut by_batch = SyntheticWorkload::new(small());
+        let mut batch = EventBatch::new();
+        loop {
+            let n = by_batch.next_batch(33, &mut batch);
+            let expected: Vec<UpdateEvent> =
+                std::iter::from_fn(|| by_event.next_event()).take(33).collect();
+            assert_eq!(batch.iter().collect::<Vec<_>>(), expected);
+            assert_eq!(n, expected.len());
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(by_batch.events_emitted(), by_event.events_emitted());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! evaluated on a subset of the 606 497 connections);
 //! [`TcpLikeConfig::full`] generates the full-trace scale.
 
-use asf_core::workload::{UpdateEvent, Workload};
+use asf_core::workload::{EventBatch, UpdateEvent, Workload};
 use simkit::dist::Sample;
 use simkit::{EventQueue, Exponential, Normal, SimRng, Zipf};
 use streamnet::StreamId;
@@ -158,6 +158,22 @@ impl TcpLikeWorkload {
     pub fn events_emitted(&self) -> u64 {
         self.emitted
     }
+
+    /// Advances one connection arrival: `(time, stream, value)`.
+    fn step(&mut self) -> Option<(f64, StreamId, f64)> {
+        if self.emitted >= self.config.total_events {
+            return None;
+        }
+        let (time, stream) = self.queue.pop()?;
+        let s = &mut self.subnets[stream.index()];
+        let innov = self.innovation.sample(&mut s.rng);
+        s.x = s.mu + self.config.ar_phi * (s.x - s.mu) + innov;
+        let value = s.x.exp();
+        let next = time + s.interarrival.sample(&mut s.rng);
+        self.queue.schedule(next, stream);
+        self.emitted += 1;
+        Some((time, stream, value))
+    }
 }
 
 impl Workload for TcpLikeWorkload {
@@ -170,18 +186,21 @@ impl Workload for TcpLikeWorkload {
     }
 
     fn next_event(&mut self) -> Option<UpdateEvent> {
-        if self.emitted >= self.config.total_events {
-            return None;
-        }
-        let (time, stream) = self.queue.pop()?;
-        let s = &mut self.subnets[stream.index()];
-        let innov = self.innovation.sample(&mut s.rng);
-        s.x = s.mu + self.config.ar_phi * (s.x - s.mu) + innov;
-        let value = s.x.exp();
-        let next = time + s.interarrival.sample(&mut s.rng);
-        self.queue.schedule(next, stream);
-        self.emitted += 1;
+        let (time, stream, value) = self.step()?;
         Some(UpdateEvent { time, stream, value })
+    }
+
+    /// Native columnar generation: arrivals are written straight into the
+    /// batch's three columns — no intermediate `UpdateEvent`s.
+    fn next_batch(&mut self, max: usize, out: &mut EventBatch) -> usize {
+        out.clear();
+        while out.len() < max {
+            match self.step() {
+                Some((time, stream, value)) => out.push_parts(time, stream, value),
+                None => break,
+            }
+        }
+        out.len()
     }
 }
 
@@ -215,6 +234,24 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(a.next_event(), b.next_event());
         }
+    }
+
+    #[test]
+    fn native_next_batch_equals_event_stream() {
+        let mut by_event = TcpLikeWorkload::new(small());
+        let mut by_batch = TcpLikeWorkload::new(small());
+        let mut batch = EventBatch::new();
+        loop {
+            let n = by_batch.next_batch(97, &mut batch);
+            let expected: Vec<UpdateEvent> =
+                std::iter::from_fn(|| by_event.next_event()).take(97).collect();
+            assert_eq!(batch.iter().collect::<Vec<_>>(), expected);
+            assert_eq!(n, expected.len());
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(by_batch.events_emitted(), by_event.events_emitted());
     }
 
     #[test]

@@ -19,8 +19,8 @@ use asf_core::engine::{Engine, ProtocolCore};
 use asf_core::protocol::{FtNrp, FtNrpConfig, Protocol, Rtp, ZtRp};
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::FractionTolerance;
-use asf_core::workload::{UpdateEvent, Workload};
-use asf_server::{CoordMode, ExecMode, ServerConfig, ShardedServer};
+use asf_core::workload::{EventBatch, UpdateEvent, Workload};
+use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
 use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
@@ -110,7 +110,13 @@ where
     P: Protocol,
     F: Fn() -> P,
 {
-    // Scalar per-stream baseline.
+    // Every backend below consumes the same columnar event window the
+    // sharded server broadcasts.
+    let mut batch = EventBatch::with_capacity(events.len());
+    batch.extend_from_events(events);
+
+    // Scalar per-stream baseline, fed in columnar sub-batches through the
+    // core's batch-ingestion entry.
     let mut scalar_fleet = ScalarFleet(SourceFleet::from_values(initial));
     let mut scalar = ProtocolCore::new(initial.len(), make());
     scalar.initialize(&mut scalar_fleet);
@@ -121,12 +127,16 @@ where
     assert_eq!(engine.answer(), scalar.answer(), "{label}: answers diverge at init");
     assert_eq!(engine.ledger(), scalar.ledger(), "{label}: ledgers diverge at init");
 
-    for (i, ev) in events.iter().enumerate() {
-        scalar.deliver_and_handle(ev.stream, ev.value, &mut scalar_fleet);
-        engine.apply_event(*ev);
-        if i % 64 == 0 {
-            assert_eq!(engine.answer(), scalar.answer(), "{label}: answers diverge at event {i}");
-        }
+    let mut sub = EventBatch::new();
+    let mut i = 0;
+    while i < batch.len() {
+        let end = batch.len().min(i + 64);
+        sub.clear();
+        sub.extend_from_batch(&batch, i, end);
+        scalar.deliver_batch_and_handle(&sub, &mut scalar_fleet);
+        engine.apply_batch(&sub);
+        assert_eq!(engine.answer(), scalar.answer(), "{label}: answers diverge at event {i}");
+        i = end;
     }
     assert_eq!(engine.answer(), scalar.answer(), "{label}: final answers diverge");
     assert_eq!(engine.ledger(), scalar.ledger(), "{label}: final ledgers diverge");
@@ -142,9 +152,11 @@ where
         "{label}: rank order diverges"
     );
 
-    // Sharded batch execution: every shard count, execution mode, and
-    // coordinator (serial window-at-a-time and pipelined double-buffered)
-    // must reproduce the scalar baseline exactly.
+    // Sharded batch execution: every shard count, execution mode,
+    // coordinator (serial window-at-a-time and pipelined double-buffered),
+    // and scatter mode (eager per-shard copies and broadcast over the
+    // shared columnar window) must reproduce the scalar baseline exactly.
+    let mut combos = Vec::new();
     for (shards, mode, coordinator) in [
         (1, ExecMode::Inline, CoordMode::Serial),
         (1, ExecMode::Inline, CoordMode::Pipelined),
@@ -155,17 +167,28 @@ where
         (8, ExecMode::Inline, CoordMode::Serial),
         (8, ExecMode::Inline, CoordMode::Pipelined),
     ] {
+        for scatter in [ScatterMode::Eager, ScatterMode::Broadcast] {
+            combos.push((shards, mode, coordinator, scatter));
+        }
+    }
+    for (shards, mode, coordinator, scatter) in combos {
         let config = ServerConfig {
             num_shards: shards,
             batch_size: 128,
             mode,
             channel_capacity: 2,
             coordinator,
+            scatter,
         };
         let mut server = ShardedServer::new(initial, make(), config);
         server.initialize();
-        server.ingest_batch(events);
-        let tag = format!("{label} shards={shards} {mode:?} {coordinator:?}");
+        // Broadcast servers ingest the columnar batch natively; eager ones
+        // take the event-slice entry — both paths must agree.
+        match scatter {
+            ScatterMode::Broadcast => server.ingest_event_batch(&batch),
+            ScatterMode::Eager => server.ingest_batch(events),
+        }
+        let tag = format!("{label} shards={shards} {mode:?} {coordinator:?} {scatter:?}");
         assert_eq!(server.answer(), scalar.answer(), "{tag}: answers diverge");
         assert_eq!(server.ledger(), scalar.ledger(), "{tag}: ledgers diverge");
         assert_eq!(view_bits(server.view()), view_bits(scalar.view()), "{tag}: views diverge");

@@ -8,7 +8,7 @@
 //! case set and failures are reproducible from the printed case number.
 
 use asf_core::query::RankSpace;
-use asf_core::rank::{cmp_key, midpoint_threshold, rank_values, RankIndex};
+use asf_core::rank::{cmp_key, midpoint_threshold, rank_values, RankForest, RankIndex};
 use simkit::SimRng;
 use streamnet::StreamId;
 
@@ -186,6 +186,86 @@ fn bulk_build_matches_incremental_inserts_under_random_populations() {
         assert_eq!(bulk.ordered_pairs(), incremental.ordered_pairs(), "case {case}: vs inserts");
         for &(id, _) in &members {
             assert_eq!(bulk.rank_of(id), incremental.rank_of(id), "case {case}: rank_of({id})");
+        }
+    }
+}
+
+/// The forest's heap-merged walks (`top_pairs`/`ordered_pairs`/`select`/
+/// `midpoint`) must be byte-identical to the *linear* k-way merge of the
+/// per-part in-order traversals — the baseline the heap merge replaced —
+/// and to the naive global sort, at parts ∈ {1, 4, 16, 64}, including
+/// under forced f64 key ties that straddle partitions.
+#[test]
+fn forest_heap_merge_matches_linear_merge_across_part_counts() {
+    /// The replaced baseline: materialize each part's in-order pairs
+    /// (already in global order within the part) and merge them with a
+    /// linear scan over the part heads.
+    fn linear_merge(per_part: &[Vec<(f64, StreamId)>], m: usize) -> Vec<(f64, StreamId)> {
+        let mut cursor = vec![0usize; per_part.len()];
+        let mut out = Vec::with_capacity(m);
+        while out.len() < m {
+            let mut best: Option<usize> = None;
+            for (p, part) in per_part.iter().enumerate() {
+                if cursor[p] < part.len()
+                    && best.is_none_or(|b| cmp_key(part[cursor[p]], per_part[b][cursor[b]]).is_lt())
+                {
+                    best = Some(p);
+                }
+            }
+            let p = best.expect("m within total length");
+            out.push(per_part[p][cursor[p]]);
+            cursor[p] += 1;
+        }
+        out
+    }
+
+    let mut rng = SimRng::seed_from_u64(0x4EAB_4E6E);
+    for case in 0..25 {
+        let n = 64 + rng.index(128);
+        let space = match rng.index(3) {
+            0 => RankSpace::Knn { q: (rng.index(9) as f64 - 4.0) * 0.5 },
+            1 => RankSpace::TopK,
+            _ => RankSpace::KMin,
+        };
+        let values: Vec<f64> = (0..n).map(|_| draw_value(&mut rng)).collect();
+        let naive =
+            rank_values(space, values.iter().enumerate().map(|(i, &v)| (StreamId(i as u32), v)));
+        for parts in [1usize, 4, 16, 64] {
+            let mut forest = RankForest::new(space, n, parts);
+            for (i, &v) in values.iter().enumerate() {
+                forest.update(StreamId(i as u32), v);
+            }
+            // Per-part in-order pairs, mapped to global ids: part p owns
+            // global ids ≡ p (mod parts) under the strided map.
+            let per_part: Vec<Vec<(f64, StreamId)>> = (0..parts)
+                .map(|p| {
+                    let mut pairs: Vec<(f64, StreamId)> = (p..n)
+                        .step_by(parts)
+                        .map(|g| {
+                            let id = StreamId(g as u32);
+                            (forest.key_of(id).expect("indexed"), id)
+                        })
+                        .collect();
+                    pairs.sort_by(|&a, &b| cmp_key(a, b));
+                    pairs
+                })
+                .collect();
+
+            let ctx = format!("case {case} parts {parts}");
+            let full = linear_merge(&per_part, n);
+            assert_eq!(forest.ordered_pairs(), full, "{ctx}: ordered_pairs");
+            assert_eq!(forest.ordered_ids(), naive, "{ctx}: ordered_ids vs naive sort");
+            for m in [1usize, 2, 3, n / 3, n - 1, n] {
+                assert_eq!(forest.top_pairs(m), full[..m].to_vec(), "{ctx}: top_pairs({m})");
+                assert_eq!(forest.select(m), full[m - 1], "{ctx}: select({m})");
+            }
+            for m in [1usize, n / 2, n - 1] {
+                assert_eq!(
+                    forest.midpoint(m).to_bits(),
+                    ((full[m - 1].0 + full[m].0) / 2.0).to_bits(),
+                    "{ctx}: midpoint({m})"
+                );
+            }
         }
     }
 }

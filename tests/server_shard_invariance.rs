@@ -1,10 +1,11 @@
 //! Concurrency correctness of `asf-server`: for **every** protocol, running
 //! the same seeded workload with 1, 2, and 8 shards — inline and threaded,
-//! under the serial *and* the pipelined (double-buffered) coordinator —
-//! yields byte-identical `AnswerSet`s, message ledgers, views, and
-//! ground-truth states to the single-threaded `Engine`, and the tolerance
-//! oracle reaches the same verdict on the sharded runtime as on the serial
-//! one.
+//! under the serial *and* the pipelined (double-buffered) coordinator,
+//! with eager per-shard scatter *and* broadcast scatter over shared
+//! columnar windows — yields byte-identical `AnswerSet`s, message ledgers,
+//! views, and ground-truth states to the single-threaded `Engine`, and the
+//! tolerance oracle reaches the same verdict on the sharded runtime as on
+//! the serial one.
 
 use asf_core::engine::Engine;
 use asf_core::multi_query::{CellMode, MultiRangeZt};
@@ -15,7 +16,7 @@ use asf_core::protocol::{
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::{FractionTolerance, RankTolerance};
 use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
-use asf_server::{CoordMode, ExecMode, ServerConfig, ShardedServer};
+use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
 use streamnet::StreamId;
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
@@ -56,48 +57,52 @@ where
     for shards in [1usize, 2, 8] {
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
             for coordinator in [CoordMode::Serial, CoordMode::Pipelined] {
-                let config = ServerConfig {
-                    num_shards: shards,
-                    batch_size: 128,
-                    mode,
-                    channel_capacity: 2,
-                    coordinator,
-                };
-                let mut server = ShardedServer::new(&initial, make(), config);
-                server.initialize();
-                server.ingest_batch(&events);
+                for scatter in [ScatterMode::Eager, ScatterMode::Broadcast] {
+                    let config = ServerConfig {
+                        num_shards: shards,
+                        batch_size: 128,
+                        mode,
+                        channel_capacity: 2,
+                        coordinator,
+                        scatter,
+                    };
+                    let mut server = ShardedServer::new(&initial, make(), config);
+                    server.initialize();
+                    server.ingest_batch(&events);
 
-                let tag = format!("{name} shards={shards} {mode:?} {coordinator:?}");
-                assert_eq!(server.answer(), engine.answer(), "{tag}: answers diverged");
-                assert_eq!(server.ledger(), engine.ledger(), "{tag}: ledgers diverged");
-                assert_eq!(
-                    server.reports_processed(),
-                    engine.reports_processed(),
-                    "{tag}: report counts diverged"
-                );
-                assert_eq!(
-                    server.events_processed(),
-                    engine.events_processed(),
-                    "{tag}: event counts diverged"
-                );
-                for i in 0..NUM_STREAMS {
-                    let id = StreamId(i as u32);
+                    let tag =
+                        format!("{name} shards={shards} {mode:?} {coordinator:?} {scatter:?}");
+                    assert_eq!(server.answer(), engine.answer(), "{tag}: answers diverged");
+                    assert_eq!(server.ledger(), engine.ledger(), "{tag}: ledgers diverged");
                     assert_eq!(
-                        server.view().is_known(id),
-                        engine.view().is_known(id),
-                        "{tag}: view knowledge diverged for {id}"
+                        server.reports_processed(),
+                        engine.reports_processed(),
+                        "{tag}: report counts diverged"
                     );
-                    if server.view().is_known(id) {
+                    assert_eq!(
+                        server.events_processed(),
+                        engine.events_processed(),
+                        "{tag}: event counts diverged"
+                    );
+                    for i in 0..NUM_STREAMS {
+                        let id = StreamId(i as u32);
                         assert_eq!(
-                            server.view().get(id),
-                            engine.view().get(id),
-                            "{tag}: view diverged for {id}"
+                            server.view().is_known(id),
+                            engine.view().is_known(id),
+                            "{tag}: view knowledge diverged for {id}"
                         );
+                        if server.view().is_known(id) {
+                            assert_eq!(
+                                server.view().get(id),
+                                engine.view().get(id),
+                                "{tag}: view diverged for {id}"
+                            );
+                        }
                     }
+                    let truth = server.truth_values();
+                    assert_eq!(truth, serial_truth, "{tag}: ground truth diverged");
+                    sharded_truth = truth;
                 }
-                let truth = server.truth_values();
-                assert_eq!(truth, serial_truth, "{tag}: ground truth diverged");
-                sharded_truth = truth;
             }
         }
     }
