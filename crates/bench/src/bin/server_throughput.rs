@@ -21,8 +21,17 @@
 //! state rounds must run out of pooled buffers, and `allocs_per_round`
 //! in the JSON proves it.
 //!
+//! Two observability gates ride along: a **silent-ingest steady-state
+//! audit** (after a warm-up pass over an all-silent workload, further
+//! rounds must allocate *nothing* — the pooled window and report buffers
+//! must fully recycle) and a **telemetry overhead** measurement (min-of-3
+//! ZT-NRP ingest walls with cause attribution + fine tracing on vs.
+//! everything off; the ratio is recorded and gated at full scale).
+//!
 //! Flags: `--quick` (reduced scale), `--scenario <name>` (run one scenario
-//! only, e.g. `--scenario reinit_storm`), `--assert-scatter-budget` (fail
+//! only, e.g. `--scenario reinit_storm`), `--trace-out <path>` (rerun one
+//! traced ZT-NRP configuration and write its span timeline as Chrome
+//! trace-event JSON), `--assert-scatter-budget` (fail
 //! unless broadcast-scatter coordinator time stays a sliver of ingest —
 //! the CI regression gate for the serial scatter stage). When the host has
 //! more than one CPU, a full-scale run additionally asserts that
@@ -42,8 +51,11 @@ use asf_core::protocol::{FtRp, FtRpConfig, Protocol, Rtp, ZtNrp};
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::FractionTolerance;
 use asf_core::workload::{UpdateEvent, Workload};
-use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
+use asf_server::{
+    CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer, TelemetryConfig, TraceDepth,
+};
 use bench_harness::Scale;
+use streamnet::StreamId;
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
 /// Counts every heap allocation so the bench can audit the coordinator's
@@ -259,14 +271,24 @@ fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-fn scenario_filter() -> Option<String> {
+fn opt_arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--scenario" {
+        if a == name {
             return args.next();
         }
     }
     None
+}
+
+/// Everything off: the perf matrix measures the runtime, not its probes.
+fn telemetry_off() -> TelemetryConfig {
+    TelemetryConfig { causes: false, trace: TraceDepth::Off, trace_capacity: 0 }
+}
+
+/// The full observability stack on, as a dashboarded deployment would run.
+fn telemetry_full() -> TelemetryConfig {
+    TelemetryConfig { causes: true, trace: TraceDepth::Fine, trace_capacity: 65_536 }
 }
 
 /// Broadcast-scatter coordinator budget: the per-round `Arc` fan-out must
@@ -283,7 +305,8 @@ const WALL_GATE_TOLERANCE: f64 = 0.4;
 
 fn main() {
     let scale = Scale::from_env();
-    let only = scenario_filter();
+    let only = opt_arg("--scenario");
+    let trace_out = opt_arg("--trace-out");
     let assert_scatter_budget = flag("--assert-scatter-budget");
     let wants = |name: &str| only.as_deref().is_none_or(|s| s == name);
     let (num_streams, horizon) = if scale.is_quick() { (10_000, 20.0) } else { (100_000, 60.0) };
@@ -337,6 +360,7 @@ fn main() {
                         channel_capacity: 2,
                         coordinator: coord,
                         scatter,
+                        telemetry: telemetry_off(),
                     };
                     let mut run = |stats: RunStats| {
                         eprintln!(
@@ -387,6 +411,108 @@ fn main() {
             }
         }
     }
+
+    // Silent-ingest steady-state allocation audit: an all-silent workload
+    // (every update repeats the stream's initial value, so no filter ever
+    // fires) runs on the default inline/pipelined/broadcast coordinator
+    // twice. The first pass warms every pool — window buffers, shard
+    // selection scratch, report buffers, commit scratch — and settles the
+    // adaptive window; the structurally identical second pass must
+    // allocate *nothing*.
+    let steady_allocs_per_round = if only.is_none() {
+        let silent_pass = |base_time: f64| -> Vec<UpdateEvent> {
+            (0..events.len())
+                .map(|i| {
+                    let stream = (i % initial.len()) as u32;
+                    UpdateEvent {
+                        time: base_time + i as f64 * 1e-6,
+                        stream: StreamId(stream),
+                        value: initial[stream as usize],
+                    }
+                })
+                .collect()
+        };
+        let config = ServerConfig {
+            num_shards: 4,
+            batch_size: 8192,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_off(),
+        };
+        let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
+        server.initialize();
+        let warm = silent_pass(1.0);
+        let steady = silent_pass(2.0);
+        server.ingest_batch(&warm);
+        let rounds_before = server.metrics().rounds;
+        let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+        server.ingest_batch(&steady);
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - a0;
+        let rounds = server.metrics().rounds - rounds_before;
+        server.shutdown();
+        let per_round = allocs as f64 / rounds.max(1) as f64;
+        eprintln!(
+            "silent steady-state audit: {allocs} allocs over {rounds} warm rounds \
+             ({per_round:.2}/round)"
+        );
+        assert_eq!(
+            allocs, 0,
+            "steady-state silent ingest must be allocation-free, saw {allocs} allocs \
+             over {rounds} rounds"
+        );
+        Some(per_round)
+    } else {
+        None
+    };
+
+    // Telemetry overhead: min-of-3 ZT-NRP ingest walls with the full
+    // observability stack (cause attribution + fine tracing) vs everything
+    // off. Recorded always; gated at full scale only (quick walls on a
+    // shared runner are noise-dominated).
+    let telemetry_overhead = if only.is_none() {
+        let wall = |telemetry: TelemetryConfig| -> u64 {
+            (0..3)
+                .map(|_| {
+                    let config = ServerConfig {
+                        num_shards: 4,
+                        batch_size: 8192,
+                        mode: ExecMode::Inline,
+                        channel_capacity: 2,
+                        coordinator: CoordMode::Pipelined,
+                        scatter: ScatterMode::Broadcast,
+                        telemetry,
+                    };
+                    let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
+                    server.initialize();
+                    let t = Instant::now();
+                    server.ingest_batch(&events);
+                    let ns = t.elapsed().as_nanos() as u64;
+                    server.shutdown();
+                    ns
+                })
+                .min()
+                .unwrap()
+        };
+        let off_ns = wall(telemetry_off());
+        let on_ns = wall(telemetry_full());
+        let ratio = on_ns as f64 / off_ns.max(1) as f64;
+        eprintln!(
+            "telemetry overhead: off {:.1}ms, on {:.1}ms, ratio {ratio:.3}",
+            off_ns as f64 / 1e6,
+            on_ns as f64 / 1e6
+        );
+        if !scale.is_quick() {
+            assert!(
+                ratio < 1.10,
+                "telemetry overhead gate: full stack costs {ratio:.3}x over off (budget 1.10x)"
+            );
+        }
+        Some((off_ns, on_ns, ratio))
+    } else {
+        None
+    };
 
     // Headline speedups come from the pipelined coordinator + broadcast
     // scatter (the defaults) in inline mode — the per-shard work model on
@@ -492,6 +618,20 @@ fn main() {
     let _ = writeln!(json, "  \"zt_nrp_scatter_reduction_8_shards\": {zt_scatter_red:.1},");
     let _ = writeln!(json, "  \"rtp_scatter_reduction_8_shards\": {rtp_scatter_red:.1},");
     let _ = writeln!(json, "  \"wall_gate\": {wall_gate},");
+    let _ = writeln!(
+        json,
+        "  \"steady_state_allocs_per_round\": {},",
+        steady_allocs_per_round.map(|v| format!("{v:.2}")).unwrap_or_else(|| "null".into())
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead\": {},",
+        telemetry_overhead
+            .map(|(off_ns, on_ns, ratio)| format!(
+                "{{\"off_ns\": {off_ns}, \"on_ns\": {on_ns}, \"ratio\": {ratio:.3}}}"
+            ))
+            .unwrap_or_else(|| "null".into())
+    );
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));
@@ -504,6 +644,30 @@ fn main() {
         eprintln!("wrote BENCH_server.json");
     } else {
         eprintln!("(--scenario filter active: BENCH_server.json not overwritten)");
+    }
+
+    // `--trace-out`: rerun one fully-traced ZT-NRP configuration (threaded,
+    // so the timeline shows real shard tracks) and dump the span timeline
+    // as Chrome trace-event JSON.
+    if let Some(path) = &trace_out {
+        let config = ServerConfig {
+            num_shards: 4,
+            batch_size: 8192,
+            mode: ExecMode::Threaded,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_full(),
+        };
+        let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
+        server.initialize();
+        server.ingest_batch(&events);
+        let trace_json = server.export_chrome_trace();
+        let n = asf_telemetry::validate_chrome_trace(&trace_json)
+            .expect("exported trace must be valid Chrome trace JSON");
+        std::fs::write(path, &trace_json).expect("write trace file");
+        eprintln!("wrote {n} trace events to {path}");
+        server.shutdown();
     }
     println!("{json}");
     eprintln!(

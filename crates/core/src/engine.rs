@@ -16,12 +16,14 @@
 
 use std::collections::VecDeque;
 
+use asf_telemetry::Cause;
 use simkit::SimTime;
 use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 
 use crate::answer::AnswerSet;
 use crate::protocol::{CtxStats, FleetScratch, Protocol, ServerCtx};
 use crate::rank::RankForest;
+use crate::telem::CoreTelemetry;
 use crate::workload::{EventBatch, UpdateEvent, Workload};
 
 /// Events pulled per [`Workload::next_batch`] round by the batch feeders
@@ -74,6 +76,9 @@ pub struct ProtocolCore<P: Protocol> {
     /// Spare buffer the flush drains into (ping-pong, so steady-state
     /// flushes never allocate).
     deferred_spare: Vec<(StreamId, Filter)>,
+    /// Per-cause message attribution + the coordinator trace ring.
+    /// Observational only: never read by protocol decisions.
+    telem: CoreTelemetry,
     protocol: P,
     reports_processed: u64,
     initialized: bool,
@@ -117,6 +122,7 @@ impl<P: Protocol> ProtocolCore<P> {
             ctx_stats: CtxStats::default(),
             deferred: Vec::new(),
             deferred_spare: Vec::new(),
+            telem: CoreTelemetry::default(),
             protocol,
             reports_processed: 0,
             initialized: false,
@@ -130,6 +136,7 @@ impl<P: Protocol> ProtocolCore<P> {
     fn run_handler(
         &mut self,
         fleet: &mut dyn FleetOps,
+        base_cause: Cause,
         f: impl FnOnce(&mut P, &mut ServerCtx<'_>),
     ) {
         let Self {
@@ -141,11 +148,15 @@ impl<P: Protocol> ProtocolCore<P> {
             ctx_stats,
             deferred,
             deferred_spare,
+            telem,
             protocol,
             ..
         } = self;
+        // Every handler starts from its base cause; protocols refine it at
+        // decision points via `ServerCtx::set_cause`.
+        telem.cause = base_cause;
         let mut ctx =
-            ServerCtx::new(fleet, view, ledger, pending, rank, scratch, ctx_stats, deferred);
+            ServerCtx::new(fleet, view, ledger, pending, rank, scratch, ctx_stats, deferred, telem);
         f(protocol, &mut ctx);
         ctx.flush_deferred(deferred_spare);
     }
@@ -155,7 +166,7 @@ impl<P: Protocol> ProtocolCore<P> {
     pub fn initialize(&mut self, fleet: &mut dyn FleetOps) {
         assert!(!self.initialized, "engine already initialized");
         self.initialized = true;
-        self.run_handler(fleet, |protocol, ctx| protocol.initialize(ctx));
+        self.run_handler(fleet, Cause::Init, |protocol, ctx| protocol.initialize(ctx));
         self.drain_pending(fleet);
     }
 
@@ -168,10 +179,13 @@ impl<P: Protocol> ProtocolCore<P> {
     pub fn handle_report(&mut self, id: StreamId, value: f64, fleet: &mut dyn FleetOps) {
         assert!(self.initialized, "core must be initialized before reports");
         self.reports_processed += 1;
+        self.telem.add_report_update();
         if let Some(index) = self.rank.as_mut() {
             index.update(id, value);
         }
-        self.run_handler(fleet, |protocol, ctx| protocol.on_update(id, value, ctx));
+        self.run_handler(fleet, Cause::SourceReport, |protocol, ctx| {
+            protocol.on_update(id, value, ctx)
+        });
         self.drain_pending(fleet);
     }
 
@@ -181,7 +195,9 @@ impl<P: Protocol> ProtocolCore<P> {
             steps += 1;
             assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
             self.reports_processed += 1;
-            self.run_handler(fleet, |protocol, ctx| protocol.on_update(id, value, ctx));
+            self.run_handler(fleet, Cause::SourceReport, |protocol, ctx| {
+                protocol.on_update(id, value, ctx)
+            });
         }
     }
 
@@ -266,6 +282,18 @@ impl<P: Protocol> ProtocolCore<P> {
     /// rank order across execution backends.
     pub fn rank_index(&self) -> Option<&RankForest> {
         self.rank.as_ref()
+    }
+
+    /// The core's telemetry state: per-cause message attribution and the
+    /// coordinator trace ring. Observational only.
+    pub fn telemetry(&self) -> &CoreTelemetry {
+        &self.telem
+    }
+
+    /// Mutable telemetry access — `asf-server` uses this to install a
+    /// configured trace ring and toggle cause attribution.
+    pub fn telemetry_mut(&mut self) -> &mut CoreTelemetry {
+        &mut self.telem
     }
 }
 
@@ -426,6 +454,17 @@ impl<P: Protocol> Engine<P> {
     pub fn rank_index(&self) -> Option<&RankForest> {
         self.core.rank_index()
     }
+
+    /// The engine core's telemetry state (per-cause message attribution).
+    pub fn telemetry(&self) -> &CoreTelemetry {
+        self.core.telemetry()
+    }
+
+    /// Mutable telemetry access (enable/disable causes, install a trace
+    /// ring).
+    pub fn telemetry_mut(&mut self) -> &mut CoreTelemetry {
+        self.core.telemetry_mut()
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +558,40 @@ mod tests {
         engine.initialize();
         engine.apply_event(ev(5.0, 0, 1.0));
         engine.apply_event(ev(4.0, 0, 1.0));
+    }
+
+    #[test]
+    fn causes_attribute_init_and_reports() {
+        let initial = vec![500.0, 100.0];
+        let rec = Recorder {
+            filter: Filter::interval(400.0, 600.0),
+            seen: Vec::new(),
+            answer: AnswerSet::new(),
+        };
+        let mut engine = Engine::new(&initial, rec);
+        engine.initialize();
+        let causes = engine.telemetry().causes();
+        // Initialization: 2n probe messages (n requests + n replies) + n
+        // broadcast messages, all under Init.
+        assert_eq!(causes.total(Cause::Init), 6);
+        assert_eq!(causes.total(Cause::SourceReport), 0);
+        engine.apply_event(ev(1.0, 0, 700.0)); // inside -> outside: report
+        let causes = engine.telemetry().causes();
+        assert_eq!(causes.total(Cause::SourceReport), 1, "the report's Update message");
+        assert_eq!(causes.grand_total(), engine.ledger().total(), "every message attributed");
+    }
+
+    #[test]
+    fn causes_disabled_attributes_nothing() {
+        let initial = vec![500.0];
+        let rec =
+            Recorder { filter: Filter::ReportAll, seen: Vec::new(), answer: AnswerSet::new() };
+        let mut engine = Engine::new(&initial, rec);
+        engine.telemetry_mut().set_causes_enabled(false);
+        engine.initialize();
+        engine.apply_event(ev(1.0, 0, 2.0));
+        assert!(engine.ledger().total() > 0);
+        assert_eq!(engine.telemetry().causes().grand_total(), 0);
     }
 
     #[test]

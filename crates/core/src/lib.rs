@@ -66,6 +66,7 @@ pub mod oracle;
 pub mod protocol;
 pub mod query;
 pub mod rank;
+pub mod telem;
 pub mod tolerance;
 pub mod workload;
 

@@ -3,10 +3,12 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use asf_telemetry::{Cause, TraceDepth};
 use streamnet::{Filter, FleetOps, Ledger, ServerView, StreamId};
 
 use crate::query::RankSpace;
 use crate::rank::{RankForest, Ranks};
+use crate::telem::CoreTelemetry;
 
 /// Reused output buffers for batch fleet operations, owned by the engine
 /// core and cleared by each batch call — fleet-wide phases (probe storms,
@@ -110,11 +112,12 @@ pub struct ServerCtx<'a> {
     scratch: &'a mut FleetScratch,
     stats: &'a mut CtxStats,
     deferred: &'a mut Vec<(StreamId, Filter)>,
+    telem: &'a mut CoreTelemetry,
 }
 
 impl<'a> ServerCtx<'a> {
     // The context is exactly the engine core's borrowed state; a params
-    // struct would just rename the same eight fields.
+    // struct would just rename the same nine fields.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         fleet: &'a mut dyn FleetOps,
@@ -125,8 +128,39 @@ impl<'a> ServerCtx<'a> {
         scratch: &'a mut FleetScratch,
         stats: &'a mut CtxStats,
         deferred: &'a mut Vec<(StreamId, Filter)>,
+        telem: &'a mut CoreTelemetry,
     ) -> Self {
-        Self { fleet, view, ledger, pending, rank, scratch, stats, deferred }
+        Self { fleet, view, ledger, pending, rank, scratch, stats, deferred, telem }
+    }
+
+    /// Declares the protocol decision the current handler's messages are
+    /// attributed to in the per-cause ledger (sticky until the handler
+    /// returns or the next `set_cause`). Purely observational: the
+    /// authoritative message ledger is untouched.
+    #[inline]
+    pub fn set_cause(&mut self, cause: Cause) {
+        self.telem.cause = cause;
+    }
+
+    /// Snapshot of the ledger's kind counters before a fleet operation
+    /// (`None` with attribution off, so the disabled path is one branch).
+    #[inline]
+    fn cause_snap(&self) -> Option<[u64; 5]> {
+        if self.telem.causes_enabled {
+            Some(self.ledger.kind_counts())
+        } else {
+            None
+        }
+    }
+
+    /// Attributes the messages recorded since `before` to the current
+    /// cause.
+    #[inline]
+    fn cause_commit(&mut self, before: Option<[u64; 5]>) {
+        if let Some(before) = before {
+            let after = self.ledger.kind_counts();
+            self.telem.causes.attribute(self.telem.cause, &before, &after);
+        }
     }
 
     /// Number of streams `n`.
@@ -168,7 +202,9 @@ impl<'a> ServerCtx<'a> {
     /// Probes one source for its current value (2 messages); refreshes the
     /// view and returns the value.
     pub fn probe(&mut self, id: StreamId) -> f64 {
+        let before = self.cause_snap();
         let v = self.fleet.probe(id, self.ledger, self.view);
+        self.cause_commit(before);
         if let Some(index) = self.rank.as_mut() {
             index.update(id, v);
         }
@@ -188,6 +224,7 @@ impl<'a> ServerCtx<'a> {
     /// the re-keys run partition-parallel. All paths produce identical
     /// rank outputs.
     pub fn probe_all(&mut self) {
+        let before = self.cause_snap();
         let t = Instant::now();
         match self.rank.as_mut() {
             None => {
@@ -202,20 +239,29 @@ impl<'a> ServerCtx<'a> {
                 self.fleet.probe_all_tracked(self.ledger, self.view, &mut self.scratch.changed);
                 self.stats.probe_ns += t.elapsed().as_nanos() as u64;
                 let t = Instant::now();
+                self.telem.trace.begin(
+                    TraceDepth::Fine,
+                    "forest_delta_refresh",
+                    self.scratch.changed.len() as u64,
+                );
                 self.stats.index_delta_refreshes += 1;
                 self.stats.index_delta_rekeys += self.scratch.changed.len() as u64;
                 let timing = forest.refresh_from_changed(self.view, &self.scratch.changed);
+                self.telem.trace.end(TraceDepth::Fine);
                 self.stats.record_index_pass(timing, t.elapsed().as_nanos() as u64);
             }
             Some(forest) => {
                 self.fleet.probe_all(self.ledger, self.view);
                 self.stats.probe_ns += t.elapsed().as_nanos() as u64;
                 let t = Instant::now();
+                self.telem.trace.begin(TraceDepth::Fine, "forest_bulk_build", 0);
                 self.stats.index_bulk_builds += 1;
                 let timing = forest.rebuild_from_view(self.view);
+                self.telem.trace.end(TraceDepth::Fine);
                 self.stats.record_index_pass(timing, t.elapsed().as_nanos() as u64);
             }
         }
+        self.cause_commit(before);
         self.stats.batch_probe_ops += 1;
         self.stats.batch_probe_streams += self.fleet.len() as u64;
     }
@@ -228,8 +274,10 @@ impl<'a> ServerCtx<'a> {
         if ids.is_empty() {
             return; // no messages, no fleet touch, no stats noise
         }
+        let before = self.cause_snap();
         let t = Instant::now();
         self.fleet.probe_many(ids, self.ledger, self.view, &mut self.scratch.values);
+        self.cause_commit(before);
         self.stats.probe_ns += t.elapsed().as_nanos() as u64;
         self.stats.batch_probe_ops += 1;
         self.stats.batch_probe_streams += ids.len() as u64;
@@ -243,7 +291,10 @@ impl<'a> ServerCtx<'a> {
     /// Installs a filter at one source (1 message). Any induced sync-report
     /// is queued for the engine.
     pub fn install(&mut self, id: StreamId, filter: Filter) {
-        if let Some(v) = self.fleet.install(id, filter, self.ledger, self.view) {
+        let before = self.cause_snap();
+        let report = self.fleet.install(id, filter, self.ledger, self.view);
+        self.cause_commit(before);
+        if let Some(v) = report {
             if let Some(index) = self.rank.as_mut() {
                 index.update(id, v);
             }
@@ -256,7 +307,9 @@ impl<'a> ServerCtx<'a> {
     /// Induced sync-reports are queued for the engine in installation
     /// order — exactly the queue the scalar loop would build.
     pub fn install_many(&mut self, installs: &[(StreamId, Filter)]) {
+        let before = self.cause_snap();
         self.fleet.install_many(installs, self.ledger, self.view, &mut self.scratch.syncs);
+        self.cause_commit(before);
         self.stats.batch_install_ops += 1;
         self.stats.batch_install_streams += installs.len() as u64;
         for &(id, v) in self.scratch.syncs.iter() {
@@ -298,14 +351,25 @@ impl<'a> ServerCtx<'a> {
         }
         std::mem::swap(self.deferred, buf);
         self.stats.deferred_flushes += 1;
+        // The flush is its own protocol decision: attribute its installs
+        // (and induced syncs) to the deferred-flush cause, then restore the
+        // handler's cause.
+        let prev = self.telem.cause;
+        self.telem.cause = Cause::DeferredFlush;
+        self.telem.trace.begin(TraceDepth::Fine, "deferred_flush", buf.len() as u64);
         self.install_many(buf);
+        self.telem.trace.end(TraceDepth::Fine);
+        self.telem.cause = prev;
         buf.clear();
     }
 
     /// Broadcasts a filter to all sources (`n` messages). Induced
     /// sync-reports are queued for the engine.
     pub fn broadcast(&mut self, filter: Filter) {
-        for (id, v) in self.fleet.broadcast(filter, self.ledger, self.view) {
+        let before = self.cause_snap();
+        let syncs = self.fleet.broadcast(filter, self.ledger, self.view);
+        self.cause_commit(before);
+        for (id, v) in syncs {
             if let Some(index) = self.rank.as_mut() {
                 index.update(id, v);
             }
@@ -329,6 +393,7 @@ mod tests {
         scratch: FleetScratch,
         stats: CtxStats,
         deferred: Vec<(StreamId, Filter)>,
+        telem: CoreTelemetry,
     }
 
     impl Parts {
@@ -342,6 +407,7 @@ mod tests {
                 &mut self.scratch,
                 &mut self.stats,
                 &mut self.deferred,
+                &mut self.telem,
             )
         }
     }
@@ -356,6 +422,7 @@ mod tests {
             scratch: FleetScratch::default(),
             stats: CtxStats::default(),
             deferred: Vec::new(),
+            telem: CoreTelemetry::default(),
         }
     }
 

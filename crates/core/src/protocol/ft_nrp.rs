@@ -166,6 +166,7 @@ impl FtNrp {
     /// Figure 7, `Fix_Error`.
     fn fix_error(&mut self, ctx: &mut ServerCtx<'_>) {
         self.fix_errors += 1;
+        ctx.set_cause(asf_telemetry::Cause::FixError);
         // Step 1: consume a false-positive filter if available. Popping from
         // the back means boundary-nearest placement consults the stream
         // *farthest* from the boundary first — the likeliest to still
@@ -195,6 +196,7 @@ impl FtNrp {
             && self.fn_filters.is_empty()
         {
             self.reinits += 1;
+            ctx.set_cause(asf_telemetry::Cause::ReinitStorm);
             ctx.probe_all();
             self.deploy(ctx);
             if self.fp_filters.is_empty() && self.fn_filters.is_empty() {

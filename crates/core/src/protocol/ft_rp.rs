@@ -188,6 +188,7 @@ impl FtRp {
     /// FT-NRP's `Fix_Error`, over the region `R` instead of `[l, u]`.
     fn fix_error(&mut self, ctx: &mut ServerCtx<'_>) {
         self.fix_errors += 1;
+        ctx.set_cause(asf_telemetry::Cause::FixError);
         if let Some(sy) = self.fp_filters.pop() {
             let vy = ctx.probe(sy);
             ctx.install(sy, self.region());
@@ -239,6 +240,7 @@ impl Protocol for FtRp {
         }
         if self.answer_size_out_of_window() {
             self.reinits += 1;
+            ctx.set_cause(asf_telemetry::Cause::ReinitStorm);
             ctx.probe_all();
             self.deploy(ctx);
         }

@@ -184,6 +184,7 @@ impl Rtp {
     /// coordinator per stream.
     fn expansion_search(&mut self, ctx: &mut ServerCtx<'_>) {
         self.expansions += 1;
+        ctx.set_cause(asf_telemetry::Cause::ExpansionRing);
         let space = self.query.space();
         // Snapshot of the server's "old ranking scores" at entry (O(n) off
         // the maintained index; one sort on the differential baseline).
@@ -255,6 +256,7 @@ impl Rtp {
         }
         // Step 5: nothing found — re-run Initialization.
         self.reinits += 1;
+        ctx.set_cause(asf_telemetry::Cause::ReinitStorm);
         ctx.probe_all();
         self.full_recompute(ctx);
     }
@@ -268,6 +270,7 @@ impl Rtp {
         }
         // Step 7: X would overflow — probe X in one batch, keep the best ε
         // of X ∪ {id}, and shrink R between the candidate ranks ε and ε+1.
+        ctx.set_cause(asf_telemetry::Cause::OverflowShrink);
         let members: Vec<StreamId> = self.x.iter().copied().collect();
         ctx.probe_many(&members);
         let mut candidates: Vec<(f64, StreamId)> = self

@@ -71,6 +71,7 @@ impl Protocol for ZtRp {
 
     fn on_update(&mut self, _id: StreamId, _value: f64, ctx: &mut ServerCtx<'_>) {
         // Any crossing invalidates R: recompute and re-announce.
+        ctx.set_cause(asf_telemetry::Cause::BoundRecompute);
         self.recompute(ctx);
     }
 

@@ -1,0 +1,86 @@
+//! The engine core's telemetry state: per-cause message attribution and
+//! the coordinator-side trace ring.
+//!
+//! Everything here is **observational**. The cause ledger is derived by
+//! diffing the authoritative [`streamnet::Ledger`]'s kind counters around
+//! each [`crate::protocol::ServerCtx`] fleet operation — it never writes
+//! the ledger, so ledger equality (the differential suites' oracle) is
+//! unaffected by telemetry being on, off, or at any trace depth. The trace
+//! ring records wall-clock spans that no protocol decision ever reads.
+
+use asf_telemetry::{Cause, CauseLedger, TraceRing};
+use streamnet::MessageKind;
+
+/// Slot of [`MessageKind::Update`] in [`streamnet::Ledger::kind_counts`]
+/// (`MessageKind::ALL` order).
+const UPDATE_SLOT: usize = 0;
+
+/// Telemetry state owned by a [`crate::engine::ProtocolCore`] and threaded
+/// through every [`crate::protocol::ServerCtx`].
+#[derive(Debug)]
+pub struct CoreTelemetry {
+    /// Whether per-cause attribution runs (a pair of 5-counter snapshots
+    /// per fleet operation when on; a single branch when off).
+    pub(crate) causes_enabled: bool,
+    /// The per-cause message matrix.
+    pub(crate) causes: CauseLedger,
+    /// The cause the *current* handler's messages are attributed to. The
+    /// engine sets the handler's base cause; protocols refine it via
+    /// [`crate::protocol::ServerCtx::set_cause`] at decision points.
+    pub(crate) cause: Cause,
+    /// The coordinator-side trace ring (engine handler spans, forest
+    /// maintenance, deferred flushes). Disabled by default; `asf-server`
+    /// replaces it with a ring sharing the server's trace epoch.
+    pub trace: TraceRing,
+}
+
+impl Default for CoreTelemetry {
+    fn default() -> Self {
+        Self {
+            causes_enabled: true,
+            causes: CauseLedger::new(),
+            cause: Cause::Init,
+            trace: TraceRing::disabled(),
+        }
+    }
+}
+
+impl CoreTelemetry {
+    /// Enables or disables per-cause attribution.
+    pub fn set_causes_enabled(&mut self, enabled: bool) {
+        self.causes_enabled = enabled;
+    }
+
+    /// Whether per-cause attribution is running.
+    pub fn causes_enabled(&self) -> bool {
+        self.causes_enabled
+    }
+
+    /// The per-cause message matrix accumulated so far.
+    pub fn causes(&self) -> &CauseLedger {
+        &self.causes
+    }
+
+    /// Multi-line per-cause breakdown with the streamnet message-kind
+    /// labels.
+    pub fn cause_breakdown(&self) -> String {
+        let labels = [
+            MessageKind::ALL[0].label(),
+            MessageKind::ALL[1].label(),
+            MessageKind::ALL[2].label(),
+            MessageKind::ALL[3].label(),
+            MessageKind::ALL[4].label(),
+        ];
+        self.causes.breakdown(&labels)
+    }
+
+    /// Attributes one handled report's `Update` message to
+    /// [`Cause::SourceReport`] (sync-reports induced *inside* a handler are
+    /// already covered by the fleet-op diffs of the op that induced them).
+    #[inline]
+    pub(crate) fn add_report_update(&mut self) {
+        if self.causes_enabled {
+            self.causes.add(Cause::SourceReport, UPDATE_SLOT, 1);
+        }
+    }
+}

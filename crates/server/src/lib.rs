@@ -69,10 +69,11 @@ pub mod router;
 pub mod server;
 pub mod shard;
 
+pub use asf_telemetry::TraceDepth;
 pub use handle::ExecMode;
 pub use metrics::{FleetOpStats, ServerMetrics};
 pub use pipeline::CoordMode;
-pub use server::{ScatterMode, ServerConfig, ShardedServer};
+pub use server::{ScatterMode, ServerConfig, ShardedServer, TelemetryConfig};
 pub use shard::Partition;
 
 #[cfg(test)]

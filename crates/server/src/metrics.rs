@@ -3,11 +3,14 @@
 //!
 //! Everything here is observational — nothing feeds back into protocol
 //! decisions, so wall-clock noise can never perturb determinism.
+//!
+//! Latency samples live in a bounded-memory [`LogHistogram`] rather than a
+//! sample ring: **every** batch since startup contributes to the
+//! percentiles (the old fixed ring silently forgot tail samples once it
+//! wrapped), memory stays at one fixed bucket array regardless of uptime,
+//! and histograms from different servers or shards merge exactly.
 
-use simkit::percentile;
-
-/// Number of recent batch-latency samples retained for percentiles.
-const LATENCY_WINDOW: usize = 4096;
+use asf_telemetry::{LogHistogram, Registry};
 
 /// Where the time of **batch fleet operations** went — the `probe_many` /
 /// `install_many` / `probe_all` / `broadcast` scatter/gathers issued by
@@ -38,6 +41,17 @@ pub struct FleetOpStats {
     pub hidden_ns: u64,
     /// Batch fleet operations executed.
     pub batch_ops: u64,
+}
+
+impl FleetOpStats {
+    /// Re-registers the batch fleet-op split under `<prefix>.*`.
+    pub fn register_into(&self, prefix: &str, reg: &mut Registry) {
+        reg.counter(&format!("{prefix}.wall_ns"), self.wall_ns);
+        reg.counter(&format!("{prefix}.parallel_ns"), self.parallel_ns);
+        reg.counter(&format!("{prefix}.busy_sum_ns"), self.busy_sum_ns);
+        reg.counter(&format!("{prefix}.hidden_ns"), self.hidden_ns);
+        reg.counter(&format!("{prefix}.batch_ops"), self.batch_ops);
+    }
 }
 
 /// Counters and samples collected while the server ingests batches.
@@ -118,9 +132,9 @@ pub struct ServerMetrics {
     /// Tentative reports discarded with those windows (re-evaluated after
     /// the cut).
     pub discarded_reports: u64,
-    /// Wall-clock durations of the most recent batch applies (ns ring,
-    /// at most `LATENCY_WINDOW` samples).
-    batch_ns: Vec<u64>,
+    /// Wall-clock batch-apply durations (ns) as a mergeable log-bucketed
+    /// histogram: bounded memory, no sample loss.
+    batch_hist: LogHistogram,
 }
 
 impl ServerMetrics {
@@ -134,27 +148,24 @@ impl ServerMetrics {
         }
     }
 
-    /// Records one completed batch apply. Latency samples live in a
-    /// fixed-size ring (the most recent `LATENCY_WINDOW` batches), so a
-    /// long-lived server's memory stays bounded.
+    /// Records one completed batch apply into the latency histogram —
+    /// O(1), allocation-free, bounded memory however long the server runs.
     pub fn record_batch(&mut self, wall_ns: u64) {
-        if self.batch_ns.len() < LATENCY_WINDOW {
-            self.batch_ns.push(wall_ns);
-        } else {
-            self.batch_ns[(self.batches % LATENCY_WINDOW as u64) as usize] = wall_ns;
-        }
+        self.batch_hist.record(wall_ns);
         self.batches += 1;
     }
 
     /// Batch-apply latency percentile in nanoseconds (p in `[0, 100]`),
-    /// over the most recent `LATENCY_WINDOW` batches; `None` before the
-    /// first batch.
+    /// over **every** batch since startup (within the histogram's ~3%
+    /// bucket quantization); `None` before the first batch.
     pub fn batch_latency_ns(&self, p: f64) -> Option<f64> {
-        if self.batch_ns.is_empty() {
-            return None;
-        }
-        let data: Vec<f64> = self.batch_ns.iter().map(|&ns| ns as f64).collect();
-        Some(percentile(&data, p))
+        self.batch_hist.percentile(p)
+    }
+
+    /// The batch-apply latency histogram itself — mergeable across servers
+    /// (`LogHistogram::merge` is exact).
+    pub fn batch_latency_hist(&self) -> &LogHistogram {
+        &self.batch_hist
     }
 
     /// Fraction of ingested events that never reached the coordinator (the
@@ -193,13 +204,18 @@ impl ServerMetrics {
 
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
-        let p50 = self.batch_latency_ns(50.0).unwrap_or(0.0) / 1_000.0;
-        let p99 = self.batch_latency_ns(99.0).unwrap_or(0.0) / 1_000.0;
+        // `-` for readings that have no defined value yet — never `NaN`.
+        fn opt(v: Option<f64>, decimals: usize) -> String {
+            match v {
+                Some(v) => format!("{v:.decimals$}"),
+                None => "-".to_string(),
+            }
+        }
         format!(
             "batches={} rounds={} cuts={} events={} reports={} rolled_back={} \
-             parallel_fraction={:.3} occupancy_skew={:.3} window_depth={} \
-             coalesced_reports_per_group={:.2} overlap_saved={:.1}us \
-             batch_apply p50={:.1}us p99={:.1}us",
+             parallel_fraction={:.3} occupancy_skew={} window_depth={} \
+             coalesced_reports_per_group={} overlap_saved={:.1}us \
+             batch_apply p50={}us p99={}us",
             self.batches,
             self.rounds,
             self.cuts,
@@ -207,13 +223,50 @@ impl ServerMetrics {
             self.reports_consumed,
             self.rolled_back,
             self.parallel_fraction(),
-            self.occupancy_skew().unwrap_or(f64::NAN),
+            opt(self.occupancy_skew(), 3),
             self.max_inflight_windows,
-            self.coalesced_reports_per_group().unwrap_or(f64::NAN),
+            opt(self.coalesced_reports_per_group(), 2),
             self.overlap_saved_ns as f64 / 1_000.0,
-            p50,
-            p99,
+            opt(self.batch_latency_ns(50.0).map(|ns| ns / 1_000.0), 1),
+            opt(self.batch_latency_ns(99.0).map(|ns| ns / 1_000.0), 1),
         )
+    }
+
+    /// Re-registers every server metric into `reg` under `server.*` /
+    /// `fleet.*` — the snapshot schema `bench_diff` and the bench README
+    /// document. Per-shard vectors register as sums plus derived gauges so
+    /// the key set is shard-count independent.
+    pub fn register_into(&self, reg: &mut Registry) {
+        reg.counter("server.batches", self.batches);
+        reg.counter("server.rounds", self.rounds);
+        reg.counter("server.events", self.events);
+        reg.counter("server.speculative_commits", self.speculative_commits);
+        reg.counter("server.rolled_back", self.rolled_back);
+        reg.counter("server.reports_consumed", self.reports_consumed);
+        reg.counter("server.cuts", self.cuts);
+        reg.counter("server.report_groups", self.report_groups);
+        reg.counter("server.max_inflight_windows", self.max_inflight_windows);
+        reg.counter("server.shard_busy_ns", self.shard_busy_ns.iter().sum());
+        reg.counter("server.shard_scan_ns", self.shard_scan_ns.iter().sum());
+        reg.counter("server.critical_path_ns", self.critical_path_ns);
+        reg.counter("server.scatter_ns", self.scatter_ns);
+        reg.counter("server.window_build_ns", self.window_build_ns);
+        reg.counter("server.window_bytes_shared", self.window_bytes_shared);
+        reg.counter("server.serial_ns", self.serial_ns);
+        reg.counter("server.index_parallel_ns", self.index_parallel_ns);
+        reg.counter("server.index_busy_sum_ns", self.index_busy_sum_ns);
+        reg.counter("server.overlap_saved_ns", self.overlap_saved_ns);
+        reg.counter("server.overlapped_windows", self.overlapped_windows);
+        reg.counter("server.discarded_window_busy_ns", self.discarded_window_busy_ns);
+        reg.counter("server.discarded_reports", self.discarded_reports);
+        reg.gauge("server.parallel_fraction", self.parallel_fraction());
+        reg.gauge("server.occupancy_skew", self.occupancy_skew().unwrap_or(f64::NAN));
+        reg.gauge(
+            "server.coalesced_reports_per_group",
+            self.coalesced_reports_per_group().unwrap_or(f64::NAN),
+        );
+        reg.histogram("server.batch_apply_ns", &self.batch_hist);
+        self.fleet.register_into("fleet", reg);
     }
 }
 
@@ -243,5 +296,35 @@ mod tests {
         assert!(m.batch_latency_ns(99.0).is_none());
         assert!(m.occupancy_skew().is_none());
         assert_eq!(m.parallel_fraction(), 0.0);
+        let s = m.summary();
+        assert!(!s.contains("NaN"), "undefined readings must print as '-': {s}");
+        assert!(s.contains("occupancy_skew=-"), "summary was: {s}");
+        assert!(s.contains("p50=-us"), "summary was: {s}");
+    }
+
+    #[test]
+    fn latency_histogram_merges_and_registers() {
+        let mut a = ServerMetrics::new(1);
+        let mut b = ServerMetrics::new(1);
+        for ns in [100u64, 300] {
+            a.record_batch(ns);
+        }
+        for ns in [200u64, 400] {
+            b.record_batch(ns);
+        }
+        let mut merged = a.batch_latency_hist().clone();
+        merged.merge(b.batch_latency_hist());
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.min(), Some(100));
+        assert_eq!(merged.max(), Some(400));
+
+        let mut reg = Registry::new();
+        a.register_into(&mut reg);
+        let json = reg.to_json();
+        let parsed = asf_telemetry::json::parse(&json).expect("snapshot is valid JSON");
+        assert_eq!(parsed.get("server.batches").and_then(|v| v.as_f64()), Some(2.0));
+        let hist = parsed.get("server.batch_apply_ns").expect("histogram present");
+        assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(parsed.get("fleet.batch_ops").and_then(|v| v.as_f64()), Some(0.0));
     }
 }

@@ -212,6 +212,7 @@ mod tests {
                     channel_capacity: 2,
                     coordinator: CoordMode::Pipelined,
                     scatter,
+                    telemetry: Default::default(),
                 };
                 let mut server = super::ShardedServer::new(&initial, ZtNrp::new(query), config);
                 server.initialize();
@@ -254,6 +255,7 @@ mod tests {
             channel_capacity: 2,
             coordinator: CoordMode::Pipelined,
             scatter: Default::default(),
+            telemetry: Default::default(),
         };
         let mut server = super::ShardedServer::new(&initial, Rtp::new(query, 2).unwrap(), config);
         server.initialize();
@@ -292,6 +294,7 @@ mod tests {
                 channel_capacity: 2,
                 coordinator,
                 scatter: Default::default(),
+                telemetry: Default::default(),
             };
             let mut server =
                 super::ShardedServer::new(&initial, Rtp::new(query, 2).unwrap(), config);

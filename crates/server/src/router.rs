@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use asf_telemetry::{TraceDepth, TraceRing};
 use streamnet::{Filter, FleetOps, Ledger, MessageKind, ServerView, StreamId};
 
 use crate::handle::ShardHandle;
@@ -55,12 +56,15 @@ pub struct ShardRouter<'a> {
     /// Batch fleet-op attribution (wall / max-shard / Σ-shard busy); `None`
     /// outside the metered ingest paths (e.g. initialization).
     stats: Option<&'a mut FleetOpStats>,
+    /// Fine-depth trace ring for fleet-op scatter/gather spans (the
+    /// server's `fleet-ops` track); `None` when untraced.
+    trace: Option<&'a mut TraceRing>,
 }
 
 impl<'a> ShardRouter<'a> {
     /// Borrows the shard handles as a fleet of `n` streams.
     pub fn new(handles: &'a mut [ShardHandle], partition: Partition, n: usize) -> Self {
-        Self { handles, partition, n, stats: None }
+        Self { handles, partition, n, stats: None, trace: None }
     }
 
     /// Like [`ShardRouter::new`], attributing batch fleet-op time to
@@ -71,13 +75,42 @@ impl<'a> ShardRouter<'a> {
         n: usize,
         stats: &'a mut FleetOpStats,
     ) -> Self {
-        Self { handles, partition, n, stats: Some(stats) }
+        Self { handles, partition, n, stats: Some(stats), trace: None }
+    }
+
+    /// Like [`ShardRouter::new`], with optional batch fleet-op attribution
+    /// and optional fleet-op trace spans.
+    pub(crate) fn with_telemetry(
+        handles: &'a mut [ShardHandle],
+        partition: Partition,
+        n: usize,
+        stats: Option<&'a mut FleetOpStats>,
+        trace: Option<&'a mut TraceRing>,
+    ) -> Self {
+        Self { handles, partition, n, stats, trace }
     }
 
     fn route(&mut self, id: StreamId) -> (&mut ShardHandle, u32) {
         let shard = self.partition.shard_of(id);
         let local = self.partition.local_of(id);
         (&mut self.handles[shard], local)
+    }
+
+    /// Opens a fleet-op scatter/gather span (Fine depth); `seq` carries the
+    /// operation's fan-out (streams touched).
+    #[inline]
+    fn trace_begin(&mut self, name: &'static str, seq: u64) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.begin(TraceDepth::Fine, name, seq);
+        }
+    }
+
+    /// Closes the innermost fleet-op span.
+    #[inline]
+    fn trace_end(&mut self) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.end(TraceDepth::Fine);
+        }
     }
 
     /// Records one finished batch fleet operation: the coordinator wall
@@ -107,6 +140,7 @@ impl<'a> ShardRouter<'a> {
         mut changed: Option<&mut Vec<StreamId>>,
     ) {
         let started = Instant::now();
+        self.trace_begin("fleet_probe_all", self.n as u64);
         let mut busy = vec![0u64; self.partition.shards()];
         for handle in self.handles.iter_mut() {
             handle.send(ShardCmd::ProbeAll);
@@ -134,21 +168,30 @@ impl<'a> ShardRouter<'a> {
             changed.sort_unstable();
         }
         self.record_batch_op(started, &busy);
+        self.trace_end();
     }
 
     /// Commits/rolls back every shard's speculative log around `keep_below`
     /// (scatter, then gather). Returns per-shard `(kept, undone)`.
     pub(crate) fn commit_all(&mut self, keep_below: u64) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.handles.len());
+        self.commit_all_into(keep_below, &mut out);
+        out
+    }
+
+    /// [`ShardRouter::commit_all`] into a caller-pooled buffer, so the
+    /// per-chunk quiescence commit stays allocation-free in steady state.
+    pub(crate) fn commit_all_into(&mut self, keep_below: u64, out: &mut Vec<(u32, u32)>) {
+        out.clear();
         for handle in self.handles.iter_mut() {
             handle.send(ShardCmd::Commit { keep_below });
         }
-        self.handles
-            .iter_mut()
-            .map(|handle| match handle.recv() {
-                ShardReply::Committed { kept, undone } => (kept, undone),
+        for handle in self.handles.iter_mut() {
+            match handle.recv() {
+                ShardReply::Committed { kept, undone } => out.push((kept, undone)),
                 other => unreachable!("Commit got {other:?}"),
-            })
-            .collect()
+            }
+        }
     }
 
     /// Receives and discards the outstanding `Evaluated` replies of an
@@ -392,6 +435,7 @@ impl FleetOps for ShardRouter<'_> {
         // probe concurrently; probes are independent, so only the reassembly
         // order below is observable — and it is the request order.
         let started = Instant::now();
+        self.trace_begin("fleet_probe_many", ids.len() as u64);
         let k = self.partition.shards();
         let mut busy = vec![0u64; k];
         let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); k];
@@ -427,6 +471,7 @@ impl FleetOps for ShardRouter<'_> {
             out.push(v);
         }
         self.record_batch_op(started, &busy);
+        self.trace_end();
     }
 
     fn install_many(
@@ -445,6 +490,7 @@ impl FleetOps for ShardRouter<'_> {
         // reports are reassembled in installation order — exactly the queue
         // the serial per-stream loop would build.
         let started = Instant::now();
+        self.trace_begin("fleet_install_many", installs.len() as u64);
         let k = self.partition.shards();
         let mut busy = vec![0u64; k];
         let mut per_shard: Vec<Vec<(u32, Filter)>> = vec![Vec::new(); k];
@@ -482,6 +528,7 @@ impl FleetOps for ShardRouter<'_> {
             }
         }
         self.record_batch_op(started, &busy);
+        self.trace_end();
     }
 
     fn install(
@@ -516,6 +563,7 @@ impl FleetOps for ShardRouter<'_> {
         // One logical broadcast operation costing n messages, however many
         // shards it fans out to.
         let started = Instant::now();
+        self.trace_begin("fleet_broadcast", self.n as u64);
         let mut busy = vec![0u64; self.partition.shards()];
         ledger.record(MessageKind::FilterBroadcast, self.n as u64);
         for handle in self.handles.iter_mut() {
@@ -540,6 +588,7 @@ impl FleetOps for ShardRouter<'_> {
             view.set(id, v);
         }
         self.record_batch_op(started, &busy);
+        self.trace_end();
         syncs
     }
 }

@@ -45,8 +45,9 @@ use asf_core::protocol::{CtxStats, Protocol};
 use asf_core::rank::RankForest;
 use asf_core::workload::{EventBatch, UpdateEvent, Workload};
 use asf_core::AnswerSet;
+use asf_telemetry::{chrome_trace, Cause, Registry, TraceDepth, TraceEvent, TraceRing};
 use simkit::SimTime;
-use streamnet::{Ledger, ServerView, SourceFleet};
+use streamnet::{Ledger, MessageKind, ServerView, SourceFleet};
 
 use crate::handle::{ExecMode, ShardHandle};
 use crate::metrics::ServerMetrics;
@@ -74,6 +75,29 @@ pub enum ScatterMode {
     Broadcast,
 }
 
+/// Observability configuration of a [`ShardedServer`]. Everything here is
+/// observational: any combination of settings leaves answers, ledgers, and
+/// views byte-identical (the invariance suites sweep this).
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Per-cause message attribution (two 5-counter ledger snapshots per
+    /// fleet operation when on; a single branch when off). On by default.
+    pub causes: bool,
+    /// Structured trace recording depth. `Off` (the default) records
+    /// nothing and allocates nothing.
+    pub trace: TraceDepth,
+    /// Maximum events retained per trace ring (the coordinator, the
+    /// fleet-op router, and every shard own one ring of this capacity;
+    /// full rings suppress balanced span pairs and count the loss).
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self { causes: true, trace: TraceDepth::Off, trace_capacity: 4096 }
+    }
+}
+
 /// Configuration of a [`ShardedServer`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
@@ -91,6 +115,9 @@ pub struct ServerConfig {
     /// Eager per-shard scatter or broadcast of shared columnar windows;
     /// both are byte-identical, see [`ScatterMode`].
     pub scatter: ScatterMode,
+    /// Observability: per-cause accounting and trace recording. Purely
+    /// observational at every setting, see [`TelemetryConfig`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +129,7 @@ impl Default for ServerConfig {
             channel_capacity: 2,
             coordinator: CoordMode::Pipelined,
             scatter: ScatterMode::Broadcast,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -134,6 +162,12 @@ impl ServerConfig {
     /// shared columnar windows).
     pub fn scatter(mut self, scatter: ScatterMode) -> Self {
         self.scatter = scatter;
+        self
+    }
+
+    /// Sets the observability configuration.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -170,6 +204,11 @@ pub struct ShardedServer<P: Protocol> {
     eager_slices: Vec<Vec<SpecEvent>>,
     /// Pool of participant-index vectors for the window loop.
     participant_pool: Vec<Vec<usize>>,
+    /// Pooled per-shard `(kept, undone)` buffer for the quiescence commit.
+    commit_scratch: Vec<(u32, u32)>,
+    /// The fleet-op trace ring (the `fleet-ops` timeline track); threaded
+    /// into the [`ShardRouter`] of every report drain.
+    fleet_trace: TraceRing,
 }
 
 impl<P: Protocol> ShardedServer<P> {
@@ -206,7 +245,7 @@ impl<P: Protocol> ShardedServer<P> {
         );
         assert!(config.batch_size >= 1, "batch_size must be positive");
         let partition = Partition::new(config.num_shards);
-        let handles: Vec<ShardHandle> = partition
+        let mut handles: Vec<ShardHandle> = partition
             .split_values(initial_values)
             .iter()
             .enumerate()
@@ -222,15 +261,31 @@ impl<P: Protocol> ShardedServer<P> {
             CoordMode::Serial => config.batch_size,
             CoordMode::Pipelined => (config.batch_size / 2).max(1),
         };
+        // All trace rings share one epoch so coordinator, fleet-op, and
+        // shard tracks land on a single exportable timeline.
+        let tcfg = config.telemetry;
+        let epoch = Instant::now();
+        let mut core = ProtocolCore::with_rank_mode_and_parts(
+            initial_values.len(),
+            protocol,
+            RankMode::Indexed,
+            config.num_shards,
+        );
+        core.telemetry_mut().set_causes_enabled(tcfg.causes);
+        core.telemetry_mut().trace = TraceRing::new(tcfg.trace, tcfg.trace_capacity, epoch);
+        if tcfg.trace != TraceDepth::Off {
+            for handle in handles.iter_mut() {
+                let ring = TraceRing::new(tcfg.trace, tcfg.trace_capacity, epoch);
+                match handle.request(ShardCmd::SetTrace { ring }) {
+                    ShardReply::Ack => {}
+                    other => unreachable!("SetTrace got {other:?}"),
+                }
+            }
+        }
         Self {
             partition,
             handles,
-            core: ProtocolCore::with_rank_mode_and_parts(
-                initial_values.len(),
-                protocol,
-                RankMode::Indexed,
-                config.num_shards,
-            ),
+            core,
             config,
             n: initial_values.len(),
             now: 0.0,
@@ -245,13 +300,23 @@ impl<P: Protocol> ShardedServer<P> {
             shared_chunk: Arc::new(EventBatch::new()),
             eager_slices: (0..config.num_shards).map(|_| Vec::new()).collect(),
             participant_pool: Vec::new(),
+            commit_scratch: Vec::new(),
+            fleet_trace: TraceRing::new(tcfg.trace, tcfg.trace_capacity, epoch),
         }
     }
 
     /// Runs the protocol's Initialization phase across the shards.
     pub fn initialize(&mut self) {
-        let mut router = ShardRouter::new(&mut self.handles, self.partition, self.n);
+        self.core.telemetry_mut().trace.begin(TraceDepth::Coarse, "initialize", 0);
+        let mut router = ShardRouter::with_telemetry(
+            &mut self.handles,
+            self.partition,
+            self.n,
+            None,
+            Some(&mut self.fleet_trace),
+        );
         self.core.initialize(&mut router);
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
     }
 
     /// Ingests one batch of time-ordered events and drains all induced
@@ -342,6 +407,7 @@ impl<P: Protocol> ShardedServer<P> {
     /// channel sends (which execute the evaluation inline in
     /// [`ExecMode::Inline`]) are not.
     pub(crate) fn scatter_window(&mut self, start: usize, end: usize) -> Vec<usize> {
+        self.core.telemetry_mut().trace.begin(TraceDepth::Coarse, "scatter_window", start as u64);
         let mut participants = self.participant_pool.pop().unwrap_or_default();
         participants.clear();
         match self.config.scatter {
@@ -351,10 +417,12 @@ impl<P: Protocol> ShardedServer<P> {
                 self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
                 let window_bytes = ((end - start) * EventBatch::EVENT_BYTES) as u64;
                 for s in 0..self.config.num_shards {
+                    let reports = self.spare_batches.pop().unwrap_or_default();
                     self.handles[s].send(ShardCmd::EvalWindow {
                         window: Arc::clone(&window),
                         start,
                         end,
+                        reports,
                     });
                     participants.push(s);
                     self.metrics.window_bytes_shared += window_bytes;
@@ -382,8 +450,9 @@ impl<P: Protocol> ShardedServer<P> {
                 self.metrics.scatter_ns += scatter_start.elapsed().as_nanos() as u64;
                 for s in 0..self.config.num_shards {
                     if !self.eager_slices[s].is_empty() {
-                        let slice = std::mem::take(&mut self.eager_slices[s]);
-                        self.handles[s].send(ShardCmd::EvalBatch(slice));
+                        let events = std::mem::take(&mut self.eager_slices[s]);
+                        let reports = self.spare_batches.pop().unwrap_or_default();
+                        self.handles[s].send(ShardCmd::EvalBatch { events, reports });
                         participants.push(s);
                     }
                 }
@@ -391,6 +460,7 @@ impl<P: Protocol> ShardedServer<P> {
         }
         self.metrics.rounds += 1;
         self.metrics.max_inflight_windows = self.metrics.max_inflight_windows.max(1);
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
         participants
     }
 
@@ -410,25 +480,36 @@ impl<P: Protocol> ShardedServer<P> {
     /// are unique.) Returns the round's maximum per-shard busy time — the
     /// window's evaluation critical path.
     pub(crate) fn gather_window(&mut self, participants: &[usize]) -> u64 {
+        self.core.telemetry_mut().trace.begin(
+            TraceDepth::Coarse,
+            "gather_window",
+            participants.len() as u64,
+        );
         let mut merged = std::mem::take(&mut self.merged);
         merged.clear();
         let mut round_max_busy = 0u64;
         for &s in participants {
             match self.handles[s].recv() {
-                ShardReply::Evaluated { reports, busy_ns, scan_ns, batch, .. } => {
+                ShardReply::Evaluated { mut reports, busy_ns, scan_ns, batch, .. } => {
                     self.metrics.shard_busy_ns[s] += busy_ns;
                     self.metrics.shard_scan_ns[s] += scan_ns;
                     round_max_busy = round_max_busy.max(busy_ns);
                     if batch.capacity() > 0 {
                         self.spare_batches.push(batch);
                     }
-                    merged.extend(reports.into_iter().map(|ev| (ev, s)));
+                    merged.extend(reports.drain(..).map(|ev| (ev, s)));
+                    // The drained report buffer goes back into the pool, so
+                    // steady-state rounds gather without allocating.
+                    if reports.capacity() > 0 {
+                        self.spare_batches.push(reports);
+                    }
                 }
                 other => unreachable!("EvalBatch got {other:?}"),
             }
         }
         merged.sort_unstable_by_key(|(ev, _)| ev.seq);
         self.merged = merged;
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
         round_max_busy
     }
 
@@ -442,6 +523,11 @@ impl<P: Protocol> ShardedServer<P> {
     /// `metrics.fleet`).
     pub(crate) fn drain_reports(&mut self, next_window: &mut Vec<usize>) -> (Option<u64>, u64) {
         let serial_start = Instant::now();
+        self.core.telemetry_mut().trace.begin(
+            TraceDepth::Coarse,
+            "drain_reports",
+            self.merged.len() as u64,
+        );
         let fleet_hidden_before = self.metrics.fleet.hidden_ns;
         let index_before = (
             self.core.ctx_stats().index_busy_sum_ns,
@@ -453,11 +539,12 @@ impl<P: Protocol> ShardedServer<P> {
         let merged = std::mem::take(&mut self.merged);
         for &(ev, shard) in &merged {
             let id = self.partition.global_of(shard, ev.local);
-            let inner = ShardRouter::with_stats(
+            let inner = ShardRouter::with_telemetry(
                 &mut self.handles,
                 self.partition,
                 self.n,
-                &mut self.metrics.fleet,
+                Some(&mut self.metrics.fleet),
+                Some(&mut self.fleet_trace),
             );
             let inflight = (!next_window.is_empty()).then(|| InflightWindow {
                 shards: &mut *next_window,
@@ -473,16 +560,24 @@ impl<P: Protocol> ShardedServer<P> {
             consumed += 1;
             self.metrics.reports_consumed += 1;
             if let Some(commits) = cut {
+                let mut undone_total = 0u64;
                 for (s, &(kept, undone)) in commits.iter().enumerate() {
                     self.metrics.shard_events[s] += kept as u64;
                     self.metrics.speculative_commits += kept as u64;
                     self.metrics.rolled_back += undone as u64;
+                    undone_total += undone as u64;
                 }
+                // The speculation cut and its fleet-wide rollback extent,
+                // on the coordinator timeline.
+                let trace = &mut self.core.telemetry_mut().trace;
+                trace.instant(TraceDepth::Coarse, "speculation_cut", ev.seq);
+                trace.instant(TraceDepth::Coarse, "rollback", undone_total);
                 cut_at = Some(ev.seq);
                 break;
             }
         }
         self.merged = merged;
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
         if consumed > 0 {
             self.metrics.report_groups += 1;
         }
@@ -515,12 +610,15 @@ impl<P: Protocol> ShardedServer<P> {
 
     /// Commits every shard's surviving speculation (chunk-end quiescence).
     pub(crate) fn commit_surviving(&mut self) {
+        let mut commits = std::mem::take(&mut self.commit_scratch);
         let mut router = ShardRouter::new(&mut self.handles, self.partition, self.n);
-        for (s, (kept, undone)) in router.commit_all(u64::MAX).into_iter().enumerate() {
+        router.commit_all_into(u64::MAX, &mut commits);
+        for (s, &(kept, undone)) in commits.iter().enumerate() {
             self.metrics.shard_events[s] += kept as u64;
             self.metrics.speculative_commits += kept as u64;
             debug_assert_eq!(undone, 0);
         }
+        self.commit_scratch = commits;
     }
 
     /// Adapts the window after a cut at sequence `c` in a window starting
@@ -625,6 +723,83 @@ impl<P: Protocol> ShardedServer<P> {
     /// index-build split of initialization and batch-op counts.
     pub fn ctx_stats(&self) -> &CtxStats {
         self.core.ctx_stats()
+    }
+
+    /// The per-cause message matrix: every ledger message attributed to the
+    /// protocol decision that sent it (empty when
+    /// [`TelemetryConfig::causes`] is off).
+    pub fn causes(&self) -> &asf_telemetry::CauseLedger {
+        self.core.telemetry().causes()
+    }
+
+    /// Multi-line per-cause message breakdown with the streamnet
+    /// message-kind labels (empty when attribution is off or quiet).
+    pub fn cause_breakdown(&self) -> String {
+        self.core.telemetry().cause_breakdown()
+    }
+
+    /// One flat JSON object of every metric the server keeps — the
+    /// [`ServerMetrics`] counters and latency histogram, the fleet-op and
+    /// ctx splits, and the per-cause message matrix — re-registered through
+    /// one [`Registry`] so all consumers read the same dotted-key schema.
+    pub fn telemetry_snapshot(&self) -> String {
+        let mut reg = Registry::new();
+        self.metrics.register_into(&mut reg);
+        let stats = self.core.ctx_stats();
+        reg.counter("ctx.probe_ns", stats.probe_ns);
+        reg.counter("ctx.index_build_ns", stats.index_build_ns);
+        reg.counter("ctx.index_delta_refreshes", stats.index_delta_refreshes);
+        reg.counter("ctx.index_delta_rekeys", stats.index_delta_rekeys);
+        reg.counter("ctx.index_bulk_builds", stats.index_bulk_builds);
+        reg.counter("ctx.batch_probe_ops", stats.batch_probe_ops);
+        reg.counter("ctx.batch_probe_streams", stats.batch_probe_streams);
+        reg.counter("ctx.batch_install_ops", stats.batch_install_ops);
+        reg.counter("ctx.batch_install_streams", stats.batch_install_streams);
+        reg.counter("ctx.deferred_installs", stats.deferred_installs);
+        reg.counter("ctx.deferred_flushes", stats.deferred_flushes);
+        let causes = self.core.telemetry().causes();
+        // The full cause × kind matrix registers every slot (zeros
+        // included) so the snapshot's key set never depends on which
+        // protocol decisions happened to fire.
+        for cause in Cause::ALL {
+            let row = causes.row(cause);
+            for (k, kind) in MessageKind::ALL.iter().enumerate() {
+                reg.counter(&format!("causes.{}.{}", cause.label(), kind.label()), row[k]);
+            }
+        }
+        reg.counter("causes.total", causes.grand_total());
+        reg.to_json()
+    }
+
+    /// Drains every trace ring — the coordinator track, the fleet-op
+    /// track, and one track per shard, all sharing one epoch — and returns
+    /// the merged timeline as Chrome trace-event JSON (open in Perfetto or
+    /// `chrome://tracing`; machine-checkable via
+    /// [`asf_telemetry::validate_chrome_trace`]). Rings keep recording
+    /// afterwards. With tracing off the export is a valid, empty timeline.
+    pub fn export_chrome_trace(&mut self) -> String {
+        let coordinator = self.core.telemetry_mut().trace.take();
+        let fleet = self.fleet_trace.take();
+        let mut shard_events: Vec<Vec<TraceEvent>> = Vec::new();
+        if self.config.telemetry.trace != TraceDepth::Off {
+            for handle in self.handles.iter_mut() {
+                handle.send(ShardCmd::TakeTrace);
+            }
+            for handle in self.handles.iter_mut() {
+                match handle.recv() {
+                    ShardReply::Trace(events) => shard_events.push(events),
+                    other => unreachable!("TakeTrace got {other:?}"),
+                }
+            }
+        }
+        let shard_names: Vec<String> =
+            (0..shard_events.len()).map(|s| format!("shard-{s}")).collect();
+        let mut tracks: Vec<(u32, &str, Vec<TraceEvent>)> =
+            vec![(0, "coordinator", coordinator), (1, "fleet-ops", fleet)];
+        for (s, events) in shard_events.into_iter().enumerate() {
+            tracks.push(((2 + s) as u32, shard_names[s].as_str(), events));
+        }
+        chrome_trace(&tracks)
     }
 
     /// The maintained rank index, if the protocol is rank-based

@@ -49,6 +49,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use asf_core::workload::EventBatch;
+use asf_telemetry::{TraceDepth, TraceEvent, TraceRing};
 use streamnet::{Filter, Ledger, ServerView, SourceFleet, SpecLog, StreamId};
 
 /// Strided assignment of global stream ids to `k` shards.
@@ -116,7 +117,14 @@ pub enum ShardCmd {
     /// Speculatively evaluate a slice of a batch (in `seq` order) that the
     /// coordinator partitioned eagerly (`ScatterMode::Eager`, the
     /// differential baseline).
-    EvalBatch(Vec<SpecEvent>),
+    EvalBatch {
+        /// The shard's slice, in ascending `seq` order.
+        events: Vec<SpecEvent>,
+        /// Pooled output buffer the shard fills with its tentative reports
+        /// and hands back in the `Evaluated` reply — the coordinator
+        /// recycles it, so steady-state rounds report without allocating.
+        reports: Vec<SpecEvent>,
+    },
     /// Speculatively evaluate `window[start..end]` of a **shared** columnar
     /// event window: the shard scans the stream column, selects the events
     /// it owns, and evaluates them in `seq` order (`seq` = position in the
@@ -129,6 +137,9 @@ pub enum ShardCmd {
         start: usize,
         /// One past the last window position of this round.
         end: usize,
+        /// Pooled tentative-report output buffer (see
+        /// [`ShardCmd::EvalBatch::reports`]).
+        reports: Vec<SpecEvent>,
     },
     /// Commit speculative applications with `seq < keep_below`, roll back
     /// the rest (use `u64::MAX` to commit everything).
@@ -177,6 +188,14 @@ pub enum ShardCmd {
     },
     /// Ground-truth values of the partition (local order) — oracle/tests.
     TruthSnapshot,
+    /// Install the shard's trace ring (shares the server's trace epoch so
+    /// all tracks land on one timeline).
+    SetTrace {
+        /// The ring the shard records its spans into.
+        ring: TraceRing,
+    },
+    /// Drain the shard's recorded trace events for export.
+    TakeTrace,
     /// Stop the worker loop (threaded mode only).
     Shutdown,
 }
@@ -248,6 +267,11 @@ pub enum ShardReply {
     },
     /// Outcome of [`ShardCmd::TruthSnapshot`]: values in local order.
     Truth(Vec<f64>),
+    /// Acknowledges a control command with no payload
+    /// ([`ShardCmd::SetTrace`]).
+    Ack,
+    /// Outcome of [`ShardCmd::TakeTrace`]: the recorded events, in order.
+    Trace(Vec<TraceEvent>),
 }
 
 /// A worker shard owning one partition of sources.
@@ -273,6 +297,9 @@ pub struct Shard {
     spec: SpecLog,
     /// Cumulative busy time (ns), metrics only.
     busy_ns: u64,
+    /// This shard's trace ring (disabled unless the server installs one
+    /// via [`ShardCmd::SetTrace`]).
+    trace: TraceRing,
 }
 
 impl Shard {
@@ -307,6 +334,7 @@ impl Shard {
             select_scratch: Vec::new(),
             spec: SpecLog::new(),
             busy_ns: 0,
+            trace: TraceRing::disabled(),
         }
     }
 
@@ -331,8 +359,10 @@ impl Shard {
     pub fn exec(&mut self, cmd: ShardCmd) -> ShardReply {
         let start = Instant::now();
         let mut reply = match cmd {
-            ShardCmd::EvalBatch(events) => self.eval_batch(events),
-            ShardCmd::EvalWindow { window, start, end } => self.eval_window(&window, start, end),
+            ShardCmd::EvalBatch { events, reports } => self.eval_batch(events, reports),
+            ShardCmd::EvalWindow { window, start, end, reports } => {
+                self.eval_window(&window, start, end, reports)
+            }
             ShardCmd::Commit { keep_below } => self.commit(keep_below),
             ShardCmd::Deliver { local, value } => ShardReply::Delivered(self.fleet.deliver_update(
                 StreamId(local),
@@ -398,6 +428,11 @@ impl Shard {
             ShardCmd::TruthSnapshot => {
                 ShardReply::Truth(self.fleet.iter().map(|s| s.value()).collect())
             }
+            ShardCmd::SetTrace { ring } => {
+                self.trace = ring;
+                ShardReply::Ack
+            }
+            ShardCmd::TakeTrace => ShardReply::Trace(self.trace.take()),
             ShardCmd::Shutdown => unreachable!("Shutdown is handled by the worker loop"),
         };
         let elapsed = start.elapsed().as_nanos() as u64;
@@ -415,28 +450,36 @@ impl Shard {
         reply
     }
 
-    /// Speculatively applies `events` (already selected, in `seq` order):
-    /// the shared evaluation core of both scatter paths.
-    fn eval_events(&mut self, events: &[SpecEvent]) -> Vec<SpecEvent> {
+    /// Speculatively applies `events` (already selected, in `seq` order)
+    /// into the pooled `reports` buffer: the shared evaluation core of both
+    /// scatter paths.
+    fn eval_events(&mut self, events: &[SpecEvent], reports: &mut Vec<SpecEvent>) {
         // The pipelined coordinator scatters window t+1 while window t's
         // entries are still journaled, so the log may legitimately be
         // non-empty here; `SpecLog::apply` enforces that sequence numbers
         // keep increasing across the window boundary.
-        let mut reports = Vec::new();
+        reports.clear();
         for &ev in events {
             let id = StreamId(ev.local);
             if self.spec.apply(&mut self.fleet, ev.seq, id, ev.value).is_some() {
                 reports.push(ev);
             }
         }
-        reports
     }
 
-    fn eval_batch(&mut self, mut events: Vec<SpecEvent>) -> ShardReply {
+    fn eval_batch(
+        &mut self,
+        mut events: Vec<SpecEvent>,
+        mut reports: Vec<SpecEvent>,
+    ) -> ShardReply {
         let start = Instant::now();
-        let reports = self.eval_events(&events);
+        let seq0 = events.first().map_or(0, |ev| ev.seq);
+        self.trace.begin(TraceDepth::Coarse, "shard_eval", seq0);
+        self.eval_events(&events, &mut reports);
         let evaluated = events.len() as u32;
         events.clear();
+        self.trace.instant(TraceDepth::Fine, "spec_tip", self.spec.last_seq().unwrap_or(0));
+        self.trace.end(TraceDepth::Coarse);
         ShardReply::Evaluated {
             reports,
             evaluated,
@@ -446,13 +489,21 @@ impl Shard {
         }
     }
 
-    fn eval_window(&mut self, window: &EventBatch, start: usize, end: usize) -> ShardReply {
+    fn eval_window(
+        &mut self,
+        window: &EventBatch,
+        start: usize,
+        end: usize,
+        mut reports: Vec<SpecEvent>,
+    ) -> ShardReply {
         // Phase 1 — ownership scan: walk the shared stream column and
         // select this shard's events into the pooled local buffer. This is
         // exactly the partitioning work the coordinator's eager scatter
         // loop used to do serially for all shards; here every shard scans
         // its window concurrently, and the time is reported as `scan_ns`.
         let scan_start = Instant::now();
+        self.trace.begin(TraceDepth::Coarse, "shard_eval", start as u64);
+        self.trace.begin(TraceDepth::Fine, "ownership_scan", start as u64);
         let mut selected = std::mem::take(&mut self.select_scratch);
         selected.clear();
         let streams = &window.streams()[start..end];
@@ -466,13 +517,16 @@ impl Shard {
                 });
             }
         }
+        self.trace.end(TraceDepth::Fine);
         let scan_ns = scan_start.elapsed().as_nanos() as u64;
 
         // Phase 2 — the same optimistic evaluation as the eager path.
         let eval_start = Instant::now();
-        let reports = self.eval_events(&selected);
+        self.eval_events(&selected, &mut reports);
         let evaluated = selected.len() as u32;
         self.select_scratch = selected;
+        self.trace.instant(TraceDepth::Fine, "spec_tip", self.spec.last_seq().unwrap_or(0));
+        self.trace.end(TraceDepth::Coarse);
         ShardReply::Evaluated {
             reports,
             evaluated,
@@ -484,6 +538,10 @@ impl Shard {
 
     fn commit(&mut self, keep_below: u64) -> ShardReply {
         let (kept, undone) = self.spec.commit_below(&mut self.fleet, keep_below);
+        if undone > 0 {
+            // The shard-side rollback extent of a speculation cut.
+            self.trace.instant(TraceDepth::Coarse, "rollback", undone as u64);
+        }
         ShardReply::Committed { kept, undone }
     }
 }
@@ -521,12 +579,15 @@ mod tests {
 
         // seq 0: silent, seq 2: silent, seq 5: violation, seq 7: silent
         // (post-violation state: source 0 reported 700, outside -> outside).
-        let reply = shard.exec(ShardCmd::EvalBatch(vec![
-            SpecEvent { seq: 0, local: 0, value: 550.0 },
-            SpecEvent { seq: 2, local: 1, value: 150.0 },
-            SpecEvent { seq: 5, local: 0, value: 700.0 },
-            SpecEvent { seq: 7, local: 0, value: 800.0 },
-        ]));
+        let reply = shard.exec(ShardCmd::EvalBatch {
+            events: vec![
+                SpecEvent { seq: 0, local: 0, value: 550.0 },
+                SpecEvent { seq: 2, local: 1, value: 150.0 },
+                SpecEvent { seq: 5, local: 0, value: 700.0 },
+                SpecEvent { seq: 7, local: 0, value: 800.0 },
+            ],
+            reports: Vec::new(),
+        });
         match reply {
             ShardReply::Evaluated { reports, evaluated, .. } => {
                 assert_eq!(reports.len(), 1);
@@ -614,11 +675,15 @@ mod tests {
         };
 
         for s in 0..2 {
-            let e = reports_of(eager[s].exec(ShardCmd::EvalBatch(eager_slices(0, 6)[s].clone())));
+            let e = reports_of(eager[s].exec(ShardCmd::EvalBatch {
+                events: eager_slices(0, 6)[s].clone(),
+                reports: Vec::new(),
+            }));
             let b = reports_of(broadcast[s].exec(ShardCmd::EvalWindow {
                 window: Arc::clone(&window),
                 start: 0,
                 end: 6,
+                reports: Vec::new(),
             }));
             assert_eq!(e, b, "shard {s}: scatter paths diverged");
         }
@@ -640,11 +705,15 @@ mod tests {
             assert_eq!((kept, undone), (bk, bu), "shard {s}: commit diverged");
         }
         for s in 0..2 {
-            let e = reports_of(eager[s].exec(ShardCmd::EvalBatch(eager_slices(3, 6)[s].clone())));
+            let e = reports_of(eager[s].exec(ShardCmd::EvalBatch {
+                events: eager_slices(3, 6)[s].clone(),
+                reports: Vec::new(),
+            }));
             let b = reports_of(broadcast[s].exec(ShardCmd::EvalWindow {
                 window: Arc::clone(&window),
                 start: 3,
                 end: 6,
+                reports: Vec::new(),
             }));
             assert_eq!(e, b, "shard {s}: re-scatter diverged");
             eager[s].exec(ShardCmd::Commit { keep_below: u64::MAX });
@@ -664,11 +733,14 @@ mod tests {
         shard.exec(ShardCmd::Install { local: 0, filter: Filter::interval(400.0, 600.0) });
 
         // seq 0 silent, seq 1 tentative report, seq 2 silent-after-report.
-        shard.exec(ShardCmd::EvalBatch(vec![
-            SpecEvent { seq: 0, local: 0, value: 510.0 },
-            SpecEvent { seq: 1, local: 0, value: 700.0 },
-            SpecEvent { seq: 2, local: 0, value: 900.0 },
-        ]));
+        shard.exec(ShardCmd::EvalBatch {
+            events: vec![
+                SpecEvent { seq: 0, local: 0, value: 510.0 },
+                SpecEvent { seq: 1, local: 0, value: 700.0 },
+                SpecEvent { seq: 2, local: 0, value: 900.0 },
+            ],
+            reports: Vec::new(),
+        });
         // Roll everything back: value, last-reported, and traffic must be
         // exactly as before the batch.
         shard.exec(ShardCmd::Commit { keep_below: 0 });

@@ -466,6 +466,13 @@ impl SpecLog {
         self.entries.is_empty()
     }
 
+    /// Sequence number of the newest journaled application, if any —
+    /// telemetry uses it to tag shard trace spans with the speculation
+    /// point they ran under.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.seq)
+    }
+
     /// Speculatively applies one update. Returns `Some(value)` iff the
     /// source's filter was violated, i.e. the update is a tentative
     /// *report*: the value is applied, marked reported, and one message of

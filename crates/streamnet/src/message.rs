@@ -91,6 +91,14 @@ impl Ledger {
         self.broadcast_ops
     }
 
+    /// Snapshot of the per-kind counters in [`MessageKind::ALL`] order —
+    /// the raw array telemetry taps diff around fleet operations to
+    /// attribute messages to protocol causes without touching the
+    /// authoritative counts.
+    pub fn kind_counts(&self) -> [u64; 5] {
+        self.counts
+    }
+
     /// Adds another ledger's counts into this one.
     pub fn merge(&mut self, other: &Ledger) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

@@ -1,0 +1,257 @@
+//! A mergeable log-bucketed histogram of `u64` samples.
+//!
+//! The bucket layout is the HdrHistogram family's: values below
+//! `2 * SUBBUCKETS` are recorded exactly (bucket width 1); above that, each
+//! power-of-two decade is split into [`SUBBUCKETS`] sub-buckets, so the
+//! relative quantization error is bounded by `1 / SUBBUCKETS` (~3.1%)
+//! at every magnitude up to `u64::MAX`. Memory is a fixed
+//! [`NUM_BUCKETS`]`-entry` count array (~15 KiB) regardless of sample
+//! count, and **merging is exact**: two histograms over disjoint sample
+//! sets combine by element-wise count addition into precisely the
+//! histogram of the union — the property that lets per-shard and
+//! per-partition latency distributions roll up without resampling.
+
+/// Sub-buckets per power-of-two decade (the precision knob).
+pub const SUBBUCKETS: u64 = 32;
+/// log2 of [`SUBBUCKETS`].
+const SUB_BITS: u32 = 5;
+/// Values below this are recorded exactly (unit-width buckets).
+const EXACT_MAX: u64 = 2 * SUBBUCKETS;
+/// Total bucket count: 64 exact buckets plus 32 per decade for the
+/// remaining 58 decades of the `u64` range.
+pub const NUM_BUCKETS: usize = (EXACT_MAX + (63 - SUB_BITS) as u64 * SUBBUCKETS) as usize;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) - SUBBUCKETS;
+        (EXACT_MAX + (shift as u64 - 1) * SUBBUCKETS + sub) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `b`.
+#[inline]
+fn bucket_lo(b: usize) -> u64 {
+    let b = b as u64;
+    if b < EXACT_MAX {
+        b
+    } else {
+        let decade = (b - EXACT_MAX) / SUBBUCKETS;
+        let sub = (b - EXACT_MAX) % SUBBUCKETS;
+        (SUBBUCKETS + sub) << (decade + 1)
+    }
+}
+
+/// Largest value mapping to bucket `b`.
+#[inline]
+fn bucket_hi(b: usize) -> u64 {
+    if b + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(b + 1) - 1
+    }
+}
+
+/// A bounded-memory histogram of `u64` samples with exact merge.
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (allocates its fixed bucket array once).
+    pub fn new() -> Self {
+        Self { buckets: Box::new([0; NUM_BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample. No allocation, O(1).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of the recorded samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Exact smallest recorded sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Exact largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`): the representative
+    /// (bucket midpoint) of the bucket holding the `ceil(p/100 · count)`-th
+    /// smallest sample. Exact for values below `2 * SUBBUCKETS`; within
+    /// `1/SUBBUCKETS` relative error otherwise. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                let lo = bucket_lo(b).max(self.min);
+                let hi = bucket_hi(b).min(self.max);
+                return Some((lo as f64 + hi as f64) / 2.0);
+            }
+        }
+        unreachable!("cumulative count must reach self.count")
+    }
+
+    /// Adds `other`'s counts into `self` — exact: the result is precisely
+    /// the histogram of the concatenated sample sets.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Inclusive value range `[lo, hi]` of the bucket that `v` falls in —
+    /// the quantization interval a recorded sample is reported within.
+    pub fn value_range(v: u64) -> (u64, u64) {
+        let b = bucket_of(v);
+        (bucket_lo(b), bucket_hi(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut prev_hi = None;
+        for b in 0..NUM_BUCKETS {
+            let lo = bucket_lo(b);
+            let hi = bucket_hi(b);
+            assert!(lo <= hi, "bucket {b}: lo {lo} > hi {hi}");
+            assert_eq!(bucket_of(lo), b, "lo of bucket {b} maps back");
+            assert_eq!(bucket_of(hi), b, "hi of bucket {b} maps back");
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1u64, "gap before bucket {b}");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..EXACT_MAX {
+            h.record(v);
+        }
+        for v in 0..EXACT_MAX {
+            let p = (v + 1) as f64 / EXACT_MAX as f64 * 100.0;
+            assert_eq!(h.percentile(p), Some(v as f64), "p{p} of 0..{EXACT_MAX}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 1_000, 65_537, 1 << 33, u64::MAX / 3] {
+            let (lo, hi) = LogHistogram::value_range(v);
+            assert!(lo <= v && v <= hi);
+            assert!(
+                (hi - lo) as f64 / lo as f64 <= 1.0 / SUBBUCKETS as f64 + 1e-12,
+                "bucket [{lo}, {hi}] too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p} after merge");
+        }
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! A typed, insertion-ordered metrics registry with JSON snapshots.
+//!
+//! Producers re-register their current values into a fresh [`Registry`]
+//! whenever a snapshot is requested (registration is a handful of pushes —
+//! there is no background sampling), so the registry is a *schema*, not a
+//! store: every consumer of [`Registry::to_json`] reads the same dotted-key
+//! layout regardless of which subsystem produced which field.
+
+use crate::hist::LogHistogram;
+
+/// One registered metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic count.
+    Counter(u64),
+    /// An instantaneous float reading (non-finite values serialize as
+    /// `null`).
+    Gauge(f64),
+    /// A histogram summary: count, mean, min/max, and the standard
+    /// percentile ladder.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Mean sample value.
+        mean: Option<f64>,
+        /// Exact minimum.
+        min: Option<u64>,
+        /// Exact maximum.
+        max: Option<u64>,
+        /// p50 / p90 / p99 (bucket representatives).
+        p50: Option<f64>,
+        /// 90th percentile.
+        p90: Option<f64>,
+        /// 99th percentile.
+        p99: Option<f64>,
+    },
+}
+
+/// An insertion-ordered set of named metric values.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter under `name` (dotted keys by convention, e.g.
+    /// `server.batches`).
+    pub fn counter(&mut self, name: &str, v: u64) {
+        self.entries.push((name.to_string(), MetricValue::Counter(v)));
+    }
+
+    /// Registers a gauge under `name`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.entries.push((name.to_string(), MetricValue::Gauge(v)));
+    }
+
+    /// Registers a histogram summary under `name`.
+    pub fn histogram(&mut self, name: &str, h: &LogHistogram) {
+        self.entries.push((
+            name.to_string(),
+            MetricValue::Histogram {
+                count: h.count(),
+                mean: h.mean(),
+                min: h.min(),
+                max: h.max(),
+                p50: h.percentile(50.0),
+                p90: h.percentile(90.0),
+                p99: h.percentile(99.0),
+            },
+        ));
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered entries, in insertion order.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Serializes the registry as one flat JSON object in insertion order.
+    /// Counters and gauges are plain numbers (non-finite gauges become
+    /// `null`); histograms are nested objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": "));
+            match v {
+                MetricValue::Counter(c) => out.push_str(&format!("{c}")),
+                MetricValue::Gauge(g) => out.push_str(&json_f64(*g)),
+                MetricValue::Histogram { count, mean, min, max, p50, p90, p99 } => {
+                    let fmt_u = |v: &Option<u64>| {
+                        v.map(|v| format!("{v}")).unwrap_or_else(|| "null".to_string())
+                    };
+                    out.push_str(&format!(
+                        "{{\"count\": {count}, \"mean\": {}, \"min\": {}, \"max\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        json_opt_f64(*mean),
+                        fmt_u(min),
+                        fmt_u(max),
+                        json_opt_f64(*p50),
+                        json_opt_f64(*p90),
+                        json_opt_f64(*p99),
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn snapshot_roundtrips_through_the_parser() {
+        let mut reg = Registry::new();
+        reg.counter("server.batches", 42);
+        reg.gauge("server.skew", 1.5);
+        reg.gauge("server.undefined", f64::NAN);
+        let mut h = LogHistogram::new();
+        h.record(10);
+        h.record(20);
+        reg.histogram("server.batch_ns", &h);
+
+        let parsed = json::parse(&reg.to_json()).expect("snapshot is valid JSON");
+        assert_eq!(parsed.get("server.batches").and_then(|v| v.as_f64()), Some(42.0));
+        assert_eq!(parsed.get("server.skew").and_then(|v| v.as_f64()), Some(1.5));
+        assert!(parsed.get("server.undefined").expect("present").is_null());
+        let hist = parsed.get("server.batch_ns").expect("histogram object");
+        assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(hist.get("min").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(hist.get("p99").and_then(|v| v.as_f64()), Some(20.0));
+    }
+}

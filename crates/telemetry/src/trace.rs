@@ -1,0 +1,357 @@
+//! Bounded structured trace rings and Chrome trace-event export.
+//!
+//! Each traced component (the coordinator, the fleet-op router, every
+//! shard) owns one [`TraceRing`] — a bounded vector of [`TraceEvent`]s
+//! recording `B`egin/`E`nd span pairs and `i`nstant markers, each tagged
+//! with the speculation-log sequence number the work carried. Rings share
+//! one epoch [`Instant`], so their timestamps land on one timeline and
+//! [`chrome_trace`] can merge them into Chrome trace-event JSON (open in
+//! Perfetto or `chrome://tracing`).
+//!
+//! The [`TraceDepth`] gate makes disabled tracing near-free: every
+//! recording call compares two enum discriminants and returns. When a ring
+//! fills, new spans are suppressed **as balanced pairs** (a suppressed
+//! `begin` suppresses its matching `end`), so a truncated ring still
+//! exports a well-formed timeline; [`TraceRing::dropped`] reports the loss.
+//!
+//! Determinism contract: rings record wall-clock *observations* only. No
+//! protocol decision may ever read a ring or a timestamp, so tracing at any
+//! depth cannot perturb the byte-identical answers the differential suites
+//! pin.
+
+use std::time::Instant;
+
+use crate::json;
+
+/// How much of the timeline to record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceDepth {
+    /// Record nothing (the default; recording calls are a branch).
+    #[default]
+    Off,
+    /// Window-level spans: scatter, gather, report drains, cuts.
+    Coarse,
+    /// Everything: per-fleet-op scatter/gathers, forest refreshes,
+    /// deferred flushes, per-shard evaluation internals.
+    Fine,
+}
+
+/// The phase of one trace entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span begin (`ph: "B"`).
+    Begin,
+    /// Span end (`ph: "E"`).
+    End,
+    /// Instant marker (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Static span name (empty for `End`).
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Nanoseconds since the shared epoch.
+    pub ts_ns: u64,
+    /// The speculation-log sequence number the work carried (0 when none).
+    pub seq: u64,
+}
+
+/// A bounded ring of trace events with a depth gate.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    depth: TraceDepth,
+    capacity: usize,
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+    /// Open spans whose `begin` was suppressed (ring full); their `end`s
+    /// are suppressed too, keeping the ring balanced.
+    suppressed_open: u32,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring recording at `depth`, holding at most `capacity` events,
+    /// with timestamps measured from `epoch`.
+    pub fn new(depth: TraceDepth, capacity: usize, epoch: Instant) -> Self {
+        let cap = if depth == TraceDepth::Off { 0 } else { capacity };
+        Self {
+            depth,
+            capacity: cap,
+            epoch,
+            events: Vec::with_capacity(cap.min(1024)),
+            suppressed_open: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled ring (records nothing, allocates nothing).
+    pub fn disabled() -> Self {
+        Self::new(TraceDepth::Off, 0, Instant::now())
+    }
+
+    /// The ring's recording depth.
+    pub fn depth(&self) -> TraceDepth {
+        self.depth
+    }
+
+    /// Whether events at `required` depth are being recorded.
+    #[inline]
+    pub fn enabled(&self, required: TraceDepth) -> bool {
+        required != TraceDepth::Off && self.depth >= required
+    }
+
+    /// Events suppressed because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span if the ring records at `required` depth. Must be paired
+    /// with [`TraceRing::end`] at the same depth.
+    #[inline]
+    pub fn begin(&mut self, required: TraceDepth, name: &'static str, seq: u64) {
+        if !self.enabled(required) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.suppressed_open += 1;
+            self.dropped += 1;
+            return;
+        }
+        let ts_ns = self.now_ns();
+        self.events.push(TraceEvent { name, phase: TracePhase::Begin, ts_ns, seq });
+    }
+
+    /// Closes the innermost open span recorded at `required` depth.
+    #[inline]
+    pub fn end(&mut self, required: TraceDepth) {
+        if !self.enabled(required) {
+            return;
+        }
+        if self.suppressed_open > 0 {
+            self.suppressed_open -= 1;
+            return;
+        }
+        let ts_ns = self.now_ns();
+        self.events.push(TraceEvent { name: "", phase: TracePhase::End, ts_ns, seq: 0 });
+    }
+
+    /// Records an instant marker.
+    #[inline]
+    pub fn instant(&mut self, required: TraceDepth, name: &'static str, seq: u64) {
+        if !self.enabled(required) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let ts_ns = self.now_ns();
+        self.events.push(TraceEvent { name, phase: TracePhase::Instant, ts_ns, seq });
+    }
+
+    /// Drains the recorded events (the ring keeps recording afterwards).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+fn push_ts(out: &mut String, ts_ns: u64) {
+    // Chrome trace timestamps are microseconds; keep nanosecond precision
+    // as a 3-decimal fraction.
+    out.push_str(&format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000));
+}
+
+/// Serializes named tracks of trace events as Chrome trace-event JSON.
+/// Each track becomes one `tid` under `pid` 1, labeled with a
+/// `thread_name` metadata event; span events carry their speculation
+/// sequence number in `args.seq`.
+pub fn chrome_trace(tracks: &[(u32, &str, Vec<TraceEvent>)]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for (tid, name, events) in tracks {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{name}\"}}}}"
+        ));
+        for ev in events {
+            out.push_str(",\n");
+            match ev.phase {
+                TracePhase::Begin => {
+                    out.push_str(&format!("{{\"name\": \"{}\", \"ph\": \"B\", \"ts\": ", ev.name));
+                    push_ts(&mut out, ev.ts_ns);
+                    out.push_str(&format!(
+                        ", \"pid\": 1, \"tid\": {tid}, \"args\": {{\"seq\": {}}}}}",
+                        ev.seq
+                    ));
+                }
+                TracePhase::End => {
+                    out.push_str("{\"ph\": \"E\", \"ts\": ");
+                    push_ts(&mut out, ev.ts_ns);
+                    out.push_str(&format!(", \"pid\": 1, \"tid\": {tid}}}"));
+                }
+                TracePhase::Instant => {
+                    out.push_str(&format!("{{\"name\": \"{}\", \"ph\": \"i\", \"ts\": ", ev.name));
+                    push_ts(&mut out, ev.ts_ns);
+                    out.push_str(&format!(
+                        ", \"pid\": 1, \"tid\": {tid}, \"s\": \"t\", \"args\": {{\"seq\": {}}}}}",
+                        ev.seq
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Validates Chrome trace-event JSON: the document must parse, and per
+/// `(pid, tid)` track the timestamps must be monotone non-decreasing with
+/// balanced `B`/`E` events. Returns the number of non-metadata events.
+pub fn validate_chrome_trace(src: &str) -> Result<usize, String> {
+    let doc = json::parse(src)?;
+    let events =
+        doc.get("traceEvents").and_then(|v| v.as_array()).ok_or("missing traceEvents array")?;
+    // (pid, tid) -> (last ts, open span count)
+    let mut tracks: Vec<((u64, u64), (f64, i64))> = Vec::new();
+    let mut checked = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).ok_or(format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let pid =
+            ev.get("pid").and_then(|v| v.as_f64()).ok_or(format!("event {i}: missing pid"))? as u64;
+        let tid =
+            ev.get("tid").and_then(|v| v.as_f64()).ok_or(format!("event {i}: missing tid"))? as u64;
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).ok_or(format!("event {i}: missing ts"))?;
+        let key = (pid, tid);
+        let entry = match tracks.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, state)) => state,
+            None => {
+                tracks.push((key, (f64::NEG_INFINITY, 0)));
+                &mut tracks.last_mut().expect("just pushed").1
+            }
+        };
+        if ts < entry.0 {
+            return Err(format!("event {i}: ts {ts} goes backwards on track {key:?}"));
+        }
+        entry.0 = ts;
+        match ph {
+            "B" => {
+                if ev.get("name").and_then(|v| v.as_str()).is_none() {
+                    return Err(format!("event {i}: B without a name"));
+                }
+                entry.1 += 1;
+            }
+            "E" => {
+                entry.1 -= 1;
+                if entry.1 < 0 {
+                    return Err(format!("event {i}: E without a matching B on track {key:?}"));
+                }
+            }
+            "i" | "I" => {}
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+        checked += 1;
+    }
+    for (key, (_, open)) in &tracks {
+        if *open != 0 {
+            return Err(format!("track {key:?}: {open} unclosed span(s)"));
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let mut r = TraceRing::disabled();
+        r.begin(TraceDepth::Coarse, "x", 1);
+        r.end(TraceDepth::Coarse);
+        r.instant(TraceDepth::Fine, "y", 2);
+        assert!(r.events().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn depth_gates_fine_under_coarse() {
+        let mut r = TraceRing::new(TraceDepth::Coarse, 64, Instant::now());
+        r.begin(TraceDepth::Coarse, "window", 1);
+        r.begin(TraceDepth::Fine, "op", 2); // gated out
+        r.end(TraceDepth::Fine);
+        r.end(TraceDepth::Coarse);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events()[0].name, "window");
+    }
+
+    #[test]
+    fn full_ring_suppresses_balanced_pairs() {
+        let mut r = TraceRing::new(TraceDepth::Coarse, 2, Instant::now());
+        r.begin(TraceDepth::Coarse, "a", 1);
+        r.end(TraceDepth::Coarse);
+        // Ring is now full: this pair is suppressed as a unit.
+        r.begin(TraceDepth::Coarse, "b", 2);
+        r.end(TraceDepth::Coarse);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let json = chrome_trace(&[(0, "t", r.take())]);
+        validate_chrome_trace(&json).expect("truncated ring still balanced");
+    }
+
+    #[test]
+    fn export_validates_and_timestamps_are_monotone() {
+        let epoch = Instant::now();
+        let mut a = TraceRing::new(TraceDepth::Fine, 1024, epoch);
+        let mut b = TraceRing::new(TraceDepth::Fine, 1024, epoch);
+        for i in 0..10u64 {
+            a.begin(TraceDepth::Coarse, "window", i);
+            b.begin(TraceDepth::Fine, "eval", i);
+            b.instant(TraceDepth::Fine, "cut", i);
+            b.end(TraceDepth::Fine);
+            a.end(TraceDepth::Coarse);
+        }
+        let json = chrome_trace(&[(0, "coordinator", a.take()), (2, "shard-0", b.take())]);
+        let n = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(n, 10 * 5);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("coordinator"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        // Unbalanced B.
+        let bad = r#"{"traceEvents": [
+            {"name": "x", "ph": "B", "ts": 1.0, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("unclosed"));
+        // Backwards time.
+        let bad = r#"{"traceEvents": [
+            {"name": "x", "ph": "B", "ts": 5.0, "pid": 1, "tid": 0},
+            {"ph": "E", "ts": 4.0, "pid": 1, "tid": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("backwards"));
+    }
+}

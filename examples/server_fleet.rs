@@ -9,12 +9,17 @@
 //! byte-identical.
 //!
 //! Run with: `cargo run --release --example server_fleet`
+//!
+//! Pass `--trace-out <path>` to dump the run's span timeline as Chrome
+//! trace-event JSON (open in Perfetto or `chrome://tracing`).
 
 use asf_core::engine::Engine;
 use asf_core::multi_query::{CellMode, MultiRangeZt};
 use asf_core::query::RangeQuery;
 use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
-use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
+use asf_server::{
+    CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer, TelemetryConfig, TraceDepth,
+};
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
 fn queries() -> Vec<RangeQuery> {
@@ -29,6 +34,15 @@ fn queries() -> Vec<RangeQuery> {
 }
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(argv.next().expect("--trace-out needs a path")),
+            other => panic!("unknown argument {other:?} (supported: --trace-out <path>)"),
+        }
+    }
+
     let mut w = SyntheticWorkload::new(SyntheticConfig {
         num_streams: 2_000,
         horizon: 200.0,
@@ -59,6 +73,11 @@ fn main() {
         channel_capacity: 2,
         coordinator: CoordMode::Pipelined,
         scatter: ScatterMode::Broadcast,
+        telemetry: TelemetryConfig {
+            causes: true,
+            trace: if trace_out.is_some() { TraceDepth::Fine } else { TraceDepth::Off },
+            trace_capacity: 65_536,
+        },
     };
     let protocol = MultiRangeZt::with_mode(queries(), CellMode::SourceResident).unwrap();
     let mut server = ShardedServer::new(&initial, protocol, config);
@@ -92,6 +111,22 @@ fn main() {
         m.scatter_ns as f64 / 1_000.0,
         m.shard_scan_ns.iter().sum::<u64>() as f64 / 1_000.0,
     );
+    let breakdown = server.cause_breakdown();
+    if breakdown.is_empty() {
+        println!("  causes:   (no protocol messages attributed)\n");
+    } else {
+        println!("  causes (messages by originating protocol decision):");
+        for line in breakdown.lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+    if let Some(path) = &trace_out {
+        let json = server.export_chrome_trace();
+        let events = asf_telemetry::validate_chrome_trace(&json).expect("trace must validate");
+        std::fs::write(path, &json).expect("write trace file");
+        println!("  trace:    {events} events -> {path}\n");
+    }
 
     // Reference: the single-threaded simulation engine.
     let protocol = MultiRangeZt::with_mode(queries(), CellMode::SourceResident).unwrap();

@@ -20,7 +20,9 @@ use asf_core::protocol::{FtNrp, FtNrpConfig, Protocol, Rtp, ZtRp};
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::FractionTolerance;
 use asf_core::workload::{EventBatch, UpdateEvent, Workload};
-use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
+use asf_server::{
+    CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer, TelemetryConfig, TraceDepth,
+};
 use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
@@ -172,6 +174,17 @@ where
         }
     }
     for (shards, mode, coordinator, scatter) in combos {
+        // Half the sweep runs with telemetry fully off, half with cause
+        // attribution + fine tracing: all of it must match the one scalar
+        // baseline, proving telemetry is purely observational.
+        let telemetry = match scatter {
+            ScatterMode::Eager => {
+                TelemetryConfig { causes: false, trace: TraceDepth::Off, trace_capacity: 0 }
+            }
+            ScatterMode::Broadcast => {
+                TelemetryConfig { causes: true, trace: TraceDepth::Fine, trace_capacity: 2048 }
+            }
+        };
         let config = ServerConfig {
             num_shards: shards,
             batch_size: 128,
@@ -179,6 +192,7 @@ where
             channel_capacity: 2,
             coordinator,
             scatter,
+            telemetry,
         };
         let mut server = ShardedServer::new(initial, make(), config);
         server.initialize();

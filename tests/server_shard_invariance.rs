@@ -16,7 +16,9 @@ use asf_core::protocol::{
 use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::{FractionTolerance, RankTolerance};
 use asf_core::workload::{UpdateEvent, VecWorkload, Workload};
-use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
+use asf_server::{
+    CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer, TelemetryConfig, TraceDepth,
+};
 use streamnet::StreamId;
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
@@ -58,6 +60,23 @@ where
         for mode in [ExecMode::Inline, ExecMode::Threaded] {
             for coordinator in [CoordMode::Serial, CoordMode::Pipelined] {
                 for scatter in [ScatterMode::Eager, ScatterMode::Broadcast] {
+                    // Telemetry must be purely observational, so the sweep
+                    // runs half its combinations with everything off and
+                    // half with cause attribution + fine tracing on: any
+                    // divergence between the halves would fail against the
+                    // one shared serial baseline.
+                    let telemetry = match scatter {
+                        ScatterMode::Eager => TelemetryConfig {
+                            causes: false,
+                            trace: TraceDepth::Off,
+                            trace_capacity: 0,
+                        },
+                        ScatterMode::Broadcast => TelemetryConfig {
+                            causes: true,
+                            trace: TraceDepth::Fine,
+                            trace_capacity: 4096,
+                        },
+                    };
                     let config = ServerConfig {
                         num_shards: shards,
                         batch_size: 128,
@@ -65,6 +84,7 @@ where
                         channel_capacity: 2,
                         coordinator,
                         scatter,
+                        telemetry,
                     };
                     let mut server = ShardedServer::new(&initial, make(), config);
                     server.initialize();
@@ -179,6 +199,53 @@ fn ft_rp_is_shard_invariant_and_oracle_agrees() {
 #[test]
 fn vt_max_is_shard_invariant() {
     assert_shard_invariant("VT-MAX", || VtMax::new(50.0).unwrap());
+}
+
+#[test]
+fn telemetry_depth_sweep_is_invisible_to_the_protocol() {
+    // RTP on a moving workload exercises cuts, rollbacks, probe storms, and
+    // reinit broadcasts; the outcome must be byte-identical across every
+    // trace depth × cause-attribution setting, and the trace export must
+    // always be well-formed Chrome trace JSON (empty when tracing is off).
+    let (initial, events) = fixture(0xC0FFEE);
+    let query = RankQuery::knn(500.0, 5).unwrap();
+
+    let mut engine = Engine::new(&initial, Rtp::new(query, 3).unwrap());
+    engine.initialize();
+    let mut w = VecWorkload::new(initial.clone(), events.clone());
+    engine.run(&mut w);
+
+    for causes in [false, true] {
+        for trace in [TraceDepth::Off, TraceDepth::Coarse, TraceDepth::Fine] {
+            let config = ServerConfig {
+                num_shards: 2,
+                batch_size: 64,
+                mode: ExecMode::Inline,
+                channel_capacity: 2,
+                coordinator: CoordMode::Pipelined,
+                scatter: ScatterMode::Broadcast,
+                telemetry: TelemetryConfig { causes, trace, trace_capacity: 1024 },
+            };
+            let mut server = ShardedServer::new(&initial, Rtp::new(query, 3).unwrap(), config);
+            server.initialize();
+            server.ingest_batch(&events);
+            let tag = format!("causes={causes} trace={trace:?}");
+            assert_eq!(server.answer(), engine.answer(), "{tag}: answers diverged");
+            assert_eq!(server.ledger(), engine.ledger(), "{tag}: ledgers diverged");
+
+            let json = server.export_chrome_trace();
+            let n = asf_telemetry::validate_chrome_trace(&json)
+                .unwrap_or_else(|e| panic!("{tag}: invalid trace: {e}"));
+            if trace == TraceDepth::Off {
+                assert_eq!(n, 0, "{tag}: off-depth trace must be empty");
+            } else {
+                assert!(n > 0, "{tag}: tracing on but no events recorded");
+            }
+            // Cause attribution follows its switch: the matrix is empty
+            // exactly when attribution is disabled.
+            assert_eq!(server.causes().grand_total() > 0, causes, "{tag}: cause matrix");
+        }
+    }
 }
 
 #[test]
