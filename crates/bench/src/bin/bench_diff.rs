@@ -98,7 +98,27 @@ fn main() -> ExitCode {
         ));
     }
 
-    // 2. Result rows: identities and per-row field sets.
+    // 2. Named top-level sub-objects whose key sets are part of the schema
+    // (e.g. the `recovery` block). Presence is scale-dependent for some of
+    // them (`telemetry_overhead` is `null` under `--quick`), so the key-set
+    // comparison only runs when both sides materialized an object.
+    for name in ["recovery", "telemetry_overhead"] {
+        let (Some(c), Some(f)) = (committed.get(name), fresh.get(name)) else { continue };
+        if c.as_object().is_none() || f.as_object().is_none() {
+            continue;
+        }
+        let ck = top_level_keys(c);
+        let fk = top_level_keys(f);
+        for k in ck.difference(&fk) {
+            schema_errors.push(format!("{name}.{k} missing from fresh snapshot"));
+        }
+        for k in fk.difference(&ck) {
+            schema_errors
+                .push(format!("{name}.{k} is new (update BENCH_server.json and the README)"));
+        }
+    }
+
+    // 3. Result rows: identities and per-row field sets.
     let empty: Vec<Value> = Vec::new();
     let rows_of = |v: &Value| -> Vec<Value> {
         v.get("results").and_then(Value::as_array).unwrap_or(&empty).to_vec()
@@ -130,7 +150,7 @@ fn main() -> ExitCode {
         }
     }
 
-    // 3. Advisory numeric drift on matching rows.
+    // 4. Advisory numeric drift on matching rows.
     let mut advisories = 0usize;
     for row in &committed_rows {
         let id = row_identity(row);

@@ -28,8 +28,24 @@
 //! ZT-NRP ingest walls with cause attribution + fine tracing on vs.
 //! everything off; the ratio is recorded and gated at full scale).
 //!
+//! A **recovery** measurement rides along (full runs and
+//! `--scenario recovery`): a 500k-source population (50k at `--quick`) is
+//! checkpointed mid-stream, crashed, and recovered. Recovery (checkpoint
+//! restore + journal-suffix replay) is raced against the checkpoint-free
+//! alternative: the product's own cold path, a fleet-wide `probe_all`
+//! reinitialization storm followed by a full journal replay (measured by
+//! deleting the snapshots and recovering again). A bare `probe_all`
+//! init — which does NOT reach the pre-crash state and deployed would
+//! cost two network messages per source — is recorded for reference.
+//! The state-equivalent ratio lands in the JSON's `recovery` object and
+//! is gated (> 1x) at full scale. `--fault-smoke` additionally forces one
+//! mid-checkpoint crash, recovers, and asserts byte-identity with the
+//! durable prefix.
+//!
 //! Flags: `--quick` (reduced scale), `--scenario <name>` (run one scenario
-//! only, e.g. `--scenario reinit_storm`), `--trace-out <path>` (rerun one
+//! only, e.g. `--scenario reinit_storm` or `--scenario recovery`),
+//! `--fault-smoke` (forced mid-checkpoint crash + recover + invariance
+//! check), `--trace-out <path>` (rerun one
 //! traced ZT-NRP configuration and write its span timeline as Chrome
 //! trace-event JSON), `--assert-scatter-budget` (fail
 //! unless broadcast-scatter coordinator time stays a sliver of ingest —
@@ -52,7 +68,8 @@ use asf_core::query::{RangeQuery, RankQuery};
 use asf_core::tolerance::FractionTolerance;
 use asf_core::workload::{UpdateEvent, Workload};
 use asf_server::{
-    CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer, TelemetryConfig, TraceDepth,
+    CheckpointMode, CoordMode, DurabilityConfig, ExecMode, ScatterMode, ServerConfig,
+    ShardedServer, TelemetryConfig, TraceDepth,
 };
 use bench_harness::Scale;
 use streamnet::StreamId;
@@ -514,6 +531,196 @@ fn main() {
         None
     };
 
+    // Recovery vs cold restart: the durability headline. A 500k-source
+    // population (50k at --quick) is checkpointed mid-stream and "crashed"
+    // (dropped without shutdown); recovery — latest checkpoint restore +
+    // journal-suffix replay — races the checkpoint-free restart: the
+    // product's own cold path (fleet-wide probe_all reinitialization
+    // storm + full journal replay, measured by deleting the snapshots and
+    // recovering again). Byte-identity of both recoveries is asserted
+    // against the crashed server before the clocks are compared.
+    let recovery = if only.is_none() || only.as_deref() == Some("recovery") {
+        let n_rec = if scale.is_quick() { 50_000 } else { 500_000 };
+        let horizon_rec = if scale.is_quick() { 6.0 } else { 48.0 };
+        eprintln!("recovery scenario: generating workload ({n_rec} streams) ...");
+        let rec_cfg = SyntheticConfig {
+            num_streams: n_rec,
+            horizon: horizon_rec,
+            seed,
+            ..Default::default()
+        };
+        let mut w = SyntheticWorkload::new(rec_cfg);
+        let initial_rec = w.initial_values();
+        let mut events_rec: Vec<UpdateEvent> = Vec::new();
+        while let Some(ev) = w.next_event() {
+            events_rec.push(ev);
+        }
+        let config = ServerConfig {
+            num_shards: 4,
+            batch_size: 8192,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_off(),
+        };
+        let dir = std::env::temp_dir().join(format!("asf-bench-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Cadence such that the last checkpoint lands mid-stream and
+        // recovery replays a real journal suffix (~1/8 of the events).
+        // Sync mode makes the checkpoint positions — and therefore the
+        // replayed suffix — deterministic; the ingest bill for that is not
+        // part of any timed section. (In Background mode this in-process
+        // ingest outruns the 26 MiB checkpoint writes, so the last landed
+        // checkpoint — and the measured replay — would be a race.)
+        let every = (events_rec.len() as u64 / 8).max(1);
+        let durable =
+            DurabilityConfig::new(&dir).checkpoint_every(every).mode(CheckpointMode::Sync);
+        let mut server = ShardedServer::new(&initial_rec, ZtNrp::new(query), config);
+        server.initialize();
+        server.enable_durability(durable.clone()).expect("open durability dir");
+        server.ingest_batch(&events_rec);
+        let journal_bytes = server.metrics().journal_bytes;
+        let checkpoints = server.metrics().checkpoints;
+        let crashed_answer = server.answer();
+        let crashed_messages = server.ledger().total();
+        drop(server); // crash: no shutdown, no final checkpoint
+
+        let t = Instant::now();
+        let recovered =
+            ShardedServer::recover(&initial_rec, ZtNrp::new(query), config, durable.clone())
+                .expect("recover from durability dir");
+        let recover_wall_ns = t.elapsed().as_nanos() as u64;
+        let replay_ns = recovered.metrics().recovery_replay_ns;
+        assert_eq!(recovered.events_processed(), events_rec.len() as u64);
+        assert_eq!(recovered.answer(), crashed_answer, "recovered answers diverged");
+        assert_eq!(recovered.ledger().total(), crashed_messages, "recovered ledger diverged");
+        recovered.shutdown();
+
+        // Cold restart without checkpoints: delete the snapshots and
+        // recover from the journal alone — the product's own cold path,
+        // which pays the fleet-wide probe_all reinitialization storm
+        // (attributed to `Cause::Recovery`) and then replays the *entire*
+        // stream history instead of a checkpoint suffix. This is the
+        // cheapest state-equivalent restart a server without checkpoints
+        // has; checkpoints exist precisely to collapse its full replay
+        // into a suffix replay.
+        for snap in ["snap-a.bin", "snap-b.bin"] {
+            let _ = std::fs::remove_file(dir.join(snap));
+        }
+        let t = Instant::now();
+        let cold = ShardedServer::recover(&initial_rec, ZtNrp::new(query), config, durable.clone())
+            .expect("journal-only recovery");
+        let cold_probe_all_recover_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(cold.answer(), crashed_answer, "journal-only recovery diverged");
+        assert_eq!(cold.ledger().total(), crashed_messages, "journal-only ledger diverged");
+        cold.shutdown();
+
+        // Bare probe_all reinitialization, for reference: fast in-process
+        // (each "probe" is a function call here; two network messages per
+        // source deployed), but it is NOT a restart option — it loses
+        // every adapted filter window, view, and rank order, so it cannot
+        // answer queries as the pre-crash server would.
+        let t = Instant::now();
+        let mut bare = ShardedServer::new(&initial_rec, ZtNrp::new(query), config);
+        bare.initialize();
+        let bare_probe_all_init_ns = t.elapsed().as_nanos() as u64;
+        let cold_probe_all_messages = bare.ledger().total();
+        bare.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let speedup = cold_probe_all_recover_ns as f64 / recover_wall_ns.max(1) as f64;
+        eprintln!(
+            "recovery: restore+replay {:.1}ms (replay {:.1}ms) vs probe_all storm + full \
+             journal replay {:.1}ms -> {speedup:.2}x (bare probe_all init alone: {:.1}ms and \
+             {cold_probe_all_messages} storm messages; not state-equivalent)",
+            recover_wall_ns as f64 / 1e6,
+            replay_ns as f64 / 1e6,
+            cold_probe_all_recover_ns as f64 / 1e6,
+            bare_probe_all_init_ns as f64 / 1e6
+        );
+        if !scale.is_quick() {
+            assert!(
+                speedup > 1.0,
+                "recovery gate: checkpoint restore + suffix replay ({recover_wall_ns}ns) must \
+                 beat probe_all reinitialization + full journal replay \
+                 ({cold_probe_all_recover_ns}ns)"
+            );
+        }
+        Some(format!(
+            "{{\"num_streams\": {n_rec}, \"events\": {}, \"checkpoint_every_events\": {every}, \
+             \"checkpoints\": {checkpoints}, \"journal_bytes\": {journal_bytes}, \
+             \"recover_wall_ns\": {recover_wall_ns}, \"recovery_replay_ns\": {replay_ns}, \
+             \"cold_probe_all_recover_ns\": {cold_probe_all_recover_ns}, \
+             \"cold_probe_all_messages\": {cold_probe_all_messages}, \
+             \"bare_probe_all_init_ns\": {bare_probe_all_init_ns}, \
+             \"recovery_speedup_vs_cold\": {speedup:.2}}}",
+            events_rec.len()
+        ))
+    } else {
+        None
+    };
+
+    // `--fault-smoke`: one forced mid-checkpoint crash + recovery +
+    // invariance check at small scale — the CI hook that proves the fault
+    // path end-to-end outside the unit suites.
+    if flag("--fault-smoke") {
+        let smoke_cfg =
+            SyntheticConfig { num_streams: 2_000, horizon: 20.0, seed, ..Default::default() };
+        let mut w = SyntheticWorkload::new(smoke_cfg);
+        let initial_s = w.initial_values();
+        let mut events_s: Vec<UpdateEvent> = Vec::new();
+        while let Some(ev) = w.next_event() {
+            events_s.push(ev);
+        }
+        let config = ServerConfig {
+            num_shards: 4,
+            batch_size: 1024,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_off(),
+        };
+        let dir = std::env::temp_dir().join(format!("asf-fault-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The ~2k-event workload crosses this cadence at its first chunk
+        // boundary, so the armed tear below fires deterministically.
+        let durable = DurabilityConfig::new(&dir).checkpoint_every(512).mode(CheckpointMode::Sync);
+        let mut server = ShardedServer::new(&initial_s, ZtNrp::new(query), config);
+        server.initialize();
+        server.enable_durability(durable.clone()).expect("open durability dir");
+        // Tear partway into the first cadence checkpoint (the anchor has
+        // already landed): the handle poisons and later chunks drop.
+        server.durability_mut().expect("durability on").arm_checkpoint_crash(512);
+        server.ingest_batch(&events_s);
+        assert!(
+            server.durability_mut().expect("durability on").is_poisoned(),
+            "fault smoke: the armed checkpoint crash never fired"
+        );
+        let durable_events = server.events_processed() as usize;
+        drop(server); // crash
+        let mut recovered = ShardedServer::recover(&initial_s, ZtNrp::new(query), config, durable)
+            .expect("recover after mid-checkpoint crash");
+        let mut reference = ShardedServer::new(&initial_s, ZtNrp::new(query), config);
+        reference.initialize();
+        reference.ingest_batch(&events_s[..durable_events]);
+        assert_eq!(recovered.events_processed(), durable_events as u64);
+        assert_eq!(recovered.answer(), reference.answer(), "fault smoke: answers diverged");
+        assert_eq!(recovered.ledger(), reference.ledger(), "fault smoke: ledgers diverged");
+        assert_eq!(
+            recovered.truth_values(),
+            reference.truth_values(),
+            "fault smoke: ground truth diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        eprintln!(
+            "fault smoke ok: mid-checkpoint crash at {durable_events}/{} events recovered \
+             byte-identical to the durable prefix",
+            events_s.len()
+        );
+    }
+
     // Headline speedups come from the pipelined coordinator + broadcast
     // scatter (the defaults) in inline mode — the per-shard work model on
     // this container.
@@ -632,6 +839,7 @@ fn main() {
             ))
             .unwrap_or_else(|| "null".into())
     );
+    let _ = writeln!(json, "  \"recovery\": {},", recovery.as_deref().unwrap_or("null"));
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));

@@ -83,6 +83,31 @@ impl AnswerSet {
         }
     }
 
+    /// Serializes the set as a canonical ascending member list — identical
+    /// history-independent bytes whatever insert/remove sequence built it.
+    pub fn encode(&self, w: &mut asf_persist::StateWriter) {
+        w.put_u64(self.len as u64);
+        for id in self.iter() {
+            w.put_u32(id.0);
+        }
+    }
+
+    /// Decodes a set written by [`AnswerSet::encode`].
+    pub fn decode(r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<Self> {
+        let n = r.get_u64()? as usize;
+        if n > r.remaining() / 4 {
+            return Err(asf_persist::PersistError::corrupt("answer set longer than payload"));
+        }
+        let mut set = AnswerSet::new();
+        for _ in 0..n {
+            set.insert(StreamId(r.get_u32()?));
+        }
+        if set.len() != n {
+            return Err(asf_persist::PersistError::corrupt("duplicate answer set member"));
+        }
+        Ok(set)
+    }
+
     /// Computes the Definition-2 error counts of this answer against a
     /// membership predicate over the whole population `0..n`.
     ///
@@ -216,6 +241,24 @@ mod tests {
         let mut a = ids(&[1]);
         assert!(!a.remove(StreamId(1000)));
         assert!(!a.contains(StreamId(1000)));
+    }
+
+    #[test]
+    fn encode_is_canonical_and_round_trips() {
+        let mut a = ids(&[1, 500, 9]);
+        a.remove(StreamId(500)); // leaves trailing zero words behind
+        let b = ids(&[1, 9]);
+        let enc = |s: &AnswerSet| {
+            let mut w = asf_persist::StateWriter::new();
+            s.encode(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(enc(&a), enc(&b), "encoding must not leak storage history");
+        let bytes = enc(&a);
+        let mut r = asf_persist::StateReader::new(&bytes);
+        let back = AnswerSet::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use std::collections::VecDeque;
 
-use asf_telemetry::Cause;
+use asf_persist::{PersistError, StateReader, StateWriter};
+use asf_telemetry::{Cause, CauseLedger, NUM_KIND_SLOTS};
 use simkit::SimTime;
 use streamnet::{Filter, FleetOps, Ledger, ServerView, SourceFleet, StreamId};
 
@@ -164,9 +165,17 @@ impl<P: Protocol> ProtocolCore<P> {
     /// Runs the protocol's Initialization phase against `fleet` and drains
     /// all induced sync reports (idempotent guard: panics if called twice).
     pub fn initialize(&mut self, fleet: &mut dyn FleetOps) {
+        self.initialize_with_cause(fleet, Cause::Init);
+    }
+
+    /// Like [`ProtocolCore::initialize`], but attributes the startup
+    /// messages to `cause` — crash recovery labels its cold-start probe
+    /// storm [`Cause::Recovery`] so post-restart message accounting is
+    /// distinguishable from a first boot.
+    pub fn initialize_with_cause(&mut self, fleet: &mut dyn FleetOps, cause: Cause) {
         assert!(!self.initialized, "engine already initialized");
         self.initialized = true;
-        self.run_handler(fleet, Cause::Init, |protocol, ctx| protocol.initialize(ctx));
+        self.run_handler(fleet, cause, |protocol, ctx| protocol.initialize(ctx));
         self.drain_pending(fleet);
     }
 
@@ -294,6 +303,74 @@ impl<P: Protocol> ProtocolCore<P> {
     /// configured trace ring and toggle cause attribution.
     pub fn telemetry_mut(&mut self) -> &mut CoreTelemetry {
         &mut self.telem
+    }
+
+    /// Serializes the core's durable state at a quiescent point: the view,
+    /// the message ledger, the protocol's mutable state, and the report
+    /// counter. Configuration (population, tolerances, rank mode) is *not*
+    /// written — [`ProtocolCore::load_state`] restores into a core built
+    /// with the same constructor arguments. The per-cause message matrix is
+    /// included (it is message accounting, deterministic); wall-clock
+    /// observables (ctx stats, trace rings) are excluded because they
+    /// cannot be reproduced byte-identically across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is mid-cascade (pending sync reports or deferred
+    /// installs queued) — checkpoints are only meaningful at quiescence.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        assert!(
+            self.pending.is_empty() && self.deferred.is_empty(),
+            "save_state requires a quiescent core (no pending syncs or deferred installs)"
+        );
+        w.put_bool(self.initialized);
+        w.put_u64(self.reports_processed);
+        self.view.encode(w);
+        self.ledger.encode(w);
+        self.protocol.save_state(w);
+        // The per-cause attribution matrix rides along so a recovered
+        // server's cause breakdown matches one that never crashed. Fixed
+        // width: NUM_CAUSES × NUM_KIND_SLOTS counters in `Cause::ALL`
+        // order.
+        for cause in Cause::ALL {
+            for &n in self.telem.causes.row(cause) {
+                w.put_u64(n);
+            }
+        }
+    }
+
+    /// Restores state written by [`ProtocolCore::save_state`] into a core
+    /// constructed with the same configuration (population, protocol
+    /// config, rank mode/parts). The rank index is not serialized — it is
+    /// rebuilt from the restored view, which yields the identical treap
+    /// (priorities derive deterministically from stream ids).
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> asf_persist::Result<()> {
+        let initialized = r.get_bool()?;
+        let reports_processed = r.get_u64()?;
+        let view = ServerView::decode(r)?;
+        if view.len() != self.view.len() {
+            return Err(PersistError::corrupt("snapshot population differs from configuration"));
+        }
+        let ledger = Ledger::decode(r)?;
+        self.protocol.load_state(r)?;
+        let mut causes = CauseLedger::new();
+        for cause in Cause::ALL {
+            for kind in 0..NUM_KIND_SLOTS {
+                causes.add(cause, kind, r.get_u64()?);
+            }
+        }
+        self.telem.causes = causes;
+        self.initialized = initialized;
+        self.reports_processed = reports_processed;
+        self.view = view;
+        self.ledger = ledger;
+        if let Some(index) = self.rank.as_mut() {
+            if !self.view.all_known() {
+                return Err(PersistError::corrupt("rank snapshot with partially-known view"));
+            }
+            index.rebuild_from_view(&self.view);
+        }
+        Ok(())
     }
 }
 
@@ -465,6 +542,37 @@ impl<P: Protocol> Engine<P> {
     pub fn telemetry_mut(&mut self) -> &mut CoreTelemetry {
         self.core.telemetry_mut()
     }
+
+    /// Serializes the whole simulation state (clock, event counter, source
+    /// fleet, and the core via [`ProtocolCore::save_state`]) at a quiescent
+    /// point. Restore with [`Engine::load_state`] into an engine built with
+    /// the same constructor arguments.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.now);
+        w.put_u64(self.events_processed);
+        self.fleet.encode(w);
+        self.core.save_state(w);
+    }
+
+    /// Restores state written by [`Engine::save_state`] into an engine
+    /// constructed with the same configuration (population size, protocol
+    /// config, rank mode). Corrupt input is rejected without panicking.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> asf_persist::Result<()> {
+        let now = r.get_f64()?;
+        if now.is_nan() {
+            return Err(PersistError::corrupt("snapshot clock is NaN"));
+        }
+        let events_processed = r.get_u64()?;
+        let fleet = SourceFleet::decode(r)?;
+        if fleet.len() != self.fleet.len() {
+            return Err(PersistError::corrupt("snapshot fleet size differs from configuration"));
+        }
+        self.core.load_state(r)?;
+        self.now = now;
+        self.events_processed = events_processed;
+        self.fleet = fleet;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +602,20 @@ mod tests {
         }
         fn answer(&self) -> AnswerSet {
             self.answer.clone()
+        }
+        fn save_state(&self, w: &mut StateWriter) {
+            w.put_u64(self.seen.len() as u64);
+            for &(id, v) in &self.seen {
+                w.put_u32(id.0);
+                w.put_f64(v);
+            }
+        }
+        fn load_state(&mut self, r: &mut StateReader<'_>) -> asf_persist::Result<()> {
+            let n = r.get_u64()? as usize;
+            self.seen = (0..n)
+                .map(|_| Ok((StreamId(r.get_u32()?), r.get_f64()?)))
+                .collect::<asf_persist::Result<_>>()?;
+            Ok(())
         }
     }
 
@@ -604,5 +726,54 @@ mod tests {
         let mut calls = 0;
         engine.run_with_hook(&mut w, |_, _, _| calls += 1);
         assert_eq!(calls, 3); // post-init + 2 events
+    }
+
+    #[test]
+    fn engine_snapshot_restores_mid_run_and_resumes_identically() {
+        let initial = vec![500.0, 100.0, 300.0];
+        let filter = Filter::interval(400.0, 600.0);
+        let events = [ev(1.0, 0, 700.0), ev(2.0, 1, 450.0), ev(3.0, 2, 420.0), ev(4.0, 0, 410.0)];
+        let make = || {
+            Engine::new(
+                &initial,
+                Recorder { filter: filter.clone(), seen: Vec::new(), answer: AnswerSet::new() },
+            )
+        };
+
+        // Run halfway, snapshot, keep running to the end.
+        let mut live = make();
+        live.initialize();
+        live.apply_event(events[0]);
+        live.apply_event(events[1]);
+        let mut w = asf_persist::StateWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+        live.apply_event(events[2]);
+        live.apply_event(events[3]);
+
+        // Restore the snapshot into a fresh engine and replay the suffix.
+        let mut restored = make();
+        let mut r = asf_persist::StateReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.now(), 2.0);
+        assert_eq!(restored.events_processed(), 2);
+        restored.apply_event(events[2]);
+        restored.apply_event(events[3]);
+
+        assert_eq!(restored.ledger(), live.ledger());
+        assert_eq!(restored.view(), live.view());
+        assert_eq!(restored.events_processed(), live.events_processed());
+        assert_eq!(restored.reports_processed(), live.reports_processed());
+        assert_eq!(restored.protocol().seen, live.protocol().seen);
+        assert_eq!(
+            restored.telemetry().causes(),
+            live.telemetry().causes(),
+            "cause attribution must survive the snapshot"
+        );
+
+        // A truncated snapshot is corruption, not a panic.
+        let mut short = make();
+        assert!(short.load_state(&mut asf_persist::StateReader::new(&bytes[..9])).is_err());
     }
 }

@@ -150,6 +150,22 @@ impl Protocol for MultiRangeZt {
     fn answer(&self) -> AnswerSet {
         self.answers.iter().flat_map(|a| a.iter()).collect()
     }
+
+    fn save_state(&self, w: &mut asf_persist::StateWriter) {
+        w.put_u64(self.answers.len() as u64);
+        for a in &self.answers {
+            a.encode(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<()> {
+        let m = r.get_u64()? as usize;
+        if m != self.queries.len() {
+            return Err(asf_persist::PersistError::corrupt("answer count != query count"));
+        }
+        self.answers = (0..m).map(|_| AnswerSet::decode(r)).collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -28,10 +28,28 @@ pub use vt_max::VtMax;
 pub use zt_nrp::ZtNrp;
 pub use zt_rp::ZtRp;
 
+use asf_persist::{PersistError, StateReader, StateWriter};
 use streamnet::StreamId;
 
 use crate::answer::AnswerSet;
 use crate::query::RankSpace;
+
+/// Encodes a `StreamId` list (length-prefixed) for protocol state.
+pub(crate) fn put_ids(w: &mut StateWriter, ids: &[StreamId]) {
+    w.put_u64(ids.len() as u64);
+    for id in ids {
+        w.put_u32(id.0);
+    }
+}
+
+/// Decodes a `StreamId` list written by [`put_ids`].
+pub(crate) fn get_ids(r: &mut StateReader<'_>) -> asf_persist::Result<Vec<StreamId>> {
+    let n = r.get_u64()? as usize;
+    if n > r.remaining() / 4 {
+        return Err(PersistError::corrupt("id list longer than payload"));
+    }
+    (0..n).map(|_| r.get_u32().map(StreamId)).collect()
+}
 
 /// A server-side filter-bound protocol.
 ///
@@ -55,6 +73,25 @@ pub trait Protocol: Send + Sync {
 
     /// The current answer set `A(t)` returned to the user.
     fn answer(&self) -> AnswerSet;
+
+    /// Serializes the protocol's **mutable** state into a checkpoint.
+    ///
+    /// Configuration (queries, tolerances, heuristics, seeds) is *not*
+    /// written: recovery reconstructs the protocol from the same
+    /// configuration and then loads the mutable state on top. The default
+    /// writes nothing and is correct only for stateless protocols; every
+    /// stateful protocol must override it (the recovery differential test
+    /// fails loudly if one forgets).
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores the mutable state written by [`Protocol::save_state`] into
+    /// a freshly configured protocol.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> asf_persist::Result<()> {
+        let _ = r;
+        Ok(())
+    }
 
     /// The rank space this protocol orders streams by, if it is a
     /// rank-query protocol.

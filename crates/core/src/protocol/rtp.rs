@@ -321,6 +321,24 @@ impl Protocol for Rtp {
         self.answer.clone()
     }
 
+    fn save_state(&self, w: &mut asf_persist::StateWriter) {
+        w.put_f64(self.d);
+        self.answer.encode(w);
+        let x: Vec<StreamId> = self.x.iter().copied().collect();
+        crate::protocol::put_ids(w, &x);
+        w.put_u64(self.reinits);
+        w.put_u64(self.expansions);
+    }
+
+    fn load_state(&mut self, r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<()> {
+        self.d = r.get_f64()?;
+        self.answer = AnswerSet::decode(r)?;
+        self.x = crate::protocol::get_ids(r)?.into_iter().collect();
+        self.reinits = r.get_u64()?;
+        self.expansions = r.get_u64()?;
+        Ok(())
+    }
+
     fn rank_space(&self) -> Option<RankSpace> {
         Some(self.query.space())
     }

@@ -57,6 +57,15 @@ impl Protocol for ZtNrp {
     fn answer(&self) -> AnswerSet {
         self.answer.clone()
     }
+
+    fn save_state(&self, w: &mut asf_persist::StateWriter) {
+        self.answer.encode(w);
+    }
+
+    fn load_state(&mut self, r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<()> {
+        self.answer = AnswerSet::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

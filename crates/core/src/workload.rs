@@ -137,6 +137,52 @@ impl EventBatch {
     pub fn byte_len(&self) -> usize {
         self.len() * Self::EVENT_BYTES
     }
+
+    /// Serializes the batch column-by-column (times, streams, values) for
+    /// the durability journal.
+    pub fn encode(&self, w: &mut asf_persist::StateWriter) {
+        w.put_u64(self.len() as u64);
+        for &t in &self.times {
+            w.put_f64(t);
+        }
+        for &s in &self.streams {
+            w.put_u32(s.0);
+        }
+        for &v in &self.values {
+            w.put_f64(v);
+        }
+    }
+
+    /// Decodes a batch written by [`EventBatch::encode`], re-validating the
+    /// workload invariants (time-ordered, finite values) so a corrupt
+    /// journal entry is rejected instead of replayed.
+    pub fn decode(r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<Self> {
+        let n = r.get_u64()? as usize;
+        if n > r.remaining() / Self::EVENT_BYTES + 1 {
+            return Err(asf_persist::PersistError::corrupt("event batch length implausible"));
+        }
+        let mut batch = Self::with_capacity(n);
+        let mut last = f64::NEG_INFINITY;
+        for _ in 0..n {
+            let t = r.get_f64()?;
+            if t.is_nan() || t < last {
+                return Err(asf_persist::PersistError::corrupt("journal events out of order"));
+            }
+            last = t;
+            batch.times.push(t);
+        }
+        for _ in 0..n {
+            batch.streams.push(StreamId(r.get_u32()?));
+        }
+        for _ in 0..n {
+            let v = r.get_f64()?;
+            if !v.is_finite() {
+                return Err(asf_persist::PersistError::corrupt("journal value not finite"));
+            }
+            batch.values.push(v);
+        }
+        Ok(batch)
+    }
 }
 
 /// A source of time-ordered update events.
@@ -282,6 +328,36 @@ mod tests {
         assert_eq!(batch.iter().collect::<Vec<_>>(), &evs[4..]);
         assert_eq!(w.next_batch(2, &mut batch), 0, "exhausted");
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn event_batch_encode_decode_round_trips() {
+        let mut batch = EventBatch::new();
+        batch.push(UpdateEvent { time: 1.0, stream: StreamId(3), value: 5.5 });
+        batch.push(UpdateEvent { time: 2.5, stream: StreamId(0), value: -6.25 });
+        let mut w = asf_persist::StateWriter::new();
+        batch.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = asf_persist::StateReader::new(&bytes);
+        let back = EventBatch::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, batch);
+
+        // Out-of-order times and absurd lengths are corruption, not data.
+        let mut w = asf_persist::StateWriter::new();
+        w.put_u64(2);
+        w.put_f64(2.0);
+        w.put_f64(1.0);
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_f64(0.0);
+        w.put_f64(0.0);
+        let bytes = w.into_bytes();
+        assert!(EventBatch::decode(&mut asf_persist::StateReader::new(&bytes)).is_err());
+        let mut w = asf_persist::StateWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(EventBatch::decode(&mut asf_persist::StateReader::new(&bytes)).is_err());
     }
 
     #[test]

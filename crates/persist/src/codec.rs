@@ -1,0 +1,281 @@
+//! Fixed-width little-endian state encoding.
+//!
+//! Every domain type that persists itself (filters, views, ledgers,
+//! protocol state) serializes through [`StateWriter`] / [`StateReader`] so
+//! the byte layout is defined in exactly one place. The encoding is
+//! deliberately boring: fixed-width little-endian integers, `f64` as raw
+//! IEEE-754 bits (`to_bits`/`from_bits`, so `-0.0`, infinities, and every
+//! NaN payload round-trip bit-exactly — byte-identical recovery depends on
+//! it), and length-prefixed byte strings. No varints, no implicit
+//! alignment, no versioning at this layer — files carry a versioned header
+//! and records carry tags; payloads are only ever decoded by the version
+//! that wrote them.
+
+use crate::{PersistError, Result};
+
+/// An append-only state encoder over a growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer reusing `buf` (cleared first) so checkpoint serialization
+    /// can recycle one allocation across rounds.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf }
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes, borrowed.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (`0` / `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends an `Option<f64>` as a presence byte plus (if present) the
+    /// raw bits.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+        }
+    }
+
+    /// Appends a length-prefixed (`u32`) byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds `u32::MAX` — no state blob in this
+    /// system comes within orders of magnitude of that.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("byte string too long");
+        self.put_u32(len);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// A cursor decoding what a [`StateWriter`] encoded.
+///
+/// Every getter fails with [`PersistError::Corrupt`] instead of panicking
+/// when the buffer is short — decoding always happens on bytes that came
+/// off a disk, and a CRC collision, however unlikely, must surface as an
+/// error, not a crash.
+#[derive(Clone, Copy, Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed — decoders call this last so a
+    /// payload with trailing garbage (wrong version, wrong type) is
+    /// rejected rather than silently half-read.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(PersistError::corrupt("trailing bytes after decoded state"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::corrupt("state payload truncated"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool encoded as one byte; any value other than `0`/`1` is
+    /// corruption.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::corrupt("invalid bool byte")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an `f64` from raw IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads an `Option<f64>` (presence byte plus raw bits).
+    pub fn get_opt_f64(&mut self) -> Result<Option<f64>> {
+        if self.get_bool()? {
+            Ok(Some(self.get_f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed byte string, borrowed from the buffer.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|_| PersistError::corrupt("string is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = StateWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::INFINITY);
+        w.put_opt_f64(None);
+        w.put_opt_f64(Some(42.5));
+        w.put_bytes(b"blob");
+        w.put_str("RTP");
+
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.get_opt_f64().unwrap(), None);
+        assert_eq!(r.get_opt_f64().unwrap(), Some(42.5));
+        assert_eq!(r.get_bytes().unwrap(), b"blob");
+        assert_eq!(r.get_str().unwrap(), "RTP");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_payloads_round_trip_bit_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = StateWriter::new();
+        w.put_f64(weird);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_f64().unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncation_errors_do_not_panic() {
+        let mut w = StateWriter::new();
+        w.put_u64(1);
+        w.put_bytes(b"payload");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = StateReader::new(&bytes[..cut]);
+            // Either read may fail; neither may panic, and a fully-read
+            // prefix must fail `finish`.
+            let ok = r.get_u64().is_ok() && r.get_bytes().is_ok() && r.finish().is_ok();
+            assert!(!ok, "truncated buffer decoded cleanly at {cut}");
+        }
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut w = StateWriter::new();
+        w.put_u32(5);
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 5);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_corruption() {
+        let mut r = StateReader::new(&[2]);
+        assert!(r.get_bool().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the integrity
+//! check framing every on-disk record.
+//!
+//! Implemented here so the stack stays dependency-free; the table is built
+//! in a `const` context, so there is no runtime initialization to race.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Slicing-by-8 lookup tables: `TABLES[0]` is the classic one-step-per-byte
+/// table; `TABLES[k][i]` advances the CRC of byte `i` through `k` further
+/// zero bytes, letting [`Crc32::update`] fold 8 input bytes per iteration.
+/// Recovery CRC-scans whole checkpoint images, so this is a hot loop.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// CRC-32 of `bytes` (initial value `!0`, final complement — the standard
+/// zlib/PNG parameterization).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Incremental CRC-32 over multiple slices — byte-identical to [`crc32`]
+/// of the concatenation, so record framing can checksum header and payload
+/// without copying them into one buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Feeds more bytes (slicing-by-8: one table fold per 8 input bytes,
+    /// byte-at-a-time for the tail).
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][c[4] as usize]
+                ^ TABLES[2][c[5] as usize]
+                ^ TABLES[1][c[6] as usize]
+                ^ TABLES[0][c[7] as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut inc = Crc32::new();
+            inc.update(&data[..split]);
+            inc.update(&data[split..]);
+            assert_eq!(inc.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"checkpoint payload";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip byte {i} bit {bit} undetected");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! Durable storage: double-buffered snapshots, an append-only journal, and
+//! crash-point fault injection.
+//!
+//! A persistence directory holds at most three data files:
+//!
+//! ```text
+//! dir/
+//!   snap-a.bin     alternating checkpoint slots — the newest valid one
+//!   snap-b.bin     wins at recovery; the other is the overwrite target
+//!   journal.log    append-only record of committed input chunks
+//! ```
+//!
+//! Snapshots are written tmp-file → `fsync` → atomic rename, alternating
+//! between the two slots, so a crash at *any* byte of a checkpoint write
+//! leaves the previous checkpoint untouched and selectable. The journal is
+//! append-only; a crash mid-append leaves a torn tail that
+//! [`Journal::open`] detects by CRC and physically truncates, so a record
+//! that was never fully written is never replayed.
+//!
+//! Every write path is routed through a byte-budget [`CrashPoint`]: tests
+//! arm it with `set_crash_after(bytes)` and the store dies (with
+//! [`PersistError::InjectedCrash`]) after exactly that many more bytes
+//! reach the file — landing tears at arbitrary offsets inside headers,
+//! payloads, and checksums.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{
+    decode_header, encode_header, encode_record, scan_records, FileKind, HEADER_LEN,
+};
+use crate::{PersistError, Result};
+
+/// Record tag for a checkpoint payload inside a snapshot file.
+pub const TAG_SNAPSHOT: u32 = 0x534E_4150; // "SNAP"
+/// Record tag for a committed input chunk inside the journal.
+pub const TAG_JOURNAL_CHUNK: u32 = 0x4A43_484B; // "JCHK"
+
+const SLOT_NAMES: [&str; 2] = ["snap-a.bin", "snap-b.bin"];
+const JOURNAL_NAME: &str = "journal.log";
+
+/// Byte-budget write fault injector.
+///
+/// Unarmed, writes pass through. Armed with a budget of `b`, the next `b`
+/// bytes are written normally and everything after them is dropped on the
+/// floor; the write that crosses the boundary (and every write after it)
+/// fails with [`PersistError::InjectedCrash`]. That models a process dying
+/// mid-`write(2)`: a prefix of the data is on disk, the rest never was.
+#[derive(Debug, Default)]
+pub struct CrashPoint {
+    budget: Option<u64>,
+}
+
+impl CrashPoint {
+    /// Arms the injector: fail after `bytes` more bytes reach disk.
+    pub fn arm(&mut self, bytes: u64) {
+        self.budget = Some(bytes);
+    }
+
+    /// Disarms the injector; writes pass through again.
+    pub fn disarm(&mut self) {
+        self.budget = None;
+    }
+
+    /// Whether a crash is armed and not yet spent.
+    pub fn is_armed(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// Writes `bytes` to `file` under the budget. On a budget crossing,
+    /// writes the surviving prefix and returns `InjectedCrash`.
+    fn write(&mut self, file: &mut File, bytes: &[u8]) -> Result<()> {
+        match self.budget {
+            None => {
+                file.write_all(bytes)?;
+                Ok(())
+            }
+            Some(ref mut budget) => {
+                let n = (*budget).min(bytes.len() as u64) as usize;
+                file.write_all(&bytes[..n])?;
+                *budget -= n as u64;
+                if n < bytes.len() {
+                    // The torn prefix must be as durable as a real crash
+                    // would leave it before the process dies.
+                    let _ = file.sync_all();
+                    Err(PersistError::InjectedCrash)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn fsync_dir(dir: &Path) -> Result<()> {
+    // Directory fsync makes the rename itself durable; on platforms where
+    // directories cannot be opened this is best-effort.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn read_file(path: &Path) -> Result<Option<Vec<u8>>> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Reads a snapshot image's *claimed* sequence number without validating
+/// the CRC — only good for ordering which slot to fully validate first.
+fn peek_snapshot_seq(bytes: &[u8]) -> Option<u64> {
+    if decode_header(bytes).ok()? != FileKind::Snapshot {
+        return None;
+    }
+    let seq = bytes.get(HEADER_LEN + 8..HEADER_LEN + 16)?;
+    Some(u64::from_le_bytes(seq.try_into().ok()?))
+}
+
+/// Validates a snapshot file image and locates its parts: the checkpoint
+/// sequence and the byte range of the state payload within the image.
+/// `None` if invalid in any way (wrong header, torn, extra records, wrong
+/// tag).
+fn parse_snapshot_bounds(bytes: &[u8]) -> Option<(u64, std::ops::Range<usize>)> {
+    if decode_header(bytes).ok()? != FileKind::Snapshot {
+        return None;
+    }
+    let body = &bytes[HEADER_LEN..];
+    let scan = scan_records(body);
+    if scan.torn_tail || scan.records.len() != 1 {
+        return None;
+    }
+    let rec = scan.records[0];
+    if rec.tag != TAG_SNAPSHOT || rec.payload.len() < 8 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(rec.payload[..8].try_into().ok()?);
+    // header | tag u32, len u32 | seq u64, state... | crc u32
+    let start = HEADER_LEN + 8 + 8;
+    Some((seq, start..start + rec.payload.len() - 8))
+}
+
+/// Parses a snapshot file image into `(seq, state)`; `None` if invalid in
+/// any way.
+fn parse_snapshot(bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
+    parse_snapshot_bounds(bytes).map(|(seq, range)| (seq, bytes[range].to_vec()))
+}
+
+/// A validated checkpoint, held as the raw slot-file image plus the bounds
+/// of the state payload inside it — recovery borrows the (multi-megabyte)
+/// state via [`state`](Self::state) instead of copying it out.
+#[derive(Debug)]
+pub struct SnapshotImage {
+    image: Vec<u8>,
+    state: std::ops::Range<usize>,
+    seq: u64,
+}
+
+impl SnapshotImage {
+    /// The event sequence the checkpoint was taken at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The state payload, borrowed from the image.
+    pub fn state(&self) -> &[u8] {
+        &self.image[self.state.clone()]
+    }
+}
+
+/// Double-buffered checkpoint storage.
+///
+/// [`save`](Self::save) alternates between two slot files, always
+/// overwriting the *older* one via tmp-write + `fsync` + rename, so the
+/// newest durable checkpoint survives a crash at any point of the next
+/// write. [`latest`](Self::latest) returns the valid slot with the highest
+/// sequence number.
+///
+/// The store is `Send`, so a server can hand it to a background writer
+/// thread and keep ingesting while the checkpoint hits disk.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    next_slot: usize,
+    crash: CrashPoint,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot store in `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        Ok(Self::open_and_latest(dir)?.0)
+    }
+
+    /// Opens the store and loads the newest valid checkpoint in one pass.
+    ///
+    /// Recovery's hot path: each slot file is read at most once, and the
+    /// slot whose header *claims* the higher sequence is CRC-validated
+    /// first — when it proves valid (the overwhelmingly common case) the
+    /// other slot is never scanned at all. `open` + [`latest`](Self::latest)
+    /// would read and checksum both slots twice.
+    ///
+    /// The store always writes next into the slot that does NOT hold the
+    /// newest valid snapshot, so the newest survives a torn write.
+    pub fn open_and_latest(dir: impl Into<PathBuf>) -> Result<(Self, Option<SnapshotImage>)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut images: Vec<Option<Vec<u8>>> =
+            SLOT_NAMES.iter().map(|name| read_file(&dir.join(name))).collect::<Result<_>>()?;
+        let peeked: Vec<Option<u64>> =
+            images.iter().map(|img| img.as_deref().and_then(peek_snapshot_seq)).collect();
+        // A corrupt slot may peek an arbitrary sequence; that only costs
+        // one wasted validation before the other slot is tried.
+        let order: [usize; 2] =
+            if peeked[1].unwrap_or(0) > peeked[0].unwrap_or(0) { [1, 0] } else { [0, 1] };
+        for slot in order {
+            if let Some(bytes) = &images[slot] {
+                if let Some((seq, state)) = parse_snapshot_bounds(bytes) {
+                    let store = Self { dir, next_slot: slot ^ 1, crash: CrashPoint::default() };
+                    let image = images[slot].take().expect("slot image present");
+                    return Ok((store, Some(SnapshotImage { image, state, seq })));
+                }
+            }
+        }
+        Ok((Self { dir, next_slot: 0, crash: CrashPoint::default() }, None))
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arms the crash injector (see [`CrashPoint`]).
+    pub fn set_crash_after(&mut self, bytes: u64) {
+        self.crash.arm(bytes);
+    }
+
+    /// Disarms the crash injector.
+    pub fn clear_crash(&mut self) {
+        self.crash.disarm();
+    }
+
+    /// Durably writes a checkpoint of `state` taken at sequence `seq`.
+    ///
+    /// On success the checkpoint is fully fsynced and atomically renamed
+    /// into place. On any error — including an injected crash — the
+    /// previous checkpoint is still intact and selectable.
+    pub fn save(&mut self, seq: u64, state: &[u8]) -> Result<()> {
+        let slot = SLOT_NAMES[self.next_slot];
+        let tmp = self.dir.join(format!("{slot}.tmp"));
+        let dst = self.dir.join(slot);
+
+        let mut image = Vec::with_capacity(HEADER_LEN + 12 + 8 + state.len());
+        image.extend_from_slice(&encode_header(FileKind::Snapshot));
+        let mut payload = Vec::with_capacity(8 + state.len());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(state);
+        encode_record(TAG_SNAPSHOT, &payload, &mut image);
+
+        let mut file = File::create(&tmp)?;
+        self.crash.write(&mut file, &image)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, &dst)?;
+        fsync_dir(&self.dir)?;
+        self.next_slot ^= 1;
+        Ok(())
+    }
+
+    /// Loads the newest valid checkpoint, if any, as `(seq, state)`.
+    ///
+    /// A slot that is missing, torn, or corrupt is simply skipped — the
+    /// other slot (or no checkpoint at all) is the answer.
+    pub fn latest(&self) -> Result<Option<(u64, Vec<u8>)>> {
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        for name in SLOT_NAMES {
+            if let Some(bytes) = read_file(&self.dir.join(name))? {
+                if let Some((seq, state)) = parse_snapshot(&bytes) {
+                    if best.as_ref().is_none_or(|(s, _)| seq > *s) {
+                        best = Some((seq, state));
+                    }
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// One replayable journal entry: the sequence number the chunk starts at
+/// and its encoded payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Global event sequence number of the first event in the chunk.
+    pub seq: u64,
+    /// Opaque chunk payload (the caller's encoding of the input batch).
+    pub payload: Vec<u8>,
+}
+
+/// Append-only write-ahead journal of committed input chunks.
+///
+/// [`open`](Self::open) validates the header, CRC-scans the body, and
+/// **physically truncates** any torn tail before appends resume — a
+/// half-written record is dropped exactly as if its append never happened.
+/// Appends are buffered writes; call [`sync`](Self::sync) for an explicit
+/// durability barrier (checkpointing syncs before declaring a checkpoint
+/// that supersedes journal prefix).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    bytes: u64,
+    crash: CrashPoint,
+    scratch: Vec<u8>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `dir`, truncating any
+    /// torn or corrupt tail left by a crash.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Ok(Self::open_and_read(dir)?.0)
+    }
+
+    /// Opens the journal *and* returns every fully-written entry from the
+    /// single scan the open already performs — recovery's hot path, where
+    /// `open` + [`read_all`](Self::read_all) would read and CRC-check the
+    /// whole file twice. The torn-tail truncation of `open` applies.
+    pub fn open_and_read(dir: impl AsRef<Path>) -> Result<(Self, Vec<JournalEntry>)> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_NAME);
+        let existing = read_file(&path)?;
+        let mut entries = Vec::new();
+        let valid_end = match existing {
+            None => None,
+            Some(ref bytes) => {
+                if bytes.len() < HEADER_LEN || decode_header(bytes).is_err() {
+                    // Header itself never fully landed: start the file over.
+                    None
+                } else if decode_header(bytes)? != FileKind::Journal {
+                    return Err(PersistError::corrupt("journal file has wrong kind"));
+                } else {
+                    let scan = scan_records(&bytes[HEADER_LEN..]);
+                    entries.reserve(scan.records.len());
+                    for rec in scan.records {
+                        if rec.tag != TAG_JOURNAL_CHUNK || rec.payload.len() < 8 {
+                            return Err(PersistError::corrupt("unexpected record in journal"));
+                        }
+                        let seq = u64::from_le_bytes(rec.payload[..8].try_into().expect("8 bytes"));
+                        entries.push(JournalEntry { seq, payload: rec.payload[8..].to_vec() });
+                    }
+                    Some((HEADER_LEN + scan.valid_len) as u64)
+                }
+            }
+        };
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let bytes = match valid_end {
+            Some(end) => {
+                if file.metadata()?.len() != end {
+                    file.set_len(end)?;
+                    file.sync_all()?;
+                }
+                end
+            }
+            None => {
+                file.set_len(0)?;
+                file.write_all(&encode_header(FileKind::Journal))?;
+                file.sync_all()?;
+                HEADER_LEN as u64
+            }
+        };
+        file.seek(SeekFrom::Start(bytes))?;
+        Ok((Self { path, file, bytes, crash: CrashPoint::default(), scratch: Vec::new() }, entries))
+    }
+
+    /// Arms the crash injector (see [`CrashPoint`]).
+    pub fn set_crash_after(&mut self, bytes: u64) {
+        self.crash.arm(bytes);
+    }
+
+    /// Disarms the crash injector.
+    pub fn clear_crash(&mut self) {
+        self.crash.disarm();
+    }
+
+    /// Total bytes in the journal file (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Appends one committed chunk keyed by its starting event sequence.
+    pub fn append(&mut self, seq: u64, payload: &[u8]) -> Result<()> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&seq.to_le_bytes());
+        self.scratch.extend_from_slice(payload);
+        let mut framed = Vec::with_capacity(12 + self.scratch.len());
+        encode_record(TAG_JOURNAL_CHUNK, &self.scratch, &mut framed);
+        let res = self.crash.write(&mut self.file, &framed);
+        match res {
+            Ok(()) => {
+                self.bytes += framed.len() as u64;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fsyncs the journal file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads every fully-written entry, in append order.
+    ///
+    /// Tolerates a torn tail (it is ignored, matching what `open` would
+    /// truncate); fails only if the header itself is unreadable.
+    pub fn read_all(dir: impl AsRef<Path>) -> Result<Vec<JournalEntry>> {
+        let path = dir.as_ref().join(JOURNAL_NAME);
+        let Some(bytes) = read_file(&path)? else {
+            return Ok(Vec::new());
+        };
+        if bytes.len() < HEADER_LEN || decode_header(&bytes).is_err() {
+            return Ok(Vec::new());
+        }
+        if decode_header(&bytes)? != FileKind::Journal {
+            return Err(PersistError::corrupt("journal file has wrong kind"));
+        }
+        let scan = scan_records(&bytes[HEADER_LEN..]);
+        let mut out = Vec::with_capacity(scan.records.len());
+        for rec in scan.records {
+            if rec.tag != TAG_JOURNAL_CHUNK || rec.payload.len() < 8 {
+                return Err(PersistError::corrupt("unexpected record in journal"));
+            }
+            let seq = u64::from_le_bytes(rec.payload[..8].try_into().expect("8 bytes"));
+            out.push(JournalEntry { seq, payload: rec.payload[8..].to_vec() });
+        }
+        Ok(out)
+    }
+
+    /// The journal file path (tests corrupt it directly).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads the raw journal file bytes, for tests that corrupt specific
+/// offsets.
+pub fn read_journal_bytes(dir: impl AsRef<Path>) -> Result<Vec<u8>> {
+    let mut f = File::open(dir.as_ref().join(JOURNAL_NAME))?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("asf-persist-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_save_and_latest_round_trip() {
+        let dir = test_dir("snap-rt");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.latest().unwrap().is_none());
+        store.save(10, b"state-ten").unwrap();
+        assert_eq!(store.latest().unwrap(), Some((10, b"state-ten".to_vec())));
+        store.save(20, b"state-twenty").unwrap();
+        assert_eq!(store.latest().unwrap(), Some((20, b"state-twenty".to_vec())));
+        // Both slot files exist now; newest wins.
+        store.save(30, b"state-thirty").unwrap();
+        assert_eq!(store.latest().unwrap().unwrap().0, 30);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_store_does_not_clobber_newest_slot() {
+        let dir = test_dir("snap-reopen");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        store.save(1, b"one").unwrap();
+        store.save(2, b"two").unwrap();
+        drop(store);
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        // Next save must target the slot holding seq 1, not seq 2: a torn
+        // write now must leave seq 2 recoverable.
+        store.set_crash_after(5);
+        assert!(matches!(store.save(3, b"three"), Err(PersistError::InjectedCrash)));
+        store.clear_crash();
+        assert_eq!(store.latest().unwrap(), Some((2, b"two".to_vec())));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_every_byte_of_a_snapshot_write_preserves_previous() {
+        let dir = test_dir("snap-crash");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        store.save(5, b"good checkpoint state").unwrap();
+        // A full image of the next write is header+record; sweep budgets
+        // well past its size to also cover "crash exactly at end of write
+        // but before rename" — the tmp file then exists fully but was
+        // never renamed, so the old snapshot must still win.
+        for budget in 0..96 {
+            let mut s = SnapshotStore::open(&dir).unwrap();
+            s.set_crash_after(budget);
+            let _ = s.save(6, b"newer checkpoint state!");
+            let latest = SnapshotStore::open(&dir).unwrap().latest().unwrap();
+            let (seq, state) = latest.expect("a checkpoint must survive, budget {budget}");
+            if seq == 5 {
+                assert_eq!(state, b"good checkpoint state");
+            } else {
+                assert_eq!(seq, 6, "budget={budget}");
+                assert_eq!(state, b"newer checkpoint state!");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_append_read_round_trip() {
+        let dir = test_dir("jrnl-rt");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"chunk-zero").unwrap();
+        j.append(4, b"chunk-four").unwrap();
+        j.sync().unwrap();
+        let entries = Journal::read_all(&dir).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                JournalEntry { seq: 0, payload: b"chunk-zero".to_vec() },
+                JournalEntry { seq: 4, payload: b"chunk-four".to_vec() },
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_survives_reopen_and_keeps_appending() {
+        let dir = test_dir("jrnl-reopen");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"a").unwrap();
+        drop(j);
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(1, b"b").unwrap();
+        drop(j);
+        let entries = Journal::read_all(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].payload, b"b");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_append_is_truncated_on_reopen() {
+        let dir = test_dir("jrnl-torn");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"durable-entry").unwrap();
+        let durable_len = j.len_bytes();
+        // Tear the next append at every possible byte offset.
+        let full = {
+            let mut probe = Vec::new();
+            let mut body = Vec::new();
+            body.extend_from_slice(&7u64.to_le_bytes());
+            body.extend_from_slice(b"torn-entry");
+            encode_record(TAG_JOURNAL_CHUNK, &body, &mut probe);
+            probe.len() as u64
+        };
+        for budget in 0..full {
+            // Fresh copy of the durable state each round.
+            let mut j = Journal::open(&dir).unwrap();
+            assert_eq!(j.len_bytes(), durable_len, "budget={budget}");
+            j.set_crash_after(budget);
+            assert!(matches!(j.append(7, b"torn-entry"), Err(PersistError::InjectedCrash)));
+            drop(j);
+            let entries = Journal::read_all(&dir).unwrap();
+            assert_eq!(entries.len(), 1, "budget={budget} leaked a torn entry");
+            assert_eq!(entries[0].payload, b"durable-entry");
+        }
+        // Reopen once more and confirm appends continue cleanly.
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(7, b"clean-entry").unwrap();
+        drop(j);
+        let entries = Journal::read_all(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].payload, b"clean-entry");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_journal_tail_is_dropped_not_replayed() {
+        let dir = test_dir("jrnl-flip");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"keep").unwrap();
+        let keep_end = j.len_bytes() as usize;
+        j.append(1, b"flip-victim").unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let pristine = read_journal_bytes(&dir).unwrap();
+        for i in keep_end..pristine.len() {
+            let mut copy = pristine.clone();
+            copy[i] ^= 0x40;
+            fs::write(dir.join(JOURNAL_NAME), &copy).unwrap();
+            let entries = Journal::read_all(&dir).unwrap();
+            assert_eq!(entries.len(), 1, "flip at byte {i} leaked a corrupt entry");
+            assert_eq!(entries[0].payload, b"keep");
+            // Reopen truncates the corrupt tail physically.
+            drop(Journal::open(&dir).unwrap());
+            assert_eq!(read_journal_bytes(&dir).unwrap().len(), keep_end);
+            fs::write(dir.join(JOURNAL_NAME), &pristine).unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_with_destroyed_header_restarts_empty() {
+        let dir = test_dir("jrnl-hdr");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"entry").unwrap();
+        drop(j);
+        // Truncate into the header: nothing replayable remains.
+        let bytes = read_journal_bytes(&dir).unwrap();
+        fs::write(dir.join(JOURNAL_NAME), &bytes[..HEADER_LEN / 2]).unwrap();
+        assert!(Journal::read_all(&dir).unwrap().is_empty());
+        let mut j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len_bytes(), HEADER_LEN as u64);
+        j.append(9, b"fresh").unwrap();
+        drop(j);
+        let entries = Journal::read_all(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].seq, 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_reads_as_empty() {
+        let dir = test_dir("jrnl-none");
+        assert!(Journal::read_all(&dir).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! Durable filter state: a write-ahead journal of committed input chunks
+//! plus periodic double-buffered checkpoints, built on `asf-persist`.
+//!
+//! ## Ordering contract
+//!
+//! The coordinator journals every ingestion chunk **before** applying it
+//! (write-ahead), and syncs the append — so a chunk whose effects are in
+//! memory is always replayable from disk. Checkpoints are taken at chunk
+//! boundaries (SpecLog quiescence: every shard's speculation committed, no
+//! pending reports), keyed by the coordinator's event sequence number.
+//! Because the sharded runtime is byte-identical to the serial engine for
+//! *any* chunking, replaying the journal suffix after loading a checkpoint
+//! reproduces the pre-crash server exactly — answers, ledgers, views, and
+//! rank order.
+//!
+//! ## Checkpoint modes
+//!
+//! * [`CheckpointMode::Background`] (default): serialization happens on the
+//!   coordinator (that cost is the metered `checkpoint_ns`), but the
+//!   `fsync`+rename runs on a dedicated writer thread behind a bounded
+//!   channel of depth 1 — if the writer is still busy with the previous
+//!   checkpoint, the new one is *coalesced* (skipped; retried at the next
+//!   boundary), so ingest never blocks on checkpoint I/O.
+//! * [`CheckpointMode::Sync`]: the save happens inline. Deterministic, and
+//!   the mode under which checkpoint crash injection is supported.
+//!
+//! ## Poisoning
+//!
+//! The ingest path is not `Result`-typed, so a journal write failure
+//! (including an injected [`CrashPoint`][asf_persist::CrashPoint] tear)
+//! **poisons** the durability handle: the failing chunk and everything
+//! after it are dropped, un-applied — exactly the state a process that
+//! died mid-`write(2)` would leave behind. Tests then recover from the
+//! directory and compare against a reference server fed only the durable
+//! prefix.
+//!
+//! The journal is not pruned when a checkpoint lands; recovery skips
+//! entries the checkpoint supersedes. Unbounded journal growth is a known
+//! limitation (see `ARCHITECTURE.md`).
+
+use std::path::PathBuf;
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use asf_persist::{Journal, PersistError, SnapshotStore};
+
+/// Configuration of a server's durability layer.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding `snap-a.bin` / `snap-b.bin` / `journal.log`
+    /// (created if missing).
+    pub dir: PathBuf,
+    /// Take a checkpoint once at least this many events have been ingested
+    /// since the last one (checked at chunk boundaries; clamped to ≥ 1).
+    pub checkpoint_every_events: u64,
+    /// Inline or background checkpoint writes.
+    pub mode: CheckpointMode,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with the default cadence (one checkpoint per
+    /// 65 536 events) and background checkpoint writes.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), checkpoint_every_events: 65_536, mode: CheckpointMode::Background }
+    }
+
+    /// Sets the checkpoint cadence in events.
+    pub fn checkpoint_every(mut self, events: u64) -> Self {
+        self.checkpoint_every_events = events;
+        self
+    }
+
+    /// Sets the checkpoint write mode.
+    pub fn mode(mut self, mode: CheckpointMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// How checkpoint images reach disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Hand the serialized image to a dedicated writer thread (bounded
+    /// queue of 1; a busy writer coalesces the checkpoint). Ingest never
+    /// blocks on checkpoint `fsync`. The default.
+    #[default]
+    Background,
+    /// Write and `fsync` inline on the coordinator. Deterministic; the
+    /// mode crash-injection tests use.
+    Sync,
+}
+
+enum Writer {
+    Sync(SnapshotStore),
+    Background { tx: SyncSender<(u64, Vec<u8>)>, join: JoinHandle<()> },
+}
+
+impl std::fmt::Debug for Writer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Writer::Sync(_) => f.write_str("Writer::Sync"),
+            Writer::Background { .. } => f.write_str("Writer::Background"),
+        }
+    }
+}
+
+/// The attached durability runtime of one [`crate::ShardedServer`]: the
+/// open write-ahead journal, the checkpoint writer, and the poison latch.
+#[derive(Debug)]
+pub struct Durability {
+    journal: Journal,
+    writer: Writer,
+    checkpoint_every_events: u64,
+    last_checkpoint_seq: u64,
+    /// First write failure, if any — once set, every subsequent journal or
+    /// checkpoint operation is refused (the on-disk state is frozen at the
+    /// durable prefix, as a real crash would leave it).
+    poisoned: Option<String>,
+}
+
+impl Durability {
+    /// Opens the journal and snapshot store in `cfg.dir`, durably writes
+    /// the **anchor checkpoint** `(anchor_seq, anchor_state)` inline — the
+    /// baseline that makes the journal's first post-attach entry reachable
+    /// from a checkpoint — then stands up the configured writer.
+    ///
+    /// Opening the journal truncates any torn tail a previous crash left.
+    pub fn new(
+        cfg: &DurabilityConfig,
+        anchor_seq: u64,
+        anchor_state: &[u8],
+    ) -> asf_persist::Result<Self> {
+        let journal = Journal::open(&cfg.dir)?;
+        let mut store = SnapshotStore::open(&cfg.dir)?;
+        store.save(anchor_seq, anchor_state)?;
+        let writer = match cfg.mode {
+            CheckpointMode::Sync => Writer::Sync(store),
+            CheckpointMode::Background => Self::spawn_writer(store)?,
+        };
+        Ok(Self {
+            journal,
+            writer,
+            checkpoint_every_events: cfg.checkpoint_every_events.max(1),
+            last_checkpoint_seq: anchor_seq,
+            poisoned: None,
+        })
+    }
+
+    /// Re-attaches to an existing durability directory after recovery
+    /// **without** writing a fresh checkpoint: the on-disk snapshot + the
+    /// journal already cover the recovered state, so re-anchoring would
+    /// only add an O(state) write to the recovery path. The caller hands
+    /// over the [`SnapshotStore`] and [`Journal`] it already opened
+    /// (recovery reads the checkpoint and replays through them), so
+    /// neither file is re-scanned. `resume_seq` is the sequence of the
+    /// checkpoint recovery loaded (0 on a cold recovery); the checkpoint
+    /// cadence counts from there, so a server that replayed a long suffix
+    /// re-checkpoints at its next chunk boundary.
+    pub fn attach(
+        cfg: &DurabilityConfig,
+        store: SnapshotStore,
+        journal: Journal,
+        resume_seq: u64,
+    ) -> asf_persist::Result<Self> {
+        let writer = match cfg.mode {
+            CheckpointMode::Sync => Writer::Sync(store),
+            CheckpointMode::Background => Self::spawn_writer(store)?,
+        };
+        Ok(Self {
+            journal,
+            writer,
+            checkpoint_every_events: cfg.checkpoint_every_events.max(1),
+            last_checkpoint_seq: resume_seq,
+            poisoned: None,
+        })
+    }
+
+    fn spawn_writer(mut store: SnapshotStore) -> asf_persist::Result<Writer> {
+        let (tx, rx) = mpsc::sync_channel::<(u64, Vec<u8>)>(1);
+        let join = std::thread::Builder::new()
+            .name("asf-checkpoint".into())
+            .spawn(move || {
+                while let Ok((seq, state)) = rx.recv() {
+                    // A failed background save leaves the previous
+                    // checkpoint selectable; the next boundary retries.
+                    let _ = store.save(seq, &state);
+                }
+            })
+            .map_err(PersistError::Io)?;
+        Ok(Writer::Background { tx, join })
+    }
+
+    /// Appends one committed chunk (keyed by the event sequence it starts
+    /// at) and syncs — the write-ahead barrier before the chunk applies.
+    /// Any failure poisons the handle.
+    pub fn journal_chunk(&mut self, seq: u64, payload: &[u8]) -> asf_persist::Result<()> {
+        self.check_poison()?;
+        match self.journal.append(seq, payload).and_then(|()| self.journal.sync()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether the checkpoint cadence is due at event sequence `seq`.
+    pub fn should_checkpoint(&self, seq: u64) -> bool {
+        self.poisoned.is_none()
+            && seq.saturating_sub(self.last_checkpoint_seq) >= self.checkpoint_every_events
+    }
+
+    /// Persists (or schedules) a checkpoint of `state` taken at `seq`.
+    /// Returns `Ok(true)` if the checkpoint was written/queued, `Ok(false)`
+    /// if a busy background writer coalesced it (retried at the next
+    /// boundary).
+    pub fn save_checkpoint(&mut self, seq: u64, state: Vec<u8>) -> asf_persist::Result<bool> {
+        self.check_poison()?;
+        match &mut self.writer {
+            Writer::Sync(store) => match store.save(seq, &state) {
+                Ok(()) => {
+                    self.last_checkpoint_seq = seq;
+                    Ok(true)
+                }
+                Err(e) => {
+                    self.poisoned = Some(e.to_string());
+                    Err(e)
+                }
+            },
+            Writer::Background { tx, .. } => match tx.try_send((seq, state)) {
+                Ok(()) => {
+                    self.last_checkpoint_seq = seq;
+                    Ok(true)
+                }
+                Err(TrySendError::Full(_)) => Ok(false),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.poisoned = Some("checkpoint writer thread died".into());
+                    Err(PersistError::corrupt("checkpoint writer thread died"))
+                }
+            },
+        }
+    }
+
+    /// Total journal file size in bytes (header included).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal.len_bytes()
+    }
+
+    /// Whether an earlier write failure froze this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The first write failure, if any.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Arms the journal's byte-budget crash injector: the next `bytes`
+    /// journal bytes land, everything after tears (see
+    /// [`asf_persist::CrashPoint`]).
+    pub fn arm_journal_crash(&mut self, bytes: u64) {
+        self.journal.set_crash_after(bytes);
+    }
+
+    /// Arms the checkpoint store's crash injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the handle runs [`CheckpointMode::Sync`] — the
+    /// background writer owns its store and cannot be armed
+    /// deterministically.
+    pub fn arm_checkpoint_crash(&mut self, bytes: u64) {
+        match &mut self.writer {
+            Writer::Sync(store) => store.set_crash_after(bytes),
+            Writer::Background { .. } => {
+                panic!("checkpoint crash injection requires CheckpointMode::Sync")
+            }
+        }
+    }
+
+    /// Stops the background writer (if any), draining its queue first so
+    /// every scheduled checkpoint lands.
+    pub fn shutdown(self) {
+        let Durability { journal, writer, .. } = self;
+        drop(journal);
+        if let Writer::Background { tx, join } = writer {
+            drop(tx);
+            let _ = join.join();
+        }
+    }
+
+    fn check_poison(&self) -> asf_persist::Result<()> {
+        if self.poisoned.is_some() {
+            return Err(PersistError::corrupt("durability poisoned by an earlier write failure"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("asf-server-durability-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn anchor_checkpoint_lands_before_any_journaling() {
+        let dir = test_dir("anchor");
+        let cfg = DurabilityConfig::new(&dir).mode(CheckpointMode::Sync);
+        let d = Durability::new(&cfg, 42, b"anchor-state").unwrap();
+        drop(d);
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.latest().unwrap(), Some((42, b"anchor-state".to_vec())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_tear_poisons_and_freezes_the_handle() {
+        let dir = test_dir("poison");
+        let cfg = DurabilityConfig::new(&dir).mode(CheckpointMode::Sync);
+        let mut d = Durability::new(&cfg, 0, b"s").unwrap();
+        d.journal_chunk(0, b"durable").unwrap();
+        d.arm_journal_crash(3);
+        assert!(matches!(d.journal_chunk(1, b"torn"), Err(PersistError::InjectedCrash)));
+        assert!(d.is_poisoned());
+        // Everything after the tear is refused — the disk state is frozen.
+        assert!(d.journal_chunk(2, b"late").is_err());
+        assert!(d.save_checkpoint(2, b"late".to_vec()).is_err());
+        assert!(!d.should_checkpoint(u64::MAX));
+        drop(d);
+        // Reopen truncates the torn tail; only the durable entry replays.
+        let entries = Journal::read_all(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].payload, b"durable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_cadence_counts_from_the_last_landed_checkpoint() {
+        let dir = test_dir("cadence");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(100).mode(CheckpointMode::Sync);
+        let mut d = Durability::new(&cfg, 0, b"s").unwrap();
+        assert!(!d.should_checkpoint(99));
+        assert!(d.should_checkpoint(100));
+        assert!(d.save_checkpoint(100, b"c1".to_vec()).unwrap());
+        assert!(!d.should_checkpoint(150));
+        assert!(d.should_checkpoint(200));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_writer_drains_on_shutdown() {
+        let dir = test_dir("bg");
+        let cfg = DurabilityConfig::new(&dir).mode(CheckpointMode::Background);
+        let mut d = Durability::new(&cfg, 0, b"anchor").unwrap();
+        assert!(d.save_checkpoint(10, b"ten".to_vec()).unwrap());
+        d.shutdown();
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.latest().unwrap().unwrap().0, 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

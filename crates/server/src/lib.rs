@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod handle;
 pub mod metrics;
 pub mod pipeline;
@@ -70,6 +71,7 @@ pub mod server;
 pub mod shard;
 
 pub use asf_telemetry::TraceDepth;
+pub use durability::{CheckpointMode, Durability, DurabilityConfig};
 pub use handle::ExecMode;
 pub use metrics::{FleetOpStats, ServerMetrics};
 pub use pipeline::CoordMode;

@@ -132,6 +132,20 @@ pub struct ServerMetrics {
     /// Tentative reports discarded with those windows (re-evaluated after
     /// the cut).
     pub discarded_reports: u64,
+    /// Checkpoints written (or scheduled on the background writer) since
+    /// durability was enabled. Zero without durability.
+    pub checkpoints: u64,
+    /// Coordinator critical-path time spent producing checkpoints (ns):
+    /// state serialization plus the writer handoff — and, under
+    /// `CheckpointMode::Sync`, the inline `fsync` as well.
+    pub checkpoint_ns: u64,
+    /// Current write-ahead journal file size in bytes (header included);
+    /// the journal is append-only and never pruned.
+    pub journal_bytes: u64,
+    /// Time spent replaying the journal suffix during
+    /// `ShardedServer::recover` (ns). Zero for servers that never
+    /// recovered.
+    pub recovery_replay_ns: u64,
     /// Wall-clock batch-apply durations (ns) as a mergeable log-bucketed
     /// histogram: bounded memory, no sample loss.
     batch_hist: LogHistogram,
@@ -259,6 +273,10 @@ impl ServerMetrics {
         reg.counter("server.overlapped_windows", self.overlapped_windows);
         reg.counter("server.discarded_window_busy_ns", self.discarded_window_busy_ns);
         reg.counter("server.discarded_reports", self.discarded_reports);
+        reg.counter("server.checkpoints", self.checkpoints);
+        reg.counter("server.checkpoint_ns", self.checkpoint_ns);
+        reg.counter("server.journal_bytes", self.journal_bytes);
+        reg.counter("server.recovery_replay_ns", self.recovery_replay_ns);
         reg.gauge("server.parallel_fraction", self.parallel_fraction());
         reg.gauge("server.occupancy_skew", self.occupancy_skew().unwrap_or(f64::NAN));
         reg.gauge(

@@ -45,10 +45,12 @@ use asf_core::protocol::{CtxStats, Protocol};
 use asf_core::rank::RankForest;
 use asf_core::workload::{EventBatch, UpdateEvent, Workload};
 use asf_core::AnswerSet;
+use asf_persist::{Journal, PersistError, SnapshotStore, StateReader, StateWriter};
 use asf_telemetry::{chrome_trace, Cause, Registry, TraceDepth, TraceEvent, TraceRing};
 use simkit::SimTime;
-use streamnet::{Ledger, MessageKind, ServerView, SourceFleet};
+use streamnet::{Ledger, MessageKind, ServerView, SourceFleet, StreamId};
 
+use crate::durability::{Durability, DurabilityConfig};
 use crate::handle::{ExecMode, ShardHandle};
 use crate::metrics::ServerMetrics;
 use crate::pipeline::CoordMode;
@@ -209,6 +211,9 @@ pub struct ShardedServer<P: Protocol> {
     /// The fleet-op trace ring (the `fleet-ops` timeline track); threaded
     /// into the [`ShardRouter`] of every report drain.
     fleet_trace: TraceRing,
+    /// Attached durability runtime (write-ahead journal + checkpoint
+    /// writer), if [`ShardedServer::enable_durability`] ran.
+    durability: Option<Durability>,
 }
 
 impl<P: Protocol> ShardedServer<P> {
@@ -302,11 +307,18 @@ impl<P: Protocol> ShardedServer<P> {
             participant_pool: Vec::new(),
             commit_scratch: Vec::new(),
             fleet_trace: TraceRing::new(tcfg.trace, tcfg.trace_capacity, epoch),
+            durability: None,
         }
     }
 
     /// Runs the protocol's Initialization phase across the shards.
     pub fn initialize(&mut self) {
+        self.initialize_with_cause(Cause::Init);
+    }
+
+    /// Initialization with an explicit cause label — cold crash recovery
+    /// attributes its startup probe storm to [`Cause::Recovery`].
+    fn initialize_with_cause(&mut self, cause: Cause) {
         self.core.telemetry_mut().trace.begin(TraceDepth::Coarse, "initialize", 0);
         let mut router = ShardRouter::with_telemetry(
             &mut self.handles,
@@ -315,7 +327,7 @@ impl<P: Protocol> ShardedServer<P> {
             None,
             Some(&mut self.fleet_trace),
         );
-        self.core.initialize(&mut router);
+        self.core.initialize_with_cause(&mut router, cause);
         self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
     }
 
@@ -377,9 +389,15 @@ impl<P: Protocol> ShardedServer<P> {
     }
 
     /// Applies the filled `shared_chunk` through the configured
-    /// coordinator.
+    /// coordinator. With durability enabled, the chunk is journaled and
+    /// synced **before** it applies (write-ahead); a poisoned durability
+    /// handle drops the chunk un-applied, exactly as a crashed process
+    /// would have.
     fn apply_shared_chunk(&mut self) {
         let batch_start = Instant::now();
+        if self.durability.is_some() && !self.journal_shared_chunk() {
+            return;
+        }
         // Validate time ordering once — rounds below may re-scatter rolled
         // back events whose times are already at or before `now`.
         let chunk = Arc::clone(&self.shared_chunk);
@@ -394,6 +412,55 @@ impl<P: Protocol> ShardedServer<P> {
         self.events_processed += chunk.len() as u64;
         self.metrics.events += chunk.len() as u64;
         self.metrics.record_batch(batch_start.elapsed().as_nanos() as u64);
+        // Chunk-end quiescence: every shard's speculation is committed, so
+        // this is a checkpointable point.
+        let due =
+            self.durability.as_ref().is_some_and(|d| d.should_checkpoint(self.events_processed));
+        if due {
+            self.checkpoint_now();
+        }
+    }
+
+    /// Write-ahead barrier: appends the filled `shared_chunk` (keyed by the
+    /// event sequence it starts at) to the journal and syncs. Returns
+    /// whether the chunk may apply — `false` means the write failed (or the
+    /// handle was already poisoned) and the chunk must be dropped.
+    fn journal_shared_chunk(&mut self) -> bool {
+        let d = self.durability.as_mut().expect("caller checked durability");
+        if d.is_poisoned() {
+            return false;
+        }
+        self.core.telemetry_mut().trace.begin(
+            TraceDepth::Coarse,
+            "journal_append",
+            self.shared_chunk.len() as u64,
+        );
+        let mut w = StateWriter::new();
+        self.shared_chunk.encode(&mut w);
+        let ok = d.journal_chunk(self.events_processed, w.bytes()).is_ok();
+        self.metrics.journal_bytes = d.journal_bytes();
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
+        ok
+    }
+
+    /// Serializes the full server state and hands it to the checkpoint
+    /// writer. The serialization (and, in `CheckpointMode::Sync`, the save
+    /// itself) is the metered `checkpoint_ns` critical-path cost.
+    fn checkpoint_now(&mut self) {
+        let start = Instant::now();
+        self.core.telemetry_mut().trace.begin(
+            TraceDepth::Coarse,
+            "checkpoint",
+            self.events_processed,
+        );
+        let seq = self.events_processed;
+        let state = self.snapshot_state();
+        let d = self.durability.as_mut().expect("caller checked durability");
+        if matches!(d.save_checkpoint(seq, state), Ok(true)) {
+            self.metrics.checkpoints += 1;
+        }
+        self.metrics.checkpoint_ns += start.elapsed().as_nanos() as u64;
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
     }
 
     /// Scatters `shared_chunk[start..end]` to the shards as one speculative
@@ -854,9 +921,199 @@ impl<P: Protocol> ShardedServer<P> {
         SourceFleet::from_values(&self.truth_values())
     }
 
+    /// Serializes the complete deterministic server state: simulation
+    /// clock, event sequence, every shard's source fleet, and the protocol
+    /// core (view, ledger, protocol state, rank order, cause matrix). Only
+    /// valid at chunk-boundary quiescence — which is the only place it is
+    /// called from.
+    fn snapshot_state(&mut self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.now);
+        w.put_u64(self.events_processed);
+        w.put_u64(self.config.num_shards as u64);
+        for handle in self.handles.iter_mut() {
+            match handle.request(ShardCmd::SaveState) {
+                ShardReply::State(bytes) => w.put_bytes(&bytes),
+                other => unreachable!("SaveState got {other:?}"),
+            }
+        }
+        self.core.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores a [`ShardedServer::snapshot_state`] image into a freshly
+    /// built server of the same configuration. Every field is re-validated;
+    /// corruption yields an error, never a panic or a half-restored server.
+    fn restore_state(&mut self, bytes: &[u8]) -> asf_persist::Result<()> {
+        let mut r = StateReader::new(bytes);
+        let now = r.get_f64()?;
+        if now.is_nan() {
+            return Err(PersistError::corrupt("snapshot time is NaN"));
+        }
+        let events = r.get_u64()?;
+        let shards = r.get_u64()? as usize;
+        if shards != self.config.num_shards {
+            return Err(PersistError::corrupt("snapshot shard count differs from configuration"));
+        }
+        let mut fleets = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let blob = r.get_bytes()?;
+            let mut sr = StateReader::new(blob);
+            let fleet = SourceFleet::decode(&mut sr)?;
+            sr.finish()?;
+            // Strided partition: shard `s` owns globals `g` with
+            // `g % shards == s`.
+            let expect = self.n / shards + usize::from(s < self.n % shards);
+            if fleet.len() != expect {
+                return Err(PersistError::corrupt("snapshot shard population differs"));
+            }
+            fleets.push(fleet);
+        }
+        self.core.load_state(&mut r)?;
+        r.finish()?;
+        // Rebuild each shard's local view replica by striding the restored
+        // global view — cheaper and simpler than persisting the replicas.
+        let view = self.core.view();
+        let mut views = Vec::with_capacity(shards);
+        for (s, fleet) in fleets.iter().enumerate() {
+            let mut local_view = ServerView::new(fleet.len());
+            for local in 0..fleet.len() as u32 {
+                let g = self.partition.global_of(s, local);
+                if view.is_known(g) {
+                    local_view.set(StreamId(local), view.get(g));
+                }
+            }
+            views.push(local_view);
+        }
+        for ((handle, fleet), view) in self.handles.iter_mut().zip(fleets).zip(views) {
+            match handle.request(ShardCmd::RestoreState { fleet, view }) {
+                ShardReply::Ack => {}
+                other => unreachable!("RestoreState got {other:?}"),
+            }
+        }
+        self.now = now;
+        self.events_processed = events;
+        Ok(())
+    }
+
+    /// Attaches a durability runtime: opens (or creates) the journal and
+    /// snapshot store in `cfg.dir`, durably writes an anchor checkpoint of
+    /// the current state, and journals + checkpoints all further ingestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is already enabled or the server is not
+    /// initialized (an uninitialized server has no state worth anchoring).
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) -> asf_persist::Result<()> {
+        assert!(self.durability.is_none(), "durability already enabled");
+        assert!(self.core.is_initialized(), "initialize the server before enabling durability");
+        let start = Instant::now();
+        let state = self.snapshot_state();
+        let d = Durability::new(&cfg, self.events_processed, &state)?;
+        self.metrics.checkpoints += 1;
+        self.metrics.checkpoint_ns += start.elapsed().as_nanos() as u64;
+        self.metrics.journal_bytes = d.journal_bytes();
+        self.durability = Some(d);
+        Ok(())
+    }
+
+    /// Rebuilds a server from the durability directory: loads the latest
+    /// valid checkpoint (if any survived) and replays the journal suffix
+    /// through the deterministic engine. The recovered server is
+    /// byte-identical — answers, ledgers, views, rank order, cause matrix —
+    /// to one that processed the same durable prefix without crashing.
+    ///
+    /// If no checkpoint is readable, recovery cold-starts the protocol
+    /// (attributing the startup probe storm to [`Cause::Recovery`]) and
+    /// replays the whole journal. Torn or corrupt journal tails were
+    /// already truncated by the open; a *gap* (an unreachable suffix) is
+    /// corruption and fails recovery.
+    ///
+    /// `initial_values` and `config` must match the crashed server's; the
+    /// replay cost is metered as `recovery_replay_ns`. Durability is
+    /// re-attached before returning, anchor-free: the loaded checkpoint
+    /// plus the journal already cover the recovered state, so recovery
+    /// never pays an extra O(state) snapshot write.
+    pub fn recover(
+        initial_values: &[f64],
+        protocol: P,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> asf_persist::Result<Self> {
+        // One pass per file: the store open loads the newest valid
+        // checkpoint, the journal open (which physically truncates any
+        // torn tail) yields the replayable entries from its single scan,
+        // and both handles go to `attach` below, so nothing is re-read.
+        let (store, snapshot) = SnapshotStore::open_and_latest(&durability.dir)?;
+        let (journal, entries) = Journal::open_and_read(&durability.dir)?;
+        let mut server = Self::new(initial_values, protocol, config);
+        let replay_start = Instant::now();
+        server.core.telemetry_mut().trace.begin(
+            TraceDepth::Coarse,
+            "recovery_replay",
+            entries.len() as u64,
+        );
+        let checkpoint_seq = match &snapshot {
+            Some(img) => {
+                server.restore_state(img.state())?;
+                if server.events_processed != img.seq() {
+                    return Err(PersistError::corrupt("checkpoint sequence mismatch"));
+                }
+                img.seq()
+            }
+            None => {
+                server.initialize_with_cause(Cause::Recovery);
+                0
+            }
+        };
+        drop(snapshot);
+        let mut next_seq = checkpoint_seq;
+        for entry in entries {
+            if entry.seq < next_seq {
+                // Superseded by the checkpoint.
+                continue;
+            }
+            if entry.seq != next_seq {
+                return Err(PersistError::corrupt("journal gap after checkpoint"));
+            }
+            let mut r = StateReader::new(&entry.payload);
+            let batch = EventBatch::decode(&mut r)?;
+            r.finish()?;
+            if batch.times().first().is_some_and(|&t| t < server.now) {
+                return Err(PersistError::corrupt("journal chunk regresses time"));
+            }
+            let buf = server.unique_chunk();
+            buf.clear();
+            buf.extend_from_batch(&batch, 0, batch.len());
+            // Durability is not attached yet, so replay does not re-journal.
+            server.apply_shared_chunk();
+            next_seq = server.events_processed;
+        }
+        server.core.telemetry_mut().trace.end(TraceDepth::Coarse);
+        server.metrics.recovery_replay_ns = replay_start.elapsed().as_nanos() as u64;
+        // Re-attach without writing a fresh anchor: the checkpoint we just
+        // loaded plus the journal already cover this state, and an O(state)
+        // synchronous save would dominate the recovery path. The cadence
+        // counts from the loaded checkpoint, so a long replayed suffix
+        // earns a new checkpoint at the next chunk boundary.
+        let d = Durability::attach(&durability, store, journal, checkpoint_seq)?;
+        server.metrics.journal_bytes = d.journal_bytes();
+        server.durability = Some(d);
+        Ok(server)
+    }
+
+    /// The attached durability runtime, if any — tests arm crash injection
+    /// and inspect the poison latch through this.
+    pub fn durability_mut(&mut self) -> Option<&mut Durability> {
+        self.durability.as_mut()
+    }
+
     /// Stops all workers and returns final metrics (threaded shards report
     /// their cumulative busy time on shutdown).
     pub fn shutdown(mut self) -> ServerMetrics {
+        if let Some(d) = self.durability.take() {
+            d.shutdown();
+        }
         for (s, handle) in self.handles.iter_mut().enumerate() {
             let busy = handle.shutdown();
             // The worker's figure is cumulative (eval + control-plane

@@ -188,6 +188,21 @@ pub enum ShardCmd {
     },
     /// Ground-truth values of the partition (local order) — oracle/tests.
     TruthSnapshot,
+    /// Serialize the shard's durable state (its local [`SourceFleet`]:
+    /// values, filters, report baselines) for a checkpoint. Only valid at
+    /// chunk-boundary quiescence — no in-flight speculation.
+    SaveState,
+    /// Replace the shard's state with a checkpoint's: the decoded local
+    /// fleet and the local slice of the restored server view. The
+    /// coordinator does all decoding and validation; the shard just
+    /// installs.
+    RestoreState {
+        /// The restored local source fleet.
+        fleet: SourceFleet,
+        /// The restored local view replica (partition slice of the global
+        /// view).
+        view: ServerView,
+    },
     /// Install the shard's trace ring (shares the server's trace epoch so
     /// all tracks land on one timeline).
     SetTrace {
@@ -267,8 +282,10 @@ pub enum ShardReply {
     },
     /// Outcome of [`ShardCmd::TruthSnapshot`]: values in local order.
     Truth(Vec<f64>),
+    /// Outcome of [`ShardCmd::SaveState`]: the serialized local fleet.
+    State(Vec<u8>),
     /// Acknowledges a control command with no payload
-    /// ([`ShardCmd::SetTrace`]).
+    /// ([`ShardCmd::SetTrace`], [`ShardCmd::RestoreState`]).
     Ack,
     /// Outcome of [`ShardCmd::TakeTrace`]: the recorded events, in order.
     Trace(Vec<TraceEvent>),
@@ -427,6 +444,22 @@ impl Shard {
             }
             ShardCmd::TruthSnapshot => {
                 ShardReply::Truth(self.fleet.iter().map(|s| s.value()).collect())
+            }
+            ShardCmd::SaveState => {
+                debug_assert!(
+                    self.spec.is_empty(),
+                    "checkpoints are only taken at chunk-boundary quiescence"
+                );
+                let mut w = asf_persist::StateWriter::new();
+                self.fleet.encode(&mut w);
+                ShardReply::State(w.into_bytes())
+            }
+            ShardCmd::RestoreState { fleet, view } => {
+                debug_assert_eq!(fleet.len(), self.fleet.len(), "coordinator validates sizes");
+                self.fleet = fleet;
+                self.local_view = view;
+                self.spec = SpecLog::new();
+                ShardReply::Ack
             }
             ShardCmd::SetTrace { ring } => {
                 self.trace = ring;

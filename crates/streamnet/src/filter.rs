@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use asf_persist::{PersistError, StateReader, StateWriter};
+
 /// An adaptive filter installed at a stream source.
 ///
 /// `ReportAll` models the no-filter case ("if no filter is installed at a
@@ -115,6 +117,59 @@ impl Filter {
             Filter::ReportAll => true,
             Filter::Interval { lo, hi } => lo <= v && v <= hi,
             Filter::Cells(_) => panic!("Cells filters have no membership; use violated()"),
+        }
+    }
+
+    /// Serializes the filter into a durable checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        match self {
+            Filter::ReportAll => w.put_u8(0),
+            Filter::Interval { lo, hi } => {
+                w.put_u8(1);
+                w.put_f64(*lo);
+                w.put_f64(*hi);
+            }
+            Filter::Cells(cuts) => {
+                w.put_u8(2);
+                w.put_u32(u32::try_from(cuts.len()).expect("cut table too large"));
+                for &c in cuts.iter() {
+                    w.put_f64(c);
+                }
+            }
+        }
+    }
+
+    /// Decodes a filter written by [`Filter::encode`].
+    ///
+    /// Re-validates the constructor invariants (no NaN, ordered bounds,
+    /// sorted cut table) so corrupt bytes surface as an error, never as a
+    /// filter that could not have been built.
+    pub fn decode(r: &mut StateReader<'_>) -> asf_persist::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(Filter::ReportAll),
+            1 => {
+                let lo = r.get_f64()?;
+                let hi = r.get_f64()?;
+                if lo.is_nan() || hi.is_nan() || lo > hi {
+                    return Err(PersistError::corrupt("invalid filter interval"));
+                }
+                Ok(Filter::Interval { lo, hi })
+            }
+            2 => {
+                let len = r.get_u32()? as usize;
+                if len > r.remaining() / 8 {
+                    return Err(PersistError::corrupt("cut table longer than payload"));
+                }
+                let mut cuts = Vec::with_capacity(len);
+                for _ in 0..len {
+                    cuts.push(r.get_f64()?);
+                }
+                if cuts.iter().any(|c| c.is_nan()) || cuts.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(PersistError::corrupt("invalid cut table"));
+                }
+                Ok(Filter::Cells(Arc::from(cuts)))
+            }
+            _ => Err(PersistError::corrupt("unknown filter variant")),
         }
     }
 
@@ -235,6 +290,45 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn cells_rejects_unsorted_cuts() {
         Filter::cells(Arc::from([5.0, 1.0]));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let filters = [
+            Filter::ReportAll,
+            Filter::interval(1.0, 2.0),
+            Filter::interval(f64::NEG_INFINITY, 250.0),
+            Filter::wildcard(),
+            Filter::suppress(),
+            Filter::cells(Arc::from([1.0, 5.0, 9.0])),
+        ];
+        for f in filters {
+            let mut w = StateWriter::new();
+            f.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = StateReader::new(&bytes);
+            assert_eq!(Filter::decode(&mut r).unwrap(), f);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_filters() {
+        // Unknown variant byte.
+        assert!(Filter::decode(&mut StateReader::new(&[9])).is_err());
+        // Inverted interval.
+        let mut w = StateWriter::new();
+        w.put_u8(1);
+        w.put_f64(5.0);
+        w.put_f64(1.0);
+        let bytes = w.into_bytes();
+        assert!(Filter::decode(&mut StateReader::new(&bytes)).is_err());
+        // Cut-table length pointing past the payload must not allocate.
+        let mut w = StateWriter::new();
+        w.put_u8(2);
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        assert!(Filter::decode(&mut StateReader::new(&bytes)).is_err());
     }
 
     #[test]

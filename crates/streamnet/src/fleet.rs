@@ -224,6 +224,31 @@ impl SourceFleet {
         self.sources[id.index()].value()
     }
 
+    /// Serializes every source's full state (positionally) into a durable
+    /// checkpoint.
+    pub fn encode(&self, w: &mut asf_persist::StateWriter) {
+        w.put_u64(self.sources.len() as u64);
+        for s in &self.sources {
+            s.encode(w);
+        }
+    }
+
+    /// Decodes a fleet written by [`SourceFleet::encode`]; ids are
+    /// reassigned `0..n` positionally, matching `from_values`.
+    pub fn decode(r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<Self> {
+        let n = r.get_u64()? as usize;
+        // Each encoded source is at least 18 bytes, so an absurd count is
+        // corruption, not an allocation request.
+        if n == 0 || n > r.remaining() / 18 + 1 {
+            return Err(asf_persist::PersistError::corrupt("fleet length implausible"));
+        }
+        let mut sources = Vec::with_capacity(n);
+        for i in 0..n {
+            sources.push(StreamSource::decode(StreamId(i as u32), r)?);
+        }
+        Ok(Self { sources })
+    }
+
     /// Delivers a workload update to a source. If the source's filter is
     /// violated it reports: one `Update` message is recorded, the server
     /// view refreshed, and `Some(value)` returned for the protocol to

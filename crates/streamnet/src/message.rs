@@ -5,6 +5,8 @@
 //! server↔source message, broken down by class, so benches can report both
 //! the headline total and where it went (DESIGN.md §3.3).
 
+use asf_persist::{StateReader, StateWriter};
+
 /// Classes of messages exchanged between server and sources.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MessageKind {
@@ -112,6 +114,24 @@ impl Ledger {
         *self = Ledger::default();
     }
 
+    /// Serializes the ledger into a durable checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+        w.put_u64(self.broadcast_ops);
+    }
+
+    /// Decodes a ledger written by [`Ledger::encode`].
+    pub fn decode(r: &mut StateReader<'_>) -> asf_persist::Result<Self> {
+        let mut counts = [0u64; 5];
+        for c in &mut counts {
+            *c = r.get_u64()?;
+        }
+        let broadcast_ops = r.get_u64()?;
+        Ok(Self { counts, broadcast_ops })
+    }
+
     /// One-line breakdown, e.g. for bench table footers.
     pub fn breakdown(&self) -> String {
         let mut parts: Vec<String> = Vec::with_capacity(5);
@@ -166,6 +186,21 @@ mod tests {
         l.reset();
         assert_eq!(l.total(), 0);
         assert_eq!(l, Ledger::new());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut l = Ledger::new();
+        l.record(MessageKind::Update, 3);
+        l.record(MessageKind::FilterBroadcast, 800);
+        let mut w = StateWriter::new();
+        l.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let back = Ledger::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, l);
+        assert_eq!(back.broadcast_ops(), 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! A single stream source with its adaptive filter.
 
+use asf_persist::{PersistError, StateReader, StateWriter};
+
 use crate::filter::Filter;
 use crate::StreamId;
 
@@ -69,6 +71,29 @@ impl StreamSource {
         self.value = value;
         self.last_reported = last_reported;
         self.traffic = traffic;
+    }
+
+    /// Serializes the full source state (value, last-reported, filter,
+    /// traffic) into a durable checkpoint. The id is not written — it is
+    /// positional in the fleet encoding.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.put_f64(self.value);
+        w.put_opt_f64(self.last_reported);
+        self.filter.encode(w);
+        w.put_u64(self.traffic);
+    }
+
+    /// Decodes a source written by [`StreamSource::encode`], reattaching
+    /// the positional `id`.
+    pub fn decode(id: StreamId, r: &mut StateReader<'_>) -> asf_persist::Result<Self> {
+        let value = r.get_f64()?;
+        let last_reported = r.get_opt_f64()?;
+        let filter = Filter::decode(r)?;
+        let traffic = r.get_u64()?;
+        if !value.is_finite() || last_reported.is_some_and(|v| !v.is_finite()) {
+            return Err(PersistError::corrupt("non-finite stream value"));
+        }
+        Ok(Self { id, value, last_reported, filter, traffic })
     }
 
     /// Applies a new value from the workload and decides whether the filter
@@ -199,6 +224,26 @@ mod tests {
     fn install_before_any_report_never_syncs() {
         let mut s = src(500.0);
         assert!(!s.install(Filter::interval(0.0, 1.0)));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut s = src(500.0);
+        s.mark_reported();
+        s.install(Filter::interval(400.0, 600.0));
+        s.apply_value(550.0);
+        s.add_traffic(7);
+        let mut w = StateWriter::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let back = StreamSource::decode(StreamId(0), &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.id(), s.id());
+        assert_eq!(back.value(), s.value());
+        assert_eq!(back.last_reported(), s.last_reported());
+        assert_eq!(back.filter(), s.filter());
+        assert_eq!(back.traffic(), s.traffic());
     }
 
     #[test]

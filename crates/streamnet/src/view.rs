@@ -5,10 +5,12 @@
 //! based on this view; the ground truth lives in the sources and is only
 //! accessible to the oracle (tests) or by paying probe messages.
 
+use asf_persist::{PersistError, StateReader, StateWriter};
+
 use crate::StreamId;
 
 /// Last-known values of all `n` streams, indexed by [`StreamId`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServerView {
     values: Vec<f64>,
     known: Vec<bool>,
@@ -68,6 +70,35 @@ impl ServerView {
     /// counter.
     pub fn all_known(&self) -> bool {
         self.known_count == self.values.len()
+    }
+
+    /// Serializes the view into a durable checkpoint.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.put_u64(self.values.len() as u64);
+        for (&v, &k) in self.values.iter().zip(self.known.iter()) {
+            w.put_bool(k);
+            w.put_f64(v);
+        }
+    }
+
+    /// Decodes a view written by [`ServerView::encode`].
+    pub fn decode(r: &mut StateReader<'_>) -> asf_persist::Result<Self> {
+        let n = r.get_u64()? as usize;
+        if n > r.remaining() / 9 {
+            return Err(PersistError::corrupt("view longer than payload"));
+        }
+        let mut view = ServerView::new(n);
+        for i in 0..n {
+            let known = r.get_bool()?;
+            let value = r.get_f64()?;
+            if known {
+                if !value.is_finite() {
+                    return Err(PersistError::corrupt("non-finite view value"));
+                }
+                view.set(StreamId(i as u32), value);
+            }
+        }
+        Ok(view)
     }
 
     /// Ids the server has never heard from, in ascending order — the probe
@@ -134,6 +165,32 @@ mod tests {
         v.set(StreamId(0), 1.0);
         v.set(StreamId(1), 2.0);
         assert!(v.all_known());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut v = ServerView::new(4);
+        v.set(StreamId(1), 42.5);
+        v.set(StreamId(3), -7.0);
+        let mut w = StateWriter::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let back = ServerView::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.known_count(), 2);
+        assert_eq!(back.get(StreamId(1)), 42.5);
+        assert_eq!(back.get(StreamId(3)), -7.0);
+        assert!(!back.is_known(StreamId(0)));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_length() {
+        let mut w = StateWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(ServerView::decode(&mut StateReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -32,10 +32,14 @@ pub enum Cause {
     DeferredFlush,
     /// Periodic/maintenance work not covered above.
     Maintenance,
+    /// Crash recovery: messages sent while rebuilding state after a
+    /// restart (the cold-start probe storm when no checkpoint survived).
+    /// Stays zero when recovery restores from a checkpoint.
+    Recovery,
 }
 
 /// Number of [`Cause`] variants.
-pub const NUM_CAUSES: usize = 9;
+pub const NUM_CAUSES: usize = 10;
 
 /// Message-kind slots per cause (mirrors the streamnet ledger's five
 /// kinds; labels are supplied by the caller so this crate stays
@@ -54,6 +58,7 @@ impl Cause {
         Cause::BoundRecompute,
         Cause::DeferredFlush,
         Cause::Maintenance,
+        Cause::Recovery,
     ];
 
     fn slot(self) -> usize {
@@ -67,6 +72,7 @@ impl Cause {
             Cause::BoundRecompute => 6,
             Cause::DeferredFlush => 7,
             Cause::Maintenance => 8,
+            Cause::Recovery => 9,
         }
     }
 
@@ -82,6 +88,7 @@ impl Cause {
             Cause::BoundRecompute => "bound_recompute",
             Cause::DeferredFlush => "deferred_flush",
             Cause::Maintenance => "maintenance",
+            Cause::Recovery => "recovery",
         }
     }
 }

@@ -30,7 +30,7 @@ pub mod json;
 pub mod registry;
 pub mod trace;
 
-pub use causes::{Cause, CauseLedger, NUM_CAUSES};
+pub use causes::{Cause, CauseLedger, NUM_CAUSES, NUM_KIND_SLOTS};
 pub use hist::LogHistogram;
 pub use registry::{MetricValue, Registry};
 pub use trace::{chrome_trace, validate_chrome_trace, TraceDepth, TraceEvent, TraceRing};

@@ -1,0 +1,408 @@
+//! Crash-recovery correctness of `asf-server`'s durability layer: for
+//! **every** protocol, a server that crashes mid-stream and recovers from
+//! its durability directory (latest valid checkpoint + journal-suffix
+//! replay) is **byte-identical** — answers, message ledgers, views, rank
+//! order, cause matrix, ground truth — to a server that processed the same
+//! durable prefix without ever crashing, across shard counts and both
+//! coordinator schedules. Fault-injection cases (torn journal tails, torn
+//! checkpoints, lost checkpoints, bit flips) recover to the last durable
+//! quiescent point instead of panicking or silently replaying corruption.
+
+use std::path::PathBuf;
+
+use asf_core::multi_query::MultiRangeZt;
+use asf_core::protocol::{
+    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Protocol, Rtp, VtMax, ZtNrp, ZtRp,
+};
+use asf_core::query::{RangeQuery, RankQuery};
+use asf_core::tolerance::FractionTolerance;
+use asf_core::workload::{UpdateEvent, Workload};
+use asf_server::{
+    CheckpointMode, CoordMode, DurabilityConfig, ExecMode, ServerConfig, ShardedServer,
+};
+use asf_telemetry::Cause;
+use streamnet::StreamId;
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+const NUM_STREAMS: usize = 64;
+
+fn fixture(seed: u64) -> (Vec<f64>, Vec<UpdateEvent>) {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: NUM_STREAMS,
+        horizon: 150.0,
+        seed,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+    (initial, events)
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("asf-recovery-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Asserts every deterministic observable of `got` matches `want`:
+/// answers, ledger, report/event counts, the full view, the maintained
+/// rank order, the per-cause message matrix (unless `skip_causes` — cold
+/// recovery intentionally relabels its startup storm), and ground truth.
+fn assert_state_identical<P: Protocol>(
+    tag: &str,
+    got: &mut ShardedServer<P>,
+    want: &mut ShardedServer<P>,
+    skip_causes: bool,
+) {
+    assert_eq!(got.answer(), want.answer(), "{tag}: answers diverged");
+    assert_eq!(got.ledger(), want.ledger(), "{tag}: ledgers diverged");
+    assert_eq!(got.reports_processed(), want.reports_processed(), "{tag}: report counts diverged");
+    assert_eq!(got.events_processed(), want.events_processed(), "{tag}: event counts diverged");
+    for i in 0..NUM_STREAMS {
+        let id = StreamId(i as u32);
+        assert_eq!(
+            got.view().is_known(id),
+            want.view().is_known(id),
+            "{tag}: view knowledge diverged for {id}"
+        );
+        if got.view().is_known(id) {
+            assert_eq!(got.view().get(id), want.view().get(id), "{tag}: view diverged for {id}");
+        }
+    }
+    assert_eq!(
+        got.rank_index().map(|f| f.ordered_pairs()),
+        want.rank_index().map(|f| f.ordered_pairs()),
+        "{tag}: rank order diverged"
+    );
+    if !skip_causes {
+        assert_eq!(got.causes(), want.causes(), "{tag}: cause matrices diverged");
+    }
+    assert_eq!(got.truth_values(), want.truth_values(), "{tag}: ground truth diverged");
+}
+
+/// Runs `make()`'s protocol to the end without crashing (no durability
+/// attached — durability must be observational).
+fn reference<P: Protocol, F: Fn() -> P>(
+    initial: &[f64],
+    events: &[UpdateEvent],
+    make: &F,
+    config: ServerConfig,
+) -> ShardedServer<P> {
+    let mut server = ShardedServer::new(initial, make(), config);
+    server.initialize();
+    server.ingest_batch(events);
+    server
+}
+
+/// The tentpole differential: crash `make()`'s protocol at 60% of the
+/// stream, recover from disk, feed the rest, and demand byte-identity with
+/// the never-crashed run — across shard counts and both coordinators.
+fn assert_crash_recovery_identical<P, F>(name: &str, make: F)
+where
+    P: Protocol,
+    F: Fn() -> P,
+{
+    let (initial, events) = fixture(0xFEED);
+    let split = events.len() * 6 / 10;
+    for shards in [1usize, 2, 8] {
+        for coordinator in [CoordMode::Serial, CoordMode::Pipelined] {
+            let tag = format!("{name} shards={shards} {coordinator:?}");
+            let config = ServerConfig::with_shards(shards).batch_size(64).coordinator(coordinator);
+            let dir = test_dir("diff");
+            let durable =
+                DurabilityConfig::new(&dir).checkpoint_every(100).mode(CheckpointMode::Sync);
+
+            let mut crashed = ShardedServer::new(&initial, make(), config);
+            crashed.initialize();
+            crashed.enable_durability(durable.clone()).unwrap();
+            crashed.ingest_batch(&events[..split]);
+            assert_eq!(crashed.events_processed(), split as u64);
+            assert!(crashed.metrics().checkpoints > 1, "{tag}: cadence never fired");
+            // Crash: drop without shutdown — no final checkpoint, no flush.
+            drop(crashed);
+
+            let mut recovered = ShardedServer::recover(&initial, make(), config, durable).unwrap();
+            assert_eq!(
+                recovered.events_processed(),
+                split as u64,
+                "{tag}: recovery lost durable events"
+            );
+            assert!(recovered.metrics().recovery_replay_ns > 0, "{tag}: replay not metered");
+            recovered.ingest_batch(&events[split..]);
+
+            let mut want = reference(&initial, &events, &make, config);
+            assert_state_identical(&tag, &mut recovered, &mut want, false);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn no_filter_recovers_byte_identical() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    assert_crash_recovery_identical("no-filter/range", || NoFilter::range(query));
+}
+
+#[test]
+fn zt_nrp_recovers_byte_identical() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    assert_crash_recovery_identical("ZT-NRP", || ZtNrp::new(query));
+}
+
+#[test]
+fn ft_nrp_recovers_byte_identical() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let tol = FractionTolerance::new(0.25, 0.25).unwrap();
+    assert_crash_recovery_identical("FT-NRP", move || {
+        FtNrp::new(query, tol, FtNrpConfig::default(), 42).unwrap()
+    });
+}
+
+#[test]
+fn zt_rp_recovers_byte_identical() {
+    let query = RankQuery::knn(500.0, 6).unwrap();
+    assert_crash_recovery_identical("ZT-RP", move || ZtRp::new(query).unwrap());
+}
+
+#[test]
+fn ft_rp_recovers_byte_identical() {
+    let query = RankQuery::knn(500.0, 8).unwrap();
+    let tol = FractionTolerance::symmetric(0.25).unwrap();
+    assert_crash_recovery_identical("FT-RP", move || {
+        FtRp::new(query, tol, FtRpConfig::default(), 7).unwrap()
+    });
+}
+
+#[test]
+fn rtp_recovers_byte_identical() {
+    let query = RankQuery::knn(500.0, 5).unwrap();
+    assert_crash_recovery_identical("RTP", move || Rtp::new(query, 3).unwrap());
+}
+
+#[test]
+fn vt_max_recovers_byte_identical() {
+    assert_crash_recovery_identical("VT-MAX", || VtMax::new(50.0).unwrap());
+}
+
+#[test]
+fn multi_query_recovers_byte_identical() {
+    let queries = vec![
+        RangeQuery::new(100.0, 300.0).unwrap(),
+        RangeQuery::new(200.0, 500.0).unwrap(),
+        RangeQuery::new(450.0, 700.0).unwrap(),
+    ];
+    assert_crash_recovery_identical("MULTI-ZT", move || {
+        MultiRangeZt::new(queries.clone()).unwrap()
+    });
+}
+
+#[test]
+fn threaded_background_checkpoints_recover_byte_identical() {
+    // Background checkpoints race the coordinator (a busy writer coalesces,
+    // and whichever image lands last wins) — recovery must be identical no
+    // matter which checkpoint survived, because every checkpoint sequence
+    // has full journal coverage behind it.
+    let (initial, events) = fixture(0xFEED);
+    let split = events.len() / 2;
+    let query = RankQuery::knn(500.0, 5).unwrap();
+    let make = || Rtp::new(query, 3).unwrap();
+    let config = ServerConfig::with_shards(4).batch_size(64).mode(ExecMode::Threaded);
+    let dir = test_dir("bg");
+    let durable = DurabilityConfig::new(&dir).checkpoint_every(50);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.ingest_batch(&events[..split]);
+    drop(crashed);
+
+    let mut recovered = ShardedServer::recover(&initial, make(), config, durable).unwrap();
+    recovered.ingest_batch(&events[split..]);
+    let mut want = reference(&initial, &events, &make, config);
+    assert_state_identical("threaded/background", &mut recovered, &mut want, false);
+    recovered.shutdown();
+    want.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_tail_recovers_to_durable_prefix() {
+    // A crash mid-journal-append poisons the handle: the torn chunk (and
+    // everything after it) is dropped un-applied. Recovery truncates the
+    // tear and rebuilds exactly the durable prefix — then keeps working.
+    let (initial, events) = fixture(0xFEED);
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let make = || ZtNrp::new(query);
+    let config = ServerConfig::with_shards(2).batch_size(64);
+    let dir = test_dir("torn");
+    let durable = DurabilityConfig::new(&dir).checkpoint_every(100).mode(CheckpointMode::Sync);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    // Let ~3 chunks land, then tear mid-record on a later append.
+    crashed.durability_mut().unwrap().arm_journal_crash(4000);
+    crashed.ingest_batch(&events);
+    let d = crashed.durability_mut().unwrap();
+    assert!(d.is_poisoned(), "the tear must poison the handle");
+    let durable_events = crashed.events_processed();
+    assert!(
+        durable_events > 0 && durable_events < events.len() as u64,
+        "tear should land mid-stream, got {durable_events}/{}",
+        events.len()
+    );
+    drop(crashed);
+
+    let mut recovered = ShardedServer::recover(&initial, make(), config, durable).unwrap();
+    assert_eq!(recovered.events_processed(), durable_events, "recovery != durable prefix");
+    let mut want = reference(&initial, &events[..durable_events as usize], &make, config);
+    assert_state_identical("torn-journal", &mut recovered, &mut want, false);
+
+    // The recovered server is fully live: feed it the rest of the stream
+    // and it matches a never-crashed full run.
+    recovered.ingest_batch(&events[durable_events as usize..]);
+    let mut full = reference(&initial, &events, &make, config);
+    assert_state_identical("torn-journal/resumed", &mut recovered, &mut full, false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_checkpoint_crash_falls_back_to_an_older_checkpoint() {
+    // Tearing a checkpoint write must not lose the previous checkpoint
+    // (double-buffered slots) and must not corrupt recovery: the older
+    // image plus a longer journal replay reproduces the durable prefix.
+    let (initial, events) = fixture(0xFEED);
+    let query = RankQuery::knn(500.0, 5).unwrap();
+    let make = || Rtp::new(query, 3).unwrap();
+    let config = ServerConfig::with_shards(2).batch_size(64);
+    let dir = test_dir("ckpt");
+    let durable = DurabilityConfig::new(&dir).checkpoint_every(100).mode(CheckpointMode::Sync);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    // The anchor checkpoint has landed; tear partway into the next one.
+    crashed.durability_mut().unwrap().arm_checkpoint_crash(200);
+    crashed.ingest_batch(&events);
+    assert!(crashed.durability_mut().unwrap().is_poisoned());
+    let durable_events = crashed.events_processed();
+    assert!(durable_events > 0, "the first cadence checkpoint fires after ~100 events");
+    drop(crashed);
+
+    let mut recovered = ShardedServer::recover(&initial, make(), config, durable).unwrap();
+    assert_eq!(recovered.events_processed(), durable_events);
+    let mut want = reference(&initial, &events[..durable_events as usize], &make, config);
+    assert_state_identical("torn-checkpoint", &mut recovered, &mut want, false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lost_checkpoints_cold_recover_from_the_journal_alone() {
+    // Deleting every snapshot forces the cold path: re-initialize the
+    // protocol (the probe storm is attributed to `Cause::Recovery`) and
+    // replay the whole journal from sequence zero. Answers, ledgers, views,
+    // and rank order still match; only the cause *labels* differ.
+    let (initial, events) = fixture(0xFEED);
+    let split = events.len() / 2;
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let make = || ZtNrp::new(query);
+    let config = ServerConfig::with_shards(2).batch_size(64);
+    let dir = test_dir("cold");
+    let durable = DurabilityConfig::new(&dir).checkpoint_every(100).mode(CheckpointMode::Sync);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.ingest_batch(&events[..split]);
+    drop(crashed);
+    for snap in ["snap-a.bin", "snap-b.bin"] {
+        let _ = std::fs::remove_file(dir.join(snap));
+    }
+
+    let mut recovered = ShardedServer::recover(&initial, make(), config, durable).unwrap();
+    assert_eq!(recovered.events_processed(), split as u64);
+    let mut want = reference(&initial, &events[..split], &make, config);
+    assert_state_identical("cold", &mut recovered, &mut want, true);
+    assert!(
+        recovered.causes().total(Cause::Recovery) > 0,
+        "cold recovery must attribute its startup storm to the recovery cause"
+    );
+    assert_eq!(want.causes().total(Cause::Recovery), 0);
+    assert_eq!(
+        recovered.causes().grand_total(),
+        want.causes().grand_total(),
+        "relabeling must not change the message totals"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_journal_tail_is_truncated_not_replayed() {
+    // Flip the last byte of the journal (inside the final record's CRC or
+    // payload): recovery must detect the corruption, drop exactly that
+    // suffix, and rebuild the state the surviving records describe.
+    let (initial, events) = fixture(0xFEED);
+    let split = events.len() / 2;
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let make = || ZtNrp::new(query);
+    let config = ServerConfig::with_shards(2).batch_size(64);
+    let dir = test_dir("flip");
+    let durable = DurabilityConfig::new(&dir).checkpoint_every(100_000).mode(CheckpointMode::Sync);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.ingest_batch(&events[..split]);
+    drop(crashed);
+
+    let journal = dir.join("journal.log");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    *bytes.last_mut().unwrap() ^= 0x40;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let mut recovered = ShardedServer::recover(&initial, make(), config, durable).unwrap();
+    let durable_events = recovered.events_processed();
+    assert!(durable_events < split as u64, "the corrupt final chunk must not have been replayed");
+    // Self-consistency: the recovered server equals a clean run over
+    // exactly the events it claims to hold.
+    let mut want = reference(&initial, &events[..durable_events as usize], &make, config);
+    assert_state_identical("bit-flip", &mut recovered, &mut want, false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_rejects_a_mismatched_configuration() {
+    let (initial, events) = fixture(0xFEED);
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let make = || ZtNrp::new(query);
+    let config = ServerConfig::with_shards(4).batch_size(64);
+    let dir = test_dir("mismatch");
+    let durable = DurabilityConfig::new(&dir).checkpoint_every(100).mode(CheckpointMode::Sync);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.ingest_batch(&events[..events.len() / 2]);
+    drop(crashed);
+
+    // A different shard count cannot load the 4-shard snapshot image: the
+    // mismatch is detected and reported, never a panic or a silent
+    // mis-restore.
+    let err = match ShardedServer::recover(
+        &initial,
+        make(),
+        ServerConfig::with_shards(2).batch_size(64),
+        durable,
+    ) {
+        Ok(_) => panic!("recovery with a mismatched shard count must fail"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("shard count"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -216,7 +216,7 @@ fn telemetry_snapshot_has_the_documented_schema() {
         assert!(hist.iter().any(|(k, _)| k == field), "batch_apply_ns histogram missing {field}");
     }
     // The full cause × kind matrix is always present (schema stability):
-    // 9 causes × 5 kinds + the grand total.
+    // 10 causes × 5 kinds + the grand total.
     let cause_cells = obj.iter().filter(|(k, _)| k.starts_with("causes.")).count();
-    assert_eq!(cause_cells, 9 * 5 + 1, "cause matrix must be fully registered");
+    assert_eq!(cause_cells, 10 * 5 + 1, "cause matrix must be fully registered");
 }
