@@ -42,8 +42,19 @@
 //! mid-checkpoint crash, recovers, and asserts byte-identity with the
 //! durable prefix.
 //!
+//! A **chaos overhead sweep** rides along (full runs and
+//! `--scenario chaos`): the ZT-NRP workload is re-ingested over the
+//! fault-injected source↔server channel (`streamnet::ChaosState`) at 1%,
+//! 5%, and 20% frame loss. The authoritative ledger still meters only the
+//! logical protocol; everything the unreliable network added —
+//! retransmissions, duplicate ghosts, heartbeats — lands in
+//! `overhead_frames`, and the per-level ratio of the two goes into the
+//! JSON's `chaos` object together with retry/timeout/epoch-reject/repair
+//! counters.
+//!
 //! Flags: `--quick` (reduced scale), `--scenario <name>` (run one scenario
-//! only, e.g. `--scenario reinit_storm` or `--scenario recovery`),
+//! only, e.g. `--scenario reinit_storm`, `--scenario recovery`, or
+//! `--scenario chaos`),
 //! `--fault-smoke` (forced mid-checkpoint crash + recover + invariance
 //! check), `--trace-out <path>` (rerun one
 //! traced ZT-NRP configuration and write its span timeline as Chrome
@@ -72,7 +83,8 @@ use asf_server::{
     ShardedServer, TelemetryConfig, TraceDepth,
 };
 use bench_harness::Scale;
-use streamnet::StreamId;
+use simkit::fault::FaultMix;
+use streamnet::{ChaosConfig, StreamId};
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
 /// Counts every heap allocation so the bench can audit the coordinator's
@@ -574,8 +586,14 @@ fn main() {
         // ingest outruns the 26 MiB checkpoint writes, so the last landed
         // checkpoint — and the measured replay — would be a race.)
         let every = (events_rec.len() as u64 / 8).max(1);
-        let durable =
-            DurabilityConfig::new(&dir).checkpoint_every(every).mode(CheckpointMode::Sync);
+        // Compaction off: the cold-restart alternative below replays the
+        // *entire* journal history, which pruned segments would no longer
+        // carry (pruning is exactly the optimization that makes the
+        // journal non-self-sufficient once checkpoints supersede it).
+        let durable = DurabilityConfig::new(&dir)
+            .checkpoint_every(every)
+            .mode(CheckpointMode::Sync)
+            .rotate_journal_every(None);
         let mut server = ShardedServer::new(&initial_rec, ZtNrp::new(query), config);
         server.initialize();
         server.enable_durability(durable.clone()).expect("open durability dir");
@@ -656,6 +674,86 @@ fn main() {
              \"bare_probe_all_init_ns\": {bare_probe_all_init_ns}, \
              \"recovery_speedup_vs_cold\": {speedup:.2}}}",
             events_rec.len()
+        ))
+    } else {
+        None
+    };
+
+    // Chaos overhead sweep: the ZT-NRP workload re-ingested over the
+    // fault-injected source↔server channel at 1% / 5% / 20% frame loss.
+    // The authoritative ledger still meters only logical protocol
+    // messages; everything the unreliable network added —
+    // retransmissions, duplicate ghosts, heartbeats — lands in
+    // `overhead_frames`, and the per-level ratio of the two is the
+    // headline. Faults stay active for the whole run (convergence after
+    // quiescence is `tests/chaos_differential.rs`' job; this sweep prices
+    // the steady-state fault tax).
+    let chaos = if only.is_none() || only.as_deref() == Some("chaos") {
+        let config = ServerConfig {
+            num_shards: 4,
+            batch_size: 1024,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_off(),
+        };
+        let mut levels: Vec<String> = Vec::new();
+        for &loss in &[0.01f64, 0.05, 0.20] {
+            eprintln!("running chaos sweep at loss={loss} ...");
+            let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
+            server.initialize();
+            // Leases span four heartbeat rounds (one round per 1024-event
+            // chunk, one tick per event): short enough that heavy loss
+            // genuinely expires leases mid-run and exercises the
+            // degradation + repair path, long enough that 1% loss mostly
+            // keeps the fleet verified-live.
+            server.enable_chaos(
+                ChaosConfig::new(seed ^ (loss * 100.0) as u64, FaultMix::loss_only(loss), u64::MAX)
+                    .lease_ticks(4 * 1024),
+            );
+            server.ingest_batch(&events);
+            let stats = *server.chaos_stats().expect("chaos enabled");
+            let total = server.ledger().total();
+            let m = server.metrics().clone();
+            server.shutdown();
+            let overhead_ratio = stats.overhead_frames as f64 / total.max(1) as f64;
+            assert!(
+                stats.reports_lost + stats.heartbeats_lost > 0,
+                "chaos sweep at loss={loss}: the mix never dropped a frame"
+            );
+            eprintln!(
+                "chaos loss={loss:.2}: {total} logical messages, {} overhead frames \
+                 ({overhead_ratio:.3}x), {} retries, {} timeouts, {} epoch rejects, {} dead at \
+                 end, {} repair re-probes, repair {:.1}ms",
+                stats.overhead_frames,
+                stats.retries,
+                stats.timeouts,
+                stats.epoch_rejects,
+                m.dead_sources,
+                stats.repaired_sources,
+                m.repair_ns as f64 / 1e6,
+            );
+            levels.push(format!(
+                "{{\"loss\": {loss}, \"total_messages\": {total}, \"overhead_frames\": {}, \
+                 \"overhead_ratio\": {overhead_ratio:.4}, \"retries\": {}, \"timeouts\": {}, \
+                 \"epoch_rejects\": {}, \"reports_lost\": {}, \"heartbeats_sent\": {}, \
+                 \"dead_sources\": {}, \"repaired_sources\": {}, \"repair_ns\": {}}}",
+                stats.overhead_frames,
+                stats.retries,
+                stats.timeouts,
+                stats.epoch_rejects,
+                stats.reports_lost,
+                stats.heartbeats_sent,
+                m.dead_sources,
+                stats.repaired_sources,
+                m.repair_ns,
+            ));
+        }
+        Some(format!(
+            "{{\"num_streams\": {num_streams}, \"events\": {}, \"levels\": [{}]}}",
+            events.len(),
+            levels.join(", ")
         ))
     } else {
         None
@@ -840,6 +938,7 @@ fn main() {
             .unwrap_or_else(|| "null".into())
     );
     let _ = writeln!(json, "  \"recovery\": {},", recovery.as_deref().unwrap_or("null"));
+    let _ = writeln!(json, "  \"chaos\": {},", chaos.as_deref().unwrap_or("null"));
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));

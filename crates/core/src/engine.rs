@@ -199,15 +199,81 @@ impl<P: Protocol> ProtocolCore<P> {
     }
 
     fn drain_pending(&mut self, fleet: &mut dyn FleetOps) {
+        self.drain_pending_with_cause(fleet, Cause::SourceReport);
+    }
+
+    fn drain_pending_with_cause(&mut self, fleet: &mut dyn FleetOps, cause: Cause) {
         let mut steps = 0;
         while let Some((id, value)) = self.pending.pop_front() {
             steps += 1;
             assert!(steps <= CASCADE_CAP, "resolution cascade did not converge (protocol bug?)");
             self.reports_processed += 1;
-            self.run_handler(fleet, Cause::SourceReport, |protocol, ctx| {
+            self.run_handler(fleet, cause, |protocol, ctx| protocol.on_update(id, value, ctx));
+        }
+    }
+
+    /// Fault-repair path, run at quiescent points by the fault-tolerance
+    /// layer: re-probes `ids` (sources whose channel lost frames, crashed,
+    /// or rejoined after a lease expiry) and feeds each refreshed value to
+    /// the protocol as maintenance input so it can re-decide answer
+    /// membership and redeploy filters. All messages are attributed to
+    /// [`Cause::Repair`].
+    ///
+    /// The probe is what restores the paper's filter invariant for a healed
+    /// source: it refreshes the server view *and* resets the source's
+    /// last-reported value, after which the re-installed filter's guarantee
+    /// holds again.
+    pub fn repair_sources(&mut self, fleet: &mut dyn FleetOps, ids: &[StreamId]) {
+        assert!(self.initialized, "core must be initialized before repair");
+        if ids.is_empty() {
+            return;
+        }
+        self.run_handler(fleet, Cause::Repair, |_, ctx| {
+            ctx.probe_many(ids);
+        });
+        for &id in ids {
+            let value = self.view.get(id);
+            self.reports_processed += 1;
+            self.run_handler(fleet, Cause::Repair, |protocol, ctx| {
                 protocol.on_update(id, value, ctx)
             });
+            self.drain_pending_with_cause(fleet, Cause::Repair);
         }
+    }
+
+    /// Notifies the protocol that `dead` sources went silently dark (lease
+    /// expired) via [`Protocol::on_fleet_degraded`], then drains any work
+    /// the hook induced. No-op for an empty list.
+    pub fn degrade(&mut self, fleet: &mut dyn FleetOps, dead: &[StreamId]) {
+        assert!(self.initialized, "core must be initialized before degradation");
+        if dead.is_empty() {
+            return;
+        }
+        self.run_handler(fleet, Cause::Repair, |protocol, ctx| {
+            protocol.on_fleet_degraded(dead, ctx)
+        });
+        self.drain_pending_with_cause(fleet, Cause::Repair);
+    }
+
+    /// Post-fault resynchronization: swaps in a freshly configured protocol
+    /// instance and re-runs its Initialization phase (probe the world,
+    /// redeploy filters) under [`Cause::Repair`], keeping the cumulative
+    /// ledger, view, and rank index.
+    ///
+    /// This is the convergence contract of the chaos differential suite:
+    /// faults perturb which reports reach the server, so protocol state
+    /// legitimately diverges *while* faults are active — but once they
+    /// cease, a resync run on the faulted server and on a never-faulted
+    /// server produces byte-identical views, answers, and from-here-on
+    /// ledger deltas, because initialization is a pure function of ground
+    /// truth. The caller supplies `fresh` configured identically to the
+    /// original protocol.
+    pub fn resync(&mut self, fleet: &mut dyn FleetOps, fresh: P) {
+        assert!(self.initialized, "resync requires an initialized core");
+        assert!(self.pending.is_empty(), "resync requires quiescence");
+        self.protocol = fresh;
+        self.run_handler(fleet, Cause::Repair, |protocol, ctx| protocol.initialize(ctx));
+        self.drain_pending_with_cause(fleet, Cause::Repair);
     }
 
     /// Delivers one update through `fleet` (recording the `Update` message

@@ -177,6 +177,133 @@ pub fn fraction_rank_violation(
     }
 }
 
+/// Number of answer members that are not live — each is a *potential*
+/// violation under degraded operation: the server cannot currently
+/// substantiate the membership of a dead source, and the live-population
+/// oracle checks surface them through this count.
+pub fn dead_members(answer: &AnswerSet, is_live: impl Fn(StreamId) -> bool) -> usize {
+    answer.iter().filter(|&id| !is_live(id)).count()
+}
+
+/// Zero-tolerance membership check restricted to the live population: every
+/// live source must be in the answer exactly when its true value satisfies
+/// the query. Dead sources are skipped (use [`dead_members`] to surface
+/// them as potential violations); this is the in-fault guarantee of the
+/// zero-tolerance protocols — exactness over every source the server can
+/// currently vouch for.
+pub fn live_range_exact_violation(
+    query: RangeQuery,
+    answer: &AnswerSet,
+    fleet: &SourceFleet,
+    is_live: impl Fn(StreamId) -> bool,
+) -> Option<String> {
+    for s in fleet.iter() {
+        let id = s.id();
+        if !is_live(id) {
+            continue;
+        }
+        let in_truth = query.contains(s.value());
+        let in_answer = answer.contains(id);
+        if in_truth != in_answer {
+            return Some(format!(
+                "live {id} (value {}) is {} the answer but {} the range",
+                s.value(),
+                if in_answer { "in" } else { "not in" },
+                if in_truth { "in" } else { "not in" },
+            ));
+        }
+    }
+    None
+}
+
+/// Definition-3 fraction check over the live population. Live sources are
+/// scored normally; dead truth members leave the `F⁻` denominator (the
+/// server cannot hear from them), while every dead *answer* member is
+/// counted as a potential false positive in `E⁺` — a dead source the
+/// server still serves is exactly the "potential violation" the degraded
+/// tolerance accounting must absorb within `eps_plus`.
+pub fn live_fraction_range_violation(
+    query: RangeQuery,
+    tol: FractionTolerance,
+    answer: &AnswerSet,
+    fleet: &SourceFleet,
+    is_live: impl Fn(StreamId) -> bool,
+) -> Option<String> {
+    let mut e_plus = dead_members(answer, &is_live);
+    let mut e_minus = 0usize;
+    let mut live_truth = 0usize;
+    for s in fleet.iter() {
+        let id = s.id();
+        if !is_live(id) {
+            continue;
+        }
+        let in_truth = query.contains(s.value());
+        let in_answer = answer.contains(id);
+        if in_truth {
+            live_truth += 1;
+            if !in_answer {
+                e_minus += 1;
+            }
+        } else if in_answer {
+            e_plus += 1;
+        }
+    }
+    let f_plus = if answer.is_empty() { 0.0 } else { e_plus as f64 / answer.len() as f64 };
+    let f_minus = if live_truth == 0 { 0.0 } else { e_minus as f64 / live_truth as f64 };
+    if f_plus <= tol.eps_plus() && f_minus <= tol.eps_minus() {
+        None
+    } else {
+        Some(format!(
+            "live F+ = {f_plus:.4} (eps+ = {}), F- = {f_minus:.4} (eps- = {}), \
+             |A| = {}, E+ = {e_plus} (incl. {} dead members), E- = {e_minus}, live truth = {live_truth}",
+            tol.eps_plus(),
+            tol.eps_minus(),
+            answer.len(),
+            dead_members(answer, &is_live),
+        ))
+    }
+}
+
+/// Definition-1 rank check over the live population: the true ranking is
+/// computed among live sources only, and every live answer member must rank
+/// within `epsilon` of it. Dead answer members are skipped here and
+/// surfaced via [`dead_members`]; the size precondition `|A| = k` still
+/// applies to the whole answer (the server keeps serving `k` entries, some
+/// of which it can no longer vouch for).
+pub fn live_rank_violation(
+    query: RankQuery,
+    tol: RankTolerance,
+    answer: &AnswerSet,
+    fleet: &SourceFleet,
+    is_live: impl Fn(StreamId) -> bool,
+) -> Option<String> {
+    if answer.len() != tol.k() {
+        return Some(format!("|A| = {} but k = {}", answer.len(), tol.k()));
+    }
+    let ranking = rank_values(
+        query.space(),
+        fleet.iter().filter(|s| is_live(s.id())).map(|s| (s.id(), s.value())),
+    );
+    let mut rank_of: Vec<Option<usize>> = vec![None; fleet.len()];
+    for (pos, id) in ranking.into_iter().enumerate() {
+        rank_of[id.index()] = Some(pos + 1);
+    }
+    for member in answer.iter() {
+        if !is_live(member) {
+            continue;
+        }
+        let rank = rank_of.get(member.index()).copied().flatten()?;
+        if rank > tol.epsilon() {
+            return Some(format!(
+                "live {member} has live-population rank {rank} > epsilon {} (value {})",
+                tol.epsilon(),
+                fleet.true_value(member)
+            ));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +389,61 @@ mod tests {
         assert_eq!(fraction_rank_violation(q, half, &a, &f), None);
         let tight = FractionTolerance::new(0.4, 0.5).unwrap();
         assert!(fraction_rank_violation(q, tight, &a, &f).is_some());
+    }
+
+    #[test]
+    fn live_exact_check_skips_dead_sources() {
+        let f = fleet(&[450.0, 700.0, 500.0]);
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        // S1 (dead) is wrongly in the answer, S2 (dead) wrongly missing:
+        // both are only *potential* violations.
+        let a = ids(&[0, 1]);
+        let live = |id: StreamId| id == StreamId(0);
+        assert_eq!(live_range_exact_violation(q, &a, &f, live), None);
+        assert_eq!(dead_members(&a, live), 1);
+        // A live mismatch is a hard violation.
+        let all_live = |_: StreamId| true;
+        assert!(live_range_exact_violation(q, &a, &f, all_live).is_some());
+    }
+
+    #[test]
+    fn live_fraction_check_counts_dead_answer_members_as_e_plus() {
+        let f = fleet(&[450.0, 460.0, 470.0, 480.0]);
+        let q = RangeQuery::new(400.0, 600.0).unwrap();
+        let a = ids(&[0, 1, 2, 3]);
+        let live = |id: StreamId| id != StreamId(3);
+        // One dead member out of four: F+ = 0.25 against |A| = 4.
+        assert_eq!(
+            live_fraction_range_violation(
+                q,
+                FractionTolerance::new(0.25, 0.0).unwrap(),
+                &a,
+                &f,
+                live
+            ),
+            None
+        );
+        let v = live_fraction_range_violation(
+            q,
+            FractionTolerance::new(0.2, 0.0).unwrap(),
+            &a,
+            &f,
+            live,
+        );
+        assert!(v.is_some());
+        assert!(v.unwrap().contains("dead members"));
+    }
+
+    #[test]
+    fn live_rank_check_ranks_among_live_only() {
+        let f = fleet(&[50.0, 40.0, 30.0, 20.0, 10.0]);
+        let q = RankQuery::top_k(2).unwrap();
+        let tol = RankTolerance::new(2, 1).unwrap(); // epsilon = k + 1 = 3
+                                                     // With S0 dead, S3's live-population rank improves to 3 = epsilon.
+        let live = |id: StreamId| id != StreamId(0);
+        assert_eq!(live_rank_violation(q, tol, &ids(&[0, 3]), &f, live), None);
+        // S4 ranks 4 among live: violation even degraded.
+        assert!(live_rank_violation(q, tol, &ids(&[0, 4]), &f, live).is_some());
     }
 
     #[test]

@@ -74,6 +74,21 @@ pub trait Protocol: Send + Sync {
     /// The current answer set `A(t)` returned to the user.
     fn answer(&self) -> AnswerSet;
 
+    /// Degradation hook: the fault-tolerance layer detected that `dead`
+    /// sources went silently dark (lease expired). The protocol may adjust
+    /// its internal state — e.g. drop the sources from its answer set or
+    /// widen remaining tolerance allocations — before the oracle re-checks
+    /// bounds over the surviving live population.
+    ///
+    /// Dead sources cannot be probed (they do not answer), so
+    /// implementations must not touch the fleet for members of `dead`. The
+    /// default does nothing: the engine already excludes dead sources from
+    /// the verified-live population, and the oracle accounts each dead
+    /// answer member as a potential violation.
+    fn on_fleet_degraded(&mut self, dead: &[StreamId], ctx: &mut ServerCtx<'_>) {
+        let _ = (dead, ctx);
+    }
+
     /// Serializes the protocol's **mutable** state into a checkpoint.
     ///
     /// Configuration (queries, tolerances, heuristics, seeds) is *not*

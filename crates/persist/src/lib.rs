@@ -36,7 +36,7 @@ pub use record::{
     FORMAT_VERSION, HEADER_LEN, MAX_RECORD_LEN, RECORD_OVERHEAD,
 };
 pub use store::{
-    CrashPoint, Journal, JournalEntry, SnapshotImage, SnapshotStore, TAG_JOURNAL_CHUNK,
+    CrashPoint, Journal, JournalEntry, RotateStep, SnapshotImage, SnapshotStore, TAG_JOURNAL_CHUNK,
     TAG_SNAPSHOT,
 };
 

@@ -1,13 +1,15 @@
 //! Durable storage: double-buffered snapshots, an append-only journal, and
 //! crash-point fault injection.
 //!
-//! A persistence directory holds at most three data files:
+//! A persistence directory holds the snapshot slots, the active journal,
+//! and any sealed journal segments compaction has not yet pruned:
 //!
 //! ```text
 //! dir/
 //!   snap-a.bin     alternating checkpoint slots — the newest valid one
 //!   snap-b.bin     wins at recovery; the other is the overwrite target
-//!   journal.log    append-only record of committed input chunks
+//!   journal.log    append-only record of committed input chunks (active)
+//!   journal-<k>.seg   sealed journal segments, replayed in index order
 //! ```
 //!
 //! Snapshots are written tmp-file → `fsync` → atomic rename, alternating
@@ -16,6 +18,13 @@
 //! append-only; a crash mid-append leaves a torn tail that
 //! [`Journal::open`] detects by CRC and physically truncates, so a record
 //! that was never fully written is never replayed.
+//!
+//! [`Journal::rotate`] bounds journal growth: the synced active file is
+//! atomically renamed into a sealed segment (`journal-<k>.seg`) and a
+//! fresh active file takes its place. Sealed segments are immutable, so a
+//! torn record inside one is *corruption* (only the active tail may
+//! legitimately tear). [`Journal::prune_segments`] deletes sealed segments
+//! wholly superseded by a durable checkpoint.
 //!
 //! Every write path is routed through a byte-budget [`CrashPoint`]: tests
 //! arm it with `set_crash_after(bytes)` and the store dies (with
@@ -39,6 +48,32 @@ pub const TAG_JOURNAL_CHUNK: u32 = 0x4A43_484B; // "JCHK"
 
 const SLOT_NAMES: [&str; 2] = ["snap-a.bin", "snap-b.bin"];
 const JOURNAL_NAME: &str = "journal.log";
+const SEGMENT_PREFIX: &str = "journal-";
+const SEGMENT_SUFFIX: &str = ".seg";
+
+fn segment_name(index: u64) -> String {
+    format!("{SEGMENT_PREFIX}{index}{SEGMENT_SUFFIX}")
+}
+
+/// Parses `journal-<k>.seg` back into `k`; `None` for any other name.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix(SEGMENT_PREFIX)?.strip_suffix(SEGMENT_SUFFIX)?.parse().ok()
+}
+
+/// Where inside [`Journal::rotate`] an armed crash fires — each step
+/// leaves a distinct intermediate on-disk state a recovery must absorb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RotateStep {
+    /// Die after syncing the active file but before the rename: the
+    /// segment was never created, the active journal is intact.
+    BeforeRename,
+    /// Die after the rename lands but before the fresh active file
+    /// exists: the directory has sealed segments and *no* `journal.log`.
+    AfterRename,
+    /// Die mid-write of the fresh active file's header: `journal.log`
+    /// exists but holds a torn header.
+    TornHeader,
+}
 
 /// Byte-budget write fault injector.
 ///
@@ -298,6 +333,60 @@ pub struct JournalEntry {
     pub payload: Vec<u8>,
 }
 
+/// Lists the sealed segment indices present in `dir`, ascending.
+fn list_segment_indices(dir: &Path) -> Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    let listing = match fs::read_dir(dir) {
+        Ok(listing) => listing,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(indices),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in listing {
+        let entry = entry?;
+        if let Some(index) = entry.file_name().to_str().and_then(parse_segment_name) {
+            indices.push(index);
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+/// Strictly validates one sealed segment image and appends its entries to
+/// `out`, returning the segment's highest entry sequence. Sealed segments
+/// are immutable — a bad header, a torn tail, or a foreign record is
+/// corruption, never something to truncate around.
+fn read_sealed_segment(bytes: &[u8], out: &mut Vec<JournalEntry>) -> Result<u64> {
+    if decode_header(bytes)? != FileKind::Journal {
+        return Err(PersistError::corrupt("sealed segment has wrong kind"));
+    }
+    let scan = scan_records(&bytes[HEADER_LEN..]);
+    if scan.torn_tail {
+        return Err(PersistError::corrupt("torn record in sealed journal segment"));
+    }
+    let mut max_seq = 0u64;
+    out.reserve(scan.records.len());
+    for rec in scan.records {
+        if rec.tag != TAG_JOURNAL_CHUNK || rec.payload.len() < 8 {
+            return Err(PersistError::corrupt("unexpected record in sealed journal segment"));
+        }
+        let seq = u64::from_le_bytes(rec.payload[..8].try_into().expect("8 bytes"));
+        max_seq = max_seq.max(seq);
+        out.push(JournalEntry { seq, payload: rec.payload[8..].to_vec() });
+    }
+    Ok(max_seq)
+}
+
+/// One sealed (immutable) journal segment on disk.
+#[derive(Clone, Debug)]
+struct SealedSegment {
+    index: u64,
+    bytes: u64,
+    /// Highest entry start-sequence in the segment. Chunks are journaled
+    /// at chunk boundaries and checkpoints land at chunk boundaries, so a
+    /// checkpoint at sequence `C > max_seq` supersedes every entry here.
+    max_seq: u64,
+}
+
 /// Append-only write-ahead journal of committed input chunks.
 ///
 /// [`open`](Self::open) validates the header, CRC-scans the body, and
@@ -306,12 +395,25 @@ pub struct JournalEntry {
 /// Appends are buffered writes; call [`sync`](Self::sync) for an explicit
 /// durability barrier (checkpointing syncs before declaring a checkpoint
 /// that supersedes journal prefix).
+///
+/// [`rotate`](Self::rotate) seals the active file into an immutable
+/// `journal-<k>.seg` segment; [`prune_segments`](Self::prune_segments)
+/// deletes segments a durable checkpoint has wholly superseded. Reads
+/// ([`open_and_read`](Self::open_and_read) / [`read_all`](Self::read_all))
+/// replay sealed segments in index order, then the active file.
 #[derive(Debug)]
 pub struct Journal {
+    dir: PathBuf,
     path: PathBuf,
     file: File,
     bytes: u64,
+    sealed: Vec<SealedSegment>,
+    /// Index the next sealed segment will take (monotonic across reopens).
+    next_segment: u64,
+    /// Highest entry start-sequence appended or read so far.
+    last_seq: Option<u64>,
     crash: CrashPoint,
+    rotate_crash: Option<RotateStep>,
     scratch: Vec<u8>,
 }
 
@@ -329,9 +431,18 @@ impl Journal {
     pub fn open_and_read(dir: impl AsRef<Path>) -> Result<(Self, Vec<JournalEntry>)> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
+        let mut entries = Vec::new();
+        let mut sealed = Vec::new();
+        for index in list_segment_indices(dir)? {
+            let path = dir.join(segment_name(index));
+            let bytes =
+                read_file(&path)?.ok_or_else(|| PersistError::corrupt("segment vanished"))?;
+            let max_seq = read_sealed_segment(&bytes, &mut entries)?;
+            sealed.push(SealedSegment { index, bytes: bytes.len() as u64, max_seq });
+        }
+        let next_segment = sealed.last().map_or(0, |s| s.index + 1);
         let path = dir.join(JOURNAL_NAME);
         let existing = read_file(&path)?;
-        let mut entries = Vec::new();
         let valid_end = match existing {
             None => None,
             Some(ref bytes) => {
@@ -372,7 +483,19 @@ impl Journal {
             }
         };
         file.seek(SeekFrom::Start(bytes))?;
-        Ok((Self { path, file, bytes, crash: CrashPoint::default(), scratch: Vec::new() }, entries))
+        let journal = Self {
+            dir: dir.to_path_buf(),
+            path,
+            file,
+            bytes,
+            sealed,
+            next_segment,
+            last_seq: entries.last().map(|e| e.seq),
+            crash: CrashPoint::default(),
+            rotate_crash: None,
+            scratch: Vec::new(),
+        };
+        Ok((journal, entries))
     }
 
     /// Arms the crash injector (see [`CrashPoint`]).
@@ -401,6 +524,7 @@ impl Journal {
         match res {
             Ok(()) => {
                 self.bytes += framed.len() as u64;
+                self.last_seq = Some(self.last_seq.map_or(seq, |s| s.max(seq)));
                 Ok(())
             }
             Err(e) => Err(e),
@@ -413,23 +537,139 @@ impl Journal {
         Ok(())
     }
 
-    /// Reads every fully-written entry, in append order.
+    /// Seals the active file into an immutable `journal-<k>.seg` segment
+    /// and starts a fresh active file: sync → atomic rename → directory
+    /// fsync → write + fsync the new header. A no-op on an empty journal.
     ///
-    /// Tolerates a torn tail (it is ignored, matching what `open` would
-    /// truncate); fails only if the header itself is unreadable.
+    /// On any failure the caller must treat the handle as dead (poison):
+    /// the in-memory file state may no longer match the directory. A
+    /// reopen absorbs every intermediate state — see [`RotateStep`].
+    pub fn rotate(&mut self) -> Result<()> {
+        if self.bytes <= HEADER_LEN as u64 {
+            return Ok(());
+        }
+        self.file.sync_all()?;
+        if self.take_rotate_crash(RotateStep::BeforeRename) {
+            return Err(PersistError::InjectedCrash);
+        }
+        let index = self.next_segment;
+        let seg_path = self.dir.join(segment_name(index));
+        fs::rename(&self.path, &seg_path)?;
+        fsync_dir(&self.dir)?;
+        if self.take_rotate_crash(RotateStep::AfterRename) {
+            return Err(PersistError::InjectedCrash);
+        }
+        self.sealed.push(SealedSegment {
+            index,
+            bytes: self.bytes,
+            // rotate() refuses empty journals, so an entry exists.
+            max_seq: self.last_seq.expect("non-empty journal has a last sequence"),
+        });
+        self.next_segment = index + 1;
+        let mut file = File::create(&self.path)?;
+        let header = encode_header(FileKind::Journal);
+        if self.take_rotate_crash(RotateStep::TornHeader) {
+            let _ = file.write_all(&header[..HEADER_LEN / 2]);
+            let _ = file.sync_all();
+            return Err(PersistError::InjectedCrash);
+        }
+        self.crash.write(&mut file, &header)?;
+        file.sync_all()?;
+        fsync_dir(&self.dir)?;
+        self.file = file;
+        self.bytes = HEADER_LEN as u64;
+        Ok(())
+    }
+
+    /// Deletes every sealed segment wholly superseded by a durable
+    /// checkpoint at `durable_floor`: entries are keyed by chunk *start*
+    /// sequence and checkpoints land on chunk boundaries, so a segment
+    /// whose highest start sequence is below the floor holds only
+    /// superseded chunks. Returns how many segments were deleted.
+    pub fn prune_segments(&mut self, durable_floor: u64) -> Result<usize> {
+        let mut dropped = 0usize;
+        let mut err = None;
+        self.sealed.retain(|seg| {
+            if err.is_some() || seg.max_seq >= durable_floor {
+                return true;
+            }
+            match fs::remove_file(self.dir.join(segment_name(seg.index))) {
+                Ok(()) => {
+                    dropped += 1;
+                    false
+                }
+                Err(e) => {
+                    err = Some(e);
+                    true
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e.into());
+        }
+        if dropped > 0 {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(dropped)
+    }
+
+    /// Number of sealed segments currently on disk.
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Total rotations this directory has ever performed (the index the
+    /// next sealed segment will take).
+    pub fn rotations(&self) -> u64 {
+        self.next_segment
+    }
+
+    /// Total journal footprint: the active file plus every sealed segment
+    /// not yet pruned.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes + self.sealed.iter().map(|s| s.bytes).sum::<u64>()
+    }
+
+    /// Arms a crash at `step` of the next [`rotate`](Self::rotate).
+    pub fn set_rotate_crash(&mut self, step: RotateStep) {
+        self.rotate_crash = Some(step);
+    }
+
+    fn take_rotate_crash(&mut self, step: RotateStep) -> bool {
+        if self.rotate_crash == Some(step) {
+            self.rotate_crash = None;
+            return true;
+        }
+        false
+    }
+
+    /// Reads every fully-written entry — sealed segments in index order,
+    /// then the active file — in append order.
+    ///
+    /// Tolerates a torn tail *of the active file only* (it is ignored,
+    /// matching what `open` would truncate); a torn sealed segment is
+    /// corruption. Fails only if a header is unreadable in a sealed
+    /// segment; an unreadable active header reads as empty.
     pub fn read_all(dir: impl AsRef<Path>) -> Result<Vec<JournalEntry>> {
-        let path = dir.as_ref().join(JOURNAL_NAME);
+        let dir = dir.as_ref();
+        let mut out = Vec::new();
+        for index in list_segment_indices(dir)? {
+            let bytes = read_file(&dir.join(segment_name(index)))?
+                .ok_or_else(|| PersistError::corrupt("segment vanished"))?;
+            read_sealed_segment(&bytes, &mut out)?;
+        }
+        let path = dir.join(JOURNAL_NAME);
         let Some(bytes) = read_file(&path)? else {
-            return Ok(Vec::new());
+            return Ok(out);
         };
         if bytes.len() < HEADER_LEN || decode_header(&bytes).is_err() {
-            return Ok(Vec::new());
+            return Ok(out);
         }
         if decode_header(&bytes)? != FileKind::Journal {
             return Err(PersistError::corrupt("journal file has wrong kind"));
         }
         let scan = scan_records(&bytes[HEADER_LEN..]);
-        let mut out = Vec::with_capacity(scan.records.len());
+        out.reserve(scan.records.len());
         for rec in scan.records {
             if rec.tag != TAG_JOURNAL_CHUNK || rec.payload.len() < 8 {
                 return Err(PersistError::corrupt("unexpected record in journal"));
@@ -644,5 +884,116 @@ mod tests {
     fn missing_journal_reads_as_empty() {
         let dir = test_dir("jrnl-none");
         assert!(Journal::read_all(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rotation_preserves_entries_across_segments_and_reopen() {
+        let dir = test_dir("jrnl-rot");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"in-seg-0").unwrap();
+        j.rotate().unwrap();
+        j.append(1, b"in-seg-1").unwrap();
+        j.append(2, b"also-seg-1").unwrap();
+        j.rotate().unwrap();
+        j.append(3, b"active").unwrap();
+        j.sync().unwrap();
+        assert_eq!(j.sealed_segments(), 2);
+        assert_eq!(j.rotations(), 2);
+        assert!(j.total_bytes() > j.len_bytes());
+        drop(j);
+
+        let seqs: Vec<u64> = Journal::read_all(&dir).unwrap().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+
+        // Reopen resumes the segment index sequence and keeps appending.
+        let (mut j, entries) = Journal::open_and_read(&dir).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(j.sealed_segments(), 2);
+        assert_eq!(j.rotations(), 2);
+        j.append(4, b"post-reopen").unwrap();
+        j.rotate().unwrap();
+        assert_eq!(j.rotations(), 3);
+        drop(j);
+        assert_eq!(Journal::read_all(&dir).unwrap().len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotating_an_empty_journal_is_a_no_op() {
+        let dir = test_dir("jrnl-rot-empty");
+        let mut j = Journal::open(&dir).unwrap();
+        j.rotate().unwrap();
+        assert_eq!(j.sealed_segments(), 0);
+        assert_eq!(j.rotations(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_drops_only_superseded_segments() {
+        let dir = test_dir("jrnl-prune");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"a").unwrap();
+        j.append(5, b"b").unwrap();
+        j.rotate().unwrap(); // seg 0: max_seq 5
+        j.append(10, b"c").unwrap();
+        j.rotate().unwrap(); // seg 1: max_seq 10
+        j.append(20, b"d").unwrap();
+
+        // Floor at 10: seg 0 (max 5) is wholly superseded; seg 1's entry
+        // at 10 starts exactly at the floor, so it must survive.
+        assert_eq!(j.prune_segments(10).unwrap(), 1);
+        assert_eq!(j.sealed_segments(), 1);
+        let seqs: Vec<u64> = Journal::read_all(&dir).unwrap().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![10, 20]);
+
+        assert_eq!(j.prune_segments(11).unwrap(), 1);
+        assert_eq!(j.sealed_segments(), 0);
+        assert_eq!(Journal::read_all(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_every_rotate_step_leaves_a_recoverable_directory() {
+        for step in [RotateStep::BeforeRename, RotateStep::AfterRename, RotateStep::TornHeader] {
+            let dir = test_dir("jrnl-rot-crash");
+            let mut j = Journal::open(&dir).unwrap();
+            j.append(0, b"durable-a").unwrap();
+            j.append(1, b"durable-b").unwrap();
+            j.sync().unwrap();
+            j.set_rotate_crash(step);
+            assert!(
+                matches!(j.rotate(), Err(PersistError::InjectedCrash)),
+                "{step:?}: crash must fire"
+            );
+            drop(j);
+
+            // Whatever intermediate state the crash left, reopen absorbs
+            // it and every durable entry survives.
+            let (mut j, entries) = Journal::open_and_read(&dir).unwrap();
+            let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![0, 1], "{step:?}: durable entries lost");
+            j.append(2, b"post-crash").unwrap();
+            j.rotate().unwrap();
+            j.append(3, b"fresh").unwrap();
+            drop(j);
+            let seqs: Vec<u64> = Journal::read_all(&dir).unwrap().iter().map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3], "{step:?}: post-crash appends lost");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn torn_sealed_segment_is_corruption_not_truncation() {
+        let dir = test_dir("jrnl-seg-torn");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(0, b"sealed-entry").unwrap();
+        j.rotate().unwrap();
+        drop(j);
+        let seg = dir.join(segment_name(0));
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(Journal::read_all(&dir), Err(PersistError::Corrupt(_))));
+        assert!(matches!(Journal::open_and_read(&dir), Err(PersistError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -34,15 +34,25 @@
 //! directory and compare against a reference server fed only the durable
 //! prefix.
 //!
-//! The journal is not pruned when a checkpoint lands; recovery skips
-//! entries the checkpoint supersedes. Unbounded journal growth is a known
-//! limitation (see `ARCHITECTURE.md`).
+//! ## Compaction
+//!
+//! The journal is bounded by segment rotation: once the active file
+//! crosses [`DurabilityConfig::rotate_journal_bytes`], it is sealed into
+//! an immutable `journal-<k>.seg` segment and a fresh active file takes
+//! over. Sealed segments older than the newest **durable** checkpoint —
+//! tracked by a floor the checkpoint writer publishes only *after* a save
+//! fully lands (so a queued-but-unwritten background checkpoint never
+//! licenses a prune) — are deleted at the same quiescent boundaries.
+//! Recovery replays segments in index order before the active file, so
+//! compaction is invisible to the recovery differential.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use asf_persist::{Journal, PersistError, SnapshotStore};
+use asf_persist::{Journal, PersistError, RotateStep, SnapshotStore};
 
 /// Configuration of a server's durability layer.
 #[derive(Clone, Debug)]
@@ -55,13 +65,24 @@ pub struct DurabilityConfig {
     pub checkpoint_every_events: u64,
     /// Inline or background checkpoint writes.
     pub mode: CheckpointMode,
+    /// Rotate the active journal into a sealed segment once it crosses
+    /// this many bytes (checked at chunk boundaries); segments wholly
+    /// superseded by a durable checkpoint are then pruned. `None`
+    /// disables rotation (the pre-compaction unbounded-growth behavior).
+    pub rotate_journal_bytes: Option<u64>,
 }
 
 impl DurabilityConfig {
     /// Durability in `dir` with the default cadence (one checkpoint per
-    /// 65 536 events) and background checkpoint writes.
+    /// 65 536 events), background checkpoint writes, and journal rotation
+    /// at 8 MiB.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), checkpoint_every_events: 65_536, mode: CheckpointMode::Background }
+        Self {
+            dir: dir.into(),
+            checkpoint_every_events: 65_536,
+            mode: CheckpointMode::Background,
+            rotate_journal_bytes: Some(8 * 1024 * 1024),
+        }
     }
 
     /// Sets the checkpoint cadence in events.
@@ -73,6 +94,13 @@ impl DurabilityConfig {
     /// Sets the checkpoint write mode.
     pub fn mode(mut self, mode: CheckpointMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the journal rotation threshold in bytes (`None` disables
+    /// rotation and pruning).
+    pub fn rotate_journal_every(mut self, bytes: Option<u64>) -> Self {
+        self.rotate_journal_bytes = bytes;
         self
     }
 }
@@ -112,6 +140,12 @@ pub struct Durability {
     writer: Writer,
     checkpoint_every_events: u64,
     last_checkpoint_seq: u64,
+    rotate_journal_bytes: Option<u64>,
+    /// Newest checkpoint sequence that has **fully landed on disk** —
+    /// published by the writer only after a successful save (the
+    /// background thread stores it post-`fsync`), so pruning against it
+    /// never outruns durability.
+    durable_floor: Arc<AtomicU64>,
     /// First write failure, if any — once set, every subsequent journal or
     /// checkpoint operation is refused (the on-disk state is frozen at the
     /// durable prefix, as a real crash would leave it).
@@ -133,15 +167,19 @@ impl Durability {
         let journal = Journal::open(&cfg.dir)?;
         let mut store = SnapshotStore::open(&cfg.dir)?;
         store.save(anchor_seq, anchor_state)?;
+        // The anchor save above ran inline, so it is already durable.
+        let durable_floor = Arc::new(AtomicU64::new(anchor_seq));
         let writer = match cfg.mode {
             CheckpointMode::Sync => Writer::Sync(store),
-            CheckpointMode::Background => Self::spawn_writer(store)?,
+            CheckpointMode::Background => Self::spawn_writer(store, Arc::clone(&durable_floor))?,
         };
         Ok(Self {
             journal,
             writer,
             checkpoint_every_events: cfg.checkpoint_every_events.max(1),
             last_checkpoint_seq: anchor_seq,
+            rotate_journal_bytes: cfg.rotate_journal_bytes,
+            durable_floor,
             poisoned: None,
         })
     }
@@ -162,20 +200,28 @@ impl Durability {
         journal: Journal,
         resume_seq: u64,
     ) -> asf_persist::Result<Self> {
+        // The checkpoint recovery loaded (`resume_seq`) is durable by
+        // definition — it was read back off the disk.
+        let durable_floor = Arc::new(AtomicU64::new(resume_seq));
         let writer = match cfg.mode {
             CheckpointMode::Sync => Writer::Sync(store),
-            CheckpointMode::Background => Self::spawn_writer(store)?,
+            CheckpointMode::Background => Self::spawn_writer(store, Arc::clone(&durable_floor))?,
         };
         Ok(Self {
             journal,
             writer,
             checkpoint_every_events: cfg.checkpoint_every_events.max(1),
             last_checkpoint_seq: resume_seq,
+            rotate_journal_bytes: cfg.rotate_journal_bytes,
+            durable_floor,
             poisoned: None,
         })
     }
 
-    fn spawn_writer(mut store: SnapshotStore) -> asf_persist::Result<Writer> {
+    fn spawn_writer(
+        mut store: SnapshotStore,
+        floor: Arc<AtomicU64>,
+    ) -> asf_persist::Result<Writer> {
         let (tx, rx) = mpsc::sync_channel::<(u64, Vec<u8>)>(1);
         let join = std::thread::Builder::new()
             .name("asf-checkpoint".into())
@@ -183,7 +229,10 @@ impl Durability {
                 while let Ok((seq, state)) = rx.recv() {
                     // A failed background save leaves the previous
                     // checkpoint selectable; the next boundary retries.
-                    let _ = store.save(seq, &state);
+                    // The floor advances only after the save fully lands.
+                    if store.save(seq, &state).is_ok() {
+                        floor.store(seq, Ordering::Release);
+                    }
                 }
             })
             .map_err(PersistError::Io)?;
@@ -220,6 +269,7 @@ impl Durability {
             Writer::Sync(store) => match store.save(seq, &state) {
                 Ok(()) => {
                     self.last_checkpoint_seq = seq;
+                    self.durable_floor.store(seq, Ordering::Release);
                     Ok(true)
                 }
                 Err(e) => {
@@ -241,9 +291,52 @@ impl Durability {
         }
     }
 
-    /// Total journal file size in bytes (header included).
+    /// Total journal footprint in bytes (headers included): the active
+    /// file plus every sealed segment not yet pruned.
     pub fn journal_bytes(&self) -> u64 {
-        self.journal.len_bytes()
+        self.journal.total_bytes()
+    }
+
+    /// Compaction step, run at chunk-end quiescence: rotates the active
+    /// journal into a sealed segment once it crosses the configured
+    /// threshold, then prunes sealed segments wholly superseded by the
+    /// durable-checkpoint floor. Any failure poisons the handle (a crash
+    /// mid-rotation leaves disk state only a reopen can re-validate).
+    /// A no-op when rotation is disabled or the handle is poisoned.
+    pub fn maybe_compact(&mut self) -> asf_persist::Result<()> {
+        self.check_poison()?;
+        let Some(threshold) = self.rotate_journal_bytes else {
+            return Ok(());
+        };
+        if self.journal.len_bytes() >= threshold {
+            if let Err(e) = self.journal.rotate() {
+                self.poisoned = Some(e.to_string());
+                return Err(e);
+            }
+        }
+        if self.journal.sealed_segments() > 0 {
+            let floor = self.durable_floor.load(Ordering::Acquire);
+            if let Err(e) = self.journal.prune_segments(floor) {
+                self.poisoned = Some(e.to_string());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// How many journal rotations this directory has ever performed.
+    pub fn journal_rotations(&self) -> u64 {
+        self.journal.rotations()
+    }
+
+    /// How many sealed journal segments are currently on disk.
+    pub fn journal_sealed_segments(&self) -> usize {
+        self.journal.sealed_segments()
+    }
+
+    /// Newest checkpoint sequence known to have fully landed on disk.
+    pub fn durable_floor(&self) -> u64 {
+        self.durable_floor.load(Ordering::Acquire)
     }
 
     /// Whether an earlier write failure froze this handle.
@@ -261,6 +354,12 @@ impl Durability {
     /// [`asf_persist::CrashPoint`]).
     pub fn arm_journal_crash(&mut self, bytes: u64) {
         self.journal.set_crash_after(bytes);
+    }
+
+    /// Arms a crash at `step` of the next journal rotation (see
+    /// [`RotateStep`]).
+    pub fn arm_rotate_crash(&mut self, step: RotateStep) {
+        self.journal.set_rotate_crash(step);
     }
 
     /// Arms the checkpoint store's crash injector.
@@ -354,6 +453,53 @@ mod tests {
         assert!(d.save_checkpoint(100, b"c1".to_vec()).unwrap());
         assert!(!d.should_checkpoint(150));
         assert!(d.should_checkpoint(200));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rotates_and_prunes_behind_the_durable_floor() {
+        let dir = test_dir("compact");
+        let cfg = DurabilityConfig::new(&dir)
+            .mode(CheckpointMode::Sync)
+            .checkpoint_every(10)
+            .rotate_journal_every(Some(64));
+        let mut d = Durability::new(&cfg, 0, b"anchor").unwrap();
+        assert_eq!(d.durable_floor(), 0);
+
+        // Fill past the threshold: the next compact rotates, but the
+        // floor is still at the anchor so nothing may be pruned.
+        for seq in 0..4u64 {
+            d.journal_chunk(seq * 10, &[7u8; 32]).unwrap();
+        }
+        d.maybe_compact().unwrap();
+        assert_eq!(d.journal_rotations(), 1);
+        assert_eq!(d.journal_sealed_segments(), 1);
+
+        // A durable checkpoint past the sealed entries licenses the prune.
+        assert!(d.save_checkpoint(40, b"ckpt".to_vec()).unwrap());
+        assert_eq!(d.durable_floor(), 40);
+        d.maybe_compact().unwrap();
+        assert_eq!(d.journal_sealed_segments(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_crash_poisons_the_handle() {
+        let dir = test_dir("rot-poison");
+        let cfg =
+            DurabilityConfig::new(&dir).mode(CheckpointMode::Sync).rotate_journal_every(Some(16));
+        let mut d = Durability::new(&cfg, 0, b"s").unwrap();
+        d.journal_chunk(0, b"durable").unwrap();
+        d.arm_rotate_crash(RotateStep::AfterRename);
+        assert!(matches!(d.maybe_compact(), Err(PersistError::InjectedCrash)));
+        assert!(d.is_poisoned());
+        assert!(d.journal_chunk(1, b"late").is_err());
+        drop(d);
+        // The sealed entry is still replayable after the mid-rotation
+        // crash (journal.log is gone; the segment holds it).
+        let entries = Journal::read_all(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].payload, b"durable");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -70,6 +70,7 @@ pub mod router;
 pub mod server;
 pub mod shard;
 
+pub use asf_persist::RotateStep;
 pub use asf_telemetry::TraceDepth;
 pub use durability::{CheckpointMode, Durability, DurabilityConfig};
 pub use handle::ExecMode;

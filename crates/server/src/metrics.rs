@@ -139,13 +139,29 @@ pub struct ServerMetrics {
     /// state serialization plus the writer handoff — and, under
     /// `CheckpointMode::Sync`, the inline `fsync` as well.
     pub checkpoint_ns: u64,
-    /// Current write-ahead journal file size in bytes (header included);
-    /// the journal is append-only and never pruned.
+    /// Total write-ahead journal bytes on disk (headers included): the
+    /// active file plus any sealed segments not yet pruned by compaction.
     pub journal_bytes: u64,
     /// Time spent replaying the journal suffix during
     /// `ShardedServer::recover` (ns). Zero for servers that never
     /// recovered.
     pub recovery_replay_ns: u64,
+    /// Server→source request frames retransmitted after a channel timeout.
+    /// Zero without chaos (reliable channels never retry).
+    pub retries: u64,
+    /// Channel timeouts observed (one per dropped request frame). Zero
+    /// without chaos.
+    pub timeouts: u64,
+    /// Sources currently considered dead (heartbeat lease expired). Zero
+    /// without chaos.
+    pub dead_sources: u64,
+    /// Frames rejected idempotently by filter epoch or sequence number.
+    /// Zero without chaos.
+    pub epoch_rejects: u64,
+    /// Coordinator time spent in the chunk-end fault-repair round (ns):
+    /// parked-frame delivery, heartbeat/lease bookkeeping, degradation
+    /// hooks, and repair re-probes. Zero without chaos.
+    pub repair_ns: u64,
     /// Wall-clock batch-apply durations (ns) as a mergeable log-bucketed
     /// histogram: bounded memory, no sample loss.
     batch_hist: LogHistogram,
@@ -277,6 +293,11 @@ impl ServerMetrics {
         reg.counter("server.checkpoint_ns", self.checkpoint_ns);
         reg.counter("server.journal_bytes", self.journal_bytes);
         reg.counter("server.recovery_replay_ns", self.recovery_replay_ns);
+        reg.counter("server.retries", self.retries);
+        reg.counter("server.timeouts", self.timeouts);
+        reg.counter("server.dead_sources", self.dead_sources);
+        reg.counter("server.epoch_rejects", self.epoch_rejects);
+        reg.counter("server.repair_ns", self.repair_ns);
         reg.gauge("server.parallel_fraction", self.parallel_fraction());
         reg.gauge("server.occupancy_skew", self.occupancy_skew().unwrap_or(f64::NAN));
         reg.gauge(

@@ -48,7 +48,10 @@ use asf_core::AnswerSet;
 use asf_persist::{Journal, PersistError, SnapshotStore, StateReader, StateWriter};
 use asf_telemetry::{chrome_trace, Cause, Registry, TraceDepth, TraceEvent, TraceRing};
 use simkit::SimTime;
-use streamnet::{Ledger, MessageKind, ServerView, SourceFleet, StreamId};
+use streamnet::{
+    ChaosConfig, ChaosFleet, ChaosState, ChaosStats, Ledger, MessageKind, ReportFate, ServerView,
+    SourceFleet, StreamId,
+};
 
 use crate::durability::{Durability, DurabilityConfig};
 use crate::handle::{ExecMode, ShardHandle};
@@ -214,6 +217,12 @@ pub struct ShardedServer<P: Protocol> {
     /// Attached durability runtime (write-ahead journal + checkpoint
     /// writer), if [`ShardedServer::enable_durability`] ran.
     durability: Option<Durability>,
+    /// Unreliable-channel simulation (fault injection, epochs, leases), if
+    /// [`ShardedServer::enable_chaos`] ran. Mutually exclusive with
+    /// durability: channel state is not persisted.
+    chaos: Option<ChaosState>,
+    /// Pooled buffer for delayed report frames surfacing at chunk end.
+    chaos_scratch: Vec<(StreamId, f64)>,
 }
 
 impl<P: Protocol> ShardedServer<P> {
@@ -308,6 +317,8 @@ impl<P: Protocol> ShardedServer<P> {
             commit_scratch: Vec::new(),
             fleet_trace: TraceRing::new(tcfg.trace, tcfg.trace_capacity, epoch),
             durability: None,
+            chaos: None,
+            chaos_scratch: Vec::new(),
         }
     }
 
@@ -412,12 +423,25 @@ impl<P: Protocol> ShardedServer<P> {
         self.events_processed += chunk.len() as u64;
         self.metrics.events += chunk.len() as u64;
         self.metrics.record_batch(batch_start.elapsed().as_nanos() as u64);
+        // Chunk-end quiescence doubles as the repair round: deliver due
+        // delayed frames, run heartbeats/leases, re-probe gapped channels.
+        if self.chaos.is_some() {
+            self.chaos_chunk_end(chunk.len() as u64);
+        }
         // Chunk-end quiescence: every shard's speculation is committed, so
         // this is a checkpointable point.
         let due =
             self.durability.as_ref().is_some_and(|d| d.should_checkpoint(self.events_processed));
         if due {
             self.checkpoint_now();
+        }
+        // Journal compaction shares the quiescent boundary: rotate an
+        // oversized active file, prune segments the durable-checkpoint
+        // floor supersedes. A compaction failure poisons the handle, so
+        // the next chunk is dropped un-applied like any write failure.
+        if let Some(d) = self.durability.as_mut() {
+            let _ = d.maybe_compact();
+            self.metrics.journal_bytes = d.journal_bytes();
         }
     }
 
@@ -460,6 +484,72 @@ impl<P: Protocol> ShardedServer<P> {
             self.metrics.checkpoints += 1;
         }
         self.metrics.checkpoint_ns += start.elapsed().as_nanos() as u64;
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
+    }
+
+    /// The chunk-end repair round of the unreliable-fleet simulation: the
+    /// logical clock advances (one tick per ingested event), crash-restarts
+    /// are drawn, delayed report frames whose delivery tick arrived are fed
+    /// through the protocol (stale/duplicate frames were already rejected
+    /// idempotently by epoch/sequence), every up source heartbeats, expired
+    /// leases mark sources dead (degradation hook), and channels with
+    /// sequence gaps, restarts, or rejoins are healed with repair
+    /// re-probes — all attributed to [`Cause::Repair`] and metered as
+    /// `repair_ns`.
+    fn chaos_chunk_end(&mut self, ticks: u64) {
+        let repair_start = Instant::now();
+        self.core.telemetry_mut().trace.begin(TraceDepth::Coarse, "chaos_repair", ticks);
+        let mut chaos = self.chaos.take().expect("caller checked chaos");
+        chaos.advance(ticks);
+        chaos.draw_crashes();
+        // Delayed frames surfacing now re-enter the normal report path (at
+        // quiescence, so no speculation guard is needed).
+        let mut due = std::mem::take(&mut self.chaos_scratch);
+        chaos.take_due_reports(&mut due);
+        for &(id, value) in &due {
+            let mut inner = ShardRouter::with_telemetry(
+                &mut self.handles,
+                self.partition,
+                self.n,
+                Some(&mut self.metrics.fleet),
+                Some(&mut self.fleet_trace),
+            );
+            let mut faulty = ChaosFleet::new(&mut chaos, &mut inner);
+            self.core.ingest_report(id, value, &mut faulty);
+            self.metrics.reports_consumed += 1;
+        }
+        self.chaos_scratch = due;
+        let plan = chaos.heartbeat_round();
+        if !plan.newly_dead.is_empty() {
+            let mut inner = ShardRouter::with_telemetry(
+                &mut self.handles,
+                self.partition,
+                self.n,
+                Some(&mut self.metrics.fleet),
+                Some(&mut self.fleet_trace),
+            );
+            let mut faulty = ChaosFleet::new(&mut chaos, &mut inner);
+            self.core.degrade(&mut faulty, &plan.newly_dead);
+        }
+        if !plan.reprobe.is_empty() {
+            let mut inner = ShardRouter::with_telemetry(
+                &mut self.handles,
+                self.partition,
+                self.n,
+                Some(&mut self.metrics.fleet),
+                Some(&mut self.fleet_trace),
+            );
+            let mut faulty = ChaosFleet::new(&mut chaos, &mut inner);
+            self.core.repair_sources(&mut faulty, &plan.reprobe);
+        }
+        chaos.finish_round();
+        let stats = *chaos.stats();
+        self.metrics.retries = stats.retries;
+        self.metrics.timeouts = stats.timeouts;
+        self.metrics.epoch_rejects = stats.epoch_rejects;
+        self.metrics.dead_sources = chaos.dead_count() as u64;
+        self.chaos = Some(chaos);
+        self.metrics.repair_ns += repair_start.elapsed().as_nanos() as u64;
         self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
     }
 
@@ -604,8 +694,19 @@ impl<P: Protocol> ShardedServer<P> {
         let mut cut_at: Option<u64> = None;
         let mut consumed = 0u64;
         let merged = std::mem::take(&mut self.merged);
+        let mut chaos = self.chaos.take();
         for &(ev, shard) in &merged {
             let id = self.partition.global_of(shard, ev.local);
+            // Unreliable channels: the source emitted the report (its
+            // last-reported state advanced in the shard), but the frame may
+            // never reach the protocol — that inconsistency is what the
+            // chunk-end repair round detects and heals.
+            if let Some(ch) = chaos.as_mut() {
+                match ch.admit_report(id, ev.value) {
+                    ReportFate::Deliver => {}
+                    ReportFate::Lost | ReportFate::Parked => continue,
+                }
+            }
             let inner = ShardRouter::with_telemetry(
                 &mut self.handles,
                 self.partition,
@@ -622,7 +723,13 @@ impl<P: Protocol> ShardedServer<P> {
                 discarded_reports: &mut self.metrics.discarded_reports,
             });
             let mut router = GuardedRouter::with_inflight(inner, ev.seq + 1, inflight);
-            self.core.ingest_report(id, ev.value, &mut router);
+            match chaos.as_mut() {
+                Some(ch) => {
+                    let mut faulty = ChaosFleet::new(ch, &mut router);
+                    self.core.ingest_report(id, ev.value, &mut faulty);
+                }
+                None => self.core.ingest_report(id, ev.value, &mut router),
+            }
             let cut = router.into_cut();
             consumed += 1;
             self.metrics.reports_consumed += 1;
@@ -643,6 +750,7 @@ impl<P: Protocol> ShardedServer<P> {
                 break;
             }
         }
+        self.chaos = chaos;
         self.merged = merged;
         self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
         if consumed > 0 {
@@ -996,6 +1104,98 @@ impl<P: Protocol> ShardedServer<P> {
         Ok(())
     }
 
+    /// Attaches the unreliable-fleet simulation: every subsequent
+    /// source↔server frame crosses a seeded fault-injecting channel
+    /// ([`streamnet::chaos`]) that can drop, delay, duplicate, and reorder
+    /// it, and individual sources can crash-restart. Reports carry filter
+    /// epochs and sequence numbers (stale/duplicate frames are rejected
+    /// idempotently); dropped requests retry with capped exponential
+    /// backoff on the simulated clock; heartbeat leases detect silently
+    /// dead sources; and every chunk boundary runs a repair round.
+    ///
+    /// The authoritative ledger still meters only the logical protocol —
+    /// retransmissions, ghosts, and heartbeats are counted separately in
+    /// [`ChaosStats::overhead_frames`]. Once the schedule's fault horizon
+    /// passes, the channel is byte-transparent, which is what the chaos
+    /// differential suite's convergence proof rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not initialized (initialization probes the
+    /// world over a reliable channel), chaos is already enabled, or
+    /// durability is enabled (channel state is not persisted, so the two
+    /// are mutually exclusive).
+    pub fn enable_chaos(&mut self, cfg: ChaosConfig) {
+        assert!(self.chaos.is_none(), "chaos already enabled");
+        assert!(self.core.is_initialized(), "initialize the server before enabling chaos");
+        assert!(
+            self.durability.is_none(),
+            "chaos and durability are mutually exclusive (channel state is not persisted)"
+        );
+        self.chaos = Some(ChaosState::new(self.n, cfg));
+    }
+
+    /// The unreliable-channel state, if chaos is enabled — the oracle and
+    /// the differential suite read leases, epochs, and the verified-live
+    /// population through this.
+    pub fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_ref()
+    }
+
+    /// Fault-layer counters, if chaos is enabled.
+    pub fn chaos_stats(&self) -> Option<&ChaosStats> {
+        self.chaos.as_ref().map(ChaosState::stats)
+    }
+
+    /// The server view with every dead source (expired lease) marked
+    /// unknown — what the server can actually vouch for under faults.
+    /// Identical to [`ShardedServer::view`] without chaos or when no
+    /// source is dead.
+    pub fn live_view(&self) -> ServerView {
+        let mut view = self.core.view().clone();
+        if let Some(chaos) = &self.chaos {
+            for id in chaos.dead_ids() {
+                view.mark_unknown(id);
+            }
+        }
+        view
+    }
+
+    /// Rebuilds protocol state from fresh probes at the current quiescent
+    /// point, swapping in `fresh` (a protocol configured identically to the
+    /// running one): the repair path's answer to accumulated channel
+    /// damage, and the convergence boundary of the chaos differential
+    /// suite. The view, ledger, and cause matrix are kept (probes are
+    /// attributed to [`Cause::Repair`]); in-flight chaos frames are
+    /// discarded as superseded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not initialized.
+    pub fn resync(&mut self, fresh: P) {
+        self.core.telemetry_mut().trace.begin(TraceDepth::Coarse, "resync", 0);
+        let mut chaos = self.chaos.take();
+        if let Some(ch) = chaos.as_mut() {
+            ch.resync_boundary();
+        }
+        let mut inner = ShardRouter::with_telemetry(
+            &mut self.handles,
+            self.partition,
+            self.n,
+            Some(&mut self.metrics.fleet),
+            Some(&mut self.fleet_trace),
+        );
+        match chaos.as_mut() {
+            Some(ch) => {
+                let mut faulty = ChaosFleet::new(ch, &mut inner);
+                self.core.resync(&mut faulty, fresh);
+            }
+            None => self.core.resync(&mut inner, fresh),
+        }
+        self.chaos = chaos;
+        self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
+    }
+
     /// Attaches a durability runtime: opens (or creates) the journal and
     /// snapshot store in `cfg.dir`, durably writes an anchor checkpoint of
     /// the current state, and journals + checkpoints all further ingestion.
@@ -1007,6 +1207,10 @@ impl<P: Protocol> ShardedServer<P> {
     pub fn enable_durability(&mut self, cfg: DurabilityConfig) -> asf_persist::Result<()> {
         assert!(self.durability.is_none(), "durability already enabled");
         assert!(self.core.is_initialized(), "initialize the server before enabling durability");
+        assert!(
+            self.chaos.is_none(),
+            "chaos and durability are mutually exclusive (channel state is not persisted)"
+        );
         let start = Instant::now();
         let state = self.snapshot_state();
         let d = Durability::new(&cfg, self.events_processed, &state)?;

@@ -24,13 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Exponential, LogNormal, Normal, Pareto, Uniform, Zipf};
+pub use fault::{Backoff, FaultDecision, FaultMix, FaultSchedule};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{percentile, RunningStats};
-pub use time::{reflect_into, SimTime};
+pub use time::{reflect_into, SimTime, TickClock};

@@ -8,6 +8,41 @@
 /// non-decreasing within a run.
 pub type SimTime = f64;
 
+/// Deterministic logical clock measured in abstract integer ticks.
+///
+/// Timeout and lease machinery (retry backoff, heartbeat leases, crash
+/// outages) must never read wall-clock time: every run has to be exactly
+/// reproducible from its seed. `TickClock` is the only time source those
+/// subsystems are allowed to use. Callers advance it explicitly — one tick
+/// per ingested event plus explicit penalties for simulated timeouts — so
+/// the same workload always observes the same clock readings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickClock {
+    now: u64,
+}
+
+impl TickClock {
+    /// Creates a clock at tick zero.
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&mut self, ticks: u64) {
+        self.now = self.now.saturating_add(ticks);
+    }
+
+    /// Advances the clock to `tick` if it is in the future; never rewinds.
+    pub fn advance_to(&mut self, tick: u64) {
+        self.now = self.now.max(tick);
+    }
+}
+
 /// Reflects `value` into the closed interval `[lo, hi]`.
 ///
 /// Used to confine random walks: the paper's synthetic workload draws values

@@ -1,0 +1,913 @@
+//! Unreliable source↔server channels: fault injection, filter epochs,
+//! sequence numbers, leases, and the bookkeeping the repair path needs.
+//!
+//! The paper places filters at *remote* sources, so in a real deployment
+//! every install, probe, and report crosses a lossy network. This module
+//! models that network deterministically:
+//!
+//! * [`ChaosState`] holds one logical **channel** per source: the filter
+//!   epoch installed at the source, send/receive sequence numbers for
+//!   source→server frames, the lease (`last_heard`) used for liveness, and
+//!   crash/outage status. All randomness comes from a seeded
+//!   [`simkit::fault::FaultSchedule`]; all time from a
+//!   [`simkit::time::TickClock`]. Wall-clock never appears.
+//! * [`ChaosFleet`] decorates any [`FleetOps`] backend. Server→source
+//!   operations (probes, installs, broadcasts) draw per-frame faults:
+//!   dropped requests time out and are retried with capped exponential
+//!   backoff ([`simkit::fault::Backoff`]), delayed requests advance the
+//!   clock, duplicated requests are rejected idempotently at the source by
+//!   epoch/sequence and metered as overhead. After the (simulated) channel
+//!   finally delivers, the wrapped backend executes the operation **exactly
+//!   once**, so retries never perturb authoritative state — they only cost
+//!   simulated time and overhead frames.
+//! * Source→server **reports** are admitted through
+//!   [`ChaosState::admit_report`]: each is stamped with the channel's
+//!   current `(epoch, seq)` and can be dropped, delayed (re-ordered), or
+//!   duplicated. The server accepts a frame iff its epoch matches the
+//!   source's current filter epoch and its sequence number advances the
+//!   channel — stale and duplicate frames are rejected idempotently and
+//!   leave a detectable sequence gap that the repair path closes with a
+//!   re-probe.
+//!
+//! ## Epoch / lease state machine
+//!
+//! Every successful install bumps the source's epoch; reports carry the
+//! epoch of the filter that produced them. A probe or an install-sync
+//! supersedes all in-flight frames (`recv_seq = send_seq`), so anything
+//! still parked in the network is rejected on arrival. At each quiescent
+//! round (chunk end) every up source emits a heartbeat carrying its
+//! `send_seq` and a restart flag; the server refreshes the lease, detects
+//! gaps and restarts, and schedules re-probes. A source whose lease expires
+//! (`now − last_heard > lease_ticks`) is **dead**: excluded from the
+//! verified-live population until a heartbeat revives it, at which point it
+//! is re-probed like any other repaired source.
+//!
+//! Faults cease at the schedule's horizon; after that every draw delivers
+//! and the decorator is byte-transparent, which is what lets the chaos
+//! differential suite demand exact convergence with a never-faulted run.
+
+use simkit::fault::{Backoff, FaultDecision, FaultMix, FaultSchedule};
+use simkit::time::TickClock;
+
+use crate::filter::Filter;
+use crate::fleet::FleetOps;
+use crate::message::Ledger;
+use crate::view::ServerView;
+use crate::StreamId;
+
+/// Configuration of one unreliable-fleet simulation.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule's RNG stream.
+    pub seed: u64,
+    /// Per-frame fault probabilities and crash parameters.
+    pub mix: FaultMix,
+    /// Tick at which faults cease (the convergence boundary).
+    pub fault_horizon_ticks: u64,
+    /// Lease length: a source unheard-from for longer is declared dead.
+    pub lease_ticks: u64,
+    /// Simulated timeout charged per dropped request before a retry.
+    pub timeout_ticks: u64,
+    /// Retry backoff policy for server→source requests.
+    pub backoff: Backoff,
+    /// Retry cap: after this many timeouts the frame is force-delivered
+    /// (keeps handler-time bounded under adversarial schedules).
+    pub max_retries: u32,
+}
+
+impl ChaosConfig {
+    /// Creates a config with conventional lease/backoff defaults.
+    pub fn new(seed: u64, mix: FaultMix, fault_horizon_ticks: u64) -> Self {
+        Self {
+            seed,
+            mix,
+            fault_horizon_ticks,
+            lease_ticks: 2_048,
+            timeout_ticks: 8,
+            backoff: Backoff::new(4, 256),
+            max_retries: 16,
+        }
+    }
+
+    /// Overrides the lease length.
+    pub fn lease_ticks(mut self, ticks: u64) -> Self {
+        self.lease_ticks = ticks;
+        self
+    }
+}
+
+/// Counters describing everything the fault layer did.
+///
+/// `overhead_frames` is the headline number: extra frames on the wire
+/// (retransmissions, duplicate ghosts, heartbeats) that a reliable network
+/// would not have carried. The authoritative [`Ledger`] never includes
+/// them — it meters the logical protocol, the chaos layer meters the noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Server→source requests retransmitted after a timeout.
+    pub retries: u64,
+    /// Timeouts observed (one per dropped request frame).
+    pub timeouts: u64,
+    /// Frames rejected idempotently by epoch or sequence number.
+    pub epoch_rejects: u64,
+    /// Reports lost in the channel (or swallowed by a source outage).
+    pub reports_lost: u64,
+    /// Reports delayed for later, out-of-order delivery.
+    pub reports_delayed: u64,
+    /// Duplicate ghost frames injected.
+    pub dup_frames: u64,
+    /// Heartbeat frames emitted at quiescent rounds.
+    pub heartbeats_sent: u64,
+    /// Heartbeat frames lost in the channel.
+    pub heartbeats_lost: u64,
+    /// Source crash-restarts injected.
+    pub crashes: u64,
+    /// Sources re-probed by the repair path.
+    pub repaired_sources: u64,
+    /// Total extra frames beyond the logical protocol.
+    pub overhead_frames: u64,
+}
+
+/// Fate of one source→server report at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFate {
+    /// Delivered in order; the caller should ingest it now.
+    Deliver,
+    /// Lost; the caller must not ingest it (the source still believes it
+    /// reported — exactly the inconsistency the repair path exists for).
+    Lost,
+    /// Delayed; [`ChaosState::take_due_reports`] will surface it later.
+    Parked,
+}
+
+/// Re-probe / degradation work discovered at a quiescent round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// Live sources that need a repair re-probe (sequence gap, restart, or
+    /// lease rejoin).
+    pub reprobe: Vec<StreamId>,
+    /// Sources whose lease expired this round (newly dead).
+    pub newly_dead: Vec<StreamId>,
+}
+
+impl RepairPlan {
+    /// Whether the plan contains no work.
+    pub fn is_empty(&self) -> bool {
+        self.reprobe.is_empty() && self.newly_dead.is_empty()
+    }
+}
+
+/// Per-source channel state (epoch / sequence / lease machine).
+#[derive(Debug, Clone, Default)]
+struct ChannelState {
+    /// Epoch of the filter currently installed at the source.
+    epoch: u64,
+    /// Frames the source has sent (stamped on each report).
+    send_seq: u64,
+    /// Highest source frame the server has accepted or superseded.
+    recv_seq: u64,
+    /// Tick at which the server last heard from the source.
+    last_heard: u64,
+    /// The source is down (crash outage) until this tick.
+    down_until: u64,
+    /// The source restarted (or rejoined) and needs a repair re-probe.
+    needs_repair: bool,
+    /// Heartbeat arrived in the current quiescent round.
+    heard_this_round: bool,
+    /// Channel fully caught up as of the last completed round.
+    verified: bool,
+}
+
+/// A report frame sitting in the simulated network.
+#[derive(Debug, Clone)]
+struct ParkedReport {
+    due: u64,
+    seq: u64,
+    epoch: u64,
+    id: StreamId,
+    value: f64,
+}
+
+/// All channel state of the unreliable fleet plus the fault source.
+#[derive(Debug, Clone)]
+pub struct ChaosState {
+    cfg: ChaosConfig,
+    schedule: FaultSchedule,
+    clock: TickClock,
+    channels: Vec<ChannelState>,
+    parked: Vec<ParkedReport>,
+    stats: ChaosStats,
+    dead: Vec<bool>,
+    dead_count: usize,
+}
+
+impl ChaosState {
+    /// Creates channel state for `n` sources.
+    ///
+    /// Channels start fully caught up: the server is expected to have
+    /// initialized (probed the world) over a reliable channel before chaos
+    /// is attached.
+    pub fn new(n: usize, cfg: ChaosConfig) -> Self {
+        let schedule = FaultSchedule::new(cfg.seed, cfg.mix, cfg.fault_horizon_ticks);
+        Self {
+            cfg,
+            schedule,
+            clock: TickClock::new(),
+            channels: vec![ChannelState { verified: true, ..Default::default() }; n],
+            parked: Vec::new(),
+            stats: ChaosStats::default(),
+            dead: vec![false; n],
+            dead_count: 0,
+        }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether there are zero channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Current logical tick.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances the logical clock (one tick per ingested event by
+    /// convention).
+    pub fn advance(&mut self, ticks: u64) {
+        self.clock.advance(ticks);
+    }
+
+    /// Whether the fault schedule can still produce faults.
+    pub fn faults_active(&self) -> bool {
+        self.schedule.active(self.clock.now())
+    }
+
+    /// Fault-layer counters so far.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Filter epoch currently installed at a source.
+    pub fn epoch_of(&self, id: StreamId) -> u64 {
+        self.channels[id.index()].epoch
+    }
+
+    /// Highest frame sequence the source has sent.
+    pub fn send_seq_of(&self, id: StreamId) -> u64 {
+        self.channels[id.index()].send_seq
+    }
+
+    /// Highest frame sequence the server has accounted for.
+    pub fn recv_seq_of(&self, id: StreamId) -> u64 {
+        self.channels[id.index()].recv_seq
+    }
+
+    /// Number of report frames still parked in the simulated network.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Number of sources currently considered dead (lease expired).
+    pub fn dead_count(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Whether a source's lease has expired.
+    pub fn is_dead(&self, id: StreamId) -> bool {
+        self.dead[id.index()]
+    }
+
+    /// Ids of all currently-dead sources, ascending.
+    pub fn dead_ids(&self) -> Vec<StreamId> {
+        (0..self.dead.len()).filter(|&i| self.dead[i]).map(|i| StreamId(i as u32)).collect()
+    }
+
+    /// Whether the source's channel was fully caught up (heartbeat
+    /// delivered, no sequence gap, not down, lease valid) as of the last
+    /// completed quiescent round.
+    ///
+    /// The in-fault oracle checks tolerance bounds over exactly this
+    /// population: these are the sources whose view entries the server can
+    /// currently vouch for.
+    pub fn is_verified(&self, id: StreamId) -> bool {
+        self.channels[id.index()].verified
+    }
+
+    /// Ids of all verified-live sources, ascending.
+    pub fn verified_live_ids(&self) -> Vec<StreamId> {
+        (0..self.channels.len())
+            .filter(|&i| self.channels[i].verified)
+            .map(|i| StreamId(i as u32))
+            .collect()
+    }
+
+    /// Admits one source→server report, stamping it with the channel's
+    /// current `(epoch, seq)` and drawing its fate.
+    pub fn admit_report(&mut self, id: StreamId, value: f64) -> ReportFate {
+        let now = self.clock.now();
+        let ch = &mut self.channels[id.index()];
+        if now < ch.down_until {
+            // The reporting process is down; the frame is never sent. The
+            // value evolution itself continues (sensor hardware keeps
+            // running) — only the channel is dark.
+            self.stats.reports_lost += 1;
+            return ReportFate::Lost;
+        }
+        ch.send_seq += 1;
+        let (seq, epoch) = (ch.send_seq, ch.epoch);
+        match self.schedule.draw(now) {
+            FaultDecision::Drop => {
+                self.stats.reports_lost += 1;
+                ReportFate::Lost
+            }
+            FaultDecision::Delay(ticks) => {
+                self.stats.reports_delayed += 1;
+                self.parked.push(ParkedReport { due: now + ticks, seq, epoch, id, value });
+                ReportFate::Parked
+            }
+            FaultDecision::Duplicate => {
+                self.stats.dup_frames += 1;
+                self.stats.overhead_frames += 1;
+                // Ghost copy arrives shortly after; the sequence rule will
+                // reject it.
+                self.parked.push(ParkedReport { due: now + 1, seq, epoch, id, value });
+                let ch = &mut self.channels[id.index()];
+                ch.recv_seq = seq;
+                ch.last_heard = now;
+                ReportFate::Deliver
+            }
+            FaultDecision::Deliver => {
+                let ch = &mut self.channels[id.index()];
+                ch.recv_seq = seq;
+                ch.last_heard = now;
+                ReportFate::Deliver
+            }
+        }
+    }
+
+    /// Surfaces parked reports whose delivery tick has arrived, applying
+    /// the epoch/sequence acceptance rule. Accepted `(id, value)` pairs are
+    /// appended to `out` in deterministic `(due, id, seq)` order; stale and
+    /// duplicate frames are rejected idempotently (and leave any sequence
+    /// gap in place for the repair path to close).
+    pub fn take_due_reports(&mut self, out: &mut Vec<(StreamId, f64)>) {
+        out.clear();
+        let now = self.clock.now();
+        let mut due: Vec<ParkedReport> = Vec::new();
+        self.parked.retain(|f| {
+            if f.due <= now {
+                due.push(f.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|f| (f.due, f.id.0, f.seq));
+        for f in due {
+            let ch = &mut self.channels[f.id.index()];
+            if f.epoch == ch.epoch && f.seq > ch.recv_seq {
+                ch.recv_seq = f.seq;
+                ch.last_heard = now;
+                out.push((f.id, f.value));
+            } else {
+                self.stats.epoch_rejects += 1;
+            }
+        }
+    }
+
+    /// Draws crash-restarts for this round (no-op once faults ceased).
+    ///
+    /// A crashed source goes dark for a bounded outage: its reports are
+    /// swallowed, its heartbeats stop (so its lease eventually expires),
+    /// and it is flagged for a repair re-probe once it is heard from again.
+    pub fn draw_crashes(&mut self) {
+        let now = self.clock.now();
+        for i in 0..self.channels.len() {
+            if now < self.channels[i].down_until {
+                continue; // already down
+            }
+            if let Some(outage) = self.schedule.draw_crash(now) {
+                self.stats.crashes += 1;
+                let ch = &mut self.channels[i];
+                ch.down_until = now + outage;
+                ch.needs_repair = true;
+                ch.verified = false;
+            }
+        }
+    }
+
+    /// Runs the heartbeat + lease round: every up source emits a heartbeat
+    /// frame (fault-droppable, metered as overhead, never in the ledger)
+    /// carrying its `send_seq` and restart flag. Returns the repair work
+    /// the server must execute before calling [`ChaosState::finish_round`].
+    pub fn heartbeat_round(&mut self) -> RepairPlan {
+        let now = self.clock.now();
+        let mut plan = RepairPlan::default();
+        for i in 0..self.channels.len() {
+            self.channels[i].heard_this_round = false;
+            if now < self.channels[i].down_until {
+                continue; // down: silent
+            }
+            self.stats.heartbeats_sent += 1;
+            self.stats.overhead_frames += 1;
+            let decision = self.schedule.draw(now);
+            match decision {
+                FaultDecision::Drop => self.stats.heartbeats_lost += 1,
+                FaultDecision::Duplicate => {
+                    self.stats.overhead_frames += 1;
+                    let ch = &mut self.channels[i];
+                    ch.last_heard = now;
+                    ch.heard_this_round = true;
+                }
+                // A delayed heartbeat still lands well before the next
+                // round; treat it as delivered for lease purposes.
+                FaultDecision::Delay(_) | FaultDecision::Deliver => {
+                    let ch = &mut self.channels[i];
+                    ch.last_heard = now;
+                    ch.heard_this_round = true;
+                }
+            }
+        }
+        for i in 0..self.channels.len() {
+            let id = StreamId(i as u32);
+            let expired = now.saturating_sub(self.channels[i].last_heard) > self.cfg.lease_ticks;
+            if expired && !self.dead[i] {
+                self.dead[i] = true;
+                self.dead_count += 1;
+                self.channels[i].verified = false;
+                plan.newly_dead.push(id);
+            } else if !expired && self.dead[i] {
+                // Heard again: the source rejoins and must be re-probed.
+                self.dead[i] = false;
+                self.dead_count -= 1;
+                self.channels[i].needs_repair = true;
+            }
+            let ch = &self.channels[i];
+            if ch.heard_this_round
+                && !self.dead[i]
+                && (ch.needs_repair || ch.recv_seq < ch.send_seq)
+            {
+                plan.reprobe.push(id);
+            }
+        }
+        self.stats.repaired_sources += plan.reprobe.len() as u64;
+        plan
+    }
+
+    /// Recomputes verified-live flags after the round's repair work ran.
+    pub fn finish_round(&mut self) {
+        let now = self.clock.now();
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.verified = !self.dead[i]
+                && ch.heard_this_round
+                && !ch.needs_repair
+                && ch.recv_seq == ch.send_seq
+                && now >= ch.down_until;
+        }
+    }
+
+    /// Declares a resync boundary: the server is about to rebuild protocol
+    /// state from fresh probes, so everything still in flight is
+    /// superseded. Parked frames are discarded (they would all be rejected
+    /// as stale anyway — the resync probes advance every channel's
+    /// `recv_seq` past them).
+    pub fn resync_boundary(&mut self) {
+        self.parked.clear();
+    }
+
+    /// Charges the channel cost of one server→source request frame:
+    /// timeouts + retries while the schedule drops it, clock advances for
+    /// delays, idempotent rejection for duplicates. Returns once the frame
+    /// is (finally) delivered; the caller then executes the real operation
+    /// exactly once.
+    fn charge_request(&mut self, id: StreamId, idempotent_dup: bool) {
+        let down_until = self.channels[id.index()].down_until;
+        if self.clock.now() < down_until {
+            // Synchronous resolution: the server retries until the source
+            // restarts, paying the outage in simulated time.
+            self.stats.timeouts += 1;
+            self.stats.retries += 1;
+            self.stats.overhead_frames += 1;
+            self.clock.advance_to(down_until);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.schedule.draw(self.clock.now()) {
+                FaultDecision::Deliver => break,
+                FaultDecision::Delay(ticks) => {
+                    self.clock.advance(ticks);
+                    break;
+                }
+                FaultDecision::Duplicate => {
+                    // The request arrives twice; the source executes once
+                    // and rejects the ghost by epoch/sequence.
+                    self.stats.overhead_frames += 1;
+                    if idempotent_dup {
+                        self.stats.epoch_rejects += 1;
+                    }
+                    break;
+                }
+                FaultDecision::Drop => {
+                    self.stats.timeouts += 1;
+                    self.stats.retries += 1;
+                    self.stats.overhead_frames += 1;
+                    self.clock.advance(self.cfg.timeout_ticks + self.cfg.backoff.delay(attempt));
+                    attempt += 1;
+                    if attempt >= self.cfg.max_retries {
+                        break; // force delivery; keeps handlers bounded
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping after a probe reply: the reply supersedes every frame
+    /// still in flight from this source, refreshes the lease, clears any
+    /// pending repair flag — and, being proof of life, revives a
+    /// lease-expired source on the spot (no rejoin re-probe needed: this
+    /// reply already carried fresh state).
+    fn on_probed(&mut self, id: StreamId) {
+        let now = self.clock.now();
+        let i = id.index();
+        if self.dead[i] {
+            self.dead[i] = false;
+            self.dead_count -= 1;
+        }
+        let ch = &mut self.channels[i];
+        ch.recv_seq = ch.send_seq;
+        ch.last_heard = now;
+        ch.needs_repair = false;
+    }
+
+    /// Bookkeeping after an install ack: bumps the filter epoch (staling
+    /// every in-flight report produced under the old filter) and refreshes
+    /// the lease. A sync reply additionally supersedes in-flight frames.
+    fn on_installed(&mut self, id: StreamId, synced: bool) {
+        let now = self.clock.now();
+        let ch = &mut self.channels[id.index()];
+        ch.epoch += 1;
+        ch.last_heard = now;
+        if synced {
+            ch.recv_seq = ch.send_seq;
+        }
+    }
+}
+
+/// Fault-injecting [`FleetOps`] decorator.
+///
+/// Wraps any backend (the real [`crate::fleet::SourceFleet`], or the
+/// server's shard router) and charges every server→source operation through
+/// the unreliable channel before executing it exactly once on the inner
+/// backend. Reports are **not** intercepted here — report routing is owned
+/// by the caller (the server's drain path), which admits them through
+/// [`ChaosState::admit_report`]; `deliver` is therefore transparent.
+pub struct ChaosFleet<'a> {
+    state: &'a mut ChaosState,
+    inner: &'a mut dyn FleetOps,
+}
+
+impl<'a> ChaosFleet<'a> {
+    /// Wraps `inner` with the given channel state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count does not match the fleet size.
+    pub fn new(state: &'a mut ChaosState, inner: &'a mut dyn FleetOps) -> Self {
+        assert_eq!(state.len(), inner.len(), "chaos channel count != fleet size");
+        Self { state, inner }
+    }
+}
+
+impl FleetOps for ChaosFleet<'_> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn deliver(
+        &mut self,
+        id: StreamId,
+        value: f64,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        // Report faulting lives in `ChaosState::admit_report`, owned by the
+        // component that routes reports; the decorator stays transparent so
+        // it composes with any delivery path.
+        self.inner.deliver(id, value, ledger, view)
+    }
+
+    fn probe(&mut self, id: StreamId, ledger: &mut Ledger, view: &mut ServerView) -> f64 {
+        self.state.charge_request(id, false);
+        let v = self.inner.probe(id, ledger, view);
+        self.state.on_probed(id);
+        v
+    }
+
+    fn probe_all(&mut self, ledger: &mut Ledger, view: &mut ServerView) {
+        for i in 0..self.inner.len() {
+            self.state.charge_request(StreamId(i as u32), false);
+        }
+        self.inner.probe_all(ledger, view);
+        for i in 0..self.inner.len() {
+            self.state.on_probed(StreamId(i as u32));
+        }
+    }
+
+    fn probe_all_tracked(
+        &mut self,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        changed: &mut Vec<StreamId>,
+    ) {
+        for i in 0..self.inner.len() {
+            self.state.charge_request(StreamId(i as u32), false);
+        }
+        self.inner.probe_all_tracked(ledger, view, changed);
+        for i in 0..self.inner.len() {
+            self.state.on_probed(StreamId(i as u32));
+        }
+    }
+
+    fn probe_many(
+        &mut self,
+        ids: &[StreamId],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        out: &mut Vec<f64>,
+    ) {
+        for &id in ids {
+            self.state.charge_request(id, false);
+        }
+        self.inner.probe_many(ids, ledger, view, out);
+        for &id in ids {
+            self.state.on_probed(id);
+        }
+    }
+
+    fn install(
+        &mut self,
+        id: StreamId,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Option<f64> {
+        self.state.charge_request(id, true);
+        let sync = self.inner.install(id, filter, ledger, view);
+        self.state.on_installed(id, sync.is_some());
+        sync
+    }
+
+    fn install_many(
+        &mut self,
+        installs: &[(StreamId, Filter)],
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+        syncs: &mut Vec<(StreamId, f64)>,
+    ) {
+        for (id, _) in installs {
+            self.state.charge_request(*id, true);
+        }
+        self.inner.install_many(installs, ledger, view, syncs);
+        let synced: Vec<StreamId> = syncs.iter().map(|(id, _)| *id).collect();
+        for (id, _) in installs {
+            self.state.on_installed(*id, synced.contains(id));
+        }
+    }
+
+    fn broadcast(
+        &mut self,
+        filter: Filter,
+        ledger: &mut Ledger,
+        view: &mut ServerView,
+    ) -> Vec<(StreamId, f64)> {
+        // A broadcast is one fan-out frame at the channel layer: charge it
+        // once rather than per source.
+        if !self.state.is_empty() {
+            self.state.charge_request(StreamId(0), true);
+        }
+        let syncs = self.inner.broadcast(filter, ledger, view);
+        for i in 0..self.inner.len() {
+            let id = StreamId(i as u32);
+            let synced = syncs.iter().any(|(s, _)| *s == id);
+            self.state.on_installed(id, synced);
+        }
+        syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::SourceFleet;
+
+    fn fleet3() -> (SourceFleet, Ledger, ServerView) {
+        let fleet = SourceFleet::from_values(&[1.0, 2.0, 3.0]);
+        let ledger = Ledger::new();
+        let view = ServerView::new(3);
+        (fleet, ledger, view)
+    }
+
+    fn reliable_state(n: usize) -> ChaosState {
+        ChaosState::new(n, ChaosConfig::new(1, FaultMix::none(), 0))
+    }
+
+    #[test]
+    fn transparent_when_reliable() {
+        let (mut fleet, mut ledger, mut view) = fleet3();
+        let mut state = reliable_state(3);
+        let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+        chaos.probe_all(&mut ledger, &mut view);
+        let v = chaos.probe(StreamId(1), &mut ledger, &mut view);
+        assert_eq!(v, 2.0);
+        assert_eq!(ledger.total(), 8); // 2n + 2 probe messages, nothing else
+        assert_eq!(state.stats(), &ChaosStats::default());
+    }
+
+    #[test]
+    fn install_bumps_epoch_monotonically() {
+        let (mut fleet, mut ledger, mut view) = fleet3();
+        let mut state = reliable_state(3);
+        let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+        chaos.probe_all(&mut ledger, &mut view);
+        for k in 1..=5u64 {
+            chaos.install(StreamId(0), Filter::wildcard(), &mut ledger, &mut view);
+            assert_eq!(chaos.state.epoch_of(StreamId(0)), k);
+        }
+        assert_eq!(state.epoch_of(StreamId(1)), 0);
+    }
+
+    #[test]
+    fn dropped_requests_retry_and_still_execute_once() {
+        let (mut fleet, mut ledger, mut view) = fleet3();
+        // 60% drop, faults active for a long horizon.
+        let cfg = ChaosConfig::new(7, FaultMix::loss_only(0.6), u64::MAX);
+        let mut state = ChaosState::new(3, cfg);
+        let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+        chaos.probe_all(&mut ledger, &mut view);
+        // Ledger sees exactly the logical probes despite retries.
+        assert_eq!(ledger.total(), 6);
+        assert!(state.stats().retries > 0);
+        assert_eq!(state.stats().retries, state.stats().timeouts);
+        assert!(state.now() > 0, "timeouts must consume simulated time");
+    }
+
+    #[test]
+    fn report_admission_stamps_and_rejects_stale_epochs() {
+        let (mut fleet, mut ledger, mut view) = fleet3();
+        // Delay every report so it parks.
+        let mix = FaultMix { delay_p: 1.0, max_delay_ticks: 4, ..FaultMix::none() };
+        let mut state = ChaosState::new(3, ChaosConfig::new(3, mix, u64::MAX));
+        assert_eq!(state.admit_report(StreamId(0), 9.0), ReportFate::Parked);
+        assert_eq!(state.parked_len(), 1);
+        // An install under a new epoch stales the parked frame.
+        {
+            let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+            chaos.install(StreamId(0), Filter::wildcard(), &mut ledger, &mut view);
+        }
+        state.advance(10);
+        let mut out = Vec::new();
+        state.take_due_reports(&mut out);
+        assert!(out.is_empty(), "stale-epoch frame must be rejected");
+        assert_eq!(state.stats().epoch_rejects, 1);
+        // The sequence gap survives rejection so repair can detect it...
+        assert!(state.recv_seq_of(StreamId(0)) < state.send_seq_of(StreamId(0)));
+    }
+
+    #[test]
+    fn duplicates_deliver_once() {
+        let mix = FaultMix { dup_p: 1.0, ..FaultMix::none() };
+        let mut state = ChaosState::new(1, ChaosConfig::new(5, mix, u64::MAX));
+        assert_eq!(state.admit_report(StreamId(0), 4.0), ReportFate::Deliver);
+        state.advance(5);
+        let mut out = Vec::new();
+        state.take_due_reports(&mut out);
+        assert!(out.is_empty(), "ghost duplicate must be rejected by sequence");
+        assert_eq!(state.stats().epoch_rejects, 1);
+        assert_eq!(state.recv_seq_of(StreamId(0)), state.send_seq_of(StreamId(0)));
+    }
+
+    #[test]
+    fn delayed_reports_deliver_in_order_once_due() {
+        let mix = FaultMix { delay_p: 1.0, max_delay_ticks: 8, ..FaultMix::none() };
+        let mut state = ChaosState::new(2, ChaosConfig::new(11, mix, u64::MAX));
+        assert_eq!(state.admit_report(StreamId(0), 1.0), ReportFate::Parked);
+        assert_eq!(state.admit_report(StreamId(0), 2.0), ReportFate::Parked);
+        assert_eq!(state.admit_report(StreamId(1), 3.0), ReportFate::Parked);
+        state.advance(100);
+        let mut out = Vec::new();
+        state.take_due_reports(&mut out);
+        // Frames surface deterministically; per source, sequence order wins
+        // and every accepted frame advances recv_seq.
+        assert_eq!(state.recv_seq_of(StreamId(0)), 2);
+        assert_eq!(state.recv_seq_of(StreamId(1)), 1);
+        assert!(!out.is_empty());
+        assert_eq!(state.parked_len(), 0);
+    }
+
+    #[test]
+    fn newer_frame_supersedes_older_parked_one() {
+        // Frame 1 parks with a long delay; frame 2 delivers immediately.
+        let mix = FaultMix { delay_p: 0.5, max_delay_ticks: 50, ..FaultMix::none() };
+        let mut state = ChaosState::new(1, ChaosConfig::new(0, mix, u64::MAX));
+        let mut fates = Vec::new();
+        for k in 0..20 {
+            fates.push(state.admit_report(StreamId(0), k as f64));
+        }
+        assert!(fates.contains(&ReportFate::Parked) && fates.contains(&ReportFate::Deliver));
+        state.advance(1000);
+        let mut out = Vec::new();
+        state.take_due_reports(&mut out);
+        // Every parked frame older than the last direct delivery is
+        // rejected; recv_seq never regresses.
+        assert_eq!(state.recv_seq_of(StreamId(0)), state.send_seq_of(StreamId(0)));
+    }
+
+    #[test]
+    fn heartbeat_round_detects_gap_and_schedules_reprobe() {
+        let mut state = ChaosState::new(2, ChaosConfig::new(2, FaultMix::loss_only(1.0), 100));
+        // A lost report leaves a gap.
+        assert_eq!(state.admit_report(StreamId(1), 5.0), ReportFate::Lost);
+        // Past the horizon the heartbeat itself is reliable.
+        state.advance(200);
+        state.draw_crashes();
+        let plan = state.heartbeat_round();
+        assert_eq!(plan.reprobe, vec![StreamId(1)]);
+        assert!(plan.newly_dead.is_empty());
+        // Before the repair probe the channel is not verified.
+        state.finish_round();
+        assert!(!state.is_verified(StreamId(1)));
+        assert!(state.is_verified(StreamId(0)));
+        state.on_probed(StreamId(1));
+        state.finish_round();
+        assert!(state.is_verified(StreamId(1)));
+    }
+
+    #[test]
+    fn lease_expiry_marks_dead_and_revives_on_heartbeat() {
+        let cfg = ChaosConfig::new(4, FaultMix::loss_only(1.0), 10_000).lease_ticks(50);
+        let mut state = ChaosState::new(1, cfg);
+        // All heartbeats drop while faults are active; lease expires.
+        state.advance(100);
+        let plan = state.heartbeat_round();
+        assert_eq!(plan.newly_dead, vec![StreamId(0)]);
+        assert_eq!(state.dead_count(), 1);
+        assert!(state.is_dead(StreamId(0)));
+        state.finish_round();
+        assert!(!state.is_verified(StreamId(0)));
+        // Faults cease; the next heartbeat revives the source and schedules
+        // a rejoin re-probe.
+        state.advance(20_000);
+        let plan = state.heartbeat_round();
+        assert_eq!(state.dead_count(), 0);
+        assert_eq!(plan.reprobe, vec![StreamId(0)]);
+        assert!(plan.newly_dead.is_empty());
+    }
+
+    #[test]
+    fn crash_goes_dark_then_needs_repair() {
+        let mix = FaultMix { crash_p: 1.0, max_outage_ticks: 30, ..FaultMix::none() };
+        let mut state = ChaosState::new(1, ChaosConfig::new(6, mix, 100).lease_ticks(10_000));
+        state.draw_crashes();
+        assert_eq!(state.stats().crashes, 1);
+        // Reports during the outage are swallowed without a sequence bump.
+        let seq_before = state.send_seq_of(StreamId(0));
+        assert_eq!(state.admit_report(StreamId(0), 1.0), ReportFate::Lost);
+        assert_eq!(state.send_seq_of(StreamId(0)), seq_before);
+        // Down sources emit no heartbeat.
+        let plan = state.heartbeat_round();
+        assert!(plan.reprobe.is_empty());
+        // After the outage (and past the fault horizon) the restart is
+        // heard and repair is scheduled.
+        state.advance(200);
+        let plan = state.heartbeat_round();
+        assert_eq!(plan.reprobe, vec![StreamId(0)]);
+    }
+
+    #[test]
+    fn probing_down_source_blocks_until_restart() {
+        let (mut fleet, mut ledger, mut view) = fleet3();
+        let mix = FaultMix { crash_p: 1.0, max_outage_ticks: 40, ..FaultMix::none() };
+        let mut state = ChaosState::new(3, ChaosConfig::new(9, mix, 100));
+        state.draw_crashes();
+        let before = state.now();
+        let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+        chaos.probe(StreamId(0), &mut ledger, &mut view);
+        assert!(state.now() > before, "probe must wait out the outage");
+        assert!(state.stats().timeouts >= 1);
+    }
+
+    #[test]
+    fn resync_boundary_discards_in_flight_frames() {
+        let mix = FaultMix { delay_p: 1.0, max_delay_ticks: 100, ..FaultMix::none() };
+        let mut state = ChaosState::new(1, ChaosConfig::new(8, mix, u64::MAX));
+        state.admit_report(StreamId(0), 1.0);
+        assert_eq!(state.parked_len(), 1);
+        state.resync_boundary();
+        assert_eq!(state.parked_len(), 0);
+    }
+}

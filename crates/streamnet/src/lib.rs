@@ -15,6 +15,9 @@
 //!   broadcast operations, threading every interaction through the ledger.
 //! * [`message`] — the message taxonomy and cost ledger (DESIGN.md §3.3).
 //! * [`view`] — the server's (possibly stale) view of stream values.
+//! * [`chaos`] — unreliable source↔server channels: seeded fault injection
+//!   (drop / delay / duplicate / reorder / crash-restart), filter epochs,
+//!   sequence numbers, and heartbeat leases.
 //!
 //! This crate knows nothing about queries or tolerances; those live in
 //! `asf-core`.
@@ -22,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod filter;
 pub mod fleet;
 pub mod message;
 pub mod source;
 pub mod view;
 
+pub use chaos::{ChaosConfig, ChaosFleet, ChaosState, ChaosStats, RepairPlan, ReportFate};
 pub use filter::Filter;
 pub use fleet::{FleetOps, SourceFleet, SpecLog};
 pub use message::{Ledger, MessageKind};

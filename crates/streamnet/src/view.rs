@@ -56,6 +56,22 @@ impl ServerView {
         self.values[id.index()]
     }
 
+    /// Forgets a stream's value, returning the view to "never heard from".
+    ///
+    /// Used by the fault-tolerance layer when a source's lease expires: the
+    /// server can no longer vouch for the cached value, so degraded views
+    /// (e.g. [`ServerView::unknown_ids`]-driven re-probes and live-population
+    /// answer checks) must treat the stream as unknown. Subsequent
+    /// [`ServerView::get`] calls panic until the stream is re-probed, which
+    /// is deliberate: protocol code must not silently rank a dead source.
+    pub fn mark_unknown(&mut self, id: StreamId) {
+        if self.known[id.index()] {
+            self.known[id.index()] = false;
+            self.known_count -= 1;
+            self.values[id.index()] = 0.0;
+        }
+    }
+
     /// Whether the server has ever learned this stream's value.
     pub fn is_known(&self, id: StreamId) -> bool {
         self.known[id.index()]
@@ -198,5 +214,21 @@ mod tests {
     fn get_unknown_panics() {
         let v = ServerView::new(1);
         v.get(StreamId(0));
+    }
+
+    #[test]
+    fn mark_unknown_forgets_and_is_idempotent() {
+        let mut v = ServerView::new(2);
+        v.set(StreamId(0), 1.0);
+        v.set(StreamId(1), 2.0);
+        v.mark_unknown(StreamId(0));
+        v.mark_unknown(StreamId(0));
+        assert!(!v.is_known(StreamId(0)));
+        assert_eq!(v.known_count(), 1);
+        assert_eq!(v.unknown_ids().collect::<Vec<_>>(), vec![StreamId(0)]);
+        // Re-learning restores the invariant.
+        v.set(StreamId(0), 3.0);
+        assert!(v.all_known());
+        assert_eq!(v.get(StreamId(0)), 3.0);
     }
 }

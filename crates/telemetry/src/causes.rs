@@ -36,10 +36,15 @@ pub enum Cause {
     /// restart (the cold-start probe storm when no checkpoint survived).
     /// Stays zero when recovery restores from a checkpoint.
     Recovery,
+    /// Fault repair: re-probes and re-installs issued at chunk-end
+    /// quiescence to heal unreliable channels (lost reports, crash
+    /// restarts, lease rejoins) plus post-fault resyncs. Stays zero on
+    /// reliable channels.
+    Repair,
 }
 
 /// Number of [`Cause`] variants.
-pub const NUM_CAUSES: usize = 10;
+pub const NUM_CAUSES: usize = 11;
 
 /// Message-kind slots per cause (mirrors the streamnet ledger's five
 /// kinds; labels are supplied by the caller so this crate stays
@@ -59,6 +64,7 @@ impl Cause {
         Cause::DeferredFlush,
         Cause::Maintenance,
         Cause::Recovery,
+        Cause::Repair,
     ];
 
     fn slot(self) -> usize {
@@ -73,6 +79,7 @@ impl Cause {
             Cause::DeferredFlush => 7,
             Cause::Maintenance => 8,
             Cause::Recovery => 9,
+            Cause::Repair => 10,
         }
     }
 
@@ -89,6 +96,7 @@ impl Cause {
             Cause::DeferredFlush => "deferred_flush",
             Cause::Maintenance => "maintenance",
             Cause::Recovery => "recovery",
+            Cause::Repair => "repair",
         }
     }
 }

@@ -21,6 +21,8 @@ use asf_server::{
     CoordMode, DurabilityConfig, ExecMode, ScatterMode, ServerConfig, ShardedServer,
     TelemetryConfig, TraceDepth,
 };
+use simkit::fault::FaultMix;
+use streamnet::{ChaosConfig, StreamId};
 use workloads::{SyntheticConfig, SyntheticWorkload};
 
 fn queries() -> Vec<RangeQuery> {
@@ -176,4 +178,56 @@ fn main() {
     assert!(recovered_ok);
     recovered.shutdown();
     let _ = std::fs::remove_dir_all(&durable_dir);
+
+    // Unreliable-fleet demo: the same dashboards with the source↔server
+    // channel behind a seeded fault injector — 5% frame loss plus light
+    // delay/duplication and occasional crash-restarts. Chaos and
+    // durability are mutually exclusive (channel state is not persisted),
+    // so this phase runs a fresh, non-durable server. The authoritative
+    // ledger still meters only the logical protocol; retransmissions,
+    // ghosts, and heartbeats land in the chaos overhead counters.
+    let mix = FaultMix {
+        drop_p: 0.05,
+        delay_p: 0.02,
+        dup_p: 0.02,
+        crash_p: 0.001,
+        max_delay_ticks: 256,
+        max_outage_ticks: 2048,
+    };
+    let protocol = MultiRangeZt::with_mode(queries(), CellMode::SourceResident).unwrap();
+    let mut faulty = ShardedServer::new(&initial, protocol, config);
+    faulty.initialize();
+    faulty.enable_chaos(ChaosConfig::new(2024, mix, u64::MAX).lease_ticks(4096));
+    faulty.ingest_batch(&events);
+    let stats = *faulty.chaos_stats().expect("chaos enabled");
+    let m = faulty.metrics().clone();
+    println!("\nunreliable fleet (5% loss + delay/dup + crash-restarts, faults never cease):");
+    println!(
+        "  channel:  {} overhead frames ({} heartbeats, {} dup ghosts), {} reports lost, \
+         {} delayed, {} source crashes",
+        stats.overhead_frames,
+        stats.heartbeats_sent,
+        stats.dup_frames,
+        stats.reports_lost,
+        stats.reports_delayed,
+        stats.crashes,
+    );
+    println!(
+        "  repair:   retries {}, timeouts {}, epoch rejects {}, dead sources {}, \
+         {} repair re-probes, {:.1}us spent repairing",
+        m.retries,
+        m.timeouts,
+        m.epoch_rejects,
+        m.dead_sources,
+        stats.repaired_sources,
+        m.repair_ns as f64 / 1_000.0,
+    );
+    let live = faulty.live_view();
+    let vouched = (0..initial.len()).filter(|&i| live.is_known(StreamId(i as u32))).count();
+    println!(
+        "  degraded: live view vouches for {vouched}/{} sources (expired leases are \
+         excluded until a repair re-probe revives them)",
+        initial.len()
+    );
+    faulty.shutdown();
 }

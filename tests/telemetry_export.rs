@@ -198,6 +198,11 @@ fn telemetry_snapshot_has_the_documented_schema() {
         "server.speculative_commits",
         "server.batch_apply_ns",
         "server.parallel_fraction",
+        "server.retries",
+        "server.timeouts",
+        "server.dead_sources",
+        "server.epoch_rejects",
+        "server.repair_ns",
         "fleet.batch_ops",
         "ctx.probe_ns",
         "ctx.batch_install_ops",
@@ -216,7 +221,7 @@ fn telemetry_snapshot_has_the_documented_schema() {
         assert!(hist.iter().any(|(k, _)| k == field), "batch_apply_ns histogram missing {field}");
     }
     // The full cause × kind matrix is always present (schema stability):
-    // 10 causes × 5 kinds + the grand total.
+    // 11 causes × 5 kinds + the grand total.
     let cause_cells = obj.iter().filter(|(k, _)| k.starts_with("causes.")).count();
-    assert_eq!(cause_cells, 10 * 5 + 1, "cause matrix must be fully registered");
+    assert_eq!(cause_cells, 11 * 5 + 1, "cause matrix must be fully registered");
 }
