@@ -52,9 +52,18 @@
 //! JSON's `chaos` object together with retry/timeout/epoch-reject/repair
 //! counters.
 //!
+//! A **multi-query sweep** rides along (full runs and
+//! `--scenario multi_query`): one shared-cell MULTI-ZT protocol serves m
+//! range queries over the same population for m across three orders of
+//! magnitude, recording per-event cost, the interval-stabbing router's
+//! mean queries-touched-per-report fan-out, and a byte-identical
+//! `NaiveScan` (O(m) per report) baseline at the affordable m levels.
+//! The JSON's `multi_query` object is gated at full scale: fan-out ≪ m
+//! and per-event cost growing far slower than m.
+//!
 //! Flags: `--quick` (reduced scale), `--scenario <name>` (run one scenario
-//! only, e.g. `--scenario reinit_storm`, `--scenario recovery`, or
-//! `--scenario chaos`),
+//! only, e.g. `--scenario reinit_storm`, `--scenario recovery`,
+//! `--scenario chaos`, or `--scenario multi_query`),
 //! `--fault-smoke` (forced mid-checkpoint crash + recover + invariance
 //! check), `--trace-out <path>` (rerun one
 //! traced ZT-NRP configuration and write its span timeline as Chrome
@@ -759,6 +768,147 @@ fn main() {
         None
     };
 
+    // Multi-query fleet-scale sweep (full run or `--scenario multi_query`):
+    // one shared-cell MULTI-ZT protocol serving m range queries over the
+    // same population, m swept across three orders of magnitude at a fixed
+    // stream count. Query widths shrink as domain/m so the expected total
+    // membership stays ≈ n at every level — the sweep prices *routing*, not
+    // answer churn. The interval-stabbing router should keep the mean
+    // queries-touched-per-report ≪ m and per-event cost growing far slower
+    // than m; a NaiveScan run (O(m) re-test per report) at the affordable m
+    // levels anchors the comparison and must stay byte-identical.
+    let multi_query = if only.is_none() || only.as_deref() == Some("multi_query") {
+        use asf_core::multi_query::{CellMode, MultiRangeZt, RoutingMode};
+        let mq_config = ServerConfig {
+            num_shards: 4,
+            batch_size: 8192,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_off(),
+        };
+        let ms: &[usize] = if scale.is_quick() { &[10, 100, 1_000] } else { &[10, 1_000, 100_000] };
+        let naive_cap = 1_000usize;
+        let (domain_lo, domain_hi) = (0.0f64, 1000.0);
+        let make_queries = |m: usize| -> Vec<RangeQuery> {
+            let mut rng = simkit::SimRng::seed_from_u64(seed ^ (m as u64).rotate_left(17));
+            (0..m)
+                .map(|_| {
+                    let width = (domain_hi - domain_lo) / m as f64 * (0.5 + rng.next_f64());
+                    let lo = rng.range_f64(domain_lo, domain_hi - width);
+                    RangeQuery::new(lo, lo + width).expect("generated query is valid")
+                })
+                .collect()
+        };
+        struct MqRun {
+            wall_ns: u64,
+            messages: u64,
+            reports: u64,
+            answer: asf_core::AnswerSet,
+            routed_reports: u64,
+            queries_touched: u64,
+            routing_ns: u64,
+            num_cells: usize,
+        }
+        let run_mode = |queries: &[RangeQuery], routing: RoutingMode| -> MqRun {
+            let protocol =
+                MultiRangeZt::with_config(queries.to_vec(), CellMode::ServerManaged, routing)
+                    .expect("multi-query protocol");
+            let num_cells = protocol.num_cells();
+            let mut server = ShardedServer::new(&initial, protocol, mq_config);
+            server.initialize();
+            let t = Instant::now();
+            server.ingest_batch(&events);
+            let wall_ns = t.elapsed().as_nanos() as u64;
+            let stats = *server.ctx_stats();
+            let run = MqRun {
+                wall_ns,
+                messages: server.ledger().total(),
+                reports: server.reports_processed(),
+                answer: server.answer(),
+                routed_reports: stats.routed_reports,
+                queries_touched: stats.queries_touched,
+                routing_ns: stats.routing_ns,
+                num_cells,
+            };
+            server.shutdown();
+            run
+        };
+        let mut levels: Vec<String> = Vec::new();
+        let mut baseline_ns_per_event: Option<f64> = None;
+        let mut final_ratio = 0.0f64;
+        let mut final_touched_mean = 0.0f64;
+        for &m in ms {
+            let queries = make_queries(m);
+            eprintln!("running multi_query m={m} ({num_streams} streams, routed) ...");
+            let routed = run_mode(&queries, RoutingMode::Routed);
+            let naive = if m <= naive_cap {
+                eprintln!("running multi_query m={m} (naive O(m) scan baseline) ...");
+                let naive = run_mode(&queries, RoutingMode::NaiveScan);
+                assert_eq!(routed.answer, naive.answer, "m={m}: routed answer diverged");
+                assert_eq!(routed.messages, naive.messages, "m={m}: routed message count diverged");
+                Some(naive)
+            } else {
+                None
+            };
+            let ns_per_event = routed.wall_ns as f64 / events.len().max(1) as f64;
+            let touched_mean = routed.queries_touched as f64 / routed.routed_reports.max(1) as f64;
+            let cost_ratio = ns_per_event / baseline_ns_per_event.unwrap_or(ns_per_event);
+            baseline_ns_per_event.get_or_insert(ns_per_event);
+            final_ratio = cost_ratio;
+            final_touched_mean = touched_mean;
+            eprintln!(
+                "multi_query m={m}: {:.0} ns/event ({cost_ratio:.2}x the m={} baseline), \
+                 touched/report {touched_mean:.2}, {} cells, routing {:.1}ms",
+                ns_per_event,
+                ms[0],
+                routed.num_cells,
+                routed.routing_ns as f64 / 1e6,
+            );
+            levels.push(format!(
+                "{{\"m\": {m}, \"events\": {}, \"ingest_wall_ns\": {}, \"ns_per_event\": \
+                 {ns_per_event:.1}, \"cost_ratio_vs_first_level\": {cost_ratio:.3}, \
+                 \"messages\": {}, \"reports\": {}, \"routed_reports\": {}, \
+                 \"queries_touched_per_report\": {touched_mean:.3}, \"routing_ns\": {}, \
+                 \"num_cells\": {}, \"naive_scan_wall_ns\": {}}}",
+                events.len(),
+                routed.wall_ns,
+                routed.messages,
+                routed.reports,
+                routed.routed_reports,
+                routed.routing_ns,
+                routed.num_cells,
+                naive.map(|n| n.wall_ns.to_string()).unwrap_or_else(|| "null".into()),
+            ));
+        }
+        // Sub-linearity gates, full scale only (quick walls are noisy): at
+        // the top level the router must touch a vanishing fraction of the m
+        // queries per report, and the per-event cost must grow far slower
+        // than the 10_000x growth in m.
+        if !scale.is_quick() {
+            let m_top = *ms.last().unwrap() as f64;
+            assert!(
+                final_touched_mean < m_top / 100.0,
+                "multi_query gate: mean queries touched per report {final_touched_mean:.1} \
+                 must be << m = {m_top}"
+            );
+            assert!(
+                final_ratio < 1_000.0,
+                "multi_query gate: per-event cost grew {final_ratio:.1}x from m={} to \
+                 m={m_top} — routing is no longer sub-linear in the query count",
+                ms[0]
+            );
+        }
+        Some(format!(
+            "{{\"num_streams\": {num_streams}, \"cell_mode\": \"server_managed\", \
+             \"naive_scan_cap\": {naive_cap}, \"levels\": [{}]}}",
+            levels.join(", ")
+        ))
+    } else {
+        None
+    };
+
     // `--fault-smoke`: one forced mid-checkpoint crash + recovery +
     // invariance check at small scale — the CI hook that proves the fault
     // path end-to-end outside the unit suites.
@@ -939,6 +1089,7 @@ fn main() {
     );
     let _ = writeln!(json, "  \"recovery\": {},", recovery.as_deref().unwrap_or("null"));
     let _ = writeln!(json, "  \"chaos\": {},", chaos.as_deref().unwrap_or("null"));
+    let _ = writeln!(json, "  \"multi_query\": {},", multi_query.as_deref().unwrap_or("null"));
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {
         json.push_str(&json_run(s));

@@ -157,6 +157,105 @@ impl std::fmt::Debug for AnswerSet {
     }
 }
 
+/// A sparse answer set: a sorted vector of member ids.
+///
+/// [`AnswerSet`]'s bitset costs `n/8` bytes *per set*, which is the right
+/// trade for a handful of answers but prohibitive for fleet-scale
+/// multi-query state (100k queries × 100k streams ≈ 125 GB of bitsets).
+/// `IdSet` costs 4 bytes per *member* instead, so total multi-query memory
+/// scales with `Σ |A_j|` — the quantity the shared-cell decomposition keeps
+/// small. Membership updates are O(log |A| + |A|) (binary search + shift),
+/// fine because routing only touches the few affected queries per report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdSet {
+    ids: Vec<u32>,
+}
+
+impl IdSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from an ascending, duplicate-free id list.
+    pub fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted and unique");
+        Self { ids }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.ids.binary_search(&id.0).is_ok()
+    }
+
+    /// Inserts a member; returns whether it was new.
+    pub fn insert(&mut self, id: StreamId) -> bool {
+        match self.ids.binary_search(&id.0) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id.0);
+                true
+            }
+        }
+    }
+
+    /// Removes a member; returns whether it was present.
+    pub fn remove(&mut self, id: StreamId) -> bool {
+        match self.ids.binary_search(&id.0) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.ids.iter().map(|&i| StreamId(i))
+    }
+
+    /// Materializes the set as a dense [`AnswerSet`].
+    pub fn to_answer(&self) -> AnswerSet {
+        self.iter().collect()
+    }
+
+    /// Serializes the set — byte-identical to [`AnswerSet::encode`] of the
+    /// same members.
+    pub fn encode(&self, w: &mut asf_persist::StateWriter) {
+        w.put_u64(self.ids.len() as u64);
+        for &id in &self.ids {
+            w.put_u32(id);
+        }
+    }
+
+    /// Decodes a set written by [`IdSet::encode`] (or [`AnswerSet::encode`]).
+    pub fn decode(r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<Self> {
+        let n = r.get_u64()? as usize;
+        if n > r.remaining() / 4 {
+            return Err(asf_persist::PersistError::corrupt("id set longer than payload"));
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(r.get_u32()?);
+        }
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(asf_persist::PersistError::corrupt("id set not strictly ascending"));
+        }
+        Ok(Self { ids })
+    }
+}
+
 /// Ascending-id iterator over an [`AnswerSet`].
 pub struct AnswerIter<'a> {
     words: &'a [u64],
@@ -271,6 +370,53 @@ mod tests {
         assert_eq!(m.answer_size, 3);
         assert!((m.f_plus() - 1.0 / 3.0).abs() < 1e-12);
         assert!((m.f_minus() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn id_set_matches_answer_set_semantics() {
+        let mut sparse = IdSet::new();
+        let mut dense = AnswerSet::new();
+        for &(insert, id) in
+            &[(true, 9), (true, 1), (true, 500), (false, 9), (true, 9), (false, 1000)]
+        {
+            if insert {
+                assert_eq!(sparse.insert(StreamId(id)), dense.insert(StreamId(id)));
+            } else {
+                assert_eq!(sparse.remove(StreamId(id)), dense.remove(StreamId(id)));
+            }
+        }
+        assert_eq!(sparse.len(), dense.len());
+        assert_eq!(sparse.to_answer(), dense);
+        assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            dense.iter().collect::<Vec<_>>(),
+            "iteration order matches"
+        );
+        let enc_sparse = {
+            let mut w = asf_persist::StateWriter::new();
+            sparse.encode(&mut w);
+            w.into_bytes()
+        };
+        let enc_dense = {
+            let mut w = asf_persist::StateWriter::new();
+            dense.encode(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(enc_sparse, enc_dense, "wire format is shared");
+        let mut r = asf_persist::StateReader::new(&enc_dense);
+        let back = IdSet::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, sparse);
+    }
+
+    #[test]
+    fn id_set_decode_rejects_unsorted() {
+        let mut w = asf_persist::StateWriter::new();
+        w.put_u64(2);
+        w.put_u32(5);
+        w.put_u32(3);
+        let bytes = w.into_bytes();
+        assert!(IdSet::decode(&mut asf_persist::StateReader::new(&bytes)).is_err());
     }
 
     #[test]

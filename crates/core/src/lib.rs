@@ -61,6 +61,7 @@ pub mod answer;
 pub mod engine;
 pub mod error;
 pub mod multi_query;
+pub mod multi_rank;
 pub mod multidim;
 pub mod oracle;
 pub mod protocol;
@@ -70,7 +71,7 @@ pub mod telem;
 pub mod tolerance;
 pub mod workload;
 
-pub use answer::AnswerSet;
+pub use answer::{AnswerSet, IdSet};
 pub use engine::{Engine, ProtocolCore, RankMode};
 pub use error::ConfigError;
 pub use query::{RangeQuery, RankQuery, RankSpace};

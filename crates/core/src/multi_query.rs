@@ -14,12 +14,34 @@
 //! least cut `> v`. A source's filter is violated **exactly** when its
 //! membership signature changes — no false silence, no spurious reports
 //! beyond the per-crossing filter reinstallation.
+//!
+//! ## Routing: sublinear fan-out in the query count
+//!
+//! Handling a report by re-testing all `m` queries ([`RoutingMode::NaiveScan`])
+//! makes every report cost O(m) — the opposite of the "thousands of
+//! continuous queries over one population" shape. [`QueryRouter`] is an
+//! interval-stabbing index over the query endpoints (two sorted endpoint
+//! arrays, built once per query set): for a value transition `old → new` it
+//! finds exactly the queries whose membership changed in
+//! O(log m + crossings). A query `[l, u]` changes membership on the jump
+//! from `old` to `new` (with `a = min`, `b = max`) iff
+//!
+//! ```text
+//! (l ∈ (a, b])  XOR  (u ∈ [a, b))
+//! ```
+//!
+//! — crossing the lower bound toggles membership, crossing the upper bound
+//! toggles it back; a query jumped over entirely (both endpoints inside the
+//! jump) ends where it started. Each report then updates only the affected
+//! per-query answers, held sparsely ([`crate::answer::IdSet`]) so total
+//! answer memory scales with Σ answer sizes, not `m × n` bitset words.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use streamnet::{Filter, StreamId};
 
-use crate::answer::AnswerSet;
+use crate::answer::{AnswerSet, IdSet};
 use crate::error::ConfigError;
 use crate::protocol::{Protocol, ServerCtx};
 use crate::query::RangeQuery;
@@ -39,33 +61,153 @@ pub enum CellMode {
     SourceResident,
 }
 
+/// How a report finds the queries whose answers it changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Interval-stab the [`QueryRouter`] — O(log m + affected) per report.
+    #[default]
+    Routed,
+    /// Re-test every query — O(m) per report. Kept as the differential
+    /// baseline (answers, ledgers, and views must be byte-identical to
+    /// [`RoutingMode::Routed`]) and for bench comparison.
+    NaiveScan,
+}
+
+/// Interval-stabbing index over query endpoints: given a value transition
+/// `old → new`, yields exactly the queries whose membership changed.
+///
+/// Two sorted arrays (`(lo, query)` and `(hi, query)`) are built once per
+/// query set. A transition binary-searches each array for the endpoints
+/// falling inside the jump (O(log m)) and cancels queries that crossed
+/// both endpoints via an epoch-stamped scratch column — no per-transition
+/// clearing, no allocation.
+pub struct QueryRouter {
+    /// `(l_j, j)` sorted ascending by bound, then query index.
+    lows: Vec<(f64, u32)>,
+    /// `(u_j, j)` sorted ascending by bound, then query index.
+    his: Vec<(f64, u32)>,
+    /// Per-query epoch stamps (`2e` = lower bound crossed this transition,
+    /// `2e + 1` = both bounds crossed, i.e. cancelled).
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl QueryRouter {
+    /// Builds the index over a query set.
+    pub fn new(queries: &[RangeQuery]) -> Self {
+        let mut lows: Vec<(f64, u32)> =
+            queries.iter().enumerate().map(|(j, q)| (q.lo(), j as u32)).collect();
+        let mut his: Vec<(f64, u32)> =
+            queries.iter().enumerate().map(|(j, q)| (q.hi(), j as u32)).collect();
+        let by = |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        lows.sort_unstable_by(by);
+        his.sort_unstable_by(by);
+        Self { lows, his, stamp: vec![0; queries.len()], epoch: 0 }
+    }
+
+    /// Appends to `out` the indices of every query whose membership differs
+    /// between `old` and `new`, in ascending query order. `out` is cleared
+    /// first.
+    ///
+    /// `old = f64::NEG_INFINITY` (no finite query contains it) serves as
+    /// "previously unknown": the affected set is then exactly the queries
+    /// containing `new`.
+    pub fn affected(&mut self, old: f64, new: f64, out: &mut Vec<u32>) {
+        out.clear();
+        debug_assert!(!old.is_nan() && !new.is_nan(), "routed values must be ordered");
+        let (a, b) = if old <= new { (old, new) } else { (new, old) };
+        if a == b {
+            return;
+        }
+        self.epoch += 1;
+        let lo_mark = self.epoch << 1;
+        // Lower bounds crossed: l ∈ (a, b].
+        let ls = self.lows.partition_point(|&(l, _)| l <= a);
+        let le = self.lows.partition_point(|&(l, _)| l <= b);
+        for &(_, j) in &self.lows[ls..le] {
+            self.stamp[j as usize] = lo_mark;
+        }
+        // Upper bounds crossed: u ∈ [a, b). A query stamped by both sweeps
+        // was jumped over entirely — membership unchanged.
+        let hs = self.his.partition_point(|&(u, _)| u < a);
+        let he = self.his.partition_point(|&(u, _)| u < b);
+        for &(_, j) in &self.his[hs..he] {
+            let s = &mut self.stamp[j as usize];
+            if *s == lo_mark {
+                *s = lo_mark | 1;
+            } else {
+                out.push(j);
+            }
+        }
+        for &(_, j) in &self.lows[ls..le] {
+            if self.stamp[j as usize] == lo_mark {
+                out.push(j);
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Number of indexed queries.
+    pub fn num_queries(&self) -> usize {
+        self.stamp.len()
+    }
+}
+
 /// Zero-tolerance maintenance of several range queries with one shared
-/// elementary-cell filter per source.
+/// elementary-cell filter per source and routed per-report answer updates.
 pub struct MultiRangeZt {
     queries: Vec<RangeQuery>,
     /// Sorted, deduplicated membership cut points.
     cuts: Arc<[f64]>,
     mode: CellMode,
-    answers: Vec<AnswerSet>,
+    routing: RoutingMode,
+    router: QueryRouter,
+    answers: Vec<IdSet>,
+    /// Per-stream value as of its last handled report (`-inf` = never
+    /// heard; no finite query contains it, so routing from `-inf` yields
+    /// exactly the containing queries). The routing invariant: `answers`
+    /// reflect exactly the membership of `last`.
+    last: Vec<f64>,
+    /// Reusable affected-query scratch.
+    affected: Vec<u32>,
 }
 
 impl MultiRangeZt {
     /// Creates the protocol over a non-empty set of range queries with the
-    /// default server-managed cells.
+    /// default server-managed cells and routed answer maintenance.
     pub fn new(queries: Vec<RangeQuery>) -> Result<Self, ConfigError> {
         Self::with_mode(queries, CellMode::default())
     }
 
     /// Creates the protocol with an explicit [`CellMode`].
     pub fn with_mode(queries: Vec<RangeQuery>, mode: CellMode) -> Result<Self, ConfigError> {
+        Self::with_config(queries, mode, RoutingMode::default())
+    }
+
+    /// Creates the protocol with explicit cell and routing modes.
+    pub fn with_config(
+        queries: Vec<RangeQuery>,
+        mode: CellMode,
+        routing: RoutingMode,
+    ) -> Result<Self, ConfigError> {
         if queries.is_empty() {
             return Err(ConfigError::InvalidQuery("need at least one range query".into()));
         }
         let mut cuts: Vec<f64> = queries.iter().flat_map(|q| [q.lo(), q.hi().next_up()]).collect();
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("query bounds are finite"));
+        cuts.sort_unstable_by(f64::total_cmp);
         cuts.dedup();
-        let answers = vec![AnswerSet::new(); queries.len()];
-        Ok(Self { queries, cuts: cuts.into(), mode, answers })
+        let answers = vec![IdSet::new(); queries.len()];
+        let router = QueryRouter::new(&queries);
+        Ok(Self {
+            queries,
+            cuts: cuts.into(),
+            mode,
+            routing,
+            router,
+            answers,
+            last: Vec::new(),
+            affected: Vec::new(),
+        })
     }
 
     /// The queries being maintained.
@@ -73,13 +215,13 @@ impl MultiRangeZt {
         &self.queries
     }
 
-    /// The answer of query `j`.
+    /// The answer of query `j`, materialized as a dense set.
     ///
     /// # Panics
     ///
     /// Panics if `j` is out of range.
-    pub fn answer_of(&self, j: usize) -> &AnswerSet {
-        &self.answers[j]
+    pub fn answer_of(&self, j: usize) -> AnswerSet {
+        self.answers[j].to_answer()
     }
 
     /// The number of elementary cells the value domain is divided into.
@@ -102,12 +244,45 @@ impl MultiRangeZt {
         self.mode
     }
 
-    fn refresh_memberships(&mut self, id: StreamId, v: f64) {
-        for (q, a) in self.queries.iter().zip(self.answers.iter_mut()) {
-            if q.contains(v) {
-                a.insert(id);
-            } else {
-                a.remove(id);
+    /// The routing mode in use.
+    pub fn routing(&self) -> RoutingMode {
+        self.routing
+    }
+
+    fn ensure_last(&mut self, n: usize) {
+        if self.last.len() < n {
+            self.last.resize(n, f64::NEG_INFINITY);
+        }
+    }
+
+    /// Applies one value transition to the per-query answers; returns how
+    /// many query answers were touched (for [`ServerCtx::note_routing`]).
+    fn apply_transition(&mut self, id: StreamId, old: f64, value: f64) -> u64 {
+        match self.routing {
+            RoutingMode::Routed => {
+                let mut affected = std::mem::take(&mut self.affected);
+                self.router.affected(old, value, &mut affected);
+                for &j in &affected {
+                    let j = j as usize;
+                    if self.queries[j].contains(value) {
+                        self.answers[j].insert(id);
+                    } else {
+                        self.answers[j].remove(id);
+                    }
+                }
+                let touched = affected.len() as u64;
+                self.affected = affected;
+                touched
+            }
+            RoutingMode::NaiveScan => {
+                for (q, a) in self.queries.iter().zip(self.answers.iter_mut()) {
+                    if q.contains(value) {
+                        a.insert(id);
+                    } else {
+                        a.remove(id);
+                    }
+                }
+                self.queries.len() as u64
             }
         }
     }
@@ -120,12 +295,25 @@ impl Protocol for MultiRangeZt {
 
     fn initialize(&mut self, ctx: &mut ServerCtx<'_>) {
         ctx.probe_all();
-        // One batch deployment of the cell filters (shard-parallel on the
-        // sharded backend).
         let values: Vec<(StreamId, f64)> = ctx.view().iter_known().collect();
+        self.last = vec![f64::NEG_INFINITY; ctx.n()];
+        // Initial answers in one sorted pass: sort the population by value
+        // once, then binary-search each query's member range — O((n + m)
+        // log(nm) + Σ answers) instead of m × n membership tests.
+        let mut by_val: Vec<(f64, u32)> = values.iter().map(|&(id, v)| (v, id.0)).collect();
+        by_val.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (j, q) in self.queries.iter().enumerate() {
+            let s = by_val.partition_point(|&(v, _)| v < q.lo());
+            let e = by_val.partition_point(|&(v, _)| v <= q.hi());
+            let mut ids: Vec<u32> = by_val[s..e].iter().map(|&(_, id)| id).collect();
+            ids.sort_unstable();
+            self.answers[j] = IdSet::from_sorted(ids);
+        }
+        // One batch deployment of the cell filters (shard-parallel on the
+        // sharded backend), in view order.
         let mut installs: Vec<(StreamId, Filter)> = Vec::with_capacity(values.len());
         for &(id, v) in &values {
-            self.refresh_memberships(id, v);
+            self.last[id.index()] = v;
             let filter = match self.mode {
                 CellMode::ServerManaged => self.cell(v),
                 CellMode::SourceResident => Filter::cells(Arc::clone(&self.cuts)),
@@ -136,7 +324,12 @@ impl Protocol for MultiRangeZt {
     }
 
     fn on_update(&mut self, id: StreamId, value: f64, ctx: &mut ServerCtx<'_>) {
-        self.refresh_memberships(id, value);
+        self.ensure_last(ctx.n().max(id.index() + 1));
+        let old = self.last[id.index()];
+        let start = Instant::now();
+        let touched = self.apply_transition(id, old, value);
+        self.last[id.index()] = value;
+        ctx.note_routing(touched, start.elapsed().as_nanos() as u64);
         // Server-managed cells must be re-installed after every report
         // (1 extra message); a source-resident cut table already knows
         // every cell.
@@ -156,6 +349,12 @@ impl Protocol for MultiRangeZt {
         for a in &self.answers {
             a.encode(w);
         }
+        // `last` is protocol state, not view state: it feeds the router, so
+        // recovery must restore it to keep routed transitions exact.
+        w.put_u64(self.last.len() as u64);
+        for &v in &self.last {
+            w.put_f64(v);
+        }
     }
 
     fn load_state(&mut self, r: &mut asf_persist::StateReader<'_>) -> asf_persist::Result<()> {
@@ -163,7 +362,15 @@ impl Protocol for MultiRangeZt {
         if m != self.queries.len() {
             return Err(asf_persist::PersistError::corrupt("answer count != query count"));
         }
-        self.answers = (0..m).map(|_| AnswerSet::decode(r)).collect::<Result<_, _>>()?;
+        self.answers = (0..m).map(|_| IdSet::decode(r)).collect::<Result<_, _>>()?;
+        let n = r.get_u64()? as usize;
+        if n > r.remaining() / 8 {
+            return Err(asf_persist::PersistError::corrupt("last-value table longer than payload"));
+        }
+        self.last = (0..n).map(|_| r.get_f64()).collect::<Result<_, _>>()?;
+        if self.last.iter().any(|v| v.is_nan()) {
+            return Err(asf_persist::PersistError::corrupt("NaN last value"));
+        }
         Ok(())
     }
 }
@@ -184,6 +391,16 @@ mod tests {
             RangeQuery::new(200.0, 500.0).unwrap(), // overlaps the first
             RangeQuery::new(800.0, 900.0).unwrap(), // disjoint
         ]
+    }
+
+    /// Naive affected-set: every query whose membership differs.
+    fn scan_affected(queries: &[RangeQuery], old: f64, new: f64) -> Vec<u32> {
+        queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.contains(old) != q.contains(new))
+            .map(|(j, _)| j as u32)
+            .collect()
     }
 
     #[test]
@@ -208,6 +425,29 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn router_matches_naive_scan_on_fixed_transitions() {
+        let qs = queries();
+        let mut router = QueryRouter::new(&qs);
+        let probes = [
+            (f64::NEG_INFINITY, 250.0),
+            (250.0, 250.0),
+            (150.0, 350.0),
+            (350.0, 150.0),
+            (50.0, 950.0), // jumps over everything
+            (950.0, 50.0),
+            (100.0, 300.0), // both inside Q0
+            (300.0, 300.0f64.next_up()),
+            (200.0, 199.0),
+            (850.0, 860.0),
+        ];
+        let mut out = Vec::new();
+        for (old, new) in probes {
+            router.affected(old, new, &mut out);
+            assert_eq!(out, scan_affected(&qs, old, new), "transition {old} -> {new}");
         }
     }
 
@@ -278,6 +518,30 @@ mod tests {
     }
 
     #[test]
+    fn routed_and_naive_scan_are_byte_identical() {
+        let initial = vec![150.0, 250.0, 400.0, 850.0, 600.0, 50.0];
+        let events = vec![
+            ev(1.0, 4, 250.0),
+            ev(2.0, 1, 350.0),
+            ev(3.0, 5, 120.0),
+            ev(4.0, 0, 880.0),
+            ev(5.0, 2, 210.0),
+            ev(6.0, 4, 40.0),
+        ];
+        let run = |routing: RoutingMode| {
+            let p = MultiRangeZt::with_config(queries(), CellMode::ServerManaged, routing).unwrap();
+            let mut engine = Engine::new(&initial, p);
+            engine.initialize();
+            for e in &events {
+                engine.apply_event(*e);
+            }
+            let answers: Vec<AnswerSet> = (0..3).map(|j| engine.protocol().answer_of(j)).collect();
+            (answers, engine.ledger().total())
+        };
+        assert_eq!(run(RoutingMode::Routed), run(RoutingMode::NaiveScan));
+    }
+
+    #[test]
     fn source_resident_matches_server_managed_with_fewer_messages() {
         let initial = vec![150.0, 250.0, 400.0, 850.0, 600.0, 50.0];
         let events = vec![
@@ -295,8 +559,7 @@ mod tests {
             for e in &events {
                 engine.apply_event(*e);
             }
-            let answers: Vec<AnswerSet> =
-                (0..3).map(|j| engine.protocol().answer_of(j).clone()).collect();
+            let answers: Vec<AnswerSet> = (0..3).map(|j| engine.protocol().answer_of(j)).collect();
             (answers, engine.ledger().total())
         };
 

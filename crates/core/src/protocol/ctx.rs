@@ -67,6 +67,16 @@ pub struct CtxStats {
     /// Deferred-queue flushes (one batch `install_many` per non-empty
     /// handler boundary).
     pub deferred_flushes: u64,
+    /// Reports routed through a multi-query routing index
+    /// ([`ServerCtx::note_routing`] calls).
+    pub routed_reports: u64,
+    /// Σ of queries whose answer a routed report actually touched — the
+    /// multi-query fan-out that routing keeps sublinear in the query count
+    /// (`queries_touched / routed_reports` is the mean fan-out).
+    pub queries_touched: u64,
+    /// Time inside the routing index (affected-query lookup + answer
+    /// maintenance), ns.
+    pub routing_ns: u64,
 }
 
 impl CtxStats {
@@ -197,6 +207,17 @@ impl<'a> ServerCtx<'a> {
             }
             None => Ranks::from_view(space, self.view),
         }
+    }
+
+    /// Records one multi-query routed report: how many query answers it
+    /// touched and how long the routing work took. Purely observational
+    /// (feeds [`CtxStats`] and the `ctx.routing_*` telemetry counters);
+    /// nothing feeds back into protocol decisions.
+    #[inline]
+    pub fn note_routing(&mut self, queries_touched: u64, ns: u64) {
+        self.stats.routed_reports += 1;
+        self.stats.queries_touched += queries_touched;
+        self.stats.routing_ns += ns;
     }
 
     /// Probes one source for its current value (2 messages); refreshes the

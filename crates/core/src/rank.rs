@@ -1004,6 +1004,16 @@ impl RankForest {
     /// per part against the global `(key, id)` cutoff.
     pub fn rank_of(&self, id: StreamId) -> Option<usize> {
         let key = self.key_of(id)?;
+        Some(self.count_before((key, id)) + 1)
+    }
+
+    /// How many indexed entries order strictly before the global `(key, id)`
+    /// pair under [`cmp_key`] — one `count_before` descent per part. The
+    /// pair need not be indexed (nor indexed *at* that key), which is what
+    /// lets multi-query rank routing locate a stream's **pre-update** rank
+    /// after the forest has already been re-keyed.
+    pub fn count_before(&self, at: (f64, StreamId)) -> usize {
+        let (key, id) = at;
         let mut before = 0usize;
         for (p, part) in self.parts.iter().enumerate() {
             // Entries of part p order before (key, id) iff their key is
@@ -1013,7 +1023,7 @@ impl RankForest {
                 if id.0 > p as u32 { (id.0 - p as u32).div_ceil(self.stride as u32) } else { 0 };
             before += part.count_before((key, StreamId(cut)));
         }
-        Some(before + 1)
+        before
     }
 }
 
@@ -1162,6 +1172,26 @@ impl Ranks<'_> {
         match self {
             Ranks::Indexed(index) => index.ordered_pairs(),
             Ranks::Sorted(pairs) => pairs.clone(),
+        }
+    }
+
+    /// The 1-based rank of `id`, if ranked.
+    pub fn rank_of(&self, id: StreamId) -> Option<usize> {
+        match self {
+            Ranks::Indexed(index) => index.rank_of(id),
+            Ranks::Sorted(pairs) => pairs.iter().position(|&(_, pid)| pid == id).map(|pos| pos + 1),
+        }
+    }
+
+    /// How many ranked entries order strictly before the `(key, id)` pair
+    /// under [`cmp_key`]. The pair need not be ranked (nor ranked at that
+    /// key) — see [`RankForest::count_before`].
+    pub fn count_before(&self, at: (f64, StreamId)) -> usize {
+        match self {
+            Ranks::Indexed(index) => index.count_before(at),
+            Ranks::Sorted(pairs) => {
+                pairs.partition_point(|&p| cmp_key(p, at) == std::cmp::Ordering::Less)
+            }
         }
     }
 }

@@ -932,6 +932,17 @@ impl<P: Protocol> ShardedServer<P> {
         reg.counter("ctx.batch_install_streams", stats.batch_install_streams);
         reg.counter("ctx.deferred_installs", stats.deferred_installs);
         reg.counter("ctx.deferred_flushes", stats.deferred_flushes);
+        reg.counter("ctx.routed_reports", stats.routed_reports);
+        reg.counter("ctx.queries_touched", stats.queries_touched);
+        reg.counter("ctx.routing_ns", stats.routing_ns);
+        // Mean multi-query fan-out: how many of the m registered queries
+        // each report actually reached (0 when no routing protocol ran).
+        let fan_out = if stats.routed_reports == 0 {
+            0.0
+        } else {
+            stats.queries_touched as f64 / stats.routed_reports as f64
+        };
+        reg.gauge("ctx.queries_touched_per_report", fan_out);
         let causes = self.core.telemetry().causes();
         // The full cause × kind matrix registers every slot (zeros
         // included) so the snapshot's key set never depends on which

@@ -414,3 +414,33 @@ fn multi_query_converges_under_chaos() {
         None,
     );
 }
+
+#[test]
+fn routed_multi_query_fleet_converges_under_chaos() {
+    // The fleet-scale tentpole under fire: 1024 routed queries sharing one
+    // cell structure keep the whole convergence contract byte-for-byte.
+    // The query set mixes seeded random intervals with the pathological
+    // shapes the routing property suite hammers — duplicates, full-domain
+    // nesting, shared endpoints, and point queries.
+    let mut rng = simkit::SimRng::seed_from_u64(0xF1EE7);
+    let mut queries: Vec<RangeQuery> = (0..1018)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 950.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 120.0)).unwrap()
+        })
+        .collect();
+    queries.extend([
+        RangeQuery::new(0.0, 1000.0).unwrap(),  // contains everything
+        RangeQuery::new(400.0, 600.0).unwrap(), // nested mid-band
+        RangeQuery::new(400.0, 600.0).unwrap(), // exact duplicate
+        RangeQuery::new(600.0, 800.0).unwrap(), // shares a bound
+        RangeQuery::new(500.0, 500.0).unwrap(), // point query
+        RangeQuery::new(500.0f64.next_up(), 501.0).unwrap(), // one ulp above the point
+    ]);
+    assert_eq!(queries.len(), 1024);
+    assert_chaos_converges(
+        "MULTI-ZT-1K",
+        move || MultiRangeZt::with_mode(queries.clone(), CellMode::ServerManaged).unwrap(),
+        None,
+    );
+}

@@ -204,6 +204,47 @@ fn multi_query_point_queries() {
 }
 
 #[test]
+fn multi_query_cut_set_collapses_duplicate_and_adjacent_bounds() {
+    // Cuts are {l_i} ∪ {next_up(u_i)}, deduplicated under total f64 order.
+    // Duplicate queries, u_i == l_j adjacency (the closed bounds share one
+    // point), and l_j == next_up(u_i) (the intervals tile with no gap) must
+    // all collapse to the minimal cut set — and the surviving cells must
+    // still separate membership exactly at every one-ulp transition.
+    let a = RangeQuery::new(100.0, 200.0).unwrap();
+    let b = RangeQuery::new(200.0, 300.0).unwrap(); // l == a.hi
+    let c = RangeQuery::new(200.0f64.next_up(), 250.0).unwrap(); // l == next_up(a.hi)
+    let point = RangeQuery::new(200.0, 200.0).unwrap(); // point on the shared bound
+    let dup = a; // exact duplicate
+    let queries = vec![a, b, c, point, dup];
+    let p = MultiRangeZt::new(queries.clone()).unwrap();
+    // Distinct cuts: {100, 200, next_up(200), next_up(250), next_up(300)}.
+    // a/dup/point's upper cut and c's lower bound are the same f64; b's
+    // lower bound equals a's upper value. 5 cuts -> 6 cells, one of which
+    // is the single-point cell [200, 200].
+    assert_eq!(p.num_cells(), 6);
+
+    let initial = vec![150.0, 200.0, 200.0f64.next_up(), 260.0];
+    let mut engine = Engine::new(&initial, p);
+    engine.initialize();
+    let steps = [
+        ev(1.0, 0, 200.0),                // onto the shared bound: a, b, point, dup — not c
+        ev(2.0, 0, 200.0f64.next_up()),   // one ulp up: leaves a/point/dup, enters c
+        ev(3.0, 1, 300.0f64.next_up()),   // one ulp past b's top: member of nothing
+        ev(4.0, 2, 100.0f64.next_down()), // one ulp below every query
+        ev(5.0, 3, 250.0),                // c's closed top bound
+        ev(6.0, 3, 250.0f64.next_up()),   // leaves c, stays inside b
+    ];
+    for e in steps {
+        engine.apply_event(e);
+        for (j, q) in queries.iter().enumerate() {
+            let truth: asf_core::AnswerSet =
+                engine.fleet().iter().filter(|s| q.contains(s.value())).map(|s| s.id()).collect();
+            assert_eq!(engine.protocol().answer_of(j), truth, "query {j} after t={}", e.time);
+        }
+    }
+}
+
+#[test]
 fn workload_with_simultaneous_events_processes_fifo() {
     // Multiple events at the identical timestamp must process in insertion
     // order and leave a consistent exact answer.

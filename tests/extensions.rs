@@ -86,7 +86,7 @@ fn multi_query_answers_match_independent_instances() {
         let mut w = SyntheticWorkload::new(cfg);
         let mut solo = Engine::new(&w.initial_values(), asf_core::protocol::ZtNrp::new(q));
         solo.run(&mut w);
-        assert_eq!(shared.protocol().answer_of(j), &solo.answer(), "query {j} answers diverge");
+        assert_eq!(shared.protocol().answer_of(j), solo.answer(), "query {j} answers diverge");
     }
 }
 
@@ -102,7 +102,7 @@ fn multi_query_truth_holds_at_every_quiescent_point() {
         for (j, q) in qs.iter().enumerate() {
             let truth: AnswerSet =
                 fleet.iter().filter(|s| q.contains(s.value())).map(|s| s.id()).collect();
-            assert_eq!(protocol.answer_of(j), &truth, "query {j} at t={t}");
+            assert_eq!(protocol.answer_of(j), truth, "query {j} at t={t}");
         }
     });
 }
@@ -132,6 +132,127 @@ fn multi_query_shares_updates_across_overlapping_queries() {
         shared_total < independent_total,
         "shared {shared_total} should beat independent {independent_total}"
     );
+}
+
+#[test]
+fn multi_query_routing_is_byte_identical_to_naive_scan() {
+    use asf_core::multi_query::{CellMode, RoutingMode};
+    // The routing index only decides *which* per-query answer sets a report
+    // is applied to; at 128 queries over a long trace, routed and naive-scan
+    // execution must agree on every observable: per-query answers, the union
+    // answer, the message ledger, and the server view.
+    let mut rng = simkit::SimRng::seed_from_u64(0x9047);
+    let queries: Vec<RangeQuery> = (0..128)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 900.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 200.0)).unwrap()
+        })
+        .collect();
+    let cfg = SyntheticConfig { num_streams: 96, horizon: 300.0, seed: 47, ..Default::default() };
+    for mode in [CellMode::ServerManaged, CellMode::SourceResident] {
+        let run = |routing| {
+            let mut w = SyntheticWorkload::new(cfg);
+            let p = MultiRangeZt::with_config(queries.clone(), mode, routing).unwrap();
+            let mut engine = Engine::new(&w.initial_values(), p);
+            engine.run(&mut w);
+            engine
+        };
+        let routed = run(RoutingMode::Routed);
+        let naive = run(RoutingMode::NaiveScan);
+        assert_eq!(routed.answer(), naive.answer(), "{mode:?}: union answers diverge");
+        assert_eq!(routed.ledger(), naive.ledger(), "{mode:?}: ledgers diverge");
+        for j in 0..queries.len() {
+            assert_eq!(
+                routed.protocol().answer_of(j),
+                naive.protocol().answer_of(j),
+                "{mode:?}: query {j} diverges"
+            );
+        }
+        for i in 0..96u32 {
+            let id = streamnet::StreamId(i);
+            assert_eq!(
+                (
+                    routed.view().is_known(id),
+                    routed.view().is_known(id).then(|| routed.view().get(id))
+                ),
+                (
+                    naive.view().is_known(id),
+                    naive.view().is_known(id).then(|| naive.view().get(id))
+                ),
+                "{mode:?}: view diverges for {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_query_at_scale_matches_independent_engines() {
+    // The satellite differential: one routed group serving 128 queries vs
+    // 128 single-query exact engines over the same trace — answers must be
+    // identical per query, and the shared group must still beat the
+    // independent-message total (the point of sharing cells).
+    let mut rng = simkit::SimRng::seed_from_u64(0xD1FF);
+    let mut queries: Vec<RangeQuery> = (0..122)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 850.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 300.0)).unwrap()
+        })
+        .collect();
+    queries.extend([
+        RangeQuery::new(0.0, 1000.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(), // duplicate
+        RangeQuery::new(600.0, 800.0).unwrap(), // shared bound
+        RangeQuery::new(500.0, 500.0).unwrap(), // point
+        RangeQuery::new(500.0f64.next_up(), 501.0).unwrap(),
+    ]);
+    let cfg = SyntheticConfig { num_streams: 64, horizon: 200.0, seed: 48, ..Default::default() };
+
+    let mut w = SyntheticWorkload::new(cfg);
+    let mut shared = Engine::new(&w.initial_values(), MultiRangeZt::new(queries.clone()).unwrap());
+    shared.run(&mut w);
+
+    let mut independent_total = 0;
+    for (j, &q) in queries.iter().enumerate() {
+        let mut w = SyntheticWorkload::new(cfg);
+        let mut solo = Engine::new(&w.initial_values(), asf_core::protocol::ZtNrp::new(q));
+        solo.run(&mut w);
+        assert_eq!(shared.protocol().answer_of(j), solo.answer(), "query {j} answers diverge");
+        independent_total += solo.ledger().total();
+    }
+    assert!(
+        shared.ledger().total() < independent_total,
+        "shared {} should beat {} independent messages at m=128",
+        shared.ledger().total(),
+        independent_total
+    );
+}
+
+#[test]
+fn multi_rank_answers_match_independent_rank_engines() {
+    use asf_core::multi_rank::MultiRankZt;
+    use asf_core::query::RankQuery;
+    // The shared-rank group vs one exact ZT-RP engine per query: every
+    // per-query top-k must agree at the end of the same seeded trace.
+    let ks = [1usize, 2, 4, 4, 8, 15];
+    let queries: Vec<RankQuery> = ks.iter().map(|&k| RankQuery::knn(420.0, k).unwrap()).collect();
+    let cfg = SyntheticConfig { num_streams: 72, horizon: 250.0, seed: 49, ..Default::default() };
+
+    let mut w = SyntheticWorkload::new(cfg);
+    let mut shared = Engine::new(&w.initial_values(), MultiRankZt::new(queries.clone()).unwrap());
+    shared.run(&mut w);
+
+    for (j, &q) in queries.iter().enumerate() {
+        let mut w = SyntheticWorkload::new(cfg);
+        let mut solo = Engine::new(&w.initial_values(), asf_core::protocol::ZtRp::new(q).unwrap());
+        solo.run(&mut w);
+        assert_eq!(
+            shared.protocol().answer_of(j),
+            solo.answer(),
+            "rank query {j} (k={}) diverges from its solo engine",
+            q.k()
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,209 @@
+//! Property tests for the multi-query routing layer.
+//!
+//! The [`QueryRouter`] claims that for a value transition `old -> new`
+//! the set of affected queries — those whose membership of the reporting
+//! stream changes — can be found in O(log m + k) from two sorted endpoint
+//! arrays, exploiting that membership of `[l, u]` flips iff exactly one of
+//! `l ∈ (a, b]`, `u ∈ [a, b)` holds (`a = min(old, new)`,
+//! `b = max(old, new)`): a query fully jumped over changes nothing. Every
+//! test here pits that structure against the obvious O(m) contains-diff
+//! scan over adversarial query sets — shared endpoints, nested and
+//! identical intervals, point queries, and `next_up`-adjacent bounds.
+//!
+//! The shared rank-view machinery rides along: `Ranks::rank_of` /
+//! `count_before` (the per-query view primitives over one shared
+//! population index) are checked against the sorted ground truth.
+
+use asf_core::multi_query::QueryRouter;
+use asf_core::query::{RangeQuery, RankSpace};
+use asf_core::rank::{cmp_key, RankForest, Ranks};
+use simkit::SimRng;
+use streamnet::{ServerView, StreamId};
+
+/// The specification: membership diff by direct evaluation, O(m).
+fn naive_affected(queries: &[RangeQuery], old: f64, new: f64) -> Vec<u32> {
+    queries
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| q.contains(old) != q.contains(new))
+        .map(|(j, _)| j as u32)
+        .collect()
+}
+
+fn assert_router_matches(queries: &[RangeQuery], transitions: &[(f64, f64)], tag: &str) {
+    let mut router = QueryRouter::new(queries);
+    let mut out = Vec::new();
+    for &(old, new) in transitions {
+        router.affected(old, new, &mut out);
+        assert_eq!(
+            out,
+            naive_affected(queries, old, new),
+            "{tag}: routed set diverged on {old} -> {new}"
+        );
+    }
+}
+
+/// Dense transition probes around every query endpoint: the exact bound,
+/// one ulp either side, and far outside — both directions.
+fn boundary_transitions(queries: &[RangeQuery]) -> Vec<(f64, f64)> {
+    let mut points: Vec<f64> = vec![f64::NEG_INFINITY, -1e9, 0.0, 500.0, 1e9];
+    for q in queries {
+        for b in [q.lo(), q.hi()] {
+            points.extend([b.next_down(), b, b.next_up()]);
+        }
+    }
+    let mut out = Vec::new();
+    for &a in &points {
+        for &b in &points {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[test]
+fn router_matches_naive_scan_on_random_query_sets() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_CAFE);
+    for case in 0..60 {
+        let m = 1 + rng.index(64);
+        let queries: Vec<RangeQuery> = (0..m)
+            .map(|_| {
+                let lo = rng.range_f64(0.0, 900.0);
+                let width = rng.range_f64(0.0, 300.0);
+                RangeQuery::new(lo, lo + width).unwrap()
+            })
+            .collect();
+        let transitions: Vec<(f64, f64)> = (0..200)
+            .map(|_| (rng.range_f64(-100.0, 1100.0), rng.range_f64(-100.0, 1100.0)))
+            .collect();
+        assert_router_matches(&queries, &transitions, &format!("random case {case}"));
+    }
+}
+
+#[test]
+fn router_handles_shared_and_adjacent_endpoints() {
+    // Chains sharing bounds exactly, u_i == l_j adjacency, and bounds one
+    // ulp apart — the cut-construction edge cases.
+    let queries = vec![
+        RangeQuery::new(100.0, 200.0).unwrap(),
+        RangeQuery::new(200.0, 300.0).unwrap(), // l == previous u
+        RangeQuery::new(100.0, 300.0).unwrap(), // shares both outer bounds
+        RangeQuery::new(200.0f64.next_up(), 250.0).unwrap(), // opens one ulp above
+        RangeQuery::new(100.0, 200.0f64.next_down().next_down()).unwrap(),
+        RangeQuery::new(100.0, 200.0).unwrap(), // exact duplicate
+    ];
+    assert_router_matches(&queries, &boundary_transitions(&queries), "shared endpoints");
+}
+
+#[test]
+fn router_handles_nested_identical_and_point_queries() {
+    let queries = vec![
+        RangeQuery::new(0.0, 1000.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(), // nested
+        RangeQuery::new(499.0, 501.0).unwrap(), // deeper nest
+        RangeQuery::new(500.0, 500.0).unwrap(), // point query
+        RangeQuery::new(500.0, 500.0).unwrap(), // duplicate point
+        RangeQuery::new(400.0, 600.0).unwrap(), // duplicate interval
+        RangeQuery::new(600.0, 600.0).unwrap(), // point on a shared bound
+    ];
+    let mut transitions = boundary_transitions(&queries);
+    // Full jumps across every nested level: membership of jumped-over
+    // queries must cancel (both endpoint tests fire), not double-count.
+    transitions.extend([
+        (300.0, 700.0),
+        (700.0, 300.0),
+        (499.5, 500.5),
+        (-1.0, 1001.0),
+        (500.0, 500.0), // identity transition: nothing is affected
+    ]);
+    assert_router_matches(&queries, &transitions, "nested/point");
+}
+
+#[test]
+fn router_init_from_negative_infinity_yields_containing_queries() {
+    // The protocol seeds unseen streams at -inf; routing -inf -> v must
+    // produce exactly the queries containing v (no query contains -inf).
+    let mut rng = SimRng::seed_from_u64(0xD1CE);
+    let queries: Vec<RangeQuery> = (0..48)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 900.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 200.0)).unwrap()
+        })
+        .collect();
+    let mut router = QueryRouter::new(&queries);
+    let mut out = Vec::new();
+    for _ in 0..200 {
+        let v = rng.range_f64(-50.0, 1050.0);
+        router.affected(f64::NEG_INFINITY, v, &mut out);
+        let containing: Vec<u32> = queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.contains(v))
+            .map(|(j, _)| j as u32)
+            .collect();
+        assert_eq!(out, containing, "init routing for v={v}");
+    }
+}
+
+#[test]
+fn router_output_is_sorted_and_duplicate_free() {
+    let mut rng = SimRng::seed_from_u64(0x50F7);
+    let queries: Vec<RangeQuery> = (0..128)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 800.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 400.0)).unwrap()
+        })
+        .collect();
+    let mut router = QueryRouter::new(&queries);
+    assert_eq!(router.num_queries(), queries.len());
+    let mut out = Vec::new();
+    for _ in 0..500 {
+        let (a, b) = (rng.range_f64(-100.0, 1100.0), rng.range_f64(-100.0, 1100.0));
+        router.affected(a, b, &mut out);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated output for {a} -> {b}");
+    }
+}
+
+/// `Ranks::rank_of` / `count_before` over both backends (the shared
+/// index and the sorted-view fallback) against a from-scratch sort.
+#[test]
+fn shared_rank_views_agree_with_sorted_ground_truth() {
+    let mut rng = SimRng::seed_from_u64(0xBEEF);
+    for space in [RankSpace::Knn { q: 500.0 }, RankSpace::TopK, RankSpace::KMin] {
+        let n = 64;
+        let mut values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+        let mut forest = RankForest::new(space, n, 4);
+        let mut view = ServerView::new(n);
+        for (i, &v) in values.iter().enumerate() {
+            forest.update(StreamId(i as u32), v);
+            view.set(StreamId(i as u32), v);
+        }
+        for step in 0..50 {
+            let id = rng.index(n);
+            let v = rng.range_f64(0.0, 1000.0);
+            values[id] = v;
+            forest.update(StreamId(id as u32), v);
+            view.set(StreamId(id as u32), v);
+
+            let mut truth: Vec<(f64, StreamId)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (space.key(x), StreamId(i as u32)))
+                .collect();
+            truth.sort_by(|&a, &b| cmp_key(a, b));
+
+            let indexed = Ranks::Indexed(&forest);
+            let sorted = Ranks::from_view(space, &view);
+            for (probe, &pv) in values.iter().enumerate() {
+                let pid = StreamId(probe as u32);
+                let want = truth.iter().position(|&(_, i)| i == pid).map(|p| p + 1);
+                assert_eq!(indexed.rank_of(pid), want, "{space:?} step {step} indexed rank");
+                assert_eq!(sorted.rank_of(pid), want, "{space:?} step {step} sorted rank");
+                let at = (space.key(pv), pid);
+                let before = truth.iter().take_while(|&&p| cmp_key(p, at).is_lt()).count();
+                assert_eq!(indexed.count_before(at), before, "{space:?} indexed count_before");
+                assert_eq!(sorted.count_before(at), before, "{space:?} sorted count_before");
+            }
+        }
+    }
+}

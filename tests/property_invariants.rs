@@ -247,7 +247,7 @@ fn multi_query_is_always_exact() {
             for (j, q) in qs.iter().enumerate() {
                 let truth: asf_core::AnswerSet =
                     fleet.iter().filter(|s| q.contains(s.value())).map(|s| s.id()).collect();
-                if protocol.answer_of(j) != &truth {
+                if protocol.answer_of(j) != truth {
                     failure = Some(format!("query {j} diverged at t={t}"));
                     return;
                 }

@@ -203,6 +203,44 @@ fn multi_query_recovers_byte_identical() {
 }
 
 #[test]
+fn routed_multi_query_fleet_recovers_byte_identical() {
+    // Fleet scale: 1024 routed queries (seeded random + duplicates, shared
+    // endpoints, a point query) — the per-query answer sets and the
+    // stream's last-routed values all live in protocol state, so recovery
+    // must restore the whole routing picture, not just the union answer.
+    let mut rng = simkit::SimRng::seed_from_u64(0x9EC0);
+    let mut queries: Vec<RangeQuery> = (0..1020)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 950.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 120.0)).unwrap()
+        })
+        .collect();
+    queries.extend([
+        RangeQuery::new(0.0, 1000.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(),
+        RangeQuery::new(500.0, 500.0).unwrap(),
+    ]);
+    assert_eq!(queries.len(), 1024);
+    assert_crash_recovery_identical("MULTI-ZT-1K", move || {
+        MultiRangeZt::new(queries.clone()).unwrap()
+    });
+}
+
+#[test]
+fn multi_rank_recovers_byte_identical() {
+    // The shared-rank multi-query protocol: cuts and the shared top list
+    // are protocol state; the rank forest is rebuilt from the view.
+    let queries: Vec<asf_core::query::RankQuery> = [2usize, 5, 5, 9]
+        .iter()
+        .map(|&k| asf_core::query::RankQuery::knn(500.0, k).unwrap())
+        .collect();
+    assert_crash_recovery_identical("MULTI-ZT-RANK", move || {
+        asf_core::multi_rank::MultiRankZt::new(queries.clone()).unwrap()
+    });
+}
+
+#[test]
 fn threaded_background_checkpoints_recover_byte_identical() {
     // Background checkpoints race the coordinator (a busy writer coalesces,
     // and whichever image lands last wins) — recovery must be identical no

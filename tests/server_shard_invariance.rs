@@ -266,7 +266,94 @@ fn multi_query_plan_sharing_is_shard_invariant() {
         for (j, q) in queries.iter().enumerate() {
             let truth: asf_core::AnswerSet =
                 engine.fleet().iter().filter(|s| q.contains(s.value())).map(|s| s.id()).collect();
-            assert_eq!(engine.protocol().answer_of(j), &truth, "query {j} inexact");
+            assert_eq!(engine.protocol().answer_of(j), truth, "query {j} inexact");
         }
+    }
+}
+
+/// A pathological 64-query set: seeded random intervals plus the shapes
+/// the routing index must not mishandle — duplicates, nesting, shared and
+/// one-ulp-adjacent endpoints, point queries.
+fn pathological_queries() -> Vec<RangeQuery> {
+    let mut rng = simkit::SimRng::seed_from_u64(0xBAD5E7);
+    let mut queries: Vec<RangeQuery> = (0..56)
+        .map(|_| {
+            let lo = rng.range_f64(0.0, 900.0);
+            RangeQuery::new(lo, lo + rng.range_f64(0.0, 250.0)).unwrap()
+        })
+        .collect();
+    queries.extend([
+        RangeQuery::new(0.0, 1000.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(),
+        RangeQuery::new(400.0, 600.0).unwrap(), // duplicate
+        RangeQuery::new(600.0, 800.0).unwrap(), // shares a bound
+        RangeQuery::new(600.0f64.next_up(), 700.0).unwrap(), // one ulp adjacent
+        RangeQuery::new(500.0, 500.0).unwrap(), // point
+        RangeQuery::new(500.0, 500.0).unwrap(), // duplicate point
+        RangeQuery::new(100.0, 100.0).unwrap(),
+    ]);
+    queries
+}
+
+#[test]
+fn multi_query_routing_modes_are_shard_invariant_and_interchangeable() {
+    use asf_core::multi_query::RoutingMode;
+    // The routed index is a pure execution optimization: for every cell
+    // mode, both routing modes must pass the full shard/mode/coordinator
+    // invariance sweep AND be byte-identical to each other — answers,
+    // per-query answers, ledgers, views.
+    let queries = pathological_queries();
+    for mode in [CellMode::ServerManaged, CellMode::SourceResident] {
+        let engines: Vec<Engine<MultiRangeZt>> = [RoutingMode::Routed, RoutingMode::NaiveScan]
+            .into_iter()
+            .map(|routing| {
+                let qs = queries.clone();
+                let (engine, _) =
+                    assert_shard_invariant(&format!("MULTI-ZT {mode:?} {routing:?}"), move || {
+                        MultiRangeZt::with_config(qs.clone(), mode, routing).unwrap()
+                    });
+                engine
+            })
+            .collect();
+        let (routed, naive) = (&engines[0], &engines[1]);
+        let tag = format!("{mode:?} routed vs naive");
+        assert_eq!(routed.answer(), naive.answer(), "{tag}: union answers diverged");
+        assert_eq!(routed.ledger(), naive.ledger(), "{tag}: ledgers diverged");
+        for j in 0..queries.len() {
+            assert_eq!(
+                routed.protocol().answer_of(j),
+                naive.protocol().answer_of(j),
+                "{tag}: query {j} diverged"
+            );
+        }
+        for i in 0..NUM_STREAMS {
+            let id = StreamId(i as u32);
+            assert_eq!(
+                routed.view().is_known(id),
+                naive.view().is_known(id),
+                "{tag}: view knowledge diverged for {id}"
+            );
+            if routed.view().is_known(id) {
+                assert_eq!(routed.view().get(id), naive.view().get(id), "{tag}: view for {id}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_rank_shared_views_are_shard_invariant() {
+    use asf_core::multi_rank::MultiRankZt;
+    // The shared-rank protocol: several k-NN queries of different k served
+    // from one rank index and one band filter per source. Sweep the full
+    // shard/mode/coordinator matrix, then check every per-query view
+    // against ground truth (the protocol is zero-tolerance).
+    let ks = [1usize, 3, 3, 7, 12];
+    let queries: Vec<RankQuery> = ks.iter().map(|&k| RankQuery::knn(500.0, k).unwrap()).collect();
+    let qs = queries.clone();
+    let (engine, _) =
+        assert_shard_invariant("MULTI-ZT-RANK", move || MultiRankZt::new(qs.clone()).unwrap());
+    for (j, q) in queries.iter().enumerate() {
+        let truth = oracle::true_rank_answer(*q, engine.fleet());
+        assert_eq!(engine.protocol().answer_of(j), truth, "rank query {j} (k={}) inexact", q.k());
     }
 }
