@@ -102,7 +102,7 @@ fn main() -> ExitCode {
     // (e.g. the `recovery` block). Presence is scale-dependent for some of
     // them (`telemetry_overhead` is `null` under `--quick`), so the key-set
     // comparison only runs when both sides materialized an object.
-    for name in ["recovery", "telemetry_overhead", "chaos", "multi_query"] {
+    for name in ["recovery", "telemetry_overhead", "chaos", "chaos_recovery", "multi_query"] {
         let (Some(c), Some(f)) = (committed.get(name), fresh.get(name)) else { continue };
         if c.as_object().is_none() || f.as_object().is_none() {
             continue;

@@ -52,6 +52,21 @@
 //! JSON's `chaos` object together with retry/timeout/epoch-reject/repair
 //! counters.
 //!
+//! A **durable-chaos scenario** rides along (full runs and
+//! `--scenario chaos_recovery`), in two phases. Phase A prices the
+//! adaptive-lease + batched-repair machinery at 20% frame loss: the same
+//! seeded chaotic run twice, once with fixed leases and per-channel repair
+//! charging (the baseline, behind `ChaosConfig` flags) and once with the
+//! tuned defaults — batched chunk-end repair must cut repair frames ≥ 10x
+//! and adaptive leases must cut spurious expirations ≥ 2x (gated at full
+//! scale). Phase B composes chaos with durability and crashes mid-storm:
+//! warm recovery (checkpointed channel machine + journal-suffix replay
+//! resuming the fault schedule's RNG) is timed against a cold resync from
+//! scratch (snapshots deleted, whole journal replayed while re-entering
+//! the fault stream from tick zero); both must reproduce the crashed
+//! server's answers and ledger exactly. Everything lands in the JSON's
+//! `chaos_recovery` object.
+//!
 //! A **multi-query sweep** rides along (full runs and
 //! `--scenario multi_query`): one shared-cell MULTI-ZT protocol serves m
 //! range queries over the same population for m across three orders of
@@ -63,7 +78,8 @@
 //!
 //! Flags: `--quick` (reduced scale), `--scenario <name>` (run one scenario
 //! only, e.g. `--scenario reinit_storm`, `--scenario recovery`,
-//! `--scenario chaos`, or `--scenario multi_query`),
+//! `--scenario chaos`, `--scenario chaos_recovery`, or
+//! `--scenario multi_query`),
 //! `--fault-smoke` (forced mid-checkpoint crash + recover + invariance
 //! check), `--trace-out <path>` (rerun one
 //! traced ZT-NRP configuration and write its span timeline as Chrome
@@ -768,6 +784,188 @@ fn main() {
         None
     };
 
+    // Durable-chaos scenario: prices the PR-10 machinery. Phase A reruns
+    // the heaviest chaos-sweep level (20% loss) twice on the same seed —
+    // once with the optimizations disabled (fixed leases, per-channel
+    // repair charging) and once with the tuned defaults (adaptive leases,
+    // batched chunk-end repair) — and gates the reductions at full scale.
+    // Phase B composes chaos with durability, crashes mid-storm, and races
+    // the warm recovery (checkpointed channel machine + journal-suffix
+    // replay resuming the fault schedule's RNG mid-stream) against a cold
+    // resync from scratch (snapshots deleted, entire journal replayed
+    // while re-entering the fault stream from tick zero). Both paths must
+    // reproduce the crashed server's answers and ledger exactly.
+    let chaos_recovery = if only.is_none() || only.as_deref() == Some("chaos_recovery") {
+        let loss = 0.20f64;
+        let config = ServerConfig {
+            num_shards: 4,
+            batch_size: 1024,
+            mode: ExecMode::Inline,
+            channel_capacity: 2,
+            coordinator: CoordMode::Pipelined,
+            scatter: ScatterMode::Broadcast,
+            telemetry: telemetry_off(),
+        };
+        // Same lease geometry as the chaos sweep (four heartbeat rounds at
+        // one round per 1024-event chunk), so 20% loss genuinely expires
+        // leases and the adaptive/batched machinery has work to do.
+        let chaos_cfg = |tuned: bool| {
+            let base = ChaosConfig::new(seed ^ 0xC44A, FaultMix::loss_only(loss), u64::MAX)
+                .lease_ticks(4 * 1024);
+            if tuned {
+                base
+            } else {
+                base.adaptive_lease(false).batched_repair(false)
+            }
+        };
+
+        // Phase A: optimization pricing on identical fault draws.
+        let phase_a = |tuned: bool| {
+            let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
+            server.initialize();
+            server.enable_chaos(chaos_cfg(tuned));
+            server.ingest_batch(&events);
+            let stats = *server.chaos_stats().expect("chaos enabled");
+            server.shutdown();
+            stats
+        };
+        eprintln!("chaos_recovery phase A: baseline (fixed leases, per-channel repair) ...");
+        let base_stats = phase_a(false);
+        eprintln!("chaos_recovery phase A: tuned (adaptive leases, batched repair) ...");
+        let tuned_stats = phase_a(true);
+        let repair_reduction =
+            base_stats.repair_frames as f64 / tuned_stats.repair_frames.max(1) as f64;
+        let spurious_reduction =
+            base_stats.spurious_expirations as f64 / tuned_stats.spurious_expirations.max(1) as f64;
+        eprintln!(
+            "chaos_recovery loss={loss:.2}: repair frames {} -> {} ({repair_reduction:.1}x, {} \
+             batches), spurious expirations {} -> {} ({spurious_reduction:.1}x, {} renewals)",
+            base_stats.repair_frames,
+            tuned_stats.repair_frames,
+            tuned_stats.repair_batches,
+            base_stats.spurious_expirations,
+            tuned_stats.spurious_expirations,
+            tuned_stats.lease_renewals,
+        );
+        if !scale.is_quick() {
+            assert!(
+                repair_reduction >= 10.0,
+                "batched-repair gate: {} baseline repair frames vs {} batched \
+                 ({repair_reduction:.1}x, need >= 10x)",
+                base_stats.repair_frames,
+                tuned_stats.repair_frames
+            );
+            assert!(
+                spurious_reduction >= 2.0,
+                "adaptive-lease gate: {} baseline spurious expirations vs {} adaptive \
+                 ({spurious_reduction:.1}x, need >= 2x)",
+                base_stats.spurious_expirations,
+                tuned_stats.spurious_expirations
+            );
+        }
+
+        // Phase B: crash inside the fault storm, then recover both ways.
+        let dir = std::env::temp_dir().join(format!("asf-bench-chaos-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Sync checkpoints at ~1/8-of-stream cadence: the crash point
+        // (~60% through) lands past a checkpoint, so the warm path replays
+        // a real journal suffix through the restored channel machine.
+        let every = (events.len() as u64 / 8).max(1);
+        let durable = DurabilityConfig::new(&dir)
+            .checkpoint_every(every)
+            .mode(CheckpointMode::Sync)
+            .rotate_journal_every(None);
+        let crash_at = events.len() * 6 / 10;
+        let mut server = ShardedServer::new(&initial, ZtNrp::new(query), config);
+        server.initialize();
+        server.enable_durability(durable.clone()).expect("open durability dir");
+        server.enable_chaos(chaos_cfg(true));
+        server.ingest_batch(&events[..crash_at]);
+        assert!(
+            server.chaos().expect("chaos enabled").faults_active(),
+            "the crash point must land inside the fault storm"
+        );
+        let chaos_state_bytes = server.metrics().chaos_state_bytes;
+        let crashed_answer = server.answer();
+        let crashed_messages = server.ledger().total();
+        let crashed_stats = *server.chaos_stats().expect("chaos enabled");
+        drop(server); // crash: no shutdown, no final checkpoint
+
+        let t = Instant::now();
+        let recovered =
+            ShardedServer::recover(&initial, ZtNrp::new(query), config, durable.clone())
+                .expect("warm chaotic recovery");
+        let warm_recover_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(recovered.events_processed(), crash_at as u64);
+        assert_eq!(recovered.answer(), crashed_answer, "warm chaotic recovery diverged");
+        assert_eq!(recovered.ledger().total(), crashed_messages, "warm recovery ledger diverged");
+        assert_eq!(
+            *recovered.chaos_stats().expect("chaos restored"),
+            crashed_stats,
+            "warm recovery fault counters diverged"
+        );
+        recovered.shutdown();
+
+        // Cold resync: no checkpoint survives, so recovery rebuilds from a
+        // fresh initialization and replays the whole journal with a fresh
+        // channel machine consuming the fault stream from tick zero.
+        for snap in ["snap-a.bin", "snap-b.bin"] {
+            let _ = std::fs::remove_file(dir.join(snap));
+        }
+        let t = Instant::now();
+        let cold = ShardedServer::recover_with_chaos(
+            &initial,
+            ZtNrp::new(query),
+            config,
+            durable.clone(),
+            Some(chaos_cfg(true)),
+        )
+        .expect("cold chaotic resync");
+        let cold_resync_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(cold.answer(), crashed_answer, "cold chaotic resync diverged");
+        assert_eq!(
+            *cold.chaos_stats().expect("chaos rebuilt"),
+            crashed_stats,
+            "cold resync fault counters diverged"
+        );
+        cold.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let warm_speedup = cold_resync_ns as f64 / warm_recover_ns.max(1) as f64;
+        eprintln!(
+            "chaos_recovery phase B: warm restore+replay {:.1}ms vs cold resync-from-scratch \
+             {:.1}ms -> {warm_speedup:.2}x ({chaos_state_bytes} checkpointed channel-state bytes)",
+            warm_recover_ns as f64 / 1e6,
+            cold_resync_ns as f64 / 1e6,
+        );
+        if !scale.is_quick() {
+            assert!(
+                warm_speedup > 1.0,
+                "chaos_recovery gate: warm recovery ({warm_recover_ns}ns) must beat cold resync \
+                 ({cold_resync_ns}ns)"
+            );
+        }
+        Some(format!(
+            "{{\"num_streams\": {num_streams}, \"events\": {}, \"loss\": {loss}, \
+             \"baseline_repair_frames\": {}, \"batched_repair_frames\": {}, \
+             \"repair_reduction\": {repair_reduction:.2}, \"repair_batches\": {}, \
+             \"baseline_spurious_expirations\": {}, \"adaptive_spurious_expirations\": {}, \
+             \"spurious_reduction\": {spurious_reduction:.2}, \"lease_renewals\": {}, \
+             \"crash_at_events\": {crash_at}, \"chaos_state_bytes\": {chaos_state_bytes}, \
+             \"warm_recover_ns\": {warm_recover_ns}, \"cold_resync_ns\": {cold_resync_ns}, \
+             \"warm_speedup\": {warm_speedup:.2}}}",
+            events.len(),
+            base_stats.repair_frames,
+            tuned_stats.repair_frames,
+            tuned_stats.repair_batches,
+            base_stats.spurious_expirations,
+            tuned_stats.spurious_expirations,
+            tuned_stats.lease_renewals,
+        ))
+    } else {
+        None
+    };
+
     // Multi-query fleet-scale sweep (full run or `--scenario multi_query`):
     // one shared-cell MULTI-ZT protocol serving m range queries over the
     // same population, m swept across three orders of magnitude at a fixed
@@ -1089,6 +1287,8 @@ fn main() {
     );
     let _ = writeln!(json, "  \"recovery\": {},", recovery.as_deref().unwrap_or("null"));
     let _ = writeln!(json, "  \"chaos\": {},", chaos.as_deref().unwrap_or("null"));
+    let _ =
+        writeln!(json, "  \"chaos_recovery\": {},", chaos_recovery.as_deref().unwrap_or("null"));
     let _ = writeln!(json, "  \"multi_query\": {},", multi_query.as_deref().unwrap_or("null"));
     json.push_str("  \"results\": [\n");
     for (i, s) in results.iter().enumerate() {

@@ -36,8 +36,8 @@ pub use record::{
     FORMAT_VERSION, HEADER_LEN, MAX_RECORD_LEN, RECORD_OVERHEAD,
 };
 pub use store::{
-    CrashPoint, Journal, JournalEntry, RotateStep, SnapshotImage, SnapshotStore, TAG_JOURNAL_CHUNK,
-    TAG_SNAPSHOT,
+    pruned_floor, CrashPoint, Journal, JournalEntry, RotateStep, SnapshotImage, SnapshotStore,
+    TAG_JOURNAL_CHUNK, TAG_SNAPSHOT,
 };
 
 /// Errors from the persistence layer.

@@ -50,6 +50,8 @@ const SLOT_NAMES: [&str; 2] = ["snap-a.bin", "snap-b.bin"];
 const JOURNAL_NAME: &str = "journal.log";
 const SEGMENT_PREFIX: &str = "journal-";
 const SEGMENT_SUFFIX: &str = ".seg";
+const FLOOR_NAME: &str = "floor.bin";
+const FLOOR_MAGIC: &[u8; 8] = b"ASFFLOOR";
 
 fn segment_name(index: u64) -> String {
     format!("{SEGMENT_PREFIX}{index}{SEGMENT_SUFFIX}")
@@ -608,6 +610,12 @@ impl Journal {
             return Err(e.into());
         }
         if dropped > 0 {
+            // Record how far history has been destroyed *before* declaring
+            // the prune done: if every checkpoint later turns out lost or
+            // invalid, recovery consults this marker and fails loudly
+            // instead of silently replaying the surviving suffix as if it
+            // were the whole history.
+            write_pruned_floor(&self.dir, durable_floor)?;
             fsync_dir(&self.dir)?;
         }
         Ok(dropped)
@@ -684,6 +692,47 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Durably records that journal history below `floor` has been destroyed:
+/// `floor.bin` = magic + floor (LE) + CRC-32 of the floor bytes, written
+/// via temp file + atomic rename so the marker is never torn.
+fn write_pruned_floor(dir: &Path, floor: u64) -> Result<()> {
+    let mut bytes = Vec::with_capacity(20);
+    bytes.extend_from_slice(FLOOR_MAGIC);
+    let floor_le = floor.to_le_bytes();
+    bytes.extend_from_slice(&floor_le);
+    bytes.extend_from_slice(&crate::crc32(&floor_le).to_le_bytes());
+    let tmp = dir.join("floor.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join(FLOOR_NAME))?;
+    fsync_dir(dir)?;
+    Ok(())
+}
+
+/// The highest chunk sequence whose journal history this directory has
+/// destroyed by pruning, if any segment was ever pruned.
+///
+/// A recovery whose newest readable checkpoint sits *below* this floor must
+/// not replay the surviving journal suffix — the chunks between the
+/// checkpoint and the floor are gone, and the result would be a silently
+/// partial state. A missing marker means nothing was ever pruned; a
+/// malformed or CRC-failing marker is corruption.
+pub fn pruned_floor(dir: impl AsRef<Path>) -> Result<Option<u64>> {
+    let Some(bytes) = read_file(&dir.as_ref().join(FLOOR_NAME))? else {
+        return Ok(None);
+    };
+    if bytes.len() != 20 || &bytes[..8] != FLOOR_MAGIC {
+        return Err(PersistError::corrupt("pruned-floor marker malformed"));
+    }
+    let floor_le: [u8; 8] = bytes[8..16].try_into().expect("8 bytes");
+    let crc: [u8; 4] = bytes[16..20].try_into().expect("4 bytes");
+    if crate::crc32(&floor_le) != u32::from_le_bytes(crc) {
+        return Err(PersistError::corrupt("pruned-floor marker failed CRC"));
+    }
+    Ok(Some(u64::from_le_bytes(floor_le)))
 }
 
 /// Reads the raw journal file bytes, for tests that corrupt specific
@@ -949,6 +998,37 @@ mod tests {
         assert_eq!(j.prune_segments(11).unwrap(), 1);
         assert_eq!(j.sealed_segments(), 0);
         assert_eq!(Journal::read_all(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_records_a_durable_floor_marker() {
+        let dir = test_dir("jrnl-floor");
+        let mut j = Journal::open(&dir).unwrap();
+        // Nothing pruned yet: no marker.
+        assert_eq!(pruned_floor(&dir).unwrap(), None);
+        j.append(0, b"a").unwrap();
+        j.rotate().unwrap();
+        j.append(10, b"b").unwrap();
+        // A prune that drops nothing must not invent a marker.
+        assert_eq!(j.prune_segments(0).unwrap(), 0);
+        assert_eq!(pruned_floor(&dir).unwrap(), None);
+        // A real prune records its floor; later prunes advance it.
+        assert_eq!(j.prune_segments(7).unwrap(), 1);
+        assert_eq!(pruned_floor(&dir).unwrap(), Some(7));
+        j.rotate().unwrap();
+        assert_eq!(j.prune_segments(11).unwrap(), 1);
+        assert_eq!(pruned_floor(&dir).unwrap(), Some(11));
+        // The marker survives reopen and detects corruption.
+        drop(j);
+        assert_eq!(pruned_floor(&dir).unwrap(), Some(11));
+        let path = dir.join(FLOOR_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[12] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(pruned_floor(&dir), Err(PersistError::Corrupt(_))));
+        fs::write(&path, b"short").unwrap();
+        assert!(matches!(pruned_floor(&dir), Err(PersistError::Corrupt(_))));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -162,9 +162,25 @@ pub struct ServerMetrics {
     /// parked-frame delivery, heartbeat/lease bookkeeping, degradation
     /// hooks, and repair re-probes. Zero without chaos.
     pub repair_ns: u64,
+    /// Delivered heartbeats that refreshed a channel's lease. Zero without
+    /// chaos.
+    pub lease_renewals: u64,
+    /// Lease expirations of sources that were actually up — the false
+    /// positives adaptive leases exist to cut. Zero without chaos.
+    pub spurious_expirations: u64,
+    /// Chunk-end repair fan-outs charged as a single batched frame. Zero
+    /// without chaos (or with per-channel repair charging).
+    pub repair_batches: u64,
+    /// Bytes the serialized channel-state record contributed to the most
+    /// recent checkpoint. Zero without chaos or without durability.
+    pub chaos_state_bytes: u64,
     /// Wall-clock batch-apply durations (ns) as a mergeable log-bucketed
     /// histogram: bounded memory, no sample loss.
     batch_hist: LogHistogram,
+    /// Adaptive per-channel lease lengths (ticks) at each change, as a
+    /// mergeable log-bucketed histogram. Empty without chaos or with
+    /// adaptive leases off.
+    lease_hist: LogHistogram,
 }
 
 impl ServerMetrics {
@@ -196,6 +212,18 @@ impl ServerMetrics {
     /// (`LogHistogram::merge` is exact).
     pub fn batch_latency_hist(&self) -> &LogHistogram {
         &self.batch_hist
+    }
+
+    /// Records one adaptive-lease change (the channel's new lease length in
+    /// ticks) into the lease histogram.
+    pub fn record_lease_len(&mut self, ticks: u64) {
+        self.lease_hist.record(ticks);
+    }
+
+    /// The adaptive lease-length histogram — one sample per per-channel
+    /// lease change, mergeable across servers.
+    pub fn lease_len_hist(&self) -> &LogHistogram {
+        &self.lease_hist
     }
 
     /// Fraction of ingested events that never reached the coordinator (the
@@ -298,6 +326,10 @@ impl ServerMetrics {
         reg.counter("server.dead_sources", self.dead_sources);
         reg.counter("server.epoch_rejects", self.epoch_rejects);
         reg.counter("server.repair_ns", self.repair_ns);
+        reg.counter("server.lease_renewals", self.lease_renewals);
+        reg.counter("server.spurious_expirations", self.spurious_expirations);
+        reg.counter("server.repair_batches", self.repair_batches);
+        reg.counter("server.chaos_state_bytes", self.chaos_state_bytes);
         reg.gauge("server.parallel_fraction", self.parallel_fraction());
         reg.gauge("server.occupancy_skew", self.occupancy_skew().unwrap_or(f64::NAN));
         reg.gauge(
@@ -305,6 +337,7 @@ impl ServerMetrics {
             self.coalesced_reports_per_group().unwrap_or(f64::NAN),
         );
         reg.histogram("server.batch_apply_ns", &self.batch_hist);
+        reg.histogram("server.lease_len", &self.lease_hist);
         self.fleet.register_into("fleet", reg);
     }
 }

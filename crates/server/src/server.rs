@@ -218,8 +218,9 @@ pub struct ShardedServer<P: Protocol> {
     /// writer), if [`ShardedServer::enable_durability`] ran.
     durability: Option<Durability>,
     /// Unreliable-channel simulation (fault injection, epochs, leases), if
-    /// [`ShardedServer::enable_chaos`] ran. Mutually exclusive with
-    /// durability: channel state is not persisted.
+    /// [`ShardedServer::enable_chaos`] ran. Composes with durability: the
+    /// whole channel machine is serialized into every checkpoint, so a
+    /// recovered server resumes mid-fault-storm bit-exact.
     chaos: Option<ChaosState>,
     /// Pooled buffer for delayed report frames surfacing at chunk end.
     chaos_scratch: Vec<(StreamId, f64)>,
@@ -532,6 +533,10 @@ impl<P: Protocol> ShardedServer<P> {
             self.core.degrade(&mut faulty, &plan.newly_dead);
         }
         if !plan.reprobe.is_empty() {
+            // The repair window lets the channel layer charge the whole
+            // gap-list probe as one batched fan-out frame (when
+            // `batched_repair` is on) instead of one frame per channel.
+            chaos.set_repair_window(true);
             let mut inner = ShardRouter::with_telemetry(
                 &mut self.handles,
                 self.partition,
@@ -541,6 +546,7 @@ impl<P: Protocol> ShardedServer<P> {
             );
             let mut faulty = ChaosFleet::new(&mut chaos, &mut inner);
             self.core.repair_sources(&mut faulty, &plan.reprobe);
+            chaos.set_repair_window(false);
         }
         chaos.finish_round();
         let stats = *chaos.stats();
@@ -548,6 +554,12 @@ impl<P: Protocol> ShardedServer<P> {
         self.metrics.timeouts = stats.timeouts;
         self.metrics.epoch_rejects = stats.epoch_rejects;
         self.metrics.dead_sources = chaos.dead_count() as u64;
+        self.metrics.lease_renewals = stats.lease_renewals;
+        self.metrics.spurious_expirations = stats.spurious_expirations;
+        self.metrics.repair_batches = stats.repair_batches;
+        for ticks in chaos.drain_lease_samples() {
+            self.metrics.record_lease_len(ticks);
+        }
         self.chaos = Some(chaos);
         self.metrics.repair_ns += repair_start.elapsed().as_nanos() as u64;
         self.core.telemetry_mut().trace.end(TraceDepth::Coarse);
@@ -1057,6 +1069,21 @@ impl<P: Protocol> ShardedServer<P> {
             }
         }
         self.core.save_state(&mut w);
+        // The channel layer travels with the checkpoint: chaos and
+        // durability compose, and a recovered server resumes the exact
+        // fault-decision stream. Checkpoints happen after the chunk-end
+        // repair round, so the serialized machine is post-round state.
+        match &self.chaos {
+            None => w.put_bool(false),
+            Some(chaos) => {
+                w.put_bool(true);
+                let mut cw = StateWriter::new();
+                chaos.encode(&mut cw);
+                let blob = cw.into_bytes();
+                self.metrics.chaos_state_bytes = blob.len() as u64;
+                w.put_bytes(&blob);
+            }
+        }
         w.into_bytes()
     }
 
@@ -1089,6 +1116,18 @@ impl<P: Protocol> ShardedServer<P> {
             fleets.push(fleet);
         }
         self.core.load_state(&mut r)?;
+        let chaos = if r.get_bool()? {
+            let blob = r.get_bytes()?;
+            let mut cr = StateReader::new(blob);
+            let state = ChaosState::decode(&mut cr)?;
+            cr.finish()?;
+            if state.len() != self.n {
+                return Err(PersistError::corrupt("snapshot channel count differs"));
+            }
+            Some(state)
+        } else {
+            None
+        };
         r.finish()?;
         // Rebuild each shard's local view replica by striding the restored
         // global view — cheaper and simpler than persisting the replicas.
@@ -1112,6 +1151,7 @@ impl<P: Protocol> ShardedServer<P> {
         }
         self.now = now;
         self.events_processed = events;
+        self.chaos = chaos;
         Ok(())
     }
 
@@ -1130,20 +1170,30 @@ impl<P: Protocol> ShardedServer<P> {
     /// passes, the channel is byte-transparent, which is what the chaos
     /// differential suite's convergence proof rests on.
     ///
+    /// Composes with durability in either order: every checkpoint includes
+    /// the serialized channel machine, and enabling chaos on an
+    /// already-durable server forces an immediate checkpoint so recovery
+    /// never replays pre-chaos chunks under post-chaos rules.
+    ///
     /// # Panics
     ///
     /// Panics if the server is not initialized (initialization probes the
-    /// world over a reliable channel), chaos is already enabled, or
-    /// durability is enabled (channel state is not persisted, so the two
-    /// are mutually exclusive).
+    /// world over a reliable channel) or chaos is already enabled.
     pub fn enable_chaos(&mut self, cfg: ChaosConfig) {
         assert!(self.chaos.is_none(), "chaos already enabled");
         assert!(self.core.is_initialized(), "initialize the server before enabling chaos");
-        assert!(
-            self.durability.is_none(),
-            "chaos and durability are mutually exclusive (channel state is not persisted)"
-        );
         self.chaos = Some(ChaosState::new(self.n, cfg));
+        // A checkpoint written before this call knows nothing about the
+        // channel layer; replaying journal chunks from it would run them
+        // without chaos and diverge. Anchor the chaos-enabled state now —
+        // into BOTH snapshot slots, because a pre-chaos checkpoint at the
+        // same sequence (the durability anchor, or a cadence checkpoint
+        // that fired this very chunk) would tie with a single write and
+        // recovery's tie-break could resurrect the chaos-free image.
+        if self.durability.is_some() {
+            self.checkpoint_now();
+            self.checkpoint_now();
+        }
     }
 
     /// The unreliable-channel state, if chaos is enabled — the oracle and
@@ -1211,6 +1261,10 @@ impl<P: Protocol> ShardedServer<P> {
     /// snapshot store in `cfg.dir`, durably writes an anchor checkpoint of
     /// the current state, and journals + checkpoints all further ingestion.
     ///
+    /// Composes with chaos in either order: the anchor checkpoint written
+    /// here (like every later checkpoint) embeds the serialized channel
+    /// machine when chaos is enabled.
+    ///
     /// # Panics
     ///
     /// Panics if durability is already enabled or the server is not
@@ -1218,10 +1272,6 @@ impl<P: Protocol> ShardedServer<P> {
     pub fn enable_durability(&mut self, cfg: DurabilityConfig) -> asf_persist::Result<()> {
         assert!(self.durability.is_none(), "durability already enabled");
         assert!(self.core.is_initialized(), "initialize the server before enabling durability");
-        assert!(
-            self.chaos.is_none(),
-            "chaos and durability are mutually exclusive (channel state is not persisted)"
-        );
         let start = Instant::now();
         let state = self.snapshot_state();
         let d = Durability::new(&cfg, self.events_processed, &state)?;
@@ -1249,11 +1299,36 @@ impl<P: Protocol> ShardedServer<P> {
     /// re-attached before returning, anchor-free: the loaded checkpoint
     /// plus the journal already cover the recovered state, so recovery
     /// never pays an extra O(state) snapshot write.
+    ///
+    /// A server whose checkpoints embedded chaos state recovers it
+    /// automatically (the record is self-describing); see
+    /// [`ShardedServer::recover_with_chaos`] for the checkpoint-free cold
+    /// path.
     pub fn recover(
         initial_values: &[f64],
         protocol: P,
         config: ServerConfig,
         durability: DurabilityConfig,
+    ) -> asf_persist::Result<Self> {
+        Self::recover_with_chaos(initial_values, protocol, config, durability, None)
+    }
+
+    /// [`ShardedServer::recover`], with a chaos config for the cold path.
+    ///
+    /// The warm path ignores `chaos_cfg`: a readable checkpoint carries the
+    /// authoritative serialized channel machine (or its absence), and that
+    /// record wins. Only a cold recovery — no readable checkpoint, whole
+    /// journal replayed from a fresh initialization — needs the config, to
+    /// re-attach the channel layer before replay. Cold chaotic recovery is
+    /// byte-identical to the original run only when that run enabled chaos
+    /// before its first ingested chunk, since replay re-enters the fault
+    /// stream from tick zero.
+    pub fn recover_with_chaos(
+        initial_values: &[f64],
+        protocol: P,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        chaos_cfg: Option<ChaosConfig>,
     ) -> asf_persist::Result<Self> {
         // One pass per file: the store open loads the newest valid
         // checkpoint, the journal open (which physically truncates any
@@ -1278,10 +1353,27 @@ impl<P: Protocol> ShardedServer<P> {
             }
             None => {
                 server.initialize_with_cause(Cause::Recovery);
+                if let Some(cfg) = chaos_cfg {
+                    server.chaos = Some(ChaosState::new(server.n, cfg));
+                }
                 0
             }
         };
         drop(snapshot);
+        // Compaction guard: pruning destroys journal history below the
+        // durable-checkpoint floor. If every checkpoint has since been
+        // lost or corrupted, the surviving journal suffix alone does NOT
+        // reconstruct the state — replaying it from a cold start (or from
+        // a stale checkpoint below the floor) would silently produce a
+        // partial history. Fail loudly; the operator must resync from the
+        // live fleet instead.
+        if let Some(floor) = asf_persist::pruned_floor(&durability.dir)? {
+            if checkpoint_seq < floor {
+                return Err(PersistError::corrupt(
+                    "journal history pruned past every readable checkpoint; resync required",
+                ));
+            }
+        }
         let mut next_seq = checkpoint_seq;
         for entry in entries {
             if entry.seq < next_seq {

@@ -142,6 +142,26 @@ impl FaultSchedule {
         &self.mix
     }
 
+    /// The RNG's raw state words — the checkpointing hook: persisting these
+    /// four words (plus the mix and horizon) is enough to resume the exact
+    /// decision stream mid-schedule after a crash.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a schedule mid-stream: same mix and horizon, RNG resumed
+    /// from a state captured by [`FaultSchedule::rng_state`]. The resumed
+    /// schedule draws the byte-identical continuation of the original's
+    /// decision sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix's probabilities are malformed.
+    pub fn resume(state: [u64; 4], mix: FaultMix, horizon: u64) -> Self {
+        mix.validate();
+        Self { rng: SimRng::from_state(state), mix, horizon }
+    }
+
     /// Draws the fate of one frame sent at tick `now`.
     pub fn draw(&mut self, now: u64) -> FaultDecision {
         if !self.active(now) {
@@ -199,6 +219,16 @@ impl Backoff {
     /// Delay, in ticks, before retry attempt `attempt` (zero-based).
     pub fn delay(&self, attempt: u32) -> u64 {
         self.base.checked_shl(attempt).unwrap_or(self.cap).min(self.cap)
+    }
+
+    /// The first-attempt delay (serialization hook).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The delay cap (serialization hook).
+    pub fn cap(&self) -> u64 {
+        self.cap
     }
 }
 
@@ -264,6 +294,22 @@ mod tests {
             }
         }
         assert!((350..=650).contains(&crashes), "crash count {crashes} far from 50%");
+    }
+
+    #[test]
+    fn resumed_schedule_continues_exact_stream() {
+        let mix = FaultMix { drop_p: 0.3, delay_p: 0.2, dup_p: 0.1, ..FaultMix::none() };
+        let mix = FaultMix { max_delay_ticks: 16, ..mix };
+        let mut original = FaultSchedule::new(99, mix, 10_000);
+        for t in 0..257 {
+            original.draw(t);
+            original.draw_crash(t);
+        }
+        let mut resumed = FaultSchedule::resume(original.rng_state(), mix, 10_000);
+        for t in 257..1_000 {
+            assert_eq!(original.draw(t), resumed.draw(t));
+            assert_eq!(original.draw_crash(t), resumed.draw_crash(t));
+        }
     }
 
     #[test]

@@ -45,7 +45,17 @@
 //! Faults cease at the schedule's horizon; after that every draw delivers
 //! and the decorator is byte-transparent, which is what lets the chaos
 //! differential suite demand exact convergence with a never-faulted run.
+//!
+//! ## Durability
+//!
+//! The whole machine — config, fault-RNG words, logical clock, every
+//! channel, the parked-frame pool, the dead set, and the counters — round-
+//! trips through [`ChaosState::encode`] / [`ChaosState::decode`], so a
+//! durable server checkpoints its channel layer alongside protocol state
+//! and a crash+recover *inside* a fault window resumes the exact decision
+//! stream (see `asf-server`'s chaos-recovery differential suite).
 
+use asf_persist::{PersistError, StateReader, StateWriter};
 use simkit::fault::{Backoff, FaultDecision, FaultMix, FaultSchedule};
 use simkit::time::TickClock;
 
@@ -73,7 +83,25 @@ pub struct ChaosConfig {
     /// Retry cap: after this many timeouts the frame is force-delivered
     /// (keeps handler-time bounded under adversarial schedules).
     pub max_retries: u32,
+    /// Adapt each channel's lease to its observed heartbeat jitter
+    /// (bounded multiplicative grow/shrink; `lease_ticks` stays the
+    /// floor, `lease_ticks × `[`MAX_LEASE_FACTOR`]` ` the ceiling). On by
+    /// default; off pins every lease at `lease_ticks` — the differential
+    /// baseline.
+    pub adaptive_lease: bool,
+    /// Charge each chunk-end repair `probe_many` as **one** fan-out frame
+    /// (like a broadcast) instead of one frame per gapped channel. On by
+    /// default; off keeps the per-channel charging baseline.
+    pub batched_repair: bool,
 }
+
+/// Ceiling of the adaptive lease, as a multiple of the configured
+/// [`ChaosConfig::lease_ticks`] floor.
+pub const MAX_LEASE_FACTOR: u64 = 16;
+
+/// Version tag of the serialized chaos-state record
+/// ([`ChaosState::encode`] / [`ChaosState::decode`]).
+const CHAOS_STATE_VERSION: u8 = 1;
 
 impl ChaosConfig {
     /// Creates a config with conventional lease/backoff defaults.
@@ -86,12 +114,26 @@ impl ChaosConfig {
             timeout_ticks: 8,
             backoff: Backoff::new(4, 256),
             max_retries: 16,
+            adaptive_lease: true,
+            batched_repair: true,
         }
     }
 
-    /// Overrides the lease length.
+    /// Overrides the lease length (the floor when leases are adaptive).
     pub fn lease_ticks(mut self, ticks: u64) -> Self {
         self.lease_ticks = ticks;
+        self
+    }
+
+    /// Enables or disables jitter-adaptive per-channel leases.
+    pub fn adaptive_lease(mut self, on: bool) -> Self {
+        self.adaptive_lease = on;
+        self
+    }
+
+    /// Enables or disables batched repair-frame charging.
+    pub fn batched_repair(mut self, on: bool) -> Self {
+        self.batched_repair = on;
         self
     }
 }
@@ -126,6 +168,20 @@ pub struct ChaosStats {
     pub repaired_sources: u64,
     /// Total extra frames beyond the logical protocol.
     pub overhead_frames: u64,
+    /// Delivered heartbeats that refreshed a channel's lease.
+    pub lease_renewals: u64,
+    /// Leases that expired (sources newly declared dead).
+    pub lease_expirations: u64,
+    /// Lease expirations of sources that were actually up (their
+    /// heartbeats were lost in the channel) — the false positives the
+    /// adaptive lease exists to cut.
+    pub spurious_expirations: u64,
+    /// Chunk-end repair fan-outs charged as a single batched frame.
+    pub repair_batches: u64,
+    /// Request frames charged for chunk-end repair re-probes (one per
+    /// gapped channel per round under per-channel charging; one per round
+    /// under batched charging).
+    pub repair_frames: u64,
 }
 
 /// Fate of one source→server report at admission.
@@ -170,6 +226,11 @@ struct ChannelState {
     last_heard: u64,
     /// The source is down (crash outage) until this tick.
     down_until: u64,
+    /// This channel's current lease length. Pinned at the configured
+    /// `lease_ticks` unless adaptive leases are on, in which case it grows
+    /// and shrinks multiplicatively with observed heartbeat jitter, bounded
+    /// by `[lease_ticks, lease_ticks × MAX_LEASE_FACTOR]`.
+    lease_len: u64,
     /// The source restarted (or rejoined) and needs a repair re-probe.
     needs_repair: bool,
     /// Heartbeat arrived in the current quiescent round.
@@ -199,6 +260,13 @@ pub struct ChaosState {
     stats: ChaosStats,
     dead: Vec<bool>,
     dead_count: usize,
+    /// Lease lengths that changed this round (drained by the server into
+    /// its `lease_len` histogram). Empty at every quiescent checkpoint.
+    lease_samples: Vec<u64>,
+    /// Set by the server around the chunk-end repair pass so the fleet
+    /// decorator knows a `probe_many` is a repair fan-out. Transient —
+    /// never set across a checkpoint.
+    repair_window: bool,
 }
 
 impl ChaosState {
@@ -209,15 +277,18 @@ impl ChaosState {
     /// is attached.
     pub fn new(n: usize, cfg: ChaosConfig) -> Self {
         let schedule = FaultSchedule::new(cfg.seed, cfg.mix, cfg.fault_horizon_ticks);
+        let lease_len = cfg.lease_ticks;
         Self {
             cfg,
             schedule,
             clock: TickClock::new(),
-            channels: vec![ChannelState { verified: true, ..Default::default() }; n],
+            channels: vec![ChannelState { verified: true, lease_len, ..Default::default() }; n],
             parked: Vec::new(),
             stats: ChaosStats::default(),
             dead: vec![false; n],
             dead_count: 0,
+            lease_samples: Vec::new(),
+            repair_window: false,
         }
     }
 
@@ -270,6 +341,26 @@ impl ChaosState {
     /// Number of report frames still parked in the simulated network.
     pub fn parked_len(&self) -> usize {
         self.parked.len()
+    }
+
+    /// A channel's current lease length in ticks (equals the configured
+    /// `lease_ticks` unless adaptive leases have grown or shrunk it).
+    pub fn lease_len_of(&self, id: StreamId) -> u64 {
+        self.channels[id.index()].lease_len
+    }
+
+    /// Drains the lease lengths that changed since the last drain — the
+    /// server feeds these into its `lease_len` histogram.
+    pub fn drain_lease_samples(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.lease_samples)
+    }
+
+    /// Marks the start (`true`) / end (`false`) of a chunk-end repair
+    /// pass: while set, and with [`ChaosConfig::batched_repair`] on, a
+    /// `probe_many` through [`ChaosFleet`] is charged as one fan-out frame
+    /// rather than one frame per channel.
+    pub fn set_repair_window(&mut self, on: bool) {
+        self.repair_window = on;
     }
 
     /// Number of sources currently considered dead (lease expired).
@@ -415,31 +506,63 @@ impl ChaosState {
             }
             self.stats.heartbeats_sent += 1;
             self.stats.overhead_frames += 1;
-            let decision = self.schedule.draw(now);
-            match decision {
-                FaultDecision::Drop => self.stats.heartbeats_lost += 1,
+            let heard = match self.schedule.draw(now) {
+                FaultDecision::Drop => {
+                    self.stats.heartbeats_lost += 1;
+                    false
+                }
                 FaultDecision::Duplicate => {
                     self.stats.overhead_frames += 1;
-                    let ch = &mut self.channels[i];
-                    ch.last_heard = now;
-                    ch.heard_this_round = true;
+                    true
                 }
                 // A delayed heartbeat still lands well before the next
                 // round; treat it as delivered for lease purposes.
-                FaultDecision::Delay(_) | FaultDecision::Deliver => {
-                    let ch = &mut self.channels[i];
-                    ch.last_heard = now;
-                    ch.heard_this_round = true;
+                FaultDecision::Delay(_) | FaultDecision::Deliver => true,
+            };
+            if heard {
+                let ch = &mut self.channels[i];
+                if self.cfg.adaptive_lease {
+                    // The gap since the last delivered frame is this
+                    // channel's observed heartbeat jitter: a gap eating
+                    // more than half the lease doubles it (up to the
+                    // ceiling); a gap under an eighth halves it back
+                    // toward the configured floor. Pure integer arithmetic
+                    // on deterministic quantities — no clock, no RNG.
+                    let gap = now.saturating_sub(ch.last_heard);
+                    if gap.saturating_mul(2) > ch.lease_len {
+                        let cap = self.cfg.lease_ticks.saturating_mul(MAX_LEASE_FACTOR);
+                        let grown = ch.lease_len.saturating_mul(2).min(cap);
+                        if grown != ch.lease_len {
+                            ch.lease_len = grown;
+                            self.lease_samples.push(grown);
+                        }
+                    } else if gap.saturating_mul(8) < ch.lease_len {
+                        let shrunk = (ch.lease_len / 2).max(self.cfg.lease_ticks);
+                        if shrunk != ch.lease_len {
+                            ch.lease_len = shrunk;
+                            self.lease_samples.push(shrunk);
+                        }
+                    }
                 }
+                self.stats.lease_renewals += 1;
+                ch.last_heard = now;
+                ch.heard_this_round = true;
             }
         }
         for i in 0..self.channels.len() {
             let id = StreamId(i as u32);
-            let expired = now.saturating_sub(self.channels[i].last_heard) > self.cfg.lease_ticks;
+            let expired =
+                now.saturating_sub(self.channels[i].last_heard) > self.channels[i].lease_len;
             if expired && !self.dead[i] {
                 self.dead[i] = true;
                 self.dead_count += 1;
                 self.channels[i].verified = false;
+                self.stats.lease_expirations += 1;
+                if now >= self.channels[i].down_until {
+                    // The source is up — only its heartbeats died in the
+                    // channel. This expiration is a false positive.
+                    self.stats.spurious_expirations += 1;
+                }
                 plan.newly_dead.push(id);
             } else if !expired && self.dead[i] {
                 // Heard again: the source rejoins and must be re-probed.
@@ -556,6 +679,220 @@ impl ChaosState {
             ch.recv_seq = ch.send_seq;
         }
     }
+
+    /// Serializes the complete machine — config, fault-RNG words, logical
+    /// clock, every channel, the parked-frame pool, the dead set, and all
+    /// counters — into `w`. The record is self-describing (the config
+    /// travels with the state), so [`ChaosState::decode`] needs no
+    /// out-of-band [`ChaosConfig`].
+    ///
+    /// The transient `repair_window` flag is deliberately not recorded:
+    /// checkpoints only ever happen at quiescent points, outside any repair
+    /// pass.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.put_u8(CHAOS_STATE_VERSION);
+        // Config.
+        w.put_u64(self.cfg.seed);
+        w.put_f64(self.cfg.mix.drop_p);
+        w.put_f64(self.cfg.mix.delay_p);
+        w.put_f64(self.cfg.mix.dup_p);
+        w.put_f64(self.cfg.mix.crash_p);
+        w.put_u64(self.cfg.mix.max_delay_ticks);
+        w.put_u64(self.cfg.mix.max_outage_ticks);
+        w.put_u64(self.cfg.fault_horizon_ticks);
+        w.put_u64(self.cfg.lease_ticks);
+        w.put_u64(self.cfg.timeout_ticks);
+        w.put_u64(self.cfg.backoff.base());
+        w.put_u64(self.cfg.backoff.cap());
+        w.put_u32(self.cfg.max_retries);
+        w.put_bool(self.cfg.adaptive_lease);
+        w.put_bool(self.cfg.batched_repair);
+        // Fault-RNG resume point and logical clock.
+        for word in self.schedule.rng_state() {
+            w.put_u64(word);
+        }
+        w.put_u64(self.clock.now());
+        // Channels.
+        w.put_u64(self.channels.len() as u64);
+        for ch in &self.channels {
+            w.put_u64(ch.epoch);
+            w.put_u64(ch.send_seq);
+            w.put_u64(ch.recv_seq);
+            w.put_u64(ch.last_heard);
+            w.put_u64(ch.down_until);
+            w.put_u64(ch.lease_len);
+            w.put_bool(ch.needs_repair);
+            w.put_bool(ch.heard_this_round);
+            w.put_bool(ch.verified);
+        }
+        // Parked frames (in pool order — order is state: `take_due_reports`
+        // sorts due frames, but `retain` preserves pool order for the rest).
+        w.put_u64(self.parked.len() as u64);
+        for f in &self.parked {
+            w.put_u64(f.due);
+            w.put_u64(f.seq);
+            w.put_u64(f.epoch);
+            w.put_u32(f.id.0);
+            w.put_f64(f.value);
+        }
+        // Dead bitmap (dead_count is recomputed on decode).
+        for &d in &self.dead {
+            w.put_bool(d);
+        }
+        // Counters.
+        w.put_u64(self.stats.retries);
+        w.put_u64(self.stats.timeouts);
+        w.put_u64(self.stats.epoch_rejects);
+        w.put_u64(self.stats.reports_lost);
+        w.put_u64(self.stats.reports_delayed);
+        w.put_u64(self.stats.dup_frames);
+        w.put_u64(self.stats.heartbeats_sent);
+        w.put_u64(self.stats.heartbeats_lost);
+        w.put_u64(self.stats.crashes);
+        w.put_u64(self.stats.repaired_sources);
+        w.put_u64(self.stats.overhead_frames);
+        w.put_u64(self.stats.lease_renewals);
+        w.put_u64(self.stats.lease_expirations);
+        w.put_u64(self.stats.spurious_expirations);
+        w.put_u64(self.stats.repair_batches);
+        w.put_u64(self.stats.repair_frames);
+        // Undrained lease samples (empty at server checkpoints, which drain
+        // every round, but the record is complete regardless).
+        w.put_u64(self.lease_samples.len() as u64);
+        for &s in &self.lease_samples {
+            w.put_u64(s);
+        }
+    }
+
+    /// Decodes a record written by [`ChaosState::encode`], rebuilding the
+    /// fault schedule mid-stream from the persisted RNG words so the
+    /// decision sequence continues byte-identically.
+    ///
+    /// Every field that a constructor would assert on (fault probabilities,
+    /// backoff shape, lease bounds) is validated here first and surfaces as
+    /// [`PersistError::Corrupt`] — bytes off a disk must never panic.
+    pub fn decode(r: &mut StateReader<'_>) -> asf_persist::Result<Self> {
+        if r.get_u8()? != CHAOS_STATE_VERSION {
+            return Err(PersistError::corrupt("unknown chaos-state version"));
+        }
+        let seed = r.get_u64()?;
+        let mix = FaultMix {
+            drop_p: r.get_f64()?,
+            delay_p: r.get_f64()?,
+            dup_p: r.get_f64()?,
+            crash_p: r.get_f64()?,
+            max_delay_ticks: r.get_u64()?,
+            max_outage_ticks: r.get_u64()?,
+        };
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !(prob_ok(mix.drop_p)
+            && prob_ok(mix.delay_p)
+            && prob_ok(mix.dup_p)
+            && prob_ok(mix.crash_p)
+            && prob_ok(mix.drop_p + mix.delay_p + mix.dup_p))
+        {
+            return Err(PersistError::corrupt("chaos fault probabilities out of range"));
+        }
+        if (mix.delay_p > 0.0 && mix.max_delay_ticks == 0)
+            || (mix.crash_p > 0.0 && mix.max_outage_ticks == 0)
+        {
+            return Err(PersistError::corrupt("chaos fault bounds inconsistent"));
+        }
+        let fault_horizon_ticks = r.get_u64()?;
+        let lease_ticks = r.get_u64()?;
+        let timeout_ticks = r.get_u64()?;
+        let (backoff_base, backoff_cap) = (r.get_u64()?, r.get_u64()?);
+        if backoff_base == 0 || backoff_cap < backoff_base {
+            return Err(PersistError::corrupt("chaos backoff malformed"));
+        }
+        let cfg = ChaosConfig {
+            seed,
+            mix,
+            fault_horizon_ticks,
+            lease_ticks,
+            timeout_ticks,
+            backoff: Backoff::new(backoff_base, backoff_cap),
+            max_retries: r.get_u32()?,
+            adaptive_lease: r.get_bool()?,
+            batched_repair: r.get_bool()?,
+        };
+        let rng_words = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        let schedule = FaultSchedule::resume(rng_words, mix, fault_horizon_ticks);
+        let now = r.get_u64()?;
+        let mut clock = TickClock::new();
+        clock.advance_to(now);
+        let n = r.get_u64()? as usize;
+        let lease_cap = lease_ticks.saturating_mul(MAX_LEASE_FACTOR);
+        let mut channels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ch = ChannelState {
+                epoch: r.get_u64()?,
+                send_seq: r.get_u64()?,
+                recv_seq: r.get_u64()?,
+                last_heard: r.get_u64()?,
+                down_until: r.get_u64()?,
+                lease_len: r.get_u64()?,
+                needs_repair: r.get_bool()?,
+                heard_this_round: r.get_bool()?,
+                verified: r.get_bool()?,
+            };
+            if ch.lease_len < lease_ticks || ch.lease_len > lease_cap {
+                return Err(PersistError::corrupt("chaos lease length out of bounds"));
+            }
+            channels.push(ch);
+        }
+        let parked_len = r.get_u64()? as usize;
+        let mut parked = Vec::with_capacity(parked_len);
+        for _ in 0..parked_len {
+            parked.push(ParkedReport {
+                due: r.get_u64()?,
+                seq: r.get_u64()?,
+                epoch: r.get_u64()?,
+                id: StreamId(r.get_u32()?),
+                value: r.get_f64()?,
+            });
+        }
+        let mut dead = Vec::with_capacity(n);
+        for _ in 0..n {
+            dead.push(r.get_bool()?);
+        }
+        let dead_count = dead.iter().filter(|&&d| d).count();
+        let stats = ChaosStats {
+            retries: r.get_u64()?,
+            timeouts: r.get_u64()?,
+            epoch_rejects: r.get_u64()?,
+            reports_lost: r.get_u64()?,
+            reports_delayed: r.get_u64()?,
+            dup_frames: r.get_u64()?,
+            heartbeats_sent: r.get_u64()?,
+            heartbeats_lost: r.get_u64()?,
+            crashes: r.get_u64()?,
+            repaired_sources: r.get_u64()?,
+            overhead_frames: r.get_u64()?,
+            lease_renewals: r.get_u64()?,
+            lease_expirations: r.get_u64()?,
+            spurious_expirations: r.get_u64()?,
+            repair_batches: r.get_u64()?,
+            repair_frames: r.get_u64()?,
+        };
+        let samples_len = r.get_u64()? as usize;
+        let mut lease_samples = Vec::with_capacity(samples_len);
+        for _ in 0..samples_len {
+            lease_samples.push(r.get_u64()?);
+        }
+        Ok(Self {
+            cfg,
+            schedule,
+            clock,
+            channels,
+            parked,
+            stats,
+            dead,
+            dead_count,
+            lease_samples,
+            repair_window: false,
+        })
+    }
 }
 
 /// Fault-injecting [`FleetOps`] decorator.
@@ -640,8 +977,20 @@ impl FleetOps for ChaosFleet<'_> {
         view: &mut ServerView,
         out: &mut Vec<f64>,
     ) {
-        for &id in ids {
-            self.state.charge_request(id, false);
+        if self.state.repair_window && self.state.cfg.batched_repair && !ids.is_empty() {
+            // Inside a chunk-end repair pass the whole gap list ships as
+            // one fan-out frame (like a broadcast) instead of one request
+            // per gapped channel.
+            self.state.charge_request(ids[0], false);
+            self.state.stats.repair_batches += 1;
+            self.state.stats.repair_frames += 1;
+        } else {
+            for &id in ids {
+                self.state.charge_request(id, false);
+            }
+            if self.state.repair_window {
+                self.state.stats.repair_frames += ids.len() as u64;
+            }
         }
         self.inner.probe_many(ids, ledger, view, out);
         for &id in ids {
@@ -909,5 +1258,176 @@ mod tests {
         assert_eq!(state.parked_len(), 1);
         state.resync_boundary();
         assert_eq!(state.parked_len(), 0);
+    }
+
+    /// Runs a fixed chaotic op sequence and returns a digest of every
+    /// observable outcome, so two states can be compared step-by-step.
+    fn drive(state: &mut ChaosState, rounds: usize) -> Vec<(usize, usize, usize)> {
+        let mut digest = Vec::new();
+        let mut out = Vec::new();
+        for r in 0..rounds {
+            for i in 0..state.len() {
+                let fate = state.admit_report(StreamId(i as u32), (r * 10 + i) as f64);
+                digest.push((i, fate as usize, 0));
+            }
+            state.advance(7);
+            state.draw_crashes();
+            let plan = state.heartbeat_round();
+            for &id in &plan.reprobe {
+                state.on_probed(id);
+            }
+            state.finish_round();
+            state.take_due_reports(&mut out);
+            digest.push((plan.reprobe.len(), plan.newly_dead.len(), out.len()));
+        }
+        digest
+    }
+
+    #[test]
+    fn codec_round_trip_resumes_exact_stream() {
+        let mix = FaultMix {
+            drop_p: 0.2,
+            delay_p: 0.2,
+            dup_p: 0.1,
+            crash_p: 0.05,
+            max_delay_ticks: 16,
+            max_outage_ticks: 50,
+        };
+        let cfg = ChaosConfig::new(0xD0C0, mix, u64::MAX).lease_ticks(64);
+        let mut original = ChaosState::new(4, cfg);
+        drive(&mut original, 40);
+
+        let mut w = StateWriter::new();
+        original.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let mut restored = ChaosState::decode(&mut r).expect("decode");
+        r.finish().expect("record fully consumed");
+
+        assert_eq!(restored.now(), original.now());
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.parked_len(), original.parked_len());
+        assert_eq!(restored.dead_count(), original.dead_count());
+        // The fault-decision stream continues identically on both copies.
+        assert_eq!(drive(&mut original, 40), drive(&mut restored, 40));
+        assert_eq!(restored.stats(), original.stats());
+        for i in 0..original.len() {
+            let id = StreamId(i as u32);
+            assert_eq!(restored.epoch_of(id), original.epoch_of(id));
+            assert_eq!(restored.send_seq_of(id), original.send_seq_of(id));
+            assert_eq!(restored.recv_seq_of(id), original.recv_seq_of(id));
+            assert_eq!(restored.lease_len_of(id), original.lease_len_of(id));
+            assert_eq!(restored.is_dead(id), original.is_dead(id));
+            assert_eq!(restored.is_verified(id), original.is_verified(id));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_records() {
+        let mut state = ChaosState::new(2, ChaosConfig::new(1, FaultMix::loss_only(0.5), 100));
+        drive(&mut state, 5);
+        let mut w = StateWriter::new();
+        state.encode(&mut w);
+        let bytes = w.into_bytes();
+
+        // Unknown version byte.
+        let mut bad = bytes.clone();
+        bad[0] = CHAOS_STATE_VERSION + 1;
+        assert!(ChaosState::decode(&mut StateReader::new(&bad)).is_err());
+
+        // Overfull drop probability (bytes 9..17 hold drop_p's raw bits)
+        // must surface as corruption, not a constructor panic.
+        let mut bad = bytes.clone();
+        bad[9..17].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(ChaosState::decode(&mut StateReader::new(&bad)).is_err());
+
+        // Truncation anywhere must error, never panic.
+        for cut in [1, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ChaosState::decode(&mut StateReader::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn adaptive_lease_grows_and_shrinks_within_bounds() {
+        let cfg = ChaosConfig::new(12, FaultMix::none(), 0).lease_ticks(4);
+        let mut state = ChaosState::new(1, cfg);
+        let id = StreamId(0);
+        assert_eq!(state.lease_len_of(id), 4);
+        // Huge heartbeat gaps double the lease each round, pinned at the
+        // ceiling.
+        for _ in 0..10 {
+            state.advance(1_000);
+            state.heartbeat_round();
+            state.finish_round();
+        }
+        assert_eq!(state.lease_len_of(id), 4 * MAX_LEASE_FACTOR);
+        // Tight heartbeats shrink it back down. The shrink rule's
+        // hysteresis (`gap × 8 < lease`) settles at one doubling above the
+        // floor rather than oscillating on it.
+        for _ in 0..10 {
+            state.advance(1);
+            state.heartbeat_round();
+            state.finish_round();
+        }
+        assert_eq!(state.lease_len_of(id), 8);
+        assert!(state.stats().lease_renewals >= 20);
+        assert!(!state.drain_lease_samples().is_empty());
+        assert!(state.drain_lease_samples().is_empty(), "drain must empty the buffer");
+    }
+
+    #[test]
+    fn fixed_lease_baseline_never_adapts() {
+        let cfg = ChaosConfig::new(12, FaultMix::none(), 0).lease_ticks(4).adaptive_lease(false);
+        let mut state = ChaosState::new(1, cfg);
+        for _ in 0..10 {
+            state.advance(1_000);
+            state.heartbeat_round();
+        }
+        assert_eq!(state.lease_len_of(StreamId(0)), 4);
+        assert!(state.drain_lease_samples().is_empty());
+    }
+
+    #[test]
+    fn lost_heartbeat_expiry_counts_as_spurious() {
+        // The source is up the whole time — only its heartbeats drop — so
+        // the expiration is a false positive.
+        let cfg = ChaosConfig::new(4, FaultMix::loss_only(1.0), 10_000).lease_ticks(50);
+        let mut state = ChaosState::new(1, cfg);
+        state.advance(100);
+        let plan = state.heartbeat_round();
+        assert_eq!(plan.newly_dead, vec![StreamId(0)]);
+        assert_eq!(state.stats().lease_expirations, 1);
+        assert_eq!(state.stats().spurious_expirations, 1);
+    }
+
+    #[test]
+    fn batched_repair_charges_one_frame_per_pass() {
+        let ids: Vec<StreamId> = (0..3u32).map(StreamId).collect();
+        for (batched, want_frames, want_batches) in [(true, 1, 1), (false, 3, 0)] {
+            let (mut fleet, mut ledger, mut view) = fleet3();
+            let cfg = ChaosConfig::new(1, FaultMix::none(), 0).batched_repair(batched);
+            let mut state = ChaosState::new(3, cfg);
+            let mut out = Vec::new();
+            state.set_repair_window(true);
+            {
+                let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+                chaos.probe_many(&ids, &mut ledger, &mut view, &mut out);
+            }
+            state.set_repair_window(false);
+            assert_eq!(state.stats().repair_frames, want_frames, "batched={batched}");
+            assert_eq!(state.stats().repair_batches, want_batches, "batched={batched}");
+            // Outside the repair window a probe_many is an ordinary
+            // per-channel fan-out and never touches the repair counters.
+            {
+                let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+                chaos.probe_many(&ids, &mut ledger, &mut view, &mut out);
+            }
+            assert_eq!(state.stats().repair_frames, want_frames);
+            assert_eq!(state.stats().repair_batches, want_batches);
+            // Per-channel bookkeeping is identical in both modes.
+            for &id in &ids {
+                assert_eq!(state.recv_seq_of(id), state.send_seq_of(id));
+            }
+        }
     }
 }

@@ -1,0 +1,427 @@
+//! Durable-chaos differential suite: crash recovery **during** a fault
+//! storm.
+//!
+//! Every protocol runs the same seeded workload through the same seeded
+//! fault-injecting channels twice:
+//!
+//! * a **reference** run — chaos enabled, no durability, never crashed —
+//!   ingests the whole stream, and
+//! * a **crashed** run — chaos *and* durability enabled — ingests a prefix
+//!   that ends while faults are still active, crashes (drop without
+//!   shutdown), recovers from disk, and ingests the rest.
+//!
+//! The checkpoint carries the full per-channel chaos machine (epochs,
+//! sequences, leases, parked frames, dead set, counters, RNG words), and
+//! replaying the journal suffix resumes the fault schedule's decision
+//! stream mid-storm. The contract: the recovered run is **byte-identical**
+//! to the never-crashed chaotic run — answers, views, ground truth, the
+//! cumulative ledger, chaos statistics, per-channel epochs and adaptive
+//! lease lengths, and the dead set — swept per protocol × fault mix ×
+//! shard count × coordinator × crash point inside the fault window.
+//!
+//! Also proven here: `enable_chaos`/`enable_durability` compose in either
+//! order, and a cold recovery (checkpoints lost, whole journal replayed)
+//! re-enters the fault stream from tick zero via
+//! [`ShardedServer::recover_with_chaos`].
+
+use std::path::PathBuf;
+
+use asf_core::multi_query::{CellMode, MultiRangeZt};
+use asf_core::protocol::{
+    FtNrp, FtNrpConfig, FtRp, FtRpConfig, NoFilter, Protocol, Rtp, VtMax, ZtNrp, ZtRp,
+};
+use asf_core::query::{RangeQuery, RankQuery};
+use asf_core::tolerance::FractionTolerance;
+use asf_core::workload::{UpdateEvent, Workload};
+use asf_core::AnswerSet;
+use asf_server::{
+    CheckpointMode, CoordMode, DurabilityConfig, ExecMode, ScatterMode, ServerConfig, ShardedServer,
+};
+use asf_telemetry::Cause;
+use simkit::FaultMix;
+use streamnet::{ChaosConfig, ChaosStats, StreamId};
+use workloads::{SyntheticConfig, SyntheticWorkload};
+
+const NUM_STREAMS: usize = 64;
+const BATCH: usize = 128;
+
+fn fixture(seed: u64) -> (Vec<f64>, Vec<UpdateEvent>) {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: NUM_STREAMS,
+        horizon: 600.0,
+        seed,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+    (initial, events)
+}
+
+fn config(shards: usize, coordinator: CoordMode) -> ServerConfig {
+    ServerConfig {
+        num_shards: shards,
+        batch_size: BATCH,
+        mode: ExecMode::Inline,
+        channel_capacity: 2,
+        coordinator,
+        scatter: ScatterMode::Broadcast,
+        telemetry: Default::default(),
+    }
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("asf-chaos-rec-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable(dir: &PathBuf) -> DurabilityConfig {
+    // A cadence longer than two chunks, so some crash points land with a
+    // journal suffix behind them: recovery must *replay* events through
+    // the restored channel machine, resuming the fault schedule's RNG
+    // mid-storm, not just deserialize a conveniently aligned checkpoint.
+    DurabilityConfig::new(dir).checkpoint_every(300).mode(CheckpointMode::Sync)
+}
+
+/// Every deterministic observable the byte-identity contract compares —
+/// protocol state, the full channel machine, and the cumulative ledger
+/// (bit-exact encodings, no float comparisons).
+#[derive(Debug, PartialEq)]
+struct Observed {
+    answer: AnswerSet,
+    view: Vec<(bool, u64)>,
+    truth: Vec<u64>,
+    ledger: [u64; 5],
+    reports: u64,
+    events: u64,
+    stats: ChaosStats,
+    epochs: Vec<u64>,
+    leases: Vec<u64>,
+    dead: Vec<StreamId>,
+}
+
+fn capture<P: Protocol>(server: &mut ShardedServer<P>) -> Observed {
+    let view = (0..NUM_STREAMS)
+        .map(|i| {
+            let id = StreamId(i as u32);
+            let known = server.view().is_known(id);
+            (known, if known { server.view().get(id).to_bits() } else { 0 })
+        })
+        .collect();
+    let truth = server.truth_values().iter().map(|v| v.to_bits()).collect();
+    let state = server.chaos().expect("chaos enabled");
+    let epochs = (0..NUM_STREAMS).map(|i| state.epoch_of(StreamId(i as u32))).collect();
+    let leases = (0..NUM_STREAMS).map(|i| state.lease_len_of(StreamId(i as u32))).collect();
+    Observed {
+        answer: server.answer(),
+        view,
+        truth,
+        ledger: server.ledger().kind_counts(),
+        reports: server.reports_processed(),
+        events: server.events_processed(),
+        stats: *server.chaos_stats().expect("chaos enabled"),
+        epochs,
+        leases,
+        dead: server.chaos().expect("chaos enabled").dead_ids(),
+    }
+}
+
+/// The never-crashed chaotic run. No durability attached — durability must
+/// be purely observational, so the recovered run is held to the state an
+/// undisturbed chaotic server reaches.
+fn reference<P: Protocol, F: Fn() -> P>(
+    initial: &[f64],
+    events: &[UpdateEvent],
+    make: &F,
+    cfg: ChaosConfig,
+) -> Observed {
+    let mut server = ShardedServer::new(initial, make(), config(1, CoordMode::Serial));
+    server.initialize();
+    server.enable_chaos(cfg);
+    server.ingest_batch(events);
+    capture(&mut server)
+}
+
+/// Crash at `crash_at` (a chunk multiple inside the fault window), recover
+/// from disk, ingest the rest, and capture the final state.
+#[allow(clippy::too_many_arguments)]
+fn crashed_run<P: Protocol, F: Fn() -> P>(
+    tag: &str,
+    initial: &[f64],
+    events: &[UpdateEvent],
+    make: &F,
+    shards: usize,
+    coordinator: CoordMode,
+    cfg: ChaosConfig,
+    crash_at: usize,
+) -> Observed {
+    let config = config(shards, coordinator);
+    let dir = test_dir("storm");
+    let durable = durable(&dir);
+
+    let mut crashed = ShardedServer::new(initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.enable_chaos(cfg);
+    crashed.ingest_batch(&events[..crash_at]);
+    assert!(
+        crashed.chaos().expect("chaos enabled").faults_active(),
+        "{tag}: the crash point must land inside the fault window"
+    );
+    assert!(crashed.metrics().checkpoints >= 1, "{tag}: no checkpoint became durable");
+    assert!(crashed.metrics().chaos_state_bytes > 0, "{tag}: chaos state never serialized");
+    // Crash: drop without shutdown — no final checkpoint, no flush.
+    drop(crashed);
+
+    let mut recovered = ShardedServer::recover(initial, make(), config, durable).unwrap();
+    assert_eq!(
+        recovered.events_processed(),
+        crash_at as u64,
+        "{tag}: recovery lost durable events"
+    );
+    let state = recovered.chaos().expect("{tag}: recovery must restore the channel machine");
+    assert!(state.faults_active(), "{tag}: recovery must re-enter the still-open fault window");
+    recovered.ingest_batch(&events[crash_at..]);
+    let out = capture(&mut recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// The full sweep for one protocol: per fault mix, the recovered run is
+/// byte-identical to the never-crashed chaotic run across shard counts,
+/// coordinators, and crash points inside the fault window. (Chaos runs are
+/// backend-invariant — proven by `chaos_differential` — so one reference
+/// per mix serves every backend.)
+fn assert_storm_recovery_identical<P: Protocol, F: Fn() -> P>(name: &str, make: F) {
+    let (initial, events) = fixture(0xFA17);
+    // The storm never ends: repair probes advance the logical clock by
+    // protocol-dependent timeout/backoff ticks, so an unbounded horizon is
+    // the only way to guarantee every crash point lands mid-storm for
+    // every protocol. (The finite-horizon case — a checkpoint carrying an
+    // already-quiet schedule — is covered separately below.)
+    let horizon = u64::MAX;
+    // Chunk-aligned crash points: one on a checkpoint-free stretch right
+    // after the anchor, one past the first cadence checkpoint — both force
+    // a journal replay through the restored fault schedule.
+    let crash_points = [2 * BATCH, 4 * BATCH];
+
+    let mixes: [(&str, FaultMix); 3] = [
+        ("loss", FaultMix::loss_only(0.1)),
+        ("delay+reorder", FaultMix::delay_reorder(0.1)),
+        ("crash-restart", FaultMix::crash_restart(0.01)),
+    ];
+    for (mix_name, mix) in mixes {
+        let cfg = ChaosConfig::new(0xC4A05, mix, horizon).lease_ticks(512);
+        let want = reference(&initial, &events, &make, cfg.clone());
+        assert!(want.stats.lease_renewals > 0, "{name}: leases never renewed");
+        let mut combo = 0usize;
+        for shards in [1usize, 2, 8] {
+            for coordinator in [CoordMode::Serial, CoordMode::Pipelined] {
+                let crash_at = crash_points[combo % crash_points.len()];
+                combo += 1;
+                let tag = format!(
+                    "{name} mix={mix_name} shards={shards} {coordinator:?} crash@{crash_at}"
+                );
+                let got = crashed_run(
+                    &tag,
+                    &initial,
+                    &events,
+                    &make,
+                    shards,
+                    coordinator,
+                    cfg.clone(),
+                    crash_at,
+                );
+                assert_eq!(got, want, "{tag}: recovered run diverged from the uncrashed run");
+            }
+        }
+    }
+}
+
+#[test]
+fn no_filter_storm_recovery_is_byte_identical() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    assert_storm_recovery_identical("no-filter/range", move || NoFilter::range(query));
+}
+
+#[test]
+fn zt_nrp_storm_recovery_is_byte_identical() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    assert_storm_recovery_identical("ZT-NRP", move || ZtNrp::new(query));
+}
+
+#[test]
+fn ft_nrp_storm_recovery_is_byte_identical() {
+    let query = RangeQuery::new(400.0, 600.0).unwrap();
+    let tol = FractionTolerance::new(0.25, 0.25).unwrap();
+    assert_storm_recovery_identical("FT-NRP", move || {
+        FtNrp::new(query, tol, FtNrpConfig::default(), 42).unwrap()
+    });
+}
+
+#[test]
+fn zt_rp_storm_recovery_is_byte_identical() {
+    let query = RankQuery::knn(500.0, 6).unwrap();
+    assert_storm_recovery_identical("ZT-RP", move || ZtRp::new(query).unwrap());
+}
+
+#[test]
+fn ft_rp_storm_recovery_is_byte_identical() {
+    let query = RankQuery::knn(500.0, 8).unwrap();
+    let tol = FractionTolerance::symmetric(0.25).unwrap();
+    assert_storm_recovery_identical("FT-RP", move || {
+        FtRp::new(query, tol, FtRpConfig::default(), 7).unwrap()
+    });
+}
+
+#[test]
+fn rtp_storm_recovery_is_byte_identical() {
+    let query = RankQuery::knn(500.0, 5).unwrap();
+    assert_storm_recovery_identical("RTP", move || Rtp::new(query, 3).unwrap());
+}
+
+#[test]
+fn vt_max_storm_recovery_is_byte_identical() {
+    assert_storm_recovery_identical("VT-MAX", || VtMax::new(50.0).unwrap());
+}
+
+#[test]
+fn multi_query_storm_recovery_is_byte_identical() {
+    let queries = vec![
+        RangeQuery::new(100.0, 300.0).unwrap(),
+        RangeQuery::new(200.0, 500.0).unwrap(),
+        RangeQuery::new(450.0, 700.0).unwrap(),
+    ];
+    assert_storm_recovery_identical("MULTI-ZT", move || {
+        MultiRangeZt::with_mode(queries.clone(), CellMode::ServerManaged).unwrap()
+    });
+}
+
+#[test]
+fn enable_order_is_irrelevant_to_durable_chaos() {
+    // `enable_chaos` then `enable_durability` (the anchor checkpoint embeds
+    // the channel machine) and the reverse (`enable_chaos` forces a fresh
+    // anchor so no checkpoint predates the channel layer) both crash and
+    // recover byte-identical to the uncrashed chaotic run.
+    let (initial, events) = fixture(0xFA17);
+    let crash_at = 2 * BATCH;
+    let make = || ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap());
+    let cfg = ChaosConfig::new(0xC4A05, FaultMix::loss_only(0.1), u64::MAX).lease_ticks(512);
+    let want = reference(&initial, &events, &make, cfg.clone());
+
+    for chaos_first in [true, false] {
+        let tag = format!("order chaos_first={chaos_first}");
+        let server_config = config(2, CoordMode::Serial);
+        let dir = test_dir("order");
+        let durable = durable(&dir);
+
+        let mut crashed = ShardedServer::new(&initial, make(), server_config);
+        crashed.initialize();
+        if chaos_first {
+            crashed.enable_chaos(cfg.clone());
+            crashed.enable_durability(durable.clone()).unwrap();
+        } else {
+            crashed.enable_durability(durable.clone()).unwrap();
+            crashed.enable_chaos(cfg.clone());
+        }
+        crashed.ingest_batch(&events[..crash_at]);
+        assert!(crashed.chaos().unwrap().faults_active(), "{tag}: crash outside the window");
+        drop(crashed);
+
+        let mut recovered =
+            ShardedServer::recover(&initial, make(), server_config, durable).unwrap();
+        assert_eq!(recovered.events_processed(), crash_at as u64, "{tag}: lost events");
+        recovered.ingest_batch(&events[crash_at..]);
+        let got = capture(&mut recovered);
+        assert_eq!(got, want, "{tag}: recovered run diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crash_after_the_horizon_restores_a_quiet_schedule() {
+    // The storm is over by the time the server crashes: the checkpoint
+    // carries a schedule past its horizon (draws deliver without consuming
+    // randomness), plus whatever channel damage the storm left behind.
+    // Recovery restores the quiet schedule and the damage, and the rest of
+    // the run still matches the uncrashed one byte for byte.
+    let (initial, events) = fixture(0xFA17);
+    let horizon = BATCH as u64; // one chunk of faults, then silence
+    let crash_at = 4 * BATCH;
+    let make = || ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap());
+    let cfg = ChaosConfig::new(0xC4A05, FaultMix::loss_only(0.1), horizon).lease_ticks(512);
+    let want = reference(&initial, &events, &make, cfg.clone());
+
+    let server_config = config(2, CoordMode::Serial);
+    let dir = test_dir("quiet");
+    let durable = durable(&dir);
+    let mut crashed = ShardedServer::new(&initial, make(), server_config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.enable_chaos(cfg);
+    crashed.ingest_batch(&events[..crash_at]);
+    assert!(
+        !crashed.chaos().unwrap().faults_active(),
+        "the horizon must have passed before this crash point"
+    );
+    drop(crashed);
+
+    let mut recovered = ShardedServer::recover(&initial, make(), server_config, durable).unwrap();
+    assert_eq!(recovered.events_processed(), crash_at as u64, "quiet: lost events");
+    assert!(
+        !recovered.chaos().unwrap().faults_active(),
+        "recovery must restore the schedule as already quiet"
+    );
+    recovered.ingest_batch(&events[crash_at..]);
+    let got = capture(&mut recovered);
+    assert_eq!(got, want, "post-horizon recovery diverged from the uncrashed run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cold_chaotic_recovery_replays_the_fault_stream_from_tick_zero() {
+    // Both checkpoint slots lost: the cold path re-initializes (the probe
+    // storm is attributed to `Cause::Recovery`), re-attaches the channel
+    // layer from the config passed to `recover_with_chaos`, and replays the
+    // whole journal — re-entering the fault schedule from tick zero. The
+    // final state still matches the uncrashed chaotic run; only the cause
+    // labels differ.
+    let (initial, events) = fixture(0xFA17);
+    let crash_at = 4 * BATCH;
+    let make = || ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap());
+    let cfg = ChaosConfig::new(0xC4A05, FaultMix::loss_only(0.1), u64::MAX).lease_ticks(512);
+    let want = reference(&initial, &events, &make, cfg.clone());
+
+    let server_config = config(2, CoordMode::Serial);
+    let dir = test_dir("cold");
+    let durable = durable(&dir);
+    let mut crashed = ShardedServer::new(&initial, make(), server_config);
+    crashed.initialize();
+    crashed.enable_durability(durable.clone()).unwrap();
+    crashed.enable_chaos(cfg.clone());
+    crashed.ingest_batch(&events[..crash_at]);
+    drop(crashed);
+    for snap in ["snap-a.bin", "snap-b.bin"] {
+        std::fs::remove_file(dir.join(snap)).unwrap();
+    }
+
+    let mut recovered =
+        ShardedServer::recover_with_chaos(&initial, make(), server_config, durable, Some(cfg))
+            .unwrap();
+    assert_eq!(recovered.events_processed(), crash_at as u64, "cold: lost events");
+    assert!(
+        recovered.causes().total(Cause::Recovery) > 0,
+        "cold recovery must attribute its startup storm to the recovery cause"
+    );
+    assert!(recovered.chaos().unwrap().faults_active(), "cold: fault window must be re-open");
+    recovered.ingest_batch(&events[crash_at..]);
+    let got = capture(&mut recovered);
+    assert_eq!(got, want, "cold chaotic recovery diverged from the uncrashed run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -204,3 +204,198 @@ fn epochs_and_sequences_are_idempotent_under_dup_and_reorder() {
         assert!(stats.reports_delayed > 0, "{tag}: no reordering injected");
     }
 }
+
+#[test]
+fn a_gap_exactly_equal_to_the_lease_does_not_expire() {
+    // The lease bound is exclusive: a source silent for *exactly* its
+    // lease length is still live; one tick more and it is dead. Total
+    // heartbeat loss makes the gap equal the clock.
+    let lease = 50u64;
+    let cfg = ChaosConfig::new(7, FaultMix::loss_only(1.0), u64::MAX)
+        .lease_ticks(lease)
+        .adaptive_lease(false);
+    let mut state = ChaosState::new(N, cfg);
+
+    state.advance(lease);
+    let plan = state.heartbeat_round();
+    state.finish_round();
+    assert!(plan.newly_dead.is_empty(), "gap == lease must not expire");
+    assert_eq!(state.dead_count(), 0);
+    assert_eq!(state.stats().lease_expirations, 0);
+
+    state.advance(1);
+    let plan = state.heartbeat_round();
+    state.finish_round();
+    assert_eq!(plan.newly_dead.len(), N, "gap == lease + 1 must expire");
+    assert_eq!(state.dead_count(), N);
+    assert_eq!(state.stats().lease_expirations, N as u64);
+    // Every source was up the whole time — only its heartbeats died in
+    // the channel — so each expiration is a false positive.
+    assert_eq!(state.stats().spurious_expirations, N as u64);
+}
+
+#[test]
+fn expiry_at_a_round_boundary_then_rejoin_applies_nothing_twice() {
+    // A source expires exactly at a quiescent round, is heard again at the
+    // very next round, and rejoins within that round's repair pass: the
+    // rejoin re-probe closes the sequence gap, the epoch never moves, and
+    // a fresh report afterwards is applied exactly once.
+    let lease = 50u64;
+    let horizon = lease + 2; // heartbeats die until just past the expiry round
+    let cfg = ChaosConfig::new(7, FaultMix::loss_only(1.0), horizon)
+        .lease_ticks(lease)
+        .adaptive_lease(false);
+    let mut state = ChaosState::new(N, cfg);
+    let mut rng = SimRng::seed_from_u64(0xB0B);
+    let values: Vec<f64> = (0..N).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+    let mut fleet = SourceFleet::from_values(&values);
+    let mut ledger = Ledger::new();
+    let mut view = ServerView::new(N);
+
+    // (No install before the storm: with total loss, an install's retry
+    // storm would burn the clock past the horizon. Epochs start at 0 and
+    // must still be 0 after the rejoin.)
+    let epochs: Vec<u64> = (0..N).map(|i| state.epoch_of(StreamId(i as u32))).collect();
+
+    // Expiry round: tick `lease + 1`, heartbeats still dropped.
+    state.advance(lease + 1);
+    let plan = state.heartbeat_round();
+    state.finish_round();
+    assert_eq!(plan.newly_dead.len(), N, "all sources expire at the boundary round");
+    for i in 0..N {
+        assert!(!state.is_verified(StreamId(i as u32)), "dead sources are never verified");
+    }
+
+    // Rejoin round: one tick later the horizon has passed, heartbeats are
+    // heard, and the round's own repair plan re-probes the rejoiners.
+    state.advance(1);
+    let plan = state.heartbeat_round();
+    assert!(plan.newly_dead.is_empty(), "nothing new dies at the rejoin round");
+    assert_eq!(plan.reprobe.len(), N, "every rejoiner must be re-probed this round");
+    assert_eq!(state.dead_count(), 0, "hearing a heartbeat revives the source");
+    {
+        let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+        for &id in &plan.reprobe {
+            chaos.probe(id, &mut ledger, &mut view);
+        }
+    }
+    state.finish_round();
+
+    for (i, &epoch) in epochs.iter().enumerate() {
+        let id = StreamId(i as u32);
+        assert_eq!(state.epoch_of(id), epoch, "rejoin must not move the epoch");
+        assert_eq!(
+            state.recv_seq_of(id),
+            state.send_seq_of(id),
+            "the rejoin re-probe must close the sequence gap"
+        );
+        assert!(state.is_verified(id), "a probed rejoiner is verified live");
+    }
+
+    // Post-rejoin reports are accepted exactly once (faults have ceased).
+    for i in 0..N {
+        let id = StreamId(i as u32);
+        let recv = state.recv_seq_of(id);
+        assert_eq!(state.admit_report(id, 1.0 + i as f64), ReportFate::Deliver);
+        assert_eq!(state.recv_seq_of(id), recv + 1, "one report, one acceptance");
+    }
+
+    // And a post-rejoin install bumps every epoch exactly once — the
+    // rejoin left no latent state that could double-apply it.
+    {
+        let mut chaos = ChaosFleet::new(&mut state, &mut fleet);
+        chaos.broadcast(Filter::wildcard(), &mut ledger, &mut view);
+    }
+    for (i, &epoch) in epochs.iter().enumerate() {
+        let id = StreamId(i as u32);
+        assert_eq!(state.epoch_of(id), epoch + 1, "{id}: install applied other than once");
+    }
+}
+
+#[test]
+fn lease_expiry_and_rejoin_keep_the_live_view_consistent() {
+    // The same boundary at server scale: every lease expires exactly at a
+    // chunk end (the only place heartbeat rounds run), the live view
+    // forgets the dead sources, and when they rejoin one chunk later the
+    // live view matches the authoritative view again — with no epoch
+    // regression and every sequence gap closed.
+    use asf_core::protocol::ZtNrp;
+    use asf_core::query::RangeQuery;
+    use asf_core::workload::Workload;
+    use asf_server::{CoordMode, ExecMode, ScatterMode, ServerConfig, ShardedServer};
+    use workloads::{SyntheticConfig, SyntheticWorkload};
+
+    const STREAMS: usize = 64;
+    const BATCH: usize = 128;
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        num_streams: STREAMS,
+        horizon: 150.0,
+        seed: 0xFA17,
+        ..Default::default()
+    });
+    let initial = w.initial_values();
+    let mut events = Vec::new();
+    while let Some(ev) = w.next_event() {
+        events.push(ev);
+    }
+    assert!(events.len() >= 3 * BATCH, "fixture too short for three chunks");
+
+    let config = ServerConfig {
+        num_shards: 2,
+        batch_size: BATCH,
+        mode: ExecMode::Inline,
+        channel_capacity: 2,
+        coordinator: CoordMode::Serial,
+        scatter: ScatterMode::Broadcast,
+        telemetry: Default::default(),
+    };
+    let mut server =
+        ShardedServer::new(&initial, ZtNrp::new(RangeQuery::new(400.0, 600.0).unwrap()), config);
+    server.initialize();
+    // Total loss until tick 200: the first chunk end (tick 128) expires
+    // every lease (100 < 128); the second (tick 256) is past the horizon,
+    // so every heartbeat is heard and every source rejoins.
+    server.enable_chaos(ChaosConfig::new(0x1EA5E, FaultMix::loss_only(1.0), 200).lease_ticks(100));
+    let epochs_before: Vec<u64> = {
+        let state = server.chaos().unwrap();
+        (0..STREAMS).map(|i| state.epoch_of(StreamId(i as u32))).collect()
+    };
+
+    server.ingest_batch(&events[..BATCH]);
+    {
+        let state = server.chaos().unwrap();
+        assert_eq!(state.dead_count(), STREAMS, "every lease expires at the first chunk end");
+        let live = server.live_view();
+        for i in 0..STREAMS {
+            let id = StreamId(i as u32);
+            assert!(!live.is_known(id), "the live view must forget dead {id}");
+            assert!(!state.is_verified(id), "dead {id} must not be verified");
+        }
+    }
+
+    server.ingest_batch(&events[BATCH..3 * BATCH]);
+    let live = server.live_view();
+    let state = server.chaos().unwrap();
+    assert_eq!(state.dead_count(), 0, "every source rejoins once heartbeats are heard");
+    for (i, &epoch_before) in epochs_before.iter().enumerate() {
+        let id = StreamId(i as u32);
+        assert!(state.is_verified(id), "rejoined {id} must be verified after its re-probe");
+        assert_eq!(state.epoch_of(id), epoch_before, "{id}: epoch moved across the rejoin");
+        assert_eq!(
+            state.recv_seq_of(id),
+            state.send_seq_of(id),
+            "{id}: rejoin left a sequence gap"
+        );
+        assert!(live.is_known(id), "rejoined {id} must reappear in the live view");
+        assert_eq!(
+            live.get(id).to_bits(),
+            server.view().get(id).to_bits(),
+            "{id}: live view diverged from the authoritative view"
+        );
+    }
+    assert_eq!(
+        server.chaos_stats().unwrap().spurious_expirations,
+        STREAMS as u64,
+        "heartbeat-only loss makes every expiration spurious"
+    );
+}

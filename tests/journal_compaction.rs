@@ -149,6 +149,64 @@ fn compaction_bounds_the_journal_and_recovery_stays_identical() {
 }
 
 #[test]
+fn cold_recovery_after_pruning_fails_loudly_instead_of_replaying_a_suffix() {
+    let (initial, events) = fixture(0xFEED);
+    let config = ServerConfig::with_shards(2).batch_size(64);
+    let dir = test_dir("cold-pruned");
+    let cfg = durable(&dir);
+
+    let mut crashed = ShardedServer::new(&initial, make(), config);
+    crashed.initialize();
+    crashed.enable_durability(cfg.clone()).unwrap();
+    crashed.ingest_batch(&events);
+    {
+        let d = crashed.durability_mut().unwrap();
+        assert!(
+            d.journal_sealed_segments() < d.journal_rotations() as usize,
+            "fixture must actually prune history for this test to mean anything"
+        );
+    }
+    drop(crashed);
+    assert!(
+        asf_persist::pruned_floor(&dir).unwrap().unwrap_or(0) > 0,
+        "pruning must leave a durable floor marker"
+    );
+
+    // Disaster: both checkpoint slots are lost. The journal's surviving
+    // suffix starts *after* the pruned history, so a cold recovery that
+    // replayed it from a fresh initialization would silently build a
+    // partial state. It must refuse instead.
+    for slot in ["snap-a.bin", "snap-b.bin"] {
+        std::fs::remove_file(dir.join(slot)).unwrap();
+    }
+    let err = ShardedServer::recover(&initial, make(), config, cfg.clone())
+        .err()
+        .expect("cold recovery over pruned history must fail");
+    assert!(
+        format!("{err}").contains("resync required"),
+        "error must direct the operator to resync, got: {err}"
+    );
+
+    // Same disaster with a *stale* checkpoint below the floor: write-time
+    // ordering makes this nearly impossible (the floor only advances past
+    // durable checkpoints), but a restored-from-backup snapshot can race
+    // it. Simulated here by just checking the guard is floor-relative:
+    // an intact directory still recovers fine.
+    let dir_ok = test_dir("cold-pruned-ok");
+    let cfg_ok = durable(&dir_ok);
+    let mut server = ShardedServer::new(&initial, make(), config);
+    server.initialize();
+    server.enable_durability(cfg_ok.clone()).unwrap();
+    server.ingest_batch(&events);
+    drop(server);
+    let mut recovered = ShardedServer::recover(&initial, make(), config, cfg_ok).unwrap();
+    let mut want = reference(&initial, &events, config);
+    assert_state_identical("pruned-intact", &mut recovered, &mut want);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_ok);
+}
+
+#[test]
 fn crash_at_every_rotation_step_recovers_the_durable_prefix() {
     let (initial, events) = fixture(0xFEED);
     let config = ServerConfig::with_shards(2).batch_size(64);
